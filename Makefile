@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test vet race bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/serve/ ./internal/cache/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (writes Fig 13 PNGs to artifacts/).
+experiments:
+	mkdir -p artifacts
+	$(GO) run ./cmd/flashps-bench -out artifacts | tee artifacts/full_bench_output.txt
+
+# Short fuzzing pass over the wire-format and API parsers.
+fuzz:
+	$(GO) test ./internal/serve/ -run xxx -fuzz FuzzMaskSpecBuild -fuzztime 10s
+	$(GO) test ./internal/serve/ -run xxx -fuzz FuzzMaskSpecJSON -fuzztime 10s
+	$(GO) test ./internal/serve/ -run xxx -fuzz FuzzDeserializeLatent -fuzztime 10s
+
+clean:
+	rm -rf artifacts/*.png

@@ -1,0 +1,236 @@
+// Command flashps-client drives a running flashps-server over HTTP: it
+// prepares templates, submits single edits, or fires an open-loop Poisson
+// workload and reports latency statistics — the client side of the
+// paper's artifact evaluation scripts (send requests at varying RPS,
+// measure end-to-end latency).
+//
+// Usage:
+//
+//	flashps-client -addr http://localhost:8005 -prepare -template 1 -image-seed 7
+//	flashps-client -addr http://localhost:8005 -edit -template 1 -prompt "a red dress" -ratio 0.2
+//	flashps-client -addr http://localhost:8005 -load -n 50 -rps 4 -templates 1,2
+//	flashps-client -addr http://localhost:8005 -stats
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"flashps/internal/metrics"
+	"flashps/internal/serve"
+	"flashps/internal/tensor"
+	"flashps/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8005", "server base URL")
+		prepare  = flag.Bool("prepare", false, "prepare a template")
+		edit     = flag.Bool("edit", false, "submit one edit")
+		load     = flag.Bool("load", false, "run an open-loop Poisson workload")
+		stats    = flag.Bool("stats", false, "fetch server statistics")
+		template = flag.Uint64("template", 1, "template id")
+		tplList  = flag.String("templates", "1", "comma-separated template ids for -load")
+		imgSeed  = flag.Uint64("image-seed", 7, "synthetic template image seed (prepare)")
+		prompt   = flag.String("prompt", "an edit", "prompt")
+		ratio    = flag.Float64("ratio", 0.2, "mask ratio")
+		seed     = flag.Uint64("seed", 1, "request seed")
+		n        = flag.Int("n", 50, "requests for -load")
+		rps      = flag.Float64("rps", 2, "Poisson rate for -load")
+		dist     = flag.String("dist", "production", "mask distribution for -load")
+		out      = flag.String("o", "", "save the edited image PNG to this path (edit)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+	)
+	flag.Parse()
+
+	c := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: *timeout}}
+	switch {
+	case *prepare:
+		var resp serve.PrepareResponse
+		err := c.post("/v1/templates", serve.PrepareRequest{
+			TemplateID: *template, ImageSeed: *imgSeed, Prompt: *prompt,
+		}, &resp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("template %d prepared: %.1f MiB cache in %.0f ms\n",
+			resp.TemplateID, float64(resp.CacheBytes)/(1<<20), resp.PrepareMS)
+	case *edit:
+		var resp serve.EditResponse
+		err := c.post("/v1/edits", serve.EditRequestAPI{
+			TemplateID: *template, Prompt: *prompt, Seed: *seed,
+			Mask:        serve.MaskSpec{Type: "ratio", Ratio: *ratio, Seed: *seed},
+			ReturnImage: *out != "",
+		}, &resp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("edit served by worker %d: mask %.2f, queue %.1f ms, infer %.1f ms, total %.1f ms\n",
+			resp.Worker, resp.MaskRatio, resp.QueueMS, resp.InferenceMS, resp.TotalMS)
+		if *out != "" {
+			if err := os.WriteFile(*out, resp.ImagePNG, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", *out, len(resp.ImagePNG))
+		}
+	case *load:
+		templates, err := parseIDs(*tplList)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := distByName(*dist)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.runLoad(templates, d, *n, *rps, *seed); err != nil {
+			fatal(err)
+		}
+	case *stats:
+		var st serve.Stats
+		if err := c.get("/v1/stats", &st); err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(st)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) post(path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, r.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+func (c *client) get(path string, resp interface{}) error {
+	r, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", path, r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// runLoad fires an open-loop Poisson workload at the server and prints
+// latency statistics.
+func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps float64, seed uint64) error {
+	reqs, err := workload.Generate(workload.TraceConfig{
+		N: n, RPS: rps, Dist: dist, Templates: len(templates), ZipfS: 1.1, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	var (
+		mu     sync.Mutex
+		total  metrics.Recorder
+		queue  metrics.Recorder
+		errors int
+		wg     sync.WaitGroup
+	)
+	rng := tensor.NewRNG(seed ^ 0xC11E47)
+	ctx := context.Background()
+	start := time.Now()
+	for _, r := range reqs {
+		at := time.Duration(r.Arrival * float64(time.Second))
+		if wait := at - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		r := r
+		maskSeed := rng.Uint64()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp serve.EditResponse
+			err := c.post("/v1/edits", serve.EditRequestAPI{
+				TemplateID: templates[int(r.Template-1)%len(templates)],
+				Prompt:     "load",
+				Seed:       uint64(r.ID),
+				Mask:       serve.MaskSpec{Type: "ratio", Ratio: r.MaskRatio, Seed: maskSeed},
+			}, &resp)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errors++
+				return
+			}
+			total.Add(resp.TotalMS)
+			queue.Add(resp.QueueMS)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("offered %.2f rps for %.1fs: %d ok, %d errors\n",
+		rps, elapsed.Seconds(), total.Count(), errors)
+	fmt.Printf("latency ms: %s\n", total.Summary())
+	fmt.Printf("queue ms:   %s\n", queue.Summary())
+	return nil
+}
+
+func parseIDs(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad template id %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no template ids")
+	}
+	return out, nil
+}
+
+func distByName(name string) (workload.MaskDist, error) {
+	for _, d := range workload.AllDists() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return workload.MaskDist{}, fmt.Errorf("unknown distribution %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flashps-client: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command flashps-trace inspects and synthesizes image-editing workload
+// traces: the mask-ratio distributions of Fig 3 and Poisson request traces
+// for the serving experiments.
+//
+// Usage:
+//
+//	flashps-trace -stats                          # Fig 3 distribution stats
+//	flashps-trace -gen -n 1000 -rps 2 -dist public -o trace.json
+//	flashps-trace -inspect trace.json             # summarize a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashps/internal/experiments"
+	"flashps/internal/metrics"
+	"flashps/internal/workload"
+)
+
+func main() {
+	var (
+		stats   = flag.Bool("stats", false, "print Fig 3 mask-ratio distribution statistics")
+		gen     = flag.Bool("gen", false, "generate a synthetic trace")
+		inspect = flag.String("inspect", "", "summarize a trace JSON file")
+		n       = flag.Int("n", 1000, "requests to generate")
+		rps     = flag.Float64("rps", 1, "Poisson arrival rate")
+		dist    = flag.String("dist", "production", "mask distribution: production|public|viton")
+		tpls    = flag.Int("templates", 16, "distinct templates")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	switch {
+	case *stats:
+		tables, err := experiments.Run("fig3", experiments.Options{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+	case *gen:
+		d, err := distByName(*dist)
+		if err != nil {
+			fatal(err)
+		}
+		reqs, err := workload.Generate(workload.TraceConfig{
+			N: *n, RPS: *rps, Dist: d, Templates: *tpls, ZipfS: 1.1, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			if err := workload.SaveTrace(*out, reqs); err != nil {
+				fatal(err)
+			}
+		} else if err := workload.WriteTrace(os.Stdout, reqs); err != nil {
+			fatal(err)
+		}
+	case *inspect != "":
+		reqs, err := workload.LoadTrace(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		var ratios metrics.Recorder
+		for _, r := range reqs {
+			ratios.Add(r.MaskRatio)
+		}
+		s := workload.Summarize(reqs)
+		fmt.Printf("requests: %d\n", s.Requests)
+		fmt.Printf("duration: %.1fs (%.2f rps)\n", s.Duration, s.MeanRPS)
+		fmt.Printf("mask ratio: %s\n", ratios.Summary())
+		fmt.Printf("templates: %d distinct; hottest %d serves %.0f%% of requests\n",
+			s.Templates, s.TopTemplate, s.TopShare*100)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func distByName(name string) (workload.MaskDist, error) {
+	for _, d := range workload.AllDists() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return workload.MaskDist{}, fmt.Errorf("unknown distribution %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flashps-trace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Cluster serving: the paper's Fig 12 setting in miniature — an 8-worker
+// cluster under Poisson traffic, comparing FlashPS (mask-aware inference +
+// disaggregated continuous batching + Algorithm 2 routing) against the
+// Diffusers, TeaCache and FISEdit baselines on the discrete-event
+// simulator with paper-scale cost models.
+//
+//	go run ./examples/cluster_serving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashps/internal/cluster"
+	"flashps/internal/perfmodel"
+	"flashps/internal/workload"
+)
+
+func main() {
+	profile := perfmodel.SDXLPaper
+	fmt.Printf("cluster: 8× %s workers serving %s, VITON-like masks\n\n",
+		profile.GPU.Name, profile.Name)
+
+	systems := []struct {
+		name     string
+		system   cluster.System
+		batching cluster.Batching
+		policy   cluster.Policy
+	}{
+		{"FlashPS", cluster.SystemFlashPS, cluster.BatchingDisaggregated, cluster.PolicyMaskAware},
+		{"Diffusers", cluster.SystemDiffusers, cluster.BatchingStatic, cluster.PolicyLeastRequests},
+		{"TeaCache", cluster.SystemTeaCache, cluster.BatchingStatic, cluster.PolicyLeastRequests},
+	}
+
+	fmt.Printf("%-10s", "RPS")
+	for _, s := range systems {
+		fmt.Printf("  %18s", s.name+" mean/p95")
+	}
+	fmt.Println()
+
+	for _, rps := range []float64{2, 4, 6} {
+		reqs, err := workload.Generate(workload.TraceConfig{
+			N: 150, RPS: rps, Dist: workload.VITONTrace,
+			Templates: 8, ZipfS: 1.1, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.1f", rps)
+		for _, s := range systems {
+			res, err := cluster.Run(cluster.Config{
+				System: s.system, Batching: s.batching, Policy: s.policy,
+				Workers: 8, Profile: profile, Seed: 1,
+			}, reqs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lat := res.Latencies()
+			fmt.Printf("  %8.2fs/%7.2fs", lat.Mean(), lat.P95())
+		}
+		fmt.Println()
+	}
+
+	// The queueing breakdown at the highest rate (Fig 12 rightmost).
+	fmt.Println("\nqueueing share of latency at RPS 6:")
+	reqs, _ := workload.Generate(workload.TraceConfig{
+		N: 150, RPS: 6, Dist: workload.VITONTrace, Templates: 8, ZipfS: 1.1, Seed: 7,
+	})
+	for _, s := range systems {
+		res, err := cluster.Run(cluster.Config{
+			System: s.system, Batching: s.batching, Policy: s.policy,
+			Workers: 8, Profile: profile, Seed: 1,
+		}, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := res.QueueTimes().Mean()
+		l := res.Latencies().Mean()
+		fmt.Printf("  %-10s queue %6.2fs of %6.2fs (%4.1f%%)\n", s.name, q, l, q/l*100)
+	}
+}

@@ -1,0 +1,3 @@
+module flashps
+
+go 1.22

@@ -1,0 +1,235 @@
+// Package baselines runs the quality benchmarks of the paper's Table 2:
+// for each benchmark (InstructPix2Pix-like on SD2.1, VITON-HD-like on
+// SDXL, PIE-Bench-like on Flux) it edits a set of synthetic templates with
+// every serving system's inference strategy and scores CLIP-proxy, FID
+// and SSIM against the Diffusers (full-computation) outputs, which the
+// paper uses as ground truth.
+//
+// System → numeric strategy mapping (see DESIGN.md):
+//
+//	Diffusers → full computation            (quality reference)
+//	FlashPS   → mask-aware cached-Y editing (§3.1)
+//	FISEdit   → sparse masked-only compute with no global context
+//	TeaCache  → step skipping at its minimum-latency configuration
+package baselines
+
+import (
+	"fmt"
+
+	"flashps/internal/diffusion"
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	"flashps/internal/model"
+	"flashps/internal/quality"
+	"flashps/internal/tensor"
+	"flashps/internal/workload"
+)
+
+// SystemQ identifies a system on the quality track.
+type SystemQ int
+
+const (
+	QDiffusers SystemQ = iota
+	QFlashPS
+	QFISEdit
+	QTeaCache
+)
+
+// String implements fmt.Stringer.
+func (s SystemQ) String() string {
+	switch s {
+	case QDiffusers:
+		return "diffusers"
+	case QFlashPS:
+		return "flashps"
+	case QFISEdit:
+		return "fisedit"
+	case QTeaCache:
+		return "teacache"
+	default:
+		return fmt.Sprintf("SystemQ(%d)", int(s))
+	}
+}
+
+func (s SystemQ) editMode() diffusion.EditMode {
+	switch s {
+	case QFlashPS:
+		return diffusion.EditCachedY
+	case QFISEdit:
+		return diffusion.EditNaiveSkip
+	case QTeaCache:
+		return diffusion.EditTeaCache
+	default:
+		return diffusion.EditFull
+	}
+}
+
+// Benchmark describes one Table 2 quality suite.
+type Benchmark struct {
+	Name string
+	// Model is the numeric engine configuration the suite runs on.
+	Model model.Config
+	// Prompted suites report CLIP-proxy; image-conditioned suites
+	// (VITON-HD) do not, matching the paper's "-" entries.
+	Prompted bool
+	// Dist draws the suite's mask ratios.
+	Dist workload.MaskDist
+	// Templates and EditsPerTemplate size the suite.
+	Templates        int
+	EditsPerTemplate int
+	// Systems under evaluation (Diffusers is always run as reference).
+	Systems []SystemQ
+	// Seed makes the suite reproducible.
+	Seed uint64
+}
+
+// Laptop-scale suite definitions mirroring Table 2's three rows. The model
+// sizes keep single-core runtimes reasonable; scale Templates and
+// EditsPerTemplate up for tighter statistics.
+var (
+	InstructPix2Pix = Benchmark{
+		Name: "SD2.1/InstructPix2Pix",
+		Model: model.Config{
+			Name: "sd21-q", LatentH: 8, LatentW: 8, Hidden: 48,
+			NumBlocks: 5, FFNMult: 4, Steps: 10, LatentChannels: 4,
+		},
+		Prompted: true, Dist: workload.ProductionTrace,
+		Templates: 2, EditsPerTemplate: 4,
+		Systems: []SystemQ{QFISEdit, QFlashPS},
+		Seed:    1,
+	}
+	VITONHD = Benchmark{
+		Name: "SDXL/VITON-HD",
+		Model: model.Config{
+			Name: "sdxl-q", LatentH: 10, LatentW: 10, Hidden: 64,
+			NumBlocks: 6, FFNMult: 4, Steps: 12, LatentChannels: 4,
+		},
+		Prompted: false, Dist: workload.VITONTrace,
+		Templates: 2, EditsPerTemplate: 4,
+		Systems: []SystemQ{QTeaCache, QFlashPS},
+		Seed:    2,
+	}
+	PIEBench = Benchmark{
+		Name: "Flux/PIE-Bench",
+		Model: model.Config{
+			Name: "flux-q", LatentH: 12, LatentW: 12, Hidden: 80,
+			NumBlocks: 8, FFNMult: 4, Steps: 12, LatentChannels: 4,
+		},
+		Prompted: true, Dist: workload.PublicTrace,
+		Templates: 2, EditsPerTemplate: 4,
+		Systems: []SystemQ{QTeaCache, QFlashPS},
+		Seed:    3,
+	}
+)
+
+// AllBenchmarks returns the three Table 2 suites in paper order.
+func AllBenchmarks() []Benchmark { return []Benchmark{InstructPix2Pix, VITONHD, PIEBench} }
+
+// Row is one Table 2 entry.
+type Row struct {
+	Benchmark string
+	System    SystemQ
+	// CLIP is the prompt-alignment proxy (0 when not applicable).
+	CLIP float64
+	// FID is the Fréchet-distance proxy to the Diffusers outputs
+	// (0 for Diffusers itself, matching the paper's "-").
+	FID float64
+	// SSIM is the mean structural similarity to the Diffusers outputs
+	// (1 would be identical).
+	SSIM float64
+}
+
+// Run executes the suite and returns one row per system, Diffusers first.
+func Run(b Benchmark) ([]Row, error) {
+	if b.Templates <= 0 || b.EditsPerTemplate <= 0 {
+		return nil, fmt.Errorf("baselines: empty suite %q", b.Name)
+	}
+	eng, err := diffusion.NewEngine(b.Model, b.Seed^0xB45E)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := quality.NewEmbedder(24, b.Seed^0xE0B)
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(b.Seed ^ 0x7AB1E2)
+
+	prompts := []string{
+		"replace with a red velvet dress",
+		"add a golden necklace",
+		"paint a blue denim jacket",
+		"swap in a leather handbag",
+		"retouch with soft studio light",
+	}
+
+	systems := append([]SystemQ{QDiffusers}, b.Systems...)
+	images := make(map[SystemQ][]*img.Image)
+	clipSum := make(map[SystemQ]float64)
+	ssimSum := make(map[SystemQ]float64)
+	n := 0
+
+	for ti := 0; ti < b.Templates; ti++ {
+		templateID := uint64(ti + 1)
+		h, w := eng.Codec.ImageSize(b.Model.LatentH, b.Model.LatentW)
+		tpl := img.SynthTemplate(templateID^b.Seed, h, w)
+		needKV := false
+		tc, _, err := eng.PrepareTemplate(templateID, tpl, "template photo", needKV)
+		if err != nil {
+			return nil, err
+		}
+		for ei := 0; ei < b.EditsPerTemplate; ei++ {
+			m := mask.WithRatio(rng, b.Model.LatentH, b.Model.LatentW, b.Dist.Sample(rng))
+			prompt := prompts[(ti*b.EditsPerTemplate+ei)%len(prompts)]
+			seed := uint64(1000 + ti*100 + ei)
+
+			outputs := make(map[SystemQ]*img.Image)
+			for _, sys := range systems {
+				res, err := eng.Edit(diffusion.EditRequest{
+					Template: tc, Mask: m, Prompt: prompt, Seed: seed,
+					Mode: sys.editMode(),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("baselines: %s/%s: %w", b.Name, sys, err)
+				}
+				outputs[sys] = res.Image
+				images[sys] = append(images[sys], res.Image)
+			}
+			ref := outputs[QDiffusers]
+			for _, sys := range systems {
+				ssimSum[sys] += quality.SSIM(outputs[sys], ref)
+				if b.Prompted {
+					clipSum[sys] += quality.CLIPProxy(emb, outputs[sys], ref)
+				}
+			}
+			n++
+		}
+	}
+
+	rows := make([]Row, 0, len(systems))
+	for _, sys := range systems {
+		row := Row{Benchmark: b.Name, System: sys}
+		row.SSIM = ssimSum[sys] / float64(n)
+		if b.Prompted {
+			row.CLIP = clipSum[sys] / float64(n)
+		}
+		if sys != QDiffusers {
+			fid, err := quality.FIDProxy(emb, images[sys], images[QDiffusers])
+			if err != nil {
+				return nil, err
+			}
+			row.FID = fid
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FindRow returns the row for the given system, or an error.
+func FindRow(rows []Row, sys SystemQ) (Row, error) {
+	for _, r := range rows {
+		if r.System == sys {
+			return r, nil
+		}
+	}
+	return Row{}, fmt.Errorf("baselines: no row for %v", sys)
+}

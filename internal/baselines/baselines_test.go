@@ -1,0 +1,160 @@
+package baselines
+
+import (
+	"testing"
+
+	"flashps/internal/model"
+	"flashps/internal/workload"
+)
+
+// tinySuite is a fast benchmark for unit tests.
+func tinySuite(systems []SystemQ) Benchmark {
+	return Benchmark{
+		Name: "tiny",
+		Model: model.Config{
+			Name: "tiny-q", LatentH: 6, LatentW: 6, Hidden: 32,
+			NumBlocks: 3, FFNMult: 4, Steps: 8, LatentChannels: 4,
+		},
+		Prompted: true, Dist: workload.PublicTrace,
+		Templates: 1, EditsPerTemplate: 2,
+		Systems: systems, Seed: 9,
+	}
+}
+
+func TestSystemQString(t *testing.T) {
+	want := map[SystemQ]string{
+		QDiffusers: "diffusers", QFlashPS: "flashps",
+		QFISEdit: "fisedit", QTeaCache: "teacache",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+	if SystemQ(9).String() != "SystemQ(9)" {
+		t.Fatal("unknown system string")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	b := tinySuite(nil)
+	b.Templates = 0
+	if _, err := Run(b); err == nil {
+		t.Fatal("empty suite accepted")
+	}
+}
+
+// Table 2 anchor vs FISEdit: FlashPS must be far closer to Diffusers than
+// the naive-sparse FISEdit on SSIM, FID and CLIP (paper: 0.92 vs 0.80 SSIM,
+// 19.9 vs 50.2 FID, 31.8 vs 31.4 CLIP on SD2.1/InstructPix2Pix).
+func TestAnchorQualityOrderingFISEdit(t *testing.T) {
+	rows, err := Run(tinySuite([]SystemQ{QFISEdit, QFlashPS}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	diff, err := FindRow(rows, QDiffusers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.SSIM != 1 || diff.FID != 0 {
+		t.Fatalf("Diffusers reference row wrong: %+v", diff)
+	}
+	flash, _ := FindRow(rows, QFlashPS)
+	fis, _ := FindRow(rows, QFISEdit)
+	if flash.SSIM <= fis.SSIM {
+		t.Fatalf("FlashPS SSIM %.3f not above FISEdit %.3f", flash.SSIM, fis.SSIM)
+	}
+	if flash.SSIM < 0.8 {
+		t.Fatalf("FlashPS SSIM %.3f suspiciously low (paper: 0.88-0.99)", flash.SSIM)
+	}
+	if flash.FID >= fis.FID {
+		t.Fatalf("FlashPS FID %.2f not below FISEdit %.2f", flash.FID, fis.FID)
+	}
+	if flash.CLIP < fis.CLIP {
+		t.Fatalf("FlashPS CLIP %.2f below FISEdit %.2f", flash.CLIP, fis.CLIP)
+	}
+}
+
+// Table 2 anchor vs TeaCache on a reduced VITON-HD suite: step skipping
+// spends its latency savings in quality, so FlashPS is closer to the
+// reference on both SSIM and FID (paper: 0.99 vs 0.97 SSIM, 3.4 vs 5.4 FID).
+func TestAnchorQualityOrderingTeaCache(t *testing.T) {
+	b := VITONHD
+	b.Templates = 1
+	b.EditsPerTemplate = 3
+	b.Systems = []SystemQ{QTeaCache, QFlashPS}
+	rows, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flash, _ := FindRow(rows, QFlashPS)
+	tea, _ := FindRow(rows, QTeaCache)
+	if flash.SSIM <= tea.SSIM {
+		t.Fatalf("FlashPS SSIM %.4f not above TeaCache %.4f", flash.SSIM, tea.SSIM)
+	}
+	if flash.FID >= tea.FID {
+		t.Fatalf("FlashPS FID %.2f not below TeaCache %.2f", flash.FID, tea.FID)
+	}
+	if flash.SSIM < 0.95 {
+		t.Fatalf("FlashPS SSIM %.4f below the paper's near-perfect range", flash.SSIM)
+	}
+}
+
+func TestUnpromptedSuiteOmitsCLIP(t *testing.T) {
+	b := tinySuite([]SystemQ{QFlashPS})
+	b.Prompted = false
+	rows, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CLIP != 0 {
+			t.Fatalf("unprompted suite reported CLIP %g", r.CLIP)
+		}
+	}
+}
+
+func TestFindRowMissing(t *testing.T) {
+	if _, err := FindRow(nil, QFlashPS); err == nil {
+		t.Fatal("missing row not reported")
+	}
+}
+
+func TestAllBenchmarksWellFormed(t *testing.T) {
+	bs := AllBenchmarks()
+	if len(bs) != 3 {
+		t.Fatalf("got %d benchmarks", len(bs))
+	}
+	for _, b := range bs {
+		if err := b.Model.Validate(); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(b.Systems) == 0 {
+			t.Fatalf("%s: no systems", b.Name)
+		}
+	}
+	// VITON-HD is image-conditioned: no CLIP (paper's "-" entries).
+	if VITONHD.Prompted {
+		t.Fatal("VITON-HD should be unprompted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	b := tinySuite([]SystemQ{QFlashPS})
+	a1, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("nondeterministic rows: %+v vs %+v", a1[i], a2[i])
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package cache implements FlashPS's hierarchical activation storage
+// (§4.2): template activation caches live in host memory with LRU
+// eviction to disk/remote storage, and cold templates are staged back into
+// host memory while their requests queue, overlapping the slow disk read
+// with queueing delay.
+//
+// Two variants live here: Tier, the byte-accounting simulation used by the
+// cluster simulator, and Store, an in-memory LRU for the numeric engine's
+// real TemplateCache objects used by the serving plane.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Tier models one worker's host-memory cache tier over templates.
+// Templates not resident in host memory must be staged from disk at
+// DiskLatency seconds per template, serialized on a single disk channel.
+type Tier struct {
+	// HostCapacity is the host-memory budget in bytes.
+	HostCapacity int64
+	// TemplateBytes is the cache footprint of one template.
+	TemplateBytes int64
+	// DiskLatency is the seconds to stage one template from disk.
+	DiskLatency float64
+
+	order    *list.List               // LRU: front = most recent
+	resident map[uint64]*list.Element // template → order element
+	staging  map[uint64]float64       // template → time staging completes
+	diskFree float64                  // time the disk channel frees up
+
+	// Stats.
+	Hits, Misses, Evictions int
+}
+
+// NewTier builds a tier. hostCapacity and templateBytes must be positive;
+// a hostCapacity smaller than one template is rejected.
+func NewTier(hostCapacity, templateBytes int64, diskLatency float64) (*Tier, error) {
+	if templateBytes <= 0 {
+		return nil, fmt.Errorf("cache: invalid template size %d", templateBytes)
+	}
+	if hostCapacity < templateBytes {
+		return nil, fmt.Errorf("cache: host capacity %d below one template %d", hostCapacity, templateBytes)
+	}
+	if diskLatency < 0 {
+		return nil, fmt.Errorf("cache: negative disk latency %g", diskLatency)
+	}
+	return &Tier{
+		HostCapacity:  hostCapacity,
+		TemplateBytes: templateBytes,
+		DiskLatency:   diskLatency,
+		order:         list.New(),
+		resident:      make(map[uint64]*list.Element),
+		staging:       make(map[uint64]float64),
+	}, nil
+}
+
+// Capacity returns how many templates fit in host memory.
+func (t *Tier) Capacity() int { return int(t.HostCapacity / t.TemplateBytes) }
+
+// Resident reports whether the template's activations are in host memory
+// (staging counts as resident once its completion time has passed; callers
+// use ReadyAt for the time-aware answer).
+func (t *Tier) Resident(template uint64) bool {
+	_, ok := t.resident[template]
+	return ok
+}
+
+// ReadyAt returns the earliest time ≥ now at which the template's
+// activations are available in host memory, beginning a disk staging
+// transfer if needed. Staging transfers serialize on the disk channel, so
+// concurrent cold templates queue behind each other (the paper overlaps
+// this with request queueing).
+func (t *Tier) ReadyAt(template uint64, now float64) float64 {
+	if el, ok := t.resident[template]; ok {
+		t.order.MoveToFront(el)
+		t.Hits++
+		return now
+	}
+	if done, ok := t.staging[template]; ok {
+		// Already staging (another request for the same template).
+		t.Hits++
+		return done
+	}
+	t.Misses++
+	start := now
+	if t.diskFree > start {
+		start = t.diskFree
+	}
+	done := start + t.DiskLatency
+	t.diskFree = done
+	t.staging[template] = done
+	return done
+}
+
+// Complete moves a finished staging transfer into the resident set; the
+// simulator calls it at the transfer's completion time. Evicts LRU
+// templates if over capacity.
+func (t *Tier) Complete(template uint64, now float64) {
+	done, ok := t.staging[template]
+	if !ok || now < done {
+		return
+	}
+	delete(t.staging, template)
+	if _, already := t.resident[template]; already {
+		return
+	}
+	t.resident[template] = t.order.PushFront(template)
+	for int64(t.order.Len())*t.TemplateBytes > t.HostCapacity {
+		back := t.order.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(uint64)
+		t.order.Remove(back)
+		delete(t.resident, victim)
+		t.Evictions++
+	}
+}
+
+// Preload marks a template as resident immediately (warm start).
+func (t *Tier) Preload(template uint64) {
+	if _, ok := t.resident[template]; ok {
+		return
+	}
+	t.resident[template] = t.order.PushFront(template)
+	for int64(t.order.Len())*t.TemplateBytes > t.HostCapacity {
+		back := t.order.Back()
+		victim := back.Value.(uint64)
+		t.order.Remove(back)
+		delete(t.resident, victim)
+		t.Evictions++
+	}
+}
+
+// ResidentCount returns the number of templates in host memory.
+func (t *Tier) ResidentCount() int { return t.order.Len() }

@@ -1,0 +1,213 @@
+package cache
+
+import (
+	"testing"
+
+	"flashps/internal/diffusion"
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	"flashps/internal/model"
+)
+
+func TestNewTierValidation(t *testing.T) {
+	if _, err := NewTier(100, 0, 1); err == nil {
+		t.Fatal("zero template size accepted")
+	}
+	if _, err := NewTier(10, 100, 1); err == nil {
+		t.Fatal("capacity below one template accepted")
+	}
+	if _, err := NewTier(100, 10, -1); err == nil {
+		t.Fatal("negative disk latency accepted")
+	}
+	tier, err := NewTier(100, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier.Capacity() != 10 {
+		t.Fatalf("Capacity = %d", tier.Capacity())
+	}
+}
+
+func TestTierHitAfterPreload(t *testing.T) {
+	tier, _ := NewTier(100, 10, 5)
+	tier.Preload(1)
+	if !tier.Resident(1) {
+		t.Fatal("preloaded template not resident")
+	}
+	if at := tier.ReadyAt(1, 3); at != 3 {
+		t.Fatalf("hit ReadyAt = %g want 3 (now)", at)
+	}
+	if tier.Hits != 1 || tier.Misses != 0 {
+		t.Fatalf("stats = %d hits %d misses", tier.Hits, tier.Misses)
+	}
+}
+
+func TestTierMissStagesFromDisk(t *testing.T) {
+	tier, _ := NewTier(100, 10, 6.4) // paper's SDXL disk anchor
+	at := tier.ReadyAt(42, 1)
+	if at != 7.4 {
+		t.Fatalf("miss ReadyAt = %g want 7.4", at)
+	}
+	if tier.Misses != 1 {
+		t.Fatal("miss not counted")
+	}
+	// Second request for the same staging template shares the transfer.
+	if at2 := tier.ReadyAt(42, 2); at2 != 7.4 {
+		t.Fatalf("shared staging ReadyAt = %g want 7.4", at2)
+	}
+	// Completion makes it resident.
+	tier.Complete(42, 7.4)
+	if !tier.Resident(42) {
+		t.Fatal("completed staging not resident")
+	}
+	if at3 := tier.ReadyAt(42, 8); at3 != 8 {
+		t.Fatalf("post-staging ReadyAt = %g want 8", at3)
+	}
+}
+
+func TestTierDiskSerializes(t *testing.T) {
+	tier, _ := NewTier(100, 10, 5)
+	a := tier.ReadyAt(1, 0)
+	b := tier.ReadyAt(2, 0)
+	if a != 5 || b != 10 {
+		t.Fatalf("staging times %g, %g want 5, 10 (serialized disk)", a, b)
+	}
+}
+
+func TestTierCompleteEarlyIgnored(t *testing.T) {
+	tier, _ := NewTier(100, 10, 5)
+	tier.ReadyAt(1, 0)
+	tier.Complete(1, 3) // before staging done
+	if tier.Resident(1) {
+		t.Fatal("early Complete should be ignored")
+	}
+	tier.Complete(99, 10) // never staged
+	if tier.Resident(99) {
+		t.Fatal("unknown Complete should be ignored")
+	}
+}
+
+func TestTierLRUEviction(t *testing.T) {
+	tier, _ := NewTier(30, 10, 1) // fits 3 templates
+	for id := uint64(1); id <= 3; id++ {
+		tier.Preload(id)
+	}
+	// Touch 1 so it becomes most recent; then add 4 → evicts 2.
+	tier.ReadyAt(1, 0)
+	tier.Preload(4)
+	if tier.Resident(2) {
+		t.Fatal("LRU victim 2 still resident")
+	}
+	if !tier.Resident(1) || !tier.Resident(3) || !tier.Resident(4) {
+		t.Fatal("wrong eviction victim")
+	}
+	if tier.Evictions != 1 {
+		t.Fatalf("Evictions = %d", tier.Evictions)
+	}
+	if tier.ResidentCount() != 3 {
+		t.Fatalf("ResidentCount = %d", tier.ResidentCount())
+	}
+}
+
+func TestTierCompleteEvicts(t *testing.T) {
+	tier, _ := NewTier(20, 10, 1) // fits 2
+	tier.Preload(1)
+	tier.Preload(2)
+	tier.ReadyAt(3, 0)
+	tier.Complete(3, 1)
+	if tier.ResidentCount() != 2 {
+		t.Fatalf("ResidentCount = %d want 2", tier.ResidentCount())
+	}
+	if tier.Resident(1) {
+		t.Fatal("LRU template 1 should have been evicted")
+	}
+}
+
+func cacheTestModelCfg() model.Config {
+	return model.Config{
+		Name: "c", LatentH: 4, LatentW: 4, Hidden: 16,
+		NumBlocks: 2, FFNMult: 2, Steps: 2, LatentChannels: 4,
+	}
+}
+
+func maskRect(h, w int) *mask.Mask {
+	return mask.Rect(h, w, 0, 0, h/2, w/2)
+}
+
+func newTemplateCache(t *testing.T, seed uint64) *diffusion.TemplateCache {
+	t.Helper()
+	cfg := cacheTestModelCfg()
+	e, err := diffusion.NewEngine(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, w := e.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	tc, _, err := e.PrepareTemplate(seed, img.SynthTemplate(seed, h, w), "p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func TestStoreBasicAndEviction(t *testing.T) {
+	tc1 := newTemplateCache(t, 1)
+	tc2 := newTemplateCache(t, 2)
+	tc3 := newTemplateCache(t, 3)
+	size := tc1.SizeBytes()
+
+	s, err := NewStore(2 * size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, tc1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, tc2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.UsedBytes() != 2*size {
+		t.Fatalf("Len=%d Used=%d", s.Len(), s.UsedBytes())
+	}
+	// Touch 1, insert 3 → 2 evicted.
+	if s.Get(1) == nil {
+		t.Fatal("Get(1) = nil")
+	}
+	if err := s.Put(3, tc3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(2) != nil {
+		t.Fatal("LRU victim 2 still present")
+	}
+	if s.Get(1) == nil || s.Get(3) == nil {
+		t.Fatal("wrong store eviction")
+	}
+	hits, misses, evictions := s.Stats()
+	if hits < 3 || misses != 1 || evictions != 1 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, evictions)
+	}
+}
+
+func TestStoreRejectsOversizeAndBadBudget(t *testing.T) {
+	if _, err := NewStore(0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	tc := newTemplateCache(t, 4)
+	s, _ := NewStore(tc.SizeBytes() - 1)
+	if err := s.Put(1, tc); err == nil {
+		t.Fatal("oversize entry accepted")
+	}
+}
+
+func TestStorePutRefreshes(t *testing.T) {
+	tc := newTemplateCache(t, 5)
+	s, _ := NewStore(10 * tc.SizeBytes())
+	if err := s.Put(1, tc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, tc); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.UsedBytes() != tc.SizeBytes() {
+		t.Fatalf("refresh double-counted: len=%d used=%d", s.Len(), s.UsedBytes())
+	}
+}

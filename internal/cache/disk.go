@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flashps/internal/diffusion"
+)
+
+// DiskStore persists template caches as files — the secondary storage tier
+// of §4.2's hierarchical activation storage for the live serving plane.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore opens (creating if needed) a disk tier rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty disk store dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+func (d *DiskStore) path(id uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("template-%d.fptc", id))
+}
+
+// Save writes a template cache to disk atomically (write to temp, rename).
+func (d *DiskStore) Save(id uint64, tc *diffusion.TemplateCache) error {
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: disk save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := tc.Serialize(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: disk save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: disk save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(id)); err != nil {
+		return fmt.Errorf("cache: disk save: %w", err)
+	}
+	return nil
+}
+
+// Load stages a template cache back from disk.
+func (d *DiskStore) Load(id uint64) (*diffusion.TemplateCache, error) {
+	f, err := os.Open(d.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("cache: disk load: %w", err)
+	}
+	defer f.Close()
+	tc, err := diffusion.ReadTemplateCache(f)
+	if err != nil {
+		return nil, fmt.Errorf("cache: disk load template %d: %w", id, err)
+	}
+	return tc, nil
+}
+
+// Has reports whether the template is on disk.
+func (d *DiskStore) Has(id uint64) bool {
+	_, err := os.Stat(d.path(id))
+	return err == nil
+}
+
+// Delete removes a template from disk (no error if absent).
+func (d *DiskStore) Delete(id uint64) error {
+	err := os.Remove(d.path(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Tiered combines the host-memory Store with a DiskStore: Get serves from
+// host memory and falls back to staging from disk; Put is write-through.
+// This is the live-path realization of §4.2 — LRU-evicted templates remain
+// recoverable from the slow tier.
+type Tiered struct {
+	Host *Store
+	Disk *DiskStore
+	// DiskHits counts Get calls served by staging from disk.
+	DiskHits int
+}
+
+// NewTiered builds the two-tier store.
+func NewTiered(hostBudget int64, dir string) (*Tiered, error) {
+	host, err := NewStore(hostBudget)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Tiered{Host: host, Disk: disk}, nil
+}
+
+// Put stores the cache in host memory and writes it through to disk.
+func (t *Tiered) Put(id uint64, tc *diffusion.TemplateCache) error {
+	if err := t.Disk.Save(id, tc); err != nil {
+		return err
+	}
+	return t.Host.Put(id, tc)
+}
+
+// Get returns the template cache, staging from disk on a host miss (and
+// repopulating host memory). Returns nil when the template is unknown to
+// both tiers.
+func (t *Tiered) Get(id uint64) *diffusion.TemplateCache {
+	if tc := t.Host.Get(id); tc != nil {
+		return tc
+	}
+	if !t.Disk.Has(id) {
+		return nil
+	}
+	tc, err := t.Disk.Load(id)
+	if err != nil {
+		return nil
+	}
+	t.DiskHits++
+	// Best effort: an oversize entry simply stays disk-only.
+	_ = t.Host.Put(id, tc)
+	return tc
+}

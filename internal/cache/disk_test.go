@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"flashps/internal/diffusion"
+	"flashps/internal/img"
+	"flashps/internal/tensor"
+)
+
+func TestTemplateCacheSerializationRoundTrip(t *testing.T) {
+	tc := newTemplateCache(t, 11)
+	var buf bytes.Buffer
+	if err := tc.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := diffusion.ReadTemplateCache(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TemplateID != tc.TemplateID {
+		t.Fatalf("id %d vs %d", back.TemplateID, tc.TemplateID)
+	}
+	if !tensor.Equal(back.Z0, tc.Z0) || !tensor.Equal(back.Noise, tc.Noise) {
+		t.Fatal("latents mutated")
+	}
+	if len(back.Cond) != len(tc.Cond) {
+		t.Fatal("cond length mutated")
+	}
+	for i := range tc.Cond {
+		if back.Cond[i] != tc.Cond[i] {
+			t.Fatal("cond mutated")
+		}
+	}
+	if len(back.Steps) != len(tc.Steps) {
+		t.Fatal("step count mutated")
+	}
+	for si := range tc.Steps {
+		for bi := range tc.Steps[si].Blocks {
+			a, b := tc.Steps[si].Blocks[bi], back.Steps[si].Blocks[bi]
+			if !tensor.Equal(a.Y, b.Y) {
+				t.Fatalf("step %d block %d Y mutated", si, bi)
+			}
+			if (a.K == nil) != (b.K == nil) || (a.V == nil) != (b.V == nil) {
+				t.Fatal("K/V presence mutated")
+			}
+		}
+	}
+	if back.SizeBytes() != tc.SizeBytes() {
+		t.Fatal("size mutated")
+	}
+}
+
+func TestReadTemplateCacheRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("FPTC\xff\xff\xff\xff"), // bad version
+		append([]byte("FPTC\x01\x00\x00\x00"), bytes.Repeat([]byte{0xff}, 20)...),
+	}
+	for i, data := range cases {
+		if _, err := diffusion.ReadTemplateCache(bytes.NewReader(data)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskStore(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	tc := newTemplateCache(t, 12)
+	if ds.Has(12) {
+		t.Fatal("Has before Save")
+	}
+	if err := ds.Save(12, tc); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Has(12) {
+		t.Fatal("Has after Save")
+	}
+	back, err := ds.Load(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SizeBytes() != tc.SizeBytes() {
+		t.Fatal("disk round trip mutated cache")
+	}
+	if _, err := ds.Load(99); err == nil {
+		t.Fatal("missing template loaded")
+	}
+	if err := ds.Delete(12); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Has(12) {
+		t.Fatal("Has after Delete")
+	}
+	if err := ds.Delete(12); err != nil {
+		t.Fatal("double delete should be a no-op")
+	}
+}
+
+func TestTieredStagingAfterEviction(t *testing.T) {
+	tc1 := newTemplateCache(t, 21)
+	tc2 := newTemplateCache(t, 22)
+	size := tc1.SizeBytes()
+	// Host holds only one template; disk holds both.
+	tiered, err := NewTiered(size, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tiered.Put(1, tc1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiered.Put(2, tc2); err != nil {
+		t.Fatal(err)
+	}
+	// Template 1 was LRU-evicted from host memory but must stage back
+	// from disk (§4.2).
+	got := tiered.Get(1)
+	if got == nil {
+		t.Fatal("evicted template lost")
+	}
+	if tiered.DiskHits != 1 {
+		t.Fatalf("DiskHits = %d want 1", tiered.DiskHits)
+	}
+	if !tensor.Equal(got.Z0, tc1.Z0) {
+		t.Fatal("staged template mutated")
+	}
+	// Unknown template: nil from both tiers.
+	if tiered.Get(77) != nil {
+		t.Fatal("unknown template returned")
+	}
+}
+
+func TestTieredUsesEngineOutput(t *testing.T) {
+	// End-to-end: a cache staged from disk must still drive a correct
+	// mask-aware edit (bit-identical output to the in-memory cache).
+	cfg := cacheTestModelCfg()
+	e, err := diffusion.NewEngine(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, w := e.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	tc, _, err := e.PrepareTemplate(9, img.SynthTemplate(9, h, w), "p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Save(9, tc); err != nil {
+		t.Fatal(err)
+	}
+	staged, err := ds.Load(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := maskRect(cfg.LatentH, cfg.LatentW)
+	resMem, err := e.Edit(diffusion.EditRequest{Template: tc, Mask: m, Seed: 1, Mode: diffusion.EditCachedY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDisk, err := e.Edit(diffusion.EditRequest{Template: staged, Mask: m, Seed: 1, Mode: diffusion.EditCachedY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.MSE(resMem.Image, resDisk.Image) != 0 {
+		t.Fatal("disk-staged cache produced different output")
+	}
+}

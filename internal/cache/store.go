@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"flashps/internal/diffusion"
+)
+
+// Store is a thread-safe LRU over the numeric engine's real TemplateCache
+// objects, bounded by a byte budget. The serving plane's cache engine uses
+// it as the host-memory tier.
+type Store struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	order   *list.List // front = most recent
+	entries map[uint64]*list.Element
+	hits    int
+	misses  int
+	evicted int
+}
+
+type storeEntry struct {
+	id    uint64
+	tc    *diffusion.TemplateCache
+	bytes int64
+}
+
+// NewStore returns a store holding at most budget bytes of cached
+// activations. budget must be positive.
+func NewStore(budget int64) (*Store, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("cache: invalid store budget %d", budget)
+	}
+	return &Store{
+		budget:  budget,
+		order:   list.New(),
+		entries: make(map[uint64]*list.Element),
+	}, nil
+}
+
+// Put inserts or refreshes a template cache, evicting least-recently-used
+// entries to stay within budget. Entries larger than the whole budget are
+// rejected.
+func (s *Store) Put(id uint64, tc *diffusion.TemplateCache) error {
+	bytes := tc.SizeBytes()
+	if bytes > s.budget {
+		return fmt.Errorf("cache: template %d (%d bytes) exceeds store budget %d", id, bytes, s.budget)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		old := el.Value.(*storeEntry)
+		s.used -= old.bytes
+		old.tc = tc
+		old.bytes = bytes
+		s.used += bytes
+		s.order.MoveToFront(el)
+	} else {
+		s.entries[id] = s.order.PushFront(&storeEntry{id: id, tc: tc, bytes: bytes})
+		s.used += bytes
+	}
+	for s.used > s.budget {
+		back := s.order.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*storeEntry)
+		s.order.Remove(back)
+		delete(s.entries, victim.id)
+		s.used -= victim.bytes
+		s.evicted++
+	}
+	return nil
+}
+
+// Get returns the template cache for id, or nil if absent.
+func (s *Store) Get(id uint64) *diffusion.TemplateCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[id]
+	if !ok {
+		s.misses++
+		return nil
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*storeEntry).tc
+}
+
+// Len returns the number of cached templates.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// UsedBytes returns the bytes currently cached.
+func (s *Store) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Stats returns (hits, misses, evictions).
+func (s *Store) Stats() (hits, misses, evictions int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evicted
+}

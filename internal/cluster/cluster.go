@@ -1,0 +1,580 @@
+// Package cluster is the discrete-event serving simulator that reproduces
+// the paper's cluster-scale experiments: end-to-end latency under Poisson
+// traffic (Fig 12), engine throughput vs batch size (Fig 14), batching
+// strategy comparisons (Fig 16-Left, Fig 4-Middle), and load-balancing
+// policy comparisons (Fig 16-Right, Fig 4-Right).
+//
+// A simulation wires together a request scheduler (internal/sched
+// policies, including the paper's Algorithm 2), a set of worker replicas
+// with a batching discipline (static, strawman continuous, or FlashPS's
+// disaggregated continuous batching, §4.3), a per-system inference engine
+// cost model (internal/perfmodel), the bubble-free pipeline DP
+// (internal/pipeline, Algorithm 1), and an optional cold-cache tier
+// (internal/cache, §4.2).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"flashps/internal/cache"
+	"flashps/internal/metrics"
+	"flashps/internal/perfmodel"
+	"flashps/internal/pipeline"
+	"flashps/internal/simclock"
+	"flashps/internal/tensor"
+	"flashps/internal/workload"
+)
+
+// System identifies the serving system whose engine cost model a worker
+// uses.
+type System int
+
+const (
+	// SystemFlashPS is the paper's system: mask-aware inference with the
+	// bubble-free pipeline.
+	SystemFlashPS System = iota
+	// SystemDiffusers is the full-regeneration baseline.
+	SystemDiffusers
+	// SystemTeaCache skips denoising steps (computes TeaCacheStepFraction
+	// of them) at full token width.
+	SystemTeaCache
+	// SystemFISEdit computes only masked tokens with custom sparse kernels
+	// but cannot batch requests with different mask ratios (max batch 1)
+	// and only supports SD2.1.
+	SystemFISEdit
+)
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	switch s {
+	case SystemFlashPS:
+		return "flashps"
+	case SystemDiffusers:
+		return "diffusers"
+	case SystemTeaCache:
+		return "teacache"
+	case SystemFISEdit:
+		return "fisedit"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Batching identifies a worker's batching discipline (§4.3).
+type Batching int
+
+const (
+	// BatchingStatic keeps the running batch fixed until every request in
+	// it completes (the baselines' policy).
+	BatchingStatic Batching = iota
+	// BatchingStrawman is step-level continuous batching whose CPU
+	// pre/postprocessing interrupts the GPU stream (Fig 10-Top).
+	BatchingStrawman
+	// BatchingDisaggregated is FlashPS's continuous batching with CPU
+	// stages offloaded to separate processes (Fig 10-Bottom).
+	BatchingDisaggregated
+)
+
+// String implements fmt.Stringer.
+func (b Batching) String() string {
+	switch b {
+	case BatchingStatic:
+		return "static"
+	case BatchingStrawman:
+		return "strawman-cb"
+	case BatchingDisaggregated:
+		return "disaggregated-cb"
+	default:
+		return fmt.Sprintf("Batching(%d)", int(b))
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	System   System
+	Batching Batching
+	// Policy is the request-routing policy; see internal/sched. The
+	// zero value routes round-robin.
+	Policy Policy
+	// Workers is the number of worker replicas (one GPU each).
+	Workers int
+	// Profile is the paper-scale model/GPU profile.
+	Profile perfmodel.ModelProfile
+	// MaxBatch overrides the profile's engine batch limit when > 0.
+	MaxBatch int
+	// ColdCacheTemplates, when > 0, gives each FlashPS worker a host
+	// cache tier holding that many templates, with LRU eviction and disk
+	// staging for cold templates (§4.2). 0 means all caches are warm in
+	// host memory.
+	ColdCacheTemplates int
+	// Seed feeds the policies' tiebreaking randomness.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("cluster: invalid worker count %d", c.Workers)
+	}
+	if c.Profile.Blocks <= 0 || c.Profile.Steps <= 0 {
+		return fmt.Errorf("cluster: invalid model profile %q", c.Profile.Name)
+	}
+	if c.System == SystemFISEdit && c.Profile.Name != "sd21" {
+		return fmt.Errorf("cluster: FISEdit only supports sd21 (got %q)", c.Profile.Name)
+	}
+	return nil
+}
+
+func (c Config) maxBatch() int {
+	b := c.MaxBatch
+	if b <= 0 {
+		b = c.Profile.MaxBatch
+	}
+	if c.System == SystemFISEdit {
+		// FISEdit cannot batch requests with different mask ratios; in
+		// practice it serves one request at a time (§6.2, OOM above 2).
+		b = 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// simReq is a request's simulation state.
+type simReq struct {
+	workload.Request
+	remSteps      int
+	totalSteps    int
+	ready         float64 // preprocessing + cache staging complete
+	admit         float64 // joined a running batch
+	finish        float64 // denoising complete
+	complete      float64 // postprocessing complete (user receives image)
+	interruptions int
+	admitted      bool
+	done          bool
+}
+
+// RequestStat is the per-request outcome of a run.
+type RequestStat struct {
+	ID            int
+	Template      uint64
+	MaskRatio     float64
+	Arrival       float64
+	Admit         float64
+	Finish        float64
+	Complete      float64
+	Interruptions int
+}
+
+// Latency returns the end-to-end request latency.
+func (s RequestStat) Latency() float64 { return s.Complete - s.Arrival }
+
+// QueueTime returns the time from arrival to joining a running batch.
+func (s RequestStat) QueueTime() float64 { return s.Admit - s.Arrival }
+
+// InferenceTime returns the time spent in denoising.
+func (s RequestStat) InferenceTime() float64 { return s.Finish - s.Admit }
+
+// Result aggregates a simulation run.
+type Result struct {
+	Stats    []RequestStat
+	Makespan float64
+	// WorkerBusy is each worker's total busy time (GPU-occupied seconds).
+	WorkerBusy []float64
+	// BatchSizeSum / BatchSteps track the running-batch occupancy across
+	// all executed denoising steps (static batches count each aligned
+	// step), giving MeanBatchSize.
+	BatchSizeSum int
+	BatchSteps   int
+}
+
+// MeanBatchSize returns the average number of requests per executed
+// denoising step — the batching benefit continuous batching unlocks (§4.3).
+func (r *Result) MeanBatchSize() float64 {
+	if r.BatchSteps == 0 {
+		return 0
+	}
+	return float64(r.BatchSizeSum) / float64(r.BatchSteps)
+}
+
+// BusyFraction returns mean worker busy time over the makespan.
+func (r *Result) BusyFraction() float64 {
+	if r.Makespan <= 0 || len(r.WorkerBusy) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range r.WorkerBusy {
+		sum += b
+	}
+	return sum / (r.Makespan * float64(len(r.WorkerBusy)))
+}
+
+// Latencies returns a recorder over end-to-end latencies.
+func (r *Result) Latencies() *metrics.Recorder {
+	var rec metrics.Recorder
+	for _, s := range r.Stats {
+		rec.Add(s.Latency())
+	}
+	return &rec
+}
+
+// QueueTimes returns a recorder over queueing times.
+func (r *Result) QueueTimes() *metrics.Recorder {
+	var rec metrics.Recorder
+	for _, s := range r.Stats {
+		rec.Add(s.QueueTime())
+	}
+	return &rec
+}
+
+// InferenceTimes returns a recorder over inference times.
+func (r *Result) InferenceTimes() *metrics.Recorder {
+	var rec metrics.Recorder
+	for _, s := range r.Stats {
+		rec.Add(s.InferenceTime())
+	}
+	return &rec
+}
+
+// Interruptions returns a recorder over per-request interruption counts.
+func (r *Result) Interruptions() *metrics.Recorder {
+	var rec metrics.Recorder
+	for _, s := range r.Stats {
+		rec.Add(float64(s.Interruptions))
+	}
+	return &rec
+}
+
+// Throughput returns completed requests per second over the makespan.
+func (r *Result) Throughput() float64 {
+	return metrics.Throughput(len(r.Stats), r.Makespan)
+}
+
+// worker is one replica's simulation state machine.
+type worker struct {
+	id          int
+	cfg         *Config
+	clock       *simclock.Clock
+	queue       []*simReq // ready, waiting to join a batch
+	running     []*simReq
+	busy        bool
+	tier        *cache.Tier
+	outstanding map[*simReq]struct{} // assigned and not complete (LB view)
+	sim         *simulation
+	busyTime    float64 // accumulated GPU-occupied seconds
+}
+
+type simulation struct {
+	cfg     Config
+	clock   simclock.Clock
+	workers []*worker
+	sched   *scheduler
+	stats   []RequestStat
+	pending int
+	rng     *tensor.RNG
+
+	batchSizeSum int
+	batchSteps   int
+}
+
+// Run simulates serving the given trace and returns per-request stats.
+func Run(cfg Config, reqs []workload.Request) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return &Result{}, nil
+	}
+	sim := &simulation{cfg: cfg, rng: tensor.NewRNG(cfg.Seed ^ 0xC1A57E)}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{id: i, cfg: &cfg, clock: &sim.clock, sim: sim,
+			outstanding: make(map[*simReq]struct{})}
+		if cfg.ColdCacheTemplates > 0 && cfg.System == SystemFlashPS {
+			tplBytes := int64(cfg.Profile.TemplateCacheBytes())
+			tier, err := cache.NewTier(int64(cfg.ColdCacheTemplates)*tplBytes, tplBytes, cfg.Profile.DiskLoadLatency())
+			if err != nil {
+				return nil, err
+			}
+			w.tier = tier
+		}
+		sim.workers = append(sim.workers, w)
+	}
+	est, err := perfmodel.Calibrate(cfg.Profile, tensor.NewRNG(cfg.Seed^0xE57), 0.02)
+	if err != nil {
+		return nil, err
+	}
+	sim.sched = newScheduler(cfg.Policy, est, cfg.maxBatch(), cfg.Seed)
+
+	sim.pending = len(reqs)
+	for _, r := range reqs {
+		r := r
+		sim.clock.At(r.Arrival, func() { sim.arrive(r) })
+	}
+	// Generous runaway guard: steps×requests×constant events.
+	maxEvents := len(reqs)*(cfg.Profile.Steps+16)*8 + 4096
+	sim.clock.Drain(maxEvents)
+	if sim.pending > 0 {
+		return nil, fmt.Errorf("cluster: simulation stalled with %d requests pending", sim.pending)
+	}
+	res := &Result{
+		Stats: sim.stats, Makespan: sim.clock.Now(),
+		BatchSizeSum: sim.batchSizeSum, BatchSteps: sim.batchSteps,
+	}
+	for _, w := range sim.workers {
+		res.WorkerBusy = append(res.WorkerBusy, w.busyTime)
+	}
+	return res, nil
+}
+
+// arrive routes a new request to a worker (paying the scheduler decision
+// overhead) and starts its preprocessing / cache staging.
+func (s *simulation) arrive(r workload.Request) {
+	w := s.sched.pick(s.workers, r, &s.cfg)
+	req := &simReq{Request: r, remSteps: s.effectiveSteps(), totalSteps: s.effectiveSteps()}
+	w.outstanding[req] = struct{}{}
+	now := s.clock.Now()
+
+	ready := now + perfmodel.SchedulerDecisionOverhead
+	switch s.cfg.Batching {
+	case BatchingDisaggregated:
+		// Preprocessing runs on a separate CPU process, off the GPU path.
+		ready += perfmodel.PreprocessLatency
+	case BatchingStatic, BatchingStrawman:
+		// Preprocessing happens on the worker itself at admission time;
+		// the request is queueable immediately.
+	}
+	if w.tier != nil {
+		stageDone := w.tier.ReadyAt(req.Template, now)
+		if stageDone > now {
+			tpl := req.Template
+			s.clock.At(stageDone, func() { w.tier.Complete(tpl, stageDone) })
+		}
+		if stageDone > ready {
+			ready = stageDone
+		}
+	}
+	s.clock.At(ready, func() {
+		req.ready = s.clock.Now()
+		w.queue = append(w.queue, req)
+		w.kick()
+	})
+}
+
+// effectiveSteps returns how many denoising steps a request computes under
+// the configured system (TeaCache skips steps).
+func (s *simulation) effectiveSteps() int {
+	steps := s.cfg.Profile.Steps
+	if s.cfg.System == SystemTeaCache {
+		steps = int(math.Ceil(float64(steps) * perfmodel.TeaCacheStepFraction))
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+// kick starts the worker if it is idle and has ready requests.
+func (w *worker) kick() {
+	if w.busy || len(w.queue) == 0 {
+		return
+	}
+	w.busy = true
+	switch w.cfg.Batching {
+	case BatchingStatic:
+		w.runStaticBatch()
+	default:
+		w.runContinuousStep()
+	}
+}
+
+// runStaticBatch serves one full batch to completion: serial preprocessing,
+// effSteps aligned denoising steps, serial postprocessing (Fig 10 baseline
+// behavior).
+func (w *worker) runStaticBatch() {
+	n := w.cfg.maxBatch()
+	if n > len(w.queue) {
+		n = len(w.queue)
+	}
+	batch := w.queue[:n]
+	w.queue = w.queue[n:]
+	w.running = batch
+
+	now := w.clock.Now()
+	pre := float64(n) * perfmodel.PreprocessLatency
+	for _, r := range batch {
+		r.admit = now + pre
+		r.admitted = true
+	}
+	steps := batch[0].remSteps
+	for _, r := range batch {
+		if r.remSteps > steps {
+			steps = r.remSteps
+		}
+	}
+	infer := float64(steps) * w.stepLatency(batch)
+	post := float64(n) * perfmodel.PostprocessLatency
+	total := pre + infer + post
+	w.busyTime += total
+	w.sim.batchSizeSum += n * steps
+	w.sim.batchSteps += steps
+	w.clock.After(total, func() {
+		end := w.clock.Now()
+		for _, r := range batch {
+			r.remSteps = 0
+			r.finish = end - post
+			r.complete = end
+			w.finishReq(r)
+		}
+		w.running = nil
+		w.busy = false
+		w.kick()
+	})
+}
+
+// runContinuousStep executes one denoising step of continuous batching:
+// retire finished requests, admit ready ones, run one batched step.
+func (w *worker) runContinuousStep() {
+	now := w.clock.Now()
+	overhead := 0.0
+
+	// Retire completed requests.
+	var still []*simReq
+	for _, r := range w.running {
+		if r.remSteps > 0 {
+			still = append(still, r)
+			continue
+		}
+		r.finish = now
+		switch w.cfg.Batching {
+		case BatchingStrawman:
+			// Postprocessing blocks the GPU stream and interrupts every
+			// other in-flight request (Fig 10-Top).
+			overhead += perfmodel.PostprocessLatency
+			r.complete = now + overhead
+			for _, other := range w.running {
+				if other != r && other.remSteps > 0 {
+					other.interruptions++
+				}
+			}
+		case BatchingDisaggregated:
+			// The GPU only serializes the latent and hands it to the
+			// postprocess worker; postprocessing overlaps (Fig 10-Bottom).
+			overhead += perfmodel.SerializeOverhead + perfmodel.IPCOverhead
+			r.complete = now + overhead + perfmodel.PostprocessLatency
+		}
+		// The user receives the image at r.complete; keep the virtual
+		// clock (and thus the makespan) alive until then even when it is
+		// the last event.
+		w.clock.At(r.complete, func() {})
+		w.finishReq(r)
+	}
+	w.running = still
+
+	// Admit ready requests up to the batch limit.
+	maxB := w.cfg.maxBatch()
+	for len(w.running) < maxB && len(w.queue) > 0 {
+		r := w.queue[0]
+		w.queue = w.queue[1:]
+		if w.cfg.Batching == BatchingStrawman {
+			// Preprocessing on the GPU process interrupts the batch.
+			overhead += perfmodel.PreprocessLatency
+			for _, other := range w.running {
+				other.interruptions++
+			}
+		}
+		r.admit = now + overhead
+		r.admitted = true
+		w.running = append(w.running, r)
+	}
+
+	if len(w.running) == 0 {
+		w.busy = false
+		return
+	}
+
+	dur := overhead + w.stepLatency(w.running) + perfmodel.BatchOrganizeOverhead
+	w.busyTime += dur
+	w.sim.batchSizeSum += len(w.running)
+	w.sim.batchSteps++
+	w.clock.After(dur, func() {
+		for _, r := range w.running {
+			r.remSteps--
+		}
+		w.runContinuousStep()
+	})
+}
+
+// finishReq records a completed request.
+func (w *worker) finishReq(r *simReq) {
+	if r.done {
+		return
+	}
+	r.done = true
+	delete(w.outstanding, r)
+	w.sim.stats = append(w.sim.stats, RequestStat{
+		ID: r.ID, Template: r.Template, MaskRatio: r.MaskRatio,
+		Arrival: r.Arrival, Admit: r.admit, Finish: r.finish,
+		Complete: r.complete, Interruptions: r.interruptions,
+	})
+	w.sim.pending--
+}
+
+// stepLatency returns the duration of one denoising step for the batch
+// under the configured system's engine.
+func (w *worker) stepLatency(batch []*simReq) float64 {
+	return StepLatency(w.cfg.System, w.cfg.Profile, batchViews(batch))
+}
+
+// ReqView is the minimal request description the engine cost models need.
+type ReqView struct {
+	Template  uint64
+	MaskRatio float64
+	StepIndex int // current denoising step (for cache-load dedup)
+}
+
+func batchViews(batch []*simReq) []ReqView {
+	views := make([]ReqView, len(batch))
+	for i, r := range batch {
+		views[i] = ReqView{
+			Template:  r.Template,
+			MaskRatio: r.MaskRatio,
+			StepIndex: r.totalSteps - r.remSteps,
+		}
+	}
+	return views
+}
+
+// StepLatency computes one denoising step's duration for a batch under the
+// given system's engine model. Exported so benchmarks and the scheduler can
+// reuse the exact engine cost model.
+func StepLatency(sys System, p perfmodel.ModelProfile, batch []ReqView) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	switch sys {
+	case SystemDiffusers, SystemTeaCache:
+		return p.StepLatencyFull(len(batch))
+	case SystemFISEdit:
+		// Sparse kernels, one request at a time, no cache reuse.
+		var total float64
+		for _, r := range batch {
+			total += float64(p.Blocks) * p.BlockComputeFISEdit(r.MaskRatio)
+		}
+		return total
+	default: // SystemFlashPS
+		ratios := make([]float64, len(batch))
+		items := make([]perfmodel.LoadItem, len(batch))
+		for i, r := range batch {
+			ratios[i] = r.MaskRatio
+			items[i] = perfmodel.LoadItem{Template: r.Template, Step: r.StepIndex, Ratio: r.MaskRatio}
+		}
+		cost := pipeline.BlockCost{
+			CompCached: p.BlockComputeMasked(ratios),
+			CompFull:   p.BlockComputeFull(len(batch)),
+			Load:       p.BlockLoadBatch(items),
+		}
+		return pipeline.Optimize(pipeline.Uniform(cost, p.Blocks)).Latency
+	}
+}

@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"flashps/internal/perfmodel"
+	"flashps/internal/workload"
+)
+
+func trace(t testing.TB, n int, rps float64, dist workload.MaskDist, templates int, seed uint64) []workload.Request {
+	t.Helper()
+	reqs, err := workload.Generate(workload.TraceConfig{
+		N: n, RPS: rps, Dist: dist, Templates: templates, ZipfS: 1.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func mustRun(t testing.TB, cfg Config, reqs []workload.Request) *Result {
+	t.Helper()
+	res, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != len(reqs) {
+		t.Fatalf("completed %d of %d requests", len(res.Stats), len(reqs))
+	}
+	return res
+}
+
+func TestStrings(t *testing.T) {
+	if SystemFlashPS.String() != "flashps" || SystemDiffusers.String() != "diffusers" ||
+		SystemTeaCache.String() != "teacache" || SystemFISEdit.String() != "fisedit" {
+		t.Fatal("system strings wrong")
+	}
+	if System(9).String() != "System(9)" {
+		t.Fatal("unknown system string")
+	}
+	if BatchingStatic.String() != "static" || BatchingStrawman.String() != "strawman-cb" ||
+		BatchingDisaggregated.String() != "disaggregated-cb" {
+		t.Fatal("batching strings wrong")
+	}
+	if Batching(9).String() != "Batching(9)" {
+		t.Fatal("unknown batching string")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{System: SystemFlashPS, Workers: 1, Profile: perfmodel.SD21Paper}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Workers = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	bad = good
+	bad.Profile = perfmodel.ModelProfile{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	// FISEdit only supports SD2.1 (§6.2).
+	fis := Config{System: SystemFISEdit, Workers: 1, Profile: perfmodel.SDXLPaper}
+	if err := fis.Validate(); err == nil {
+		t.Fatal("FISEdit on SDXL accepted")
+	}
+	fis.Profile = perfmodel.SD21Paper
+	if err := fis.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fis.maxBatch() != 1 {
+		t.Fatalf("FISEdit maxBatch = %d, want 1", fis.maxBatch())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res, err := Run(Config{System: SystemFlashPS, Workers: 1, Profile: perfmodel.SD21Paper}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 0 || res.Throughput() != 0 {
+		t.Fatal("empty trace should yield empty result")
+	}
+}
+
+func TestSingleRequestLifecycle(t *testing.T) {
+	reqs := trace(t, 1, 1, workload.PublicTrace, 4, 1)
+	cfg := Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Policy: PolicyMaskAware, Workers: 1, Profile: perfmodel.SD21Paper, Seed: 1,
+	}
+	res := mustRun(t, cfg, reqs)
+	s := res.Stats[0]
+	if !(s.Arrival < s.Admit && s.Admit < s.Finish && s.Finish < s.Complete) {
+		t.Fatalf("timeline out of order: %+v", s)
+	}
+	// Must include pre- and post-processing plus ≥ Steps worth of compute.
+	minLatency := perfmodel.PreprocessLatency + perfmodel.PostprocessLatency
+	if s.Latency() < minLatency {
+		t.Fatalf("latency %.3f below CPU stages %.3f", s.Latency(), minLatency)
+	}
+	if s.Interruptions != 0 {
+		t.Fatal("single request cannot be interrupted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	reqs := trace(t, 40, 1, workload.PublicTrace, 8, 3)
+	cfg := Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Policy: PolicyMaskAware, Workers: 2, Profile: perfmodel.SD21Paper, Seed: 5,
+	}
+	a := mustRun(t, cfg, reqs)
+	b := mustRun(t, cfg, reqs)
+	if a.Makespan != b.Makespan {
+		t.Fatal("same-seed runs differ in makespan")
+	}
+	if math.Abs(a.Latencies().Mean()-b.Latencies().Mean()) > 1e-12 {
+		t.Fatal("same-seed runs differ in latency")
+	}
+}
+
+// Fig 4-Middle anchor: continuous batching sharply reduces queueing times
+// versus static batching under the same traffic.
+func TestAnchorContinuousBatchingCutsQueueing(t *testing.T) {
+	reqs := trace(t, 80, 1.0, workload.ProductionTrace, 6, 7)
+	static := mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingStatic,
+		Policy: PolicyLeastRequests, Workers: 1, Profile: perfmodel.SD21Paper, Seed: 1,
+	}, reqs)
+	cb := mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Policy: PolicyLeastRequests, Workers: 1, Profile: perfmodel.SD21Paper, Seed: 1,
+	}, reqs)
+	qs, qc := static.QueueTimes().Mean(), cb.QueueTimes().Mean()
+	if qc*1.5 > qs {
+		t.Fatalf("continuous batching queue %.2fs not well below static %.2fs", qc, qs)
+	}
+}
+
+// Fig 16-Left anchor: on a Flux worker at RPS 0.5, static batching and
+// strawman continuous batching both extend P95 request latency versus
+// FlashPS's disaggregated continuous batching (paper: +35% and +40%), and
+// the strawman's interruptions (median ≈6, P95 ≈8) are the cause.
+func TestAnchorBatchingStrategies(t *testing.T) {
+	reqs := trace(t, 60, 0.5, workload.ProductionTrace, 4, 11)
+	run := func(b Batching) *Result {
+		return mustRun(t, Config{
+			System: SystemFlashPS, Batching: b,
+			Policy: PolicyLeastRequests, Workers: 1,
+			Profile: perfmodel.FluxPaper, Seed: 2,
+		}, reqs)
+	}
+	static := run(BatchingStatic)
+	straw := run(BatchingStrawman)
+	disagg := run(BatchingDisaggregated)
+
+	p95d := disagg.Latencies().P95()
+	p95s := static.Latencies().P95()
+	p95w := straw.Latencies().P95()
+	if p95s <= p95d {
+		t.Fatalf("static P95 %.2f should exceed disaggregated %.2f", p95s, p95d)
+	}
+	if p95w <= p95d {
+		t.Fatalf("strawman P95 %.2f should exceed disaggregated %.2f", p95w, p95d)
+	}
+	// Interruptions: zero for static and disaggregated, nonzero and
+	// repeated for strawman.
+	if static.Interruptions().Max() != 0 || disagg.Interruptions().Max() != 0 {
+		t.Fatal("static/disaggregated should have no interruptions")
+	}
+	med := straw.Interruptions().P50()
+	if med < 1 {
+		t.Fatalf("strawman median interruptions = %g, want several", med)
+	}
+	// Inference latency with static ≈ disaggregated (no interruptions in
+	// either; the static penalty is queueing) — §6.4.
+	is, id := static.InferenceTimes().Mean(), disagg.InferenceTimes().Mean()
+	if is < id*0.5 || is > id*2.0 {
+		t.Fatalf("static inference %.2f vs disaggregated %.2f should be comparable", is, id)
+	}
+}
+
+// Fig 12 anchor (single-model slice): FlashPS end-to-end mean latency beats
+// Diffusers and TeaCache at the same traffic, with a larger margin at
+// higher RPS.
+func TestAnchorEndToEndBeatsBaselines(t *testing.T) {
+	profile := perfmodel.SDXLPaper
+	runSys := func(sys System, batching Batching, policy Policy, rps float64) *Result {
+		reqs := trace(t, 100, rps, workload.PublicTrace, 8, 13)
+		return mustRun(t, Config{
+			System: sys, Batching: batching, Policy: policy,
+			Workers: 4, Profile: profile, Seed: 3,
+		}, reqs)
+	}
+	// Loaded operating points (the paper's Fig 12 regime): FlashPS wins
+	// with the gap widening as RPS grows.
+	for _, rps := range []float64{5, 7} {
+		lf := runSys(SystemFlashPS, BatchingDisaggregated, PolicyMaskAware, rps).Latencies().Mean()
+		ld := runSys(SystemDiffusers, BatchingStatic, PolicyLeastRequests, rps).Latencies().Mean()
+		lt := runSys(SystemTeaCache, BatchingStatic, PolicyLeastRequests, rps).Latencies().Mean()
+		if lf >= ld {
+			t.Fatalf("rps=%g: FlashPS %.2f not better than Diffusers %.2f", rps, lf, ld)
+		}
+		if lf >= lt {
+			t.Fatalf("rps=%g: FlashPS %.2f not better than TeaCache %.2f", rps, lf, lt)
+		}
+	}
+	// Very light load: FlashPS ≈ TeaCache (within 15%), mirroring Fig 14's
+	// batch-size-1 observation that TeaCache's full-token steps saturate
+	// the GPU while FlashPS's masked-token steps do not.
+	lf := runSys(SystemFlashPS, BatchingDisaggregated, PolicyMaskAware, 1.5).Latencies().Mean()
+	lt := runSys(SystemTeaCache, BatchingStatic, PolicyLeastRequests, 1.5).Latencies().Mean()
+	if lf > lt*1.15 {
+		t.Fatalf("light load: FlashPS %.2f should be within 15%% of TeaCache %.2f", lf, lt)
+	}
+}
+
+// §6.2: FISEdit serves one request at a time, so under load its queueing
+// dominates and FlashPS wins on SD2.1 too.
+func TestAnchorFISEditQueueing(t *testing.T) {
+	// 1.25 RPS/worker exceeds FISEdit's unbatched capacity on SD2.1 while
+	// FlashPS's continuous batching absorbs it.
+	reqs := trace(t, 60, 2.5, workload.ProductionTrace, 6, 17)
+	flash := mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Policy: PolicyMaskAware, Workers: 2, Profile: perfmodel.SD21Paper, Seed: 4,
+	}, reqs)
+	fis := mustRun(t, Config{
+		System: SystemFISEdit, Batching: BatchingStatic,
+		Policy: PolicyLeastRequests, Workers: 2, Profile: perfmodel.SD21Paper, Seed: 4,
+	}, reqs)
+	if flash.Latencies().Mean() >= fis.Latencies().Mean() {
+		t.Fatalf("FlashPS %.2f not better than FISEdit %.2f",
+			flash.Latencies().Mean(), fis.Latencies().Mean())
+	}
+	if fis.QueueTimes().Mean() <= flash.QueueTimes().Mean() {
+		t.Fatal("FISEdit should queue more (no batching)")
+	}
+}
+
+// TeaCache computes ~40% of the denoising steps, so its inference time is
+// well below Diffusers'.
+func TestTeaCacheSkipsSteps(t *testing.T) {
+	reqs := trace(t, 20, 0.2, workload.PublicTrace, 4, 19)
+	diff := mustRun(t, Config{
+		System: SystemDiffusers, Batching: BatchingStatic,
+		Policy: PolicyLeastRequests, Workers: 1, Profile: perfmodel.SDXLPaper, Seed: 5,
+	}, reqs)
+	tea := mustRun(t, Config{
+		System: SystemTeaCache, Batching: BatchingStatic,
+		Policy: PolicyLeastRequests, Workers: 1, Profile: perfmodel.SDXLPaper, Seed: 5,
+	}, reqs)
+	// Step count gives exactly 0.4; realized batch compositions differ
+	// between the runs (Diffusers queues more → bigger batches), so allow
+	// a generous band around it.
+	ratio := tea.InferenceTimes().Mean() / diff.InferenceTimes().Mean()
+	if ratio < 0.25 || ratio > 0.6 {
+		t.Fatalf("TeaCache/Diffusers inference ratio = %.2f, want ≈0.4", ratio)
+	}
+}
+
+// Fig 16-Right anchor: at low per-worker traffic the LB policies tie; at
+// high traffic request- and token-granularity balancing inflate tail
+// latency versus mask-aware balancing.
+func TestAnchorLoadBalancePolicies(t *testing.T) {
+	profile := perfmodel.FluxPaper
+	run := func(policy Policy, rps float64, seed uint64) *Result {
+		reqs := trace(t, 120, rps, workload.ProductionTrace, 10, seed)
+		return mustRun(t, Config{
+			System: SystemFlashPS, Batching: BatchingDisaggregated,
+			Policy: policy, Workers: 4, Profile: profile, Seed: 6,
+		}, reqs)
+	}
+	// High traffic: 0.5 RPS per worker (paper's stress point).
+	const highRPS = 2.0
+	maskP95 := run(PolicyMaskAware, highRPS, 23).Latencies().P95()
+	reqP95 := run(PolicyLeastRequests, highRPS, 23).Latencies().P95()
+	tokP95 := run(PolicyLeastTokens, highRPS, 23).Latencies().P95()
+	if maskP95 >= reqP95 {
+		t.Fatalf("high RPS: mask-aware P95 %.2f not better than request-granularity %.2f", maskP95, reqP95)
+	}
+	if maskP95 >= tokP95 {
+		t.Fatalf("high RPS: mask-aware P95 %.2f not better than token-granularity %.2f", maskP95, tokP95)
+	}
+	// Low traffic: policies comparable (within 25%).
+	const lowRPS = 0.6
+	lo := run(PolicyMaskAware, lowRPS, 29).Latencies().P95()
+	lr := run(PolicyLeastRequests, lowRPS, 29).Latencies().P95()
+	if math.Abs(lo-lr)/math.Max(lo, lr) > 0.25 {
+		t.Fatalf("low RPS: policies should be comparable (mask %.2f vs req %.2f)", lo, lr)
+	}
+}
+
+// §4.2: with a cold host cache, the first touch of a template pays disk
+// staging overlapped with queueing; warm templates don't.
+func TestColdCacheStaging(t *testing.T) {
+	// SDXL's 2.6 GiB template cache takes ≈6.4 s to stage from disk —
+	// far longer than preprocessing, so a cold first touch is visible.
+	profile := perfmodel.SDXLPaper
+	reqs := []workload.Request{
+		{ID: 0, Arrival: 0, Template: 1, MaskRatio: 0.2},
+		{ID: 1, Arrival: 0.1, Template: 1, MaskRatio: 0.2}, // same template: shares staging
+	}
+	cold := mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Policy: PolicyLeastRequests, Workers: 1, Profile: profile,
+		ColdCacheTemplates: 4, Seed: 7,
+	}, reqs)
+	warm := mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Policy: PolicyLeastRequests, Workers: 1, Profile: profile, Seed: 7,
+	}, reqs)
+	disk := profile.DiskLoadLatency()
+	dCold := cold.Latencies().Max()
+	dWarm := warm.Latencies().Max()
+	if dCold < dWarm+disk*0.5 {
+		t.Fatalf("cold cache latency %.2f should reflect disk staging (warm %.2f, disk %.2f)",
+			dCold, dWarm, disk)
+	}
+}
+
+func TestRoundRobinPolicySpreadsAcrossWorkers(t *testing.T) {
+	reqs := trace(t, 16, 10, workload.PublicTrace, 4, 31)
+	res := mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Policy: PolicyRoundRobin, Workers: 4, Profile: perfmodel.SD21Paper, Seed: 8,
+	}, reqs)
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+// StepLatency dispatch: each system's engine model has the right ordering.
+func TestStepLatencyBySystem(t *testing.T) {
+	p := perfmodel.SDXLPaper
+	batch := []ReqView{{Template: 1, MaskRatio: 0.2, StepIndex: 3}}
+	flash := StepLatency(SystemFlashPS, p, batch)
+	diff := StepLatency(SystemDiffusers, p, batch)
+	tea := StepLatency(SystemTeaCache, p, batch)
+	if flash <= 0 || diff <= 0 {
+		t.Fatal("non-positive step latency")
+	}
+	if flash >= diff {
+		t.Fatalf("FlashPS step %.4f should beat Diffusers %.4f", flash, diff)
+	}
+	if tea != diff {
+		t.Fatal("TeaCache per-step latency should equal Diffusers (it skips steps instead)")
+	}
+	if StepLatency(SystemFlashPS, p, nil) != 0 {
+		t.Fatal("empty batch latency != 0")
+	}
+	// FISEdit on SD2.1: masked-only sparse compute beats full computation
+	// per step.
+	sd := perfmodel.SD21Paper
+	fis := StepLatency(SystemFISEdit, sd, batch)
+	if fis >= StepLatency(SystemDiffusers, sd, batch) {
+		t.Fatal("FISEdit step should beat full computation")
+	}
+}
+
+func TestRequestStatAccessors(t *testing.T) {
+	s := RequestStat{Arrival: 1, Admit: 3, Finish: 8, Complete: 9}
+	if s.Latency() != 8 || s.QueueTime() != 2 || s.InferenceTime() != 5 {
+		t.Fatalf("accessors wrong: %+v", s)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	reqs := trace(t, 30, 2, workload.VITONTrace, 4, 41)
+	res := mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Policy: PolicyMaskAware, Workers: 2, Profile: perfmodel.SDXLPaper, Seed: 9,
+	}, reqs)
+	if res.BatchSteps <= 0 || res.BatchSizeSum < res.BatchSteps {
+		t.Fatalf("batch accounting wrong: sum=%d steps=%d", res.BatchSizeSum, res.BatchSteps)
+	}
+	mbs := res.MeanBatchSize()
+	if mbs < 1 || mbs > float64(perfmodel.SDXLPaper.MaxBatch) {
+		t.Fatalf("mean batch size %g out of range", mbs)
+	}
+	bf := res.BusyFraction()
+	if bf <= 0 || bf > 1 {
+		t.Fatalf("busy fraction %g out of (0,1]", bf)
+	}
+	if len(res.WorkerBusy) != 2 {
+		t.Fatalf("worker busy entries = %d", len(res.WorkerBusy))
+	}
+	// Empty result accessors.
+	empty := &Result{}
+	if empty.MeanBatchSize() != 0 || empty.BusyFraction() != 0 {
+		t.Fatal("empty result accessors should be 0")
+	}
+}
+
+func TestStaticBatchingCountsAlignedSteps(t *testing.T) {
+	// A static batch of n requests contributes n×steps to the batch-size
+	// sum over steps aligned executions.
+	reqs := []workload.Request{
+		{ID: 0, Arrival: 0, Template: 1, MaskRatio: 0.2},
+		{ID: 1, Arrival: 0.01, Template: 1, MaskRatio: 0.2},
+	}
+	res := mustRun(t, Config{
+		System: SystemDiffusers, Batching: BatchingStatic,
+		Policy: PolicyLeastRequests, Workers: 1, Profile: perfmodel.SD21Paper, Seed: 1,
+	}, reqs)
+	// Both requests join one batch (arrivals nearly simultaneous) or two
+	// batches of one; either way total batch-steps equal request-steps.
+	wantSum := 2 * perfmodel.SD21Paper.Steps
+	if res.BatchSizeSum != wantSum {
+		t.Fatalf("BatchSizeSum = %d want %d", res.BatchSizeSum, wantSum)
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flashps/internal/perfmodel"
+	"flashps/internal/tensor"
+	"flashps/internal/workload"
+)
+
+// TestPropertySimulationInvariants fuzzes the simulator over random
+// systems, batching disciplines, policies and traffic, checking the
+// conservation and ordering invariants every run must satisfy:
+// every request completes exactly once, timelines are ordered
+// (arrival ≤ admit ≤ finish ≤ complete), only the strawman discipline
+// produces interruptions, and the makespan covers every completion.
+func TestPropertySimulationInvariants(t *testing.T) {
+	profiles := []perfmodel.ModelProfile{
+		perfmodel.SD21Paper, perfmodel.SDXLPaper, perfmodel.FluxPaper,
+	}
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		profile := profiles[rng.Intn(len(profiles))]
+		system := System(rng.Intn(3)) // flashps, diffusers, teacache
+		if system == SystemFISEdit {
+			profile = perfmodel.SD21Paper
+		}
+		cfg := Config{
+			System:   system,
+			Batching: Batching(rng.Intn(3)),
+			Policy:   Policy(rng.Intn(4)),
+			Workers:  1 + rng.Intn(4),
+			Profile:  profile,
+			Seed:     seed,
+		}
+		n := 10 + rng.Intn(30)
+		reqs, err := workload.Generate(workload.TraceConfig{
+			N: n, RPS: 0.5 + 3*rng.Float64(),
+			Dist:      workload.AllDists()[rng.Intn(3)],
+			Templates: 1 + rng.Intn(8), ZipfS: 1.1, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := Run(cfg, reqs)
+		if err != nil {
+			return false
+		}
+		if len(res.Stats) != n {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, s := range res.Stats {
+			if seen[s.ID] {
+				return false // double completion
+			}
+			seen[s.ID] = true
+			if !(s.Arrival <= s.Admit && s.Admit <= s.Finish && s.Finish <= s.Complete) {
+				return false
+			}
+			if s.Complete > res.Makespan+1e-9 {
+				return false
+			}
+			if cfg.Batching != BatchingStrawman && s.Interruptions != 0 {
+				return false
+			}
+		}
+		if res.BusyFraction() < 0 || res.BusyFraction() > 1+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

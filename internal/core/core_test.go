@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flashps/internal/diffusion"
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	"flashps/internal/model"
+	"flashps/internal/perfmodel"
+)
+
+var testCfg = model.Config{
+	Name: "coretest", LatentH: 6, LatentW: 6, Hidden: 32,
+	NumBlocks: 3, FFNMult: 4, Steps: 5, LatentChannels: 4,
+}
+
+func newEditor(t testing.TB) *Editor {
+	t.Helper()
+	ed, err := NewEditor(testCfg, perfmodel.SDXLPaper, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ed
+}
+
+func prepared(t testing.TB, ed *Editor) (*diffusion.TemplateCache, *img.Image) {
+	t.Helper()
+	h, w := ed.Engine.Codec.ImageSize(testCfg.LatentH, testCfg.LatentW)
+	tc, out, err := ed.Prepare(3, img.SynthTemplate(3, h, w), "studio", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc, out
+}
+
+func TestNewEditorRejectsBadConfig(t *testing.T) {
+	bad := testCfg
+	bad.Hidden = 0
+	if _, err := NewEditor(bad, perfmodel.SDXLPaper, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestPlanEditSchemeOrdering(t *testing.T) {
+	ed := newEditor(t)
+	for _, m := range []float64{0.05, 0.11, 0.2, 0.35, 0.6} {
+		p := ed.PlanEdit(m)
+		const eps = 1e-12
+		if !(p.Ideal <= p.BubbleFree+eps && p.BubbleFree <= p.Strawman+eps && p.Strawman <= p.Naive+eps) {
+			t.Fatalf("m=%g: scheme ordering violated: %+v", m, p)
+		}
+		if p.BubbleFree > p.FullCompute {
+			t.Fatalf("m=%g: bubble-free (%g) worse than full compute (%g)", m, p.BubbleFree, p.FullCompute)
+		}
+		if len(p.UseCache) != ed.Profile.Blocks {
+			t.Fatalf("m=%g: plan has %d blocks", m, len(p.UseCache))
+		}
+	}
+}
+
+func TestPlanEditSmallMaskMixesBlocks(t *testing.T) {
+	// Small masks are load-bound; the DP must mark some blocks compute-all
+	// (Fig 9-Bottom). Large masks are compute-bound and stay all-cached.
+	ed := newEditor(t)
+	small := ed.PlanEdit(0.03)
+	if small.CachedBlocks == ed.Profile.Blocks {
+		t.Fatalf("tiny mask: all %d blocks cached; expected mixing", small.CachedBlocks)
+	}
+	large := ed.PlanEdit(0.5)
+	if large.CachedBlocks != ed.Profile.Blocks {
+		t.Fatalf("large mask: only %d/%d blocks cached", large.CachedBlocks, ed.Profile.Blocks)
+	}
+}
+
+func TestEditRequiresMask(t *testing.T) {
+	ed := newEditor(t)
+	tc, _ := prepared(t, ed)
+	if _, err := ed.Edit(tc, nil, "p", 1); err == nil {
+		t.Fatal("nil mask accepted")
+	}
+}
+
+func TestEditEndToEnd(t *testing.T) {
+	ed := newEditor(t)
+	tc, tplOut := prepared(t, ed)
+	m := mask.Rect(testCfg.LatentH, testCfg.LatentW, 1, 1, 4, 4)
+	res, err := ed.Edit(tc, m, "a green scarf", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Image == nil || res.StepsComputed != testCfg.Steps {
+		t.Fatalf("result malformed: %+v", res)
+	}
+	if img.MSE(res.Image, tplOut) == 0 {
+		t.Fatal("edit changed nothing")
+	}
+	// The plan must have been attached.
+	if len(res.Plan.UseCache) == 0 {
+		t.Fatal("plan missing")
+	}
+}
+
+func TestMapBlocks(t *testing.T) {
+	// Preserves all-true / all-false.
+	all := mapBlocks([]bool{true, true, true, true}, 2)
+	if !all[0] || !all[1] {
+		t.Fatal("all-true not preserved")
+	}
+	none := mapBlocks([]bool{false, false, false, false}, 2)
+	if none[0] || none[1] {
+		t.Fatal("all-false not preserved")
+	}
+	// Preserves ~fraction under downsampling.
+	half := mapBlocks([]bool{false, false, true, true}, 2)
+	if half[0] != false || half[1] != true {
+		t.Fatalf("pattern not preserved: %v", half)
+	}
+	if mapBlocks(nil, 3) != nil {
+		t.Fatal("nil input should map to nil")
+	}
+}
+
+// Fig 6-Left anchor: across two different edits of the same template, the
+// unmasked-token activations are highly similar while masked-token
+// activations are not.
+func TestAnchorActivationSimilarity(t *testing.T) {
+	ed := newEditor(t)
+	m := mask.Rect(testCfg.LatentH, testCfg.LatentW, 0, 0, 3, 6) // 50% mask
+	sim, err := AnalyzeActivationSimilarity(ed.Engine, 9, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.UnmaskedCos < 0.9 {
+		t.Fatalf("unmasked activation similarity = %.3f, want >0.9 (paper: near 1)", sim.UnmaskedCos)
+	}
+	if sim.MaskedCos >= sim.UnmaskedCos {
+		t.Fatalf("masked similarity (%.3f) should be below unmasked (%.3f)",
+			sim.MaskedCos, sim.UnmaskedCos)
+	}
+}
+
+func TestAnalyzeActivationSimilarityGridCheck(t *testing.T) {
+	ed := newEditor(t)
+	if _, err := AnalyzeActivationSimilarity(ed.Engine, 1, mask.New(2, 2)); err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+}
+
+func TestAttentionLocalityShares(t *testing.T) {
+	ed := newEditor(t)
+	m := mask.Rect(testCfg.LatentH, testCfg.LatentW, 0, 0, 3, 3)
+	loc, err := AnalyzeAttentionLocality(ed.Engine, 5, m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each query row's attention is a distribution: quadrant pairs sum to 1.
+	if math.Abs(loc.MaskedToMasked+loc.MaskedToUnmasked-1) > 1e-6 {
+		t.Fatalf("masked rows don't sum to 1: %+v", loc)
+	}
+	if math.Abs(loc.UnmaskedToUnmasked+loc.UnmaskedToMasked-1) > 1e-6 {
+		t.Fatalf("unmasked rows don't sum to 1: %+v", loc)
+	}
+	if loc.NullMaskedShare != m.Ratio() {
+		t.Fatalf("null share = %g want %g", loc.NullMaskedShare, m.Ratio())
+	}
+	if _, err := AnalyzeAttentionLocality(ed.Engine, 5, mask.New(2, 2), 1); err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+}
+
+// Table 1 anchor: each operator's FLOP speedup is exactly 1/m and the cache
+// shape follows (B, (1-m)·L, H).
+func TestAnchorTable1(t *testing.T) {
+	for _, m := range []float64{0.1, 0.2, 0.5} {
+		rows := Table1(perfmodel.SDXLPaper, m, 2)
+		if len(rows) != 3 {
+			t.Fatalf("Table1 returned %d rows", len(rows))
+		}
+		for _, r := range rows {
+			if math.Abs(r.Speedup-1/m) > 1e-9 {
+				t.Fatalf("%s at m=%g: speedup %g want %g", r.Operator, m, r.Speedup, 1/m)
+			}
+			if r.CacheShape == "" {
+				t.Fatal("missing cache shape")
+			}
+		}
+	}
+}
+
+// §3.1 anchor: at m=0.2, caching K/V is ≈10% faster on the compute side
+// than caching Y, but doubles the cached bytes (and with doubled cache
+// traffic the pipeline view no longer favors it).
+func TestAnchorKVComparison(t *testing.T) {
+	kv := CompareKV(perfmodel.SDXLPaper, 0.2)
+	if kv.ComputeKV >= kv.ComputeY {
+		t.Fatalf("KV compute (%g) should beat Y compute (%g)", kv.ComputeKV, kv.ComputeY)
+	}
+	if kv.ComputeGain < 0.03 || kv.ComputeGain > 0.35 {
+		t.Fatalf("KV compute gain = %.0f%%, paper reports ≈10%%", kv.ComputeGain*100)
+	}
+	if kv.CacheBytesKV != 2*kv.CacheBytesY {
+		t.Fatal("KV cache should be exactly double")
+	}
+	if kv.PipelineKV < kv.PipelineY {
+		t.Fatalf("with doubled cache traffic the pipeline view should not favor KV (Y %g vs KV %g)",
+			kv.PipelineY, kv.PipelineKV)
+	}
+}

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"flashps/internal/core"
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	"flashps/internal/model"
+	"flashps/internal/perfmodel"
+)
+
+// ExampleEditor shows the paper's core loop: prepare a template once, then
+// run mask-aware edits against its activation cache.
+func ExampleEditor() {
+	cfg := model.Config{
+		Name: "example", LatentH: 6, LatentW: 6, Hidden: 32,
+		NumBlocks: 3, FFNMult: 4, Steps: 4, LatentChannels: 4,
+	}
+	editor, err := core.NewEditor(cfg, perfmodel.SDXLPaper, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, w := editor.Engine.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	tc, _, err := editor.Prepare(1, img.SynthTemplate(7, h, w), "studio photo", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := mask.Rect(cfg.LatentH, cfg.LatentW, 1, 1, 4, 4)
+	res, err := editor.Edit(tc, m, "a red dress", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edited %dx%d image, mask ratio %.2f, %d/%d blocks cached\n",
+		res.Image.H, res.Image.W, m.Ratio(), res.Plan.CachedBlocks, len(res.Plan.UseCache))
+	// Output:
+	// edited 48x48 image, mask ratio 0.25, 56/56 blocks cached
+}
+
+// ExampleEditor_PlanEdit runs Algorithm 1 standalone: given a mask ratio,
+// which transformer blocks should use cached activations?
+func ExampleEditor_PlanEdit() {
+	cfg := model.Config{
+		Name: "example", LatentH: 6, LatentW: 6, Hidden: 32,
+		NumBlocks: 3, FFNMult: 4, Steps: 4, LatentChannels: 4,
+	}
+	editor, err := core.NewEditor(cfg, perfmodel.SDXLPaper, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiny := editor.PlanEdit(0.03) // load-bound: the DP mixes compute-all blocks
+	big := editor.PlanEdit(0.5)   // compute-bound: all blocks cached
+	fmt.Printf("m=0.03: %d/%d cached; m=0.50: %d/%d cached\n",
+		tiny.CachedBlocks, len(tiny.UseCache), big.CachedBlocks, len(big.UseCache))
+	// Output:
+	// m=0.03: 44/56 cached; m=0.50: 56/56 cached
+}
+
+// ExampleTable1 prints the paper's operator-level speedup analysis.
+func ExampleTable1() {
+	rows := core.Table1(perfmodel.SDXLPaper, 0.2, 1)
+	for _, r := range rows {
+		fmt.Printf("%s: %.0fx speedup\n", r.Operator, r.Speedup)
+	}
+	// Output:
+	// (XW1)W2 feed-forward: 5x speedup
+	// XW linear projection: 5x speedup
+	// QK^T/sqrt(H) attention: 5x speedup
+}

@@ -1,0 +1,509 @@
+package diffusion
+
+import (
+	"fmt"
+	"math"
+
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	"flashps/internal/model"
+	"flashps/internal/tensor"
+)
+
+// Backbone is the denoiser contract the engine drives: the flat
+// transformer stack (model.Model) and the multi-resolution UNet variant
+// (model.UNet) both satisfy it. Config reports the base latent grid and
+// the *flattened* block count (per-block Modes and cached activations are
+// indexed in flattened execution order).
+type Backbone interface {
+	Config() model.Config
+	ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts model.StepOptions) (*tensor.Matrix, error)
+}
+
+// Engine runs the numeric denoising loop for one backbone. It is the
+// real-math counterpart of the FlashPS worker's inference engine: all
+// quality experiments (Table 2, Fig 1, Fig 6, Fig 13) run through it.
+type Engine struct {
+	Model Backbone
+	Codec *Codec
+	Sched *Schedule
+}
+
+// NewEngine builds an engine over the flat transformer backbone for cfg,
+// with deterministic weights from seed and a patch-8 codec.
+func NewEngine(cfg model.Config, seed uint64) (*Engine, error) {
+	m, err := model.New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineWith(m)
+}
+
+// NewEngineWith builds an engine over an existing backbone.
+func NewEngineWith(b Backbone) (*Engine, error) {
+	cfg := b.Config()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	codec, err := NewCodec(8, cfg.LatentChannels)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{Model: b, Codec: codec, Sched: NewSchedule(cfg.Steps)}, nil
+}
+
+// TemplateCache holds everything FlashPS caches for one image template: the
+// clean latent, the template's initial noise (so edit requests share the
+// unmasked trajectory), and the per-step per-block activations recorded
+// during the template's full-computation pass (§2.2 "reusability of the
+// templates").
+type TemplateCache struct {
+	TemplateID uint64
+	Z0         *tensor.Matrix           // clean template latent
+	Noise      *tensor.Matrix           // template initial noise ε_T
+	Steps      []*model.StepActivations // indexed by timestep t (conditional pass)
+	// UncondSteps holds the unconditional pass's activations when the
+	// model runs classifier-free guidance (nil otherwise).
+	UncondSteps []*model.StepActivations
+	Cond        []float32 // conditioning used for the template pass
+}
+
+// SizeBytes returns the total size of the cached activations in bytes
+// (float32 Y matrices across all steps and blocks; K/V add 2× more when
+// recorded).
+func (tc *TemplateCache) SizeBytes() int64 {
+	var total int64
+	for _, steps := range [][]*model.StepActivations{tc.Steps, tc.UncondSteps} {
+		for _, st := range steps {
+			if st == nil {
+				continue
+			}
+			for _, b := range st.Blocks {
+				if b.Y != nil {
+					total += int64(len(b.Y.Data)) * 4
+				}
+				if b.K != nil {
+					total += int64(len(b.K.Data)) * 4
+				}
+				if b.V != nil {
+					total += int64(len(b.V.Data)) * 4
+				}
+			}
+		}
+	}
+	return total
+}
+
+// EditMode selects the inference strategy for an edit request.
+type EditMode int
+
+const (
+	// EditFull regenerates with full computation (the Diffusers baseline
+	// and the quality ground truth of Table 2).
+	EditFull EditMode = iota
+	// EditCachedY is FlashPS's mask-aware editing with cached block
+	// outputs (Fig 5-Bottom).
+	EditCachedY
+	// EditCachedKV is the Fig 7 alternative reusing cached K/V.
+	EditCachedKV
+	// EditNaiveSkip computes the masked region without global context
+	// (Fig 1 rightmost; also how the FISEdit-sim baseline degrades).
+	EditNaiveSkip
+	// EditTeaCache reuses the previous step's noise prediction when the
+	// timestep embedding has drifted less than a threshold (the TeaCache
+	// baseline's latency-quality tradeoff).
+	EditTeaCache
+)
+
+// String implements fmt.Stringer.
+func (m EditMode) String() string {
+	switch m {
+	case EditFull:
+		return "full"
+	case EditCachedY:
+		return "cached-y"
+	case EditCachedKV:
+		return "cached-kv"
+	case EditNaiveSkip:
+		return "naive-skip"
+	case EditTeaCache:
+		return "teacache"
+	default:
+		return fmt.Sprintf("EditMode(%d)", int(m))
+	}
+}
+
+// EditRequest describes one image-editing request to the numeric engine.
+type EditRequest struct {
+	// Template is the prepared template cache. Required for all modes.
+	Template *TemplateCache
+	// Mask marks the edit region on the latent grid. Required for all
+	// modes except EditFull/EditTeaCache with a nil mask (full-image
+	// regeneration).
+	Mask *mask.Mask
+	// Prompt conditions the edited content.
+	Prompt string
+	// Seed drives the fresh noise for the masked region.
+	Seed uint64
+	// Mode selects the inference strategy.
+	Mode EditMode
+	// UseCacheBlocks, when non-nil, gives the bubble-free pipeline's
+	// per-block decision: true = replenish from cache, false = compute all
+	// tokens (Fig 9-Bottom). nil means every block uses the cache.
+	// Only consulted by EditCachedY/EditCachedKV.
+	UseCacheBlocks []bool
+	// TeaCacheThreshold is the accumulated embedding-drift threshold above
+	// which EditTeaCache recomputes; 0 selects a default.
+	TeaCacheThreshold float64
+}
+
+// EditResult is the outcome of an edit.
+type EditResult struct {
+	Image *img.Image
+	// StepsComputed counts denoising steps that ran the model forward
+	// (differs from Steps only for EditTeaCache).
+	StepsComputed int
+	// FinalLatent is the denoised latent (useful in tests).
+	FinalLatent *tensor.Matrix
+}
+
+// PrepareTemplate encodes the template image, runs the full denoising pass
+// recording activations for every step and block (the cache-population
+// pass), and returns the cache together with the regenerated template
+// image, which is the reference for "untouched" unmasked content.
+// recordKV additionally records attention K/V (doubling cache size) to
+// enable the EditCachedKV mode.
+func (e *Engine) PrepareTemplate(templateID uint64, im *img.Image, prompt string, recordKV bool) (*TemplateCache, *img.Image, error) {
+	cfg := e.Model.Config()
+	z0, err := e.Codec.Encode(im, cfg.LatentH, cfg.LatentW)
+	if err != nil {
+		return nil, nil, err
+	}
+	noiseRNG := tensor.NewRNG(templateID ^ 0xF1A5A9)
+	noise := tensor.Randn(noiseRNG, z0.R, z0.C, 1)
+	cond := model.EmbedPrompt(prompt, cfg.Hidden)
+
+	tc := &TemplateCache{
+		TemplateID: templateID,
+		Z0:         z0,
+		Noise:      noise,
+		Steps:      make([]*model.StepActivations, e.Sched.Steps),
+		Cond:       cond,
+	}
+	guidance := e.Model.Config().GuidanceScale
+	if guidance > 0 {
+		tc.UncondSteps = make([]*model.StepActivations, e.Sched.Steps)
+	}
+
+	stripKV := func(rec *model.StepActivations) {
+		for i := range rec.Blocks {
+			rec.Blocks[i].K = nil
+			rec.Blocks[i].V = nil
+		}
+	}
+	x := e.noisyInit(z0, noise, nil, nil)
+	for t := e.Sched.Steps - 1; t >= 0; t-- {
+		rec := &model.StepActivations{}
+		eps, err := e.Model.ForwardStep(x, t, cond, model.StepOptions{Record: rec})
+		if err != nil {
+			return nil, nil, err
+		}
+		if !recordKV {
+			stripKV(rec)
+		}
+		tc.Steps[t] = rec
+		if guidance > 0 {
+			recU := &model.StepActivations{}
+			epsU, err := e.Model.ForwardStep(x, t, nil, model.StepOptions{Record: recU})
+			if err != nil {
+				return nil, nil, err
+			}
+			if !recordKV {
+				stripKV(recU)
+			}
+			tc.UncondSteps[t] = recU
+			eps = guide(epsU, eps, guidance)
+		}
+		x = e.ddimUpdate(x, eps, t, nil)
+	}
+	out, err := e.Codec.Decode(x, cfg.LatentH, cfg.LatentW)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tc, out, nil
+}
+
+// Edit runs one edit request and returns the output image.
+func (e *Engine) Edit(req EditRequest) (*EditResult, error) {
+	if req.Template == nil {
+		return nil, fmt.Errorf("diffusion: edit requires a template cache")
+	}
+	cfg := e.Model.Config()
+	var maskedIdx []int
+	if req.Mask != nil {
+		if req.Mask.H != cfg.LatentH || req.Mask.W != cfg.LatentW {
+			return nil, fmt.Errorf("diffusion: mask grid %d×%d does not match latent grid %d×%d",
+				req.Mask.H, req.Mask.W, cfg.LatentH, cfg.LatentW)
+		}
+		maskedIdx = req.Mask.MaskedIndices()
+	}
+	switch req.Mode {
+	case EditCachedY, EditCachedKV, EditNaiveSkip:
+		if len(maskedIdx) == 0 {
+			return nil, fmt.Errorf("diffusion: mode %v requires a non-empty mask", req.Mode)
+		}
+	}
+	if req.Mode == EditCachedY || req.Mode == EditCachedKV {
+		if len(req.Template.Steps) != e.Sched.Steps {
+			return nil, fmt.Errorf("diffusion: template cache has %d steps, engine has %d",
+				len(req.Template.Steps), e.Sched.Steps)
+		}
+		if cfg.GuidanceScale > 0 && len(req.Template.UncondSteps) != e.Sched.Steps {
+			return nil, fmt.Errorf("diffusion: guidance requires an unconditional cache (%d steps, want %d)",
+				len(req.Template.UncondSteps), e.Sched.Steps)
+		}
+	}
+
+	cond := model.EmbedPrompt(req.Prompt, cfg.Hidden)
+	// Fresh noise for the masked region only; unmasked rows keep the
+	// template's noise so the preserved trajectory matches the cache.
+	reqRNG := tensor.NewRNG(req.Seed ^ 0x5EED)
+	freshNoise := tensor.Randn(reqRNG, req.Template.Z0.R, req.Template.Z0.C, 1)
+	x := e.noisyInit(req.Template.Z0, req.Template.Noise, freshNoise, maskedIdx)
+
+	modes := e.blockModes(req)
+	stepsComputed := 0
+
+	switch req.Mode {
+	case EditFull, EditNaiveSkip, EditCachedY, EditCachedKV:
+		for t := e.Sched.Steps - 1; t >= 0; t-- {
+			eps, err := e.stepEps(x, t, cond, maskedIdx, modes, req.Template, req.Mode)
+			if err != nil {
+				return nil, err
+			}
+			stepsComputed++
+			x = e.update(x, eps, t, req.Mode, maskedIdx)
+		}
+	case EditTeaCache:
+		threshold := req.TeaCacheThreshold
+		if threshold <= 0 {
+			// Default to TeaCache's minimum-latency configuration (§6.1):
+			// the smallest threshold whose realized skip pattern computes
+			// no more than teaCacheComputeFraction of the steps.
+			threshold = e.teaCacheThresholdFor(teaCacheComputeFraction)
+		}
+		var lastEps *tensor.Matrix
+		lastComputedT := -1
+		accum := 0.0
+		for t := e.Sched.Steps - 1; t >= 0; t-- {
+			recompute := lastEps == nil
+			if !recompute {
+				accum += embeddingDrift(lastComputedT, t, cfg.Hidden)
+				recompute = accum >= threshold
+			}
+			if recompute {
+				eps, err := e.stepEps(x, t, cond, nil, nil, req.Template, EditTeaCache)
+				if err != nil {
+					return nil, err
+				}
+				lastEps, lastComputedT, accum = eps, t, 0
+				stepsComputed++
+			}
+			x = e.update(x, lastEps, t, req.Mode, maskedIdx)
+		}
+	default:
+		return nil, fmt.Errorf("diffusion: unknown edit mode %v", req.Mode)
+	}
+
+	out, err := e.Codec.Decode(x, cfg.LatentH, cfg.LatentW)
+	if err != nil {
+		return nil, err
+	}
+	return &EditResult{Image: out, StepsComputed: stepsComputed, FinalLatent: x}, nil
+}
+
+// stepEps evaluates the denoiser for one step under the request's mode,
+// running the classifier-free-guidance dual pass when the model config
+// enables it. For cached modes each pass uses its own activation cache, so
+// unmasked rows reproduce the template trajectory exactly under guidance
+// too.
+func (e *Engine) stepEps(x *tensor.Matrix, t int, cond []float32, maskedIdx []int, modes []model.ExecMode, tpl *TemplateCache, mode EditMode) (*tensor.Matrix, error) {
+	optsC := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes}
+	cached := mode == EditCachedY || mode == EditCachedKV
+	if cached {
+		optsC.Cached = tpl.Steps[t]
+	}
+	eps, err := e.Model.ForwardStep(x, t, cond, optsC)
+	if err != nil {
+		return nil, err
+	}
+	guidance := e.Model.Config().GuidanceScale
+	if guidance <= 0 {
+		return eps, nil
+	}
+	optsU := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes}
+	if cached {
+		optsU.Cached = tpl.UncondSteps[t]
+	}
+	epsU, err := e.Model.ForwardStep(x, t, nil, optsU)
+	if err != nil {
+		return nil, err
+	}
+	return guide(epsU, eps, guidance), nil
+}
+
+// guide combines the unconditional and conditional predictions:
+// ε = ε_u + g·(ε_c − ε_u).
+func guide(epsU, epsC *tensor.Matrix, g float64) *tensor.Matrix {
+	out := epsU.Clone()
+	for i := range out.Data {
+		out.Data[i] += float32(g) * (epsC.Data[i] - epsU.Data[i])
+	}
+	return out
+}
+
+// blockModes translates the request into per-block exec modes, honoring the
+// bubble-free pipeline's per-block cache decisions.
+func (e *Engine) blockModes(req EditRequest) []model.ExecMode {
+	n := e.Model.Config().NumBlocks
+	switch req.Mode {
+	case EditCachedY, EditCachedKV:
+		cachedMode := model.ExecCachedY
+		if req.Mode == EditCachedKV {
+			cachedMode = model.ExecCachedKV
+		}
+		modes := make([]model.ExecMode, n)
+		for i := range modes {
+			if req.UseCacheBlocks == nil || (i < len(req.UseCacheBlocks) && req.UseCacheBlocks[i]) {
+				modes[i] = cachedMode
+			} else {
+				modes[i] = model.ExecFull
+			}
+		}
+		// The final block always replenishes from cache: its unmasked
+		// output rows feed the latent update directly, so this pins the
+		// paper's exact-preservation guarantee regardless of the
+		// pipeline's compute-all choices upstream (a compute-all final
+		// block would let the edit bleed into unmasked pixels).
+		modes[n-1] = cachedMode
+		return modes
+	case EditNaiveSkip:
+		return model.UniformModes(n, model.ExecNaiveSkip)
+	default:
+		return nil // full
+	}
+}
+
+// update applies the DDIM step. For EditNaiveSkip the unmasked latent rows
+// are frozen (the naive baseline never touches them); every other mode
+// updates all rows (cached modes reproduce the template trajectory on
+// unmasked rows because their eps rows come from the cache).
+func (e *Engine) update(x, eps *tensor.Matrix, t int, mode EditMode, maskedIdx []int) *tensor.Matrix {
+	if mode == EditNaiveSkip {
+		return e.ddimUpdate(x, eps, t, maskedIdx)
+	}
+	return e.ddimUpdate(x, eps, t, nil)
+}
+
+// ddimUpdate applies the deterministic DDIM update element-wise. When
+// onlyRows is non-nil, only those latent rows are updated.
+func (e *Engine) ddimUpdate(x, eps *tensor.Matrix, t int, onlyRows []int) *tensor.Matrix {
+	out := x.Clone()
+	apply := func(row int) {
+		xr, er, or := x.Row(row), eps.Row(row), out.Row(row)
+		for j := range xr {
+			or[j] = float32(e.Sched.DDIMStep(float64(xr[j]), float64(er[j]), t))
+		}
+	}
+	if onlyRows != nil {
+		for _, r := range onlyRows {
+			apply(r)
+		}
+	} else {
+		for r := 0; r < x.R; r++ {
+			apply(r)
+		}
+	}
+	return out
+}
+
+// noisyInit builds x_T = √ᾱ_T·z0 + √(1-ᾱ_T)·ε, using templateNoise for all
+// rows and freshNoise for the masked rows (when provided).
+func (e *Engine) noisyInit(z0, templateNoise, freshNoise *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
+	s, n := e.Sched.SignalNoise(e.Sched.Steps - 1)
+	x := tensor.New(z0.R, z0.C)
+	for i := range x.Data {
+		x.Data[i] = float32(s)*z0.Data[i] + float32(n)*templateNoise.Data[i]
+	}
+	if freshNoise != nil {
+		for _, r := range maskedIdx {
+			zr, fr, xr := z0.Row(r), freshNoise.Row(r), x.Row(r)
+			for j := range xr {
+				xr[j] = float32(s)*zr[j] + float32(n)*fr[j]
+			}
+		}
+	}
+	return x
+}
+
+// teaCacheComputeFraction is the fraction of denoising steps the TeaCache
+// baseline computes at its minimum-latency, acceptable-quality setting
+// (mirrors perfmodel.TeaCacheStepFraction on the serving track).
+const teaCacheComputeFraction = 0.4
+
+// teaCacheThresholdFor returns the smallest drift threshold whose realized
+// skip pattern over this engine's schedule computes at most
+// ceil(fraction·Steps) denoising steps. It simulates the accumulate-and-
+// reset rule the TeaCache loop applies.
+func (e *Engine) teaCacheThresholdFor(fraction float64) float64 {
+	steps := e.Sched.Steps
+	target := int(math.Ceil(fraction * float64(steps)))
+	if target < 1 {
+		target = 1
+	}
+	computedWith := func(th float64) int {
+		computed := 1 // the first step always computes
+		lastT := steps - 1
+		accum := 0.0
+		for t := steps - 2; t >= 0; t-- {
+			accum += embeddingDrift(lastT, t, e.Model.Config().Hidden)
+			if accum >= th {
+				computed++
+				lastT, accum = t, 0
+			}
+		}
+		return computed
+	}
+	lo, hi := 0.0, 1.0
+	for computedWith(hi) > target {
+		hi *= 2
+		if hi > 1e6 {
+			break
+		}
+	}
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if computedWith(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// embeddingDrift returns the mean relative L1 change between the timestep
+// embeddings of steps a and b, the signal TeaCache thresholds on.
+func embeddingDrift(a, b, dim int) float64 {
+	ea := model.TimestepEmbedding(a, dim)
+	eb := model.TimestepEmbedding(b, dim)
+	var num, den float64
+	for i := range ea {
+		num += math.Abs(float64(ea[i]) - float64(eb[i]))
+		den += math.Abs(float64(ea[i]))
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,159 @@
+package diffusion
+
+import (
+	"fmt"
+
+	"flashps/internal/img"
+	"flashps/internal/model"
+	"flashps/internal/tensor"
+)
+
+// EditSession is an in-flight edit whose denoising steps are advanced one
+// at a time by the caller. It is the unit of FlashPS's continuous batching
+// (§4.3): the serving plane holds a batch of sessions, advances each by one
+// step per engine iteration, admits new sessions at step boundaries, and
+// retires sessions the moment they finish.
+type EditSession struct {
+	engine    *Engine
+	req       EditRequest
+	x         *tensor.Matrix
+	t         int // next step to execute (counts down to -1)
+	cond      []float32
+	maskedIdx []int
+	modes     []model.ExecMode
+
+	// TeaCache state.
+	teaThreshold float64
+	teaLastEps   *tensor.Matrix
+	teaLastT     int
+	teaAccum     float64
+
+	stepsComputed int
+}
+
+// BeginEdit validates the request and returns a session positioned before
+// the first denoising step. The same validation rules as Edit apply.
+func (e *Engine) BeginEdit(req EditRequest) (*EditSession, error) {
+	if req.Template == nil {
+		return nil, fmt.Errorf("diffusion: edit requires a template cache")
+	}
+	cfg := e.Model.Config()
+	var maskedIdx []int
+	if req.Mask != nil {
+		if req.Mask.H != cfg.LatentH || req.Mask.W != cfg.LatentW {
+			return nil, fmt.Errorf("diffusion: mask grid %d×%d does not match latent grid %d×%d",
+				req.Mask.H, req.Mask.W, cfg.LatentH, cfg.LatentW)
+		}
+		maskedIdx = req.Mask.MaskedIndices()
+	}
+	switch req.Mode {
+	case EditCachedY, EditCachedKV, EditNaiveSkip:
+		if len(maskedIdx) == 0 {
+			return nil, fmt.Errorf("diffusion: mode %v requires a non-empty mask", req.Mode)
+		}
+	case EditFull, EditTeaCache:
+	default:
+		return nil, fmt.Errorf("diffusion: unknown edit mode %v", req.Mode)
+	}
+	if req.Mode == EditCachedY || req.Mode == EditCachedKV {
+		if len(req.Template.Steps) != e.Sched.Steps {
+			return nil, fmt.Errorf("diffusion: template cache has %d steps, engine has %d",
+				len(req.Template.Steps), e.Sched.Steps)
+		}
+		if cfg.GuidanceScale > 0 && len(req.Template.UncondSteps) != e.Sched.Steps {
+			return nil, fmt.Errorf("diffusion: guidance requires an unconditional cache (%d steps, want %d)",
+				len(req.Template.UncondSteps), e.Sched.Steps)
+		}
+	}
+
+	cond := model.EmbedPrompt(req.Prompt, cfg.Hidden)
+	reqRNG := tensor.NewRNG(req.Seed ^ 0x5EED)
+	freshNoise := tensor.Randn(reqRNG, req.Template.Z0.R, req.Template.Z0.C, 1)
+	s := &EditSession{
+		engine:    e,
+		req:       req,
+		x:         e.noisyInit(req.Template.Z0, req.Template.Noise, freshNoise, maskedIdx),
+		t:         e.Sched.Steps - 1,
+		cond:      cond,
+		maskedIdx: maskedIdx,
+		modes:     e.blockModes(req),
+		teaLastT:  -1,
+	}
+	if req.Mode == EditTeaCache {
+		s.teaThreshold = req.TeaCacheThreshold
+		if s.teaThreshold <= 0 {
+			s.teaThreshold = e.teaCacheThresholdFor(teaCacheComputeFraction)
+		}
+	}
+	return s, nil
+}
+
+// RemainingSteps returns how many denoising steps are left.
+func (s *EditSession) RemainingSteps() int { return s.t + 1 }
+
+// Done reports whether all denoising steps have executed.
+func (s *EditSession) Done() bool { return s.t < 0 }
+
+// StepsComputed returns how many steps actually ran the model forward
+// (differs from total steps only under TeaCache).
+func (s *EditSession) StepsComputed() int { return s.stepsComputed }
+
+// Step executes one denoising step and reports whether the session is done.
+// Calling Step on a finished session is an error.
+func (s *EditSession) Step() (done bool, err error) {
+	if s.Done() {
+		return true, fmt.Errorf("diffusion: Step on finished session")
+	}
+	e := s.engine
+	t := s.t
+	switch s.req.Mode {
+	case EditTeaCache:
+		recompute := s.teaLastEps == nil
+		if !recompute {
+			s.teaAccum += embeddingDrift(s.teaLastT, t, e.Model.Config().Hidden)
+			recompute = s.teaAccum >= s.teaThreshold
+		}
+		if recompute {
+			eps, err := e.stepEps(s.x, t, s.cond, nil, nil, s.req.Template, EditTeaCache)
+			if err != nil {
+				return false, err
+			}
+			s.teaLastEps, s.teaLastT, s.teaAccum = eps, t, 0
+			s.stepsComputed++
+		}
+		s.x = e.update(s.x, s.teaLastEps, t, s.req.Mode, s.maskedIdx)
+	default:
+		eps, err := e.stepEps(s.x, t, s.cond, s.maskedIdx, s.modes, s.req.Template, s.req.Mode)
+		if err != nil {
+			return false, err
+		}
+		s.stepsComputed++
+		s.x = e.update(s.x, eps, t, s.req.Mode, s.maskedIdx)
+	}
+	s.t--
+	return s.Done(), nil
+}
+
+// Latent returns the current latent (aliased; callers must not mutate).
+func (s *EditSession) Latent() *tensor.Matrix { return s.x }
+
+// Decode renders the current latent into an image. It is usually called
+// once the session is done, but mid-session decoding is allowed (it shows
+// the partially denoised state).
+func (s *EditSession) Decode() (*img.Image, error) {
+	cfg := s.engine.Model.Config()
+	return s.engine.Codec.Decode(s.x, cfg.LatentH, cfg.LatentW)
+}
+
+// Result finalizes the session into an EditResult. It errors if steps
+// remain.
+func (s *EditSession) Result() (*EditResult, error) {
+	if !s.Done() {
+		return nil, fmt.Errorf("diffusion: Result with %d steps remaining", s.RemainingSteps())
+	}
+	im, err := s.Decode()
+	if err != nil {
+		return nil, err
+	}
+	return &EditResult{Image: im, StepsComputed: s.stepsComputed, FinalLatent: s.x}, nil
+}

@@ -1,0 +1,147 @@
+package diffusion
+
+import (
+	"testing"
+
+	"flashps/internal/img"
+	"flashps/internal/mask"
+)
+
+func TestSessionMatchesEdit(t *testing.T) {
+	// Advancing a session step-by-step must produce byte-identical output
+	// to the monolithic Edit call, for every mode.
+	e := newTestEngine(t)
+	tc, _ := testTemplate(t, e, true)
+	m := mask.Rect(testCfg.LatentH, testCfg.LatentW, 1, 1, 4, 4)
+	for _, mode := range []EditMode{EditFull, EditCachedY, EditCachedKV, EditNaiveSkip, EditTeaCache} {
+		req := EditRequest{Template: tc, Mask: m, Prompt: "p", Seed: 5, Mode: mode}
+		want, err := e.Edit(req)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		s, err := e.BeginEdit(req)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		steps := 0
+		for !s.Done() {
+			done, err := s.Step()
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			steps++
+			if done != s.Done() {
+				t.Fatalf("%v: Step return inconsistent with Done", mode)
+			}
+		}
+		if steps != testCfg.Steps {
+			t.Fatalf("%v: executed %d steps", mode, steps)
+		}
+		got, err := s.Result()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if img.MSE(got.Image, want.Image) != 0 {
+			t.Fatalf("%v: session output differs from Edit output", mode)
+		}
+		if got.StepsComputed != want.StepsComputed {
+			t.Fatalf("%v: StepsComputed %d vs %d", mode, got.StepsComputed, want.StepsComputed)
+		}
+	}
+}
+
+func TestSessionLifecycleErrors(t *testing.T) {
+	e := newTestEngine(t)
+	tc, _ := testTemplate(t, e, false)
+	m := mask.Rect(testCfg.LatentH, testCfg.LatentW, 0, 0, 2, 2)
+	if _, err := e.BeginEdit(EditRequest{Mode: EditFull}); err == nil {
+		t.Fatal("nil template accepted")
+	}
+	if _, err := e.BeginEdit(EditRequest{Template: tc, Mode: EditCachedY}); err == nil {
+		t.Fatal("cached mode without mask accepted")
+	}
+	if _, err := e.BeginEdit(EditRequest{Template: tc, Mask: m, Mode: EditMode(55)}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	s, err := e.BeginEdit(EditRequest{Template: tc, Mask: m, Mode: EditCachedY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Result(); err == nil {
+		t.Fatal("Result before completion accepted")
+	}
+	if s.RemainingSteps() != testCfg.Steps {
+		t.Fatalf("RemainingSteps = %d", s.RemainingSteps())
+	}
+	for !s.Done() {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Step(); err == nil {
+		t.Fatal("Step after completion accepted")
+	}
+}
+
+func TestSessionMidDecode(t *testing.T) {
+	e := newTestEngine(t)
+	tc, _ := testTemplate(t, e, false)
+	m := mask.Rect(testCfg.LatentH, testCfg.LatentW, 0, 0, 3, 3)
+	s, err := e.BeginEdit(EditRequest{Template: tc, Mask: m, Prompt: "q", Seed: 2, Mode: EditCachedY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	im, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im == nil {
+		t.Fatal("mid-session decode returned nil")
+	}
+	if s.Latent() == nil {
+		t.Fatal("Latent returned nil")
+	}
+}
+
+func TestSessionsInterleave(t *testing.T) {
+	// Two interleaved sessions (continuous batching's core pattern) must
+	// not interfere with each other.
+	e := newTestEngine(t)
+	tc, _ := testTemplate(t, e, false)
+	mA := mask.Rect(testCfg.LatentH, testCfg.LatentW, 0, 0, 3, 3)
+	mB := mask.Rect(testCfg.LatentH, testCfg.LatentW, 2, 2, 5, 5)
+	reqA := EditRequest{Template: tc, Mask: mA, Prompt: "a", Seed: 1, Mode: EditCachedY}
+	reqB := EditRequest{Template: tc, Mask: mB, Prompt: "b", Seed: 2, Mode: EditCachedY}
+
+	soloA, _ := e.Edit(reqA)
+	soloB, _ := e.Edit(reqB)
+
+	sA, err := e.BeginEdit(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := e.BeginEdit(reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !sA.Done() || !sB.Done() {
+		if !sA.Done() {
+			if _, err := sA.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !sB.Done() {
+			if _, err := sB.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rA, _ := sA.Result()
+	rB, _ := sB.Result()
+	if img.MSE(rA.Image, soloA.Image) != 0 || img.MSE(rB.Image, soloB.Image) != 0 {
+		t.Fatal("interleaved sessions diverge from solo execution")
+	}
+}

@@ -1,0 +1,126 @@
+package diffusion
+
+import (
+	"testing"
+
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	"flashps/internal/model"
+)
+
+// NewUNetEngine-style integration: the engine machinery (template passes,
+// editing, sessions) must work unchanged over the multi-resolution
+// backbone.
+func newUNetEngine(t testing.TB) *Engine {
+	t.Helper()
+	cfg := model.UNetConfig{
+		Name: "unet-eng", LatentH: 8, LatentW: 8, Hidden: 32, Heads: 4,
+		FFNMult: 4, Steps: 5, LatentChannels: 4,
+		Encoder: []model.UNetStage{{Blocks: 1, Factor: 1}, {Blocks: 1, Factor: 2}},
+		Middle:  model.UNetStage{Blocks: 1, Factor: 4},
+	}
+	u, err := model.NewUNet(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngineWith(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestUNetEngineEditPreservesUnmasked(t *testing.T) {
+	e := newUNetEngine(t)
+	cfg := e.Model.Config()
+	h, w := e.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	tc, tplOut, err := e.PrepareTemplate(3, img.SynthTemplate(3, h, w), "p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mask.Rect(cfg.LatentH, cfg.LatentW, 2, 2, 5, 5)
+	res, err := e.Edit(EditRequest{Template: tc, Mask: m, Prompt: "edit", Seed: 4, Mode: EditCachedY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch := e.Codec.Patch
+	for ly := 0; ly < cfg.LatentH; ly++ {
+		for lx := 0; lx < cfg.LatentW; lx++ {
+			if m.At(ly, lx) {
+				continue
+			}
+			r0, g0, b0 := tplOut.At(ly*patch, lx*patch)
+			r1, g1, b1 := res.Image.At(ly*patch, lx*patch)
+			if r0 != r1 || g0 != g1 || b0 != b1 {
+				t.Fatalf("unmasked latent cell (%d,%d) changed", ly, lx)
+			}
+		}
+	}
+	if img.MSE(res.Image, tplOut) == 0 {
+		t.Fatal("edit changed nothing")
+	}
+}
+
+func TestUNetEngineQualityVsFull(t *testing.T) {
+	e := newUNetEngine(t)
+	cfg := e.Model.Config()
+	h, w := e.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	tc, _, err := e.PrepareTemplate(5, img.SynthTemplate(5, h, w), "p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mask.Rect(cfg.LatentH, cfg.LatentW, 0, 0, 4, 4)
+	req := EditRequest{Template: tc, Mask: m, Prompt: "q", Seed: 9}
+	full := mustEdit(t, e, req, EditFull)
+	cached := mustEdit(t, e, req, EditCachedY)
+	naive := mustEdit(t, e, req, EditNaiveSkip)
+	if img.MSE(cached.Image, full.Image) >= img.MSE(naive.Image, full.Image) {
+		t.Fatal("UNet cached edit should be closer to full than naive skip")
+	}
+}
+
+func TestUNetEngineSessionMatchesEdit(t *testing.T) {
+	e := newUNetEngine(t)
+	cfg := e.Model.Config()
+	h, w := e.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	tc, _, err := e.PrepareTemplate(6, img.SynthTemplate(6, h, w), "p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mask.Rect(cfg.LatentH, cfg.LatentW, 1, 1, 4, 4)
+	req := EditRequest{Template: tc, Mask: m, Prompt: "s", Seed: 2, Mode: EditCachedY}
+	want, err := e.Edit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.BeginEdit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.MSE(got.Image, want.Image) != 0 {
+		t.Fatal("UNet session diverges from Edit")
+	}
+}
+
+func TestUNetEngineRejectsKVMode(t *testing.T) {
+	e := newUNetEngine(t)
+	cfg := e.Model.Config()
+	h, w := e.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	tc, _, err := e.PrepareTemplate(7, img.SynthTemplate(7, h, w), "p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mask.Rect(cfg.LatentH, cfg.LatentW, 0, 0, 2, 2)
+	if _, err := e.Edit(EditRequest{Template: tc, Mask: m, Mode: EditCachedKV}); err == nil {
+		t.Fatal("UNet backbone should reject cached-kv mode")
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"flashps/internal/model"
+	"flashps/internal/perfmodel"
+	"flashps/internal/sched"
+	"flashps/internal/serve"
+)
+
+func init() {
+	register("overhead", overhead)
+}
+
+// overhead measures the paper's §6.6 per-request system overheads on the
+// real Go serving plane: scheduler decision time, per-step batch
+// organization, latent serialization and stage hand-off. The paper reports
+// 0.6 / 1.2 / 1.1+1.3 ms on its Python/ZeroMQ stack; the Go plane's
+// overheads are smaller but equally negligible against request latencies.
+func overhead(opts Options) ([]*Table, error) {
+	srv, err := serve.New(serve.Config{
+		Model: model.Config{
+			Name: "overhead", LatentH: 6, LatentW: 6, Hidden: 32,
+			NumBlocks: 3, FFNMult: 4, Steps: 6, LatentChannels: 4,
+		},
+		Profile: perfmodel.SD21Paper,
+		Workers: 2, MaxBatch: 4, Policy: sched.MaskAware,
+		Seed: opts.Seed ^ 0x0E4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	defer srv.Close()
+
+	for id := uint64(1); id <= 2; id++ {
+		if _, err := srv.Prepare(serve.PrepareRequest{TemplateID: id, ImageSeed: id, Prompt: "t"}); err != nil {
+			return nil, err
+		}
+	}
+	n := 40
+	if opts.Quick {
+		n = 12
+	}
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			_, err := srv.SubmitEdit(context.Background(), serve.EditRequestAPI{
+				TemplateID: uint64(i%2 + 1),
+				Prompt:     fmt.Sprintf("edit %d", i),
+				Seed:       uint64(i),
+				Mask:       serve.MaskSpec{Type: "ratio", Ratio: 0.1 + 0.02*float64(i%10), Seed: uint64(i)},
+			})
+			done <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			return nil, err
+		}
+	}
+	st := srv.Snapshot()
+	t := &Table{
+		Title:  "§6.6 — system overheads measured on the live serving plane",
+		Note:   "Paper (Python/ZeroMQ): scheduling 0.6 ms, batching 1.2 ms/step, serialization 1.1 ms, IPC 1.3 ms. All are negligible against second-scale request latencies.",
+		Header: []string{"overhead source", "measured (µs)", "paper (µs)"},
+	}
+	t.AddRow("scheduler decision (per request)", f1(st.ScheduleDecisionUS), "600")
+	t.AddRow("batch organization (per step)", f1(st.BatchOrganizeUS), "1200")
+	t.AddRow("latent serialization (per request)", f1(st.SerializeUS), "1100")
+	t.AddRow("stage hand-off / IPC (per request)", f1(st.HandoffUS), "1300")
+	t.AddRow("completed requests", itoa(st.Completed), "-")
+	t.AddRow("mean total latency (ms)", f1(st.MeanTotalMS), "-")
+	return []*Table{t}, nil
+}

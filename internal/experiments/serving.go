@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flashps/internal/cluster"
+	"flashps/internal/perfmodel"
+	"flashps/internal/workload"
+)
+
+func init() {
+	register("fig4mid", fig4Mid)
+	register("fig4right", fig4Right)
+	register("fig12", fig12)
+	register("fig14", fig14)
+	register("fig16left", fig16Left)
+	register("fig16right", fig16Right)
+	register("coldcache", ablationColdCache)
+	register("utilization", utilization)
+}
+
+// utilization reports GPU occupancy and batching effectiveness per system
+// (the paper's C2 claim: continuous batching raises GPU utilization while
+// cutting queueing).
+func utilization(opts Options) ([]*Table, error) {
+	reqs, err := traceFor(opts, 150, 10, workload.VITONTrace, 8, 0x07E1)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "§4.3 — GPU utilization and batching effectiveness (SDXL, 8 workers, RPS 10)",
+		Note:   "Mean batch size is the running-batch occupancy per executed denoising step.",
+		Header: []string{"system", "mean batch size", "busy fraction", "mean latency (s)", "throughput (req/s)"},
+	}
+	systems := []struct {
+		name     string
+		system   cluster.System
+		batching cluster.Batching
+		policy   cluster.Policy
+	}{
+		{"flashps", cluster.SystemFlashPS, cluster.BatchingDisaggregated, cluster.PolicyMaskAware},
+		{"flashps-static", cluster.SystemFlashPS, cluster.BatchingStatic, cluster.PolicyMaskAware},
+		{"diffusers", cluster.SystemDiffusers, cluster.BatchingStatic, cluster.PolicyLeastRequests},
+		{"teacache", cluster.SystemTeaCache, cluster.BatchingStatic, cluster.PolicyLeastRequests},
+	}
+	for _, sys := range systems {
+		res, err := cluster.Run(cluster.Config{
+			System: sys.system, Batching: sys.batching, Policy: sys.policy,
+			Workers: 8, Profile: perfmodel.SDXLPaper, Seed: opts.Seed,
+		}, reqs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sys.name, f2(res.MeanBatchSize()), f2(res.BusyFraction()),
+			f2(res.Latencies().Mean()), f2(res.Throughput()))
+	}
+	return []*Table{t}, nil
+}
+
+func traceFor(opts Options, n int, rps float64, dist workload.MaskDist, templates int, salt uint64) ([]workload.Request, error) {
+	if opts.Quick {
+		n /= 4
+		if n < 20 {
+			n = 20
+		}
+	}
+	return workload.Generate(workload.TraceConfig{
+		N: n, RPS: rps, Dist: dist, Templates: templates, ZipfS: 1.1,
+		Seed: opts.Seed ^ salt,
+	})
+}
+
+// fig4Mid reproduces the motivating queueing comparison: static batching
+// vs FlashPS's continuous batching on a Flux worker across request rates.
+func fig4Mid(opts Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Fig 4-Middle — queueing time: static vs continuous batching (Flux, 1 worker)",
+		Note:   "Paper anchor: static batching roughly doubles average queueing delay.",
+		Header: []string{"RPS", "static queue (s)", "continuous queue (s)", "static/continuous"},
+	}
+	for _, rps := range []float64{0.3, 0.5, 0.7} {
+		reqs, err := traceFor(opts, 80, rps, workload.ProductionTrace, 6, 0x4A1)
+		if err != nil {
+			return nil, err
+		}
+		run := func(b cluster.Batching) (float64, error) {
+			res, err := cluster.Run(cluster.Config{
+				System: cluster.SystemFlashPS, Batching: b,
+				Policy: cluster.PolicyLeastRequests, Workers: 1,
+				Profile: perfmodel.FluxPaper, Seed: opts.Seed,
+			}, reqs)
+			if err != nil {
+				return 0, err
+			}
+			return res.QueueTimes().Mean(), nil
+		}
+		qs, err := run(cluster.BatchingStatic)
+		if err != nil {
+			return nil, err
+		}
+		qc, err := run(cluster.BatchingDisaggregated)
+		if err != nil {
+			return nil, err
+		}
+		ratio := "inf"
+		if qc > 0 {
+			ratio = f2(qs / qc)
+		}
+		t.AddRow(f2(rps), f2(qs), f2(qc), ratio)
+	}
+	return []*Table{t}, nil
+}
+
+// fig4Right reproduces the motivating load-balance comparison: P95 latency
+// under naive request-granularity balancing vs mask-aware balancing.
+func fig4Right(opts Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Fig 4-Right — P95 latency: naive vs mask-aware load balance (Flux, 8 workers)",
+		Note:   "Paper anchor: naive balancing inflates P95 by ≈32%.",
+		Header: []string{"RPS", "naive P95 (s)", "mask-aware P95 (s)", "inflation"},
+	}
+	for _, rps := range []float64{2.0, 4.0} {
+		reqs, err := traceFor(opts, 160, rps, workload.ProductionTrace, 10, 0x4A2)
+		if err != nil {
+			return nil, err
+		}
+		run := func(p cluster.Policy) (float64, error) {
+			res, err := cluster.Run(cluster.Config{
+				System: cluster.SystemFlashPS, Batching: cluster.BatchingDisaggregated,
+				Policy: p, Workers: 8, Profile: perfmodel.FluxPaper, Seed: opts.Seed,
+			}, reqs)
+			if err != nil {
+				return 0, err
+			}
+			return res.Latencies().P95(), nil
+		}
+		naive, err := run(cluster.PolicyLeastRequests)
+		if err != nil {
+			return nil, err
+		}
+		aware, err := run(cluster.PolicyMaskAware)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f2(rps), f2(naive), f2(aware), f1((naive/aware-1)*100)+"%")
+	}
+	return []*Table{t}, nil
+}
+
+// fig12 reproduces the end-to-end serving comparison across all systems,
+// models and request rates, plus the queueing breakdown at the highest
+// rate (the paper's rightmost panel).
+func fig12(opts Options) ([]*Table, error) {
+	type sysDef struct {
+		name     string
+		system   cluster.System
+		batching cluster.Batching
+		policy   cluster.Policy
+	}
+	flash := sysDef{"flashps", cluster.SystemFlashPS, cluster.BatchingDisaggregated, cluster.PolicyMaskAware}
+	diffusers := sysDef{"diffusers", cluster.SystemDiffusers, cluster.BatchingStatic, cluster.PolicyLeastRequests}
+	teacache := sysDef{"teacache", cluster.SystemTeaCache, cluster.BatchingStatic, cluster.PolicyLeastRequests}
+	fisedit := sysDef{"fisedit", cluster.SystemFISEdit, cluster.BatchingStatic, cluster.PolicyLeastRequests}
+
+	// Baselines per model follow the paper's setup (§6.1, artifact E1/E2):
+	// FISEdit only supports SD2.1; TeaCache is evaluated on SDXL and Flux.
+	models := []struct {
+		profile perfmodel.ModelProfile
+		dist    workload.MaskDist
+		rps     []float64
+		systems []sysDef
+	}{
+		{perfmodel.SD21Paper, workload.ProductionTrace, []float64{2, 6, 10}, []sysDef{flash, diffusers, fisedit}},
+		{perfmodel.SDXLPaper, workload.VITONTrace, []float64{2, 4, 6}, []sysDef{flash, diffusers, teacache}},
+		{perfmodel.FluxPaper, workload.ProductionTrace, []float64{1, 2, 3}, []sysDef{flash, diffusers, teacache}},
+	}
+
+	var out []*Table
+	for _, mdl := range models {
+		t := &Table{
+			Title: fmt.Sprintf("Fig 12 — end-to-end latency, %s on %s (8 workers)",
+				mdl.profile.Name, mdl.profile.GPU.Name),
+			Note:   "Mean / P95 request latency in seconds per system and RPS. FISEdit runs only on SD2.1.",
+			Header: []string{"system"},
+		}
+		for _, rps := range mdl.rps {
+			t.Header = append(t.Header, fmt.Sprintf("RPS %.1f mean", rps), fmt.Sprintf("RPS %.1f p95", rps))
+		}
+		queue := &Table{
+			Title:  fmt.Sprintf("Fig 12 rightmost — queueing time at RPS %.1f, %s", mdl.rps[len(mdl.rps)-1], mdl.profile.Name),
+			Header: []string{"system", "mean queue (s)", "share of latency"},
+		}
+		for _, sys := range mdl.systems {
+			row := []string{sys.name}
+			var lastRes *cluster.Result
+			for _, rps := range mdl.rps {
+				reqs, err := traceFor(opts, 120, rps, mdl.dist, 8, 0xF12)
+				if err != nil {
+					return nil, err
+				}
+				res, err := cluster.Run(cluster.Config{
+					System: sys.system, Batching: sys.batching, Policy: sys.policy,
+					Workers: 8, Profile: mdl.profile, Seed: opts.Seed,
+				}, reqs)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(res.Latencies().Mean()), f2(res.Latencies().P95()))
+				lastRes = res
+			}
+			t.AddRow(row...)
+			q := lastRes.QueueTimes().Mean()
+			l := lastRes.Latencies().Mean()
+			queue.AddRow(sys.name, f2(q), f1(q/l*100)+"%")
+		}
+		out = append(out, t, queue)
+	}
+	return out, nil
+}
+
+// fig14 reproduces the engine-throughput study: images/s vs batch size for
+// each system's engine with aligned batches on one template.
+func fig14(Options) ([]*Table, error) {
+	var out []*Table
+	for _, p := range []perfmodel.ModelProfile{perfmodel.SDXLPaper, perfmodel.FluxPaper} {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 14 — engine throughput vs batch size (%s, %s)", p.Name, p.GPU.Name),
+			Note:   "Images/s, aligned batch on one template, mask ratio 0.19. TeaCache leads at B=1; FlashPS overtakes with batching (paper: up to 3× at B≥2).",
+			Header: []string{"batch", "flashps", "diffusers", "teacache", "flashps/diffusers"},
+		}
+		for _, b := range []int{1, 2, 4, 8} {
+			batch := make([]cluster.ReqView, b)
+			for i := range batch {
+				batch[i] = cluster.ReqView{Template: 1, MaskRatio: 0.19, StepIndex: 0}
+			}
+			flashLat := cluster.StepLatency(cluster.SystemFlashPS, p, batch) * float64(p.Steps)
+			diffLat := cluster.StepLatency(cluster.SystemDiffusers, p, batch) * float64(p.Steps)
+			teaLat := diffLat * perfmodel.TeaCacheStepFraction
+			flash := float64(b) / flashLat
+			diff := float64(b) / diffLat
+			tea := float64(b) / teaLat
+			t.AddRow(itoa(b), f2(flash), f2(diff), f2(tea), f2(flash/diff))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// fig16Left reproduces the batching-strategy microbenchmark on one Flux
+// worker: static vs strawman continuous vs disaggregated continuous.
+func fig16Left(opts Options) ([]*Table, error) {
+	reqs, err := traceFor(opts, 80, 0.5, workload.ProductionTrace, 4, 0xF16A)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 16-Left — batching strategies (Flux, 1 worker, RPS 0.5, max batch 8)",
+		Note:   "Paper anchors: static +35% and strawman +40% P95 vs disaggregated; strawman interruptions median ≈6 / P95 ≈8.",
+		Header: []string{"strategy", "P95 latency (s)", "mean latency (s)", "mean inference (s)", "interruptions p50", "interruptions p95"},
+	}
+	for _, b := range []cluster.Batching{cluster.BatchingStatic, cluster.BatchingStrawman, cluster.BatchingDisaggregated} {
+		res, err := cluster.Run(cluster.Config{
+			System: cluster.SystemFlashPS, Batching: b,
+			Policy: cluster.PolicyLeastRequests, Workers: 1,
+			Profile: perfmodel.FluxPaper, Seed: opts.Seed,
+		}, reqs)
+		if err != nil {
+			return nil, err
+		}
+		ints := res.Interruptions()
+		t.AddRow(b.String(), f2(res.Latencies().P95()), f2(res.Latencies().Mean()),
+			f2(res.InferenceTimes().Mean()), f1(ints.P50()), f1(ints.P95()))
+	}
+	return []*Table{t}, nil
+}
+
+// fig16Right reproduces the load-balance policy comparison at low and high
+// per-worker traffic.
+func fig16Right(opts Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Fig 16-Right — load-balance policies (Flux, 4 workers)",
+		Note:   "Paper anchor: comparable at RPS 0.25/worker; request/token-granularity up to +35% P95 at RPS 0.5/worker.",
+		Header: []string{"policy", "P95 @ 0.25/worker (s)", "P95 @ 0.5/worker (s)"},
+	}
+	policies := []struct {
+		name string
+		p    cluster.Policy
+	}{
+		{"request-granularity", cluster.PolicyLeastRequests},
+		{"token-granularity", cluster.PolicyLeastTokens},
+		{"mask-aware (ours)", cluster.PolicyMaskAware},
+	}
+	for _, pol := range policies {
+		row := []string{pol.name}
+		for _, perWorker := range []float64{0.25, 0.5} {
+			reqs, err := traceFor(opts, 120, perWorker*4, workload.ProductionTrace, 10, 0xF16B)
+			if err != nil {
+				return nil, err
+			}
+			res, err := cluster.Run(cluster.Config{
+				System: cluster.SystemFlashPS, Batching: cluster.BatchingDisaggregated,
+				Policy: pol.p, Workers: 4, Profile: perfmodel.FluxPaper, Seed: opts.Seed,
+			}, reqs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(res.Latencies().P95()))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// ablationColdCache compares warm host caches against cold caches that
+// stage templates from disk while requests queue (§4.2).
+func ablationColdCache(opts Options) ([]*Table, error) {
+	reqs, err := traceFor(opts, 60, 1.0, workload.ProductionTrace, 12, 0xC01D)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "§4.2 ablation — hierarchical storage: warm vs cold host cache (SDXL, 2 workers)",
+		Note:   "Cold templates stage from disk (≈6.4 s for an SDXL template) overlapped with queueing.",
+		Header: []string{"host cache", "mean latency (s)", "P95 latency (s)", "mean queue (s)"},
+	}
+	for _, cold := range []int{0, 4} {
+		label := "warm (all templates)"
+		if cold > 0 {
+			label = fmt.Sprintf("cold (LRU, %d templates)", cold)
+		}
+		res, err := cluster.Run(cluster.Config{
+			System: cluster.SystemFlashPS, Batching: cluster.BatchingDisaggregated,
+			Policy: cluster.PolicyMaskAware, Workers: 2,
+			Profile: perfmodel.SDXLPaper, ColdCacheTemplates: cold, Seed: opts.Seed,
+		}, reqs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(label, f2(res.Latencies().Mean()), f2(res.Latencies().P95()), f2(res.QueueTimes().Mean()))
+	}
+	return []*Table{t}, nil
+}

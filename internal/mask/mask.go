@@ -1,0 +1,167 @@
+// Package mask represents edit masks over the latent token grid of a
+// diffusion model and provides generators for the mask shapes observed in
+// production image-editing traces (rectangles, ellipses, and irregular
+// blobs of arbitrary shape).
+//
+// A mask partitions the L = H×W latent tokens into masked tokens (the
+// region being edited) and unmasked tokens (the region preserved from the
+// image template). The mask ratio m = |masked| / L drives both the
+// computational load of mask-aware inference and the size of the cached
+// activations (paper Table 1).
+package mask
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Mask is a binary mask over an H×W latent token grid. Bits[i] == true
+// means token i (row-major) is masked, i.e. inside the edit region.
+type Mask struct {
+	H, W int
+	Bits []bool
+}
+
+// New returns an all-unmasked H×W mask.
+func New(h, w int) *Mask {
+	if h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("mask: invalid grid %d×%d", h, w))
+	}
+	return &Mask{H: h, W: w, Bits: make([]bool, h*w)}
+}
+
+// Tokens returns the total number of tokens L = H×W.
+func (m *Mask) Tokens() int { return m.H * m.W }
+
+// At reports whether the token at grid position (y, x) is masked.
+func (m *Mask) At(y, x int) bool { return m.Bits[y*m.W+x] }
+
+// Set marks the token at (y, x) as masked (v=true) or unmasked (v=false).
+func (m *Mask) Set(y, x int, v bool) { m.Bits[y*m.W+x] = v }
+
+// MaskedCount returns the number of masked tokens.
+func (m *Mask) MaskedCount() int {
+	n := 0
+	for _, b := range m.Bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Ratio returns the mask ratio m = masked tokens / total tokens.
+func (m *Mask) Ratio() float64 {
+	return float64(m.MaskedCount()) / float64(m.Tokens())
+}
+
+// MaskedIndices returns the token indices (row-major) that are masked,
+// in increasing order.
+func (m *Mask) MaskedIndices() []int {
+	idx := make([]int, 0, m.MaskedCount())
+	for i, b := range m.Bits {
+		if b {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// UnmaskedIndices returns the token indices that are not masked,
+// in increasing order.
+func (m *Mask) UnmaskedIndices() []int {
+	idx := make([]int, 0, m.Tokens()-m.MaskedCount())
+	for i, b := range m.Bits {
+		if !b {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Clone returns a deep copy of m.
+func (m *Mask) Clone() *Mask {
+	out := New(m.H, m.W)
+	copy(out.Bits, m.Bits)
+	return out
+}
+
+// Invert flips every bit in place and returns m.
+func (m *Mask) Invert() *Mask {
+	for i := range m.Bits {
+		m.Bits[i] = !m.Bits[i]
+	}
+	return m
+}
+
+// Union returns a new mask that is the union of a and b.
+// It panics if the grids differ.
+func Union(a, b *Mask) *Mask {
+	if a.H != b.H || a.W != b.W {
+		panic("mask: Union grid mismatch")
+	}
+	out := New(a.H, a.W)
+	for i := range out.Bits {
+		out.Bits[i] = a.Bits[i] || b.Bits[i]
+	}
+	return out
+}
+
+// Intersect returns a new mask that is the intersection of a and b.
+func Intersect(a, b *Mask) *Mask {
+	if a.H != b.H || a.W != b.W {
+		panic("mask: Intersect grid mismatch")
+	}
+	out := New(a.H, a.W)
+	for i := range out.Bits {
+		out.Bits[i] = a.Bits[i] && b.Bits[i]
+	}
+	return out
+}
+
+// Equal reports whether two masks have the same grid and bits.
+func Equal(a, b *Mask) bool {
+	if a.H != b.H || a.W != b.W {
+		return false
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a stable 64-bit hash of the mask contents, used as
+// part of activation-cache keys.
+func (m *Mask) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = byte(m.H)
+	buf[1] = byte(m.H >> 8)
+	buf[2] = byte(m.W)
+	buf[3] = byte(m.W >> 8)
+	h.Write(buf[:4])
+	var acc byte
+	var nbits int
+	for _, b := range m.Bits {
+		acc <<= 1
+		if b {
+			acc |= 1
+		}
+		nbits++
+		if nbits == 8 {
+			h.Write([]byte{acc})
+			acc, nbits = 0, 0
+		}
+	}
+	if nbits > 0 {
+		h.Write([]byte{acc})
+	}
+	return h.Sum64()
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (m *Mask) String() string {
+	return fmt.Sprintf("Mask(%d×%d, ratio=%.3f)", m.H, m.W, m.Ratio())
+}

@@ -1,0 +1,299 @@
+package mask
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flashps/internal/tensor"
+)
+
+func TestNewAllUnmasked(t *testing.T) {
+	m := New(4, 5)
+	if m.MaskedCount() != 0 {
+		t.Fatal("new mask should be all-unmasked")
+	}
+	if m.Tokens() != 20 {
+		t.Fatalf("Tokens() = %d want 20", m.Tokens())
+	}
+	if m.Ratio() != 0 {
+		t.Fatalf("Ratio() = %g want 0", m.Ratio())
+	}
+}
+
+func TestNewPanicsOnBadGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := New(3, 3)
+	m.Set(1, 2, true)
+	if !m.At(1, 2) {
+		t.Fatal("At after Set = false")
+	}
+	if m.MaskedCount() != 1 {
+		t.Fatalf("MaskedCount = %d want 1", m.MaskedCount())
+	}
+}
+
+func TestIndicesPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		h, w := 1+rng.Intn(10), 1+rng.Intn(10)
+		m := New(h, w)
+		for i := range m.Bits {
+			m.Bits[i] = rng.Float64() < 0.4
+		}
+		masked := m.MaskedIndices()
+		unmasked := m.UnmaskedIndices()
+		if len(masked)+len(unmasked) != m.Tokens() {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, i := range masked {
+			if !m.Bits[i] || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for _, i := range unmasked {
+			if m.Bits[i] || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return len(seen) == m.Tokens()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndicesSorted(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m := WithRatio(rng, 8, 8, 0.3)
+	prev := -1
+	for _, i := range m.MaskedIndices() {
+		if i <= prev {
+			t.Fatal("MaskedIndices not strictly increasing")
+		}
+		prev = i
+	}
+}
+
+func TestInvertInvolution(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	m := WithRatio(rng, 6, 6, 0.25)
+	orig := m.Clone()
+	m.Invert()
+	if Equal(m, orig) {
+		t.Fatal("Invert should change a partial mask")
+	}
+	m.Invert()
+	if !Equal(m, orig) {
+		t.Fatal("double Invert should restore")
+	}
+}
+
+func TestInvertRatioComplement(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	m := WithRatio(rng, 10, 10, 0.3)
+	r := m.Ratio()
+	m.Invert()
+	if math.Abs(m.Ratio()-(1-r)) > 1e-12 {
+		t.Fatalf("invert ratio %g want %g", m.Ratio(), 1-r)
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a := Rect(4, 4, 0, 0, 2, 2)
+	b := Rect(4, 4, 1, 1, 3, 3)
+	u := Union(a, b)
+	i := Intersect(a, b)
+	if u.MaskedCount() != 7 { // 4+4-1
+		t.Fatalf("union count = %d want 7", u.MaskedCount())
+	}
+	if i.MaskedCount() != 1 {
+		t.Fatalf("intersect count = %d want 1", i.MaskedCount())
+	}
+	if !i.At(1, 1) {
+		t.Fatal("intersection should contain (1,1)")
+	}
+}
+
+func TestUnionGridMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Union(New(2, 2), New(3, 3))
+}
+
+func TestRectClamping(t *testing.T) {
+	m := Rect(4, 4, -5, -5, 10, 10)
+	if m.MaskedCount() != 16 {
+		t.Fatalf("clamped full rect count = %d want 16", m.MaskedCount())
+	}
+}
+
+func TestRectExactCells(t *testing.T) {
+	m := Rect(4, 6, 1, 2, 3, 5)
+	if m.MaskedCount() != 2*3 {
+		t.Fatalf("count = %d want 6", m.MaskedCount())
+	}
+	if !m.At(1, 2) || !m.At(2, 4) || m.At(3, 5) || m.At(0, 0) {
+		t.Fatal("rect cells wrong")
+	}
+}
+
+func TestEllipseCentered(t *testing.T) {
+	m := Ellipse(9, 9, 4, 4, 2.5, 2.5)
+	if !m.At(4, 4) {
+		t.Fatal("ellipse center should be masked")
+	}
+	if m.At(0, 0) || m.At(8, 8) {
+		t.Fatal("ellipse corners should be unmasked")
+	}
+	// Symmetry about center.
+	for y := 0; y < 9; y++ {
+		for x := 0; x < 9; x++ {
+			if m.At(y, x) != m.At(8-y, 8-x) {
+				t.Fatalf("ellipse not symmetric at (%d,%d)", y, x)
+			}
+		}
+	}
+}
+
+func TestEllipseDegenerateRadii(t *testing.T) {
+	m := Ellipse(5, 5, 2, 2, 0, 2)
+	if m.MaskedCount() != 0 {
+		t.Fatal("zero-radius ellipse should be empty")
+	}
+}
+
+func TestBlobTargetCount(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	for _, target := range []int{1, 5, 17, 64} {
+		m := Blob(rng, 8, 8, target)
+		if m.MaskedCount() != target {
+			t.Fatalf("Blob(%d) count = %d", target, m.MaskedCount())
+		}
+	}
+}
+
+func TestBlobClampsTarget(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := Blob(rng, 3, 3, 1000)
+	if m.MaskedCount() != 9 {
+		t.Fatalf("oversized Blob count = %d want 9", m.MaskedCount())
+	}
+	m = Blob(rng, 3, 3, -2)
+	if m.MaskedCount() != 1 {
+		t.Fatalf("negative-target Blob count = %d want 1", m.MaskedCount())
+	}
+}
+
+func TestBlobConnected(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	m := Blob(rng, 12, 12, 30)
+	// BFS from first masked cell must reach all masked cells.
+	idx := m.MaskedIndices()
+	visited := make(map[int]bool)
+	queue := []int{idx[0]}
+	visited[idx[0]] = true
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		y, x := c/m.W, c%m.W
+		for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+			ny, nx := y+d[0], x+d[1]
+			if ny < 0 || ny >= m.H || nx < 0 || nx >= m.W {
+				continue
+			}
+			n := ny*m.W + nx
+			if m.Bits[n] && !visited[n] {
+				visited[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	if len(visited) != len(idx) {
+		t.Fatalf("blob not connected: reached %d of %d", len(visited), len(idx))
+	}
+}
+
+func TestWithRatioAccuracy(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	for _, r := range []float64{0.05, 0.11, 0.19, 0.35, 0.5, 0.9} {
+		m := WithRatio(rng, 16, 16, r)
+		if math.Abs(m.Ratio()-r) > 1.0/256+1e-9 {
+			t.Fatalf("WithRatio(%g) ratio = %g", r, m.Ratio())
+		}
+	}
+}
+
+func TestWithRatioExtremes(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	if m := WithRatio(rng, 4, 4, 0); m.MaskedCount() != 0 {
+		t.Fatal("ratio 0 should be empty")
+	}
+	if m := WithRatio(rng, 4, 4, 1); m.MaskedCount() != 16 {
+		t.Fatal("ratio 1 should be full")
+	}
+	if m := WithRatio(rng, 16, 16, 0.001); m.MaskedCount() != 1 {
+		t.Fatal("tiny nonzero ratio should mask at least 1 token")
+	}
+}
+
+func TestMultiBlobCount(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	m := MultiBlob(rng, 16, 16, 40, 3)
+	// Unions may overlap, so count ≤ 40 (3 blobs of ~13) and ≥ 13.
+	c := m.MaskedCount()
+	if c < 13 || c > 40 {
+		t.Fatalf("MultiBlob count = %d, want in [13,40]", c)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m := WithRatio(rng, 8, 8, 0.3)
+	if m.Fingerprint() != m.Clone().Fingerprint() {
+		t.Fatal("fingerprint of identical masks differ")
+	}
+	other := m.Clone()
+	other.Bits[0] = !other.Bits[0]
+	if m.Fingerprint() == other.Fingerprint() {
+		t.Fatal("fingerprint collision on single-bit change")
+	}
+}
+
+func TestFingerprintDependsOnShape(t *testing.T) {
+	a := New(2, 8)
+	b := New(4, 4)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint should include grid shape")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Rect(3, 3, 0, 0, 1, 1)
+	c := m.Clone()
+	c.Set(2, 2, true)
+	if m.At(2, 2) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestStringMentionsRatio(t *testing.T) {
+	m := Rect(2, 2, 0, 0, 1, 1)
+	if got := m.String(); got != "Mask(2×2, ratio=0.250)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,160 @@
+// Package metrics provides the latency and throughput statistics the
+// evaluation reports: mean, percentiles (P50/P95/P99), queueing-time
+// breakdowns and simple histogram export.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Recorder accumulates scalar samples (seconds, ratios, counts).
+// The zero value is ready to use. Not safe for concurrent use.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (r *Recorder) Add(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum / float64(len(r.samples))
+}
+
+// Max returns the maximum sample, or 0 with no samples.
+func (r *Recorder) Max() float64 {
+	var max float64
+	for i, v := range r.samples {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the minimum sample, or 0 with no samples.
+func (r *Recorder) Min() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	min := r.samples[0]
+	for _, v := range r.samples[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using nearest-rank on the
+// sorted samples, or 0 with no samples.
+func (r *Recorder) Quantile(q float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	if q <= 0 {
+		return r.samples[0]
+	}
+	if q >= 1 {
+		return r.samples[len(r.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(r.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return r.samples[idx]
+}
+
+// P50, P95 and P99 are the conventional percentile shorthands.
+func (r *Recorder) P50() float64 { return r.Quantile(0.50) }
+func (r *Recorder) P95() float64 { return r.Quantile(0.95) }
+func (r *Recorder) P99() float64 { return r.Quantile(0.99) }
+
+// Stddev returns the population standard deviation, or 0 with <2 samples.
+func (r *Recorder) Stddev() float64 {
+	if len(r.samples) < 2 {
+		return 0
+	}
+	mean := r.Mean()
+	var sum float64
+	for _, v := range r.samples {
+		sum += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(sum / float64(len(r.samples)))
+}
+
+// Sum returns the total of all samples.
+func (r *Recorder) Sum() float64 {
+	var sum float64
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum
+}
+
+// Histogram buckets the samples into n equal-width bins over [Min, Max]
+// and returns bin edges (n+1) and counts (n).
+func (r *Recorder) Histogram(n int) (edges []float64, counts []int) {
+	if n <= 0 || len(r.samples) == 0 {
+		return nil, nil
+	}
+	lo, hi := r.Min(), r.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, n+1)
+	counts = make([]int, n)
+	width := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, v := range r.samples {
+		idx := int((v - lo) / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	return edges, counts
+}
+
+// Summary formats the recorder's headline statistics.
+func (r *Recorder) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+		r.Count(), r.Mean(), r.P50(), r.P95(), r.P99(), r.Max())
+}
+
+func (r *Recorder) ensureSorted() {
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+}
+
+// Throughput returns completed/elapsed, or 0 for non-positive elapsed.
+func Throughput(completed int, elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(completed) / elapsed
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flashps/internal/tensor"
+)
+
+func TestEmptyRecorder(t *testing.T) {
+	var r Recorder
+	if r.Count() != 0 || r.Mean() != 0 || r.P95() != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Fatal("empty recorder should return zeros")
+	}
+	if r.Stddev() != 0 || r.Sum() != 0 {
+		t.Fatal("empty recorder stddev/sum should be 0")
+	}
+	edges, counts := r.Histogram(4)
+	if edges != nil || counts != nil {
+		t.Fatal("empty histogram should be nil")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var r Recorder
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		r.Add(v)
+	}
+	if r.Count() != 5 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if math.Abs(r.Mean()-2.8) > 1e-12 {
+		t.Fatalf("Mean = %g", r.Mean())
+	}
+	if r.Min() != 1 || r.Max() != 5 {
+		t.Fatalf("Min/Max = %g/%g", r.Min(), r.Max())
+	}
+	if r.Sum() != 14 {
+		t.Fatalf("Sum = %g", r.Sum())
+	}
+	if r.P50() != 3 {
+		t.Fatalf("P50 = %g", r.P50())
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	var r Recorder
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	if r.P95() != 95 {
+		t.Fatalf("P95 = %g want 95", r.P95())
+	}
+	if r.P99() != 99 {
+		t.Fatalf("P99 = %g want 99", r.P99())
+	}
+	if r.Quantile(0) != 1 || r.Quantile(1) != 100 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if r.Quantile(-0.5) != 1 || r.Quantile(1.5) != 100 {
+		t.Fatal("out-of-range quantiles should clamp")
+	}
+}
+
+func TestAddAfterQuantileResorts(t *testing.T) {
+	var r Recorder
+	r.Add(5)
+	r.Add(1)
+	_ = r.P50() // forces sort
+	r.Add(0)
+	if r.Min() != 0 || r.Quantile(0) != 0 {
+		t.Fatal("recorder stale after post-quantile Add")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		var r Recorder
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			r.Add(rng.Float64() * 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := r.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return r.Quantile(0) == r.Min() && r.Quantile(1) == r.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var r Recorder
+	r.Add(2)
+	r.Add(4)
+	// population stddev of {2,4} = 1
+	if math.Abs(r.Stddev()-1) > 1e-12 {
+		t.Fatalf("Stddev = %g", r.Stddev())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var r Recorder
+	for _, v := range []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		r.Add(v)
+	}
+	edges, counts := r.Histogram(3)
+	if len(edges) != 4 || len(counts) != 3 {
+		t.Fatalf("histogram shape %d/%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram total = %d", total)
+	}
+	if edges[0] != 0 || edges[3] != 9 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestHistogramConstantSamples(t *testing.T) {
+	var r Recorder
+	r.Add(5)
+	r.Add(5)
+	_, counts := r.Histogram(2)
+	if counts[0]+counts[1] != 2 {
+		t.Fatal("constant samples lost in histogram")
+	}
+}
+
+func TestSummaryContainsFields(t *testing.T) {
+	var r Recorder
+	r.Add(1)
+	s := r.Summary()
+	for _, want := range []string{"n=1", "mean=", "p95="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if Throughput(10, 5) != 2 {
+		t.Fatal("throughput wrong")
+	}
+	if Throughput(10, 0) != 0 || Throughput(10, -1) != 0 {
+		t.Fatal("non-positive elapsed should give 0")
+	}
+}

@@ -1,0 +1,299 @@
+package model
+
+import (
+	"math"
+
+	"flashps/internal/tensor"
+)
+
+// Block is a single pre-LayerNorm transformer block:
+//
+//	h = x + Attn(LN1(x))·WO
+//	y = h + FFN(LN2(h))
+//
+// with single-head scaled dot-product attention and a GeLU MLP, matching
+// the operator inventory of the paper's Fig 5 (linear projections, QKᵀ,
+// softmax, AV, feed-forward; LayerNorm/GeLU are token-wise).
+type Block struct {
+	Hidden int
+	// Heads is the attention head count; 0 is treated as 1. Hidden must
+	// be divisible by Heads.
+	Heads int
+
+	WQ, WK, WV, WO *tensor.Matrix // H×H projections
+	W1             *tensor.Matrix // H×(FFNMult·H)
+	W2             *tensor.Matrix // (FFNMult·H)×H
+
+	LN1Gamma, LN1Beta []float32
+	LN2Gamma, LN2Beta []float32
+
+	// Cross-attention over prompt context tokens (nil when disabled).
+	// Cross-attention is token-wise with respect to image tokens — each
+	// image token attends to the P context tokens independently — so
+	// mask-aware execution computes it for masked rows only.
+	WQc, WKc, WVc, WOc *tensor.Matrix
+	LNcGamma, LNcBeta  []float32
+}
+
+// AddCrossAttention equips the block with cross-attention weights drawn
+// from rng (real SD/SDXL blocks interleave self-attention, cross-attention
+// to the text encoder, and the FFN).
+func (b *Block) AddCrossAttention(rng *tensor.RNG) {
+	std := 1 / math.Sqrt(float64(b.Hidden))
+	b.WQc = tensor.Randn(rng, b.Hidden, b.Hidden, std)
+	b.WKc = tensor.Randn(rng, b.Hidden, b.Hidden, std)
+	b.WVc = tensor.Randn(rng, b.Hidden, b.Hidden, std)
+	b.WOc = tensor.Randn(rng, b.Hidden, b.Hidden, std*0.5)
+	b.LNcGamma = ones(b.Hidden)
+	b.LNcBeta = make([]float32, b.Hidden)
+}
+
+// crossAttend applies the cross-attention sublayer to rows h against the
+// P×H context tokens ctx, returning h + Attn(LNc(h), ctx)·WOc. It is a
+// no-op when the block has no cross weights or ctx is nil.
+func (b *Block) crossAttend(h, ctx *tensor.Matrix) *tensor.Matrix {
+	if b.WQc == nil || ctx == nil || ctx.R == 0 {
+		return h
+	}
+	ln := h.Clone()
+	tensor.LayerNormRows(ln, b.LNcGamma, b.LNcBeta, 1e-5)
+	q := tensor.MatMul(ln, b.WQc)
+	k := tensor.MatMul(ctx, b.WKc)
+	v := tensor.MatMul(ctx, b.WVc)
+	attn := b.attention(q, k, v)
+	return tensor.Add(h, tensor.MatMul(attn, b.WOc))
+}
+
+// heads returns the effective head count.
+func (b *Block) heads() int {
+	if b.Heads <= 0 {
+		return 1
+	}
+	return b.Heads
+}
+
+// headDim returns the per-head dimension.
+func (b *Block) headDim() int { return b.Hidden / b.heads() }
+
+// attention computes multi-head scaled dot-product attention for query
+// rows q over keys/values k, v (all …×H with per-head column slices) and
+// returns the q.R×H concatenated head outputs.
+func (b *Block) attention(q, k, v *tensor.Matrix) *tensor.Matrix {
+	h := b.heads()
+	d := b.headDim()
+	out := tensor.New(q.R, b.Hidden)
+	scale := float32(1 / math.Sqrt(float64(d)))
+	for head := 0; head < h; head++ {
+		qh := sliceCols(q, head*d, d)
+		kh := sliceCols(k, head*d, d)
+		vh := sliceCols(v, head*d, d)
+		scores := tensor.MatMulT(qh, kh)
+		tensor.Scale(scores, scale)
+		tensor.SoftmaxRows(scores)
+		oh := tensor.MatMul(scores, vh)
+		for r := 0; r < out.R; r++ {
+			copy(out.Row(r)[head*d:(head+1)*d], oh.Row(r))
+		}
+	}
+	return out
+}
+
+// sliceCols copies columns [start, start+n) of m into a new matrix.
+func sliceCols(m *tensor.Matrix, start, n int) *tensor.Matrix {
+	out := tensor.New(m.R, n)
+	for r := 0; r < m.R; r++ {
+		copy(out.Row(r), m.Row(r)[start:start+n])
+	}
+	return out
+}
+
+// BlockActivations records the intermediate activations of one block
+// forward pass that FlashPS may cache: the block output Y (the paper's
+// primary cache target, Fig 5-Bottom) and the attention K/V matrices
+// (the alternative cache target, Fig 7).
+type BlockActivations struct {
+	Y    *tensor.Matrix // L×H block output
+	K, V *tensor.Matrix // L×H attention keys/values (of LN1(x))
+}
+
+// NewBlock constructs a block with deterministic N(0, 1/√H) weights drawn
+// from rng. Residual-friendly initialization keeps activations bounded
+// across tens of blocks.
+func NewBlock(hidden, ffnMult int, rng *tensor.RNG) *Block {
+	std := 1 / math.Sqrt(float64(hidden))
+	b := &Block{
+		Hidden: hidden,
+		WQ:     tensor.Randn(rng, hidden, hidden, std),
+		WK:     tensor.Randn(rng, hidden, hidden, std),
+		WV:     tensor.Randn(rng, hidden, hidden, std),
+		WO:     tensor.Randn(rng, hidden, hidden, std*0.5),
+		W1:     tensor.Randn(rng, hidden, hidden*ffnMult, std),
+		W2:     tensor.Randn(rng, hidden*ffnMult, hidden, std*0.5/math.Sqrt(float64(ffnMult))),
+	}
+	b.LN1Gamma = ones(hidden)
+	b.LN1Beta = make([]float32, hidden)
+	b.LN2Gamma = ones(hidden)
+	b.LN2Beta = make([]float32, hidden)
+	return b
+}
+
+func ones(n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// Forward runs the full-token forward pass (the paper's Fig 5-Top, used by
+// mask-agnostic baselines and by blocks the bubble-free pipeline marks as
+// compute-all). If rec is non-nil it is filled with cacheable activations.
+func (b *Block) Forward(x, ctx *tensor.Matrix, rec *BlockActivations) *tensor.Matrix {
+	ln1 := x.Clone()
+	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
+
+	q := tensor.MatMul(ln1, b.WQ)
+	k := tensor.MatMul(ln1, b.WK)
+	v := tensor.MatMul(ln1, b.WV)
+
+	attn := b.attention(q, k, v)
+	h := tensor.Add(x, tensor.MatMul(attn, b.WO))
+	h = b.crossAttend(h, ctx)
+
+	ln2 := h.Clone()
+	tensor.LayerNormRows(ln2, b.LN2Gamma, b.LN2Beta, 1e-5)
+	ff := tensor.MatMul(ln2, b.W1)
+	tensor.GeLU(ff)
+	y := tensor.Add(h, tensor.MatMul(ff, b.W2))
+
+	if rec != nil {
+		rec.Y = y.Clone()
+		rec.K = k
+		rec.V = v
+	}
+	return y
+}
+
+// AttentionScores returns the L×L attention matrix for x, averaged across
+// heads, used by the Fig 6 attention-locality analysis.
+func (b *Block) AttentionScores(x *tensor.Matrix) *tensor.Matrix {
+	ln1 := x.Clone()
+	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
+	q := tensor.MatMul(ln1, b.WQ)
+	k := tensor.MatMul(ln1, b.WK)
+	h := b.heads()
+	d := b.headDim()
+	avg := tensor.New(x.R, x.R)
+	scale := float32(1 / math.Sqrt(float64(d)))
+	for head := 0; head < h; head++ {
+		qh := sliceCols(q, head*d, d)
+		kh := sliceCols(k, head*d, d)
+		scores := tensor.MatMulT(qh, kh)
+		tensor.Scale(scores, scale)
+		tensor.SoftmaxRows(scores)
+		tensor.AddInPlace(avg, scores)
+	}
+	tensor.Scale(avg, 1/float32(h))
+	return avg
+}
+
+// ForwardMasked runs the paper's mask-aware forward pass (Fig 5-Bottom,
+// cache-Y variant). x must be the full L×H input whose unmasked rows the
+// caller has replenished from the previous block's cached output. cachedY
+// is this block's cached full output from a prior full-computation run on
+// the same template. Only masked-token rows are computed: Q is projected
+// for masked rows only, K/V are projected over all rows (the cost the
+// Fig 7 KV variant removes), attention and FFN run for masked rows only,
+// and the returned Y has unmasked rows copied from cachedY.
+func (b *Block) ForwardMasked(x, cachedY, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
+	if len(maskedIdx) == 0 {
+		return cachedY.Clone()
+	}
+	ln1 := x.Clone()
+	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
+
+	lnM := tensor.GatherRows(ln1, maskedIdx)
+	q := tensor.MatMul(lnM, b.WQ) // m·L × H
+	k := tensor.MatMul(ln1, b.WK) // L × H (all tokens)
+	v := tensor.MatMul(ln1, b.WV)
+
+	y := b.finishMasked(x, cachedY, ctx, maskedIdx, q, k, v)
+	return y
+}
+
+// ForwardMaskedKV runs the alternative mask-aware pass of Fig 7: K and V of
+// unmasked tokens come from cachedK/cachedV instead of being recomputed,
+// at the cost of caching twice the data. Fresh K/V rows are still computed
+// for masked tokens and scattered into the cached copies.
+func (b *Block) ForwardMaskedKV(x, cachedY, cachedK, cachedV, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
+	if len(maskedIdx) == 0 {
+		return cachedY.Clone()
+	}
+	ln1 := x.Clone()
+	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
+
+	lnM := tensor.GatherRows(ln1, maskedIdx)
+	q := tensor.MatMul(lnM, b.WQ)
+	kM := tensor.MatMul(lnM, b.WK)
+	vM := tensor.MatMul(lnM, b.WV)
+	k := cachedK.Clone()
+	v := cachedV.Clone()
+	tensor.ScatterRows(k, kM, maskedIdx)
+	tensor.ScatterRows(v, vM, maskedIdx)
+
+	return b.finishMasked(x, cachedY, ctx, maskedIdx, q, k, v)
+}
+
+// finishMasked completes a mask-aware pass given masked-row queries q and
+// full-token k, v: masked rows attend over all tokens, then the output
+// projection, residual, LN2 and FFN run on masked rows only, and the
+// result is spliced into a clone of cachedY.
+func (b *Block) finishMasked(x, cachedY, ctx *tensor.Matrix, maskedIdx []int, q, k, v *tensor.Matrix) *tensor.Matrix {
+	attn := b.attention(q, k, v) // m·L × H
+	xM := tensor.GatherRows(x, maskedIdx)
+	h := tensor.Add(xM, tensor.MatMul(attn, b.WO))
+	h = b.crossAttend(h, ctx)
+
+	ln2 := h.Clone()
+	tensor.LayerNormRows(ln2, b.LN2Gamma, b.LN2Beta, 1e-5)
+	ff := tensor.MatMul(ln2, b.W1)
+	tensor.GeLU(ff)
+	yM := tensor.Add(h, tensor.MatMul(ff, b.W2))
+
+	y := cachedY.Clone()
+	tensor.ScatterRows(y, yM, maskedIdx)
+	return y
+}
+
+// ForwardNaiveSkip is the "naively disregarding unmasked regions" baseline
+// from Fig 1 (rightmost image): masked tokens attend only to other masked
+// tokens with no global context, and unmasked rows are passed through from
+// the input unchanged. The paper shows this distorts the output; the
+// quality experiments reproduce that gap.
+func (b *Block) ForwardNaiveSkip(x, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
+	if len(maskedIdx) == 0 {
+		return x.Clone()
+	}
+	ln1 := x.Clone()
+	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
+
+	lnM := tensor.GatherRows(ln1, maskedIdx)
+	q := tensor.MatMul(lnM, b.WQ)
+	k := tensor.MatMul(lnM, b.WK) // masked tokens only: no global context
+	v := tensor.MatMul(lnM, b.WV)
+
+	attn := b.attention(q, k, v)
+	xM := tensor.GatherRows(x, maskedIdx)
+	h := tensor.Add(xM, tensor.MatMul(attn, b.WO))
+	h = b.crossAttend(h, ctx)
+
+	ln2 := h.Clone()
+	tensor.LayerNormRows(ln2, b.LN2Gamma, b.LN2Beta, 1e-5)
+	ff := tensor.MatMul(ln2, b.W1)
+	tensor.GeLU(ff)
+	yM := tensor.Add(h, tensor.MatMul(ff, b.W2))
+
+	y := x.Clone()
+	tensor.ScatterRows(y, yM, maskedIdx)
+	return y
+}

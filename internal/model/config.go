@@ -1,0 +1,105 @@
+// Package model implements the transformer substrate of FlashPS's
+// diffusion models and, critically, the paper's mask-aware block execution
+// (§3.1, Fig 5): full-token forward passes, mask-aware forward passes that
+// compute only masked-token rows while replenishing cached activations for
+// unmasked tokens, the alternative KV-caching variant (Fig 7), and the
+// naive mask-only baseline whose output distortion motivates the paper's
+// design (Fig 1, rightmost).
+//
+// The models here are laptop-scale stand-ins that keep the architecture
+// shape (blocks × tokens × hidden, attention + FFN) of SD2.1, SDXL and
+// Flux while remaining fast enough to run real float32 math on a CPU.
+// Paper-scale compute and memory costs are handled separately by
+// internal/perfmodel.
+package model
+
+import "fmt"
+
+// Config describes a diffusion model's transformer backbone at the scale
+// the numeric engine runs it.
+type Config struct {
+	// Name identifies the model (e.g. "sd21-sim").
+	Name string
+	// LatentH, LatentW are the latent token grid dimensions; the
+	// transformer token length is L = LatentH × LatentW.
+	LatentH, LatentW int
+	// Hidden is the transformer hidden dimension H.
+	Hidden int
+	// Heads is the attention head count (0 means single-head). Hidden
+	// must be divisible by Heads.
+	Heads int
+	// ContextTokens is the number of prompt context tokens for
+	// cross-attention conditioning (0 disables cross-attention and the
+	// prompt conditions additively only).
+	ContextTokens int
+	// GuidanceScale, when > 0, enables classifier-free guidance: every
+	// denoising step runs a conditional and an unconditional pass and
+	// combines them as ε = ε_u + g·(ε_c - ε_u), doubling compute and
+	// cache exactly as production diffusion serving does.
+	GuidanceScale float64
+	// NumBlocks is the number of transformer blocks.
+	NumBlocks int
+	// FFNMult is the feed-forward expansion factor (paper uses 4).
+	FFNMult int
+	// Steps is the number of denoising steps the engine runs.
+	Steps int
+	// LatentChannels is the channel count of the latent image
+	// representation used by the toy VAE.
+	LatentChannels int
+}
+
+// Tokens returns the transformer token length L.
+func (c Config) Tokens() int { return c.LatentH * c.LatentW }
+
+// Validate returns an error if the configuration is unusable.
+func (c Config) Validate() error {
+	switch {
+	case c.LatentH <= 0 || c.LatentW <= 0:
+		return fmt.Errorf("model: config %q: invalid latent grid %d×%d", c.Name, c.LatentH, c.LatentW)
+	case c.Hidden <= 0:
+		return fmt.Errorf("model: config %q: invalid hidden dim %d", c.Name, c.Hidden)
+	case c.Heads < 0 || (c.Heads > 0 && c.Hidden%c.Heads != 0):
+		return fmt.Errorf("model: config %q: hidden %d not divisible by heads %d", c.Name, c.Hidden, c.Heads)
+	case c.ContextTokens < 0:
+		return fmt.Errorf("model: config %q: negative context tokens %d", c.Name, c.ContextTokens)
+	case c.GuidanceScale < 0:
+		return fmt.Errorf("model: config %q: negative guidance scale %g", c.Name, c.GuidanceScale)
+	case c.NumBlocks <= 0:
+		return fmt.Errorf("model: config %q: invalid block count %d", c.Name, c.NumBlocks)
+	case c.FFNMult <= 0:
+		return fmt.Errorf("model: config %q: invalid FFN multiplier %d", c.Name, c.FFNMult)
+	case c.Steps <= 0:
+		return fmt.Errorf("model: config %q: invalid step count %d", c.Name, c.Steps)
+	case c.LatentChannels <= 0:
+		return fmt.Errorf("model: config %q: invalid latent channels %d", c.Name, c.LatentChannels)
+	}
+	return nil
+}
+
+// Laptop-scale stand-in configurations for the three paper models.
+// The relative ordering of size (SD2.1 < SDXL < Flux) is preserved.
+var (
+	// SD21Sim stands in for Stable Diffusion 2.1 (served on A10 in the
+	// paper); like the real model it serves with classifier-free guidance.
+	SD21Sim = Config{
+		Name: "sd21-sim", LatentH: 8, LatentW: 8, Hidden: 64, Heads: 4,
+		GuidanceScale: 1.5, NumBlocks: 6, FFNMult: 4, Steps: 10, LatentChannels: 4,
+	}
+	// SDXLSim stands in for SDXL (served on H800 in the paper), also with
+	// classifier-free guidance.
+	SDXLSim = Config{
+		Name: "sdxl-sim", LatentH: 12, LatentW: 12, Hidden: 96, Heads: 4,
+		GuidanceScale: 1.5, NumBlocks: 8, FFNMult: 4, Steps: 10, LatentChannels: 4,
+	}
+	// FluxSim stands in for the Flux DiT model (served on H800 in the
+	// paper); like the real model it consumes the prompt through
+	// cross-attention over text context tokens and, being
+	// guidance-distilled, serves without classifier-free guidance.
+	FluxSim = Config{
+		Name: "flux-sim", LatentH: 16, LatentW: 16, Hidden: 128, Heads: 8,
+		ContextTokens: 4, NumBlocks: 10, FFNMult: 4, Steps: 10, LatentChannels: 4,
+	}
+)
+
+// AllSimConfigs lists the three stand-in configurations in paper order.
+func AllSimConfigs() []Config { return []Config{SD21Sim, SDXLSim, FluxSim} }

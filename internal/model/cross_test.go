@@ -1,0 +1,146 @@
+package model
+
+import (
+	"testing"
+
+	"flashps/internal/tensor"
+)
+
+var crossCfg = Config{
+	Name: "cross-test", LatentH: 6, LatentW: 6, Hidden: 32, Heads: 4,
+	ContextTokens: 3, NumBlocks: 3, FFNMult: 4, Steps: 4, LatentChannels: 4,
+}
+
+func TestConfigValidateContextTokens(t *testing.T) {
+	if err := crossCfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := crossCfg
+	bad.ContextTokens = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative context tokens accepted")
+	}
+}
+
+func TestCrossAttentionConditioningMatters(t *testing.T) {
+	// With cross-attention, different prompts must change the output, and
+	// the same prompt must be deterministic.
+	m := MustNew(crossCfg, 31)
+	x := randLatent(crossCfg, 1)
+	condA := EmbedPrompt("a red dress", crossCfg.Hidden)
+	condB := EmbedPrompt("a blue coat", crossCfg.Hidden)
+	ya, err := m.ForwardStep(x, 2, condA, StepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ya2, _ := m.ForwardStep(x, 2, condA, StepOptions{})
+	if !tensor.Equal(ya, ya2) {
+		t.Fatal("cross-attention not deterministic")
+	}
+	yb, _ := m.ForwardStep(x, 2, condB, StepOptions{})
+	if tensor.AllClose(ya, yb, 1e-6) {
+		t.Fatal("prompts do not influence cross-attended output")
+	}
+}
+
+func TestCrossAttentionMaskedMatchesFull(t *testing.T) {
+	// The mask-aware invariant must hold with cross-attention active:
+	// on identical inputs the cached pass reproduces the full pass.
+	m := MustNew(crossCfg, 32)
+	x := randLatent(crossCfg, 2)
+	cond := EmbedPrompt("prompt", crossCfg.Hidden)
+	rec := &StepActivations{}
+	yFull, err := m.ForwardStep(x, 1, cond, StepOptions{Record: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.ForwardStep(x, 1, cond, StepOptions{
+		MaskedIdx: []int{3, 8, 15, 30},
+		Cached:    rec,
+		Modes:     UniformModes(crossCfg.NumBlocks, ExecCachedY),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(y, yFull, 1e-4) {
+		t.Fatalf("cross-attended masked pass diverges: %g", tensor.MaxAbsDiff(y, yFull))
+	}
+}
+
+func TestCrossAttentionPreservesUnmaskedRows(t *testing.T) {
+	m := MustNew(crossCfg, 33)
+	template := randLatent(crossCfg, 3)
+	condTpl := EmbedPrompt("template", crossCfg.Hidden)
+	rec := &StepActivations{}
+	if _, err := m.ForwardStep(template, 2, condTpl, StepOptions{Record: rec}); err != nil {
+		t.Fatal(err)
+	}
+	// Edit with a DIFFERENT prompt: unmasked outputs still come verbatim
+	// from cache even though the cross-attention context changed.
+	maskedIdx := []int{0, 1, 2}
+	edited := template.Clone()
+	for _, i := range maskedIdx {
+		row := edited.Row(i)
+		for j := range row {
+			row[j] += 1
+		}
+	}
+	rec2 := &StepActivations{}
+	if _, err := m.ForwardStep(edited, 2, EmbedPrompt("new content", crossCfg.Hidden), StepOptions{
+		MaskedIdx: maskedIdx, Cached: rec,
+		Modes:  UniformModes(crossCfg.NumBlocks, ExecCachedY),
+		Record: rec2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for bi := range rec2.Blocks {
+		got, want := rec2.Blocks[bi].Y, rec.Blocks[bi].Y
+		for row := 3; row < got.R; row++ { // rows 3+ unmasked
+			for c := 0; c < got.C; c++ {
+				if got.At(row, c) != want.At(row, c) {
+					t.Fatalf("block %d unmasked row %d changed under new prompt", bi, row)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossAttendNoOpCases(t *testing.T) {
+	b := NewBlock(16, 4, tensor.NewRNG(1))
+	rng := tensor.NewRNG(2)
+	h := tensor.Randn(rng, 4, 16, 1)
+	// No cross weights → identity.
+	if got := b.crossAttend(h, tensor.Randn(rng, 2, 16, 1)); !tensor.Equal(got, h) {
+		t.Fatal("crossAttend without weights should be identity")
+	}
+	b.AddCrossAttention(tensor.NewRNG(3))
+	// Nil context → identity.
+	if got := b.crossAttend(h, nil); !tensor.Equal(got, h) {
+		t.Fatal("crossAttend with nil ctx should be identity")
+	}
+	// Real context → changes h.
+	if got := b.crossAttend(h, tensor.Randn(rng, 2, 16, 1)); tensor.Equal(got, h) {
+		t.Fatal("crossAttend with context should change h")
+	}
+}
+
+func TestBuildContext(t *testing.T) {
+	m := MustNew(crossCfg, 34)
+	if m.buildContext(nil) != nil {
+		t.Fatal("nil cond should give nil context")
+	}
+	cond := EmbedPrompt("x", crossCfg.Hidden)
+	ctx := m.buildContext(cond)
+	if ctx == nil || ctx.R != crossCfg.ContextTokens || ctx.C != crossCfg.Hidden {
+		t.Fatalf("context shape wrong: %v", ctx)
+	}
+	// Distinct context rows (different expansion matrices).
+	if tensor.CosineSimilarity(ctx.Row(0), ctx.Row(1)) > 0.99 {
+		t.Fatal("context rows nearly identical")
+	}
+	// No-cross model returns nil.
+	plain := MustNew(testCfg, 1)
+	if plain.buildContext(cond) != nil {
+		t.Fatal("model without context tokens should return nil context")
+	}
+}

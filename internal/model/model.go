@@ -1,0 +1,301 @@
+package model
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"flashps/internal/tensor"
+)
+
+// Model is a stack of transformer blocks with token-wise input/output
+// projections between latent space (L×C) and hidden space (L×H), plus
+// sinusoidal timestep embeddings and prompt conditioning. It is the
+// denoiser ε_θ(x_t, t, cond) used by internal/diffusion.
+type Model struct {
+	Cfg    Config
+	Blocks []*Block
+
+	inProj  *tensor.Matrix // C×H
+	outProj *tensor.Matrix // H×C
+	timeW   *tensor.Matrix // H×H applied to the sinusoidal embedding
+	// ctxExpand maps the prompt embedding to ContextTokens context rows
+	// for cross-attention (nil when the config disables it).
+	ctxExpand []*tensor.Matrix
+	// posEmb is the fixed 2D sinusoidal positional embedding (L×H),
+	// giving attention genuine spatial structure.
+	posEmb *tensor.Matrix
+}
+
+// New constructs a model with deterministic weights derived from seed.
+// The same (cfg, seed) pair always yields identical weights.
+func New(cfg Config, seed uint64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed)
+	m := &Model{
+		Cfg:     cfg,
+		inProj:  tensor.Randn(rng, cfg.LatentChannels, cfg.Hidden, 1/math.Sqrt(float64(cfg.LatentChannels))),
+		outProj: tensor.Randn(rng, cfg.Hidden, cfg.LatentChannels, 1/math.Sqrt(float64(cfg.Hidden))),
+		timeW:   tensor.Randn(rng, cfg.Hidden, cfg.Hidden, 1/math.Sqrt(float64(cfg.Hidden))),
+	}
+	m.posEmb = PositionalEmbedding2D(cfg.LatentH, cfg.LatentW, cfg.Hidden)
+	for i := 0; i < cfg.ContextTokens; i++ {
+		m.ctxExpand = append(m.ctxExpand,
+			tensor.Randn(rng, cfg.Hidden, cfg.Hidden, 1/math.Sqrt(float64(cfg.Hidden))))
+	}
+	for i := 0; i < cfg.NumBlocks; i++ {
+		blk := NewBlock(cfg.Hidden, cfg.FFNMult, rng)
+		blk.Heads = cfg.Heads
+		if cfg.ContextTokens > 0 {
+			blk.AddCrossAttention(rng)
+		}
+		m.Blocks = append(m.Blocks, blk)
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error; for use with the package's own
+// vetted configurations.
+func MustNew(cfg Config, seed uint64) *Model {
+	m, err := New(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the model's configuration. It is part of the backbone
+// contract shared with the UNet variant (see diffusion.Backbone).
+func (m *Model) Config() Config { return m.Cfg }
+
+// ExecMode selects how a single block executes within a denoising step.
+type ExecMode int
+
+const (
+	// ExecFull computes all tokens (Fig 5-Top). Used by mask-agnostic
+	// baselines and by blocks the bubble-free pipeline marks compute-all.
+	ExecFull ExecMode = iota
+	// ExecCachedY computes masked tokens only and replenishes unmasked
+	// rows from the cached block output (Fig 5-Bottom, the paper's
+	// primary design).
+	ExecCachedY
+	// ExecCachedKV additionally reuses cached K/V for unmasked tokens
+	// (Fig 7 alternative; 2× cache size, skips unmasked K/V projection).
+	ExecCachedKV
+	// ExecNaiveSkip computes masked tokens with no global context
+	// (Fig 1 rightmost; distorts output, kept as a quality baseline).
+	ExecNaiveSkip
+)
+
+// String implements fmt.Stringer.
+func (e ExecMode) String() string {
+	switch e {
+	case ExecFull:
+		return "full"
+	case ExecCachedY:
+		return "cached-y"
+	case ExecCachedKV:
+		return "cached-kv"
+	case ExecNaiveSkip:
+		return "naive-skip"
+	default:
+		return fmt.Sprintf("ExecMode(%d)", int(e))
+	}
+}
+
+// StepActivations holds the cacheable activations of every block for one
+// denoising step, recorded during a full-computation pass over a template.
+type StepActivations struct {
+	Blocks []BlockActivations
+}
+
+// StepOptions controls one ForwardStep invocation.
+type StepOptions struct {
+	// MaskedIdx lists the masked-token rows. Required for any mode other
+	// than ExecFull.
+	MaskedIdx []int
+	// Cached holds this step's per-block cached activations from a prior
+	// full run on the same template. Required when any block mode is
+	// ExecCachedY or ExecCachedKV.
+	Cached *StepActivations
+	// Modes gives the per-block execution mode. nil means ExecFull for
+	// every block. A short slice is padded with ExecFull.
+	Modes []ExecMode
+	// Record, when non-nil, is filled with this step's activations
+	// (always records the block outputs actually produced).
+	Record *StepActivations
+}
+
+// UniformModes returns a Modes slice with every one of n blocks set to mode.
+func UniformModes(n int, mode ExecMode) []ExecMode {
+	ms := make([]ExecMode, n)
+	for i := range ms {
+		ms[i] = mode
+	}
+	return ms
+}
+
+// ForwardStep runs one denoising step: project the L×C latent into hidden
+// space, add timestep and prompt conditioning, execute every block under
+// its mode, and project back to an L×C noise prediction.
+func (m *Model) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts StepOptions) (*tensor.Matrix, error) {
+	L := m.Cfg.Tokens()
+	if latent.R != L || latent.C != m.Cfg.LatentChannels {
+		return nil, fmt.Errorf("model: latent shape %v, want %d×%d", latent, L, m.Cfg.LatentChannels)
+	}
+	if len(cond) != 0 && len(cond) != m.Cfg.Hidden {
+		return nil, fmt.Errorf("model: cond length %d, want 0 or %d", len(cond), m.Cfg.Hidden)
+	}
+	modes := opts.Modes
+	if len(modes) < len(m.Blocks) {
+		padded := make([]ExecMode, len(m.Blocks))
+		copy(padded, modes)
+		modes = padded
+	}
+	for i, mode := range modes[:len(m.Blocks)] {
+		switch mode {
+		case ExecCachedY, ExecCachedKV:
+			if opts.Cached == nil || len(opts.Cached.Blocks) <= i || opts.Cached.Blocks[i].Y == nil {
+				return nil, fmt.Errorf("model: block %d mode %v requires cached activations", i, mode)
+			}
+			if len(opts.MaskedIdx) == 0 {
+				return nil, fmt.Errorf("model: block %d mode %v requires masked indices", i, mode)
+			}
+			if mode == ExecCachedKV && (opts.Cached.Blocks[i].K == nil || opts.Cached.Blocks[i].V == nil) {
+				return nil, fmt.Errorf("model: block %d mode cached-kv requires cached K/V", i)
+			}
+		case ExecNaiveSkip:
+			if len(opts.MaskedIdx) == 0 {
+				return nil, fmt.Errorf("model: block %d mode naive-skip requires masked indices", i)
+			}
+		}
+	}
+
+	x := m.embed(latent, t, cond)
+	ctx := m.buildContext(cond)
+
+	if opts.Record != nil {
+		opts.Record.Blocks = make([]BlockActivations, len(m.Blocks))
+	}
+	for i, blk := range m.Blocks {
+		switch modes[i] {
+		case ExecFull:
+			var rec *BlockActivations
+			if opts.Record != nil {
+				rec = &opts.Record.Blocks[i]
+			}
+			x = blk.Forward(x, ctx, rec)
+		case ExecCachedY:
+			ca := opts.Cached.Blocks[i]
+			x = blk.ForwardMasked(x, ca.Y, ctx, opts.MaskedIdx)
+			if opts.Record != nil {
+				opts.Record.Blocks[i] = BlockActivations{Y: x.Clone()}
+			}
+		case ExecCachedKV:
+			ca := opts.Cached.Blocks[i]
+			x = blk.ForwardMaskedKV(x, ca.Y, ca.K, ca.V, ctx, opts.MaskedIdx)
+			if opts.Record != nil {
+				opts.Record.Blocks[i] = BlockActivations{Y: x.Clone()}
+			}
+		case ExecNaiveSkip:
+			x = blk.ForwardNaiveSkip(x, ctx, opts.MaskedIdx)
+			if opts.Record != nil {
+				opts.Record.Blocks[i] = BlockActivations{Y: x.Clone()}
+			}
+		default:
+			return nil, fmt.Errorf("model: block %d: unknown exec mode %v", i, modes[i])
+		}
+	}
+	return tensor.MatMul(x, m.outProj), nil
+}
+
+// buildContext expands the prompt embedding into ContextTokens context
+// rows for cross-attention. It returns nil when cross-attention is
+// disabled or cond is empty.
+func (m *Model) buildContext(cond []float32) *tensor.Matrix {
+	if len(m.ctxExpand) == 0 || len(cond) == 0 {
+		return nil
+	}
+	ctx := tensor.New(len(m.ctxExpand), m.Cfg.Hidden)
+	c := tensor.FromSlice(1, m.Cfg.Hidden, cond)
+	for i, w := range m.ctxExpand {
+		row := tensor.MatMul(c, w)
+		copy(ctx.Row(i), row.Data)
+	}
+	return ctx
+}
+
+// embed maps the latent into hidden space and adds timestep and prompt
+// conditioning (all token-wise).
+func (m *Model) embed(latent *tensor.Matrix, t int, cond []float32) *tensor.Matrix {
+	x := tensor.MatMul(latent, m.inProj)
+	// Denoisers are strongly timestep-conditioned; the gain keeps ε_θ's
+	// dependence on t comparable to its dependence on content, so that
+	// step-skipping baselines (TeaCache) pay a realistic quality cost.
+	const timestepGain = 4
+	temb := tensor.MatMul(tensor.FromSlice(1, m.Cfg.Hidden, TimestepEmbedding(t, m.Cfg.Hidden)), m.timeW)
+	tensor.Scale(temb, timestepGain)
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		pos := m.posEmb.Row(i)
+		for j := range row {
+			row[j] += temb.Data[j] + pos[j]
+			if cond != nil {
+				row[j] += cond[j]
+			}
+		}
+	}
+	return x
+}
+
+// PositionalEmbedding2D returns the fixed 2D sinusoidal positional
+// embedding for an h×w token grid: the first half of the hidden dimension
+// encodes the row, the second half the column (token-wise, so it is fully
+// compatible with mask-aware execution).
+func PositionalEmbedding2D(h, w, dim int) *tensor.Matrix {
+	out := tensor.New(h*w, dim)
+	half := dim / 2
+	for y := 0; y < h; y++ {
+		ey := TimestepEmbedding(y, half)
+		for x := 0; x < w; x++ {
+			ex := TimestepEmbedding(x, dim-half)
+			row := out.Row(y*w + x)
+			copy(row[:half], ey)
+			copy(row[half:], ex)
+		}
+	}
+	return out
+}
+
+// TimestepEmbedding returns the standard sinusoidal embedding of timestep t
+// with the given dimension.
+func TimestepEmbedding(t, dim int) []float32 {
+	emb := make([]float32, dim)
+	half := dim / 2
+	for i := 0; i < half; i++ {
+		freq := math.Exp(-math.Log(10000) * float64(i) / float64(half))
+		emb[i] = float32(math.Sin(float64(t) * freq))
+		emb[half+i] = float32(math.Cos(float64(t) * freq))
+	}
+	return emb
+}
+
+// EmbedPrompt deterministically maps a prompt string to a conditioning
+// vector of the given dimension. Distinct prompts map to (almost surely)
+// distinct directions; the empty prompt maps to the zero vector.
+func EmbedPrompt(prompt string, dim int) []float32 {
+	out := make([]float32, dim)
+	if prompt == "" {
+		return out
+	}
+	h := fnv.New64a()
+	h.Write([]byte(prompt))
+	rng := tensor.NewRNG(h.Sum64())
+	scale := 0.1 / math.Sqrt(float64(dim))
+	for i := range out {
+		out[i] = float32(rng.NormFloat64() * scale * math.Sqrt(float64(dim)))
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"testing"
+
+	"flashps/internal/tensor"
+)
+
+func TestConfigValidateHeads(t *testing.T) {
+	c := testCfg
+	c.Heads = 4 // 32 % 4 == 0
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Heads = 5 // 32 % 5 != 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("indivisible head count accepted")
+	}
+	c.Heads = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative head count accepted")
+	}
+}
+
+func TestMultiHeadMaskedMatchesFull(t *testing.T) {
+	// The core mask-aware invariant must hold per head too.
+	cfg := testCfg
+	cfg.Heads = 4
+	m := MustNew(cfg, 17)
+	x := randLatent(cfg, 4)
+	rec := &StepActivations{}
+	yFull, err := m.ForwardStep(x, 2, nil, StepOptions{Record: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.ForwardStep(x, 2, nil, StepOptions{
+		MaskedIdx: []int{0, 7, 13, 22},
+		Cached:    rec,
+		Modes:     UniformModes(cfg.NumBlocks, ExecCachedY),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(y, yFull, 1e-4) {
+		t.Fatalf("multi-head masked pass diverges: %g", tensor.MaxAbsDiff(y, yFull))
+	}
+}
+
+func TestHeadCountChangesOutput(t *testing.T) {
+	// Same weights, different head partitions → different attention.
+	rng := tensor.NewRNG(3)
+	x := tensor.Randn(rng, 8, 32, 1)
+	b1 := NewBlock(32, 4, tensor.NewRNG(5))
+	b4 := NewBlock(32, 4, tensor.NewRNG(5)) // identical weights
+	b4.Heads = 4
+	y1 := b1.Forward(x, nil, nil)
+	y4 := b4.Forward(x, nil, nil)
+	if tensor.AllClose(y1, y4, 1e-6) {
+		t.Fatal("head partitioning had no effect on the output")
+	}
+}
+
+func TestMultiHeadAttentionRowStochastic(t *testing.T) {
+	b := NewBlock(32, 4, tensor.NewRNG(6))
+	b.Heads = 4
+	rng := tensor.NewRNG(7)
+	x := tensor.Randn(rng, 10, 32, 1)
+	s := b.AttentionScores(x)
+	for i := 0; i < s.R; i++ {
+		var sum float64
+		for _, v := range s.Row(i) {
+			if v < 0 {
+				t.Fatal("negative attention mass")
+			}
+			sum += float64(v)
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("head-averaged attention row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestZeroHeadsTreatedAsSingle(t *testing.T) {
+	b0 := NewBlock(16, 4, tensor.NewRNG(9))
+	b1 := NewBlock(16, 4, tensor.NewRNG(9))
+	b1.Heads = 1
+	rng := tensor.NewRNG(10)
+	x := tensor.Randn(rng, 6, 16, 1)
+	if !tensor.Equal(b0.Forward(x, nil, nil), b1.Forward(x, nil, nil)) {
+		t.Fatal("Heads=0 should equal Heads=1")
+	}
+}
+
+func TestSliceCols(t *testing.T) {
+	m := tensor.FromSlice(2, 4, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	s := sliceCols(m, 1, 2)
+	want := tensor.FromSlice(2, 2, []float32{2, 3, 6, 7})
+	if !tensor.Equal(s, want) {
+		t.Fatalf("sliceCols = %v", s.Data)
+	}
+}

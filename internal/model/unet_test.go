@@ -1,0 +1,256 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"flashps/internal/tensor"
+)
+
+var unetCfg = UNetConfig{
+	Name: "unet-test", LatentH: 8, LatentW: 8, Hidden: 32, Heads: 4,
+	FFNMult: 4, Steps: 4, LatentChannels: 4,
+	Encoder: []UNetStage{{Blocks: 1, Factor: 1}, {Blocks: 1, Factor: 2}},
+	Middle:  UNetStage{Blocks: 1, Factor: 4},
+}
+
+func newUNet(t testing.TB) *UNet {
+	t.Helper()
+	u, err := NewUNet(unetCfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUNetConfigValidate(t *testing.T) {
+	if err := unetCfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		mutate func(*UNetConfig)
+		want   string
+	}{
+		{func(c *UNetConfig) { c.Encoder = nil }, "empty encoder"},
+		{func(c *UNetConfig) { c.Encoder = []UNetStage{{Blocks: 1, Factor: 2}} }, "factor 1"},
+		{func(c *UNetConfig) { c.Encoder[1].Factor = 4 }, "must be 2×"},
+		{func(c *UNetConfig) { c.Encoder[0].Blocks = 0 }, "blocks"},
+		{func(c *UNetConfig) { c.Middle.Blocks = 0 }, "middle"},
+		{func(c *UNetConfig) { c.Middle.Factor = 8 }, "2× the last"},
+		{func(c *UNetConfig) { c.LatentH = 6 }, "divisible"},
+		{func(c *UNetConfig) { c.Hidden = 0 }, "hidden"},
+	}
+	for _, tc := range cases {
+		c := unetCfg
+		c.Encoder = append([]UNetStage(nil), unetCfg.Encoder...)
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+		}
+	}
+}
+
+func TestUNetTotalBlocks(t *testing.T) {
+	// encoder 1+1, middle 1, decoder mirrors encoder 1+1.
+	if got := unetCfg.TotalBlocks(); got != 5 {
+		t.Fatalf("TotalBlocks = %d want 5", got)
+	}
+	u := newUNet(t)
+	if u.Config().NumBlocks != 5 {
+		t.Fatalf("Config().NumBlocks = %d", u.Config().NumBlocks)
+	}
+	if len(u.stages) != 5 {
+		t.Fatalf("stage count = %d want 5", len(u.stages))
+	}
+}
+
+func TestUNetForwardShapeAndDeterminism(t *testing.T) {
+	u := newUNet(t)
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 64, 4, 1)
+	y1, err := u.ForwardStep(x, 2, nil, StepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1.R != 64 || y1.C != 4 {
+		t.Fatalf("output shape %v", y1)
+	}
+	u2, _ := NewUNet(unetCfg, 42)
+	y2, _ := u2.ForwardStep(x, 2, nil, StepOptions{})
+	if !tensor.Equal(y1, y2) {
+		t.Fatal("same-seed UNets differ")
+	}
+	for _, v := range y1.Data {
+		if v != v || v > 1e4 || v < -1e4 {
+			t.Fatalf("bad activation %v", v)
+		}
+	}
+}
+
+func TestUNetShapeChecks(t *testing.T) {
+	u := newUNet(t)
+	if _, err := u.ForwardStep(tensor.New(10, 4), 0, nil, StepOptions{}); err == nil {
+		t.Fatal("wrong latent shape accepted")
+	}
+	x := tensor.Randn(tensor.NewRNG(1), 64, 4, 1)
+	if _, err := u.ForwardStep(x, 0, make([]float32, 5), StepOptions{}); err == nil {
+		t.Fatal("wrong cond length accepted")
+	}
+	if _, err := u.ForwardStep(x, 0, nil, StepOptions{
+		MaskedIdx: []int{1},
+		Modes:     UniformModes(5, ExecCachedKV),
+	}); err == nil {
+		t.Fatal("cached-kv should be unsupported")
+	}
+	if _, err := u.ForwardStep(x, 0, nil, StepOptions{
+		Modes: UniformModes(5, ExecCachedY),
+	}); err == nil {
+		t.Fatal("cached-y without mask accepted")
+	}
+	if _, err := u.ForwardStep(x, 0, nil, StepOptions{
+		MaskedIdx: []int{1},
+		Modes:     UniformModes(5, ExecMode(44)),
+	}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestUNetMaskedMatchesFullOnIdenticalInputs(t *testing.T) {
+	// The mask-aware invariant must carry through pooling, skip
+	// connections and every resolution stage.
+	u := newUNet(t)
+	rng := tensor.NewRNG(3)
+	x := tensor.Randn(rng, 64, 4, 1)
+	rec := &StepActivations{}
+	yFull, err := u.ForwardStep(x, 1, nil, StepOptions{Record: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Blocks) != 5 {
+		t.Fatalf("recorded %d blocks", len(rec.Blocks))
+	}
+	// Cached Y shapes shrink with resolution: stage factors 1,2,4,2,1.
+	wantRows := []int{64, 16, 4, 16, 64}
+	for i, b := range rec.Blocks {
+		if b.Y.R != wantRows[i] {
+			t.Fatalf("block %d cached rows = %d want %d", i, b.Y.R, wantRows[i])
+		}
+	}
+	y, err := u.ForwardStep(x, 1, nil, StepOptions{
+		MaskedIdx: []int{0, 9, 18, 27, 36},
+		Cached:    rec,
+		Modes:     UniformModes(5, ExecCachedY),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(y, yFull, 1e-4) {
+		t.Fatalf("unet masked pass diverges: %g", tensor.MaxAbsDiff(y, yFull))
+	}
+}
+
+func TestUNetMaskedPreservesUnmaskedOutputs(t *testing.T) {
+	u := newUNet(t)
+	rng := tensor.NewRNG(4)
+	template := tensor.Randn(rng, 64, 4, 1)
+	rec := &StepActivations{}
+	if _, err := u.ForwardStep(template, 2, nil, StepOptions{Record: rec}); err != nil {
+		t.Fatal(err)
+	}
+	maskedIdx := []int{5, 6, 13, 14}
+	edited := template.Clone()
+	for _, i := range maskedIdx {
+		row := edited.Row(i)
+		for j := range row {
+			row[j] += 3
+		}
+	}
+	rec2 := &StepActivations{}
+	yEdit, err := u.ForwardStep(edited, 2, nil, StepOptions{
+		MaskedIdx: maskedIdx, Cached: rec,
+		Modes:  UniformModes(5, ExecCachedY),
+		Record: rec2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base-grid unmasked output rows (the final decoder stage) must be
+	// identical to the template pass's cached outputs.
+	isMasked := map[int]bool{}
+	for _, i := range maskedIdx {
+		isMasked[i] = true
+	}
+	yTpl, _ := u.ForwardStep(template, 2, nil, StepOptions{})
+	changed := false
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 4; c++ {
+			same := yEdit.At(r, c) == yTpl.At(r, c)
+			if isMasked[r] && !same {
+				changed = true
+			}
+			if !isMasked[r] && !same {
+				t.Fatalf("unmasked base row %d changed", r)
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("masked rows did not change")
+	}
+}
+
+func TestPoolMaskedIdx(t *testing.T) {
+	// 4×4 grid, masked {0 (0,0), 5 (1,1), 15 (3,3)} → 2×2 pooled {0, 3}.
+	got := poolMaskedIdx([]int{0, 5, 15}, 4, 4)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("poolMaskedIdx = %v", got)
+	}
+	if poolMaskedIdx(nil, 4, 4) != nil {
+		t.Fatal("empty mask should pool to nil")
+	}
+}
+
+func TestAvgPoolUnpool(t *testing.T) {
+	// Constant 2×2 patches must round-trip exactly.
+	x := tensor.New(16, 3) // 4×4 grid
+	for y := 0; y < 4; y++ {
+		for xx := 0; xx < 4; xx++ {
+			row := x.Row(y*4 + xx)
+			v := float32((y/2)*2 + xx/2)
+			for c := range row {
+				row[c] = v
+			}
+		}
+	}
+	pooled := avgPool2(x, 4, 4)
+	if pooled.R != 4 {
+		t.Fatalf("pooled rows = %d", pooled.R)
+	}
+	back := unpool2(pooled, 4, 4)
+	if !tensor.AllClose(back, x, 1e-6) {
+		t.Fatal("constant-patch pool/unpool should round-trip")
+	}
+}
+
+func TestUNetNaiveSkipDiverges(t *testing.T) {
+	u := newUNet(t)
+	rng := tensor.NewRNG(6)
+	x := tensor.Randn(rng, 64, 4, 1)
+	yFull, _ := u.ForwardStep(x, 1, nil, StepOptions{})
+	yNaive, err := u.ForwardStep(x, 1, nil, StepOptions{
+		MaskedIdx: []int{0, 1, 2, 3},
+		Modes:     UniformModes(5, ExecNaiveSkip),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.AllClose(yNaive, yFull, 1e-6) {
+		t.Fatal("naive skip should diverge from full computation")
+	}
+}
+
+func TestSD21UNetSimValid(t *testing.T) {
+	if err := SD21UNetSim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,368 @@
+// Package perfmodel provides the analytic performance models that let the
+// serving simulator run paper-scale experiments without GPUs: Table 1 FLOP
+// counts, GPU device profiles with a saturating SM-utilization curve, PCIe
+// cache-loading costs, CPU pre/post-processing costs, and the linear
+// latency regressions the mask-aware scheduler fits from offline profiling
+// data (paper Fig 11, Algo 2).
+//
+// Calibration anchors from the paper: an SDXL image costs ≈676 TFLOPs;
+// mask-aware editing at mask ratio 0.2 speeds up SD2.1/SDXL/Flux by
+// 1.3/2.2/1.9×; naive sequential cache loading adds ≈102% latency on
+// SDXL/H800; TeaCache at batch size 1 out-throughputs FlashPS; loading one
+// SDXL template cache from disk takes ≈6.4 s.
+package perfmodel
+
+import "fmt"
+
+// GPU describes a device profile. Efficiency follows a saturating curve in
+// the number of tokens in flight: small masked-token batches underutilize
+// the SMs (the paper's explanation for Fig 14's batch-size-1 result), while
+// full-token batches saturate them.
+type GPU struct {
+	Name string
+	// PeakFLOPS is the dense FP16 peak in FLOP/s.
+	PeakFLOPS float64
+	// MaxMFU is the best-case fraction of peak achievable.
+	MaxMFU float64
+	// UtilHalfTokens is the token count at which utilization reaches half
+	// of MaxMFU.
+	UtilHalfTokens float64
+	// PCIeBW is the effective host→HBM copy bandwidth in bytes/s.
+	PCIeBW float64
+	// DiskBW is the effective disk/remote-storage→host bandwidth in bytes/s.
+	DiskBW float64
+	// HBMBytes is the device memory capacity.
+	HBMBytes float64
+}
+
+// Device profiles used in the paper's evaluation (§6.1).
+var (
+	// A10 serves SD2.1 in the paper. Its UtilHalfTokens folds in the
+	// per-kernel launch overheads that dominate small models on slower
+	// devices, which is why SD2.1's mask-aware speedup is the smallest of
+	// the three models (1.3× at m=0.2, Fig 15).
+	A10 = GPU{
+		Name: "A10", PeakFLOPS: 125e12, MaxMFU: 0.35, UtilHalfTokens: 2048,
+		PCIeBW: 12e9, DiskBW: 0.42e9, HBMBytes: 24e9,
+	}
+	// H800 serves SDXL and Flux in the paper.
+	H800 = GPU{
+		Name: "H800", PeakFLOPS: 990e12, MaxMFU: 0.40, UtilHalfTokens: 768,
+		PCIeBW: 26e9, DiskBW: 0.42e9, HBMBytes: 80e9,
+	}
+)
+
+// Efficiency returns the achieved FLOP/s when tokens rows are in flight.
+func (g GPU) Efficiency(tokens float64) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	return g.PeakFLOPS * g.MaxMFU * tokens / (tokens + g.UtilHalfTokens)
+}
+
+// ModelProfile describes a diffusion model at paper scale, bound to the GPU
+// the paper serves it on.
+type ModelProfile struct {
+	Name string
+	// Blocks is the number of transformer blocks.
+	Blocks int
+	// Tokens is the transformer token length L.
+	Tokens int
+	// Hidden is the hidden dimension H.
+	Hidden int
+	// FFNMult is the FFN expansion (4 in the paper's Table 1).
+	FFNMult int
+	// Steps is the denoising step count (50 in the paper).
+	Steps int
+	// BytesPerElt is the activation precision (2 = fp16).
+	BytesPerElt int
+	// GPU is the device this model is served on.
+	GPU GPU
+	// MaxBatch is the engine's maximum batch size (§6.2: 4 for SD2.1,
+	// 8 for SDXL/Flux).
+	MaxBatch int
+}
+
+// Paper-scale model profiles (§6.1). SDXLPaper's FLOP count lands on the
+// paper's 676 TFLOPs-per-image anchor.
+var (
+	SD21Paper = ModelProfile{
+		Name: "sd21", Blocks: 16, Tokens: 1024, Hidden: 1024,
+		FFNMult: 4, Steps: 50, BytesPerElt: 2, GPU: A10, MaxBatch: 4,
+	}
+	SDXLPaper = ModelProfile{
+		Name: "sdxl", Blocks: 56, Tokens: 4096, Hidden: 1280,
+		FFNMult: 4, Steps: 50, BytesPerElt: 2, GPU: H800, MaxBatch: 8,
+	}
+	// FluxPaper uses the Flux-dev default of 28 denoising steps; the
+	// UNet models default to 50 (§6.1 "default settings").
+	FluxPaper = ModelProfile{
+		Name: "flux", Blocks: 57, Tokens: 4096, Hidden: 3072,
+		FFNMult: 4, Steps: 28, BytesPerElt: 2, GPU: H800, MaxBatch: 8,
+	}
+)
+
+// AllPaperProfiles returns the three evaluation profiles in paper order.
+func AllPaperProfiles() []ModelProfile {
+	return []ModelProfile{SD21Paper, SDXLPaper, FluxPaper}
+}
+
+// ProfileByName returns the paper profile with the given name.
+func ProfileByName(name string) (ModelProfile, error) {
+	for _, p := range AllPaperProfiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return ModelProfile{}, fmt.Errorf("perfmodel: unknown profile %q", name)
+}
+
+// --- Table 1 FLOP counts -------------------------------------------------
+//
+// Per block, per batch item, counting 2 FLOPs per multiply-accumulate:
+//
+//	feed-forward (XW1)W2 : 2·rows·H·4H · 2 layers = 16·rows·H²
+//	projections  XW      : Q/O on masked rows, K/V per variant
+//	attention    QKᵀ, AV : 2·rows·L·H each
+//
+// where rows = L for full computation and m·L for mask-aware computation.
+
+// BlockFLOPsFull returns the FLOPs of one block computing all tokens for a
+// single batch item.
+func (p ModelProfile) BlockFLOPsFull() float64 {
+	L := float64(p.Tokens)
+	H := float64(p.Hidden)
+	ffn := 4 * float64(p.FFNMult) * L * H * H // 2 layers × 2 FLOPs/MAC
+	proj := 8 * L * H * H                     // Q,K,V,O
+	attn := 4 * L * L * H                     // QKᵀ + AV
+	return ffn + proj + attn
+}
+
+// BlockFLOPsMasked returns the FLOPs of one block under the paper's primary
+// cache-Y design (Fig 5-Bottom): Q/O projections, attention and FFN run on
+// the m·L masked rows only, but K/V are still projected over all L tokens.
+func (p ModelProfile) BlockFLOPsMasked(m float64) float64 {
+	m = clampRatio(m)
+	L := float64(p.Tokens)
+	H := float64(p.Hidden)
+	rows := m * L
+	ffn := 4 * float64(p.FFNMult) * rows * H * H
+	projQO := 4 * rows * H * H
+	projKV := 4 * L * H * H
+	attn := 4 * rows * L * H
+	return ffn + projQO + projKV + attn
+}
+
+// BlockFLOPsMaskedKV returns the FLOPs under the Fig 7 alternative where
+// cached K/V remove the unmasked K/V projections.
+func (p ModelProfile) BlockFLOPsMaskedKV(m float64) float64 {
+	m = clampRatio(m)
+	L := float64(p.Tokens)
+	H := float64(p.Hidden)
+	rows := m * L
+	ffn := 4 * float64(p.FFNMult) * rows * H * H
+	proj := 8 * rows * H * H // Q,K,V,O on masked rows only
+	attn := 4 * rows * L * H
+	return ffn + proj + attn
+}
+
+// ImageFLOPsFull returns the FLOPs for generating one full image
+// (all blocks × all steps).
+func (p ModelProfile) ImageFLOPsFull() float64 {
+	return p.BlockFLOPsFull() * float64(p.Blocks) * float64(p.Steps)
+}
+
+// --- Cache geometry ------------------------------------------------------
+
+// BlockCacheBytes returns the bytes of one block's cached Y activations for
+// all L tokens (what a full-computation pass writes).
+func (p ModelProfile) BlockCacheBytes() float64 {
+	return float64(p.Tokens) * float64(p.Hidden) * float64(p.BytesPerElt)
+}
+
+// BlockLoadBytes returns the bytes loaded per block for a request with mask
+// ratio m: only the (1-m)·L unmasked rows are needed.
+func (p ModelProfile) BlockLoadBytes(m float64) float64 {
+	m = clampRatio(m)
+	return (1 - m) * p.BlockCacheBytes()
+}
+
+// TemplateCacheBytes returns the total per-template cache footprint.
+// The paper reports ≈2.6 GiB for an SDXL template (§4.2); activations are
+// shared across groups of adjacent denoising steps, which the cacheStepGroups
+// constant calibrates to that anchor.
+func (p ModelProfile) TemplateCacheBytes() float64 {
+	return p.BlockCacheBytes() * float64(p.Blocks) * cacheStepGroups
+}
+
+// cacheStepGroups is the number of step groups whose activations are cached
+// per template (adjacent denoising steps share activations; see DESIGN.md).
+const cacheStepGroups = 4
+
+// --- Latency models ------------------------------------------------------
+
+// BlockComputeFull returns the seconds to compute one block for a batch of
+// n full-token requests.
+func (p ModelProfile) BlockComputeFull(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	tokens := float64(n * p.Tokens)
+	return float64(n) * p.BlockFLOPsFull() / p.GPU.Efficiency(tokens)
+}
+
+// BlockComputeMasked returns the seconds to compute one block for a batch
+// of mask-aware requests with the given mask ratios (cache-Y variant).
+// The two kernel families run at different utilizations: the masked-row
+// kernels (FFN, Q/O projections, attention rows) see only Σmᵢ·L tokens,
+// while the K/V projections run over all B·L tokens and stay saturated.
+func (p ModelProfile) BlockComputeMasked(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	L := float64(p.Tokens)
+	H := float64(p.Hidden)
+	var maskedFLOPs, maskedTokens float64
+	for _, m := range ratios {
+		m = clampRatio(m)
+		rows := m * L
+		maskedFLOPs += 4*float64(p.FFNMult)*rows*H*H + 4*rows*H*H + 4*rows*L*H
+		maskedTokens += rows
+	}
+	if maskedTokens < 1 {
+		maskedTokens = 1
+	}
+	kvFLOPs := float64(len(ratios)) * 4 * L * H * H
+	kvTokens := float64(len(ratios)) * L
+	return maskedFLOPs/p.GPU.Efficiency(maskedTokens) + kvFLOPs/p.GPU.Efficiency(kvTokens)
+}
+
+// BlockLoad returns the seconds to load one block's cached activations from
+// host memory to HBM for a batch with the given mask ratios, assuming every
+// request needs a distinct cache entry (distinct templates or timesteps).
+func (p ModelProfile) BlockLoad(ratios []float64) float64 {
+	var bytes float64
+	for _, m := range ratios {
+		bytes += p.BlockLoadBytes(m)
+	}
+	return bytes / p.GPU.PCIeBW
+}
+
+// LoadItem identifies one request's cache need for batch-level load
+// deduplication: cached activations are keyed by (template, denoising
+// step), so requests aligned on the same template and step share a single
+// transfer covering the union of their unmasked regions.
+type LoadItem struct {
+	Template uint64
+	Step     int
+	Ratio    float64
+}
+
+// BlockLoadBatch returns the seconds to load one block's cached activations
+// for a batch, deduplicating transfers shared by requests on the same
+// (template, step). This is why FlashPS's engine throughput keeps growing
+// with batch size in aligned-batch benchmarks (Fig 14) even though loads
+// would otherwise scale linearly with batch size.
+func (p ModelProfile) BlockLoadBatch(items []LoadItem) float64 {
+	type key struct {
+		tpl  uint64
+		step int
+	}
+	minRatio := make(map[key]float64, len(items))
+	for _, it := range items {
+		k := key{it.Template, it.Step}
+		m := clampRatio(it.Ratio)
+		if cur, ok := minRatio[k]; !ok || m < cur {
+			minRatio[k] = m
+		}
+	}
+	var bytes float64
+	for _, m := range minRatio {
+		bytes += p.BlockLoadBytes(m)
+	}
+	return bytes / p.GPU.PCIeBW
+}
+
+// StepLatencyFull returns the seconds for one denoising step of a batch of
+// n full-token requests.
+func (p ModelProfile) StepLatencyFull(n int) float64 {
+	return p.BlockComputeFull(n) * float64(p.Blocks)
+}
+
+// ImageLatencyFull returns the seconds to generate one image batch of size
+// n with full computation (the Diffusers baseline's inference latency).
+func (p ModelProfile) ImageLatencyFull(n int) float64 {
+	return p.StepLatencyFull(n) * float64(p.Steps)
+}
+
+// BlockComputeMaskedKVLatency returns one block's latency under the Fig 7
+// cache-KV variant for a single request: every kernel (including K/V
+// projections) runs on masked rows only, so the whole block sees the
+// masked-token utilization.
+func (p ModelProfile) BlockComputeMaskedKVLatency(m float64) float64 {
+	tokens := clampRatio(m) * float64(p.Tokens)
+	if tokens < 1 {
+		tokens = 1
+	}
+	return p.BlockFLOPsMaskedKV(m) / p.GPU.Efficiency(tokens)
+}
+
+// BlockComputeFISEdit returns one block's latency under FISEdit's custom
+// sparse kernels: masked tokens only with no cache reuse. The sparse
+// kernels are purpose-built for low occupancy (quartered UtilHalfTokens)
+// but pay a dense-kernel efficiency discount, which is why FISEdit helps
+// single requests yet cannot batch heterogeneous mask ratios (§6.2).
+func (p ModelProfile) BlockComputeFISEdit(m float64) float64 {
+	g := p.GPU
+	g.UtilHalfTokens /= 4
+	tokens := clampRatio(m) * float64(p.Tokens)
+	if tokens < 1 {
+		tokens = 1
+	}
+	return p.BlockFLOPsMaskedKV(m) / (g.Efficiency(tokens) * FISEditKernelEfficiency)
+}
+
+// DiskLoadLatency returns the seconds to stage a whole template cache from
+// secondary storage into host memory (paper anchor: ≈6.4 s for SDXL).
+func (p ModelProfile) DiskLoadLatency() float64 {
+	return p.TemplateCacheBytes() / p.GPU.DiskBW
+}
+
+// --- CPU stage and system-overhead constants (§4.3, §6.6) ---------------
+
+const (
+	// PreprocessLatency is the CPU time for request preprocessing (image
+	// decode, mask rasterization, latent encode). Each pre/post event is
+	// one "interruption" costing ≈0.36 s in the paper's microbenchmark.
+	PreprocessLatency = 0.36
+	// PostprocessLatency is the CPU time for postprocessing (VAE decode,
+	// image encode, serialization).
+	PostprocessLatency = 0.36
+	// SchedulerDecisionOverhead is the per-request routing cost (§6.6).
+	SchedulerDecisionOverhead = 0.6e-3
+	// BatchOrganizeOverhead is the per-step cost of assembling request
+	// inputs into a batch under continuous batching (§6.6).
+	BatchOrganizeOverhead = 1.2e-3
+	// SerializeOverhead is the latent serialization cost before handing a
+	// finished request to the postprocess worker (§6.6).
+	SerializeOverhead = 1.1e-3
+	// IPCOverhead is the inter-process communication cost (§6.6).
+	IPCOverhead = 1.3e-3
+	// TeaCacheStepFraction is the fraction of denoising steps the TeaCache
+	// baseline actually computes when configured for minimum latency with
+	// acceptable quality (§6.1).
+	TeaCacheStepFraction = 0.4
+	// FISEditKernelEfficiency discounts FISEdit's custom sparse kernels
+	// relative to dense kernels at equal token counts.
+	FISEditKernelEfficiency = 0.55
+)
+
+func clampRatio(m float64) float64 {
+	if m < 0 {
+		return 0
+	}
+	if m > 1 {
+		return 1
+	}
+	return m
+}

@@ -1,0 +1,411 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"flashps/internal/tensor"
+)
+
+func TestEfficiencyMonotoneAndBounded(t *testing.T) {
+	for _, g := range []GPU{A10, H800} {
+		prev := 0.0
+		for _, tokens := range []float64{1, 64, 512, 4096, 65536} {
+			e := g.Efficiency(tokens)
+			if e <= prev {
+				t.Fatalf("%s: efficiency not increasing at %g tokens", g.Name, tokens)
+			}
+			if e > g.PeakFLOPS*g.MaxMFU {
+				t.Fatalf("%s: efficiency exceeds MFU ceiling", g.Name)
+			}
+			prev = e
+		}
+		if g.Efficiency(0) != 0 || g.Efficiency(-5) != 0 {
+			t.Fatalf("%s: non-positive tokens should give zero efficiency", g.Name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"sd21", "sdxl", "flux"} {
+		p, err := ProfileByName(name)
+		if err != nil || p.Name != name {
+			t.Fatalf("ProfileByName(%q) = %v, %v", name, p.Name, err)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// Anchor: the paper reports ≈676 TFLOPs to generate a 1024×1024 image with
+// SDXL; our paper-scale profile must land within 15%.
+func TestAnchorSDXLImageFLOPs(t *testing.T) {
+	got := SDXLPaper.ImageFLOPsFull()
+	const want = 676e12
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("SDXL image FLOPs = %.3g, want ≈%.3g", got, want)
+	}
+}
+
+// Table 1: FLOPs of the purely masked variant scale as the mask ratio, and
+// the cache-Y variant adds exactly the full-token K/V projection.
+func TestTable1FLOPScaling(t *testing.T) {
+	p := SDXLPaper
+	full := p.BlockFLOPsFull()
+	for _, m := range []float64{0.1, 0.2, 0.5, 1.0} {
+		kv := p.BlockFLOPsMaskedKV(m)
+		ratio := kv / full
+		if math.Abs(ratio-m) > 0.01 {
+			t.Fatalf("pure masked FLOP ratio at m=%g is %g, want %g", m, ratio, m)
+		}
+		y := p.BlockFLOPsMasked(m)
+		kvProjAll := 4 * float64(p.Tokens) * float64(p.Hidden) * float64(p.Hidden)
+		kvProjMasked := m * kvProjAll
+		if math.Abs((y-kv)-(kvProjAll-kvProjMasked)) > 1 {
+			t.Fatalf("cache-Y vs cache-KV FLOP difference wrong at m=%g", m)
+		}
+	}
+	// Full mask should equal full computation for both variants.
+	if math.Abs(p.BlockFLOPsMasked(1)-full) > 1 {
+		t.Fatal("m=1 cache-Y FLOPs != full")
+	}
+	// Ratios are clamped.
+	if p.BlockFLOPsMasked(-0.5) != p.BlockFLOPsMasked(0) {
+		t.Fatal("negative ratio not clamped")
+	}
+	if p.BlockFLOPsMasked(2) != p.BlockFLOPsMasked(1) {
+		t.Fatal("ratio >1 not clamped")
+	}
+}
+
+// pipelineBlockLatency is the best-case per-block latency with loading
+// fully overlapped: max(compute, load) — what the bubble-free pipeline
+// approaches.
+func pipelineBlockLatency(p ModelProfile, m float64) float64 {
+	c := p.BlockComputeMasked([]float64{m})
+	l := p.BlockLoad([]float64{m})
+	return math.Max(c, l)
+}
+
+// Anchor (Fig 15-Right / §6.3): at mask ratio 0.2, mask-aware editing with
+// overlapped loading speeds up SD2.1/SDXL/Flux by ≈1.3/2.2/1.9×.
+func TestAnchorMaskAwareSpeedups(t *testing.T) {
+	cases := []struct {
+		p       ModelProfile
+		want    float64
+		tolFrac float64
+	}{
+		{SD21Paper, 1.3, 0.25},
+		{SDXLPaper, 2.2, 0.25},
+		{FluxPaper, 1.9, 0.30},
+	}
+	for _, tc := range cases {
+		full := tc.p.BlockComputeFull(1)
+		acc := pipelineBlockLatency(tc.p, 0.2)
+		speedup := full / acc
+		lo, hi := tc.want*(1-tc.tolFrac), tc.want*(1+tc.tolFrac)
+		if speedup < lo || speedup > hi {
+			t.Fatalf("%s: m=0.2 speedup = %.2f, want in [%.2f, %.2f]", tc.p.Name, speedup, lo, hi)
+		}
+	}
+}
+
+// Anchor (Fig 4-Left / C1): naive sequential loading on SDXL/H800 adds
+// ≈102% latency compared to fully overlapped loading.
+func TestAnchorNaiveLoadingOverhead(t *testing.T) {
+	p := SDXLPaper
+	m := 0.2
+	comp := p.BlockComputeMasked([]float64{m})
+	load := p.BlockLoad([]float64{m})
+	naive := comp + load
+	overlapped := math.Max(comp, load)
+	overhead := naive/overlapped - 1
+	if overhead < 0.70 || overhead > 1.35 {
+		t.Fatalf("naive loading overhead = %.0f%%, want ≈102%%", overhead*100)
+	}
+}
+
+// Anchor (Fig 14): at batch size 1 TeaCache out-throughputs FlashPS (full
+// tokens saturate the SMs), but with an aligned batch of 8 on one template
+// FlashPS reaches ≈3× the Diffusers throughput and overtakes TeaCache.
+func TestAnchorBatchThroughputCrossover(t *testing.T) {
+	p := SDXLPaper
+	const mbar = 0.19 // public-trace mean mask ratio
+
+	imageLatency := func(batch int) float64 {
+		items := make([]LoadItem, batch)
+		ratios := make([]float64, batch)
+		for i := range items {
+			items[i] = LoadItem{Template: 1, Step: 0, Ratio: mbar}
+			ratios[i] = mbar
+		}
+		perBlock := math.Max(p.BlockComputeMasked(ratios), p.BlockLoadBatch(items))
+		return perBlock * float64(p.Blocks) * float64(p.Steps)
+	}
+	flashThroughput := func(batch int) float64 {
+		return float64(batch) / imageLatency(batch)
+	}
+	diffusersThroughput := func(batch int) float64 {
+		return float64(batch) / p.ImageLatencyFull(batch)
+	}
+	teaThroughput := func(batch int) float64 {
+		return diffusersThroughput(batch) / TeaCacheStepFraction
+	}
+
+	if flashThroughput(1) >= teaThroughput(1) {
+		t.Fatalf("B=1: FlashPS (%.2f) should be slower than TeaCache (%.2f)",
+			flashThroughput(1), teaThroughput(1))
+	}
+	gain := flashThroughput(8) / diffusersThroughput(8)
+	if gain < 2.5 {
+		t.Fatalf("B=8: FlashPS/Diffusers throughput = %.2f, want ≥2.5 (paper ≈3×)", gain)
+	}
+	if flashThroughput(8) <= teaThroughput(8) {
+		t.Fatalf("B=8: FlashPS (%.2f) should overtake TeaCache (%.2f)",
+			flashThroughput(8), teaThroughput(8))
+	}
+	// Sustained growth: FlashPS throughput strictly increases with batch.
+	prev := 0.0
+	for b := 1; b <= 8; b++ {
+		th := flashThroughput(b)
+		if th <= prev {
+			t.Fatalf("FlashPS throughput not growing at B=%d", b)
+		}
+		prev = th
+	}
+}
+
+// Anchor (§4.3): mask-aware inference magnifies the batching gain; at
+// batch 4 on Flux the relative gain is ≈1.29× over full regeneration.
+func TestAnchorBatchingGainMagnified(t *testing.T) {
+	p := FluxPaper
+	const mbar = 0.19
+	perImageMasked := func(b int) float64 {
+		ratios := make([]float64, b)
+		for i := range ratios {
+			ratios[i] = mbar
+		}
+		return p.BlockComputeMasked(ratios) / float64(b)
+	}
+	gainMasked := perImageMasked(1) / perImageMasked(4)
+	gainFull := (p.BlockComputeFull(1) / 1) / (p.BlockComputeFull(4) / 4)
+	magnification := gainMasked / gainFull
+	if magnification < 1.1 || magnification > 1.7 {
+		t.Fatalf("batching gain magnification = %.2f, want ≈1.29", magnification)
+	}
+}
+
+// Anchor (§4.2): staging one SDXL template cache from disk takes ≈6.4 s,
+// and the cache is ≈2.6 GiB.
+func TestAnchorDiskAndCacheSize(t *testing.T) {
+	bytes := SDXLPaper.TemplateCacheBytes()
+	const wantBytes = 2.6 * 1024 * 1024 * 1024
+	if bytes < wantBytes*0.7 || bytes > wantBytes*1.3 {
+		t.Fatalf("SDXL template cache = %.2f GiB, want ≈2.6", bytes/(1<<30))
+	}
+	sec := SDXLPaper.DiskLoadLatency()
+	if sec < 4 || sec > 9 {
+		t.Fatalf("disk load latency = %.1fs, want ≈6.4", sec)
+	}
+}
+
+func TestBlockLoadBatchDeduplicates(t *testing.T) {
+	p := SDXLPaper
+	shared := []LoadItem{
+		{Template: 1, Step: 5, Ratio: 0.2},
+		{Template: 1, Step: 5, Ratio: 0.3},
+		{Template: 1, Step: 5, Ratio: 0.25},
+	}
+	// Shared (template, step): one transfer at the minimum ratio (largest
+	// unmasked union).
+	want := p.BlockLoadBytes(0.2) / p.GPU.PCIeBW
+	if got := p.BlockLoadBatch(shared); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("shared load = %g want %g", got, want)
+	}
+	distinct := []LoadItem{
+		{Template: 1, Step: 5, Ratio: 0.2},
+		{Template: 2, Step: 5, Ratio: 0.2},
+		{Template: 1, Step: 6, Ratio: 0.2},
+	}
+	want = 3 * p.BlockLoadBytes(0.2) / p.GPU.PCIeBW
+	if got := p.BlockLoadBatch(distinct); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("distinct load = %g want %g", got, want)
+	}
+	if p.BlockLoadBatch(nil) != 0 {
+		t.Fatal("empty batch load != 0")
+	}
+}
+
+func TestBlockComputeEdgeCases(t *testing.T) {
+	p := SD21Paper
+	if p.BlockComputeFull(0) != 0 {
+		t.Fatal("zero batch compute != 0")
+	}
+	if p.BlockComputeMasked(nil) != 0 {
+		t.Fatal("empty batch masked compute != 0")
+	}
+	// Tiny mask ratios must not divide by zero.
+	v := p.BlockComputeMasked([]float64{0})
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("m=0 compute = %v", v)
+	}
+}
+
+func TestComputeLatencyIncreasesWithRatioAndBatch(t *testing.T) {
+	p := FluxPaper
+	prev := 0.0
+	for _, m := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		c := p.BlockComputeMasked([]float64{m})
+		if c <= prev {
+			t.Fatalf("compute latency not increasing at m=%g", m)
+		}
+		prev = c
+	}
+	b1 := p.BlockComputeMasked([]float64{0.2})
+	b4 := p.BlockComputeMasked([]float64{0.2, 0.2, 0.2, 0.2})
+	if b4 <= b1 {
+		t.Fatal("batch compute should exceed single-request compute")
+	}
+	if b4 >= 4*b1 {
+		t.Fatal("batching should be sublinear (utilization improves)")
+	}
+}
+
+func TestLoadDecreasesWithRatio(t *testing.T) {
+	p := SDXLPaper
+	if !(p.BlockLoad([]float64{0.1}) > p.BlockLoad([]float64{0.5})) {
+		t.Fatal("larger masks should load less cache")
+	}
+	if p.BlockLoad([]float64{1}) != 0 {
+		t.Fatal("full mask should load nothing")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	l, r2, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-9 || math.Abs(l.Intercept-3) > 1e-9 {
+		t.Fatalf("fit = %+v", l)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("R² = %g want 1", r2)
+	}
+	if got := l.Predict(10); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("Predict(10) = %g want 23", got)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := FitLinear([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+// Anchor (Fig 11): the offline-fitted latency regressions achieve R² ≈ 0.99.
+func TestAnchorCalibrationR2(t *testing.T) {
+	for _, p := range AllPaperProfiles() {
+		est, err := Calibrate(p, tensor.NewRNG(1), 0.02)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if est.R2Comp < 0.97 {
+			t.Fatalf("%s: compute R² = %.4f, want ≥0.97", p.Name, est.R2Comp)
+		}
+		if est.R2Load < 0.97 {
+			t.Fatalf("%s: load R² = %.4f, want ≥0.97", p.Name, est.R2Load)
+		}
+	}
+}
+
+func TestEstimatorPredictionsCloseToAnalytic(t *testing.T) {
+	p := FluxPaper
+	est, err := Calibrate(p, tensor.NewRNG(2), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := []float64{0.1, 0.25, 0.4}
+	gotC := est.CompLatency(ratios)
+	wantC := p.BlockComputeMasked(ratios)
+	if math.Abs(gotC-wantC)/wantC > 0.25 {
+		t.Fatalf("comp estimate %g vs analytic %g", gotC, wantC)
+	}
+	gotL := est.LoadLatency(ratios)
+	wantL := p.BlockLoad(ratios)
+	if math.Abs(gotL-wantL)/wantL > 0.15 {
+		t.Fatalf("load estimate %g vs analytic %g", gotL, wantL)
+	}
+	gotF := est.CompFullLatency(2)
+	wantF := p.BlockComputeFull(2)
+	if math.Abs(gotF-wantF)/wantF > 0.25 {
+		t.Fatalf("full estimate %g vs analytic %g", gotF, wantF)
+	}
+}
+
+func TestImageLatencyScalesWithSteps(t *testing.T) {
+	p := SD21Paper
+	if got, want := p.ImageLatencyFull(1), p.StepLatencyFull(1)*float64(p.Steps); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ImageLatencyFull = %g want %g", got, want)
+	}
+}
+
+func TestModelSizeOrdering(t *testing.T) {
+	// SD2.1 < SDXL < Flux in per-image compute, matching the paper.
+	sd := SD21Paper.ImageFLOPsFull()
+	xl := SDXLPaper.ImageFLOPsFull()
+	fx := FluxPaper.ImageFLOPsFull()
+	if !(sd < xl && xl < fx) {
+		t.Fatalf("FLOP ordering violated: %g, %g, %g", sd, xl, fx)
+	}
+}
+
+func TestUNetProfileGeometry(t *testing.T) {
+	u := SDXLUNetPaper
+	if u.TotalBlocks() != 56 {
+		t.Fatalf("TotalBlocks = %d want 56 (matches SDXLPaper)", u.TotalBlocks())
+	}
+	cc, cf, ld := u.FlatBlockCosts(0.2)
+	if len(cc) != 56 || len(cf) != 56 || len(ld) != 56 {
+		t.Fatal("flat cost lengths wrong")
+	}
+	// Encoder (stage 0) and decoder (stage 2) blocks share costs; middle
+	// differs (different resolution).
+	if cc[0] != cc[55] || cf[0] != cf[55] || ld[0] != ld[55] {
+		t.Fatal("mirrored stages should have identical costs")
+	}
+	if cc[0] == cc[20] {
+		t.Fatal("stages at different resolutions should have different costs")
+	}
+	// Stage lookup.
+	if u.StageOfBlock(0) != 0 || u.StageOfBlock(14) != 1 || u.StageOfBlock(42) != 2 || u.StageOfBlock(55) != 2 {
+		t.Fatal("StageOfBlock wrong")
+	}
+	// Cached compute must beat full compute per block; loads positive.
+	for i := range cc {
+		if cc[i] >= cf[i] {
+			t.Fatalf("block %d: cached %g not below full %g", i, cc[i], cf[i])
+		}
+		if ld[i] <= 0 {
+			t.Fatalf("block %d: non-positive load", i)
+		}
+	}
+}
+
+func TestUNetProfileLoadDecreasesWithRatio(t *testing.T) {
+	u := SDXLUNetPaper
+	_, _, ldSmall := u.FlatBlockCosts(0.1)
+	_, _, ldBig := u.FlatBlockCosts(0.5)
+	if ldSmall[0] <= ldBig[0] {
+		t.Fatal("larger masks should load less")
+	}
+}

@@ -1,0 +1,142 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"flashps/internal/tensor"
+)
+
+// Linear is a one-dimensional linear regression y = Slope·x + Intercept.
+// FlashPS's scheduler uses two of these — one mapping batch FLOPs to
+// compute latency and one mapping cache bytes to load latency — because
+// Table 1 shows both scale linearly with the mask ratio (paper Fig 11,
+// fitted offline with R² ≈ 0.99).
+type Linear struct {
+	Slope, Intercept float64
+}
+
+// Predict returns the regression estimate at x.
+func (l Linear) Predict(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// FitLinear fits y = a·x + b by ordinary least squares and returns the fit
+// together with its coefficient of determination R².
+func FitLinear(xs, ys []float64) (Linear, float64, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, 0, fmt.Errorf("perfmodel: FitLinear length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Linear{}, 0, fmt.Errorf("perfmodel: FitLinear needs ≥2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Linear{}, 0, fmt.Errorf("perfmodel: FitLinear degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Linear{Slope: slope, Intercept: intercept}, r2, nil
+}
+
+// Estimator maps a batch of mask ratios to predicted compute and load
+// latencies for one model profile, backing Algo 2's cost scoring.
+type Estimator struct {
+	Profile  ModelProfile
+	Comp     Linear  // batch masked-FLOPs per block → seconds
+	Load     Linear  // batch load bytes per block → seconds
+	CompFull Linear  // batch full-FLOPs per block → seconds
+	R2Comp   float64 // fit quality of Comp (paper reports 0.99)
+	R2Load   float64
+}
+
+// Calibrate fits the estimator from "offline profiling data": a sweep of
+// batch sizes and mask ratios whose latencies come from the analytic model
+// perturbed with measurement noise of the given relative magnitude
+// (e.g. 0.02 for ±2%). This mirrors the paper's offline regression fitting.
+func Calibrate(p ModelProfile, rng *tensor.RNG, noise float64) (*Estimator, error) {
+	var compX, compY, loadX, loadY, fullX, fullY []float64
+	ratioGrid := []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9}
+	for batch := 1; batch <= p.MaxBatch; batch++ {
+		for _, m := range ratioGrid {
+			ratios := make([]float64, batch)
+			var flops, bytes float64
+			for i := range ratios {
+				// Jitter ratios within the batch so samples aren't uniform.
+				r := m * (0.8 + 0.4*rng.Float64())
+				if r > 1 {
+					r = 1
+				}
+				ratios[i] = r
+				flops += p.BlockFLOPsMasked(r)
+				bytes += p.BlockLoadBytes(r)
+			}
+			compX = append(compX, flops)
+			compY = append(compY, p.BlockComputeMasked(ratios)*(1+noise*rng.NormFloat64()))
+			loadX = append(loadX, bytes)
+			loadY = append(loadY, p.BlockLoad(ratios)*(1+noise*rng.NormFloat64()))
+		}
+		fullX = append(fullX, float64(batch)*p.BlockFLOPsFull())
+		fullY = append(fullY, p.BlockComputeFull(batch)*(1+noise*rng.NormFloat64()))
+	}
+	comp, r2c, err := FitLinear(compX, compY)
+	if err != nil {
+		return nil, err
+	}
+	load, r2l, err := FitLinear(loadX, loadY)
+	if err != nil {
+		return nil, err
+	}
+	full, _, err := FitLinear(fullX, fullY)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{
+		Profile: p, Comp: comp, Load: load, CompFull: full,
+		R2Comp: r2c, R2Load: r2l,
+	}, nil
+}
+
+// CompLatency predicts the per-block compute latency for a batch with the
+// given mask ratios under mask-aware execution.
+func (e *Estimator) CompLatency(ratios []float64) float64 {
+	var flops float64
+	for _, m := range ratios {
+		flops += e.Profile.BlockFLOPsMasked(m)
+	}
+	return math.Max(0, e.Comp.Predict(flops))
+}
+
+// LoadLatency predicts the per-block cache-load latency for a batch with
+// the given mask ratios.
+func (e *Estimator) LoadLatency(ratios []float64) float64 {
+	var bytes float64
+	for _, m := range ratios {
+		bytes += e.Profile.BlockLoadBytes(m)
+	}
+	return math.Max(0, e.Load.Predict(bytes))
+}
+
+// CompFullLatency predicts the per-block compute latency when n requests
+// compute all tokens (blocks the pipeline marks compute-all).
+func (e *Estimator) CompFullLatency(n int) float64 {
+	return math.Max(0, e.CompFull.Predict(float64(n)*e.Profile.BlockFLOPsFull()))
+}

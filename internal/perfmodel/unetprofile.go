@@ -1,0 +1,100 @@
+package perfmodel
+
+// UNet-based models run transformer blocks at several latent resolutions
+// (the paper's §2.1 footnote): SDXL interleaves blocks over 4096 tokens at
+// hidden 640 with blocks over 1024 tokens at hidden 1280. Per-block costs
+// therefore differ across the depth of the network — exactly the
+// heterogeneous case Algorithm 1's DP handles (internal/pipeline accepts
+// per-block costs and is validated against brute force).
+
+// StageSpec describes one resolution stage of a heterogeneous profile.
+type StageSpec struct {
+	// Blocks is the number of transformer blocks in the stage.
+	Blocks int
+	// Tokens is the stage's token length.
+	Tokens int
+	// Hidden is the stage's hidden dimension.
+	Hidden int
+}
+
+// UNetProfile is a paper-scale multi-resolution model profile.
+type UNetProfile struct {
+	Name        string
+	Stages      []StageSpec
+	FFNMult     int
+	Steps       int
+	BytesPerElt int
+	GPU         GPU
+}
+
+// SDXLUNetPaper approximates the real SDXL UNet's two-resolution block
+// layout (encoder, middle, mirrored decoder; 56 blocks total, matching
+// SDXLPaper's flattened count).
+var SDXLUNetPaper = UNetProfile{
+	Name: "sdxl-unet",
+	Stages: []StageSpec{
+		{Blocks: 14, Tokens: 4096, Hidden: 640},  // high-res encoder
+		{Blocks: 28, Tokens: 1024, Hidden: 1280}, // low-res middle
+		{Blocks: 14, Tokens: 4096, Hidden: 640},  // high-res decoder
+	},
+	FFNMult: 4, Steps: 50, BytesPerElt: 2, GPU: H800,
+}
+
+// TotalBlocks returns the flattened block count.
+func (u UNetProfile) TotalBlocks() int {
+	n := 0
+	for _, s := range u.Stages {
+		n += s.Blocks
+	}
+	return n
+}
+
+// BlockCostAt returns (computeCached, computeFull, load) in seconds for a
+// block of the given stage at mask ratio m (single request). Mask ratios
+// carry across resolutions unchanged (area fractions are preserved by
+// pooling up to max-pool inflation, which this model neglects).
+func (u UNetProfile) BlockCostAt(stage StageSpec, m float64) (compCached, compFull, load float64) {
+	m = clampRatio(m)
+	L := float64(stage.Tokens)
+	H := float64(stage.Hidden)
+	rows := m * L
+
+	fullFLOPs := 4*float64(u.FFNMult)*L*H*H + 8*L*H*H + 4*L*L*H
+	compFull = fullFLOPs / u.GPU.Efficiency(L)
+
+	maskedFLOPs := 4*float64(u.FFNMult)*rows*H*H + 4*rows*H*H + 4*rows*L*H
+	kvFLOPs := 4 * L * H * H
+	tokens := rows
+	if tokens < 1 {
+		tokens = 1
+	}
+	compCached = maskedFLOPs/u.GPU.Efficiency(tokens) + kvFLOPs/u.GPU.Efficiency(L)
+
+	load = (1 - m) * L * H * float64(u.BytesPerElt) / u.GPU.PCIeBW
+	return compCached, compFull, load
+}
+
+// FlatBlockCosts returns per-block (cached, full, load) cost triples in
+// flattened execution order, ready for the pipeline DP.
+func (u UNetProfile) FlatBlockCosts(m float64) (compCached, compFull, load []float64) {
+	for _, s := range u.Stages {
+		cc, cf, ld := u.BlockCostAt(s, m)
+		for i := 0; i < s.Blocks; i++ {
+			compCached = append(compCached, cc)
+			compFull = append(compFull, cf)
+			load = append(load, ld)
+		}
+	}
+	return compCached, compFull, load
+}
+
+// StageOfBlock returns the stage index of a flattened block index.
+func (u UNetProfile) StageOfBlock(flat int) int {
+	for i, s := range u.Stages {
+		if flat < s.Blocks {
+			return i
+		}
+		flat -= s.Blocks
+	}
+	return len(u.Stages) - 1
+}

@@ -1,0 +1,222 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flashps/internal/perfmodel"
+	"flashps/internal/tensor"
+)
+
+func TestEvaluateLengthMismatch(t *testing.T) {
+	if _, err := Evaluate([]bool{true}, Uniform(BlockCost{1, 2, 1}, 2)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEvaluateAllFullIsSum(t *testing.T) {
+	costs := []BlockCost{{1, 4, 2}, {1, 5, 2}, {1, 6, 2}}
+	got, err := Evaluate([]bool{false, false, false}, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("all-full latency = %g want 15", got)
+	}
+}
+
+func TestEvaluateComputeBoundPipeline(t *testing.T) {
+	// Load (1s) < compute (3s): only the first block's load is exposed.
+	costs := Uniform(BlockCost{CompCached: 3, CompFull: 10, Load: 1}, 4)
+	got := StrawmanLatency(costs)
+	want := 1.0 + 4*3 // first load, then back-to-back computes
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("compute-bound pipeline = %g want %g", got, want)
+	}
+}
+
+func TestEvaluateLoadBoundPipeline(t *testing.T) {
+	// Load (3s) > compute (1s): every block waits for its load; bubbles
+	// appear between computations (Fig 9-Middle).
+	costs := Uniform(BlockCost{CompCached: 1, CompFull: 10, Load: 3}, 4)
+	got := StrawmanLatency(costs)
+	want := 4*3 + 1.0 // last load finishes at 12, then its compute
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("load-bound pipeline = %g want %g", got, want)
+	}
+}
+
+func TestNaiveAndIdealBrackets(t *testing.T) {
+	costs := Uniform(BlockCost{CompCached: 2, CompFull: 7, Load: 2}, 8)
+	naive := NaiveLatency(costs)
+	straw := StrawmanLatency(costs)
+	ideal := IdealLatency(costs)
+	opt := Optimize(costs).Latency
+	if !(ideal <= opt && opt <= straw && straw <= naive) {
+		t.Fatalf("ordering violated: ideal %g, opt %g, strawman %g, naive %g",
+			ideal, opt, straw, naive)
+	}
+	if naive != 8*(2+2) {
+		t.Fatalf("naive = %g", naive)
+	}
+	if ideal != 16 {
+		t.Fatalf("ideal = %g", ideal)
+	}
+}
+
+func TestOptimizeAllCachedWhenLoadCheap(t *testing.T) {
+	costs := Uniform(BlockCost{CompCached: 5, CompFull: 20, Load: 0.1}, 10)
+	s := Optimize(costs)
+	if s.CacheBlockCount() != 10 {
+		t.Fatalf("cheap loads: %d/10 blocks cached, want all", s.CacheBlockCount())
+	}
+	want := 0.1 + 10*5
+	if math.Abs(s.Latency-want) > 1e-9 {
+		t.Fatalf("latency = %g want %g", s.Latency, want)
+	}
+}
+
+func TestOptimizeAllFullWhenCacheUseless(t *testing.T) {
+	// Cached compute barely cheaper but load enormous: compute everything.
+	costs := Uniform(BlockCost{CompCached: 9, CompFull: 10, Load: 100}, 6)
+	s := Optimize(costs)
+	if s.CacheBlockCount() != 0 {
+		t.Fatalf("useless cache: %d blocks cached, want 0", s.CacheBlockCount())
+	}
+	if s.Latency != 60 {
+		t.Fatalf("latency = %g want 60", s.Latency)
+	}
+}
+
+func TestOptimizeMixesWhenLoadBound(t *testing.T) {
+	// Load (3) > cached compute (1), full compute (4): mixing removes
+	// bubbles — the Fig 9-Bottom scenario.
+	costs := Uniform(BlockCost{CompCached: 1, CompFull: 4, Load: 3}, 12)
+	s := Optimize(costs)
+	straw := StrawmanLatency(costs)
+	full := FullComputeLatency(costs)
+	if s.Latency >= straw {
+		t.Fatalf("optimized (%g) not better than strawman (%g)", s.Latency, straw)
+	}
+	if s.Latency >= full {
+		t.Fatalf("optimized (%g) not better than all-full (%g)", s.Latency, full)
+	}
+	k := s.CacheBlockCount()
+	if k == 0 || k == 12 {
+		t.Fatalf("expected a mixed schedule, got %d/12 cached", k)
+	}
+}
+
+func TestOptimizeEmptyAndSingle(t *testing.T) {
+	s := Optimize(nil)
+	if s.Latency != 0 || len(s.UseCache) != 0 {
+		t.Fatalf("empty optimize = %+v", s)
+	}
+	s = Optimize([]BlockCost{{CompCached: 1, CompFull: 5, Load: 2}})
+	if s.Latency != 3 || !s.UseCache[0] {
+		t.Fatalf("single block = %+v", s)
+	}
+	s = Optimize([]BlockCost{{CompCached: 1, CompFull: 2, Load: 9}})
+	if s.Latency != 2 || s.UseCache[0] {
+		t.Fatalf("single block expensive load = %+v", s)
+	}
+}
+
+// bruteForce enumerates all 2^n decisions — ground truth for the DP.
+func bruteForce(costs []BlockCost) float64 {
+	n := len(costs)
+	best := math.Inf(1)
+	useCache := make([]bool, n)
+	for bits := 0; bits < 1<<n; bits++ {
+		for i := 0; i < n; i++ {
+			useCache[i] = bits&(1<<i) != 0
+		}
+		v, _ := Evaluate(useCache, costs)
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestOptimizeMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(11)
+		costs := make([]BlockCost, n)
+		for i := range costs {
+			cc := rng.Float64() * 5
+			costs[i] = BlockCost{
+				CompCached: cc,
+				CompFull:   cc + rng.Float64()*10, // full ≥ cached
+				Load:       rng.Float64() * 8,
+			}
+		}
+		got := Optimize(costs)
+		want := bruteForce(costs)
+		if math.Abs(got.Latency-want) > 1e-9 {
+			return false
+		}
+		// The returned decision must evaluate to the returned latency.
+		ev, err := Evaluate(got.UseCache, costs)
+		return err == nil && math.Abs(ev-got.Latency) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeHeterogeneousBlocks(t *testing.T) {
+	costs := []BlockCost{
+		{CompCached: 1, CompFull: 3, Load: 5},
+		{CompCached: 2, CompFull: 8, Load: 0.5},
+		{CompCached: 0.5, CompFull: 2, Load: 4},
+		{CompCached: 3, CompFull: 12, Load: 1},
+	}
+	got := Optimize(costs)
+	want := bruteForce(costs)
+	if math.Abs(got.Latency-want) > 1e-9 {
+		t.Fatalf("heterogeneous: DP %g vs brute force %g", got.Latency, want)
+	}
+}
+
+// Paper-scale sanity: for SDXL at m=0.2 the optimized pipeline is within a
+// hair of max(ΣC_w, first-load + ΣC_w) and far below naive (Fig 4-Left).
+func TestPaperScaleSDXLSchedule(t *testing.T) {
+	p := perfmodel.SDXLPaper
+	ratios := []float64{0.2}
+	items := []perfmodel.LoadItem{{Template: 1, Step: 0, Ratio: 0.2}}
+	c := BlockCost{
+		CompCached: p.BlockComputeMasked(ratios),
+		CompFull:   p.BlockComputeFull(1),
+		Load:       p.BlockLoadBatch(items),
+	}
+	costs := Uniform(c, p.Blocks)
+	opt := Optimize(costs)
+	naive := NaiveLatency(costs)
+	if naive/opt.Latency < 1.5 {
+		t.Fatalf("bubble-free (%g) should roughly halve naive (%g)", opt.Latency, naive)
+	}
+	// The bubble-free schedule must beat mask-agnostic full computation by
+	// around the paper's 2.2× at m=0.2.
+	full := FullComputeLatency(costs)
+	if speedup := full / opt.Latency; speedup < 1.7 {
+		t.Fatalf("speedup vs full = %.2f, want ≳2", speedup)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	costs := Uniform(BlockCost{1, 2, 3}, 3)
+	if len(costs) != 3 || costs[2].Load != 3 {
+		t.Fatalf("Uniform = %+v", costs)
+	}
+}
+
+func BenchmarkOptimize56Blocks(b *testing.B) {
+	costs := Uniform(BlockCost{CompCached: 0.0003, CompFull: 0.0008, Load: 0.0004}, 56)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(costs)
+	}
+}

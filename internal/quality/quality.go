@@ -1,0 +1,201 @@
+// Package quality implements the image-quality metrics of the paper's
+// Table 2: SSIM (exact, per Wang et al. 2004), a Fréchet-distance FID
+// proxy over a fixed random-projection feature extractor (diagonal
+// covariance), and a CLIP-alignment proxy. The learned feature extractors
+// of the originals (InceptionV3, CLIP) are substituted with deterministic
+// random-projection embeddings: absolute values differ from the paper, but
+// the rank ordering between "identical", "slightly perturbed" and
+// "distorted" image sets — all Table 2 needs — is preserved. See DESIGN.md.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"flashps/internal/img"
+	"flashps/internal/tensor"
+)
+
+// SSIM returns the mean Structural Similarity Index between two images of
+// identical size, computed on luminance with uniform 8×8 windows and the
+// standard constants C1=(0.01·L)², C2=(0.03·L)² for dynamic range L=1.
+// It returns 1 for identical images and panics on size mismatch.
+func SSIM(a, b *img.Image) float64 {
+	if a.H != b.H || a.W != b.W {
+		panic("quality: SSIM size mismatch")
+	}
+	const win = 8
+	const c1 = 0.01 * 0.01
+	const c2 = 0.03 * 0.03
+	ga, gb := a.Gray(), b.Gray()
+	var total float64
+	var count int
+	stride := win / 2
+	if a.H < win || a.W < win {
+		// Single window over the whole (small) image.
+		return ssimWindow(ga, gb, a.W, 0, 0, a.H, a.W, c1, c2)
+	}
+	for y := 0; y+win <= a.H; y += stride {
+		for x := 0; x+win <= a.W; x += stride {
+			total += ssimWindow(ga, gb, a.W, y, x, win, win, c1, c2)
+			count++
+		}
+	}
+	return total / float64(count)
+}
+
+func ssimWindow(ga, gb []float64, width, y0, x0, h, w int, c1, c2 float64) float64 {
+	n := float64(h * w)
+	var ma, mb float64
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			ma += ga[y*width+x]
+			mb += gb[y*width+x]
+		}
+	}
+	ma /= n
+	mb /= n
+	var va, vb, cov float64
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			da := ga[y*width+x] - ma
+			db := gb[y*width+x] - mb
+			va += da * da
+			vb += db * db
+			cov += da * db
+		}
+	}
+	va /= n
+	vb /= n
+	cov /= n
+	return ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+}
+
+// Embedder maps images to fixed-dimensional feature vectors via a
+// deterministic random projection of 4×4-patch statistics. It stands in
+// for the learned feature extractors (InceptionV3 for FID, CLIP's image
+// tower) of the paper's metrics.
+type Embedder struct {
+	Dim  int
+	proj *tensor.Matrix // featureIn × Dim
+	inD  int
+}
+
+// NewEmbedder builds an embedder with the given output dimension. The
+// projection is derived from seed, so all comparisons within an experiment
+// share one feature space.
+func NewEmbedder(dim int, seed uint64) (*Embedder, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("quality: invalid embedder dim %d", dim)
+	}
+	const inD = 48 // 16 patch cells × 3 channels, pooled
+	rng := tensor.NewRNG(seed ^ 0xE3BED)
+	return &Embedder{
+		Dim:  dim,
+		proj: tensor.Randn(rng, inD, dim, 1/math.Sqrt(inD)),
+		inD:  inD,
+	}, nil
+}
+
+// Embed returns the image's feature vector: per-cell mean colors of a 4×4
+// spatial pooling grid, projected to Dim dimensions.
+func (e *Embedder) Embed(im *img.Image) []float64 {
+	const grid = 4
+	feats := make([]float32, e.inD)
+	cellH := (im.H + grid - 1) / grid
+	cellW := (im.W + grid - 1) / grid
+	for gy := 0; gy < grid; gy++ {
+		for gx := 0; gx < grid; gx++ {
+			var sr, sg, sb float64
+			var n float64
+			for y := gy * cellH; y < (gy+1)*cellH && y < im.H; y++ {
+				for x := gx * cellW; x < (gx+1)*cellW && x < im.W; x++ {
+					r, g, b := im.At(y, x)
+					sr += float64(r)
+					sg += float64(g)
+					sb += float64(b)
+					n++
+				}
+			}
+			if n == 0 {
+				n = 1
+			}
+			base := (gy*grid + gx) * 3
+			feats[base] = float32(sr / n)
+			feats[base+1] = float32(sg / n)
+			feats[base+2] = float32(sb / n)
+		}
+	}
+	out := tensor.MatMul(tensor.FromSlice(1, e.inD, feats), e.proj)
+	res := make([]float64, e.Dim)
+	for i, v := range out.Data {
+		res[i] = float64(v)
+	}
+	return res
+}
+
+// FIDProxy returns the Fréchet distance between Gaussian fits (diagonal
+// covariance) of the two image sets' embeddings:
+//
+//	‖μ₁-μ₂‖² + Σᵢ (σ₁ᵢ + σ₂ᵢ - 2√(σ₁ᵢσ₂ᵢ))
+//
+// Identical sets give 0; more divergent sets give larger values. It scales
+// the result by 100 so magnitudes are comparable to published FID ranges.
+func FIDProxy(e *Embedder, setA, setB []*img.Image) (float64, error) {
+	if len(setA) == 0 || len(setB) == 0 {
+		return 0, fmt.Errorf("quality: FIDProxy needs non-empty sets (%d, %d)", len(setA), len(setB))
+	}
+	muA, varA := gaussianFit(e, setA)
+	muB, varB := gaussianFit(e, setB)
+	var d float64
+	for i := range muA {
+		dm := muA[i] - muB[i]
+		d += dm * dm
+		d += varA[i] + varB[i] - 2*math.Sqrt(varA[i]*varB[i])
+	}
+	return 100 * d, nil
+}
+
+func gaussianFit(e *Embedder, set []*img.Image) (mu, variance []float64) {
+	mu = make([]float64, e.Dim)
+	variance = make([]float64, e.Dim)
+	embeds := make([][]float64, len(set))
+	for i, im := range set {
+		embeds[i] = e.Embed(im)
+		for j, v := range embeds[i] {
+			mu[j] += v
+		}
+	}
+	n := float64(len(set))
+	for j := range mu {
+		mu[j] /= n
+	}
+	for _, emb := range embeds {
+		for j, v := range emb {
+			d := v - mu[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= n
+	}
+	return mu, variance
+}
+
+// CLIPProxy returns an alignment score in roughly [0, 100] between an
+// image and a reference image that canonically renders the same prompt:
+// the cosine similarity of their embeddings, affinely mapped to a
+// CLIP-score-like range. Systems that generate prompt-consistent content
+// score close to the reference's self-similarity (100·(1+1)/2 → scaled).
+func CLIPProxy(e *Embedder, image, reference *img.Image) float64 {
+	a := e.Embed(image)
+	b := e.Embed(reference)
+	af := make([]float32, len(a))
+	bf := make([]float32, len(b))
+	for i := range a {
+		af[i] = float32(a[i])
+		bf[i] = float32(b[i])
+	}
+	cos := tensor.CosineSimilarity(af, bf)
+	return 50 * (cos + 1) * 0.64 // maps cos=1 → 64, the CLIP-score ballpark
+}

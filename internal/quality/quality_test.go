@@ -1,0 +1,176 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"flashps/internal/img"
+	"flashps/internal/tensor"
+)
+
+func noisy(base *img.Image, std float64, seed uint64) *img.Image {
+	rng := tensor.NewRNG(seed)
+	out := base.Clone()
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			r, g, b := out.At(y, x)
+			out.Set(y, x,
+				r+float32(rng.NormFloat64()*std),
+				g+float32(rng.NormFloat64()*std),
+				b+float32(rng.NormFloat64()*std))
+		}
+	}
+	return out
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	a := img.SynthTemplate(1, 32, 32)
+	if got := SSIM(a, a); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("SSIM(a,a) = %g want 1", got)
+	}
+}
+
+func TestSSIMRange(t *testing.T) {
+	a := img.SynthTemplate(1, 32, 32)
+	b := img.SynthTemplate(2, 32, 32)
+	got := SSIM(a, b)
+	if got < -1 || got > 1 {
+		t.Fatalf("SSIM out of range: %g", got)
+	}
+	if got > 0.99 {
+		t.Fatalf("different templates SSIM = %g, suspiciously high", got)
+	}
+}
+
+func TestSSIMOrdering(t *testing.T) {
+	// More noise → lower SSIM.
+	base := img.SynthTemplate(3, 64, 64)
+	little := SSIM(base, noisy(base, 0.02, 1))
+	lots := SSIM(base, noisy(base, 0.2, 2))
+	if little <= lots {
+		t.Fatalf("SSIM ordering violated: noise0.02→%g noise0.2→%g", little, lots)
+	}
+	if little < 0.8 {
+		t.Fatalf("light noise SSIM = %g, want high", little)
+	}
+}
+
+func TestSSIMSymmetric(t *testing.T) {
+	a := img.SynthTemplate(4, 32, 32)
+	b := noisy(a, 0.1, 3)
+	if math.Abs(SSIM(a, b)-SSIM(b, a)) > 1e-12 {
+		t.Fatal("SSIM not symmetric")
+	}
+}
+
+func TestSSIMSmallImage(t *testing.T) {
+	a := img.SynthTemplate(5, 4, 4) // below window size
+	if got := SSIM(a, a); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("small-image SSIM(a,a) = %g", got)
+	}
+}
+
+func TestSSIMPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SSIM(img.New(8, 8), img.New(16, 16))
+}
+
+func TestNewEmbedderValidation(t *testing.T) {
+	if _, err := NewEmbedder(0, 1); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	e, err := NewEmbedder(16, 1)
+	if err != nil || e.Dim != 16 {
+		t.Fatalf("NewEmbedder: %v", err)
+	}
+}
+
+func TestEmbedDeterministicAndDiscriminative(t *testing.T) {
+	e, _ := NewEmbedder(16, 7)
+	a := img.SynthTemplate(1, 32, 32)
+	e1 := e.Embed(a)
+	e2 := e.Embed(a)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("Embed not deterministic")
+		}
+	}
+	b := img.SynthTemplate(2, 32, 32)
+	e3 := e.Embed(b)
+	same := true
+	for i := range e1 {
+		if e1[i] != e3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different images embed identically")
+	}
+}
+
+func TestFIDProxyProperties(t *testing.T) {
+	e, _ := NewEmbedder(16, 7)
+	var setA, setAnoisyLittle, setAnoisyLots, setB []*img.Image
+	for i := uint64(0); i < 8; i++ {
+		base := img.SynthTemplate(i, 32, 32)
+		setA = append(setA, base)
+		setAnoisyLittle = append(setAnoisyLittle, noisy(base, 0.02, i))
+		setAnoisyLots = append(setAnoisyLots, noisy(base, 0.3, i+100))
+		setB = append(setB, img.SynthTemplate(i+50, 32, 32))
+	}
+	self, err := FIDProxy(e, setA, setA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != 0 {
+		t.Fatalf("FID(a,a) = %g want 0", self)
+	}
+	little, _ := FIDProxy(e, setA, setAnoisyLittle)
+	lots, _ := FIDProxy(e, setA, setAnoisyLots)
+	other, _ := FIDProxy(e, setA, setB)
+	if !(little < lots) {
+		t.Fatalf("FID ordering: little %g should be < lots %g", little, lots)
+	}
+	if !(little < other) {
+		t.Fatalf("FID ordering: near-identical %g should be < unrelated %g", little, other)
+	}
+	if little < 0 || lots < 0 || other < 0 {
+		t.Fatal("FID must be non-negative")
+	}
+}
+
+func TestFIDProxySymmetric(t *testing.T) {
+	e, _ := NewEmbedder(16, 3)
+	setA := []*img.Image{img.SynthTemplate(1, 32, 32), img.SynthTemplate(2, 32, 32)}
+	setB := []*img.Image{img.SynthTemplate(3, 32, 32), img.SynthTemplate(4, 32, 32)}
+	ab, _ := FIDProxy(e, setA, setB)
+	ba, _ := FIDProxy(e, setB, setA)
+	if math.Abs(ab-ba) > 1e-9 {
+		t.Fatal("FID not symmetric")
+	}
+}
+
+func TestFIDProxyEmptySets(t *testing.T) {
+	e, _ := NewEmbedder(16, 3)
+	if _, err := FIDProxy(e, nil, nil); err == nil {
+		t.Fatal("empty sets accepted")
+	}
+}
+
+func TestCLIPProxyOrdering(t *testing.T) {
+	e, _ := NewEmbedder(16, 9)
+	ref := img.SynthTemplate(1, 32, 32)
+	self := CLIPProxy(e, ref, ref)
+	near := CLIPProxy(e, noisy(ref, 0.05, 5), ref)
+	far := CLIPProxy(e, img.SynthTemplate(77, 32, 32), ref)
+	if !(self >= near && near > far) {
+		t.Fatalf("CLIP ordering violated: self %g, near %g, far %g", self, near, far)
+	}
+	if math.Abs(self-64) > 1e-6 {
+		t.Fatalf("self-similarity = %g want 64", self)
+	}
+}

@@ -1,0 +1,29 @@
+package sched_test
+
+import (
+	"fmt"
+	"log"
+
+	"flashps/internal/perfmodel"
+	"flashps/internal/sched"
+	"flashps/internal/tensor"
+)
+
+// Example runs Algorithm 2: route a request to the replica whose
+// regression-estimated compute + cache-load drain time is minimal.
+func Example() {
+	est, err := perfmodel.Calibrate(perfmodel.FluxPaper, tensor.NewRNG(1), 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sched.New(sched.MaskAware, est, est.Profile.MaxBatch, 1)
+	workers := []sched.WorkerView{
+		{Ratios: []float64{0.4, 0.4, 0.3}, RemSteps: []int{25, 20, 15}}, // heavy
+		{}, // idle
+		{Ratios: []float64{0.1}, RemSteps: []int{5}}, // nearly drained
+	}
+	picked := s.Pick(workers, sched.Item{MaskRatio: 0.2, Steps: 28})
+	fmt.Printf("routed away from the heavy worker: %v\n", picked != 0)
+	// Output:
+	// routed away from the heavy worker: true
+}

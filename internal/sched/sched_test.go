@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"flashps/internal/perfmodel"
+	"flashps/internal/tensor"
+)
+
+func testEstimator(t testing.TB) *perfmodel.Estimator {
+	t.Helper()
+	est, err := perfmodel.Calibrate(perfmodel.FluxPaper, tensor.NewRNG(1), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		RoundRobin: "round-robin", LeastRequests: "least-requests",
+		LeastTokens: "least-tokens", MaskAware: "mask-aware",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Policy(99).String() != "unknown" {
+		t.Fatal("unknown policy string")
+	}
+}
+
+func TestPickPanicsOnEmpty(t *testing.T) {
+	s := New(RoundRobin, nil, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Pick(nil, Item{})
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := New(RoundRobin, nil, 1, 1)
+	workers := make([]WorkerView, 3)
+	for i := 0; i < 9; i++ {
+		if got := s.Pick(workers, Item{}); got != i%3 {
+			t.Fatalf("pick %d = %d", i, got)
+		}
+	}
+}
+
+func TestLeastRequests(t *testing.T) {
+	s := New(LeastRequests, nil, 1, 1)
+	workers := []WorkerView{
+		{Ratios: []float64{0.1, 0.1}},
+		{Ratios: []float64{0.9}},
+		{Ratios: []float64{0.1, 0.1, 0.1}},
+	}
+	if got := s.Pick(workers, Item{MaskRatio: 0.2}); got != 1 {
+		t.Fatalf("LeastRequests picked %d, want 1", got)
+	}
+}
+
+func TestLeastTokens(t *testing.T) {
+	s := New(LeastTokens, nil, 1, 1)
+	workers := []WorkerView{
+		{Ratios: []float64{0.5}},      // 0.5 tokens
+		{Ratios: []float64{0.1, 0.1}}, // 0.2 tokens
+		{Ratios: []float64{0.3, 0.3}}, // 0.6 tokens
+	}
+	if got := s.Pick(workers, Item{MaskRatio: 0.2}); got != 1 {
+		t.Fatalf("LeastTokens picked %d, want 1", got)
+	}
+}
+
+func TestTieBreakingSpreadsLoad(t *testing.T) {
+	s := New(LeastRequests, nil, 1, 7)
+	workers := make([]WorkerView, 4)
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		counts[s.Pick(workers, Item{})]++
+	}
+	for i, c := range counts {
+		if c < 40 {
+			t.Fatalf("worker %d starved under ties: %d/400", i, c)
+		}
+	}
+}
+
+func TestMaskAwareCostMonotoneInBacklog(t *testing.T) {
+	est := testEstimator(t)
+	s := New(MaskAware, est, est.Profile.MaxBatch, 1)
+	item := Item{MaskRatio: 0.2, Steps: est.Profile.Steps}
+	empty := WorkerView{}
+	light := WorkerView{Ratios: []float64{0.2}, RemSteps: []int{10}}
+	heavy := WorkerView{
+		Ratios:   []float64{0.2, 0.3, 0.4},
+		RemSteps: []int{20, 20, 20},
+	}
+	c0, c1, c2 := s.Cost(empty, item), s.Cost(light, item), s.Cost(heavy, item)
+	if !(c0 < c1 && c1 < c2) {
+		t.Fatalf("cost not monotone in backlog: %g, %g, %g", c0, c1, c2)
+	}
+}
+
+func TestMaskAwareSeesCacheLoadCost(t *testing.T) {
+	// Two workers with EQUAL outstanding masked-token counts: one has many
+	// small-mask (load-heavy) requests, the other one large-mask request.
+	// Token-granularity scoring cannot tell them apart; mask-aware scoring
+	// must, because small masks imply heavier cache loading (§4.4).
+	est := testEstimator(t)
+	s := New(MaskAware, est, est.Profile.MaxBatch, 1)
+	item := Item{MaskRatio: 0.2, Steps: est.Profile.Steps}
+	manySmall := WorkerView{
+		Ratios:   []float64{0.05, 0.05, 0.05, 0.05, 0.05, 0.05},
+		RemSteps: []int{20, 20, 20, 20, 20, 20},
+	}
+	oneLarge := WorkerView{
+		Ratios:   []float64{0.30},
+		RemSteps: []int{20},
+	}
+	// Equal token sums (0.30) — token policy is indifferent.
+	tokenPolicy := New(LeastTokens, nil, 1, 1)
+	got := tokenPolicy.Pick([]WorkerView{manySmall, oneLarge}, item)
+	_ = got // either is possible under ties; the point is mask-aware differs:
+	cSmall := s.Cost(manySmall, item)
+	cLarge := s.Cost(oneLarge, item)
+	if cSmall <= cLarge {
+		t.Fatalf("mask-aware cost should penalize the load-heavy backlog: manySmall=%g oneLarge=%g",
+			cSmall, cLarge)
+	}
+}
+
+func TestMaskAwarePicksMinCost(t *testing.T) {
+	est := testEstimator(t)
+	s := New(MaskAware, est, est.Profile.MaxBatch, 1)
+	workers := []WorkerView{
+		{Ratios: []float64{0.4, 0.4}, RemSteps: []int{25, 25}},
+		{}, // idle
+		{Ratios: []float64{0.2}, RemSteps: []int{5}},
+	}
+	// Worker 0 carries the heaviest backlog and must never win; the idle
+	// worker and the nearly-drained one are both acceptable (joining a
+	// light batch can be cheaper than starting alone, thanks to batching
+	// efficiency).
+	if got := s.Pick(workers, Item{MaskRatio: 0.2, Steps: 28}); got == 0 {
+		t.Fatalf("MaskAware picked the heaviest worker %d", got)
+	}
+}
+
+func TestCostFallbackWithoutEstimator(t *testing.T) {
+	s := New(MaskAware, nil, 1, 1)
+	w := WorkerView{Ratios: []float64{0.1, 0.2}}
+	got := s.Cost(w, Item{MaskRatio: 0.3})
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("fallback cost = %g want 0.6", got)
+	}
+}
+
+func TestDefaultMaxBatch(t *testing.T) {
+	est := testEstimator(t)
+	s := New(MaskAware, est, 0, 1)
+	if s.maxBatch != est.Profile.MaxBatch {
+		t.Fatalf("default maxBatch = %d want %d", s.maxBatch, est.Profile.MaxBatch)
+	}
+	s2 := New(RoundRobin, nil, 0, 1)
+	if s2.maxBatch != 1 {
+		t.Fatalf("no-estimator default maxBatch = %d want 1", s2.maxBatch)
+	}
+}
+
+func TestUnknownPolicyDefaultsToZero(t *testing.T) {
+	s := New(Policy(42), nil, 1, 1)
+	if got := s.Pick(make([]WorkerView, 3), Item{}); got != 0 {
+		t.Fatalf("unknown policy pick = %d", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package serve is FlashPS's end-to-end serving plane running the real
+// numeric engine: an HTTP frontend (the paper uses FastAPI; we use
+// net/http), a mask-aware scheduler routing requests across worker
+// replicas (Algorithm 2), and per-worker disaggregated continuous batching
+// (§4.3) — preprocessing and postprocessing run on separate CPU worker
+// pools so they never interrupt the engine loop, new requests join the
+// running batch at denoising-step boundaries, and finished requests leave
+// immediately.
+//
+// The package also measures the paper's §6.6 system overheads on the real
+// Go path: scheduling decision time, per-step batch organization,
+// latent serialization, and stage hand-off.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	"flashps/internal/tensor"
+)
+
+// MaskSpec describes an edit mask over the latent grid in API requests.
+// Type is one of "rect", "ellipse", "ratio" (irregular blob of a target
+// ratio, generated from Seed), or "full".
+type MaskSpec struct {
+	Type string
+	// Rect/ellipse bounds in latent-grid coordinates, [Y0,Y1)×[X0,X1).
+	Y0, X0, Y1, X1 int
+	// Ratio for type "ratio".
+	Ratio float64
+	// Seed drives irregular mask generation.
+	Seed uint64
+	// PNG holds an encoded mask image for type "png" (white = edit
+	// region), rasterized onto the latent grid.
+	PNG []byte
+}
+
+// maskSpecJSON is the explicit wire form (all fields named).
+type maskSpecJSON struct {
+	Type  string  `json:"type"`
+	Y0    int     `json:"y0"`
+	X0    int     `json:"x0"`
+	Y1    int     `json:"y1"`
+	X1    int     `json:"x1"`
+	Ratio float64 `json:"ratio"`
+	Seed  uint64  `json:"seed"`
+	PNG   []byte  `json:"png,omitempty"` // base64 on the wire
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m MaskSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(maskSpecJSON{
+		Type: m.Type, Y0: m.Y0, X0: m.X0, Y1: m.Y1, X1: m.X1,
+		Ratio: m.Ratio, Seed: m.Seed, PNG: m.PNG,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MaskSpec) UnmarshalJSON(b []byte) error {
+	var w maskSpecJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*m = MaskSpec{Type: w.Type, Y0: w.Y0, X0: w.X0, Y1: w.Y1, X1: w.X1,
+		Ratio: w.Ratio, Seed: w.Seed, PNG: w.PNG}
+	return nil
+}
+
+// Build rasterizes the spec onto an h×w latent grid.
+func (m MaskSpec) Build(h, w int) (*mask.Mask, error) {
+	switch m.Type {
+	case "rect":
+		if m.Y1 <= m.Y0 || m.X1 <= m.X0 {
+			return nil, fmt.Errorf("serve: empty rect mask [%d,%d)×[%d,%d)", m.Y0, m.Y1, m.X0, m.X1)
+		}
+		return mask.Rect(h, w, m.Y0, m.X0, m.Y1, m.X1), nil
+	case "ellipse":
+		cy := float64(m.Y0+m.Y1) / 2
+		cx := float64(m.X0+m.X1) / 2
+		ry := float64(m.Y1-m.Y0) / 2
+		rx := float64(m.X1-m.X0) / 2
+		if ry <= 0 || rx <= 0 {
+			return nil, fmt.Errorf("serve: empty ellipse mask")
+		}
+		return mask.Ellipse(h, w, cy, cx, ry, rx), nil
+	case "ratio":
+		if m.Ratio <= 0 || m.Ratio > 1 {
+			return nil, fmt.Errorf("serve: invalid mask ratio %g", m.Ratio)
+		}
+		return mask.WithRatio(tensor.NewRNG(m.Seed^0x3A5C), h, w, m.Ratio), nil
+	case "png":
+		im, err := img.Decode(m.PNG)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mask image: %w", err)
+		}
+		out := mask.FromImage(im, h, w, 0.5)
+		if out.MaskedCount() == 0 {
+			return nil, fmt.Errorf("serve: mask image selects no region")
+		}
+		return out, nil
+	case "full":
+		return mask.New(h, w).Invert(), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown mask type %q", m.Type)
+	}
+}
+
+// PrepareRequest registers and pre-computes an image template.
+type PrepareRequest struct {
+	TemplateID uint64 `json:"template_id"`
+	// ImageSeed selects a synthetic template image when ImagePNG is empty.
+	ImageSeed uint64 `json:"image_seed"`
+	// ImagePNG uploads a real template image (PNG/JPEG, base64 on the
+	// wire); it is resized to the engine's resolution.
+	ImagePNG []byte `json:"image_png,omitempty"`
+	Prompt   string `json:"prompt"`
+	// RecordKV additionally caches attention K/V (Fig 7 variant support).
+	RecordKV bool `json:"record_kv"`
+}
+
+// PrepareResponse reports the prepared cache.
+type PrepareResponse struct {
+	TemplateID uint64  `json:"template_id"`
+	CacheBytes int64   `json:"cache_bytes"`
+	PrepareMS  float64 `json:"prepare_ms"`
+}
+
+// EditRequestAPI is one image-editing request.
+type EditRequestAPI struct {
+	TemplateID uint64   `json:"template_id"`
+	Prompt     string   `json:"prompt"`
+	Seed       uint64   `json:"seed"`
+	Mask       MaskSpec `json:"mask"`
+	// Mode selects the inference strategy: "" or "flashps" (mask-aware
+	// cached), "full", "naive", "teacache".
+	Mode string `json:"mode,omitempty"`
+	// ReturnImage includes the PNG (base64) in the response.
+	ReturnImage bool `json:"return_image,omitempty"`
+}
+
+// EditResponse reports one served edit.
+type EditResponse struct {
+	RequestID     uint64  `json:"request_id"`
+	Worker        int     `json:"worker"`
+	MaskRatio     float64 `json:"mask_ratio"`
+	QueueMS       float64 `json:"queue_ms"`
+	InferenceMS   float64 `json:"inference_ms"`
+	TotalMS       float64 `json:"total_ms"`
+	StepsComputed int     `json:"steps_computed"`
+	ImagePNG      []byte  `json:"image_png,omitempty"`
+}
+
+// Stats is the serving plane's live statistics snapshot.
+type Stats struct {
+	Completed    int     `json:"completed"`
+	MeanTotalMS  float64 `json:"mean_total_ms"`
+	P95TotalMS   float64 `json:"p95_total_ms"`
+	MeanQueueMS  float64 `json:"mean_queue_ms"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	CacheEvicted int     `json:"cache_evicted"`
+	// §6.6 overheads, measured on the live path (microseconds).
+	ScheduleDecisionUS float64 `json:"schedule_decision_us"`
+	BatchOrganizeUS    float64 `json:"batch_organize_us"`
+	SerializeUS        float64 `json:"serialize_us"`
+	HandoffUS          float64 `json:"handoff_us"`
+	WorkerQueueDepths  []int   `json:"worker_queue_depths"`
+}

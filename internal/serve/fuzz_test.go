@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzMaskSpecBuild ensures arbitrary mask specs never panic: they either
+// rasterize to a valid mask or return an error.
+func FuzzMaskSpecBuild(f *testing.F) {
+	f.Add("rect", 0, 0, 3, 3, 0.0, uint64(0))
+	f.Add("ellipse", -2, -2, 9, 9, 0.0, uint64(1))
+	f.Add("ratio", 0, 0, 0, 0, 0.25, uint64(2))
+	f.Add("full", 0, 0, 0, 0, 0.0, uint64(3))
+	f.Add("???", 1, 2, 3, 4, 1.5, uint64(4))
+	f.Fuzz(func(t *testing.T, typ string, y0, x0, y1, x1 int, ratio float64, seed uint64) {
+		spec := MaskSpec{Type: typ, Y0: y0, X0: x0, Y1: y1, X1: x1, Ratio: ratio, Seed: seed}
+		m, err := spec.Build(6, 6)
+		if err != nil {
+			return
+		}
+		if m == nil || m.H != 6 || m.W != 6 {
+			t.Fatalf("Build returned malformed mask %v for %+v", m, spec)
+		}
+		if r := m.Ratio(); r < 0 || r > 1 {
+			t.Fatalf("mask ratio %g out of range", r)
+		}
+	})
+}
+
+// FuzzMaskSpecJSON ensures arbitrary JSON never panics the MaskSpec
+// unmarshaler and that valid round trips are stable.
+func FuzzMaskSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"type":"rect","y0":1,"x0":1,"y1":3,"x1":3}`))
+	f.Add([]byte(`{"type":"ratio","ratio":0.2,"seed":7}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec MaskSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		re, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var again MaskSpec
+		if err := json.Unmarshal(re, &again); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzDeserializeLatent ensures arbitrary bytes never panic the latent
+// wire-format parser.
+func FuzzDeserializeLatent(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := deserializeLatent(data)
+		if m == nil {
+			return
+		}
+		if m.R <= 0 || m.C <= 0 || len(m.Data) != m.R*m.C {
+			t.Fatalf("malformed matrix from deserialize: %v", m)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"flashps/internal/metrics"
+	"flashps/internal/tensor"
+	"flashps/internal/workload"
+)
+
+// LoadGenConfig parameterizes an open-loop load generation run against a
+// Server: requests are fired at their trace arrival times regardless of
+// completion (the paper's Poisson workload, §6.1).
+type LoadGenConfig struct {
+	// RPS is the Poisson arrival rate.
+	RPS float64
+	// N is the number of requests.
+	N int
+	// Dist draws the mask ratios.
+	Dist workload.MaskDist
+	// Templates are the prepared template ids to draw from (Zipf-ish by
+	// order: earlier ids are hotter).
+	Templates []uint64
+	// TimeScale compresses virtual trace time onto the wall clock
+	// (e.g. 0.01 runs a 100 s trace in 1 s). 0 means 1.
+	TimeScale float64
+	// Seed drives the trace randomness.
+	Seed uint64
+}
+
+// LoadGenResult aggregates an open-loop run.
+type LoadGenResult struct {
+	Total     metrics.Recorder // total latency, ms
+	Queue     metrics.Recorder // queue time, ms
+	Inference metrics.Recorder // inference time, ms
+	Errors    int
+	Elapsed   time.Duration
+}
+
+// RunLoad fires the configured open-loop workload at the server and waits
+// for every request to complete.
+func RunLoad(ctx context.Context, srv *Server, cfg LoadGenConfig) (*LoadGenResult, error) {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if len(cfg.Templates) == 0 {
+		cfg.Templates = []uint64{1}
+	}
+	reqs, err := workload.Generate(workload.TraceConfig{
+		N: cfg.N, RPS: cfg.RPS, Dist: cfg.Dist,
+		Templates: len(cfg.Templates), ZipfS: 1.1, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadGenResult{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	rng := tensor.NewRNG(cfg.Seed ^ 0x10AD)
+	for _, r := range reqs {
+		r := r
+		// Open loop: sleep to the request's (scaled) arrival time.
+		at := time.Duration(r.Arrival * cfg.TimeScale * float64(time.Second))
+		if wait := at - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				wg.Wait()
+				return res, ctx.Err()
+			}
+		}
+		wg.Add(1)
+		maskSeed := rng.Uint64()
+		go func() {
+			defer wg.Done()
+			resp, err := srv.SubmitEdit(ctx, EditRequestAPI{
+				TemplateID: cfg.Templates[int(r.Template-1)%len(cfg.Templates)],
+				Prompt:     "load",
+				Seed:       uint64(r.ID),
+				Mask:       MaskSpec{Type: "ratio", Ratio: r.MaskRatio, Seed: maskSeed},
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.Errors++
+				return
+			}
+			res.Total.Add(resp.TotalMS)
+			res.Queue.Add(resp.QueueMS)
+			res.Inference.Add(resp.InferenceMS)
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

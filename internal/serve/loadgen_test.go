@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flashps/internal/workload"
+)
+
+func TestRunLoadCompletesAllRequests(t *testing.T) {
+	s := newTestServer(t, 2)
+	prepareTemplate(t, s, 1)
+	prepareTemplate(t, s, 2)
+	res, err := RunLoad(context.Background(), s, LoadGenConfig{
+		RPS: 50, N: 15, Dist: workload.ProductionTrace,
+		Templates: []uint64{1, 2}, TimeScale: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Total.Count() != 15 {
+		t.Fatalf("completed %d of 15", res.Total.Count())
+	}
+	if res.Total.Mean() <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("timings missing: %+v", res)
+	}
+	if res.Queue.Mean() > res.Total.Mean() {
+		t.Fatal("queue time cannot exceed total latency")
+	}
+}
+
+func TestRunLoadUnpreparedTemplateCountsErrors(t *testing.T) {
+	s := newTestServer(t, 1)
+	prepareTemplate(t, s, 1)
+	res, err := RunLoad(context.Background(), s, LoadGenConfig{
+		RPS: 100, N: 6, Dist: workload.ProductionTrace,
+		Templates: []uint64{1, 99}, // 99 never prepared
+		TimeScale: 0.05, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("expected errors for the unprepared template")
+	}
+	if res.Errors+res.Total.Count() != 6 {
+		t.Fatalf("errors %d + completed %d != 6", res.Errors, res.Total.Count())
+	}
+}
+
+func TestRunLoadContextCancel(t *testing.T) {
+	s := newTestServer(t, 1)
+	prepareTemplate(t, s, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// A very slow open-loop schedule: cancellation must interrupt it.
+	_, err := RunLoad(ctx, s, LoadGenConfig{
+		RPS: 0.01, N: 5, Dist: workload.ProductionTrace,
+		Templates: []uint64{1}, Seed: 5,
+	})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+}

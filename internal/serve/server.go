@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flashps/internal/cache"
+	"flashps/internal/diffusion"
+	"flashps/internal/img"
+	"flashps/internal/metrics"
+	"flashps/internal/model"
+	"flashps/internal/perfmodel"
+	"flashps/internal/sched"
+	"flashps/internal/tensor"
+)
+
+// Config parameterizes the serving plane.
+type Config struct {
+	// Model is the numeric engine configuration.
+	Model model.Config
+	// Profile is the paper-scale profile backing the mask-aware
+	// scheduler's latency regressions.
+	Profile perfmodel.ModelProfile
+	// Workers is the number of engine replicas ("GPU processes").
+	Workers int
+	// MaxBatch bounds each worker's running batch.
+	MaxBatch int
+	// PreWorkers / PostWorkers size the CPU stage pools.
+	PreWorkers, PostWorkers int
+	// CacheBudgetBytes bounds the host activation cache (0 = 1 GiB).
+	CacheBudgetBytes int64
+	// CacheDir, when set, enables the disk tier (§4.2): template caches
+	// are written through to disk and staged back after host LRU eviction.
+	CacheDir string
+	// Policy routes requests across workers.
+	Policy sched.Policy
+	// MaxQueue, when > 0, bounds each worker's outstanding requests;
+	// submissions beyond it are rejected immediately (admission control /
+	// backpressure) instead of queueing unboundedly.
+	MaxQueue int
+	// Seed fixes engine weights; all workers share it so template caches
+	// are valid on every replica.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4
+	}
+	if c.PreWorkers <= 0 {
+		c.PreWorkers = 2
+	}
+	if c.PostWorkers <= 0 {
+		c.PostWorkers = 2
+	}
+	if c.CacheBudgetBytes <= 0 {
+		c.CacheBudgetBytes = 1 << 30
+	}
+}
+
+// job is one in-flight edit request.
+type job struct {
+	id      uint64
+	api     EditRequestAPI
+	mode    diffusion.EditMode
+	ratio   float64
+	session *diffusion.EditSession
+	worker  *worker
+
+	// Scheduler-visible load fields: ratioHint is immutable after submit;
+	// remaining is updated atomically by the engine loop.
+	ratioHint float64
+	remaining atomic.Int32
+
+	arrival time.Time
+	ready   time.Time
+	admit   time.Time
+	finish  time.Time
+
+	latentBytes []byte
+	resp        chan jobResult
+	handoff     time.Time
+}
+
+type jobResult struct {
+	resp EditResponse
+	err  error
+}
+
+// ErrOverloaded is returned when admission control rejects a request
+// because the selected worker's queue is full (Config.MaxQueue).
+var ErrOverloaded = fmt.Errorf("serve: overloaded, request rejected by admission control")
+
+// templateStore abstracts over the host-only and tiered (host+disk)
+// activation stores.
+type templateStore interface {
+	Put(id uint64, tc *diffusion.TemplateCache) error
+	Get(id uint64) *diffusion.TemplateCache
+}
+
+// Server is the multi-worker serving plane.
+type Server struct {
+	cfg     Config
+	store   templateStore
+	workers []*worker
+
+	schedMu   sync.Mutex
+	scheduler *sched.Scheduler
+
+	preCh  chan *job
+	postCh chan *job
+
+	statsMu   sync.Mutex
+	total     metrics.Recorder
+	queue     metrics.Recorder
+	inference metrics.Recorder
+	decision  metrics.Recorder // seconds
+	organize  metrics.Recorder
+	serialize metrics.Recorder
+	handoff   metrics.Recorder
+	completed int
+
+	nextID atomic.Uint64
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a serving plane; call Start before submitting work and Close
+// when done.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	var store templateStore
+	if cfg.CacheDir != "" {
+		tiered, err := cache.NewTiered(cfg.CacheBudgetBytes, cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		store = tiered
+	} else {
+		host, err := cache.NewStore(cfg.CacheBudgetBytes)
+		if err != nil {
+			return nil, err
+		}
+		store = host
+	}
+	est, err := perfmodel.Calibrate(cfg.Profile, tensor.NewRNG(cfg.Seed^0xCA11B), 0.02)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		scheduler: sched.New(cfg.Policy, est, cfg.MaxBatch, cfg.Seed),
+		preCh:     make(chan *job, 1024),
+		postCh:    make(chan *job, 1024),
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		eng, err := diffusion.NewEngine(cfg.Model, cfg.Seed)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.workers = append(s.workers, newWorker(i, eng, s))
+	}
+	return s, nil
+}
+
+// Start launches the CPU pools and worker engine loops.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.PreWorkers; i++ {
+		s.wg.Add(1)
+		go s.preLoop()
+	}
+	for i := 0; i < s.cfg.PostWorkers; i++ {
+		s.wg.Add(1)
+		go s.postLoop()
+	}
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go w.run()
+	}
+}
+
+// Close stops all goroutines and waits for them.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Prepare registers a template: renders the synthetic template image, runs
+// the cache-population pass and stores the activation cache.
+func (s *Server) Prepare(req PrepareRequest) (PrepareResponse, error) {
+	if len(s.workers) == 0 {
+		return PrepareResponse{}, fmt.Errorf("serve: no workers")
+	}
+	eng := s.workers[0].eng
+	cfg := s.cfg.Model
+	h, w := eng.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	var template *img.Image
+	if len(req.ImagePNG) > 0 {
+		decoded, err := img.Decode(req.ImagePNG)
+		if err != nil {
+			return PrepareResponse{}, err
+		}
+		template = img.Resize(decoded, h, w)
+	} else {
+		template = img.SynthTemplate(req.ImageSeed, h, w)
+	}
+	start := time.Now()
+	tc, _, err := eng.PrepareTemplate(req.TemplateID, template, req.Prompt, req.RecordKV)
+	if err != nil {
+		return PrepareResponse{}, err
+	}
+	if err := s.store.Put(req.TemplateID, tc); err != nil {
+		return PrepareResponse{}, err
+	}
+	return PrepareResponse{
+		TemplateID: req.TemplateID,
+		CacheBytes: tc.SizeBytes(),
+		PrepareMS:  float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+// SubmitEdit serves one edit request synchronously: route → preprocess →
+// continuous-batched denoising → postprocess.
+func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditResponse, error) {
+	mode, err := parseMode(api.Mode)
+	if err != nil {
+		return EditResponse{}, err
+	}
+	j := &job{
+		id:        s.nextID.Add(1),
+		api:       api,
+		mode:      mode,
+		arrival:   time.Now(),
+		resp:      make(chan jobResult, 1),
+		ratioHint: s.maskRatioHint(api.Mask),
+	}
+	j.remaining.Store(int32(s.cfg.Model.Steps))
+
+	// Route (Algorithm 2), measuring the paper's §6.6 decision overhead.
+	t0 := time.Now()
+	s.schedMu.Lock()
+	views := make([]sched.WorkerView, len(s.workers))
+	for i, w := range s.workers {
+		views[i] = w.view()
+	}
+	idx := s.scheduler.Pick(views, sched.Item{MaskRatio: j.ratioHint, Steps: s.cfg.Model.Steps})
+	s.schedMu.Unlock()
+	decision := time.Since(t0)
+
+	j.worker = s.workers[idx]
+	if s.cfg.MaxQueue > 0 && j.worker.outstandingCount() >= s.cfg.MaxQueue {
+		return EditResponse{}, ErrOverloaded
+	}
+	j.worker.addOutstanding(j)
+	s.statsMu.Lock()
+	s.decision.Add(decision.Seconds())
+	s.statsMu.Unlock()
+
+	select {
+	case s.preCh <- j:
+	case <-s.ctx.Done():
+		j.worker.removeOutstanding(j)
+		return EditResponse{}, fmt.Errorf("serve: server closed")
+	}
+
+	select {
+	case res := <-j.resp:
+		return res.resp, res.err
+	case <-ctx.Done():
+		return EditResponse{}, ctx.Err()
+	case <-s.ctx.Done():
+		return EditResponse{}, fmt.Errorf("serve: server closed")
+	}
+}
+
+// maskRatioHint estimates a request's mask ratio before rasterization, for
+// routing purposes.
+func (s *Server) maskRatioHint(m MaskSpec) float64 {
+	grid := float64(s.cfg.Model.LatentH * s.cfg.Model.LatentW)
+	switch m.Type {
+	case "ratio":
+		return m.Ratio
+	case "rect", "ellipse":
+		area := float64((m.Y1 - m.Y0) * (m.X1 - m.X0))
+		if m.Type == "ellipse" {
+			area *= 0.785 // π/4
+		}
+		ratio := area / grid
+		if ratio < 0 {
+			ratio = 0
+		}
+		if ratio > 1 {
+			ratio = 1
+		}
+		return ratio
+	case "full":
+		return 1
+	default:
+		return 0.2
+	}
+}
+
+func parseMode(mode string) (diffusion.EditMode, error) {
+	switch mode {
+	case "", "flashps":
+		return diffusion.EditCachedY, nil
+	case "full":
+		return diffusion.EditFull, nil
+	case "naive":
+		return diffusion.EditNaiveSkip, nil
+	case "teacache":
+		return diffusion.EditTeaCache, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown mode %q", mode)
+	}
+}
+
+// preLoop is the preprocessing CPU pool: rasterize the mask, fetch the
+// template cache and open the edit session, then hand the job to its
+// worker's ready queue.
+func (s *Server) preLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.preCh:
+			if err := s.preprocess(j); err != nil {
+				j.worker.removeOutstanding(j)
+				j.resp <- jobResult{err: err}
+				continue
+			}
+			j.ready = time.Now()
+			select {
+			case j.worker.readyCh <- j:
+			case <-s.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) preprocess(j *job) error {
+	cfg := s.cfg.Model
+	m, err := j.api.Mask.Build(cfg.LatentH, cfg.LatentW)
+	if err != nil {
+		return err
+	}
+	j.ratio = m.Ratio()
+	tc := s.store.Get(j.api.TemplateID)
+	if tc == nil {
+		return fmt.Errorf("serve: template %d not prepared", j.api.TemplateID)
+	}
+	session, err := j.worker.eng.BeginEdit(diffusion.EditRequest{
+		Template: tc,
+		Mask:     m,
+		Prompt:   j.api.Prompt,
+		Seed:     j.api.Seed,
+		Mode:     j.mode,
+	})
+	if err != nil {
+		return err
+	}
+	j.session = session
+	return nil
+}
+
+// postLoop is the postprocessing CPU pool: decode the final latent into an
+// image (and PNG when requested) and complete the response.
+func (s *Server) postLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.postCh:
+			handoff := time.Since(j.handoff)
+			res, err := j.session.Result()
+			var png []byte
+			if err == nil && j.api.ReturnImage {
+				png, err = img.EncodePNG(res.Image)
+			}
+			complete := time.Now()
+			if err != nil {
+				j.resp <- jobResult{err: err}
+				continue
+			}
+			resp := EditResponse{
+				RequestID:     j.id,
+				Worker:        j.worker.id,
+				MaskRatio:     j.ratio,
+				QueueMS:       msBetween(j.arrival, j.admit),
+				InferenceMS:   msBetween(j.admit, j.finish),
+				TotalMS:       msBetween(j.arrival, complete),
+				StepsComputed: res.StepsComputed,
+				ImagePNG:      png,
+			}
+			s.statsMu.Lock()
+			s.completed++
+			s.total.Add(resp.TotalMS)
+			s.queue.Add(resp.QueueMS)
+			s.inference.Add(resp.InferenceMS)
+			s.handoff.Add(handoff.Seconds())
+			s.statsMu.Unlock()
+			j.resp <- jobResult{resp: resp}
+		}
+	}
+}
+
+func msBetween(a, b time.Time) float64 {
+	return float64(b.Sub(a).Microseconds()) / 1000
+}
+
+// Snapshot returns the live statistics.
+func (s *Server) Snapshot() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	var hits, misses, evicted int
+	switch st := s.store.(type) {
+	case *cache.Store:
+		hits, misses, evicted = st.Stats()
+	case *cache.Tiered:
+		hits, misses, evicted = st.Host.Stats()
+	}
+	st := Stats{
+		Completed:          s.completed,
+		MeanTotalMS:        s.total.Mean(),
+		P95TotalMS:         s.total.P95(),
+		MeanQueueMS:        s.queue.Mean(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheEvicted:       evicted,
+		ScheduleDecisionUS: s.decision.Mean() * 1e6,
+		BatchOrganizeUS:    s.organize.Mean() * 1e6,
+		SerializeUS:        s.serialize.Mean() * 1e6,
+		HandoffUS:          s.handoff.Mean() * 1e6,
+	}
+	for _, w := range s.workers {
+		st.WorkerQueueDepths = append(st.WorkerQueueDepths, w.outstandingCount())
+	}
+	return st
+}

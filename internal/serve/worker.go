@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"flashps/internal/diffusion"
+	"flashps/internal/sched"
+	"flashps/internal/tensor"
+)
+
+// worker is one engine replica running the disaggregated continuous-
+// batching loop (Fig 10-Bottom): the loop only ever executes denoising
+// steps, admits preprocessed jobs at step boundaries, and serializes
+// finished latents before handing them to the postprocessing pool.
+type worker struct {
+	id      int
+	eng     *diffusion.Engine
+	srv     *Server
+	readyCh chan *job
+
+	mu          sync.Mutex
+	outstanding map[*job]struct{}
+}
+
+func newWorker(id int, eng *diffusion.Engine, srv *Server) *worker {
+	return &worker{
+		id:          id,
+		eng:         eng,
+		srv:         srv,
+		readyCh:     make(chan *job, 256),
+		outstanding: make(map[*job]struct{}),
+	}
+}
+
+func (w *worker) addOutstanding(j *job) {
+	w.mu.Lock()
+	w.outstanding[j] = struct{}{}
+	w.mu.Unlock()
+}
+
+func (w *worker) removeOutstanding(j *job) {
+	w.mu.Lock()
+	delete(w.outstanding, j)
+	w.mu.Unlock()
+}
+
+func (w *worker) outstandingCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.outstanding)
+}
+
+// view snapshots the worker's load for the scheduler.
+func (w *worker) view() sched.WorkerView {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	v := sched.WorkerView{
+		Ratios:   make([]float64, 0, len(w.outstanding)),
+		RemSteps: make([]int, 0, len(w.outstanding)),
+	}
+	for j := range w.outstanding {
+		v.Ratios = append(v.Ratios, j.ratioHint)
+		v.RemSteps = append(v.RemSteps, int(j.remaining.Load()))
+	}
+	return v
+}
+
+// run is the engine loop. It owns the running batch exclusively.
+func (w *worker) run() {
+	defer w.srv.wg.Done()
+	var running []*job
+	for {
+		// Block for work when idle; otherwise admit without blocking.
+		if len(running) == 0 {
+			select {
+			case <-w.srv.ctx.Done():
+				return
+			case j := <-w.readyCh:
+				j.admit = time.Now()
+				running = append(running, j)
+			}
+		}
+		t0 := time.Now()
+		for len(running) < w.srv.cfg.MaxBatch {
+			select {
+			case j := <-w.readyCh:
+				j.admit = time.Now()
+				running = append(running, j)
+				continue
+			default:
+			}
+			break
+		}
+		organize := time.Since(t0)
+
+		// One denoising step for every running session.
+		still := running[:0]
+		for _, j := range running {
+			done, err := j.session.Step()
+			if err != nil {
+				w.removeOutstanding(j)
+				j.resp <- jobResult{err: err}
+				continue
+			}
+			j.remaining.Store(int32(j.session.RemainingSteps()))
+			if !done {
+				still = append(still, j)
+				continue
+			}
+			j.finish = time.Now()
+			// Serialize the latent (measured §6.6 overhead) and hand off
+			// to the postprocess pool; the engine loop never decodes.
+			ts := time.Now()
+			j.latentBytes = serializeLatent(j.session.Latent())
+			serialize := time.Since(ts)
+			w.removeOutstanding(j)
+			j.handoff = time.Now()
+
+			w.srv.statsMu.Lock()
+			w.srv.serialize.Add(serialize.Seconds())
+			w.srv.statsMu.Unlock()
+
+			select {
+			case w.srv.postCh <- j:
+			case <-w.srv.ctx.Done():
+				return
+			}
+		}
+		n := copy(running, still)
+		running = running[:n]
+
+		w.srv.statsMu.Lock()
+		w.srv.organize.Add(organize.Seconds())
+		w.srv.statsMu.Unlock()
+
+		select {
+		case <-w.srv.ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// serializeLatent encodes a latent matrix into the wire format used
+// between the engine process and the postprocess workers (the paper's
+// §6.6 serialization step).
+func serializeLatent(m *tensor.Matrix) []byte {
+	buf := make([]byte, 8+4*len(m.Data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(m.R))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(m.C))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint32(buf[8+4*i:], mathFloat32bits(v))
+	}
+	return buf
+}
+
+// deserializeLatent reverses serializeLatent. It rejects malformed or
+// truncated buffers (including dimension fields that would overflow).
+func deserializeLatent(buf []byte) *tensor.Matrix {
+	if len(buf) < 8 {
+		return nil
+	}
+	r := int(binary.LittleEndian.Uint32(buf[0:4]))
+	c := int(binary.LittleEndian.Uint32(buf[4:8]))
+	const maxDim = 1 << 20
+	if r <= 0 || c <= 0 || r > maxDim || c > maxDim {
+		return nil
+	}
+	if len(buf)-8 < 4*r*c {
+		return nil
+	}
+	m := tensor.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = mathFloat32frombits(binary.LittleEndian.Uint32(buf[8+4*i:]))
+	}
+	return m
+}

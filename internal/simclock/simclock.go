@@ -1,0 +1,107 @@
+// Package simclock provides a small discrete-event simulation kernel:
+// a virtual clock and an event queue of timestamped callbacks. The cluster
+// serving simulator drives workers, schedulers and cache transfers on it.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64 // FIFO tiebreak for equal timestamps
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event simulation clock. The zero value is ready to
+// use with time starting at 0.
+type Clock struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics — it indicates a simulator bug.
+func (c *Clock) At(t float64, fn func()) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: scheduling at %g before now %g", t, c.now))
+	}
+	c.seq++
+	heap.Push(&c.events, &event{at: t, seq: c.seq, fn: fn})
+}
+
+// After schedules fn to run delay seconds from now.
+func (c *Clock) After(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %g", delay))
+	}
+	c.At(c.now+delay, fn)
+}
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// Step executes the earliest event and returns true, or returns false if
+// the queue is empty.
+func (c *Clock) Step() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.events).(*event)
+	c.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is after
+// until (exclusive); it returns the number of events executed.
+func (c *Clock) Run(until float64) int {
+	n := 0
+	for len(c.events) > 0 && c.events[0].at <= until {
+		c.Step()
+		n++
+	}
+	if c.now < until && len(c.events) == 0 {
+		c.now = until
+	}
+	return n
+}
+
+// Drain executes all remaining events; maxEvents guards against runaway
+// simulations (≤0 means no limit). It returns the number executed.
+func (c *Clock) Drain(maxEvents int) int {
+	n := 0
+	for c.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}

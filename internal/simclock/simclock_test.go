@@ -1,0 +1,132 @@
+package simclock
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var c Clock
+	var order []int
+	c.At(3, func() { order = append(order, 3) })
+	c.At(1, func() { order = append(order, 1) })
+	c.At(2, func() { order = append(order, 2) })
+	c.Drain(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Now() != 3 {
+		t.Fatalf("Now = %g", c.Now())
+	}
+}
+
+func TestFIFOTiebreak(t *testing.T) {
+	var c Clock
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.At(1, func() { order = append(order, i) })
+	}
+	c.Drain(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var c Clock
+	fired := false
+	c.At(2, func() {
+		c.After(3, func() { fired = true })
+	})
+	c.Drain(0)
+	if !fired || c.Now() != 5 {
+		t.Fatalf("fired=%v now=%g", fired, c.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var c Clock
+	c.At(5, func() {})
+	c.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var c Clock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var c Clock
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		c.At(at, func() { fired = append(fired, at) })
+	}
+	n := c.Run(2.5)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("Run executed %d events (%v)", n, fired)
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+	// Run past the end advances the clock to until.
+	c.Drain(0)
+	c2 := &Clock{}
+	c2.Run(10)
+	if c2.Now() != 10 {
+		t.Fatalf("empty Run did not advance clock: %g", c2.Now())
+	}
+}
+
+func TestDrainLimit(t *testing.T) {
+	var c Clock
+	count := 0
+	// Self-perpetuating event chain.
+	var step func()
+	step = func() {
+		count++
+		c.After(1, step)
+	}
+	c.At(0, step)
+	n := c.Drain(10)
+	if n != 10 || count != 10 {
+		t.Fatalf("Drain(10) executed %d", n)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var c Clock
+	if c.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	var c Clock
+	var order []string
+	c.At(1, func() {
+		order = append(order, "a")
+		c.At(1.5, func() { order = append(order, "b") })
+	})
+	c.At(2, func() { order = append(order, "c") })
+	c.Drain(0)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}

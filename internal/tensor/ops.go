@@ -1,0 +1,252 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes a × b and returns a new (a.R × b.C) matrix.
+// It panics if a.C != b.R.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v × %v", a, b))
+	}
+	out := New(a.R, b.C)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes a × b into dst, which must be a.R × b.C.
+// dst may not alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst, a, b))
+	}
+	n, k, m := a.R, a.C, b.C
+	// ikj loop order: stream through b rows for cache locality. Output
+	// rows are independent, so they parallelize with identical results.
+	parallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*m : (i+1)*m]
+			for j := range drow {
+				drow[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*m : (p+1)*m]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulT computes a × bᵀ and returns a new (a.R × b.R) matrix.
+// It panics if a.C != b.C. This is the natural layout for Q·Kᵀ.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.C != b.C {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v × %vᵀ", a, b))
+	}
+	out := New(a.R, b.R)
+	parallelRows(a.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.R; j++ {
+				brow := b.Row(j)
+				var sum float32
+				for p, av := range arow {
+					sum += av * brow[p]
+				}
+				orow[j] = sum
+			}
+		}
+	})
+	return out
+}
+
+// Transpose returns a new matrix that is mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			out.Data[j*m.R+i] = m.Data[i*m.C+j]
+		}
+	}
+	return out
+}
+
+// Add returns a + b element-wise. It panics on shape mismatch.
+func Add(a, b *Matrix) *Matrix {
+	if a.R != b.R || a.C != b.C {
+		panic("tensor: Add shape mismatch")
+	}
+	out := New(a.R, a.C)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b *Matrix) {
+	if a.R != b.R || a.C != b.C {
+		panic("tensor: AddInPlace shape mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Matrix) *Matrix {
+	if a.R != b.R || a.C != b.C {
+		panic("tensor: Sub shape mismatch")
+	}
+	out := New(a.R, a.C)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale multiplies every element of m by s in place and returns m.
+func Scale(m *Matrix, s float32) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of m in place.
+func SoftmaxRows(m *Matrix) {
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			row[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// LayerNormRows normalizes each row of m to zero mean and unit variance,
+// then applies the per-column affine parameters gamma and beta
+// (each of length m.C). eps guards against zero variance.
+func LayerNormRows(m *Matrix, gamma, beta []float32, eps float32) {
+	if len(gamma) != m.C || len(beta) != m.C {
+		panic("tensor: LayerNormRows parameter length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		inv := float32(1 / math.Sqrt(varsum/float64(len(row))+float64(eps)))
+		for j, v := range row {
+			row[j] = (v-float32(mean))*inv*gamma[j] + beta[j]
+		}
+	}
+}
+
+// GeLU applies the Gaussian Error Linear Unit (tanh approximation) to every
+// element of m in place.
+func GeLU(m *Matrix) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range m.Data {
+		x := float64(v)
+		m.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+}
+
+// GatherRows returns a new matrix whose rows are m's rows at the given
+// indices, in order. It panics if any index is out of range.
+func GatherRows(m *Matrix, idx []int) *Matrix {
+	out := New(len(idx), m.C)
+	for i, r := range idx {
+		if r < 0 || r >= m.R {
+			panic(fmt.Sprintf("tensor: GatherRows index %d out of range [0,%d)", r, m.R))
+		}
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ScatterRows copies src's rows into dst at the given row indices:
+// dst[idx[i]] = src[i]. It panics if len(idx) != src.R or on column mismatch.
+func ScatterRows(dst, src *Matrix, idx []int) {
+	if len(idx) != src.R {
+		panic("tensor: ScatterRows index length mismatch")
+	}
+	if dst.C != src.C {
+		panic("tensor: ScatterRows column mismatch")
+	}
+	for i, r := range idx {
+		if r < 0 || r >= dst.R {
+			panic(fmt.Sprintf("tensor: ScatterRows index %d out of range [0,%d)", r, dst.R))
+		}
+		copy(dst.Row(r), src.Row(i))
+	}
+}
+
+// CosineSimilarity returns the cosine similarity of vectors a and b.
+// It returns 0 if either vector has zero norm.
+func CosineSimilarity(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: CosineSimilarity length mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func FrobeniusNorm(m *Matrix) float64 {
+	var sum float64
+	for _, v := range m.Data {
+		sum += float64(v) * float64(v)
+	}
+	return math.Sqrt(sum)
+}
+
+// MeanAbs returns the mean absolute value of m's elements, or 0 if empty.
+func MeanAbs(m *Matrix) float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range m.Data {
+		sum += math.Abs(float64(v))
+	}
+	return sum / float64(len(m.Data))
+}

@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the number of goroutines numeric kernels may use.
+// Row-partitioned parallelism keeps results bit-identical to the serial
+// path (each output row is computed by exactly one goroutine with the same
+// operation order), so experiments stay reproducible at any setting.
+var parallelism atomic.Int32
+
+func init() { parallelism.Store(1) }
+
+// SetParallelism sets the kernel goroutine budget (values < 1 mean 1).
+// Deterministic results are preserved at any setting.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the current kernel goroutine budget.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// parallelRows runs fn over row ranges [lo, hi) split across the
+// configured goroutine budget. Small row counts run serially.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	p := Parallelism()
+	const minRowsPerGoroutine = 16
+	if p <= 1 || rows < 2*minRowsPerGoroutine {
+		fn(0, rows)
+		return
+	}
+	if p > rows/minRowsPerGoroutine {
+		p = rows / minRowsPerGoroutine
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + p - 1) / p
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,25 @@
+package workload_test
+
+import (
+	"fmt"
+	"log"
+
+	"flashps/internal/workload"
+)
+
+// ExampleGenerate synthesizes a Poisson trace with production-like mask
+// ratios and Zipf-popular templates (§6.1).
+func ExampleGenerate() {
+	reqs, err := workload.Generate(workload.TraceConfig{
+		N: 1000, RPS: 2, Dist: workload.ProductionTrace,
+		Templates: 20, ZipfS: 1.1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := workload.Summarize(reqs)
+	fmt.Printf("%d requests over %.0fs, %d templates, mean mask ratio %.2f\n",
+		s.Requests, s.Duration, s.Templates, s.MeanRatio)
+	// Output:
+	// 1000 requests over 483s, 20 templates, mean mask ratio 0.11
+}

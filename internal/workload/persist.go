@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteTrace serializes a request trace as indented JSON.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(reqs); err != nil {
+		return fmt.Errorf("workload: write trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a JSON request trace and validates its invariants
+// (non-decreasing arrivals, ratios in [0, 1], positive template ids).
+func ReadTrace(r io.Reader) ([]Request, error) {
+	var reqs []Request
+	if err := json.NewDecoder(r).Decode(&reqs); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	prev := -1.0
+	for i, req := range reqs {
+		switch {
+		case req.Arrival < prev:
+			return nil, fmt.Errorf("workload: trace request %d: arrival %g before previous %g", i, req.Arrival, prev)
+		case req.MaskRatio < 0 || req.MaskRatio > 1:
+			return nil, fmt.Errorf("workload: trace request %d: mask ratio %g out of [0,1]", i, req.MaskRatio)
+		case req.Template == 0:
+			return nil, fmt.Errorf("workload: trace request %d: zero template id", i)
+		}
+		prev = req.Arrival
+	}
+	return reqs, nil
+}
+
+// SaveTrace writes a trace to a file.
+func SaveTrace(path string, reqs []Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: save trace: %w", err)
+	}
+	defer f.Close()
+	return WriteTrace(f, reqs)
+}
+
+// LoadTrace reads a trace from a file.
+func LoadTrace(path string) ([]Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: load trace: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Requests    int
+	Duration    float64
+	MeanRPS     float64
+	MeanRatio   float64
+	Templates   int
+	TopTemplate uint64
+	TopShare    float64 // fraction of requests hitting the hottest template
+}
+
+// Summarize computes trace statistics.
+func Summarize(reqs []Request) Stats {
+	s := Stats{Requests: len(reqs)}
+	if len(reqs) == 0 {
+		return s
+	}
+	counts := map[uint64]int{}
+	var ratioSum float64
+	for _, r := range reqs {
+		counts[r.Template]++
+		ratioSum += r.MaskRatio
+	}
+	s.Duration = reqs[len(reqs)-1].Arrival
+	if s.Duration > 0 {
+		s.MeanRPS = float64(len(reqs)) / s.Duration
+	}
+	s.MeanRatio = ratioSum / float64(len(reqs))
+	s.Templates = len(counts)
+	best := 0
+	for id, c := range counts {
+		if c > best || (c == best && id < s.TopTemplate) {
+			best = c
+			s.TopTemplate = id
+		}
+	}
+	s.TopShare = float64(best) / float64(len(reqs))
+	return s
+}

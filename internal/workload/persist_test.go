@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func genTrace(t *testing.T) []Request {
+	t.Helper()
+	reqs, err := Generate(TraceConfig{
+		N: 50, RPS: 2, Dist: PublicTrace, Templates: 5, ZipfS: 1.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestTraceRoundTripBuffer(t *testing.T) {
+	reqs := genTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(back), len(reqs))
+	}
+	for i := range reqs {
+		if back[i] != reqs[i] {
+			t.Fatalf("request %d mutated: %+v vs %+v", i, back[i], reqs[i])
+		}
+	}
+}
+
+func TestTraceRoundTripFile(t *testing.T) {
+	reqs := genTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveTrace(path, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatal("file round trip lost requests")
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadTraceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"bad json", "{", "read trace"},
+		{"decreasing arrivals", `[{"ID":0,"Arrival":5,"Template":1,"MaskRatio":0.1},{"ID":1,"Arrival":2,"Template":1,"MaskRatio":0.1}]`, "before previous"},
+		{"bad ratio", `[{"ID":0,"Arrival":1,"Template":1,"MaskRatio":1.5}]`, "out of [0,1]"},
+		{"zero template", `[{"ID":0,"Arrival":1,"Template":0,"MaskRatio":0.5}]`, "zero template"},
+	}
+	for _, tc := range cases {
+		_, err := ReadTrace(strings.NewReader(tc.json))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Requests != 0 {
+		t.Fatal("empty summary wrong")
+	}
+	reqs := []Request{
+		{ID: 0, Arrival: 1, Template: 1, MaskRatio: 0.2},
+		{ID: 1, Arrival: 2, Template: 1, MaskRatio: 0.4},
+		{ID: 2, Arrival: 4, Template: 2, MaskRatio: 0.6},
+	}
+	s := Summarize(reqs)
+	if s.Requests != 3 || s.Duration != 4 || s.Templates != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.TopTemplate != 1 || s.TopShare < 0.66 || s.TopShare > 0.67 {
+		t.Fatalf("top template wrong: %+v", s)
+	}
+	if s.MeanRatio < 0.39 || s.MeanRatio > 0.41 {
+		t.Fatalf("mean ratio = %g", s.MeanRatio)
+	}
+	if s.MeanRPS != 0.75 {
+		t.Fatalf("mean rps = %g", s.MeanRPS)
+	}
+}

@@ -1,0 +1,183 @@
+// Package workload synthesizes the request traffic of the paper's
+// evaluation (§6.1): Poisson arrivals with mask ratios drawn from
+// distributions matched to the published trace statistics (Fig 3 — the
+// production trace with mean ratio 0.11, the public trace [38] with mean
+// 0.19, and the VITON-HD benchmark with mean 0.35) and template popularity
+// following the heavy reuse observed in §2.2 (970 templates for 34M
+// images, ≈35k reuses each).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"flashps/internal/tensor"
+)
+
+// MaskDist is a named mask-ratio distribution.
+type MaskDist struct {
+	Name string
+	// Alpha, Beta parameterize a Beta(α, β) distribution over [0, 1],
+	// whose mean is α/(α+β). Beta fits the traces' shape: most masks
+	// small, a long tail of large ones.
+	Alpha, Beta float64
+	// Min clips tiny ratios: a mask always covers at least a few tokens.
+	Min float64
+}
+
+// Distributions matched to the paper's published summary statistics.
+var (
+	// ProductionTrace matches the Alibaba 14-day trace: mean ratio 0.11.
+	ProductionTrace = MaskDist{Name: "production", Alpha: 1.2, Beta: 9.7, Min: 0.01}
+	// PublicTrace matches the public diffusion serving trace [38]:
+	// mean ratio 0.19.
+	PublicTrace = MaskDist{Name: "public", Alpha: 1.3, Beta: 5.54, Min: 0.01}
+	// VITONTrace matches the VITON-HD virtual try-on benchmark:
+	// mean ratio 0.35.
+	VITONTrace = MaskDist{Name: "viton", Alpha: 2.8, Beta: 5.2, Min: 0.02}
+)
+
+// AllDists returns the three distributions in paper order.
+func AllDists() []MaskDist { return []MaskDist{ProductionTrace, PublicTrace, VITONTrace} }
+
+// Mean returns the analytic mean of the (unclipped) distribution.
+func (d MaskDist) Mean() float64 { return d.Alpha / (d.Alpha + d.Beta) }
+
+// Sample draws one mask ratio.
+func (d MaskDist) Sample(rng *tensor.RNG) float64 {
+	v := sampleBeta(rng, d.Alpha, d.Beta)
+	if v < d.Min {
+		v = d.Min
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// sampleBeta draws Beta(a, b) as Ga/(Ga+Gb) from two Gamma variates.
+func sampleBeta(rng *tensor.RNG, a, b float64) float64 {
+	x := sampleGamma(rng, a)
+	y := sampleGamma(rng, b)
+	if x+y == 0 {
+		return 0
+	}
+	return x / (x + y)
+}
+
+// sampleGamma draws Gamma(shape, 1) via Marsaglia–Tsang, with the boost
+// trick for shape < 1.
+func sampleGamma(rng *tensor.RNG, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Request is one image-editing request in a synthetic trace.
+type Request struct {
+	ID        int
+	Arrival   float64 // seconds since trace start
+	Template  uint64  // template identifier (Zipf-popular)
+	MaskRatio float64
+}
+
+// TraceConfig parameterizes synthetic trace generation.
+type TraceConfig struct {
+	// N is the number of requests.
+	N int
+	// RPS is the Poisson arrival rate (requests per second).
+	RPS float64
+	// Dist is the mask-ratio distribution.
+	Dist MaskDist
+	// Templates is the number of distinct templates; popularity is
+	// Zipf(S)-distributed over them.
+	Templates int
+	// ZipfS is the Zipf exponent (≈1 reproduces the paper's heavy reuse).
+	ZipfS float64
+	// Seed makes the trace reproducible.
+	Seed uint64
+}
+
+// Generate synthesizes a request trace.
+func Generate(cfg TraceConfig) ([]Request, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: invalid request count %d", cfg.N)
+	}
+	if cfg.RPS <= 0 {
+		return nil, fmt.Errorf("workload: invalid RPS %g", cfg.RPS)
+	}
+	if cfg.Templates <= 0 {
+		return nil, fmt.Errorf("workload: invalid template count %d", cfg.Templates)
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ 0x7ACE)
+	zipf := newZipf(cfg.Templates, cfg.ZipfS)
+	reqs := make([]Request, cfg.N)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / cfg.RPS
+		reqs[i] = Request{
+			ID:        i,
+			Arrival:   t,
+			Template:  uint64(zipf.sample(rng)) + 1,
+			MaskRatio: cfg.Dist.Sample(rng),
+		}
+	}
+	return reqs, nil
+}
+
+// zipf samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s via the
+// precomputed CDF.
+type zipf struct {
+	cdf []float64
+}
+
+func newZipf(n int, s float64) *zipf {
+	if s <= 0 {
+		s = 1
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipf{cdf: cdf}
+}
+
+func (z *zipf) sample(rng *tensor.RNG) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

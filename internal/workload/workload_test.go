@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"flashps/internal/tensor"
+)
+
+// Fig 3 anchor: the sampled mean mask ratios must match the paper's trace
+// statistics (0.11 production, 0.19 public, 0.35 VITON) within ±0.03.
+func TestAnchorMaskDistMeans(t *testing.T) {
+	cases := []struct {
+		dist MaskDist
+		want float64
+	}{
+		{ProductionTrace, 0.11},
+		{PublicTrace, 0.19},
+		{VITONTrace, 0.35},
+	}
+	rng := tensor.NewRNG(1)
+	for _, tc := range cases {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := tc.dist.Sample(rng)
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: ratio %g out of [0,1]", tc.dist.Name, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		if math.Abs(mean-tc.want) > 0.03 {
+			t.Fatalf("%s: sampled mean %g want ≈%g", tc.dist.Name, mean, tc.want)
+		}
+		if math.Abs(tc.dist.Mean()-tc.want) > 0.03 {
+			t.Fatalf("%s: analytic mean %g want ≈%g", tc.dist.Name, tc.dist.Mean(), tc.want)
+		}
+	}
+}
+
+func TestMaskDistVariation(t *testing.T) {
+	// §2.2: individual ratios vary significantly. Check dispersion.
+	rng := tensor.NewRNG(2)
+	var lo, hi int
+	for i := 0; i < 20000; i++ {
+		v := ProductionTrace.Sample(rng)
+		if v < 0.05 {
+			lo++
+		}
+		if v > 0.3 {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Fatalf("distribution lacks spread: %d tiny, %d large", lo, hi)
+	}
+}
+
+func TestMaskDistMinClip(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		if v := ProductionTrace.Sample(rng); v < ProductionTrace.Min {
+			t.Fatalf("ratio %g below Min %g", v, ProductionTrace.Min)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := TraceConfig{N: 10, RPS: 1, Dist: PublicTrace, Templates: 5, ZipfS: 1, Seed: 1}
+	if _, err := Generate(base); err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.N = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	bad = base
+	bad.RPS = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("RPS=0 accepted")
+	}
+	bad = base
+	bad.Templates = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("Templates=0 accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TraceConfig{N: 100, RPS: 2, Dist: PublicTrace, Templates: 10, ZipfS: 1, Seed: 7}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed traces differ")
+		}
+	}
+	cfg.Seed = 8
+	c, _ := Generate(cfg)
+	same := true
+	for i := range a {
+		if a[i].Arrival != c[i].Arrival {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds give identical traces")
+	}
+}
+
+func TestGeneratePoissonRate(t *testing.T) {
+	cfg := TraceConfig{N: 20000, RPS: 4, Dist: PublicTrace, Templates: 10, ZipfS: 1, Seed: 5}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals strictly increasing with mean gap ≈ 1/RPS.
+	prev := 0.0
+	var sumGap float64
+	for _, r := range reqs {
+		if r.Arrival <= prev {
+			t.Fatal("arrivals not increasing")
+		}
+		sumGap += r.Arrival - prev
+		prev = r.Arrival
+	}
+	meanGap := sumGap / float64(len(reqs))
+	if math.Abs(meanGap-0.25) > 0.01 {
+		t.Fatalf("mean inter-arrival = %g, want ≈0.25", meanGap)
+	}
+}
+
+func TestGenerateZipfPopularity(t *testing.T) {
+	// §2.2 anchor: templates are heavily reused — the most popular
+	// template must dominate.
+	cfg := TraceConfig{N: 20000, RPS: 1, Dist: ProductionTrace, Templates: 100, ZipfS: 1.1, Seed: 9}
+	reqs, _ := Generate(cfg)
+	counts := make(map[uint64]int)
+	for _, r := range reqs {
+		if r.Template < 1 || r.Template > 100 {
+			t.Fatalf("template id %d out of range", r.Template)
+		}
+		counts[r.Template]++
+	}
+	if counts[1] <= counts[50]*5 {
+		t.Fatalf("Zipf head not dominant: top=%d rank50=%d", counts[1], counts[50])
+	}
+}
+
+func TestZipfDefaultExponent(t *testing.T) {
+	// ZipfS ≤ 0 falls back to 1 rather than panicking.
+	cfg := TraceConfig{N: 100, RPS: 1, Dist: PublicTrace, Templates: 5, ZipfS: 0, Seed: 2}
+	if _, err := Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaBetaSamplerMoments(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	// Beta(2, 6) has mean 0.25.
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += sampleBeta(rng, 2, 6)
+	}
+	if mean := sum / n; math.Abs(mean-0.25) > 0.01 {
+		t.Fatalf("Beta(2,6) mean = %g want 0.25", mean)
+	}
+	// Gamma with shape<1 branch.
+	var gsum float64
+	for i := 0; i < n; i++ {
+		gsum += sampleGamma(rng, 0.5)
+	}
+	if mean := gsum / n; math.Abs(mean-0.5) > 0.03 {
+		t.Fatalf("Gamma(0.5) mean = %g want 0.5", mean)
+	}
+}
+
+func TestAllDists(t *testing.T) {
+	ds := AllDists()
+	if len(ds) != 3 || ds[0].Name != "production" {
+		t.Fatalf("AllDists = %v", ds)
+	}
+}
