@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet race bench experiments fuzz clean
+.PHONY: all check build test vet race bench experiments fuzz clean
 
-all: build vet test
+all: check
+
+# The default gate: build, vet, full test suite, and the race detector
+# over the concurrent packages.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/ ./internal/cache/
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/cluster/... ./internal/cache/... ./internal/metrics/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -9,12 +9,20 @@
 //	curl -XPOST localhost:8005/v1/templates -d '{"template_id":1,"image_seed":7,"prompt":"studio photo"}'
 //	curl -XPOST localhost:8005/v1/edits -d '{"template_id":1,"prompt":"a red dress","seed":3,"mask":{"type":"ratio","ratio":0.2,"seed":5}}'
 //	curl localhost:8005/v1/stats
+//
+// Observability:
+//
+//	curl localhost:8005/metrics            # Prometheus text exposition
+//	curl localhost:8005/healthz            # readiness JSON (503 when overloaded)
+//	curl localhost:8005/debug/traces > t.json   # open in chrome://tracing / Perfetto
+//	go tool pprof localhost:8005/debug/pprof/profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 
@@ -27,15 +35,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8005", "listen address")
-		workers  = flag.Int("workers", 2, "engine replicas")
-		maxBatch = flag.Int("max-batch", 4, "max running batch per worker")
-		modelN   = flag.String("model", "sdxl-sim", "numeric model: sd21-sim|sdxl-sim|flux-sim")
-		policy   = flag.String("policy", "mask-aware", "routing: round-robin|least-requests|least-tokens|mask-aware")
-		seed     = flag.Uint64("seed", 42, "weight seed (shared across workers)")
-		cacheDir = flag.String("cache-dir", "", "disk tier for template caches (survives restarts)")
-		maxQueue = flag.Int("max-queue", 0, "per-worker admission limit (0 = unbounded)")
-		par      = flag.Int("parallelism", runtime.NumCPU(), "goroutines for numeric kernels")
+		addr      = flag.String("addr", ":8005", "listen address")
+		workers   = flag.Int("workers", 2, "engine replicas")
+		maxBatch  = flag.Int("max-batch", 4, "max running batch per worker")
+		modelN    = flag.String("model", "sdxl-sim", "numeric model: sd21-sim|sdxl-sim|flux-sim")
+		policy    = flag.String("policy", "mask-aware", "routing: round-robin|least-requests|least-tokens|mask-aware")
+		seed      = flag.Uint64("seed", 42, "weight seed (shared across workers)")
+		cacheDir  = flag.String("cache-dir", "", "disk tier for template caches (survives restarts)")
+		maxQueue  = flag.Int("max-queue", 0, "per-worker admission limit (0 = unbounded)")
+		par       = flag.Int("parallelism", runtime.NumCPU(), "goroutines for numeric kernels")
+		traceRing = flag.Int("trace-ring", 0, "span trace ring capacity for /debug/traces (0 = default 65536)")
+		noPprof   = flag.Bool("no-pprof", false, "disable the /debug/pprof/ endpoints")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -61,6 +71,7 @@ func main() {
 		Workers: *workers, MaxBatch: *maxBatch,
 		Policy: pol, Seed: *seed,
 		CacheDir: *cacheDir, MaxQueue: *maxQueue,
+		TraceRing: *traceRing,
 	})
 	if err != nil {
 		fatal(err)
@@ -68,9 +79,24 @@ func main() {
 	srv.Start()
 	defer srv.Close()
 
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if !*noPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	fmt.Printf("INFO: FlashPS serving %s with %d workers (policy %s) on %s\n",
 		cfg.Name, *workers, pol, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	endpoints := "/metrics /healthz /debug/traces"
+	if !*noPprof {
+		endpoints += " /debug/pprof/"
+	}
+	fmt.Printf("INFO: observability: %s\n", endpoints)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}
 }

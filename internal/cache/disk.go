@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"flashps/internal/diffusion"
 )
@@ -85,9 +86,13 @@ func (d *DiskStore) Delete(id uint64) error {
 type Tiered struct {
 	Host *Store
 	Disk *DiskStore
-	// DiskHits counts Get calls served by staging from disk.
-	DiskHits int
+	// diskHits counts Get calls served by staging from disk; concurrent
+	// preprocess workers Get simultaneously, so it is atomic.
+	diskHits atomic.Int64
 }
+
+// DiskHits returns how many Get calls were served by staging from disk.
+func (t *Tiered) DiskHits() int64 { return t.diskHits.Load() }
 
 // NewTiered builds the two-tier store.
 func NewTiered(hostBudget int64, dir string) (*Tiered, error) {
@@ -124,7 +129,7 @@ func (t *Tiered) Get(id uint64) *diffusion.TemplateCache {
 	if err != nil {
 		return nil
 	}
-	t.DiskHits++
+	t.diskHits.Add(1)
 	// Best effort: an oversize entry simply stays disk-only.
 	_ = t.Host.Put(id, tc)
 	return tc

@@ -127,8 +127,8 @@ func TestTieredStagingAfterEviction(t *testing.T) {
 	if got == nil {
 		t.Fatal("evicted template lost")
 	}
-	if tiered.DiskHits != 1 {
-		t.Fatalf("DiskHits = %d want 1", tiered.DiskHits)
+	if tiered.DiskHits() != 1 {
+		t.Fatalf("DiskHits = %d want 1", tiered.DiskHits())
 	}
 	if !tensor.Equal(got.Z0, tc1.Z0) {
 		t.Fatal("staged template mutated")

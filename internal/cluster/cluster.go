@@ -19,6 +19,7 @@ import (
 
 	"flashps/internal/cache"
 	"flashps/internal/metrics"
+	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
 	"flashps/internal/pipeline"
 	"flashps/internal/simclock"
@@ -110,6 +111,11 @@ type Config struct {
 	ColdCacheTemplates int
 	// Seed feeds the policies' tiebreaking randomness.
 	Seed uint64
+	// Registry, when non-nil, receives the run's observability gauges
+	// (per-worker queue depth, batch occupancy, cache hit/miss/eviction)
+	// under the flashps_sim_ prefix, mirroring the live serving plane's
+	// metric shapes.
+	Registry *obs.Registry
 }
 
 // Validate checks the configuration.
@@ -274,6 +280,7 @@ type simulation struct {
 	stats   []RequestStat
 	pending int
 	rng     *tensor.RNG
+	obs     *simObs
 
 	batchSizeSum int
 	batchSteps   int
@@ -287,7 +294,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	if len(reqs) == 0 {
 		return &Result{}, nil
 	}
-	sim := &simulation{cfg: cfg, rng: tensor.NewRNG(cfg.Seed ^ 0xC1A57E)}
+	sim := &simulation{cfg: cfg, rng: tensor.NewRNG(cfg.Seed ^ 0xC1A57E), obs: newSimObs(cfg.Registry)}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{id: i, cfg: &cfg, clock: &sim.clock, sim: sim,
 			outstanding: make(map[*simReq]struct{})}
@@ -325,6 +332,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	for _, w := range sim.workers {
 		res.WorkerBusy = append(res.WorkerBusy, w.busyTime)
 	}
+	sim.obs.finish(sim, res)
 	return res, nil
 }
 
@@ -358,6 +366,7 @@ func (s *simulation) arrive(r workload.Request) {
 	s.clock.At(ready, func() {
 		req.ready = s.clock.Now()
 		w.queue = append(w.queue, req)
+		s.obs.setQueue(w.id, len(w.queue))
 		w.kick()
 	})
 }
@@ -399,6 +408,7 @@ func (w *worker) runStaticBatch() {
 	}
 	batch := w.queue[:n]
 	w.queue = w.queue[n:]
+	w.sim.obs.setQueue(w.id, len(w.queue))
 	w.running = batch
 
 	now := w.clock.Now()
@@ -419,6 +429,9 @@ func (w *worker) runStaticBatch() {
 	w.busyTime += total
 	w.sim.batchSizeSum += n * steps
 	w.sim.batchSteps += steps
+	for i := 0; i < steps; i++ {
+		w.sim.obs.observeBatch(n)
+	}
 	w.clock.After(total, func() {
 		end := w.clock.Now()
 		for _, r := range batch {
@@ -474,9 +487,11 @@ func (w *worker) runContinuousStep() {
 
 	// Admit ready requests up to the batch limit.
 	maxB := w.cfg.maxBatch()
+	admitted := false
 	for len(w.running) < maxB && len(w.queue) > 0 {
 		r := w.queue[0]
 		w.queue = w.queue[1:]
+		admitted = true
 		if w.cfg.Batching == BatchingStrawman {
 			// Preprocessing on the GPU process interrupts the batch.
 			overhead += perfmodel.PreprocessLatency
@@ -488,6 +503,9 @@ func (w *worker) runContinuousStep() {
 		r.admitted = true
 		w.running = append(w.running, r)
 	}
+	if admitted {
+		w.sim.obs.setQueue(w.id, len(w.queue))
+	}
 
 	if len(w.running) == 0 {
 		w.busy = false
@@ -498,6 +516,7 @@ func (w *worker) runContinuousStep() {
 	w.busyTime += dur
 	w.sim.batchSizeSum += len(w.running)
 	w.sim.batchSteps++
+	w.sim.obs.observeBatch(len(w.running))
 	w.clock.After(dur, func() {
 		for _, r := range w.running {
 			r.remSteps--

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"strconv"
+
+	"flashps/internal/obs"
+)
+
+// simObs publishes a simulation run's serving-plane signals into an
+// obs.Registry so simulated and live deployments expose the same shapes:
+// per-worker queue depth (live + peak), running-batch occupancy per
+// executed step, and per-worker cache hit/miss/eviction gauges. All
+// methods are nil-safe; a nil simObs (no Registry configured) is free.
+type simObs struct {
+	queueDepth *obs.GaugeVec
+	peakQueue  *obs.GaugeVec
+	batchOcc   *obs.Histogram
+	cacheHits  *obs.GaugeVec
+	cacheMiss  *obs.GaugeVec
+	cacheEvict *obs.GaugeVec
+	meanBatch  *obs.Gauge
+	throughput *obs.Gauge
+}
+
+func newSimObs(reg *obs.Registry) *simObs {
+	if reg == nil {
+		return nil
+	}
+	return &simObs{
+		queueDepth: reg.GaugeVec("flashps_sim_worker_queue_depth",
+			"Ready requests queued at each simulated worker", "worker"),
+		peakQueue: reg.GaugeVec("flashps_sim_worker_peak_queue",
+			"Peak ready-queue depth per simulated worker", "worker"),
+		batchOcc: reg.Histogram("flashps_sim_batch_occupancy",
+			"Running-batch size at each executed simulated step",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+		cacheHits: reg.GaugeVec("flashps_sim_cache_hits",
+			"Cache-tier hits per simulated worker (§4.2)", "worker"),
+		cacheMiss: reg.GaugeVec("flashps_sim_cache_misses",
+			"Cache-tier misses per simulated worker (§4.2)", "worker"),
+		cacheEvict: reg.GaugeVec("flashps_sim_cache_evictions",
+			"Cache-tier evictions per simulated worker (§4.2)", "worker"),
+		meanBatch: reg.Gauge("flashps_sim_mean_batch_size",
+			"Mean running-batch size over the run (§4.3)"),
+		throughput: reg.Gauge("flashps_sim_throughput_rps",
+			"Completed requests per simulated second"),
+	}
+}
+
+// setQueue publishes a worker's current ready-queue depth, tracking the
+// peak as it goes.
+func (o *simObs) setQueue(worker, depth int) {
+	if o == nil {
+		return
+	}
+	l := strconv.Itoa(worker)
+	o.queueDepth.With(l).Set(float64(depth))
+	if peak := o.peakQueue.With(l); float64(depth) > peak.Value() {
+		peak.Set(float64(depth))
+	}
+}
+
+// observeBatch records one executed step's running-batch size.
+func (o *simObs) observeBatch(n int) {
+	if o == nil {
+		return
+	}
+	o.batchOcc.Observe(float64(n))
+}
+
+// finish publishes end-of-run aggregates: cache counters per worker and
+// the run's mean batch size and throughput.
+func (o *simObs) finish(sim *simulation, res *Result) {
+	if o == nil {
+		return
+	}
+	for _, w := range sim.workers {
+		if w.tier == nil {
+			continue
+		}
+		l := strconv.Itoa(w.id)
+		o.cacheHits.With(l).Set(float64(w.tier.Hits))
+		o.cacheMiss.With(l).Set(float64(w.tier.Misses))
+		o.cacheEvict.With(l).Set(float64(w.tier.Evictions))
+	}
+	o.meanBatch.Set(res.MeanBatchSize())
+	o.throughput.Set(res.Throughput())
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"flashps/internal/obs"
+	"flashps/internal/perfmodel"
+	"flashps/internal/workload"
+)
+
+func TestSimRegistryGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	reqs := trace(t, 40, 8, workload.ProductionTrace, 6, 11)
+	res := mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Workers: 2, Profile: perfmodel.SD21Paper,
+		ColdCacheTemplates: 2, Seed: 11, Registry: reg,
+	}, reqs)
+
+	text := reg.String()
+	for _, want := range []string{
+		"# TYPE flashps_sim_worker_queue_depth gauge",
+		`flashps_sim_worker_peak_queue{worker="0"}`,
+		"flashps_sim_batch_occupancy_count",
+		`flashps_sim_cache_hits{worker="0"}`,
+		`flashps_sim_cache_misses{worker="1"}`,
+		"flashps_sim_mean_batch_size",
+		"flashps_sim_throughput_rps",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("sim exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Queue depths drain to zero by the end of the run; occupancy counts
+	// every executed step; the mean-batch gauge matches the Result.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "flashps_sim_worker_queue_depth{") &&
+			!strings.HasSuffix(line, " 0") {
+			t.Fatalf("queue not drained at end of run: %s", line)
+		}
+	}
+	if res.BatchSteps <= 0 {
+		t.Fatal("no batch steps executed")
+	}
+}
+
+func TestSimRegistryOptional(t *testing.T) {
+	// No registry configured: the nil simObs must be a no-op.
+	reqs := trace(t, 10, 8, workload.ProductionTrace, 3, 5)
+	mustRun(t, Config{
+		System: SystemFlashPS, Batching: BatchingDisaggregated,
+		Workers: 1, Profile: perfmodel.SD21Paper, Seed: 5,
+	}, reqs)
+}

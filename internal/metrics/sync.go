@@ -1,0 +1,89 @@
+package metrics
+
+import "sync"
+
+// SyncRecorder is a Recorder safe for concurrent use: every concurrent
+// call site in the serving plane records through it instead of guarding a
+// bare Recorder with an external lock (the unsynchronized Recorder remains
+// for single-goroutine analysis code). The zero value is ready to use.
+type SyncRecorder struct {
+	mu sync.Mutex
+	r  Recorder
+}
+
+// Add appends a sample.
+func (s *SyncRecorder) Add(v float64) {
+	s.mu.Lock()
+	s.r.Add(v)
+	s.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (s *SyncRecorder) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Count()
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *SyncRecorder) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Mean()
+}
+
+// Max returns the maximum sample, or 0 with no samples.
+func (s *SyncRecorder) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Max()
+}
+
+// Min returns the minimum sample, or 0 with no samples.
+func (s *SyncRecorder) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Min()
+}
+
+// Sum returns the total of all samples.
+func (s *SyncRecorder) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Sum()
+}
+
+// Quantile returns the q-quantile; see Recorder.Quantile.
+func (s *SyncRecorder) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Quantile(q)
+}
+
+// P50, P95 and P99 are the conventional percentile shorthands.
+func (s *SyncRecorder) P50() float64 { return s.Quantile(0.50) }
+func (s *SyncRecorder) P95() float64 { return s.Quantile(0.95) }
+func (s *SyncRecorder) P99() float64 { return s.Quantile(0.99) }
+
+// Stddev returns the population standard deviation, or 0 with <2 samples.
+func (s *SyncRecorder) Stddev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Stddev()
+}
+
+// Summary formats the recorder's headline statistics.
+func (s *SyncRecorder) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Summary()
+}
+
+// Snapshot returns a deep copy of the underlying Recorder for
+// single-goroutine analysis (histograms, further quantiles).
+func (s *SyncRecorder) Snapshot() Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := Recorder{samples: append([]float64(nil), s.r.samples...), sorted: s.r.sorted}
+	return cp
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSyncRecorderConcurrent hammers Add against percentile reads from
+// many goroutines. Swapping SyncRecorder for the bare Recorder here makes
+// `go test -race` fail (Add appends while Quantile sorts), which is the
+// concurrency hazard SyncRecorder exists to close.
+func TestSyncRecorderConcurrent(t *testing.T) {
+	var r SyncRecorder
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 500
+	for g := 0; g < writers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(float64(g*perWriter + i))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = r.Mean()
+			_ = r.P95()
+			_ = r.Max()
+			_ = r.Summary()
+		}
+	}()
+	wg.Wait()
+	if r.Count() != writers*perWriter {
+		t.Fatalf("count = %d want %d", r.Count(), writers*perWriter)
+	}
+	if r.Min() != 0 || r.Max() != writers*perWriter-1 {
+		t.Fatalf("min/max = %g/%g", r.Min(), r.Max())
+	}
+}
+
+func TestSyncRecorderSnapshot(t *testing.T) {
+	var r SyncRecorder
+	for _, v := range []float64{3, 1, 2} {
+		r.Add(v)
+	}
+	snap := r.Snapshot()
+	if snap.Count() != 3 || snap.P50() != 2 {
+		t.Fatalf("snapshot: n=%d p50=%g", snap.Count(), snap.P50())
+	}
+	// The copy is independent of the live recorder.
+	snap.Add(100)
+	if r.Count() != 3 {
+		t.Fatal("snapshot aliases live recorder")
+	}
+}

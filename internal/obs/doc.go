@@ -1,0 +1,14 @@
+// Package obs is the serving plane's observability substrate: a
+// concurrent-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus text-format exposition, and a per-request
+// span tracer backed by a bounded ring buffer with Chrome trace_event
+// JSON export.
+//
+// The registry replaces ad-hoc metric string formatting: instruments are
+// registered once, updated lock-free (atomics) on the hot path, and
+// rendered on demand by WritePrometheus. The tracer records one Span per
+// pipeline stage a request passes through (admission, queue, preprocess,
+// per-step batch execution, cache load, serialize, postprocess), so a
+// single request's life across the disaggregated pipeline (Fig 10) can be
+// opened in chrome://tracing or Perfetto.
+package obs

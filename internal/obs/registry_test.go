@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g", got)
+	}
+	text := r.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests",
+		"# TYPE reqs_total counter",
+		"reqs_total 3.5",
+		"# TYPE depth gauge",
+		"depth 2.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_total", "by code", "code", "method")
+	v.With("200", "GET").Add(3)
+	v.With("500", "POST").Inc()
+	if v.With("200", "GET") != v.With("200", "GET") {
+		t.Fatal("With not stable")
+	}
+	text := r.String()
+	for _, want := range []string{
+		`http_total{code="200",method="GET"} 3`,
+		`http_total{code="500",method="POST"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("weird", "help with \\ backslash\nand newline", "path").
+		With("a\"b\\c\nd").Set(1)
+	text := r.String()
+	if !strings.Contains(text, `# HELP weird help with \\ backslash\nand newline`) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `weird{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+}
+
+func TestInvalidRegistrationsPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_name", "x")
+	for name, fn := range map[string]func(){
+		"duplicate": func() { r.Counter("ok_name", "again") },
+		"bad name":  func() { r.Counter("0bad", "x") },
+		"bad label": func() { r.CounterVec("lv", "x", "9label") },
+		"le label":  func() { r.HistogramVec("hv", "x", []float64{1}, "le") },
+		"arity":     func() { r.CounterVec("cv", "x", "a").With("1", "2").Inc() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// parseHistogram pulls name_bucket/sum/count sample lines out of an
+// exposition dump.
+func parseHistogram(t *testing.T, text, name string) (les []float64, cum []uint64, sum float64, count uint64) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(fields[0], name+"_bucket{"):
+			start := strings.Index(fields[0], `le="`) + 4
+			end := strings.Index(fields[0][start:], `"`)
+			leStr := fields[0][start : start+end]
+			var le float64
+			if leStr == "+Inf" {
+				le = math.Inf(+1)
+			} else {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					t.Fatalf("bad le %q: %v", leStr, err)
+				}
+				le = v
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket count %q: %v", fields[1], err)
+			}
+			les = append(les, le)
+			cum = append(cum, n)
+		case fields[0] == name+"_sum":
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum = v
+		case fields[0] == name+"_count":
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count = v
+		}
+	}
+	return les, cum, sum, count
+}
+
+func TestHistogramExpositionInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	samples := []float64{0.005, 0.05, 0.05, 0.5, 5, 0.1} // 0.1 lands in le=0.1
+	var wantSum float64
+	for _, v := range samples {
+		h.Observe(v)
+		wantSum += v
+	}
+	text := r.String()
+	les, cum, sum, count := parseHistogram(t, text, "lat_seconds")
+	if len(les) != 4 || !math.IsInf(les[3], +1) {
+		t.Fatalf("buckets = %v (want 3 finite + +Inf)", les)
+	}
+	// le bounds ascending, cumulative counts non-decreasing.
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] {
+			t.Fatalf("le bounds not ascending: %v", les)
+		}
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", cum)
+		}
+	}
+	if want := []uint64{1, 4, 5, 6}; cum[0] != want[0] || cum[1] != want[1] || cum[2] != want[2] || cum[3] != want[3] {
+		t.Fatalf("cumulative counts = %v want %v", cum, want)
+	}
+	if cum[len(cum)-1] != count {
+		t.Fatalf("+Inf bucket %d != _count %d", cum[len(cum)-1], count)
+	}
+	if count != uint64(len(samples)) {
+		t.Fatalf("_count = %d want %d", count, len(samples))
+	}
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Fatalf("_sum = %g want %g", sum, wantSum)
+	}
+}
+
+func TestHistogramBucketNormalization(t *testing.T) {
+	// Unsorted, duplicated, and +Inf-containing bounds are normalized.
+	h := newHistogram([]float64{1, 0.1, 1, math.Inf(+1), 0.01})
+	if len(h.upper) != 3 {
+		t.Fatalf("upper = %v", h.upper)
+	}
+	h.Observe(0.5)
+	h.Observe(100)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 7
+	r.GaugeFunc("live_depth", "computed at scrape", func() float64 { return float64(depth) })
+	if !strings.Contains(r.String(), "live_depth 7") {
+		t.Fatalf("gauge func missing:\n%s", r.String())
+	}
+	depth = 9
+	if !strings.Contains(r.String(), "live_depth 9") {
+		t.Fatal("gauge func not re-evaluated at scrape")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Hammer every instrument type while scraping; run under -race.
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", ExpBuckets(0.001, 2, 10))
+	v := r.CounterVec("v_total", "v", "worker")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(k) * 0.0001)
+				v.With(strconv.Itoa(i % 3)).Inc()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			_ = r.String()
+		}
+	}()
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %g want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d want 8000", h.Count())
+	}
+}

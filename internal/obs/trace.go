@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a request's life. Request ties spans of the
+// same request together; TID identifies the executing resource (worker id
+// for engine stages, pool ids for CPU stages) and becomes the Chrome trace
+// thread id, so each worker renders as its own track.
+type Span struct {
+	Request uint64
+	Name    string
+	Cat     string
+	TID     int
+	Start   time.Time
+	Dur     time.Duration
+	// Args carries small numeric annotations (step index, batch size,
+	// mask ratio) into the trace viewer.
+	Args map[string]float64
+}
+
+// Tracer records spans into a bounded ring buffer. Record is cheap — one
+// short critical section copying a struct — so it can sit on the serving
+// hot path; when the ring wraps, the oldest spans are dropped.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	next    uint64 // total spans ever recorded
+	dropped uint64
+}
+
+// DefaultTraceRing is the default ring capacity (spans).
+const DefaultTraceRing = 1 << 16
+
+// NewTracer returns a tracer holding at most size spans (DefaultTraceRing
+// when size <= 0).
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]Span, 0, size)}
+}
+
+// Record appends a span, evicting the oldest when the ring is full.
+func (t *Tracer) Record(s Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next%uint64(cap(t.ring))] = s
+		t.dropped++
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Span is a convenience helper: it builds and records a span from a start
+// time measured by the caller.
+func (t *Tracer) Span(req uint64, name, cat string, tid int, start time.Time, dur time.Duration, args map[string]float64) {
+	t.Record(Span{Request: req, Name: name, Cat: cat, TID: tid, Start: start, Dur: dur, Args: args})
+}
+
+// Total returns how many spans were ever recorded (including dropped).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Dropped returns how many spans the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Snapshot returns the retained spans oldest-first.
+func (t *Tracer) Snapshot() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) || t.next == 0 {
+		return append(out, t.ring...)
+	}
+	head := int(t.next % uint64(cap(t.ring))) // oldest retained span
+	out = append(out, t.ring[head:]...)
+	return append(out, t.ring[:head]...)
+}
+
+// chromeEvent is one Chrome trace_event "complete" (ph=X) entry.
+type chromeEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat"`
+	Ph   string             `json:"ph"`
+	TS   int64              `json:"ts"`  // microseconds
+	Dur  int64              `json:"dur"` // microseconds
+	PID  int                `json:"pid"`
+	TID  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON exports the retained spans as Chrome trace_event JSON
+// (the "JSON Object Format" with a traceEvents array), loadable in
+// chrome://tracing and Perfetto. Timestamps are absolute Unix
+// microseconds; each span carries its request id in args so a request's
+// stages can be grouped in the viewer.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	spans := t.Snapshot()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		args := make(map[string]float64, len(s.Args)+1)
+		for k, v := range s.Args {
+			args[k] = v
+		}
+		args["request"] = float64(s.Request)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS:  s.Start.UnixMicro(),
+			Dur: s.Dur.Microseconds(),
+			PID: 1, TID: s.TID,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

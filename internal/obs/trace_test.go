@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Request: uint64(i), Name: "s", Start: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans", len(got))
+	}
+	// Oldest-first: requests 6..9 survive.
+	for i, s := range got {
+		if s.Request != uint64(6+i) {
+			t.Fatalf("snapshot[%d].Request = %d want %d", i, s.Request, 6+i)
+		}
+	}
+}
+
+func TestChromeJSONExport(t *testing.T) {
+	tr := NewTracer(64)
+	base := time.Unix(1700000000, 0)
+	// A parent request span enclosing three stage spans.
+	tr.Span(1, "request", "serve", 0, base, 100*time.Millisecond, nil)
+	tr.Span(1, "queue", "serve", 0, base.Add(time.Millisecond), 10*time.Millisecond, nil)
+	tr.Span(1, "denoise_step", "engine", 2, base.Add(20*time.Millisecond), 5*time.Millisecond,
+		map[string]float64{"step": 0, "batch": 3})
+	tr.Span(1, "postprocess", "cpu", 1, base.Add(80*time.Millisecond), 15*time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string             `json:"name"`
+			Ph   string             `json:"ph"`
+			TS   int64              `json:"ts"`
+			Dur  int64              `json:"dur"`
+			PID  int                `json:"pid"`
+			TID  int                `json:"tid"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("events = %d", len(out.TraceEvents))
+	}
+	var reqTS, reqEnd int64
+	for _, e := range out.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q ph = %q", e.Name, e.Ph)
+		}
+		if e.Args["request"] != 1 {
+			t.Fatalf("event %q missing request arg: %v", e.Name, e.Args)
+		}
+		if e.Name == "request" {
+			reqTS, reqEnd = e.TS, e.TS+e.Dur
+		}
+	}
+	// Stage spans nest within the parent request span.
+	for _, e := range out.TraceEvents {
+		if e.Name == "request" {
+			continue
+		}
+		if e.TS < reqTS || e.TS+e.Dur > reqEnd {
+			t.Fatalf("span %q [%d,%d] outside request [%d,%d]",
+				e.Name, e.TS, e.TS+e.Dur, reqTS, reqEnd)
+		}
+	}
+	// Timestamps are monotonic in recorded order here.
+	for i := 1; i < len(out.TraceEvents); i++ {
+		if out.TraceEvents[i].TS < out.TraceEvents[i-1].TS {
+			t.Fatalf("timestamps not monotonic: %d after %d",
+				out.TraceEvents[i].TS, out.TraceEvents[i-1].TS)
+		}
+	}
+	if out.TraceEvents[2].Args["batch"] != 3 {
+		t.Fatalf("args lost: %v", out.TraceEvents[2].Args)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	// Concurrent writers + exporter; run under -race.
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Span(uint64(g), fmt.Sprintf("s%d", i%4), "t", g, time.Unix(1700000000, int64(i)), time.Microsecond, nil)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if err := tr.WriteChromeJSON(&buf); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	if tr.Total() != 1600 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if got := len(tr.Snapshot()); got != 128 {
+		t.Fatalf("retained = %d", got)
+	}
+}

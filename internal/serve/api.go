@@ -152,6 +152,18 @@ type EditResponse struct {
 	ImagePNG      []byte  `json:"image_png,omitempty"`
 }
 
+// Health is the /healthz readiness report. Status is "ok", "starting"
+// (worker loops not launched yet), or "overloaded" (every worker's queue
+// is at the admission limit); the latter two are served with HTTP 503.
+type Health struct {
+	Status      string `json:"status"`
+	Started     bool   `json:"started"`
+	Workers     int    `json:"workers"`
+	QueueDepths []int  `json:"queue_depths"`
+	MaxQueue    int    `json:"max_queue,omitempty"`
+	Completed   int64  `json:"completed"`
+}
+
 // Stats is the serving plane's live statistics snapshot.
 type Stats struct {
 	Completed    int     `json:"completed"`

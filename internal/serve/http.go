@@ -3,10 +3,8 @@ package serve
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"math"
 	"net/http"
-	"strings"
 )
 
 func mathFloat32bits(v float32) uint32     { return math.Float32bits(v) }
@@ -17,18 +15,20 @@ func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
 //	POST /v1/templates — prepare a template (PrepareRequest → PrepareResponse)
 //	POST /v1/edits     — serve an edit (EditRequestAPI → EditResponse)
 //	GET  /v1/stats     — live statistics (Stats)
-//	GET  /healthz      — liveness
+//	GET  /healthz      — readiness (Health JSON; 503 when starting/overloaded)
+//	GET  /metrics      — Prometheus text exposition from the metrics registry
+//	GET  /debug/traces — span ring buffer as Chrome trace_event JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok"))
-	})
-	mux.HandleFunc("/v1/templates", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
+	mux.HandleFunc("/healthz", onlyMethod(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
 		}
+		_ = json.NewEncoder(w).Encode(h)
+	}))
+	mux.HandleFunc("/v1/templates", onlyMethod(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
 		var req PrepareRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -40,12 +40,8 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/v1/edits", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	}))
+	mux.HandleFunc("/v1/edits", onlyMethod(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
 		var req EditRequestAPI
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -61,40 +57,36 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/stats", onlyMethod(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Snapshot())
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/metrics", onlyMethod(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_, _ = w.Write([]byte(s.Metrics()))
-	})
+		if err := s.obs.reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}))
+	mux.HandleFunc("/debug/traces", onlyMethod(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.obs.tracer.WriteChromeJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}))
 	return mux
 }
 
-// Metrics renders the live statistics in the Prometheus text exposition
-// format, for scraping alongside the JSON /v1/stats endpoint.
-func (s *Server) Metrics() string {
-	st := s.Snapshot()
-	var b strings.Builder
-	emit := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP flashps_%s %s\n# TYPE flashps_%s gauge\nflashps_%s %g\n",
-			name, help, name, name, v)
+// onlyMethod rejects every HTTP method but the given one with 405,
+// advertising the allowed method per RFC 9110.
+func onlyMethod(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
 	}
-	emit("requests_completed", "Requests served to completion", float64(st.Completed))
-	emit("latency_mean_ms", "Mean end-to-end request latency", st.MeanTotalMS)
-	emit("latency_p95_ms", "P95 end-to-end request latency", st.P95TotalMS)
-	emit("queue_mean_ms", "Mean queueing time", st.MeanQueueMS)
-	emit("cache_hits", "Host activation-cache hits", float64(st.CacheHits))
-	emit("cache_misses", "Host activation-cache misses", float64(st.CacheMisses))
-	emit("cache_evictions", "Host activation-cache evictions", float64(st.CacheEvicted))
-	emit("overhead_schedule_us", "Scheduler decision overhead (§6.6)", st.ScheduleDecisionUS)
-	emit("overhead_serialize_us", "Latent serialization overhead (§6.6)", st.SerializeUS)
-	emit("overhead_handoff_us", "Stage hand-off overhead (§6.6)", st.HandoffUS)
-	for i, d := range st.WorkerQueueDepths {
-		fmt.Fprintf(&b, "flashps_worker_outstanding{worker=\"%d\"} %d\n", i, d)
-	}
-	return b.String()
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

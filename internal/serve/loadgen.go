@@ -30,11 +30,14 @@ type LoadGenConfig struct {
 	Seed uint64
 }
 
-// LoadGenResult aggregates an open-loop run.
+// LoadGenResult aggregates an open-loop run. The recorders are
+// SyncRecorders because in-flight request goroutines record concurrently;
+// Errors is only written under the run's internal lock and is safe to read
+// once RunLoad returns.
 type LoadGenResult struct {
-	Total     metrics.Recorder // total latency, ms
-	Queue     metrics.Recorder // queue time, ms
-	Inference metrics.Recorder // inference time, ms
+	Total     metrics.SyncRecorder // total latency, ms
+	Queue     metrics.SyncRecorder // queue time, ms
+	Inference metrics.SyncRecorder // inference time, ms
 	Errors    int
 	Elapsed   time.Duration
 }
@@ -82,10 +85,10 @@ func RunLoad(ctx context.Context, srv *Server, cfg LoadGenConfig) (*LoadGenResul
 				Seed:       uint64(r.ID),
 				Mask:       MaskSpec{Type: "ratio", Ratio: r.MaskRatio, Seed: maskSeed},
 			})
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
+				mu.Lock()
 				res.Errors++
+				mu.Unlock()
 				return
 			}
 			res.Total.Add(resp.TotalMS)

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"flashps/internal/cache"
+	"flashps/internal/obs"
+)
+
+// Span taxonomy: every request emits one span per pipeline stage it
+// crosses (Fig 10-Bottom), all tied together by the request id and placed
+// on the serving worker's trace track.
+const (
+	// stageRequest is the parent span, arrival → response complete.
+	stageRequest = "request"
+	// stageSchedule is the routing decision (Algorithm 2, §6.6 overhead).
+	stageSchedule = "schedule"
+	// stagePreprocess is mask rasterization + session open on the CPU pool.
+	stagePreprocess = "preprocess"
+	// stageCacheLoad is the template-cache fetch inside preprocessing
+	// (host hit or disk staging, §4.2).
+	stageCacheLoad = "cache_load"
+	// stageQueue is the wait in the worker's ready queue until admission
+	// into the running batch at a step boundary.
+	stageQueue = "queue"
+	// stageDenoiseStep is one denoising step of the running batch (§4.3).
+	stageDenoiseStep = "denoise_step"
+	// stageSerialize is latent serialization on the engine loop (§6.6).
+	stageSerialize = "serialize"
+	// stageHandoff is the engine → postprocess pool transfer (§6.6).
+	stageHandoff = "handoff"
+	// stagePostprocess is latent decode + PNG encode on the CPU pool.
+	stagePostprocess = "postprocess"
+)
+
+// Request outcome labels for flashps_requests_total.
+const (
+	outcomeOK       = "ok"
+	outcomeError    = "error"
+	outcomeRejected = "rejected"
+)
+
+// serveObs bundles the serving plane's registry-backed instruments and the
+// span tracer. Hot-path updates are lock-free (atomics) or one short
+// critical section (tracer ring).
+type serveObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	// requests counts terminal outcomes; steps counts executed denoising
+	// steps across all workers.
+	requests *obs.CounterVec
+	steps    *obs.Counter
+	// stage is the per-stage latency histogram (seconds) keyed by the
+	// span taxonomy above — the live Fig 10/11 breakdown.
+	stage *obs.HistogramVec
+	// batchOccupancy observes the running-batch size at every executed
+	// engine step (the §4.3 batching benefit).
+	batchOccupancy *obs.Histogram
+	// workerOutstanding tracks each worker's assigned-and-unfinished
+	// requests (queue depth as the scheduler sees it).
+	workerOutstanding *obs.GaugeVec
+}
+
+func newServeObs(traceRing int) *serveObs {
+	reg := obs.NewRegistry()
+	o := &serveObs{
+		reg:    reg,
+		tracer: obs.NewTracer(traceRing),
+		requests: reg.CounterVec("flashps_requests_total",
+			"Edit requests by terminal outcome", "outcome"),
+		steps: reg.Counter("flashps_denoise_steps_total",
+			"Denoising steps executed across all workers"),
+		stage: reg.HistogramVec("flashps_request_stage_seconds",
+			"Per-stage request latency (Fig 10 pipeline breakdown)",
+			obs.LatencyBuckets, "stage"),
+		batchOccupancy: reg.Histogram("flashps_batch_occupancy",
+			"Running-batch size at each executed denoising step",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+		workerOutstanding: reg.GaugeVec("flashps_worker_outstanding",
+			"Outstanding requests per worker", "worker"),
+	}
+	reg.GaugeFunc("flashps_trace_spans_total",
+		"Spans recorded into the trace ring (including dropped)",
+		func() float64 { return float64(o.tracer.Total()) })
+	reg.GaugeFunc("flashps_trace_spans_dropped",
+		"Spans evicted from the trace ring",
+		func() float64 { return float64(o.tracer.Dropped()) })
+	return o
+}
+
+// bindStore registers scrape-time gauges over the template store's live
+// counters, covering both the host-only and tiered configurations.
+func (o *serveObs) bindStore(store templateStore) {
+	stats := func() (hits, misses, evictions int) { return 0, 0, 0 }
+	switch st := store.(type) {
+	case *cache.Store:
+		stats = st.Stats
+	case *cache.Tiered:
+		stats = st.Host.Stats
+		o.reg.GaugeFunc("flashps_cache_disk_hits",
+			"Template fetches staged back from the disk tier (§4.2)",
+			func() float64 { return float64(st.DiskHits()) })
+	}
+	o.reg.GaugeFunc("flashps_cache_hits",
+		"Host activation-cache hits",
+		func() float64 { h, _, _ := stats(); return float64(h) })
+	o.reg.GaugeFunc("flashps_cache_misses",
+		"Host activation-cache misses",
+		func() float64 { _, m, _ := stats(); return float64(m) })
+	o.reg.GaugeFunc("flashps_cache_evictions",
+		"Host activation-cache evictions",
+		func() float64 { _, _, e := stats(); return float64(e) })
+}
+
+// observeStage records a completed stage into the latency histogram.
+func (o *serveObs) observeStage(stage string, d time.Duration) {
+	o.stage.With(stage).Observe(d.Seconds())
+}
+
+// span records one trace span and mirrors it into the stage histogram, so
+// the breakdown metrics and the trace never disagree.
+func (o *serveObs) span(req uint64, stage string, worker int, start time.Time, dur time.Duration, args map[string]float64) {
+	if dur < 0 {
+		dur = 0
+	}
+	o.tracer.Span(req, stage, "serve", worker, start, dur, args)
+	o.observeStage(stage, dur)
+}
+
+// setOutstanding publishes a worker's queue depth.
+func (o *serveObs) setOutstanding(worker, depth int) {
+	o.workerOutstanding.With(fmt.Sprintf("%d", worker)).Set(float64(depth))
+}

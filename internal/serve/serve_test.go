@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -499,15 +500,19 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer res.Body.Close()
-	body := make([]byte, 1<<16)
-	n, _ := res.Body.Read(body)
-	text := string(body[:n])
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
 	for _, want := range []string{
-		"flashps_requests_completed 1",
-		"flashps_latency_mean_ms",
-		"flashps_worker_outstanding{worker=\"0\"}",
-		"flashps_worker_outstanding{worker=\"1\"}",
+		`flashps_requests_total{outcome="ok"} 1`,
+		`flashps_request_stage_seconds_bucket{stage="request",le="+Inf"} 1`,
+		`flashps_worker_outstanding{worker="0"}`,
+		"flashps_denoise_steps_total 5",
 		"# TYPE flashps_cache_hits gauge",
+		"# TYPE flashps_request_stage_seconds histogram",
+		"flashps_batch_occupancy_count",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)

@@ -12,6 +12,7 @@ import (
 	"flashps/internal/img"
 	"flashps/internal/metrics"
 	"flashps/internal/model"
+	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
 	"flashps/internal/sched"
 	"flashps/internal/tensor"
@@ -41,6 +42,9 @@ type Config struct {
 	// submissions beyond it are rejected immediately (admission control /
 	// backpressure) instead of queueing unboundedly.
 	MaxQueue int
+	// TraceRing sizes the span trace ring buffer (spans retained for
+	// /debug/traces); 0 uses obs.DefaultTraceRing.
+	TraceRing int
 	// Seed fixes engine weights; all workers share it so template caches
 	// are valid on every replica.
 	Seed uint64
@@ -116,15 +120,20 @@ type Server struct {
 	preCh  chan *job
 	postCh chan *job
 
-	statsMu   sync.Mutex
-	total     metrics.Recorder
-	queue     metrics.Recorder
-	inference metrics.Recorder
-	decision  metrics.Recorder // seconds
-	organize  metrics.Recorder
-	serialize metrics.Recorder
-	handoff   metrics.Recorder
-	completed int
+	// Recorders back the JSON /v1/stats snapshot; they are SyncRecorders
+	// because the engine loops, CPU pools, and frontend all record
+	// concurrently. The registry-backed instruments live in obs.
+	total     metrics.SyncRecorder
+	queue     metrics.SyncRecorder
+	inference metrics.SyncRecorder
+	decision  metrics.SyncRecorder // seconds
+	organize  metrics.SyncRecorder
+	serialize metrics.SyncRecorder
+	handoff   metrics.SyncRecorder
+	completed atomic.Int64
+
+	obs     *serveObs
+	started atomic.Bool
 
 	nextID atomic.Uint64
 	ctx    context.Context
@@ -164,9 +173,11 @@ func New(cfg Config) (*Server, error) {
 		scheduler: sched.New(cfg.Policy, est, cfg.MaxBatch, cfg.Seed),
 		preCh:     make(chan *job, 1024),
 		postCh:    make(chan *job, 1024),
+		obs:       newServeObs(cfg.TraceRing),
 		ctx:       ctx,
 		cancel:    cancel,
 	}
+	s.obs.bindStore(store)
 	for i := 0; i < cfg.Workers; i++ {
 		eng, err := diffusion.NewEngine(cfg.Model, cfg.Seed)
 		if err != nil {
@@ -174,6 +185,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.workers = append(s.workers, newWorker(i, eng, s))
+		s.obs.setOutstanding(i, 0)
 	}
 	return s, nil
 }
@@ -192,7 +204,15 @@ func (s *Server) Start() {
 		s.wg.Add(1)
 		go w.run()
 	}
+	s.started.Store(true)
 }
+
+// Registry exposes the metrics registry backing /metrics, so embedding
+// services can add their own instruments or scrape programmatically.
+func (s *Server) Registry() *obs.Registry { return s.obs.reg }
+
+// Tracer exposes the span tracer backing /debug/traces.
+func (s *Server) Tracer() *obs.Tracer { return s.obs.tracer }
 
 // Close stops all goroutines and waits for them.
 func (s *Server) Close() {
@@ -261,15 +281,16 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 	idx := s.scheduler.Pick(views, sched.Item{MaskRatio: j.ratioHint, Steps: s.cfg.Model.Steps})
 	s.schedMu.Unlock()
 	decision := time.Since(t0)
+	s.obs.span(j.id, stageSchedule, idx, t0, decision,
+		map[string]float64{"mask_ratio_hint": j.ratioHint})
 
 	j.worker = s.workers[idx]
 	if s.cfg.MaxQueue > 0 && j.worker.outstandingCount() >= s.cfg.MaxQueue {
+		s.obs.requests.With(outcomeRejected).Inc()
 		return EditResponse{}, ErrOverloaded
 	}
 	j.worker.addOutstanding(j)
-	s.statsMu.Lock()
 	s.decision.Add(decision.Seconds())
-	s.statsMu.Unlock()
 
 	select {
 	case s.preCh <- j:
@@ -340,8 +361,13 @@ func (s *Server) preLoop() {
 		case <-s.ctx.Done():
 			return
 		case j := <-s.preCh:
-			if err := s.preprocess(j); err != nil {
+			t0 := time.Now()
+			err := s.preprocess(j)
+			s.obs.span(j.id, stagePreprocess, j.worker.id, t0, time.Since(t0),
+				map[string]float64{"mask_ratio": j.ratio})
+			if err != nil {
 				j.worker.removeOutstanding(j)
+				s.obs.requests.With(outcomeError).Inc()
 				j.resp <- jobResult{err: err}
 				continue
 			}
@@ -362,7 +388,14 @@ func (s *Server) preprocess(j *job) error {
 		return err
 	}
 	j.ratio = m.Ratio()
+	t0 := time.Now()
 	tc := s.store.Get(j.api.TemplateID)
+	hit := 1.0
+	if tc == nil {
+		hit = 0
+	}
+	s.obs.span(j.id, stageCacheLoad, j.worker.id, t0, time.Since(t0),
+		map[string]float64{"template": float64(j.api.TemplateID), "hit": hit})
 	if tc == nil {
 		return fmt.Errorf("serve: template %d not prepared", j.api.TemplateID)
 	}
@@ -389,14 +422,18 @@ func (s *Server) postLoop() {
 		case <-s.ctx.Done():
 			return
 		case j := <-s.postCh:
-			handoff := time.Since(j.handoff)
+			post := time.Now()
+			handoff := post.Sub(j.handoff)
+			s.obs.span(j.id, stageHandoff, j.worker.id, j.handoff, handoff, nil)
 			res, err := j.session.Result()
 			var png []byte
 			if err == nil && j.api.ReturnImage {
 				png, err = img.EncodePNG(res.Image)
 			}
 			complete := time.Now()
+			s.obs.span(j.id, stagePostprocess, j.worker.id, post, complete.Sub(post), nil)
 			if err != nil {
+				s.obs.requests.With(outcomeError).Inc()
 				j.resp <- jobResult{err: err}
 				continue
 			}
@@ -410,13 +447,18 @@ func (s *Server) postLoop() {
 				StepsComputed: res.StepsComputed,
 				ImagePNG:      png,
 			}
-			s.statsMu.Lock()
-			s.completed++
+			s.completed.Add(1)
 			s.total.Add(resp.TotalMS)
 			s.queue.Add(resp.QueueMS)
 			s.inference.Add(resp.InferenceMS)
 			s.handoff.Add(handoff.Seconds())
-			s.statsMu.Unlock()
+			s.obs.requests.With(outcomeOK).Inc()
+			s.obs.span(j.id, stageRequest, j.worker.id, j.arrival, complete.Sub(j.arrival),
+				map[string]float64{
+					"mask_ratio": j.ratio,
+					"steps":      float64(res.StepsComputed),
+					"worker":     float64(j.worker.id),
+				})
 			j.resp <- jobResult{resp: resp}
 		}
 	}
@@ -428,8 +470,6 @@ func msBetween(a, b time.Time) float64 {
 
 // Snapshot returns the live statistics.
 func (s *Server) Snapshot() Stats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
 	var hits, misses, evicted int
 	switch st := s.store.(type) {
 	case *cache.Store:
@@ -438,7 +478,7 @@ func (s *Server) Snapshot() Stats {
 		hits, misses, evicted = st.Host.Stats()
 	}
 	st := Stats{
-		Completed:          s.completed,
+		Completed:          int(s.completed.Load()),
 		MeanTotalMS:        s.total.Mean(),
 		P95TotalMS:         s.total.P95(),
 		MeanQueueMS:        s.queue.Mean(),
@@ -454,4 +494,34 @@ func (s *Server) Snapshot() Stats {
 		st.WorkerQueueDepths = append(st.WorkerQueueDepths, w.outstandingCount())
 	}
 	return st
+}
+
+// Health reports readiness: whether the worker loops have started and
+// whether admission control still has headroom. Saturated means every
+// worker's outstanding queue is at the MaxQueue admission limit, i.e. the
+// next submission would be rejected with ErrOverloaded.
+func (s *Server) Health() Health {
+	h := Health{
+		Started:   s.started.Load(),
+		Workers:   len(s.workers),
+		MaxQueue:  s.cfg.MaxQueue,
+		Completed: s.completed.Load(),
+	}
+	saturated := s.cfg.MaxQueue > 0 && len(s.workers) > 0
+	for _, w := range s.workers {
+		d := w.outstandingCount()
+		h.QueueDepths = append(h.QueueDepths, d)
+		if d < s.cfg.MaxQueue {
+			saturated = false
+		}
+	}
+	switch {
+	case !h.Started:
+		h.Status = "starting"
+	case saturated:
+		h.Status = "overloaded"
+	default:
+		h.Status = "ok"
+	}
+	return h
 }

@@ -37,13 +37,17 @@ func newWorker(id int, eng *diffusion.Engine, srv *Server) *worker {
 func (w *worker) addOutstanding(j *job) {
 	w.mu.Lock()
 	w.outstanding[j] = struct{}{}
+	depth := len(w.outstanding)
 	w.mu.Unlock()
+	w.srv.obs.setOutstanding(w.id, depth)
 }
 
 func (w *worker) removeOutstanding(j *job) {
 	w.mu.Lock()
 	delete(w.outstanding, j)
+	depth := len(w.outstanding)
 	w.mu.Unlock()
+	w.srv.obs.setOutstanding(w.id, depth)
 }
 
 func (w *worker) outstandingCount() int {
@@ -67,6 +71,13 @@ func (w *worker) view() sched.WorkerView {
 	return v
 }
 
+// admitJob marks a preprocessed job as admitted into the running batch and
+// records its ready-queue wait as the "queue" span.
+func (w *worker) admitJob(j *job) {
+	j.admit = time.Now()
+	w.srv.obs.span(j.id, stageQueue, w.id, j.ready, j.admit.Sub(j.ready), nil)
+}
+
 // run is the engine loop. It owns the running batch exclusively.
 func (w *worker) run() {
 	defer w.srv.wg.Done()
@@ -78,7 +89,7 @@ func (w *worker) run() {
 			case <-w.srv.ctx.Done():
 				return
 			case j := <-w.readyCh:
-				j.admit = time.Now()
+				w.admitJob(j)
 				running = append(running, j)
 			}
 		}
@@ -86,7 +97,7 @@ func (w *worker) run() {
 		for len(running) < w.srv.cfg.MaxBatch {
 			select {
 			case j := <-w.readyCh:
-				j.admit = time.Now()
+				w.admitJob(j)
 				running = append(running, j)
 				continue
 			default:
@@ -96,11 +107,19 @@ func (w *worker) run() {
 		organize := time.Since(t0)
 
 		// One denoising step for every running session.
+		batch := float64(len(running))
+		w.srv.obs.batchOccupancy.Observe(batch)
 		still := running[:0]
 		for _, j := range running {
+			stepIdx := j.session.StepsComputed()
+			ts := time.Now()
 			done, err := j.session.Step()
+			w.srv.obs.steps.Inc()
+			w.srv.obs.span(j.id, stageDenoiseStep, w.id, ts, time.Since(ts),
+				map[string]float64{"step": float64(stepIdx), "batch": batch})
 			if err != nil {
 				w.removeOutstanding(j)
+				w.srv.obs.requests.With(outcomeError).Inc()
 				j.resp <- jobResult{err: err}
 				continue
 			}
@@ -112,15 +131,14 @@ func (w *worker) run() {
 			j.finish = time.Now()
 			// Serialize the latent (measured §6.6 overhead) and hand off
 			// to the postprocess pool; the engine loop never decodes.
-			ts := time.Now()
+			ts = time.Now()
 			j.latentBytes = serializeLatent(j.session.Latent())
 			serialize := time.Since(ts)
+			w.srv.obs.span(j.id, stageSerialize, w.id, ts, serialize, nil)
 			w.removeOutstanding(j)
 			j.handoff = time.Now()
 
-			w.srv.statsMu.Lock()
 			w.srv.serialize.Add(serialize.Seconds())
-			w.srv.statsMu.Unlock()
 
 			select {
 			case w.srv.postCh <- j:
@@ -131,9 +149,7 @@ func (w *worker) run() {
 		n := copy(running, still)
 		running = running[:n]
 
-		w.srv.statsMu.Lock()
 		w.srv.organize.Add(organize.Seconds())
-		w.srv.statsMu.Unlock()
 
 		select {
 		case <-w.srv.ctx.Done():
