@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all check build test vet race bench experiments fuzz clean
+.PHONY: all check build test vet race faults bench experiments fuzz clean
 
 all: check
 
-# The default gate: build, vet, full test suite, and the race detector
-# over the concurrent packages.
-check: build vet test race
+# The default gate: build, vet, full test suite, the race detector over
+# the concurrent packages, and the fault-injection suite.
+check: build vet test race faults
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/cluster/... ./internal/cache/... ./internal/metrics/...
+
+# Fault drills under the race detector: worker crash + retry, cache-load
+# degradation, deadline eviction, cancellation storms, load shedding.
+faults:
+	$(GO) test -race -count=1 ./internal/faults/... ./internal/serve/ -run 'TestWorkerCrash|TestHealthDegraded|TestCacheLoad|TestDeadlineExceeded|TestCancelConcurrent|TestShedLargest|TestFaultCounters|Test.*Injector|TestFail|TestAfter|TestProb|TestDelay|TestParse'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,8 +8,15 @@
 //
 //	flashps-client -addr http://localhost:8005 -prepare -template 1 -image-seed 7
 //	flashps-client -addr http://localhost:8005 -edit -template 1 -prompt "a red dress" -ratio 0.2
+//	flashps-client -addr http://localhost:8005 -edit -template 1 -deadline-ms 500
+//	flashps-client -addr http://localhost:8005 -list
+//	flashps-client -addr http://localhost:8005 -delete -template 1
 //	flashps-client -addr http://localhost:8005 -load -n 50 -rps 4 -templates 1,2
 //	flashps-client -addr http://localhost:8005 -stats
+//
+// Server errors arrive as the structured JSON envelope documented in
+// docs/API.md; the client surfaces the stable code and whether the
+// request is retryable.
 package main
 
 import (
@@ -37,6 +44,8 @@ func main() {
 		addr     = flag.String("addr", "http://localhost:8005", "server base URL")
 		prepare  = flag.Bool("prepare", false, "prepare a template")
 		edit     = flag.Bool("edit", false, "submit one edit")
+		list     = flag.Bool("list", false, "list cached templates")
+		del      = flag.Bool("delete", false, "delete a template's cache entries")
 		load     = flag.Bool("load", false, "run an open-loop Poisson workload")
 		stats    = flag.Bool("stats", false, "fetch server statistics")
 		template = flag.Uint64("template", 1, "template id")
@@ -49,6 +58,7 @@ func main() {
 		rps      = flag.Float64("rps", 2, "Poisson rate for -load")
 		dist     = flag.String("dist", "production", "mask distribution for -load")
 		out      = flag.String("o", "", "save the edited image PNG to this path (edit)")
+		deadline = flag.Int64("deadline-ms", 0, "server-side deadline in ms (0 = none)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request timeout")
 	)
 	flag.Parse()
@@ -71,18 +81,43 @@ func main() {
 			TemplateID: *template, Prompt: *prompt, Seed: *seed,
 			Mask:        serve.MaskSpec{Type: "ratio", Ratio: *ratio, Seed: *seed},
 			ReturnImage: *out != "",
+			DeadlineMS:  *deadline,
 		}, &resp)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("edit served by worker %d: mask %.2f, queue %.1f ms, infer %.1f ms, total %.1f ms\n",
 			resp.Worker, resp.MaskRatio, resp.QueueMS, resp.InferenceMS, resp.TotalMS)
+		if resp.Degraded {
+			fmt.Printf("degraded: %s\n", resp.DegradedReason)
+		}
+		if resp.Retries > 0 {
+			fmt.Printf("retries: %d\n", resp.Retries)
+		}
 		if *out != "" {
 			if err := os.WriteFile(*out, resp.ImagePNG, 0o644); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s (%d bytes)\n", *out, len(resp.ImagePNG))
 		}
+	case *list:
+		var resp serve.TemplateListResponse
+		if err := c.get("/v1/templates", &resp); err != nil {
+			fatal(err)
+		}
+		if len(resp.Templates) == 0 {
+			fmt.Println("no templates cached")
+		}
+		for _, tpl := range resp.Templates {
+			fmt.Printf("template %d: %.1f MiB (%s)\n",
+				tpl.TemplateID, float64(tpl.Bytes)/(1<<20), tpl.Tier)
+		}
+	case *del:
+		var resp serve.DeleteTemplateResponse
+		if err := c.del(fmt.Sprintf("/v1/templates/%d", *template), &resp); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("template %d deleted\n", resp.TemplateID)
 	case *load:
 		templates, err := parseIDs(*tplList)
 		if err != nil {
@@ -92,7 +127,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := c.runLoad(templates, d, *n, *rps, *seed); err != nil {
+		if err := c.runLoad(templates, d, *n, *rps, *seed, *deadline); err != nil {
 			fatal(err)
 		}
 	case *stats:
@@ -123,12 +158,7 @@ func (c *client) post(path string, req, resp interface{}) error {
 	if err != nil {
 		return err
 	}
-	defer r.Body.Close()
-	if r.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
-		return fmt.Errorf("%s: %s: %s", path, r.Status, strings.TrimSpace(string(msg)))
-	}
-	return json.NewDecoder(r.Body).Decode(resp)
+	return c.decode(path, r, resp)
 }
 
 func (c *client) get(path string, resp interface{}) error {
@@ -136,16 +166,43 @@ func (c *client) get(path string, resp interface{}) error {
 	if err != nil {
 		return err
 	}
+	return c.decode(path, r, resp)
+}
+
+func (c *client) del(path string, resp interface{}) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	r, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	return c.decode(path, r, resp)
+}
+
+// decode reads the response, turning non-200s into errors built from the
+// server's structured envelope ({"error":{"code","message","retryable"}}).
+func (c *client) decode(path string, r *http.Response, resp interface{}) error {
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s", path, r.Status)
+		body, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		var env serve.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err == nil && env.Error != nil {
+			retry := ""
+			if env.Error.Retryable {
+				retry = " (retryable)"
+			}
+			return fmt.Errorf("%s: %s [%s]%s", path, env.Error.Message, env.Error.Code, retry)
+		}
+		return fmt.Errorf("%s: %s: %s", path, r.Status, strings.TrimSpace(string(body)))
 	}
 	return json.NewDecoder(r.Body).Decode(resp)
 }
 
 // runLoad fires an open-loop Poisson workload at the server and prints
 // latency statistics.
-func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps float64, seed uint64) error {
+func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps float64, seed uint64, deadlineMS int64) error {
 	reqs, err := workload.Generate(workload.TraceConfig{
 		N: n, RPS: rps, Dist: dist, Templates: len(templates), ZipfS: 1.1, Seed: seed,
 	})
@@ -182,6 +239,7 @@ func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps 
 				Prompt:     "load",
 				Seed:       uint64(r.ID),
 				Mask:       serve.MaskSpec{Type: "ratio", Ratio: r.MaskRatio, Seed: maskSeed},
+				DeadlineMS: deadlineMS,
 			}, &resp)
 			mu.Lock()
 			defer mu.Unlock()

@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 
+	"flashps/internal/faults"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
 	"flashps/internal/sched"
@@ -46,6 +47,14 @@ func main() {
 		par       = flag.Int("parallelism", runtime.NumCPU(), "goroutines for numeric kernels")
 		traceRing = flag.Int("trace-ring", 0, "span trace ring capacity for /debug/traces (0 = default 65536)")
 		noPprof   = flag.Bool("no-pprof", false, "disable the /debug/pprof/ endpoints")
+
+		maxRetries = flag.Int("max-retries", 0, "crash-retry budget per request (0 = default 2, negative disables)")
+		retryBO    = flag.Duration("retry-backoff", 0, "base crash-retry backoff, capped at 8x (0 = default 25ms)")
+		restartDly = flag.Duration("restart-delay", 0, "crashed worker loop restart delay (0 = default 50ms)")
+		cacheTO    = flag.Duration("cache-load-timeout", 0, "degrade to full mode when the cache load exceeds this (0 = off)")
+		faultSpec  = flag.String("faults", os.Getenv("FLASHPS_FAULTS"),
+			`fault-injection spec, e.g. "worker.0.crash:after=20,fail=1;cache.load:prob=0.01" (default $FLASHPS_FAULTS)`)
+		faultSeed = flag.Uint64("fault-seed", 1, "rng seed for probabilistic fault rules")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -66,12 +75,24 @@ func main() {
 		profile = perfmodel.FluxPaper
 	}
 
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		inj, err = faults.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("WARN: fault injection armed: %s\n", *faultSpec)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Model: cfg, Profile: profile,
 		Workers: *workers, MaxBatch: *maxBatch,
 		Policy: pol, Seed: *seed,
 		CacheDir: *cacheDir, MaxQueue: *maxQueue,
-		TraceRing: *traceRing,
+		TraceRing:  *traceRing,
+		MaxRetries: *maxRetries, RetryBackoff: *retryBO,
+		WorkerRestartDelay: *restartDly, CacheLoadTimeout: *cacheTO,
+		Faults: inj,
 	})
 	if err != nil {
 		fatal(err)

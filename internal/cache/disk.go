@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync/atomic"
 
 	"flashps/internal/diffusion"
@@ -79,6 +80,28 @@ func (d *DiskStore) Delete(id uint64) error {
 	return err
 }
 
+// List returns the templates on disk sorted by id.
+func (d *DiskStore) List() []Info {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var out []Info
+	for _, e := range entries {
+		var id uint64
+		if n, err := fmt.Sscanf(e.Name(), "template-%d.fptc", &id); n != 1 || err != nil {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, Info{ID: id, Bytes: fi.Size(), Tier: "disk"})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Tiered combines the host-memory Store with a DiskStore: Get serves from
 // host memory and falls back to staging from disk; Put is write-through.
 // This is the live-path realization of §4.2 — LRU-evicted templates remain
@@ -133,4 +156,35 @@ func (t *Tiered) Get(id uint64) *diffusion.TemplateCache {
 	// Best effort: an oversize entry simply stays disk-only.
 	_ = t.Host.Put(id, tc)
 	return tc
+}
+
+// List merges the host and disk listings: a template resident in both
+// tiers reports the host byte size and tier "host+disk".
+func (t *Tiered) List() []Info {
+	host := t.Host.List()
+	inHost := make(map[uint64]int, len(host))
+	for i, e := range host {
+		inHost[e.ID] = i
+	}
+	out := append([]Info(nil), host...)
+	for _, e := range t.Disk.List() {
+		if i, ok := inHost[e.ID]; ok {
+			out[i].Tier = "host+disk"
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Delete invalidates a template in both tiers, reporting whether it was
+// present in either.
+func (t *Tiered) Delete(id uint64) bool {
+	onDisk := t.Disk.Has(id)
+	if onDisk {
+		_ = t.Disk.Delete(id)
+	}
+	inHost := t.Host.Delete(id)
+	return onDisk || inHost
 }

@@ -3,6 +3,7 @@ package cache
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 
 	"flashps/internal/diffusion"
@@ -109,4 +110,40 @@ func (s *Store) Stats() (hits, misses, evictions int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits, s.misses, s.evicted
+}
+
+// Info describes one cached template in a listing.
+type Info struct {
+	ID    uint64
+	Bytes int64
+	// Tier is "host", "disk", or "host+disk".
+	Tier string
+}
+
+// List returns the resident templates sorted by id.
+func (s *Store) List() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Info, 0, len(s.entries))
+	for _, el := range s.entries {
+		e := el.Value.(*storeEntry)
+		out = append(out, Info{ID: e.id, Bytes: e.bytes, Tier: "host"})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Delete invalidates a cached template, reporting whether it was present.
+func (s *Store) Delete(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[id]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*storeEntry)
+	s.order.Remove(el)
+	delete(s.entries, id)
+	s.used -= e.bytes
+	return true
 }

@@ -1,0 +1,291 @@
+// Package faults is the serving plane's fault-injection harness: named
+// injection points inside the request path (cache loads, CPU stages,
+// worker engine loops) consult a shared Injector that can arm failures,
+// crashes, and delays — deterministically for tests, or from a config
+// string / environment variable for the load generator and manual
+// experiments (FLASHPS_FAULTS).
+//
+// A nil *Injector is valid and injects nothing, so production code calls
+// Fire/Delay unconditionally.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Point names one injection site. Sites are dot-separated, lowercase.
+type Point string
+
+// Injection points wired into internal/serve.
+const (
+	// CacheLoad fails or delays the template-cache fetch inside
+	// preprocessing; a fired failure degrades flashps mode to full compute.
+	CacheLoad Point = "cache.load"
+	// PreStage delays the preprocessing CPU stage.
+	PreStage Point = "stage.pre"
+	// PostStage delays the postprocessing CPU stage.
+	PostStage Point = "stage.post"
+	// StepStage delays every denoising step (slows the engine loop down so
+	// tests can cancel or crash mid-batch deterministically).
+	StepStage Point = "stage.step"
+)
+
+// WorkerCrash is the injection point that kills worker id's engine loop:
+// when it fires, the loop panics and the supervisor takes over.
+func WorkerCrash(id int) Point {
+	return Point("worker." + strconv.Itoa(id) + ".crash")
+}
+
+// rule is the armed behavior at one point.
+type rule struct {
+	after  int64         // ignore the first `after` fires
+	failN  int64         // fail the next N fires (-1 = every fire)
+	prob   float64       // else fail each fire with this probability
+	delay  time.Duration // base delay returned by Delay
+	jitter time.Duration // uniform extra delay in [0, jitter)
+	fired  int64         // fires seen (including ignored ones)
+	trips  int64         // fires that actually failed
+}
+
+// Injector holds the armed rules. All methods are safe for concurrent use
+// and safe on a nil receiver (no-ops).
+type Injector struct {
+	mu    sync.Mutex
+	rules map[Point]*rule
+	rng   uint64 // splitmix64 state for probabilistic rules
+}
+
+// New returns an empty injector whose probabilistic decisions derive from
+// seed (deterministic across runs).
+func New(seed uint64) *Injector {
+	return &Injector{rules: make(map[Point]*rule), rng: seed ^ 0xFA017}
+}
+
+func (in *Injector) rule(p Point) *rule {
+	r, ok := in.rules[p]
+	if !ok {
+		r = &rule{}
+		in.rules[p] = r
+	}
+	return r
+}
+
+// Fail arms the next n fires of p to fail.
+func (in *Injector) Fail(p Point, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rule(p).failN = int64(n)
+}
+
+// FailAlways arms every fire of p to fail until Clear.
+func (in *Injector) FailAlways(p Point) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rule(p).failN = -1
+}
+
+// FailProb arms p to fail each fire independently with probability prob.
+func (in *Injector) FailProb(p Point, prob float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rule(p).prob = prob
+}
+
+// After makes the first n fires of p immune (delays still apply).
+func (in *Injector) After(p Point, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rule(p).after = int64(n)
+}
+
+// SetDelay arms p to report a delay of d plus a uniform jitter in
+// [0, jitter) on every Delay call.
+func (in *Injector) SetDelay(p Point, d, jitter time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rule(p)
+	r.delay, r.jitter = d, jitter
+}
+
+// Clear disarms p entirely (counters reset too).
+func (in *Injector) Clear(p Point) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, p)
+}
+
+// Fire reports whether the armed rule at p decides this invocation fails.
+// Every call counts toward the After offset; armed fail budgets are
+// consumed by firing calls only.
+func (in *Injector) Fire(p Point) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r, ok := in.rules[p]
+	if !ok {
+		return false
+	}
+	r.fired++
+	if r.fired <= r.after {
+		return false
+	}
+	if r.failN != 0 {
+		if r.failN > 0 {
+			r.failN--
+		}
+		r.trips++
+		return true
+	}
+	if r.prob > 0 && in.unitFloat() < r.prob {
+		r.trips++
+		return true
+	}
+	return false
+}
+
+// Delay returns the armed delay at p (zero when disarmed).
+func (in *Injector) Delay(p Point) time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r, ok := in.rules[p]
+	if !ok || r.delay <= 0 && r.jitter <= 0 {
+		return 0
+	}
+	d := r.delay
+	if r.jitter > 0 {
+		d += time.Duration(in.unitFloat() * float64(r.jitter))
+	}
+	return d
+}
+
+// Trips returns how many fires at p actually failed.
+func (in *Injector) Trips(p Point) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r, ok := in.rules[p]; ok {
+		return r.trips
+	}
+	return 0
+}
+
+// Fired returns how many times p has fired (failing or not).
+func (in *Injector) Fired(p Point) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r, ok := in.rules[p]; ok {
+		return r.fired
+	}
+	return 0
+}
+
+// Points returns the armed points, sorted (for diagnostics).
+func (in *Injector) Points() []Point {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Point, 0, len(in.rules))
+	for p := range in.rules {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// unitFloat draws a deterministic float64 in [0, 1) (splitmix64). Caller
+// holds in.mu.
+func (in *Injector) unitFloat() float64 {
+	in.rng += 0x9E3779B97F4A7C15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Parse builds an injector from a spec string of the form
+//
+//	point:key=val[,key=val...][;point:...]
+//
+// with keys fail (int or "always"), prob (float in [0,1]), after (int),
+// delay (Go duration), jitter (Go duration). Example:
+//
+//	cache.load:fail=3;worker.0.crash:after=5,fail=1;stage.pre:delay=10ms,jitter=5ms
+//
+// An empty spec yields an empty (but non-nil) injector.
+func Parse(spec string, seed uint64) (*Injector, error) {
+	in := New(seed)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return in, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		colon := strings.Index(part, ":")
+		if colon <= 0 {
+			return nil, fmt.Errorf("faults: rule %q missing point", part)
+		}
+		p := Point(strings.TrimSpace(part[:colon]))
+		r := in.rule(p)
+		for _, kv := range strings.Split(part[colon+1:], ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			eq := strings.Index(kv, "=")
+			if eq <= 0 {
+				return nil, fmt.Errorf("faults: bad option %q at %s", kv, p)
+			}
+			key, val := strings.TrimSpace(kv[:eq]), strings.TrimSpace(kv[eq+1:])
+			var err error
+			switch key {
+			case "fail":
+				if val == "always" {
+					r.failN = -1
+				} else {
+					r.failN, err = strconv.ParseInt(val, 10, 64)
+				}
+			case "prob":
+				r.prob, err = strconv.ParseFloat(val, 64)
+				if err == nil && (r.prob < 0 || r.prob > 1) {
+					err = fmt.Errorf("probability %g outside [0,1]", r.prob)
+				}
+			case "after":
+				r.after, err = strconv.ParseInt(val, 10, 64)
+			case "delay":
+				r.delay, err = time.ParseDuration(val)
+			case "jitter":
+				r.jitter, err = time.ParseDuration(val)
+			default:
+				err = fmt.Errorf("unknown key %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faults: %s: %s=%s: %v", p, key, val, err)
+			}
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,162 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Fire(CacheLoad) {
+		t.Fatal("nil injector fired")
+	}
+	if in.Delay(PreStage) != 0 {
+		t.Fatal("nil injector delayed")
+	}
+	if in.Trips(CacheLoad) != 0 || in.Fired(CacheLoad) != 0 {
+		t.Fatal("nil injector counted")
+	}
+	in.Clear(CacheLoad)
+	if in.Points() != nil {
+		t.Fatal("nil injector has points")
+	}
+}
+
+func TestFailBudgetConsumed(t *testing.T) {
+	in := New(1)
+	in.Fail(CacheLoad, 2)
+	got := []bool{in.Fire(CacheLoad), in.Fire(CacheLoad), in.Fire(CacheLoad)}
+	want := []bool{true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if in.Trips(CacheLoad) != 2 || in.Fired(CacheLoad) != 3 {
+		t.Fatalf("trips=%d fired=%d", in.Trips(CacheLoad), in.Fired(CacheLoad))
+	}
+}
+
+func TestAfterOffset(t *testing.T) {
+	in := New(1)
+	in.Fail(WorkerCrash(0), 1)
+	in.After(WorkerCrash(0), 2)
+	fires := []bool{
+		in.Fire(WorkerCrash(0)), in.Fire(WorkerCrash(0)),
+		in.Fire(WorkerCrash(0)), in.Fire(WorkerCrash(0)),
+	}
+	want := []bool{false, false, true, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fire %d = %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestFailAlwaysAndClear(t *testing.T) {
+	in := New(1)
+	in.FailAlways(StepStage)
+	for i := 0; i < 5; i++ {
+		if !in.Fire(StepStage) {
+			t.Fatalf("fire %d did not fail", i)
+		}
+	}
+	in.Clear(StepStage)
+	if in.Fire(StepStage) {
+		t.Fatal("cleared point still fails")
+	}
+}
+
+func TestProbDeterministicBySeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := New(seed)
+		in.FailProb(CacheLoad, 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire(CacheLoad)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	trips := 0
+	for _, v := range a {
+		if v {
+			trips++
+		}
+	}
+	if trips == 0 || trips == len(a) {
+		t.Fatalf("prob=0.5 tripped %d/%d times", trips, len(a))
+	}
+}
+
+func TestDelayWithJitter(t *testing.T) {
+	in := New(3)
+	in.SetDelay(PreStage, 10*time.Millisecond, 5*time.Millisecond)
+	for i := 0; i < 20; i++ {
+		d := in.Delay(PreStage)
+		if d < 10*time.Millisecond || d >= 15*time.Millisecond {
+			t.Fatalf("delay %v outside [10ms, 15ms)", d)
+		}
+	}
+	if in.Delay(PostStage) != 0 {
+		t.Fatal("unarmed point delayed")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := Parse("cache.load:fail=3; worker.0.crash:after=5,fail=1 ;stage.pre:delay=10ms,jitter=5ms,prob=0.25", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := in.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	if !in.Fire(CacheLoad) {
+		t.Fatal("parsed fail budget not armed")
+	}
+	if d := in.Delay(PreStage); d < 10*time.Millisecond {
+		t.Fatalf("parsed delay = %v", d)
+	}
+	for i := 0; i < 5; i++ {
+		if in.Fire(WorkerCrash(0)) {
+			t.Fatalf("crash fired during after-window at %d", i)
+		}
+	}
+	if !in.Fire(WorkerCrash(0)) {
+		t.Fatal("crash did not fire after offset")
+	}
+
+	if _, err := Parse("", 1); err != nil {
+		t.Fatal("empty spec rejected")
+	}
+	for _, bad := range []string{
+		"noseparator",
+		"p:fail=x",
+		"p:prob=2",
+		"p:delay=zzz",
+		"p:wat=1",
+		"p:fail",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Fatalf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestFailAlwaysViaParse(t *testing.T) {
+	in, err := Parse("cache.load:fail=always", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !in.Fire(CacheLoad) {
+			t.Fatal("fail=always did not fire")
+		}
+	}
+}

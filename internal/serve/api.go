@@ -120,11 +120,34 @@ type PrepareRequest struct {
 	RecordKV bool `json:"record_kv"`
 }
 
-// PrepareResponse reports the prepared cache.
+// PrepareResponse reports the prepared cache. Reused is set when the
+// template id was already prepared and the existing cache was kept
+// (POST /v1/templates is idempotent on template_id; DELETE first to
+// re-prepare with different content).
 type PrepareResponse struct {
 	TemplateID uint64  `json:"template_id"`
 	CacheBytes int64   `json:"cache_bytes"`
 	PrepareMS  float64 `json:"prepare_ms"`
+	Reused     bool    `json:"reused,omitempty"`
+}
+
+// TemplateInfo is one entry of GET /v1/templates.
+type TemplateInfo struct {
+	TemplateID uint64 `json:"template_id"`
+	Bytes      int64  `json:"bytes"`
+	// Tier is "host", "disk", or "host+disk".
+	Tier string `json:"tier"`
+}
+
+// TemplateListResponse is the GET /v1/templates body.
+type TemplateListResponse struct {
+	Templates []TemplateInfo `json:"templates"`
+}
+
+// DeleteTemplateResponse is the DELETE /v1/templates/{id} body.
+type DeleteTemplateResponse struct {
+	TemplateID uint64 `json:"template_id"`
+	Deleted    bool   `json:"deleted"`
 }
 
 // EditRequestAPI is one image-editing request.
@@ -138,6 +161,10 @@ type EditRequestAPI struct {
 	Mode string `json:"mode,omitempty"`
 	// ReturnImage includes the PNG (base64) in the response.
 	ReturnImage bool `json:"return_image,omitempty"`
+	// DeadlineMS, when > 0, bounds the request's end-to-end time: once
+	// exceeded the job is evicted at the next stage/step boundary and the
+	// client receives a deadline_exceeded error envelope.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // EditResponse reports one served edit.
@@ -150,16 +177,31 @@ type EditResponse struct {
 	TotalMS       float64 `json:"total_ms"`
 	StepsComputed int     `json:"steps_computed"`
 	ImagePNG      []byte  `json:"image_png,omitempty"`
+	// Degraded reports that the request fell back from cached flashps mode
+	// to full compute (e.g. a failed or slow cache load); DegradedReason
+	// says why ("cache_load_failed", "cache_load_timeout").
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Retries counts how many times the job was re-executed on an
+	// alternate replica after a worker crash.
+	Retries int `json:"retries,omitempty"`
+	// DeadlineMS echoes the request's deadline_ms.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Health is the /healthz readiness report. Status is "ok", "starting"
-// (worker loops not launched yet), or "overloaded" (every worker's queue
-// is at the admission limit); the latter two are served with HTTP 503.
+// (worker loops not launched yet), "degraded" (at least one worker loop
+// is down and awaiting restart), or "overloaded" (every worker's queue
+// is at the admission limit); everything but "ok" is served with
+// HTTP 503.
 type Health struct {
 	Status      string `json:"status"`
 	Started     bool   `json:"started"`
 	Workers     int    `json:"workers"`
 	QueueDepths []int  `json:"queue_depths"`
+	// WorkerAlive reports per-replica engine-loop liveness; a false entry
+	// is a crashed loop that has not restarted yet.
+	WorkerAlive []bool `json:"worker_alive"`
 	MaxQueue    int    `json:"max_queue,omitempty"`
 	Completed   int64  `json:"completed"`
 }

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrorCode is a stable, machine-readable error class carried in every
+// /v1 error envelope. Codes are part of the wire contract (docs/API.md);
+// new codes may be added but existing ones never change meaning.
+type ErrorCode string
+
+const (
+	// CodeInvalidRequest covers malformed JSON, unknown modes/mask types,
+	// and any other request-shape problem. Not retryable.
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeTemplateNotFound means the referenced template has not been
+	// prepared (or was deleted). Not retryable until re-prepared.
+	CodeTemplateNotFound ErrorCode = "template_not_found"
+	// CodeOverloaded means admission control rejected or shed the request;
+	// retrying after backoff is expected to succeed.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeDeadlineExceeded means the request's deadline expired before a
+	// result was produced; the job is evicted at the next step boundary.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeCanceled means the client abandoned the request (connection
+	// closed / context canceled) before completion.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeInternal is any server-side failure not covered above.
+	CodeInternal ErrorCode = "internal"
+)
+
+// APIError is the structured error returned by the serving plane. It is
+// both the Go error type flowing out of SubmitEdit/Prepare and the wire
+// form inside ErrorEnvelope.
+type APIError struct {
+	Code      ErrorCode `json:"code"`
+	Message   string    `json:"message"`
+	Retryable bool      `json:"retryable"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Is matches any *APIError with the same code, so
+// errors.Is(err, ErrOverloaded) works across distinct instances.
+func (e *APIError) Is(target error) bool {
+	t, ok := target.(*APIError)
+	return ok && t.Code == e.Code
+}
+
+// HTTPStatus maps the code onto its HTTP status.
+func (e *APIError) HTTPStatus() int {
+	switch e.Code {
+	case CodeInvalidRequest:
+		return http.StatusBadRequest
+	case CodeTemplateNotFound:
+		return http.StatusNotFound
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ErrorEnvelope is the wire form of every /v1 error response body:
+//
+//	{"error": {"code": "...", "message": "...", "retryable": bool}}
+type ErrorEnvelope struct {
+	Error *APIError `json:"error"`
+}
+
+// ErrOverloaded is returned when admission control rejects (or load
+// shedding evicts) a request. Kept as a sentinel for errors.Is.
+var ErrOverloaded = &APIError{
+	Code:      CodeOverloaded,
+	Message:   "overloaded: request rejected by admission control",
+	Retryable: true,
+}
+
+// apiErrorf builds an *APIError with a formatted message.
+func apiErrorf(code ErrorCode, retryable bool, format string, args ...interface{}) *APIError {
+	return &APIError{Code: code, Message: fmt.Sprintf(format, args...), Retryable: retryable}
+}
+
+// asAPIError coerces any error into an *APIError so every failure leaves
+// the server with a stable code; unrecognized errors become internal.
+func asAPIError(err error) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return apiErrorf(CodeDeadlineExceeded, true, "%v", err)
+	case errors.Is(err, context.Canceled):
+		return apiErrorf(CodeCanceled, false, "%v", err)
+	}
+	return apiErrorf(CodeInternal, false, "%v", err)
+}

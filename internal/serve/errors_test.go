@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flashps/internal/perfmodel"
+	"flashps/internal/sched"
+)
+
+// decodeEnvelope asserts the response body is a structured error envelope
+// and returns it.
+func decodeEnvelope(t *testing.T, res *http.Response) *APIError {
+	t.Helper()
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type = %q, want application/json", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not an envelope: %v\n%s", err, body)
+	}
+	if env.Error == nil || env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code/message: %s", body)
+	}
+	return env.Error
+}
+
+// TestErrorEnvelopeTable asserts every /v1 endpoint's status code and
+// structured envelope for each failure class — the API contract of
+// docs/API.md.
+func TestErrorEnvelopeTable(t *testing.T) {
+	s := newTestServer(t, 1)
+	prepareTemplate(t, s, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	editBody := func(tpl uint64, mode, maskType string) string {
+		b, _ := json.Marshal(EditRequestAPI{
+			TemplateID: tpl, Seed: 1, Mode: mode,
+			Mask: MaskSpec{Type: maskType, Ratio: 0.2, Seed: 2},
+		})
+		return string(b)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   ErrorCode
+		retryable  bool
+	}{
+		{"edits bad JSON", "POST", "/v1/edits", "{", http.StatusBadRequest, CodeInvalidRequest, false},
+		{"edits unknown template", "POST", "/v1/edits", editBody(99, "", "ratio"), http.StatusNotFound, CodeTemplateNotFound, false},
+		{"edits unknown mode", "POST", "/v1/edits", editBody(1, "wat", "ratio"), http.StatusBadRequest, CodeInvalidRequest, false},
+		{"edits unknown mask type", "POST", "/v1/edits", editBody(1, "", "bogus"), http.StatusBadRequest, CodeInvalidRequest, false},
+		{"edits wrong method", "GET", "/v1/edits", "", http.StatusMethodNotAllowed, CodeInvalidRequest, false},
+		{"templates bad JSON", "POST", "/v1/templates", "{", http.StatusBadRequest, CodeInvalidRequest, false},
+		{"templates wrong method", "PUT", "/v1/templates", "", http.StatusMethodNotAllowed, CodeInvalidRequest, false},
+		{"delete bad id", "DELETE", "/v1/templates/abc", "", http.StatusBadRequest, CodeInvalidRequest, false},
+		{"delete unknown id", "DELETE", "/v1/templates/999", "", http.StatusNotFound, CodeTemplateNotFound, false},
+		{"delete wrong method", "GET", "/v1/templates/1", "", http.StatusMethodNotAllowed, CodeInvalidRequest, false},
+		{"stats wrong method", "POST", "/v1/stats", "", http.StatusMethodNotAllowed, CodeInvalidRequest, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := do(tc.method, tc.path, tc.body)
+			if res.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", res.StatusCode, tc.wantStatus)
+			}
+			ae := decodeEnvelope(t, res)
+			if ae.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q", ae.Code, tc.wantCode)
+			}
+			if ae.Retryable != tc.retryable {
+				t.Fatalf("retryable = %v, want %v", ae.Retryable, tc.retryable)
+			}
+		})
+	}
+}
+
+// TestOverloadedEnvelope asserts admission rejections carry the overloaded
+// envelope with retryable=true and HTTP 429.
+func TestOverloadedEnvelope(t *testing.T) {
+	slow := testModel
+	slow.Name = "slow-envelope"
+	slow.Steps = 40
+	s, err := New(Config{
+		Model: slow, Profile: perfmodel.SD21Paper,
+		Workers: 1, MaxBatch: 1, MaxQueue: 1,
+		Policy: sched.MaskAware, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Close)
+	prepareTemplate(t, s, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		ae     *APIError
+	}
+	const n = 8
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			body, _ := json.Marshal(EditRequestAPI{
+				TemplateID: 1, Seed: uint64(i),
+				// Identical ratios so shedding never applies and rejections
+				// surface deterministically.
+				Mask: MaskSpec{Type: "ratio", Ratio: 0.2, Seed: uint64(i)},
+			})
+			res, err := http.Post(ts.URL+"/v1/edits", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- result{}
+				return
+			}
+			r := result{status: res.StatusCode}
+			if res.StatusCode != http.StatusOK {
+				var env ErrorEnvelope
+				_ = json.NewDecoder(res.Body).Decode(&env)
+				r.ae = env.Error
+			}
+			res.Body.Close()
+			results <- r
+		}()
+	}
+	var sawOK, saw429 bool
+	for i := 0; i < n; i++ {
+		r := <-results
+		switch r.status {
+		case http.StatusOK:
+			sawOK = true
+		case http.StatusTooManyRequests:
+			saw429 = true
+			if r.ae == nil || r.ae.Code != CodeOverloaded || !r.ae.Retryable {
+				t.Fatalf("429 envelope = %+v", r.ae)
+			}
+		}
+	}
+	if !sawOK || !saw429 {
+		t.Fatalf("expected a mix of 200 and 429 (ok=%v overloaded=%v)", sawOK, saw429)
+	}
+}
+
+// TestTemplateLifecycle exercises GET /v1/templates, idempotent POST, and
+// DELETE /v1/templates/{id} over the tiered (host+disk) store.
+func TestTemplateLifecycle(t *testing.T) {
+	s, err := New(Config{
+		Model: testModel, Profile: perfmodel.SD21Paper,
+		Workers: 1, MaxBatch: 2,
+		Policy: sched.MaskAware, Seed: 42,
+		CacheDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(req PrepareRequest) PrepareResponse {
+		t.Helper()
+		b, _ := json.Marshal(req)
+		res, err := http.Post(ts.URL+"/v1/templates", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("prepare status %d", res.StatusCode)
+		}
+		var out PrepareResponse
+		if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	list := func() []TemplateInfo {
+		t.Helper()
+		res, err := http.Get(ts.URL + "/v1/templates")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var out TemplateListResponse
+		if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Templates
+	}
+
+	if got := list(); len(got) != 0 {
+		t.Fatalf("fresh server lists %v", got)
+	}
+
+	first := post(PrepareRequest{TemplateID: 7, ImageSeed: 7, Prompt: "p"})
+	if first.Reused || first.CacheBytes <= 0 {
+		t.Fatalf("first prepare: %+v", first)
+	}
+	entries := list()
+	if len(entries) != 1 || entries[0].TemplateID != 7 || entries[0].Bytes <= 0 {
+		t.Fatalf("list after prepare: %+v", entries)
+	}
+	if entries[0].Tier != "host+disk" {
+		t.Fatalf("tier = %q, want host+disk", entries[0].Tier)
+	}
+
+	// Idempotent re-prepare: no recompute, same cache.
+	second := post(PrepareRequest{TemplateID: 7, ImageSeed: 999, Prompt: "different"})
+	if !second.Reused || second.CacheBytes != first.CacheBytes {
+		t.Fatalf("re-prepare not idempotent: %+v", second)
+	}
+
+	// Delete invalidates both tiers.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/templates/7", nil)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del DeleteTemplateResponse
+	if err := json.NewDecoder(res.Body).Decode(&del); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !del.Deleted || del.TemplateID != 7 {
+		t.Fatalf("delete: %d %+v", res.StatusCode, del)
+	}
+	if got := list(); len(got) != 0 {
+		t.Fatalf("list after delete: %+v", got)
+	}
+
+	// Editing the deleted template is now a 404.
+	b, _ := json.Marshal(EditRequestAPI{
+		TemplateID: 7, Seed: 1, Mask: MaskSpec{Type: "ratio", Ratio: 0.2, Seed: 1},
+	})
+	res, err = http.Post(ts.URL+"/v1/edits", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("edit after delete = %d, want 404", res.StatusCode)
+	}
+	if ae := decodeEnvelope(t, res); ae.Code != CodeTemplateNotFound {
+		t.Fatalf("code = %q", ae.Code)
+	}
+
+	// Deleting again is a 404 (nothing left to invalidate).
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/templates/7", nil)
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete = %d", res.StatusCode)
+	}
+	res.Body.Close()
+}
+
+// TestAPIErrorIsMatchesByCode pins the errors.Is contract used by clients
+// of the Go API.
+func TestAPIErrorIsMatchesByCode(t *testing.T) {
+	err := apiErrorf(CodeOverloaded, true, "queue full")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("overloaded errors should match ErrOverloaded by code")
+	}
+	if errors.Is(apiErrorf(CodeInternal, false, "x"), ErrOverloaded) {
+		t.Fatal("internal error matched ErrOverloaded")
+	}
+	if asAPIError(errors.New("plain")).Code != CodeInternal {
+		t.Fatal("plain errors should coerce to internal")
+	}
+}

@@ -2,96 +2,153 @@ package serve
 
 import (
 	"encoding/json"
-	"errors"
 	"math"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 func mathFloat32bits(v float32) uint32     { return math.Float32bits(v) }
 func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
 
-// Handler returns the HTTP API:
+// Handler returns the HTTP API (full wire schema in docs/API.md):
 //
-//	POST /v1/templates — prepare a template (PrepareRequest → PrepareResponse)
-//	POST /v1/edits     — serve an edit (EditRequestAPI → EditResponse)
-//	GET  /v1/stats     — live statistics (Stats)
-//	GET  /healthz      — readiness (Health JSON; 503 when starting/overloaded)
-//	GET  /metrics      — Prometheus text exposition from the metrics registry
-//	GET  /debug/traces — span ring buffer as Chrome trace_event JSON
+//	POST   /v1/templates      — prepare a template (idempotent on template_id)
+//	GET    /v1/templates      — list cached templates (id, bytes, tier)
+//	DELETE /v1/templates/{id} — invalidate host+disk cache entries
+//	POST   /v1/edits          — serve an edit (EditRequestAPI → EditResponse)
+//	GET    /v1/stats          — live statistics (Stats)
+//	GET    /healthz           — readiness (Health JSON; 503 when not "ok")
+//	GET    /metrics           — Prometheus text exposition from the registry
+//	GET    /debug/traces      — span ring buffer as Chrome trace_event JSON
+//
+// Every error on a /v1/* route (including 405s) is a structured JSON
+// envelope: {"error": {"code", "message", "retryable"}}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", onlyMethod(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
-		h := s.Health()
-		w.Header().Set("Content-Type", "application/json")
-		if h.Status != "ok" {
-			w.WriteHeader(http.StatusServiceUnavailable)
-		}
-		_ = json.NewEncoder(w).Encode(h)
+	mux.HandleFunc("/healthz", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			h := s.Health()
+			w.Header().Set("Content-Type", "application/json")
+			if h.Status != "ok" {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			_ = json.NewEncoder(w).Encode(h)
+		},
 	}))
-	mux.HandleFunc("/v1/templates", onlyMethod(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
-		var req PrepareRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp, err := s.Prepare(req)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, resp)
+	mux.HandleFunc("/v1/templates", methods(map[string]http.HandlerFunc{
+		http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+			var req PrepareRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeError(w, apiErrorf(CodeInvalidRequest, false, "bad request body: %v", err))
+				return
+			}
+			resp, err := s.Prepare(req)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, resp)
+		},
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			list := s.ListTemplates()
+			if list == nil {
+				list = []TemplateInfo{}
+			}
+			writeJSON(w, TemplateListResponse{Templates: list})
+		},
 	}))
-	mux.HandleFunc("/v1/edits", onlyMethod(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
-		var req EditRequestAPI
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp, err := s.SubmitEdit(r.Context(), req)
-		if errors.Is(err, ErrOverloaded) {
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
-		}
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, resp)
+	mux.HandleFunc("/v1/templates/", methods(map[string]http.HandlerFunc{
+		http.MethodDelete: func(w http.ResponseWriter, r *http.Request) {
+			raw := strings.TrimPrefix(r.URL.Path, "/v1/templates/")
+			id, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				writeError(w, apiErrorf(CodeInvalidRequest, false, "bad template id %q", raw))
+				return
+			}
+			if !s.DeleteTemplate(id) {
+				writeError(w, apiErrorf(CodeTemplateNotFound, false, "template %d not found", id))
+				return
+			}
+			writeJSON(w, DeleteTemplateResponse{TemplateID: id, Deleted: true})
+		},
 	}))
-	mux.HandleFunc("/v1/stats", onlyMethod(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Snapshot())
+	mux.HandleFunc("/v1/edits", methods(map[string]http.HandlerFunc{
+		http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+			var req EditRequestAPI
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeError(w, apiErrorf(CodeInvalidRequest, false, "bad request body: %v", err))
+				return
+			}
+			resp, err := s.SubmitEdit(r.Context(), req)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, resp)
+		},
 	}))
-	mux.HandleFunc("/metrics", onlyMethod(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		if err := s.obs.reg.WritePrometheus(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+	mux.HandleFunc("/v1/stats", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, s.Snapshot())
+		},
 	}))
-	mux.HandleFunc("/debug/traces", onlyMethod(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := s.obs.tracer.WriteChromeJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+	mux.HandleFunc("/metrics", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := s.obs.reg.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		},
+	}))
+	mux.HandleFunc("/debug/traces", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := s.obs.tracer.WriteChromeJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		},
 	}))
 	return mux
 }
 
-// onlyMethod rejects every HTTP method but the given one with 405,
-// advertising the allowed method per RFC 9110.
-func onlyMethod(method string, h http.HandlerFunc) http.HandlerFunc {
+// methods dispatches on the request method and rejects everything else
+// with a 405 carrying the structured error envelope, advertising the
+// allowed methods per RFC 9110.
+func methods(h map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(h))
+	for m := range h {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != method {
-			w.Header().Set("Allow", method)
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		if fn, ok := h[r.Method]; ok {
+			fn(w, r)
 			return
 		}
-		h(w, r)
+		w.Header().Set("Allow", allow)
+		writeErrorStatus(w, http.StatusMethodNotAllowed,
+			apiErrorf(CodeInvalidRequest, false, "method %s not allowed (allow: %s)", r.Method, allow))
 	}
+}
+
+// writeError writes err as the structured envelope with its mapped status.
+func writeError(w http.ResponseWriter, err error) {
+	ae := asAPIError(err)
+	writeErrorStatus(w, ae.HTTPStatus(), ae)
+}
+
+func writeErrorStatus(w http.ResponseWriter, status int, ae *APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: ae})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, apiErrorf(CodeInternal, false, "encode response: %v", err))
 	}
 }

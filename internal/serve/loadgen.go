@@ -28,6 +28,10 @@ type LoadGenConfig struct {
 	TimeScale float64
 	// Seed drives the trace randomness.
 	Seed uint64
+	// DeadlineMS, when > 0, attaches a per-request deadline so the run
+	// exercises the deadline/eviction path (e.g. combined with an armed
+	// fault injector on the server).
+	DeadlineMS int64
 }
 
 // LoadGenResult aggregates an open-loop run. The recorders are
@@ -39,7 +43,11 @@ type LoadGenResult struct {
 	Queue     metrics.SyncRecorder // queue time, ms
 	Inference metrics.SyncRecorder // inference time, ms
 	Errors    int
-	Elapsed   time.Duration
+	// Degraded and Retried count completed requests that fell back to full
+	// compute or were re-executed after a worker crash.
+	Degraded int
+	Retried  int
+	Elapsed  time.Duration
 }
 
 // RunLoad fires the configured open-loop workload at the server and waits
@@ -84,12 +92,23 @@ func RunLoad(ctx context.Context, srv *Server, cfg LoadGenConfig) (*LoadGenResul
 				Prompt:     "load",
 				Seed:       uint64(r.ID),
 				Mask:       MaskSpec{Type: "ratio", Ratio: r.MaskRatio, Seed: maskSeed},
+				DeadlineMS: cfg.DeadlineMS,
 			})
 			if err != nil {
 				mu.Lock()
 				res.Errors++
 				mu.Unlock()
 				return
+			}
+			if resp.Degraded || resp.Retries > 0 {
+				mu.Lock()
+				if resp.Degraded {
+					res.Degraded++
+				}
+				if resp.Retries > 0 {
+					res.Retried++
+				}
+				mu.Unlock()
 			}
 			res.Total.Add(resp.TotalMS)
 			res.Queue.Add(resp.QueueMS)

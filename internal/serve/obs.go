@@ -32,6 +32,9 @@ const (
 	stageHandoff = "handoff"
 	// stagePostprocess is latent decode + PNG encode on the CPU pool.
 	stagePostprocess = "postprocess"
+	// stageEvict marks a job removed at a stage/step boundary because its
+	// deadline expired, its client canceled, or it was shed.
+	stageEvict = "evict"
 )
 
 // Request outcome labels for flashps_requests_total.
@@ -39,6 +42,9 @@ const (
 	outcomeOK       = "ok"
 	outcomeError    = "error"
 	outcomeRejected = "rejected"
+	outcomeDeadline = "deadline"
+	outcomeCanceled = "canceled"
+	outcomeShed     = "shed"
 )
 
 // serveObs bundles the serving plane's registry-backed instruments and the
@@ -61,6 +67,14 @@ type serveObs struct {
 	// workerOutstanding tracks each worker's assigned-and-unfinished
 	// requests (queue depth as the scheduler sees it).
 	workerOutstanding *obs.GaugeVec
+
+	// Fault-tolerance counters: retried jobs after a worker crash,
+	// requests degraded from cached to full compute, worker engine-loop
+	// crash/restart cycles, and deadline-evicted requests.
+	retries          *obs.Counter
+	degraded         *obs.Counter
+	workerRestarts   *obs.Counter
+	deadlineExceeded *obs.Counter
 }
 
 func newServeObs(traceRing int) *serveObs {
@@ -80,6 +94,14 @@ func newServeObs(traceRing int) *serveObs {
 			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
 		workerOutstanding: reg.GaugeVec("flashps_worker_outstanding",
 			"Outstanding requests per worker", "worker"),
+		retries: reg.Counter("flashps_retries_total",
+			"Jobs retried on an alternate replica after a worker crash"),
+		degraded: reg.Counter("flashps_degraded_total",
+			"Requests degraded from cached flashps mode to full compute"),
+		workerRestarts: reg.Counter("flashps_worker_restarts_total",
+			"Worker engine-loop crashes detected and restarted by the supervisor"),
+		deadlineExceeded: reg.Counter("flashps_deadline_exceeded_total",
+			"Requests whose deadline expired before completion"),
 	}
 	reg.GaugeFunc("flashps_trace_spans_total",
 		"Spans recorded into the trace ring (including dropped)",

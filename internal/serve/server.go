@@ -9,6 +9,7 @@ import (
 
 	"flashps/internal/cache"
 	"flashps/internal/diffusion"
+	"flashps/internal/faults"
 	"flashps/internal/img"
 	"flashps/internal/metrics"
 	"flashps/internal/model"
@@ -39,7 +40,8 @@ type Config struct {
 	// Policy routes requests across workers.
 	Policy sched.Policy
 	// MaxQueue, when > 0, bounds each worker's outstanding requests;
-	// submissions beyond it are rejected immediately (admission control /
+	// submissions beyond it first try to shed a larger-mask outstanding
+	// job and otherwise are rejected immediately (admission control /
 	// backpressure) instead of queueing unboundedly.
 	MaxQueue int
 	// TraceRing sizes the span trace ring buffer (spans retained for
@@ -48,6 +50,26 @@ type Config struct {
 	// Seed fixes engine weights; all workers share it so template caches
 	// are valid on every replica.
 	Seed uint64
+
+	// MaxRetries bounds how many times a job orphaned by a worker crash is
+	// re-executed on an alternate replica (0 = default 2; negative
+	// disables retries). Retries are idempotent: the job re-runs its
+	// deterministic seed-driven pipeline from preprocessing.
+	MaxRetries int
+	// RetryBackoff is the base of the capped exponential backoff before
+	// each retry attempt (0 = default 25ms; capped at 8× the base).
+	RetryBackoff time.Duration
+	// WorkerRestartDelay is how long a crashed worker loop waits before
+	// restarting (0 = default 50ms). While down, the scheduler does not
+	// route to the replica and /healthz reports "degraded".
+	WorkerRestartDelay time.Duration
+	// CacheLoadTimeout, when > 0, degrades a flashps-mode request to full
+	// compute when its template-cache load takes longer than this,
+	// instead of stalling the cached path.
+	CacheLoadTimeout time.Duration
+	// Faults optionally injects failures and delays into the request path
+	// (tests, load generator); nil injects nothing.
+	Faults *faults.Injector
 }
 
 func (c *Config) fillDefaults() {
@@ -66,6 +88,18 @@ func (c *Config) fillDefaults() {
 	if c.CacheBudgetBytes <= 0 {
 		c.CacheBudgetBytes = 1 << 30
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.WorkerRestartDelay <= 0 {
+		c.WorkerRestartDelay = 50 * time.Millisecond
+	}
 }
 
 // job is one in-flight edit request.
@@ -76,6 +110,23 @@ type job struct {
 	ratio   float64
 	session *diffusion.EditSession
 	worker  *worker
+
+	// ctx carries the caller's cancellation plus the optional deadline_ms;
+	// the pipeline checks it at every stage and step boundary.
+	ctx        context.Context
+	cancel     context.CancelFunc
+	deadlineMS int64
+
+	// responded guards the single response delivery: the pipeline, the
+	// retry path, load shedding, and the abandoning waiter race for it.
+	responded atomic.Bool
+	// attempts counts crash-driven re-executions.
+	attempts atomic.Int32
+
+	// degraded* are written by the preprocessing stage and read after the
+	// job flows through channels (happens-before via channel handoff).
+	degraded       bool
+	degradedReason string
 
 	// Scheduler-visible load fields: ratioHint is immutable after submit;
 	// remaining is updated atomically by the engine loop.
@@ -97,21 +148,41 @@ type jobResult struct {
 	err  error
 }
 
-// ErrOverloaded is returned when admission control rejects a request
-// because the selected worker's queue is full (Config.MaxQueue).
-var ErrOverloaded = fmt.Errorf("serve: overloaded, request rejected by admission control")
+// deliver completes the job exactly once; later deliveries are dropped.
+// It reports whether this call won the race (so callers count the
+// terminal outcome exactly once).
+func (j *job) deliver(res jobResult) bool {
+	if !j.responded.CompareAndSwap(false, true) {
+		return false
+	}
+	j.resp <- res // buffered; never blocks
+	return true
+}
+
+// aborted reports that the job no longer needs work: it has been
+// completed, shed, abandoned, or its deadline expired. Stages and the
+// engine loop consult it at boundaries to evict dead work early.
+func (j *job) aborted() bool {
+	if j.responded.Load() {
+		return true
+	}
+	return j.ctx != nil && j.ctx.Err() != nil
+}
 
 // templateStore abstracts over the host-only and tiered (host+disk)
 // activation stores.
 type templateStore interface {
 	Put(id uint64, tc *diffusion.TemplateCache) error
 	Get(id uint64) *diffusion.TemplateCache
+	List() []cache.Info
+	Delete(id uint64) bool
 }
 
 // Server is the multi-worker serving plane.
 type Server struct {
 	cfg     Config
 	store   templateStore
+	faults  *faults.Injector
 	workers []*worker
 
 	schedMu   sync.Mutex
@@ -170,6 +241,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		store:     store,
+		faults:    cfg.Faults,
 		scheduler: sched.New(cfg.Policy, est, cfg.MaxBatch, cfg.Seed),
 		preCh:     make(chan *job, 1024),
 		postCh:    make(chan *job, 1024),
@@ -190,7 +262,7 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the CPU pools and worker engine loops.
+// Start launches the CPU pools and supervised worker engine loops.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.PreWorkers; i++ {
 		s.wg.Add(1)
@@ -221,10 +293,20 @@ func (s *Server) Close() {
 }
 
 // Prepare registers a template: renders the synthetic template image, runs
-// the cache-population pass and stores the activation cache.
+// the cache-population pass and stores the activation cache. Prepare is
+// idempotent on TemplateID — re-preparing an existing id returns the
+// existing cache (Reused=true) without recomputation; delete it first to
+// re-prepare with different content.
 func (s *Server) Prepare(req PrepareRequest) (PrepareResponse, error) {
 	if len(s.workers) == 0 {
-		return PrepareResponse{}, fmt.Errorf("serve: no workers")
+		return PrepareResponse{}, apiErrorf(CodeInternal, false, "serve: no workers")
+	}
+	if tc := s.store.Get(req.TemplateID); tc != nil {
+		return PrepareResponse{
+			TemplateID: req.TemplateID,
+			CacheBytes: tc.SizeBytes(),
+			Reused:     true,
+		}, nil
 	}
 	eng := s.workers[0].eng
 	cfg := s.cfg.Model
@@ -233,7 +315,7 @@ func (s *Server) Prepare(req PrepareRequest) (PrepareResponse, error) {
 	if len(req.ImagePNG) > 0 {
 		decoded, err := img.Decode(req.ImagePNG)
 		if err != nil {
-			return PrepareResponse{}, err
+			return PrepareResponse{}, apiErrorf(CodeInvalidRequest, false, "template image: %v", err)
 		}
 		template = img.Resize(decoded, h, w)
 	} else {
@@ -242,10 +324,10 @@ func (s *Server) Prepare(req PrepareRequest) (PrepareResponse, error) {
 	start := time.Now()
 	tc, _, err := eng.PrepareTemplate(req.TemplateID, template, req.Prompt, req.RecordKV)
 	if err != nil {
-		return PrepareResponse{}, err
+		return PrepareResponse{}, asAPIError(err)
 	}
 	if err := s.store.Put(req.TemplateID, tc); err != nil {
-		return PrepareResponse{}, err
+		return PrepareResponse{}, asAPIError(err)
 	}
 	return PrepareResponse{
 		TemplateID: req.TemplateID,
@@ -254,12 +336,29 @@ func (s *Server) Prepare(req PrepareRequest) (PrepareResponse, error) {
 	}, nil
 }
 
+// ListTemplates returns the cached templates across tiers.
+func (s *Server) ListTemplates() []TemplateInfo {
+	infos := s.store.List()
+	out := make([]TemplateInfo, len(infos))
+	for i, e := range infos {
+		out[i] = TemplateInfo{TemplateID: e.ID, Bytes: e.Bytes, Tier: e.Tier}
+	}
+	return out
+}
+
+// DeleteTemplate invalidates a template's host and disk cache entries,
+// reporting whether anything was deleted.
+func (s *Server) DeleteTemplate(id uint64) bool { return s.store.Delete(id) }
+
 // SubmitEdit serves one edit request synchronously: route → preprocess →
-// continuous-batched denoising → postprocess.
+// continuous-batched denoising → postprocess. The caller's ctx plus the
+// optional DeadlineMS field bound the request: on expiry SubmitEdit
+// returns immediately with a deadline_exceeded/canceled APIError and the
+// pipeline evicts the job at its next stage or step boundary.
 func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditResponse, error) {
 	mode, err := parseMode(api.Mode)
 	if err != nil {
-		return EditResponse{}, err
+		return EditResponse{}, apiErrorf(CodeInvalidRequest, false, "%v", err)
 	}
 	j := &job{
 		id:        s.nextID.Add(1),
@@ -270,42 +369,185 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 		ratioHint: s.maskRatioHint(api.Mask),
 	}
 	j.remaining.Store(int32(s.cfg.Model.Steps))
-
-	// Route (Algorithm 2), measuring the paper's §6.6 decision overhead.
-	t0 := time.Now()
-	s.schedMu.Lock()
-	views := make([]sched.WorkerView, len(s.workers))
-	for i, w := range s.workers {
-		views[i] = w.view()
+	if api.DeadlineMS > 0 {
+		j.deadlineMS = api.DeadlineMS
+		j.ctx, j.cancel = context.WithTimeout(ctx, time.Duration(api.DeadlineMS)*time.Millisecond)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(ctx)
 	}
-	idx := s.scheduler.Pick(views, sched.Item{MaskRatio: j.ratioHint, Steps: s.cfg.Model.Steps})
-	s.schedMu.Unlock()
+	// SubmitEdit is synchronous: once it returns, the request is finished
+	// or abandoned either way, and cancel tells the pipeline to evict.
+	defer j.cancel()
+
+	// Route (Algorithm 2) across live replicas, measuring the paper's
+	// §6.6 decision overhead.
+	t0 := time.Now()
+	idx, rerr := s.route(j)
 	decision := time.Since(t0)
+	if rerr != nil {
+		s.obs.requests.With(outcomeRejected).Inc()
+		return EditResponse{}, rerr
+	}
 	s.obs.span(j.id, stageSchedule, idx, t0, decision,
 		map[string]float64{"mask_ratio_hint": j.ratioHint})
 
 	j.worker = s.workers[idx]
 	if s.cfg.MaxQueue > 0 && j.worker.outstandingCount() >= s.cfg.MaxQueue {
-		s.obs.requests.With(outcomeRejected).Inc()
-		return EditResponse{}, ErrOverloaded
+		// Overload: shed the largest-mask outstanding job on this replica
+		// if it is strictly larger than the newcomer; otherwise reject the
+		// newcomer (blind rejection only as the last resort).
+		if victim := j.worker.shedVictim(j.ratioHint); victim != nil {
+			s.shed(victim)
+		} else {
+			s.obs.requests.With(outcomeRejected).Inc()
+			return EditResponse{}, ErrOverloaded
+		}
 	}
 	j.worker.addOutstanding(j)
 	s.decision.Add(decision.Seconds())
 
 	select {
 	case s.preCh <- j:
+	case <-j.ctx.Done():
+		j.worker.removeOutstanding(j)
+		return EditResponse{}, s.ctxError(j)
 	case <-s.ctx.Done():
 		j.worker.removeOutstanding(j)
-		return EditResponse{}, fmt.Errorf("serve: server closed")
+		return EditResponse{}, apiErrorf(CodeInternal, false, "serve: server closed")
 	}
 
 	select {
 	case res := <-j.resp:
-		return res.resp, res.err
-	case <-ctx.Done():
-		return EditResponse{}, ctx.Err()
+		if res.err != nil {
+			return EditResponse{}, asAPIError(res.err)
+		}
+		return res.resp, nil
+	case <-j.ctx.Done():
+		if j.responded.CompareAndSwap(false, true) {
+			// No result will ever arrive; the pipeline evicts the job at
+			// its next boundary.
+			return EditResponse{}, s.ctxError(j)
+		}
+		// A result won the race; take it.
+		res := <-j.resp
+		if res.err != nil {
+			return EditResponse{}, asAPIError(res.err)
+		}
+		return res.resp, nil
 	case <-s.ctx.Done():
-		return EditResponse{}, fmt.Errorf("serve: server closed")
+		j.responded.CompareAndSwap(false, true)
+		return EditResponse{}, apiErrorf(CodeInternal, false, "serve: server closed")
+	}
+}
+
+// ctxError converts the job's expired context into the terminal APIError,
+// counting the outcome exactly once (callers only invoke it after winning
+// the responded CAS or before any pipeline handoff).
+func (s *Server) ctxError(j *job) error {
+	if j.ctx.Err() == context.DeadlineExceeded {
+		s.obs.deadlineExceeded.Inc()
+		s.obs.requests.With(outcomeDeadline).Inc()
+		return apiErrorf(CodeDeadlineExceeded, true,
+			"deadline of %d ms exceeded", j.deadlineMS)
+	}
+	s.obs.requests.With(outcomeCanceled).Inc()
+	return apiErrorf(CodeCanceled, false, "request canceled by client")
+}
+
+// route picks a live replica for the job under schedMu. It returns an
+// overloaded (retryable) error when every worker loop is down.
+func (s *Server) route(j *job) (int, error) {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	idxs := make([]int, 0, len(s.workers))
+	views := make([]sched.WorkerView, 0, len(s.workers))
+	for i, w := range s.workers {
+		if !w.alive.Load() {
+			continue
+		}
+		idxs = append(idxs, i)
+		views = append(views, w.view())
+	}
+	if len(idxs) == 0 {
+		return 0, apiErrorf(CodeOverloaded, true, "no live worker replicas")
+	}
+	pick := s.scheduler.Pick(views, sched.Item{MaskRatio: j.ratioHint, Steps: s.cfg.Model.Steps})
+	return idxs[pick], nil
+}
+
+// shed evicts an outstanding job in favor of smaller work under overload:
+// the victim's waiter receives an overloaded envelope and the pipeline
+// drops the job at its next boundary.
+func (s *Server) shed(victim *job) {
+	if victim.deliver(jobResult{err: apiErrorf(CodeOverloaded, true,
+		"shed under overload for smaller-mask work (mask ratio %.2f)", victim.ratioHint)}) {
+		s.obs.requests.With(outcomeShed).Inc()
+		s.obs.span(victim.id, stageEvict, victim.worker.id, time.Now(), 0,
+			map[string]float64{"shed": 1, "mask_ratio_hint": victim.ratioHint})
+	}
+	victim.worker.removeOutstanding(victim)
+}
+
+// rescueBatch re-routes the jobs a crashed worker loop was running:
+// each is retried on an alternate live replica with capped exponential
+// backoff, at most cfg.MaxRetries times, idempotently (the deterministic
+// seed-driven pipeline re-runs from preprocessing). Runs on the crashed
+// worker's supervisor goroutine, which owns w.running.
+func (s *Server) rescueBatch(w *worker) {
+	batch := w.running
+	w.running = nil
+	for _, j := range batch {
+		w.removeOutstanding(j)
+		if j.aborted() {
+			continue
+		}
+		attempt := int(j.attempts.Add(1))
+		if attempt > s.cfg.MaxRetries {
+			if j.deliver(jobResult{err: apiErrorf(CodeInternal, true,
+				"worker %d crashed; retry budget (%d) exhausted", w.id, s.cfg.MaxRetries)}) {
+				s.obs.requests.With(outcomeError).Inc()
+			}
+			continue
+		}
+		s.obs.retries.Inc()
+		backoff := s.cfg.RetryBackoff << (attempt - 1)
+		if max := 8 * s.cfg.RetryBackoff; backoff > max {
+			backoff = max
+		}
+		s.wg.Add(1)
+		go func(j *job, d time.Duration) {
+			defer s.wg.Done()
+			select {
+			case <-time.After(d):
+			case <-s.ctx.Done():
+				return
+			}
+			s.resubmit(j)
+		}(j, backoff)
+	}
+}
+
+// resubmit re-enters a rescued job at the preprocessing stage on a live
+// replica.
+func (s *Server) resubmit(j *job) {
+	if j.aborted() {
+		return
+	}
+	idx, err := s.route(j)
+	if err != nil {
+		if j.deliver(jobResult{err: err}) {
+			s.obs.requests.With(outcomeError).Inc()
+		}
+		return
+	}
+	j.worker = s.workers[idx]
+	j.session = nil
+	j.degraded, j.degradedReason = false, ""
+	j.worker.addOutstanding(j)
+	select {
+	case s.preCh <- j:
+	case <-s.ctx.Done():
+		j.worker.removeOutstanding(j)
 	}
 }
 
@@ -353,7 +595,8 @@ func parseMode(mode string) (diffusion.EditMode, error) {
 
 // preLoop is the preprocessing CPU pool: rasterize the mask, fetch the
 // template cache and open the edit session, then hand the job to its
-// worker's ready queue.
+// worker's ready queue. Jobs whose deadline expired (or that were shed)
+// are evicted here instead of doing any work.
 func (s *Server) preLoop() {
 	defer s.wg.Done()
 	for {
@@ -361,14 +604,22 @@ func (s *Server) preLoop() {
 		case <-s.ctx.Done():
 			return
 		case j := <-s.preCh:
+			if j.aborted() {
+				s.evict(j, stagePreprocess)
+				continue
+			}
+			if d := s.faults.Delay(faults.PreStage); d > 0 {
+				sleepCtx(j.ctx, d)
+			}
 			t0 := time.Now()
 			err := s.preprocess(j)
 			s.obs.span(j.id, stagePreprocess, j.worker.id, t0, time.Since(t0),
 				map[string]float64{"mask_ratio": j.ratio})
 			if err != nil {
 				j.worker.removeOutstanding(j)
-				s.obs.requests.With(outcomeError).Inc()
-				j.resp <- jobResult{err: err}
+				if j.deliver(jobResult{err: err}) {
+					s.obs.requests.With(outcomeError).Inc()
+				}
 				continue
 			}
 			j.ready = time.Now()
@@ -381,36 +632,83 @@ func (s *Server) preLoop() {
 	}
 }
 
+// degradeReasonFor distinguishes an injected load failure from a slow
+// load exceeding the configured timeout.
+const (
+	degradeCacheFailed  = "cache_load_failed"
+	degradeCacheTimeout = "cache_load_timeout"
+)
+
 func (s *Server) preprocess(j *job) error {
 	cfg := s.cfg.Model
 	m, err := j.api.Mask.Build(cfg.LatentH, cfg.LatentW)
 	if err != nil {
-		return err
+		return apiErrorf(CodeInvalidRequest, false, "%v", err)
 	}
 	j.ratio = m.Ratio()
 	t0 := time.Now()
+	if d := s.faults.Delay(faults.CacheLoad); d > 0 {
+		sleepCtx(j.ctx, d)
+	}
 	tc := s.store.Get(j.api.TemplateID)
+	loadFailed := s.faults.Fire(faults.CacheLoad)
+	elapsed := time.Since(t0)
 	hit := 1.0
 	if tc == nil {
 		hit = 0
 	}
-	s.obs.span(j.id, stageCacheLoad, j.worker.id, t0, time.Since(t0),
+	s.obs.span(j.id, stageCacheLoad, j.worker.id, t0, elapsed,
 		map[string]float64{"template": float64(j.api.TemplateID), "hit": hit})
 	if tc == nil {
-		return fmt.Errorf("serve: template %d not prepared", j.api.TemplateID)
+		return apiErrorf(CodeTemplateNotFound, false,
+			"template %d not prepared", j.api.TemplateID)
+	}
+	// Graceful degradation: a failed or slow cache load must not kill a
+	// flashps-mode request — fall back to full compute and record why.
+	mode := j.mode
+	if mode == diffusion.EditCachedY || mode == diffusion.EditCachedKV {
+		switch {
+		case loadFailed:
+			mode = diffusion.EditFull
+			j.degraded, j.degradedReason = true, degradeCacheFailed
+		case s.cfg.CacheLoadTimeout > 0 && elapsed > s.cfg.CacheLoadTimeout:
+			mode = diffusion.EditFull
+			j.degraded, j.degradedReason = true, degradeCacheTimeout
+		}
+		if j.degraded {
+			s.obs.degraded.Inc()
+		}
 	}
 	session, err := j.worker.eng.BeginEdit(diffusion.EditRequest{
 		Template: tc,
 		Mask:     m,
 		Prompt:   j.api.Prompt,
 		Seed:     j.api.Seed,
-		Mode:     j.mode,
+		Mode:     mode,
 	})
 	if err != nil {
-		return err
+		return apiErrorf(CodeInvalidRequest, false, "%v", err)
 	}
 	j.session = session
 	return nil
+}
+
+// evict drops a job whose waiter is gone (deadline, cancel, shed) at a
+// stage boundary, releasing its admission slot.
+func (s *Server) evict(j *job, at string) {
+	j.worker.removeOutstanding(j)
+	s.obs.span(j.id, stageEvict, j.worker.id, time.Now(), 0,
+		map[string]float64{"deadline_ms": float64(j.deadlineMS)})
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // postLoop is the postprocessing CPU pool: decode the final latent into an
@@ -422,6 +720,14 @@ func (s *Server) postLoop() {
 		case <-s.ctx.Done():
 			return
 		case j := <-s.postCh:
+			if j.aborted() {
+				// The waiter is gone (deadline/cancel after denoising);
+				// skip the decode entirely.
+				continue
+			}
+			if d := s.faults.Delay(faults.PostStage); d > 0 {
+				sleepCtx(j.ctx, d)
+			}
 			post := time.Now()
 			handoff := post.Sub(j.handoff)
 			s.obs.span(j.id, stageHandoff, j.worker.id, j.handoff, handoff, nil)
@@ -433,33 +739,39 @@ func (s *Server) postLoop() {
 			complete := time.Now()
 			s.obs.span(j.id, stagePostprocess, j.worker.id, post, complete.Sub(post), nil)
 			if err != nil {
-				s.obs.requests.With(outcomeError).Inc()
-				j.resp <- jobResult{err: err}
+				if j.deliver(jobResult{err: asAPIError(err)}) {
+					s.obs.requests.With(outcomeError).Inc()
+				}
 				continue
 			}
 			resp := EditResponse{
-				RequestID:     j.id,
-				Worker:        j.worker.id,
-				MaskRatio:     j.ratio,
-				QueueMS:       msBetween(j.arrival, j.admit),
-				InferenceMS:   msBetween(j.admit, j.finish),
-				TotalMS:       msBetween(j.arrival, complete),
-				StepsComputed: res.StepsComputed,
-				ImagePNG:      png,
+				RequestID:      j.id,
+				Worker:         j.worker.id,
+				MaskRatio:      j.ratio,
+				QueueMS:        msBetween(j.arrival, j.admit),
+				InferenceMS:    msBetween(j.admit, j.finish),
+				TotalMS:        msBetween(j.arrival, complete),
+				StepsComputed:  res.StepsComputed,
+				ImagePNG:       png,
+				Degraded:       j.degraded,
+				DegradedReason: j.degradedReason,
+				Retries:        int(j.attempts.Load()),
+				DeadlineMS:     j.deadlineMS,
 			}
 			s.completed.Add(1)
 			s.total.Add(resp.TotalMS)
 			s.queue.Add(resp.QueueMS)
 			s.inference.Add(resp.InferenceMS)
 			s.handoff.Add(handoff.Seconds())
-			s.obs.requests.With(outcomeOK).Inc()
 			s.obs.span(j.id, stageRequest, j.worker.id, j.arrival, complete.Sub(j.arrival),
 				map[string]float64{
 					"mask_ratio": j.ratio,
 					"steps":      float64(res.StepsComputed),
 					"worker":     float64(j.worker.id),
 				})
-			j.resp <- jobResult{resp: resp}
+			if j.deliver(jobResult{resp: resp}) {
+				s.obs.requests.With(outcomeOK).Inc()
+			}
 		}
 	}
 }
@@ -496,10 +808,12 @@ func (s *Server) Snapshot() Stats {
 	return st
 }
 
-// Health reports readiness: whether the worker loops have started and
-// whether admission control still has headroom. Saturated means every
-// worker's outstanding queue is at the MaxQueue admission limit, i.e. the
-// next submission would be rejected with ErrOverloaded.
+// Health reports readiness: whether the worker loops have started, whether
+// every replica's engine loop is alive, and whether admission control
+// still has headroom. Saturated means every worker's outstanding queue is
+// at the MaxQueue admission limit, i.e. the next submission would be
+// rejected with ErrOverloaded. A dead (crashed, not yet restarted) worker
+// loop reports status "degraded" and HTTP 503.
 func (s *Server) Health() Health {
 	h := Health{
 		Started:   s.started.Load(),
@@ -508,9 +822,15 @@ func (s *Server) Health() Health {
 		Completed: s.completed.Load(),
 	}
 	saturated := s.cfg.MaxQueue > 0 && len(s.workers) > 0
+	anyDead := false
 	for _, w := range s.workers {
 		d := w.outstandingCount()
 		h.QueueDepths = append(h.QueueDepths, d)
+		alive := w.alive.Load()
+		h.WorkerAlive = append(h.WorkerAlive, alive)
+		if !alive {
+			anyDead = true
+		}
 		if d < s.cfg.MaxQueue {
 			saturated = false
 		}
@@ -518,6 +838,8 @@ func (s *Server) Health() Health {
 	switch {
 	case !h.Started:
 		h.Status = "starting"
+	case anyDead:
+		h.Status = "degraded"
 	case saturated:
 		h.Status = "overloaded"
 	default:

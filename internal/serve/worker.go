@@ -3,9 +3,11 @@ package serve
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flashps/internal/diffusion"
+	"flashps/internal/faults"
 	"flashps/internal/sched"
 	"flashps/internal/tensor"
 )
@@ -14,24 +16,40 @@ import (
 // batching loop (Fig 10-Bottom): the loop only ever executes denoising
 // steps, admits preprocessed jobs at step boundaries, and serializes
 // finished latents before handing them to the postprocessing pool.
+//
+// The loop is supervised: a crash (panic or injected fault) marks the
+// replica dead, re-routes its running batch to live replicas, and
+// restarts the loop after Config.WorkerRestartDelay. While dead, the
+// scheduler does not route to it and /healthz reports "degraded".
 type worker struct {
 	id      int
 	eng     *diffusion.Engine
 	srv     *Server
 	readyCh chan *job
 
+	// alive is the scheduler-visible liveness flag, false between a crash
+	// and the supervised restart.
+	alive atomic.Bool
+
+	// running is the engine loop's current batch. It is owned by the
+	// supervisor goroutine (the loop runs on it), so the crash handler can
+	// rescue it without locks.
+	running []*job
+
 	mu          sync.Mutex
 	outstanding map[*job]struct{}
 }
 
 func newWorker(id int, eng *diffusion.Engine, srv *Server) *worker {
-	return &worker{
+	w := &worker{
 		id:          id,
 		eng:         eng,
 		srv:         srv,
 		readyCh:     make(chan *job, 256),
 		outstanding: make(map[*job]struct{}),
 	}
+	w.alive.Store(true)
+	return w
 }
 
 func (w *worker) addOutstanding(j *job) {
@@ -56,6 +74,26 @@ func (w *worker) outstandingCount() int {
 	return len(w.outstanding)
 }
 
+// shedVictim picks the outstanding job with the largest mask-ratio hint
+// strictly above the incoming hint — the work the mask-aware shedding
+// policy sacrifices first under overload. Returns nil when every
+// outstanding job is at most as large as the newcomer.
+func (w *worker) shedVictim(incomingHint float64) *job {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var victim *job
+	for j := range w.outstanding {
+		if j.aborted() || j.ratioHint <= incomingHint {
+			continue
+		}
+		if victim == nil || j.ratioHint > victim.ratioHint ||
+			(j.ratioHint == victim.ratioHint && j.id > victim.id) {
+			victim = j
+		}
+	}
+	return victim
+}
+
 // view snapshots the worker's load for the scheduler.
 func (w *worker) view() sched.WorkerView {
 	w.mu.Lock()
@@ -78,27 +116,63 @@ func (w *worker) admitJob(j *job) {
 	w.srv.obs.span(j.id, stageQueue, w.id, j.ready, j.admit.Sub(j.ready), nil)
 }
 
-// run is the engine loop. It owns the running batch exclusively.
+// run is the supervisor: it executes the engine loop until clean shutdown,
+// and on a crash rescues the running batch, waits out the restart delay,
+// and brings the loop back.
 func (w *worker) run() {
 	defer w.srv.wg.Done()
-	var running []*job
+	for {
+		if !w.runOnce() {
+			return // clean shutdown (server closing)
+		}
+		w.alive.Store(false)
+		w.srv.obs.workerRestarts.Inc()
+		w.srv.rescueBatch(w)
+		select {
+		case <-time.After(w.srv.cfg.WorkerRestartDelay):
+		case <-w.srv.ctx.Done():
+			return
+		}
+		w.alive.Store(true)
+	}
+}
+
+// runOnce is the engine loop. It owns w.running exclusively and reports
+// whether it crashed (panic — real or injected) rather than shut down.
+func (w *worker) runOnce() (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			crashed = true
+		}
+	}()
 	for {
 		// Block for work when idle; otherwise admit without blocking.
-		if len(running) == 0 {
+		if len(w.running) == 0 {
 			select {
 			case <-w.srv.ctx.Done():
-				return
+				return false
 			case j := <-w.readyCh:
+				if j.aborted() {
+					w.srv.evict(j, stageQueue)
+					continue
+				}
 				w.admitJob(j)
-				running = append(running, j)
+				w.running = append(w.running, j)
 			}
 		}
+		if w.srv.faults.Fire(faults.WorkerCrash(w.id)) {
+			panic("faults: injected worker crash")
+		}
 		t0 := time.Now()
-		for len(running) < w.srv.cfg.MaxBatch {
+		for len(w.running) < w.srv.cfg.MaxBatch {
 			select {
 			case j := <-w.readyCh:
+				if j.aborted() {
+					w.srv.evict(j, stageQueue)
+					continue
+				}
 				w.admitJob(j)
-				running = append(running, j)
+				w.running = append(w.running, j)
 				continue
 			default:
 			}
@@ -106,11 +180,22 @@ func (w *worker) run() {
 		}
 		organize := time.Since(t0)
 
-		// One denoising step for every running session.
-		batch := float64(len(running))
+		// One denoising step for every running session; abandoned jobs
+		// (expired deadline, canceled client, shed) leave at this step
+		// boundary instead of burning denoise steps.
+		batch := float64(len(w.running))
 		w.srv.obs.batchOccupancy.Observe(batch)
-		still := running[:0]
-		for _, j := range running {
+		// Fresh slice (not an in-place filter): a panic mid-loop must
+		// leave w.running intact for rescueBatch, with no duplicates.
+		still := make([]*job, 0, len(w.running))
+		for _, j := range w.running {
+			if j.aborted() {
+				w.srv.evict(j, stageDenoiseStep)
+				continue
+			}
+			if d := w.srv.faults.Delay(faults.StepStage); d > 0 {
+				time.Sleep(d)
+			}
 			stepIdx := j.session.StepsComputed()
 			ts := time.Now()
 			done, err := j.session.Step()
@@ -119,8 +204,9 @@ func (w *worker) run() {
 				map[string]float64{"step": float64(stepIdx), "batch": batch})
 			if err != nil {
 				w.removeOutstanding(j)
-				w.srv.obs.requests.With(outcomeError).Inc()
-				j.resp <- jobResult{err: err}
+				if j.deliver(jobResult{err: asAPIError(err)}) {
+					w.srv.obs.requests.With(outcomeError).Inc()
+				}
 				continue
 			}
 			j.remaining.Store(int32(j.session.RemainingSteps()))
@@ -143,17 +229,16 @@ func (w *worker) run() {
 			select {
 			case w.srv.postCh <- j:
 			case <-w.srv.ctx.Done():
-				return
+				return false
 			}
 		}
-		n := copy(running, still)
-		running = running[:n]
+		w.running = still
 
 		w.srv.organize.Add(organize.Seconds())
 
 		select {
 		case <-w.srv.ctx.Done():
-			return
+			return false
 		default:
 		}
 	}
