@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check build test vet race faults bench experiments fuzz clean
+.PHONY: all check build test vet race faults bench bench-smoke bench-kernels experiments fuzz clean
 
 all: check
 
 # The default gate: build, vet, full test suite, the race detector over
-# the concurrent packages, and the fault-injection suite.
-check: build vet test race faults
+# the concurrent packages, the fault-injection suite, and a one-iteration
+# benchmark smoke pass so the benchmarks themselves can't rot.
+check: build vet test race faults bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +28,16 @@ faults:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark under the race detector: catches
+# benchmarks that panic or race without paying for real measurement.
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./...
+
+# Kernel before/after evidence: naive vs blocked/fused kernels, with
+# GFLOP/s and allocs/op, written as machine-readable JSON.
+bench-kernels:
+	$(GO) run ./cmd/flashps-kernels -o BENCH_kernels.json
 
 # Regenerate every paper table/figure (writes Fig 13 PNGs to artifacts/).
 experiments:

@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"flashps/internal/experiments"
+	"flashps/internal/tensor"
 )
 
 func main() {
@@ -30,8 +32,10 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		outDir     = flag.String("out", "", "directory for image artifacts (fig13)")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		par        = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
 	)
 	flag.Parse()
+	tensor.SetParallelism(*par)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))

@@ -1,0 +1,154 @@
+// Command flashps-kernels benchmarks the tensor hot-loop kernels against
+// their pre-optimization reference implementations and writes a
+// machine-readable report. The committed BENCH_kernels.json at the repo root
+// is the evidence artifact for the kernel-optimization work; regenerate it
+// with `make bench-kernels`.
+//
+// Usage:
+//
+//	flashps-kernels                    # print JSON to stdout
+//	flashps-kernels -o BENCH_kernels.json
+//	flashps-kernels -par 1             # force serial kernels
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"flashps/internal/model"
+	"flashps/internal/tensor"
+)
+
+// Side reports one implementation's measurement.
+type Side struct {
+	NsPerOp     int64   `json:"ns_op"`
+	GFLOPs      float64 `json:"gflops"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// Entry compares the optimized kernel ("after") with the reference
+// implementation it replaced ("before") on one op and shape.
+type Entry struct {
+	Op      string  `json:"op"`
+	Shape   string  `json:"shape"`
+	FLOP    int64   `json:"flop"`
+	Before  Side    `json:"before"`
+	After   Side    `json:"after"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the top-level BENCH_kernels.json document.
+type Report struct {
+	Parallelism int     `json:"parallelism"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Entries     []Entry `json:"entries"`
+}
+
+func measure(flop int64, fn func()) Side {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	s := Side{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp()}
+	if s.NsPerOp > 0 && flop > 0 {
+		s.GFLOPs = float64(flop) / float64(s.NsPerOp)
+	}
+	return s
+}
+
+func entry(op, shape string, flop int64, before, after func()) Entry {
+	e := Entry{Op: op, Shape: shape, FLOP: flop,
+		Before: measure(flop, before), After: measure(flop, after)}
+	if e.After.NsPerOp > 0 {
+		e.Speedup = float64(e.Before.NsPerOp) / float64(e.After.NsPerOp)
+	}
+	return e
+}
+
+func main() {
+	var (
+		out = flag.String("o", "", "output file (default stdout)")
+		par = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
+	)
+	flag.Parse()
+	tensor.SetParallelism(*par)
+
+	rng := tensor.NewRNG(1)
+	rep := Report{Parallelism: tensor.Parallelism(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	// GEMM at the flat SD21Sim backbone's attention-projection and FFN
+	// shapes (L=64, H=64, 4H=256) and a larger square for headroom.
+	for _, s := range []struct{ m, k, n int }{
+		{64, 64, 64}, {64, 64, 256}, {256, 256, 256},
+	} {
+		a := tensor.Randn(rng, s.m, s.k, 1)
+		b := tensor.Randn(rng, s.k, s.n, 1)
+		dst := tensor.New(s.m, s.n)
+		flop := 2 * int64(s.m) * int64(s.k) * int64(s.n)
+		rep.Entries = append(rep.Entries, entry(
+			"matmul", fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), flop,
+			func() { tensor.MatMulNaiveInto(dst, a, b) },
+			func() { tensor.MatMulInto(dst, a, b) },
+		))
+	}
+
+	// Multi-head attention at the SD21Sim (L=64, H=64, 4 heads) and
+	// FluxSim (L=256, H=128, 8 heads) shapes. FLOP counts the two GEMMs
+	// (QK^T and PV) per head: 4·L²·H total.
+	for _, s := range []struct{ l, h, heads int }{
+		{64, 64, 4}, {256, 128, 8},
+	} {
+		q := tensor.Randn(rng, s.l, s.h, 1)
+		k := tensor.Randn(rng, s.l, s.h, 1)
+		v := tensor.Randn(rng, s.l, s.h, 1)
+		dst := tensor.New(s.l, s.h)
+		scale := float32(1.0 / float64(s.h/s.heads))
+		flop := 4 * int64(s.l) * int64(s.l) * int64(s.h)
+		rep.Entries = append(rep.Entries, entry(
+			"attention", fmt.Sprintf("L%d_H%d_h%d", s.l, s.h, s.heads), flop,
+			func() { tensor.AttentionNaiveInto(dst, q, k, v, s.heads, scale) },
+			func() { tensor.FusedAttentionInto(dst, q, k, v, s.heads, scale) },
+		))
+	}
+
+	// One full transformer block at SD21Sim scale: "before" is the exported
+	// allocating entry point (heap matrices per call), "after" runs the
+	// workspace path with a warm arena — the denoise hot loop's actual shape.
+	blk := model.NewBlock(64, 4, tensor.NewRNG(2))
+	blk.Heads = 4
+	x := tensor.Randn(rng, 64, 64, 1)
+	ws := tensor.NewArena()
+	blk.ForwardWS(ws, x, nil, nil) // size the arena
+	// Block FLOP ≈ QKV+out projections (8LH²) + attention (4L²H) + FFN (16LH²).
+	blockFLOP := 24*int64(64)*64*64 + 4*64*64*64
+	rep.Entries = append(rep.Entries, entry(
+		"block_forward", "L64_H64_h4", blockFLOP,
+		func() { blk.Forward(x, nil, nil) },
+		func() {
+			ws.Reset()
+			blk.ForwardWS(ws, x, nil, nil)
+		},
+	))
+
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashps-kernels: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "flashps-kernels: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"flashps/internal/experiments"
 	"flashps/internal/metrics"
+	"flashps/internal/tensor"
 	"flashps/internal/workload"
 )
 
@@ -30,8 +32,10 @@ func main() {
 		tpls    = flag.Int("templates", 16, "distinct templates")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("o", "", "output file (default stdout)")
+		par     = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
 	)
 	flag.Parse()
+	tensor.SetParallelism(*par)
 
 	switch {
 	case *stats:

@@ -11,14 +11,18 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
 	"flashps/internal/sched"
 	"flashps/internal/serve"
+	"flashps/internal/tensor"
 )
 
 func main() {
+	// Use every core for the tensor kernels (the library default is serial).
+	tensor.SetParallelism(runtime.GOMAXPROCS(0))
 	cacheDir, err := os.MkdirTemp("", "flashps-cache-*")
 	if err != nil {
 		log.Fatal(err)

@@ -11,15 +11,19 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"sync"
 
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
 	"flashps/internal/sched"
 	"flashps/internal/serve"
+	"flashps/internal/tensor"
 )
 
 func main() {
+	// Use every core for the tensor kernels (the library default is serial).
+	tensor.SetParallelism(runtime.GOMAXPROCS(0))
 	srv, err := serve.New(serve.Config{
 		Model:   model.SD21Sim,
 		Profile: perfmodel.SD21Paper,

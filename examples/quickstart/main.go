@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"flashps/internal/core"
@@ -17,9 +18,12 @@ import (
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
 	"flashps/internal/quality"
+	"flashps/internal/tensor"
 )
 
 func main() {
+	// Use every core for the tensor kernels (the library default is serial).
+	tensor.SetParallelism(runtime.GOMAXPROCS(0))
 	// An Editor bundles the numeric diffusion engine with the paper-scale
 	// cost model used for pipeline planning (Algorithm 1).
 	editor, err := core.NewEditor(model.SDXLSim, perfmodel.SDXLPaper, 42)

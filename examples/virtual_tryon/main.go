@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"flashps/internal/core"
@@ -25,6 +26,8 @@ import (
 )
 
 func main() {
+	// Use every core for the tensor kernels (the library default is serial).
+	tensor.SetParallelism(runtime.GOMAXPROCS(0))
 	editor, err := core.NewEditor(model.SDXLSim, perfmodel.SDXLPaper, 42)
 	if err != nil {
 		log.Fatal(err)

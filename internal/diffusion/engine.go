@@ -3,6 +3,7 @@ package diffusion
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"flashps/internal/img"
 	"flashps/internal/mask"
@@ -23,10 +24,31 @@ type Backbone interface {
 // Engine runs the numeric denoising loop for one backbone. It is the
 // real-math counterpart of the FlashPS worker's inference engine: all
 // quality experiments (Table 2, Fig 1, Fig 6, Fig 13) run through it.
+//
+// Each denoising run borrows a kernel workspace (tensor.Arena) from an
+// internal pool and resets it once per step, so steady-state denoise steps
+// perform zero heap allocations while concurrent Edit calls stay safe.
 type Engine struct {
 	Model Backbone
 	Codec *Codec
 	Sched *Schedule
+
+	wsPool sync.Pool
+}
+
+// acquireWS borrows a workspace for one denoising run.
+func (e *Engine) acquireWS() *tensor.Arena {
+	if ws, ok := e.wsPool.Get().(*tensor.Arena); ok {
+		return ws
+	}
+	return tensor.NewArena()
+}
+
+// releaseWS returns a workspace to the pool. The arena is reset first so
+// no caller observes a peer's intermediates.
+func (e *Engine) releaseWS(ws *tensor.Arena) {
+	ws.Reset()
+	e.wsPool.Put(ws)
 }
 
 // NewEngine builds an engine over the flat transformer backbone for cfg,
@@ -201,10 +223,14 @@ func (e *Engine) PrepareTemplate(templateID uint64, im *img.Image, prompt string
 			rec.Blocks[i].V = nil
 		}
 	}
+	ws := e.acquireWS()
+	defer e.releaseWS(ws)
 	x := e.noisyInit(z0, noise, nil, nil)
+	xNext := x.Clone()
 	for t := e.Sched.Steps - 1; t >= 0; t-- {
+		ws.Reset()
 		rec := &model.StepActivations{}
-		eps, err := e.Model.ForwardStep(x, t, cond, model.StepOptions{Record: rec})
+		eps, err := e.Model.ForwardStep(x, t, cond, model.StepOptions{Record: rec, WS: ws})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -214,7 +240,7 @@ func (e *Engine) PrepareTemplate(templateID uint64, im *img.Image, prompt string
 		tc.Steps[t] = rec
 		if guidance > 0 {
 			recU := &model.StepActivations{}
-			epsU, err := e.Model.ForwardStep(x, t, nil, model.StepOptions{Record: recU})
+			epsU, err := e.Model.ForwardStep(x, t, nil, model.StepOptions{Record: recU, WS: ws})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -222,9 +248,12 @@ func (e *Engine) PrepareTemplate(templateID uint64, im *img.Image, prompt string
 				stripKV(recU)
 			}
 			tc.UncondSteps[t] = recU
-			eps = guide(epsU, eps, guidance)
+			g := ws.Get(eps.R, eps.C)
+			guideInto(g, epsU, eps, guidance)
+			eps = g
 		}
-		x = e.ddimUpdate(x, eps, t, nil)
+		e.ddimUpdateInto(xNext, x, eps, t, nil)
+		x, xNext = xNext, x
 	}
 	out, err := e.Codec.Decode(x, cfg.LatentH, cfg.LatentW)
 	if err != nil {
@@ -270,19 +299,27 @@ func (e *Engine) Edit(req EditRequest) (*EditResult, error) {
 	reqRNG := tensor.NewRNG(req.Seed ^ 0x5EED)
 	freshNoise := tensor.Randn(reqRNG, req.Template.Z0.R, req.Template.Z0.C, 1)
 	x := e.noisyInit(req.Template.Z0, req.Template.Noise, freshNoise, maskedIdx)
+	// The latent ping-pongs between two persistent buffers across steps
+	// (they must outlive the per-step workspace reset); every kernel
+	// intermediate inside a step comes from the arena.
+	xNext := x.Clone()
 
+	ws := e.acquireWS()
+	defer e.releaseWS(ws)
 	modes := e.blockModes(req)
 	stepsComputed := 0
 
 	switch req.Mode {
 	case EditFull, EditNaiveSkip, EditCachedY, EditCachedKV:
 		for t := e.Sched.Steps - 1; t >= 0; t-- {
-			eps, err := e.stepEps(x, t, cond, maskedIdx, modes, req.Template, req.Mode)
+			ws.Reset()
+			eps, err := e.stepEps(ws, x, t, cond, maskedIdx, modes, req.Template, req.Mode)
 			if err != nil {
 				return nil, err
 			}
 			stepsComputed++
-			x = e.update(x, eps, t, req.Mode, maskedIdx)
+			e.updateInto(xNext, x, eps, t, req.Mode, maskedIdx)
+			x, xNext = xNext, x
 		}
 	case EditTeaCache:
 		threshold := req.TeaCacheThreshold
@@ -292,6 +329,7 @@ func (e *Engine) Edit(req EditRequest) (*EditResult, error) {
 			// no more than teaCacheComputeFraction of the steps.
 			threshold = e.teaCacheThresholdFor(teaCacheComputeFraction)
 		}
+		// lastEps persists across steps, so it lives outside the arena.
 		var lastEps *tensor.Matrix
 		lastComputedT := -1
 		accum := 0.0
@@ -302,14 +340,21 @@ func (e *Engine) Edit(req EditRequest) (*EditResult, error) {
 				recompute = accum >= threshold
 			}
 			if recompute {
-				eps, err := e.stepEps(x, t, cond, nil, nil, req.Template, EditTeaCache)
+				ws.Reset()
+				eps, err := e.stepEps(ws, x, t, cond, nil, nil, req.Template, EditTeaCache)
 				if err != nil {
 					return nil, err
 				}
-				lastEps, lastComputedT, accum = eps, t, 0
+				if lastEps == nil {
+					lastEps = eps.Clone()
+				} else {
+					copy(lastEps.Data, eps.Data)
+				}
+				lastComputedT, accum = t, 0
 				stepsComputed++
 			}
-			x = e.update(x, lastEps, t, req.Mode, maskedIdx)
+			e.updateInto(xNext, x, lastEps, t, req.Mode, maskedIdx)
+			x, xNext = xNext, x
 		}
 	default:
 		return nil, fmt.Errorf("diffusion: unknown edit mode %v", req.Mode)
@@ -327,8 +372,8 @@ func (e *Engine) Edit(req EditRequest) (*EditResult, error) {
 // enables it. For cached modes each pass uses its own activation cache, so
 // unmasked rows reproduce the template trajectory exactly under guidance
 // too.
-func (e *Engine) stepEps(x *tensor.Matrix, t int, cond []float32, maskedIdx []int, modes []model.ExecMode, tpl *TemplateCache, mode EditMode) (*tensor.Matrix, error) {
-	optsC := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes}
+func (e *Engine) stepEps(ws *tensor.Arena, x *tensor.Matrix, t int, cond []float32, maskedIdx []int, modes []model.ExecMode, tpl *TemplateCache, mode EditMode) (*tensor.Matrix, error) {
+	optsC := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes, WS: ws}
 	cached := mode == EditCachedY || mode == EditCachedKV
 	if cached {
 		optsC.Cached = tpl.Steps[t]
@@ -341,7 +386,7 @@ func (e *Engine) stepEps(x *tensor.Matrix, t int, cond []float32, maskedIdx []in
 	if guidance <= 0 {
 		return eps, nil
 	}
-	optsU := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes}
+	optsU := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes, WS: ws}
 	if cached {
 		optsU.Cached = tpl.UncondSteps[t]
 	}
@@ -349,17 +394,19 @@ func (e *Engine) stepEps(x *tensor.Matrix, t int, cond []float32, maskedIdx []in
 	if err != nil {
 		return nil, err
 	}
-	return guide(epsU, eps, guidance), nil
+	g := ws.Get(eps.R, eps.C)
+	guideInto(g, epsU, eps, guidance)
+	return g, nil
 }
 
-// guide combines the unconditional and conditional predictions:
-// ε = ε_u + g·(ε_c − ε_u).
-func guide(epsU, epsC *tensor.Matrix, g float64) *tensor.Matrix {
-	out := epsU.Clone()
-	for i := range out.Data {
-		out.Data[i] += float32(g) * (epsC.Data[i] - epsU.Data[i])
+// guideInto combines the unconditional and conditional predictions into dst:
+// ε = ε_u + g·(ε_c − ε_u). dst may alias either input.
+func guideInto(dst, epsU, epsC *tensor.Matrix, g float64) {
+	gf := float32(g)
+	for i := range dst.Data {
+		u := epsU.Data[i]
+		dst.Data[i] = u + gf*(epsC.Data[i]-u)
 	}
-	return out
 }
 
 // blockModes translates the request into per-block exec modes, honoring the
@@ -390,27 +437,34 @@ func (e *Engine) blockModes(req EditRequest) []model.ExecMode {
 	case EditNaiveSkip:
 		return model.UniformModes(n, model.ExecNaiveSkip)
 	default:
-		return nil // full
+		// Full-length even for the all-full case, so ForwardStep never has
+		// to pad a short Modes slice inside the per-step hot loop.
+		return model.UniformModes(n, model.ExecFull)
 	}
 }
 
-// update applies the DDIM step. For EditNaiveSkip the unmasked latent rows
-// are frozen (the naive baseline never touches them); every other mode
-// updates all rows (cached modes reproduce the template trajectory on
-// unmasked rows because their eps rows come from the cache).
-func (e *Engine) update(x, eps *tensor.Matrix, t int, mode EditMode, maskedIdx []int) *tensor.Matrix {
+// updateInto applies the DDIM step, writing the next latent into dst. For
+// EditNaiveSkip the unmasked latent rows are frozen (the naive baseline
+// never touches them); every other mode updates all rows (cached modes
+// reproduce the template trajectory on unmasked rows because their eps rows
+// come from the cache).
+func (e *Engine) updateInto(dst, x, eps *tensor.Matrix, t int, mode EditMode, maskedIdx []int) {
 	if mode == EditNaiveSkip {
-		return e.ddimUpdate(x, eps, t, maskedIdx)
+		e.ddimUpdateInto(dst, x, eps, t, maskedIdx)
+		return
 	}
-	return e.ddimUpdate(x, eps, t, nil)
+	e.ddimUpdateInto(dst, x, eps, t, nil)
 }
 
-// ddimUpdate applies the deterministic DDIM update element-wise. When
-// onlyRows is non-nil, only those latent rows are updated.
-func (e *Engine) ddimUpdate(x, eps *tensor.Matrix, t int, onlyRows []int) *tensor.Matrix {
-	out := x.Clone()
+// ddimUpdateInto applies the deterministic DDIM update element-wise,
+// writing the result into dst (which must not alias x). When onlyRows is
+// non-nil, the remaining rows are copied from x unchanged.
+func (e *Engine) ddimUpdateInto(dst, x, eps *tensor.Matrix, t int, onlyRows []int) {
+	if onlyRows != nil {
+		copy(dst.Data, x.Data)
+	}
 	apply := func(row int) {
-		xr, er, or := x.Row(row), eps.Row(row), out.Row(row)
+		xr, er, or := x.Row(row), eps.Row(row), dst.Row(row)
 		for j := range xr {
 			or[j] = float32(e.Sched.DDIMStep(float64(xr[j]), float64(er[j]), t))
 		}
@@ -424,7 +478,6 @@ func (e *Engine) ddimUpdate(x, eps *tensor.Matrix, t int, onlyRows []int) *tenso
 			apply(r)
 		}
 	}
-	return out
 }
 
 // noisyInit builds x_T = √ᾱ_T·z0 + √(1-ᾱ_T)·ε, using templateNoise for all

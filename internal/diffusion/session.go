@@ -17,7 +17,9 @@ type EditSession struct {
 	engine    *Engine
 	req       EditRequest
 	x         *tensor.Matrix
-	t         int // next step to execute (counts down to -1)
+	xNext     *tensor.Matrix // ping-pong partner of x across steps
+	ws        *tensor.Arena  // per-session kernel workspace, reset each step
+	t         int            // next step to execute (counts down to -1)
 	cond      []float32
 	maskedIdx []int
 	modes     []model.ExecMode
@@ -73,12 +75,14 @@ func (e *Engine) BeginEdit(req EditRequest) (*EditSession, error) {
 		engine:    e,
 		req:       req,
 		x:         e.noisyInit(req.Template.Z0, req.Template.Noise, freshNoise, maskedIdx),
+		ws:        e.acquireWS(),
 		t:         e.Sched.Steps - 1,
 		cond:      cond,
 		maskedIdx: maskedIdx,
 		modes:     e.blockModes(req),
 		teaLastT:  -1,
 	}
+	s.xNext = s.x.Clone()
 	if req.Mode == EditTeaCache {
 		s.teaThreshold = req.TeaCacheThreshold
 		if s.teaThreshold <= 0 {
@@ -114,23 +118,40 @@ func (s *EditSession) Step() (done bool, err error) {
 			recompute = s.teaAccum >= s.teaThreshold
 		}
 		if recompute {
-			eps, err := e.stepEps(s.x, t, s.cond, nil, nil, s.req.Template, EditTeaCache)
+			s.ws.Reset()
+			eps, err := e.stepEps(s.ws, s.x, t, s.cond, nil, nil, s.req.Template, EditTeaCache)
 			if err != nil {
 				return false, err
 			}
-			s.teaLastEps, s.teaLastT, s.teaAccum = eps, t, 0
+			// eps is arena-backed; copy it to persistent storage since it
+			// must survive the next step's workspace reset.
+			if s.teaLastEps == nil {
+				s.teaLastEps = eps.Clone()
+			} else {
+				copy(s.teaLastEps.Data, eps.Data)
+			}
+			s.teaLastT, s.teaAccum = t, 0
 			s.stepsComputed++
 		}
-		s.x = e.update(s.x, s.teaLastEps, t, s.req.Mode, s.maskedIdx)
+		e.updateInto(s.xNext, s.x, s.teaLastEps, t, s.req.Mode, s.maskedIdx)
+		s.x, s.xNext = s.xNext, s.x
 	default:
-		eps, err := e.stepEps(s.x, t, s.cond, s.maskedIdx, s.modes, s.req.Template, s.req.Mode)
+		s.ws.Reset()
+		eps, err := e.stepEps(s.ws, s.x, t, s.cond, s.maskedIdx, s.modes, s.req.Template, s.req.Mode)
 		if err != nil {
 			return false, err
 		}
 		s.stepsComputed++
-		s.x = e.update(s.x, eps, t, s.req.Mode, s.maskedIdx)
+		e.updateInto(s.xNext, s.x, eps, t, s.req.Mode, s.maskedIdx)
+		s.x, s.xNext = s.xNext, s.x
 	}
 	s.t--
+	if s.Done() && s.ws != nil {
+		// The latent lives in its own buffers, so the workspace can go back
+		// to the pool the moment the last step completes.
+		e.releaseWS(s.ws)
+		s.ws = nil
+	}
 	return s.Done(), nil
 }
 

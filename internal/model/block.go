@@ -11,9 +11,15 @@ import (
 //	h = x + Attn(LN1(x))·WO
 //	y = h + FFN(LN2(h))
 //
-// with single-head scaled dot-product attention and a GeLU MLP, matching
+// with multi-head scaled dot-product attention and a GeLU MLP, matching
 // the operator inventory of the paper's Fig 5 (linear projections, QKᵀ,
 // softmax, AV, feed-forward; LayerNorm/GeLU are token-wise).
+//
+// Every forward variant has a workspace-threaded *WS form that takes a
+// *tensor.Arena and serves all intermediates (and the returned output)
+// from it; the arena-less exported methods delegate with a nil arena and
+// allocate as before. Arena-backed results are valid until the caller's
+// next Arena.Reset — see the ownership rules on tensor.Arena.
 type Block struct {
 	Hidden int
 	// Heads is the attention head count; 0 is treated as 1. Hidden must
@@ -49,19 +55,27 @@ func (b *Block) AddCrossAttention(rng *tensor.RNG) {
 }
 
 // crossAttend applies the cross-attention sublayer to rows h against the
-// P×H context tokens ctx, returning h + Attn(LNc(h), ctx)·WOc. It is a
-// no-op when the block has no cross weights or ctx is nil.
-func (b *Block) crossAttend(h, ctx *tensor.Matrix) *tensor.Matrix {
+// P×H context tokens ctx, adding Attn(LNc(h), ctx)·WOc into h in place and
+// returning h. h must be owned by the caller (it never aliases a cached or
+// input matrix on any forward path). It is a no-op when the block has no
+// cross weights or ctx is nil.
+func (b *Block) crossAttend(ws *tensor.Arena, h, ctx *tensor.Matrix) *tensor.Matrix {
 	if b.WQc == nil || ctx == nil || ctx.R == 0 {
 		return h
 	}
-	ln := h.Clone()
+	ln := ws.Clone(h)
 	tensor.LayerNormRows(ln, b.LNcGamma, b.LNcBeta, 1e-5)
-	q := tensor.MatMul(ln, b.WQc)
-	k := tensor.MatMul(ctx, b.WKc)
-	v := tensor.MatMul(ctx, b.WVc)
-	attn := b.attention(q, k, v)
-	return tensor.Add(h, tensor.MatMul(attn, b.WOc))
+	q := ws.Get(h.R, b.Hidden)
+	tensor.MatMulInto(q, ln, b.WQc)
+	k := ws.Get(ctx.R, b.Hidden)
+	tensor.MatMulInto(k, ctx, b.WKc)
+	v := ws.Get(ctx.R, b.Hidden)
+	tensor.MatMulInto(v, ctx, b.WVc)
+	attn := b.attention(ws, q, k, v)
+	proj := ws.Get(h.R, b.Hidden)
+	tensor.MatMulInto(proj, attn, b.WOc)
+	tensor.AddInPlace(h, proj)
+	return h
 }
 
 // heads returns the effective head count.
@@ -76,29 +90,20 @@ func (b *Block) heads() int {
 func (b *Block) headDim() int { return b.Hidden / b.heads() }
 
 // attention computes multi-head scaled dot-product attention for query
-// rows q over keys/values k, v (all …×H with per-head column slices) and
-// returns the q.R×H concatenated head outputs.
-func (b *Block) attention(q, k, v *tensor.Matrix) *tensor.Matrix {
-	h := b.heads()
-	d := b.headDim()
-	out := tensor.New(q.R, b.Hidden)
-	scale := float32(1 / math.Sqrt(float64(d)))
-	for head := 0; head < h; head++ {
-		qh := sliceCols(q, head*d, d)
-		kh := sliceCols(k, head*d, d)
-		vh := sliceCols(v, head*d, d)
-		scores := tensor.MatMulT(qh, kh)
-		tensor.Scale(scores, scale)
-		tensor.SoftmaxRows(scores)
-		oh := tensor.MatMul(scores, vh)
-		for r := 0; r < out.R; r++ {
-			copy(out.Row(r)[head*d:(head+1)*d], oh.Row(r))
-		}
-	}
+// rows q over keys/values k, v (all …×H) and returns the q.R×H
+// concatenated head outputs. Heads are strided views into q/k/v (zero
+// copy) and the fused kernel streams K/V with an online softmax, so the
+// q.R×k.R score matrix is never materialized.
+func (b *Block) attention(ws *tensor.Arena, q, k, v *tensor.Matrix) *tensor.Matrix {
+	out := ws.Get(q.R, b.Hidden)
+	scale := float32(1 / math.Sqrt(float64(b.headDim())))
+	tensor.FusedAttentionInto(out, q, k, v, b.heads(), scale)
 	return out
 }
 
 // sliceCols copies columns [start, start+n) of m into a new matrix.
+// The hot attention path no longer slices heads; this remains for the
+// Fig 6 analysis path (AttentionScores).
 func sliceCols(m *tensor.Matrix, start, n int) *tensor.Matrix {
 	out := tensor.New(m.R, n)
 	for r := 0; r < m.R; r++ {
@@ -110,7 +115,8 @@ func sliceCols(m *tensor.Matrix, start, n int) *tensor.Matrix {
 // BlockActivations records the intermediate activations of one block
 // forward pass that FlashPS may cache: the block output Y (the paper's
 // primary cache target, Fig 5-Bottom) and the attention K/V matrices
-// (the alternative cache target, Fig 7).
+// (the alternative cache target, Fig 7). The recorded matrices are always
+// deep copies, never arena-backed.
 type BlockActivations struct {
 	Y    *tensor.Matrix // L×H block output
 	K, V *tensor.Matrix // L×H attention keys/values (of LN1(x))
@@ -149,33 +155,55 @@ func ones(n int) []float32 {
 // mask-agnostic baselines and by blocks the bubble-free pipeline marks as
 // compute-all). If rec is non-nil it is filled with cacheable activations.
 func (b *Block) Forward(x, ctx *tensor.Matrix, rec *BlockActivations) *tensor.Matrix {
-	ln1 := x.Clone()
+	return b.ForwardWS(nil, x, ctx, rec)
+}
+
+// ForwardWS is Forward with all intermediates and the returned output
+// served from ws (nil ws allocates).
+func (b *Block) ForwardWS(ws *tensor.Arena, x, ctx *tensor.Matrix, rec *BlockActivations) *tensor.Matrix {
+	ln1 := ws.Clone(x)
 	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
 
-	q := tensor.MatMul(ln1, b.WQ)
-	k := tensor.MatMul(ln1, b.WK)
-	v := tensor.MatMul(ln1, b.WV)
+	q := ws.Get(x.R, b.Hidden)
+	tensor.MatMulInto(q, ln1, b.WQ)
+	k := ws.Get(x.R, b.Hidden)
+	tensor.MatMulInto(k, ln1, b.WK)
+	v := ws.Get(x.R, b.Hidden)
+	tensor.MatMulInto(v, ln1, b.WV)
 
-	attn := b.attention(q, k, v)
-	h := tensor.Add(x, tensor.MatMul(attn, b.WO))
-	h = b.crossAttend(h, ctx)
+	attn := b.attention(ws, q, k, v)
+	h := ws.Get(x.R, b.Hidden)
+	tensor.MatMulInto(h, attn, b.WO)
+	tensor.AddInPlace(h, x)
+	h = b.crossAttend(ws, h, ctx)
 
-	ln2 := h.Clone()
-	tensor.LayerNormRows(ln2, b.LN2Gamma, b.LN2Beta, 1e-5)
-	ff := tensor.MatMul(ln2, b.W1)
-	tensor.GeLU(ff)
-	y := tensor.Add(h, tensor.MatMul(ff, b.W2))
+	y := b.ffn(ws, h)
 
 	if rec != nil {
 		rec.Y = y.Clone()
-		rec.K = k
-		rec.V = v
+		rec.K = k.Clone()
+		rec.V = v.Clone()
 	}
 	return y
 }
 
+// ffn applies the LN2 + GeLU MLP sublayer: h + FFN(LN2(h)), returning an
+// arena-backed result.
+func (b *Block) ffn(ws *tensor.Arena, h *tensor.Matrix) *tensor.Matrix {
+	ln2 := ws.Clone(h)
+	tensor.LayerNormRows(ln2, b.LN2Gamma, b.LN2Beta, 1e-5)
+	ff := ws.Get(h.R, b.W1.C)
+	tensor.MatMulInto(ff, ln2, b.W1)
+	tensor.GeLU(ff)
+	y := ws.Get(h.R, b.Hidden)
+	tensor.MatMulInto(y, ff, b.W2)
+	tensor.AddInPlace(y, h)
+	return y
+}
+
 // AttentionScores returns the L×L attention matrix for x, averaged across
-// heads, used by the Fig 6 attention-locality analysis.
+// heads, used by the Fig 6 attention-locality analysis (not a hot path; it
+// materializes per-head scores by construction).
 func (b *Block) AttentionScores(x *tensor.Matrix) *tensor.Matrix {
 	ln1 := x.Clone()
 	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
@@ -206,61 +234,77 @@ func (b *Block) AttentionScores(x *tensor.Matrix) *tensor.Matrix {
 // Fig 7 KV variant removes), attention and FFN run for masked rows only,
 // and the returned Y has unmasked rows copied from cachedY.
 func (b *Block) ForwardMasked(x, cachedY, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
+	return b.ForwardMaskedWS(nil, x, cachedY, ctx, maskedIdx)
+}
+
+// ForwardMaskedWS is ForwardMasked with intermediates served from ws.
+func (b *Block) ForwardMaskedWS(ws *tensor.Arena, x, cachedY, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
 	if len(maskedIdx) == 0 {
-		return cachedY.Clone()
+		return ws.Clone(cachedY)
 	}
-	ln1 := x.Clone()
+	ln1 := ws.Clone(x)
 	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
 
-	lnM := tensor.GatherRows(ln1, maskedIdx)
-	q := tensor.MatMul(lnM, b.WQ) // m·L × H
-	k := tensor.MatMul(ln1, b.WK) // L × H (all tokens)
-	v := tensor.MatMul(ln1, b.WV)
+	lnM := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.GatherRowsInto(lnM, ln1, maskedIdx)
+	q := ws.Get(len(maskedIdx), b.Hidden) // m·L × H
+	tensor.MatMulInto(q, lnM, b.WQ)
+	k := ws.Get(x.R, b.Hidden) // L × H (all tokens)
+	tensor.MatMulInto(k, ln1, b.WK)
+	v := ws.Get(x.R, b.Hidden)
+	tensor.MatMulInto(v, ln1, b.WV)
 
-	y := b.finishMasked(x, cachedY, ctx, maskedIdx, q, k, v)
-	return y
+	return b.finishMasked(ws, x, cachedY, ctx, maskedIdx, q, k, v)
 }
 
 // ForwardMaskedKV runs the alternative mask-aware pass of Fig 7: K and V of
 // unmasked tokens come from cachedK/cachedV instead of being recomputed,
 // at the cost of caching twice the data. Fresh K/V rows are still computed
-// for masked tokens and scattered into the cached copies.
+// for masked tokens and scattered into copies of the cached matrices.
 func (b *Block) ForwardMaskedKV(x, cachedY, cachedK, cachedV, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
+	return b.ForwardMaskedKVWS(nil, x, cachedY, cachedK, cachedV, ctx, maskedIdx)
+}
+
+// ForwardMaskedKVWS is ForwardMaskedKV with intermediates served from ws.
+func (b *Block) ForwardMaskedKVWS(ws *tensor.Arena, x, cachedY, cachedK, cachedV, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
 	if len(maskedIdx) == 0 {
-		return cachedY.Clone()
+		return ws.Clone(cachedY)
 	}
-	ln1 := x.Clone()
+	ln1 := ws.Clone(x)
 	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
 
-	lnM := tensor.GatherRows(ln1, maskedIdx)
-	q := tensor.MatMul(lnM, b.WQ)
-	kM := tensor.MatMul(lnM, b.WK)
-	vM := tensor.MatMul(lnM, b.WV)
-	k := cachedK.Clone()
-	v := cachedV.Clone()
+	lnM := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.GatherRowsInto(lnM, ln1, maskedIdx)
+	q := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.MatMulInto(q, lnM, b.WQ)
+	kM := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.MatMulInto(kM, lnM, b.WK)
+	vM := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.MatMulInto(vM, lnM, b.WV)
+	k := ws.Clone(cachedK)
+	v := ws.Clone(cachedV)
 	tensor.ScatterRows(k, kM, maskedIdx)
 	tensor.ScatterRows(v, vM, maskedIdx)
 
-	return b.finishMasked(x, cachedY, ctx, maskedIdx, q, k, v)
+	return b.finishMasked(ws, x, cachedY, ctx, maskedIdx, q, k, v)
 }
 
 // finishMasked completes a mask-aware pass given masked-row queries q and
 // full-token k, v: masked rows attend over all tokens, then the output
 // projection, residual, LN2 and FFN run on masked rows only, and the
-// result is spliced into a clone of cachedY.
-func (b *Block) finishMasked(x, cachedY, ctx *tensor.Matrix, maskedIdx []int, q, k, v *tensor.Matrix) *tensor.Matrix {
-	attn := b.attention(q, k, v) // m·L × H
-	xM := tensor.GatherRows(x, maskedIdx)
-	h := tensor.Add(xM, tensor.MatMul(attn, b.WO))
-	h = b.crossAttend(h, ctx)
+// result is spliced into a copy of cachedY.
+func (b *Block) finishMasked(ws *tensor.Arena, x, cachedY, ctx *tensor.Matrix, maskedIdx []int, q, k, v *tensor.Matrix) *tensor.Matrix {
+	attn := b.attention(ws, q, k, v) // m·L × H
+	xM := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.GatherRowsInto(xM, x, maskedIdx)
+	h := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.MatMulInto(h, attn, b.WO)
+	tensor.AddInPlace(h, xM)
+	h = b.crossAttend(ws, h, ctx)
 
-	ln2 := h.Clone()
-	tensor.LayerNormRows(ln2, b.LN2Gamma, b.LN2Beta, 1e-5)
-	ff := tensor.MatMul(ln2, b.W1)
-	tensor.GeLU(ff)
-	yM := tensor.Add(h, tensor.MatMul(ff, b.W2))
+	yM := b.ffn(ws, h)
 
-	y := cachedY.Clone()
+	y := ws.Clone(cachedY)
 	tensor.ScatterRows(y, yM, maskedIdx)
 	return y
 }
@@ -271,29 +315,37 @@ func (b *Block) finishMasked(x, cachedY, ctx *tensor.Matrix, maskedIdx []int, q,
 // the input unchanged. The paper shows this distorts the output; the
 // quality experiments reproduce that gap.
 func (b *Block) ForwardNaiveSkip(x, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
+	return b.ForwardNaiveSkipWS(nil, x, ctx, maskedIdx)
+}
+
+// ForwardNaiveSkipWS is ForwardNaiveSkip with intermediates served from ws.
+func (b *Block) ForwardNaiveSkipWS(ws *tensor.Arena, x, ctx *tensor.Matrix, maskedIdx []int) *tensor.Matrix {
 	if len(maskedIdx) == 0 {
-		return x.Clone()
+		return ws.Clone(x)
 	}
-	ln1 := x.Clone()
+	ln1 := ws.Clone(x)
 	tensor.LayerNormRows(ln1, b.LN1Gamma, b.LN1Beta, 1e-5)
 
-	lnM := tensor.GatherRows(ln1, maskedIdx)
-	q := tensor.MatMul(lnM, b.WQ)
-	k := tensor.MatMul(lnM, b.WK) // masked tokens only: no global context
-	v := tensor.MatMul(lnM, b.WV)
+	lnM := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.GatherRowsInto(lnM, ln1, maskedIdx)
+	q := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.MatMulInto(q, lnM, b.WQ)
+	k := ws.Get(len(maskedIdx), b.Hidden) // masked tokens only: no global context
+	tensor.MatMulInto(k, lnM, b.WK)
+	v := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.MatMulInto(v, lnM, b.WV)
 
-	attn := b.attention(q, k, v)
-	xM := tensor.GatherRows(x, maskedIdx)
-	h := tensor.Add(xM, tensor.MatMul(attn, b.WO))
-	h = b.crossAttend(h, ctx)
+	attn := b.attention(ws, q, k, v)
+	xM := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.GatherRowsInto(xM, x, maskedIdx)
+	h := ws.Get(len(maskedIdx), b.Hidden)
+	tensor.MatMulInto(h, attn, b.WO)
+	tensor.AddInPlace(h, xM)
+	h = b.crossAttend(ws, h, ctx)
 
-	ln2 := h.Clone()
-	tensor.LayerNormRows(ln2, b.LN2Gamma, b.LN2Beta, 1e-5)
-	ff := tensor.MatMul(ln2, b.W1)
-	tensor.GeLU(ff)
-	yM := tensor.Add(h, tensor.MatMul(ff, b.W2))
+	yM := b.ffn(ws, h)
 
-	y := x.Clone()
+	y := ws.Clone(x)
 	tensor.ScatterRows(y, yM, maskedIdx)
 	return y
 }

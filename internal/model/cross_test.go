@@ -110,27 +110,28 @@ func TestCrossAttendNoOpCases(t *testing.T) {
 	rng := tensor.NewRNG(2)
 	h := tensor.Randn(rng, 4, 16, 1)
 	// No cross weights → identity.
-	if got := b.crossAttend(h, tensor.Randn(rng, 2, 16, 1)); !tensor.Equal(got, h) {
+	if got := b.crossAttend(nil, h, tensor.Randn(rng, 2, 16, 1)); !tensor.Equal(got, h) {
 		t.Fatal("crossAttend without weights should be identity")
 	}
 	b.AddCrossAttention(tensor.NewRNG(3))
 	// Nil context → identity.
-	if got := b.crossAttend(h, nil); !tensor.Equal(got, h) {
+	if got := b.crossAttend(nil, h, nil); !tensor.Equal(got, h) {
 		t.Fatal("crossAttend with nil ctx should be identity")
 	}
-	// Real context → changes h.
-	if got := b.crossAttend(h, tensor.Randn(rng, 2, 16, 1)); tensor.Equal(got, h) {
+	// Real context → changes h (in place: the returned matrix is h).
+	orig := h.Clone()
+	if got := b.crossAttend(nil, h, tensor.Randn(rng, 2, 16, 1)); tensor.Equal(got, orig) {
 		t.Fatal("crossAttend with context should change h")
 	}
 }
 
 func TestBuildContext(t *testing.T) {
 	m := MustNew(crossCfg, 34)
-	if m.buildContext(nil) != nil {
+	if m.buildContext(nil, nil) != nil {
 		t.Fatal("nil cond should give nil context")
 	}
 	cond := EmbedPrompt("x", crossCfg.Hidden)
-	ctx := m.buildContext(cond)
+	ctx := m.buildContext(nil, cond)
 	if ctx == nil || ctx.R != crossCfg.ContextTokens || ctx.C != crossCfg.Hidden {
 		t.Fatalf("context shape wrong: %v", ctx)
 	}
@@ -140,7 +141,7 @@ func TestBuildContext(t *testing.T) {
 	}
 	// No-cross model returns nil.
 	plain := MustNew(testCfg, 1)
-	if plain.buildContext(cond) != nil {
+	if plain.buildContext(nil, cond) != nil {
 		t.Fatal("model without context tokens should return nil context")
 	}
 }

@@ -124,8 +124,15 @@ type StepOptions struct {
 	// every block. A short slice is padded with ExecFull.
 	Modes []ExecMode
 	// Record, when non-nil, is filled with this step's activations
-	// (always records the block outputs actually produced).
+	// (always records the block outputs actually produced). Recorded
+	// matrices are deep copies, never workspace-backed.
 	Record *StepActivations
+	// WS, when non-nil, serves every intermediate of the step — and the
+	// returned noise prediction — from the arena. The caller owns the
+	// arena and must not Reset it until the returned matrix has been
+	// consumed. A steady-state step with a warm arena performs zero heap
+	// allocations (see tensor.Arena).
+	WS *tensor.Arena
 }
 
 // UniformModes returns a Modes slice with every one of n blocks set to mode.
@@ -173,8 +180,9 @@ func (m *Model) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts S
 		}
 	}
 
-	x := m.embed(latent, t, cond)
-	ctx := m.buildContext(cond)
+	ws := opts.WS
+	x := m.embed(ws, latent, t, cond)
+	ctx := m.buildContext(ws, cond)
 
 	if opts.Record != nil {
 		opts.Record.Blocks = make([]BlockActivations, len(m.Blocks))
@@ -186,21 +194,21 @@ func (m *Model) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts S
 			if opts.Record != nil {
 				rec = &opts.Record.Blocks[i]
 			}
-			x = blk.Forward(x, ctx, rec)
+			x = blk.ForwardWS(ws, x, ctx, rec)
 		case ExecCachedY:
 			ca := opts.Cached.Blocks[i]
-			x = blk.ForwardMasked(x, ca.Y, ctx, opts.MaskedIdx)
+			x = blk.ForwardMaskedWS(ws, x, ca.Y, ctx, opts.MaskedIdx)
 			if opts.Record != nil {
 				opts.Record.Blocks[i] = BlockActivations{Y: x.Clone()}
 			}
 		case ExecCachedKV:
 			ca := opts.Cached.Blocks[i]
-			x = blk.ForwardMaskedKV(x, ca.Y, ca.K, ca.V, ctx, opts.MaskedIdx)
+			x = blk.ForwardMaskedKVWS(ws, x, ca.Y, ca.K, ca.V, ctx, opts.MaskedIdx)
 			if opts.Record != nil {
 				opts.Record.Blocks[i] = BlockActivations{Y: x.Clone()}
 			}
 		case ExecNaiveSkip:
-			x = blk.ForwardNaiveSkip(x, ctx, opts.MaskedIdx)
+			x = blk.ForwardNaiveSkipWS(ws, x, ctx, opts.MaskedIdx)
 			if opts.Record != nil {
 				opts.Record.Blocks[i] = BlockActivations{Y: x.Clone()}
 			}
@@ -208,34 +216,40 @@ func (m *Model) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts S
 			return nil, fmt.Errorf("model: block %d: unknown exec mode %v", i, modes[i])
 		}
 	}
-	return tensor.MatMul(x, m.outProj), nil
+	out := ws.Get(x.R, m.Cfg.LatentChannels)
+	tensor.MatMulInto(out, x, m.outProj)
+	return out, nil
 }
 
 // buildContext expands the prompt embedding into ContextTokens context
 // rows for cross-attention. It returns nil when cross-attention is
 // disabled or cond is empty.
-func (m *Model) buildContext(cond []float32) *tensor.Matrix {
+func (m *Model) buildContext(ws *tensor.Arena, cond []float32) *tensor.Matrix {
 	if len(m.ctxExpand) == 0 || len(cond) == 0 {
 		return nil
 	}
-	ctx := tensor.New(len(m.ctxExpand), m.Cfg.Hidden)
-	c := tensor.FromSlice(1, m.Cfg.Hidden, cond)
+	ctx := ws.Get(len(m.ctxExpand), m.Cfg.Hidden)
+	c := ws.Wrap(1, m.Cfg.Hidden, cond)
 	for i, w := range m.ctxExpand {
-		row := tensor.MatMul(c, w)
-		copy(ctx.Row(i), row.Data)
+		row := ws.Wrap(1, m.Cfg.Hidden, ctx.Row(i))
+		tensor.MatMulInto(row, c, w)
 	}
 	return ctx
 }
 
 // embed maps the latent into hidden space and adds timestep and prompt
 // conditioning (all token-wise).
-func (m *Model) embed(latent *tensor.Matrix, t int, cond []float32) *tensor.Matrix {
-	x := tensor.MatMul(latent, m.inProj)
+func (m *Model) embed(ws *tensor.Arena, latent *tensor.Matrix, t int, cond []float32) *tensor.Matrix {
+	x := ws.Get(latent.R, m.Cfg.Hidden)
+	tensor.MatMulInto(x, latent, m.inProj)
 	// Denoisers are strongly timestep-conditioned; the gain keeps ε_θ's
 	// dependence on t comparable to its dependence on content, so that
 	// step-skipping baselines (TeaCache) pay a realistic quality cost.
 	const timestepGain = 4
-	temb := tensor.MatMul(tensor.FromSlice(1, m.Cfg.Hidden, TimestepEmbedding(t, m.Cfg.Hidden)), m.timeW)
+	sin := ws.Get(1, m.Cfg.Hidden)
+	TimestepEmbeddingInto(sin.Data, t)
+	temb := ws.Get(1, m.Cfg.Hidden)
+	tensor.MatMulInto(temb, sin, m.timeW)
 	tensor.Scale(temb, timestepGain)
 	for i := 0; i < x.R; i++ {
 		row := x.Row(i)
@@ -273,13 +287,22 @@ func PositionalEmbedding2D(h, w, dim int) *tensor.Matrix {
 // with the given dimension.
 func TimestepEmbedding(t, dim int) []float32 {
 	emb := make([]float32, dim)
-	half := dim / 2
+	TimestepEmbeddingInto(emb, t)
+	return emb
+}
+
+// TimestepEmbeddingInto writes the sinusoidal embedding of timestep t into
+// dst (dimension len(dst)) without allocating.
+func TimestepEmbeddingInto(dst []float32, t int) {
+	half := len(dst) / 2
 	for i := 0; i < half; i++ {
 		freq := math.Exp(-math.Log(10000) * float64(i) / float64(half))
-		emb[i] = float32(math.Sin(float64(t) * freq))
-		emb[half+i] = float32(math.Cos(float64(t) * freq))
+		dst[i] = float32(math.Sin(float64(t) * freq))
+		dst[half+i] = float32(math.Cos(float64(t) * freq))
 	}
-	return emb
+	if len(dst)%2 == 1 && len(dst) > 0 {
+		dst[len(dst)-1] = 0
+	}
 }
 
 // EmbedPrompt deterministically maps a prompt string to a conditioning

@@ -216,9 +216,16 @@ func (u *UNet) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts St
 		factor *= 2
 	}
 
-	// Embed at the base grid.
-	x := tensor.MatMul(latent, u.inProj)
-	temb := tensor.MatMul(tensor.FromSlice(1, cfg.Hidden, TimestepEmbedding(t, cfg.Hidden)), u.timeW)
+	// Embed at the base grid. Intermediates come from the optional
+	// workspace (the per-call map/sort bookkeeping below still allocates;
+	// the flat Model backbone is the zero-allocation path).
+	ws := opts.WS
+	x := ws.Get(latent.R, cfg.Hidden)
+	tensor.MatMulInto(x, latent, u.inProj)
+	sin := ws.Get(1, cfg.Hidden)
+	TimestepEmbeddingInto(sin.Data, t)
+	temb := ws.Get(1, cfg.Hidden)
+	tensor.MatMulInto(temb, sin, u.timeW)
 	tensor.Scale(temb, 4)
 	for i := 0; i < x.R; i++ {
 		row := x.Row(i)
@@ -245,18 +252,20 @@ func (u *UNet) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts St
 				// Encoder/middle direction: remember the skip, then pool.
 				skips[encoderIndexOfFactor(u.UCfg.Encoder, curFactor)] = x
 			}
-			x = avgPool2(x, u.UCfg.LatentH/curFactor, u.UCfg.LatentW/curFactor)
+			x = avgPool2(ws, x, u.UCfg.LatentH/curFactor, u.UCfg.LatentW/curFactor)
 			curFactor *= 2
 		}
 		for curFactor > st.factor {
 			curFactor /= 2
-			x = unpool2(x, u.UCfg.LatentH/curFactor, u.UCfg.LatentW/curFactor)
+			x = unpool2(ws, x, u.UCfg.LatentH/curFactor, u.UCfg.LatentW/curFactor)
 		}
 		if st.skipOf >= 0 && skips[st.skipOf] != nil {
 			// Variance-preserving skip merge keeps the residual stream
 			// bounded across resolution stages (and the decoded latent
 			// inside the codec's dynamic range).
-			x = tensor.Scale(tensor.Add(x, skips[st.skipOf]), float32(1/math.Sqrt2))
+			merged := ws.Get(x.R, x.C)
+			tensor.AddInto(merged, x, skips[st.skipOf])
+			x = tensor.Scale(merged, float32(1/math.Sqrt2))
 		}
 
 		maskedIdx := maskedByFactor[st.factor]
@@ -267,14 +276,14 @@ func (u *UNet) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts St
 				if opts.Record != nil {
 					rec = &opts.Record.Blocks[flat]
 				}
-				x = blk.Forward(x, nil, rec)
+				x = blk.ForwardWS(ws, x, nil, rec)
 			case ExecCachedY:
-				x = blk.ForwardMasked(x, opts.Cached.Blocks[flat].Y, nil, maskedIdx)
+				x = blk.ForwardMaskedWS(ws, x, opts.Cached.Blocks[flat].Y, nil, maskedIdx)
 				if opts.Record != nil {
 					opts.Record.Blocks[flat] = BlockActivations{Y: x.Clone()}
 				}
 			case ExecNaiveSkip:
-				x = blk.ForwardNaiveSkip(x, nil, maskedIdx)
+				x = blk.ForwardNaiveSkipWS(ws, x, nil, maskedIdx)
 				if opts.Record != nil {
 					opts.Record.Blocks[flat] = BlockActivations{Y: x.Clone()}
 				}
@@ -285,9 +294,11 @@ func (u *UNet) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts St
 	// Final norm (token-wise) keeps ε_θ in the schedule's expected range
 	// regardless of how the multi-resolution residual stream grew; it
 	// preserves the mask-aware invariants because it acts per token.
-	out := x.Clone()
-	tensor.LayerNormRows(out, u.finalGamma, u.finalBeta, 1e-5)
-	return tensor.MatMul(out, u.outProj), nil
+	normed := ws.Clone(x)
+	tensor.LayerNormRows(normed, u.finalGamma, u.finalBeta, 1e-5)
+	out := ws.Get(normed.R, cfg.LatentChannels)
+	tensor.MatMulInto(out, normed, u.outProj)
+	return out, nil
 }
 
 // encoderIndexOfFactor returns the encoder stage index with the given
@@ -303,9 +314,9 @@ func encoderIndexOfFactor(enc []UNetStage, factor int) int {
 
 // avgPool2 average-pools an (h·w)×C token matrix on an h×w grid down to
 // (h/2·w/2)×C.
-func avgPool2(x *tensor.Matrix, h, w int) *tensor.Matrix {
+func avgPool2(ws *tensor.Arena, x *tensor.Matrix, h, w int) *tensor.Matrix {
 	oh, ow := h/2, w/2
-	out := tensor.New(oh*ow, x.C)
+	out := ws.Get(oh*ow, x.C)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			orow := out.Row(oy*ow + ox)
@@ -324,9 +335,9 @@ func avgPool2(x *tensor.Matrix, h, w int) *tensor.Matrix {
 
 // unpool2 nearest-neighbor-upsamples an (h/2·w/2)×C token matrix back to
 // an h×w grid.
-func unpool2(x *tensor.Matrix, h, w int) *tensor.Matrix {
+func unpool2(ws *tensor.Arena, x *tensor.Matrix, h, w int) *tensor.Matrix {
 	iw := w / 2
-	out := tensor.New(h*w, x.C)
+	out := ws.Get(h*w, x.C)
 	for y := 0; y < h; y++ {
 		for xx := 0; xx < w; xx++ {
 			copy(out.Row(y*w+xx), x.Row((y/2)*iw+xx/2))

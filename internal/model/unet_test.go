@@ -222,11 +222,11 @@ func TestAvgPoolUnpool(t *testing.T) {
 			}
 		}
 	}
-	pooled := avgPool2(x, 4, 4)
+	pooled := avgPool2(nil, x, 4, 4)
 	if pooled.R != 4 {
 		t.Fatalf("pooled rows = %d", pooled.R)
 	}
-	back := unpool2(pooled, 4, 4)
+	back := unpool2(nil, pooled, 4, 4)
 	if !tensor.AllClose(back, x, 1e-6) {
 		t.Fatal("constant-patch pool/unpool should round-trip")
 	}

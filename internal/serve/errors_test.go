@@ -9,7 +9,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"flashps/internal/faults"
 	"flashps/internal/perfmodel"
 	"flashps/internal/sched"
 )
@@ -110,10 +112,14 @@ func TestOverloadedEnvelope(t *testing.T) {
 	slow := testModel
 	slow.Name = "slow-envelope"
 	slow.Steps = 40
+	// Slow each denoising step through the fault injector so the single
+	// worker saturates deterministically, however fast the kernels are.
+	inj := faults.New(1)
+	inj.SetDelay(faults.StepStage, time.Millisecond, 0)
 	s, err := New(Config{
 		Model: slow, Profile: perfmodel.SD21Paper,
 		Workers: 1, MaxBatch: 1, MaxQueue: 1,
-		Policy: sched.MaskAware, Seed: 42,
+		Policy: sched.MaskAware, Seed: 42, Faults: inj,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -11,7 +11,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"flashps/internal/faults"
 	"flashps/internal/img"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
@@ -524,10 +526,14 @@ func TestHTTPOverloadedReturns429(t *testing.T) {
 	slow := testModel
 	slow.Name = "slow429"
 	slow.Steps = 40
+	// Slow each denoising step through the fault injector so the single
+	// worker saturates deterministically, however fast the kernels are.
+	inj := faults.New(1)
+	inj.SetDelay(faults.StepStage, time.Millisecond, 0)
 	s, err := New(Config{
 		Model: slow, Profile: perfmodel.SD21Paper,
 		Workers: 1, MaxBatch: 1, MaxQueue: 1,
-		Policy: sched.MaskAware, Seed: 42,
+		Policy: sched.MaskAware, Seed: 42, Faults: inj,
 	})
 	if err != nil {
 		t.Fatal(err)

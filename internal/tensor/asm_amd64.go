@@ -1,0 +1,52 @@
+//go:build amd64
+
+package tensor
+
+import "os"
+
+// useAVX2 gates the AVX2+FMA assembly kernels. It is resolved once at
+// process start: the decision must not change mid-run, or mixed
+// scalar/vector rounding would break reproducibility between calls.
+// Set FLASHPS_NO_AVX2=1 to force the portable scalar kernels.
+var useAVX2 = supportsAVX2() && os.Getenv("FLASHPS_NO_AVX2") == ""
+
+// supportsAVX2 reports whether the CPU and OS support the AVX2+FMA kernels
+// (FMA and AVX2 feature bits, plus OS-enabled YMM state via XGETBV).
+func supportsAVX2() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidAsm(1, 0)
+	const fmaBit = 1 << 12
+	const osxsaveBit = 1 << 27
+	if c1&fmaBit == 0 || c1&osxsaveBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbvAsm()
+	if xcr0&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, b7, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	return b7&avx2Bit != 0
+}
+
+func cpuidAsm(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvAsm() (eax, edx uint32)
+
+//go:noescape
+func gemm4x16(kc int, a *float32, lda int, b *float32, ldb int, c *float32, ldc int)
+
+//go:noescape
+func dotAVX8(x, y *float32, n int) float32
+
+//go:noescape
+func axpyAVX8(alpha float32, x, y *float32, n int)
+
+//go:noescape
+func segDotAVX8(q, k *float32, d8, heads int, out *float32)
+
+//go:noescape
+func segAxpyAVX8(w, v, o *float32, d8, heads int)

@@ -1,0 +1,258 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidAsm(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+// Caller must have verified OSXSAVE support first.
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gemm4x16(kc int, a *float32, lda int, b *float32, ldb int, c *float32, ldc int)
+//
+// C[4][16] += A[4][kc] × B[kc][16], the register micro-kernel of the blocked
+// matmul. A is read down a row-major panel (element (r, p) at a[r*lda+p]),
+// B down its leading rows (element (p, j) at b[p*ldb+j]). The 4×16 C tile
+// lives in eight YMM accumulators for the whole panel; per reduction step
+// the kernel issues two B loads, four A broadcasts, and eight FMAs.
+//
+// Each C element accumulates its products in ascending-p order, matching the
+// scalar micro-kernel's chain per element (modulo FMA's fused rounding), and
+// independent of any other element — see the determinism contract in
+// matmul.go.
+TEXT ·gemm4x16(SB), NOSPLIT, $0-56
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ lda+16(FP), R8
+	SHLQ $2, R8               // A row stride in bytes
+	MOVQ b+24(FP), DI
+	MOVQ ldb+32(FP), R10
+	SHLQ $2, R10              // B row stride in bytes
+	MOVQ c+40(FP), DX
+	MOVQ ldc+48(FP), R11
+	SHLQ $2, R11              // C row stride in bytes
+	LEAQ (SI)(R8*2), R9       // &A[2][p0]
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+gemmloop:
+	VMOVUPS (DI), Y12         // B[p][0:8]
+	VMOVUPS 32(DI), Y13       // B[p][8:16]
+	VBROADCASTSS (SI), Y14    // A[0][p]
+	VFMADD231PS Y12, Y14, Y0
+	VFMADD231PS Y13, Y14, Y1
+	VBROADCASTSS (SI)(R8*1), Y14
+	VFMADD231PS Y12, Y14, Y2
+	VFMADD231PS Y13, Y14, Y3
+	VBROADCASTSS (R9), Y14    // A[2][p]
+	VFMADD231PS Y12, Y14, Y4
+	VFMADD231PS Y13, Y14, Y5
+	VBROADCASTSS (R9)(R8*1), Y14
+	VFMADD231PS Y12, Y14, Y6
+	VFMADD231PS Y13, Y14, Y7
+	ADDQ $4, SI
+	ADDQ $4, R9
+	ADDQ R10, DI
+	DECQ CX
+	JNZ  gemmloop
+
+	// C rows += accumulators.
+	VMOVUPS (DX), Y12
+	VADDPS  Y12, Y0, Y0
+	VMOVUPS Y0, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y13, Y1, Y1
+	VMOVUPS Y1, 32(DX)
+	ADDQ    R11, DX
+	VMOVUPS (DX), Y12
+	VADDPS  Y12, Y2, Y2
+	VMOVUPS Y2, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y13, Y3, Y3
+	VMOVUPS Y3, 32(DX)
+	ADDQ    R11, DX
+	VMOVUPS (DX), Y12
+	VADDPS  Y12, Y4, Y4
+	VMOVUPS Y4, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y13, Y5, Y5
+	VMOVUPS Y5, 32(DX)
+	ADDQ    R11, DX
+	VMOVUPS (DX), Y12
+	VADDPS  Y12, Y6, Y6
+	VMOVUPS Y6, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y13, Y7, Y7
+	VMOVUPS Y7, 32(DX)
+	VZEROUPPER
+	RET
+
+// func dotAVX8(x, y *float32, n int) float32
+//
+// Dot product over n floats, n a positive multiple of 8 (the Go wrapper
+// handles the scalar tail). Four 8-wide accumulator chains, reduced
+// horizontally at the end in a fixed order.
+TEXT ·dotAVX8(SB), NOSPLIT, $0-28
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ CX, BX
+	SHRQ $5, BX               // 32-element groups
+	JZ   dottail
+
+dotloop32:
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VMOVUPS 64(SI), Y6
+	VMOVUPS 96(SI), Y7
+	VMOVUPS (DI), Y8
+	VMOVUPS 32(DI), Y9
+	VMOVUPS 64(DI), Y10
+	VMOVUPS 96(DI), Y11
+	VFMADD231PS Y8, Y4, Y0
+	VFMADD231PS Y9, Y5, Y1
+	VFMADD231PS Y10, Y6, Y2
+	VFMADD231PS Y11, Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ BX
+	JNZ  dotloop32
+
+dottail:
+	ANDQ $31, CX              // remaining 8-element groups
+	JZ   dotreduce
+
+dotloop8:
+	VMOVUPS (SI), Y4
+	VMOVUPS (DI), Y8
+	VFMADD231PS Y8, Y4, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  dotloop8
+
+dotreduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VZEROUPPER
+	VMOVSS X0, ret+24(FP)
+	RET
+
+// func segDotAVX8(q, k *float32, d8, heads int, out *float32)
+//
+// Per head h: out[h] = Σ_i q[h*d8+i]*k[h*d8+i] for i in [0, d8), d8 a
+// positive multiple of 8. q and k are the contiguous full hidden rows, so
+// one call produces every head's score for a (query, key) pair.
+TEXT ·segDotAVX8(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), SI
+	MOVQ k+8(FP), DI
+	MOVQ d8+16(FP), R8
+	MOVQ heads+24(FP), R9
+	MOVQ out+32(FP), DX
+
+sdheadloop:
+	VXORPS Y0, Y0, Y0
+	MOVQ R8, CX
+	SHRQ $3, CX
+
+sdinner:
+	VMOVUPS (SI), Y4
+	VMOVUPS (DI), Y8
+	VFMADD231PS Y8, Y4, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  sdinner
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VMOVSS X0, (DX)
+	ADDQ $4, DX
+	DECQ R9
+	JNZ  sdheadloop
+	VZEROUPPER
+	RET
+
+// func segAxpyAVX8(w, v, o *float32, d8, heads int)
+//
+// Per head h: o[h*d8 : (h+1)*d8] += w[h] * v[h*d8 : (h+1)*d8], d8 a
+// positive multiple of 8. One call accumulates a key's V row into every
+// head's output segment with that head's softmax weight.
+TEXT ·segAxpyAVX8(SB), NOSPLIT, $0-40
+	MOVQ w+0(FP), DX
+	MOVQ v+8(FP), SI
+	MOVQ o+16(FP), DI
+	MOVQ d8+24(FP), R8
+	MOVQ heads+32(FP), R9
+
+saheadloop:
+	VBROADCASTSS (DX), Y15
+	MOVQ R8, CX
+	SHRQ $3, CX
+
+sainner:
+	VMOVUPS (SI), Y4
+	VMOVUPS (DI), Y8
+	VFMADD231PS Y15, Y4, Y8
+	VMOVUPS Y8, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  sainner
+	ADDQ $4, DX
+	DECQ R9
+	JNZ  saheadloop
+	VZEROUPPER
+	RET
+
+// func axpyAVX8(alpha float32, x, y *float32, n int)
+//
+// y[0:n] += alpha * x[0:n], n a positive multiple of 8 (Go wrapper handles
+// the tail). Used by the fused-attention V accumulation.
+TEXT ·axpyAVX8(SB), NOSPLIT, $0-32
+	VBROADCASTSS alpha+0(FP), Y15
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), CX
+
+axpyloop8:
+	VMOVUPS (SI), Y4
+	VMOVUPS (DI), Y8
+	VFMADD231PS Y15, Y4, Y8
+	VMOVUPS Y8, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  axpyloop8
+	VZEROUPPER
+	RET

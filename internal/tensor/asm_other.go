@@ -1,0 +1,21 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the portable scalar kernels; the constant
+// lets the compiler eliminate the assembly call sites entirely.
+const useAVX2 = false
+
+func gemm4x16(kc int, a *float32, lda int, b *float32, ldb int, c *float32, ldc int) {
+	panic("tensor: gemm4x16 without AVX2")
+}
+
+func dotAVX8(x, y *float32, n int) float32 { panic("tensor: dotAVX8 without AVX2") }
+
+func axpyAVX8(alpha float32, x, y *float32, n int) { panic("tensor: axpyAVX8 without AVX2") }
+
+func segDotAVX8(q, k *float32, d8, heads int, out *float32) {
+	panic("tensor: segDotAVX8 without AVX2")
+}
+
+func segAxpyAVX8(w, v, o *float32, d8, heads int) { panic("tensor: segAxpyAVX8 without AVX2") }

@@ -1,0 +1,180 @@
+package tensor
+
+// Cache-blocked, register-tiled dense matmul kernels.
+//
+// The micro-kernel accumulates mcRows rows of dst at once against each
+// streamed row of b, so every loaded b row is reused mcRows times and the
+// inner loop carries mcRows independent FMA chains (the scalar analogue of
+// a register tile). The reduction dimension is processed in kcBlock panels
+// so the active slice of b stays cache-resident across the row sweep.
+//
+// Determinism contract: every dst row accumulates its k products in
+// ascending-p order regardless of how rows are grouped into micro-kernel
+// tiles or partitioned across workers, so results are bit-identical to the
+// serial single-row loop at any parallelism setting.
+
+const (
+	// mcRows is the micro-kernel height: rows of a/dst accumulated per
+	// b-row load.
+	mcRows = 4
+	// kcBlock is the reduction panel width; kcBlock rows of b (kcBlock×C
+	// floats) are swept per row group to stay cache-resident.
+	kcBlock = 256
+	// trBlock is the tile edge of the blocked transpose: a trBlock²
+	// float32 tile (4 KiB at 32) fits in L1 for both the row-major reads
+	// and the column-major writes.
+	trBlock = 32
+)
+
+// matMulRange computes rows [lo, hi) of dst = a × b.
+//
+// On AVX2 hardware, full 4-row × 16-column tiles run in the gemm4x16
+// assembly micro-kernel; row and column remainders fall back to the scalar
+// tiles. Which tile a given dst element lands in depends only on global
+// (row, column) position — parallelRows aligns worker partitions to mcRows
+// so the asm/scalar split never shifts with the parallelism setting.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	k, m := a.C, b.C
+	for i := lo; i < hi; i++ {
+		clear(dst.Data[i*m : (i+1)*m])
+	}
+	if m == 0 || k == 0 {
+		return
+	}
+	for p0 := 0; p0 < k; p0 += kcBlock {
+		p1 := p0 + kcBlock
+		if p1 > k {
+			p1 = k
+		}
+		i := lo
+		for ; i+mcRows <= hi; i += mcRows {
+			j := 0
+			if useAVX2 {
+				kc := p1 - p0
+				for ; j+16 <= m; j += 16 {
+					gemm4x16(kc, &a.Data[i*k+p0], k, &b.Data[p0*m+j], m, &dst.Data[i*m+j], m)
+				}
+			}
+			if j < m {
+				matMulTile4(dst, a, b, i, p0, p1, j, m)
+			}
+		}
+		for ; i < hi; i++ {
+			matMulTile1(dst, a, b, i, p0, p1, 0, m)
+		}
+	}
+}
+
+// matMulTile4 accumulates dst rows [i, i+4) columns [j0, j1) over the
+// reduction panel [p0, p1).
+func matMulTile4(dst, a, b *Matrix, i, p0, p1, j0, j1 int) {
+	k, m := a.C, b.C
+	a0 := a.Data[(i+0)*k : (i+1)*k]
+	a1 := a.Data[(i+1)*k : (i+2)*k]
+	a2 := a.Data[(i+2)*k : (i+3)*k]
+	a3 := a.Data[(i+3)*k : (i+4)*k]
+	d0 := dst.Data[(i+0)*m+j0 : (i+0)*m+j1]
+	d1 := dst.Data[(i+1)*m+j0 : (i+1)*m+j1]
+	d2 := dst.Data[(i+2)*m+j0 : (i+2)*m+j1]
+	d3 := dst.Data[(i+3)*m+j0 : (i+3)*m+j1]
+	for p := p0; p < p1; p++ {
+		brow := b.Data[p*m+j0 : p*m+j1]
+		av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+		e0, e1, e2, e3 := d0[:len(brow)], d1[:len(brow)], d2[:len(brow)], d3[:len(brow)]
+		for j, bv := range brow {
+			e0[j] += av0 * bv
+			e1[j] += av1 * bv
+			e2[j] += av2 * bv
+			e3[j] += av3 * bv
+		}
+	}
+}
+
+// matMulTile1 accumulates a single dst row, columns [j0, j1), over the
+// reduction panel [p0, p1); it is the remainder kernel of matMulTile4.
+func matMulTile1(dst, a, b *Matrix, i, p0, p1, j0, j1 int) {
+	k, m := a.C, b.C
+	arow := a.Data[i*k : (i+1)*k]
+	drow := dst.Data[i*m+j0 : i*m+j1]
+	for p := p0; p < p1; p++ {
+		brow := b.Data[p*m+j0 : p*m+j1]
+		av := arow[p]
+		erow := drow[:len(brow)]
+		for j, bv := range brow {
+			erow[j] += av * bv
+		}
+	}
+}
+
+// matMulTRange computes rows [lo, hi) of dst = a × bᵀ.
+func matMulTRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.R
+	if useAVX2 && a.C >= 16 {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := dst.Row(i)
+			for j := 0; j < n; j++ {
+				orow[j] = dot(arow, b.Row(j))
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			orow[j], orow[j+1] = dot2(arow, b.Row(j), b.Row(j+1))
+		}
+		if j < n {
+			orow[j] = dot(arow, b.Row(j))
+		}
+	}
+}
+
+// dot returns x·y with four independent accumulator chains (8-wide on AVX2
+// hardware). The accumulation order depends only on len(x), never on the
+// caller's partitioning, so results are reproducible.
+func dot(x, y []float32) float32 {
+	y = y[:len(x)]
+	if useAVX2 && len(x) >= 16 {
+		n8 := len(x) &^ 7
+		s := dotAVX8(&x[0], &y[0], n8)
+		for p := n8; p < len(x); p++ {
+			s += x[p] * y[p]
+		}
+		return s
+	}
+	var s0, s1, s2, s3 float32
+	p := 0
+	for ; p+4 <= len(x); p += 4 {
+		s0 += x[p] * y[p]
+		s1 += x[p+1] * y[p+1]
+		s2 += x[p+2] * y[p+2]
+		s3 += x[p+3] * y[p+3]
+	}
+	for ; p < len(x); p++ {
+		s0 += x[p] * y[p]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dot2 returns (x·y0, x·y1), sharing the single pass over x.
+func dot2(x, y0, y1 []float32) (float32, float32) {
+	y0 = y0[:len(x)]
+	y1 = y1[:len(x)]
+	var a0, a1, b0, b1 float32
+	p := 0
+	for ; p+2 <= len(x); p += 2 {
+		x0, x1 := x[p], x[p+1]
+		a0 += x0 * y0[p]
+		a1 += x1 * y0[p+1]
+		b0 += x0 * y1[p]
+		b1 += x1 * y1[p+1]
+	}
+	if p < len(x) {
+		a0 += x[p] * y0[p]
+		b0 += x[p] * y1[p]
+	}
+	return a0 + a1, b0 + b1
+}

@@ -17,68 +17,100 @@ func MatMul(a, b *Matrix) *Matrix {
 }
 
 // MatMulInto computes a × b into dst, which must be a.R × b.C.
-// dst may not alias a or b.
+// dst may not alias a or b. The kernel is cache-blocked and register-tiled
+// (see matmul.go); results are bit-identical at any parallelism setting.
 func MatMulInto(dst, a, b *Matrix) {
 	if a.C != b.R || dst.R != a.R || dst.C != b.C {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst, a, b))
 	}
-	n, k, m := a.R, a.C, b.C
-	// ikj loop order: stream through b rows for cache locality. Output
-	// rows are independent, so they parallelize with identical results.
-	parallelRows(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			drow := dst.Data[i*m : (i+1)*m]
-			for j := range drow {
-				drow[j] = 0
+	if !shouldParallelize(a.R) {
+		matMulRange(dst, a, b, 0, a.R)
+		return
+	}
+	parallelRows(a.R, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+}
+
+// MatMulNaiveInto is the reference ikj matmul this package shipped before
+// the blocked kernel, kept as the property-test oracle and the "before"
+// side of the kernel benchmarks. Single-threaded.
+func MatMulNaiveInto(dst, a, b *Matrix) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("tensor: MatMulNaiveInto shape mismatch dst=%v a=%v b=%v", dst, a, b))
+	}
+	k, m := a.C, b.C
+	for i := 0; i < a.R; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*m : (i+1)*m]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
 			}
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*m : (p+1)*m]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+			brow := b.Data[p*m : (p+1)*m]
+			for j, bv := range brow {
+				drow[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // MatMulT computes a × bᵀ and returns a new (a.R × b.R) matrix.
 // It panics if a.C != b.C. This is the natural layout for Q·Kᵀ.
 func MatMulT(a, b *Matrix) *Matrix {
-	if a.C != b.C {
-		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v × %vᵀ", a, b))
-	}
 	out := New(a.R, b.R)
-	parallelRows(a.R, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.R; j++ {
-				brow := b.Row(j)
-				var sum float32
-				for p, av := range arow {
-					sum += av * brow[p]
-				}
-				orow[j] = sum
-			}
-		}
-	})
+	MatMulTInto(out, a, b)
 	return out
+}
+
+// MatMulTInto computes a × bᵀ into dst, which must be a.R × b.R.
+// dst may not alias a or b.
+func MatMulTInto(dst, a, b *Matrix) {
+	if a.C != b.C || dst.R != a.R || dst.C != b.R {
+		panic(fmt.Sprintf("tensor: MatMulTInto shape mismatch dst=%v a=%v × %vᵀ", dst, a, b))
+	}
+	if !shouldParallelize(a.R) {
+		matMulTRange(dst, a, b, 0, a.R)
+		return
+	}
+	parallelRows(a.R, func(lo, hi int) { matMulTRange(dst, a, b, lo, hi) })
 }
 
 // Transpose returns a new matrix that is mᵀ.
 func Transpose(m *Matrix) *Matrix {
 	out := New(m.C, m.R)
-	for i := 0; i < m.R; i++ {
-		for j := 0; j < m.C; j++ {
-			out.Data[j*m.R+i] = m.Data[i*m.C+j]
+	TransposeInto(out, m)
+	return out
+}
+
+// TransposeInto writes mᵀ into dst, which must be m.C × m.R and may not
+// alias m. It walks trBlock×trBlock tiles so both the row-major reads and
+// the column-major writes stay inside a cache-resident tile, instead of
+// striding the full output once per input row.
+func TransposeInto(dst, m *Matrix) {
+	if dst.R != m.C || dst.C != m.R {
+		panic(fmt.Sprintf("tensor: TransposeInto shape mismatch dst=%v m=%v", dst, m))
+	}
+	for i0 := 0; i0 < m.R; i0 += trBlock {
+		i1 := i0 + trBlock
+		if i1 > m.R {
+			i1 = m.R
+		}
+		for j0 := 0; j0 < m.C; j0 += trBlock {
+			j1 := j0 + trBlock
+			if j1 > m.C {
+				j1 = m.C
+			}
+			for i := i0; i < i1; i++ {
+				row := m.Data[i*m.C : (i+1)*m.C]
+				for j := j0; j < j1; j++ {
+					dst.Data[j*m.R+i] = row[j]
+				}
+			}
 		}
 	}
-	return out
 }
 
 // Add returns a + b element-wise. It panics on shape mismatch.
@@ -91,6 +123,17 @@ func Add(a, b *Matrix) *Matrix {
 		out.Data[i] = a.Data[i] + b.Data[i]
 	}
 	return out
+}
+
+// AddInto writes a + b element-wise into dst (which may alias a or b).
+// It panics on shape mismatch.
+func AddInto(dst, a, b *Matrix) {
+	if a.R != b.R || a.C != b.C || dst.R != a.R || dst.C != a.C {
+		panic("tensor: AddInto shape mismatch")
+	}
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
 }
 
 // AddInPlace adds b into a element-wise.
@@ -186,13 +229,23 @@ func GeLU(m *Matrix) {
 // indices, in order. It panics if any index is out of range.
 func GatherRows(m *Matrix, idx []int) *Matrix {
 	out := New(len(idx), m.C)
+	GatherRowsInto(out, m, idx)
+	return out
+}
+
+// GatherRowsInto copies m's rows at the given indices into dst in order:
+// dst[i] = m[idx[i]]. It panics if dst is not len(idx)×m.C or any index is
+// out of range.
+func GatherRowsInto(dst, m *Matrix, idx []int) {
+	if dst.R != len(idx) || dst.C != m.C {
+		panic(fmt.Sprintf("tensor: GatherRowsInto shape mismatch dst=%v, want %d×%d", dst, len(idx), m.C))
+	}
 	for i, r := range idx {
 		if r < 0 || r >= m.R {
 			panic(fmt.Sprintf("tensor: GatherRows index %d out of range [0,%d)", r, m.R))
 		}
-		copy(out.Row(i), m.Row(r))
+		copy(dst.Row(i), m.Row(r))
 	}
-	return out
 }
 
 // ScatterRows copies src's rows into dst at the given row indices:
