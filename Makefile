@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check build test vet race faults bench bench-smoke bench-kernels experiments fuzz clean
+.PHONY: all check build test vet race faults replay-diff bench bench-smoke bench-kernels experiments fuzz clean
 
 all: check
 
 # The default gate: build, vet, full test suite, the race detector over
-# the concurrent packages, the fault-injection suite, and a one-iteration
-# benchmark smoke pass so the benchmarks themselves can't rot.
-check: build vet test race faults bench-smoke
+# the concurrent packages, the fault-injection suite, the sim-vs-real
+# differential replay, and a one-iteration benchmark smoke pass so the
+# benchmarks themselves can't rot.
+check: build vet test race faults replay-diff bench-smoke
 
 build:
 	$(GO) build ./...
@@ -19,12 +20,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/cluster/... ./internal/cache/... ./internal/metrics/...
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/cluster/... ./internal/cache/... ./internal/metrics/... ./internal/batching/... ./internal/replay/...
 
 # Fault drills under the race detector: worker crash + retry, cache-load
 # degradation, deadline eviction, cancellation storms, load shedding.
 faults:
 	$(GO) test -race -count=1 ./internal/faults/... ./internal/serve/ -run 'TestWorkerCrash|TestHealthDegraded|TestCacheLoad|TestDeadlineExceeded|TestCancelConcurrent|TestShedLargest|TestFaultCounters|Test.*Injector|TestFail|TestAfter|TestProb|TestDelay|TestParse'
+
+# The unification proof under the race detector: the discrete-event
+# simulator and the real-engine driver must emit identical decision
+# sequences from the shared batching core for the same trace.
+replay-diff:
+	$(GO) test -race -count=1 ./internal/replay/ -run TestDifferentialReplay
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -13,7 +13,7 @@ import (
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
 	"flashps/internal/pipeline"
-	"flashps/internal/sched"
+	"flashps/internal/batching"
 	"flashps/internal/serve"
 	"flashps/internal/tensor"
 	"flashps/internal/workload"
@@ -249,8 +249,8 @@ func BenchmarkOverheadScheduleDecision(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := sched.New(sched.MaskAware, est, est.Profile.MaxBatch, 1)
-	workers := make([]sched.WorkerView, 8)
+	s := batching.New(batching.MaskAware, est, est.Profile.MaxBatch, 1)
+	workers := make([]batching.WorkerView, 8)
 	rng := tensor.NewRNG(5)
 	for i := range workers {
 		n := rng.Intn(6)
@@ -261,7 +261,7 @@ func BenchmarkOverheadScheduleDecision(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Pick(workers, sched.Item{MaskRatio: 0.2, Steps: 28})
+		s.Pick(workers, batching.Item{MaskRatio: 0.2, Steps: 28})
 	}
 }
 
@@ -272,7 +272,7 @@ func BenchmarkOverheadServingPlane(b *testing.B) {
 			NumBlocks: 3, FFNMult: 4, Steps: 4, LatentChannels: 4,
 		},
 		Profile: perfmodel.SD21Paper,
-		Workers: 1, MaxBatch: 4, Policy: sched.MaskAware, Seed: 42,
+		Workers: 1, MaxBatch: 4, Policy: batching.MaskAware, Seed: 42,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -26,10 +26,10 @@ import (
 	"os"
 	"runtime"
 
+	"flashps/internal/batching"
 	"flashps/internal/faults"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/serve"
 	"flashps/internal/tensor"
 )
@@ -41,6 +41,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 4, "max running batch per worker")
 		modelN    = flag.String("model", "sdxl-sim", "numeric model: sd21-sim|sdxl-sim|flux-sim")
 		policy    = flag.String("policy", "mask-aware", "routing: round-robin|least-requests|least-tokens|mask-aware")
+		batchDisc = flag.String("batching", "disagg", "batching discipline: static|strawman|disagg")
 		seed      = flag.Uint64("seed", 42, "weight seed (shared across workers)")
 		cacheDir  = flag.String("cache-dir", "", "disk tier for template caches (survives restarts)")
 		maxQueue  = flag.Int("max-queue", 0, "per-worker admission limit (0 = unbounded)")
@@ -63,7 +64,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pol, err := policyByName(*policy)
+	pol, err := batching.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	disc, err := batching.ParseDiscipline(*batchDisc)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,7 +92,7 @@ func main() {
 	srv, err := serve.New(serve.Config{
 		Model: cfg, Profile: profile,
 		Workers: *workers, MaxBatch: *maxBatch,
-		Policy: pol, Seed: *seed,
+		Policy: pol, Discipline: disc, Seed: *seed,
 		CacheDir: *cacheDir, MaxQueue: *maxQueue,
 		TraceRing:  *traceRing,
 		MaxRetries: *maxRetries, RetryBackoff: *retryBO,
@@ -110,8 +115,8 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	fmt.Printf("INFO: FlashPS serving %s with %d workers (policy %s) on %s\n",
-		cfg.Name, *workers, pol, *addr)
+	fmt.Printf("INFO: FlashPS serving %s with %d workers (policy %s, batching %s) on %s\n",
+		cfg.Name, *workers, pol, disc, *addr)
 	endpoints := "/metrics /healthz /debug/traces"
 	if !*noPprof {
 		endpoints += " /debug/pprof/"
@@ -129,21 +134,6 @@ func modelByName(name string) (model.Config, error) {
 		}
 	}
 	return model.Config{}, fmt.Errorf("unknown model %q", name)
-}
-
-func policyByName(name string) (sched.Policy, error) {
-	switch name {
-	case "round-robin":
-		return sched.RoundRobin, nil
-	case "least-requests":
-		return sched.LeastRequests, nil
-	case "least-tokens":
-		return sched.LeastTokens, nil
-	case "mask-aware":
-		return sched.MaskAware, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q", name)
-	}
 }
 
 func fatal(err error) {

@@ -13,9 +13,9 @@ import (
 	"os"
 	"runtime"
 
+	"flashps/internal/batching"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/serve"
 	"flashps/internal/tensor"
 )
@@ -33,7 +33,7 @@ func main() {
 		Model:   model.SD21Sim,
 		Profile: perfmodel.SD21Paper,
 		Workers: 1, MaxBatch: 4,
-		Policy:   sched.MaskAware,
+		Policy:   batching.MaskAware,
 		Seed:     42,
 		CacheDir: cacheDir,
 	}

@@ -14,9 +14,9 @@ import (
 	"runtime"
 	"sync"
 
+	"flashps/internal/batching"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/serve"
 	"flashps/internal/tensor"
 )
@@ -28,7 +28,7 @@ func main() {
 		Model:   model.SD21Sim,
 		Profile: perfmodel.SD21Paper,
 		Workers: 2, MaxBatch: 4,
-		Policy: sched.MaskAware,
+		Policy: batching.MaskAware,
 		Seed:   42,
 	})
 	if err != nil {

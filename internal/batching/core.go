@@ -1,0 +1,188 @@
+package batching
+
+import (
+	"sync"
+	"time"
+
+	"flashps/internal/perfmodel"
+)
+
+// Clock is the execution seam that makes the core clock-agnostic: the
+// discrete-event harness (internal/cluster, internal/replay) passes
+// *simclock.Clock, which satisfies it directly, while the live serving
+// plane runs on WallClock. Times are seconds; the epoch is driver-defined.
+type Clock interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// At schedules fn at absolute time t (panics if t is in the past).
+	At(t float64, fn func())
+	// After schedules fn delay seconds from now.
+	After(delay float64, fn func())
+}
+
+// WallClock drives the core with real time: Now is seconds since process
+// start and scheduling uses timer goroutines. It exists so live drivers
+// satisfy the same Clock seam the simulator uses; the serving plane's
+// engine loops keep their own blocking channel structure and only consult
+// Now for timestamps.
+type WallClock struct {
+	epoch time.Time
+	once  sync.Once
+}
+
+func (c *WallClock) init() { c.once.Do(func() { c.epoch = time.Now() }) }
+
+// Now returns seconds since the clock's first use.
+func (c *WallClock) Now() float64 {
+	c.init()
+	return time.Since(c.epoch).Seconds()
+}
+
+// At schedules fn at the absolute wall time t seconds after epoch.
+func (c *WallClock) At(t float64, fn func()) { c.After(t-c.Now(), fn) }
+
+// After schedules fn delay seconds from now on its own goroutine.
+func (c *WallClock) After(delay float64, fn func()) {
+	c.init()
+	if delay < 0 {
+		delay = 0
+	}
+	time.AfterFunc(time.Duration(delay*float64(time.Second)), fn)
+}
+
+// CoreConfig parameterizes the shared scheduling/batching core.
+type CoreConfig struct {
+	// Policy is the load-balancing policy for Place.
+	Policy Policy
+	// Discipline is the batching discipline gating Admit.
+	Discipline Discipline
+	// Estimator backs the mask-aware cost model (required for MaskAware).
+	Estimator *perfmodel.Estimator
+	// MaxBatch bounds a worker's running batch (≤0: estimator profile's
+	// MaxBatch, or 1 without an estimator).
+	MaxBatch int
+	// Seed feeds the policy's tie-breaking randomness.
+	Seed uint64
+	// Log, when non-nil, receives the decision sequence; nil allocates a
+	// private log (still readable via Decisions).
+	Log *DecisionLog
+}
+
+// Core is the shared decision engine: every placement, admission, and
+// shedding choice in both the simulator and the live serving plane flows
+// through one Core, which records the choice in its DecisionLog. Core is
+// concurrency-safe; the simulator calls it from a single event goroutine,
+// the serving plane from the frontend and every engine loop.
+type Core struct {
+	mu       sync.Mutex
+	sched    *Scheduler
+	disc     Discipline
+	maxBatch int
+	log      *DecisionLog
+}
+
+// NewCore builds a Core.
+func NewCore(cfg CoreConfig) *Core {
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		if cfg.Estimator != nil {
+			maxBatch = cfg.Estimator.Profile.MaxBatch
+		} else {
+			maxBatch = 1
+		}
+	}
+	log := cfg.Log
+	if log == nil {
+		log = &DecisionLog{}
+	}
+	return &Core{
+		sched:    New(cfg.Policy, cfg.Estimator, cfg.MaxBatch, cfg.Seed),
+		disc:     cfg.Discipline,
+		maxBatch: maxBatch,
+		log:      log,
+	}
+}
+
+// Discipline returns the configured batching discipline.
+func (c *Core) Discipline() Discipline { return c.disc }
+
+// MaxBatch returns the per-worker running-batch bound.
+func (c *Core) MaxBatch() int { return c.maxBatch }
+
+// Log returns the decision log.
+func (c *Core) Log() *DecisionLog { return c.log }
+
+// Decisions returns a snapshot of the decision sequence so far.
+func (c *Core) Decisions() []Decision { return c.log.Snapshot() }
+
+// Place routes item across the candidate workers (Algorithm 2 or a
+// baseline policy) and returns the chosen worker's ID. views and ids are
+// parallel: views[i] snapshots worker ids[i]'s outstanding load, in a
+// stable (admission) order. Panics on an empty candidate list.
+func (c *Core) Place(views []WorkerView, ids []int, item Item) int {
+	c.mu.Lock()
+	pick := c.sched.Pick(views, item)
+	c.mu.Unlock()
+	id := ids[pick]
+	c.log.append(Decision{Kind: KindPlace, Request: item.ID, Worker: id, Batch: len(views)})
+	return id
+}
+
+// AdmitBudget returns how many more requests the discipline lets worker's
+// running batch accept right now: Static admits only into an empty batch;
+// the continuous disciplines admit up to MaxBatch at every step boundary.
+func (c *Core) AdmitBudget(worker, running int) int {
+	var budget int
+	if c.disc == Static {
+		if running > 0 {
+			return 0
+		}
+		budget = c.maxBatch
+	} else {
+		budget = c.maxBatch - running
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return budget
+}
+
+// Admit decides how many of the queued items (FIFO) join worker's running
+// batch of the given size, recording one KindAdmit decision per admitted
+// request with the resulting batch size.
+func (c *Core) Admit(worker, running int, queued []Item) int {
+	n := c.AdmitBudget(worker, running)
+	if n > len(queued) {
+		n = len(queued)
+	}
+	for i := 0; i < n; i++ {
+		c.log.append(Decision{Kind: KindAdmit, Request: queued[i].ID,
+			Worker: worker, Batch: running + i + 1})
+	}
+	return n
+}
+
+// ShedVictim applies the mask-aware overload policy: among the worker's
+// outstanding candidates, pick the one with the largest mask ratio
+// strictly above the incoming request's (ties broken toward the larger
+// ID), recording a KindShed decision for it. When every candidate is at
+// most as large as the newcomer it returns -1 and records a KindReject
+// for the incoming request instead (blind rejection as the last resort).
+func (c *Core) ShedVictim(worker int, cands []Item, incoming Item) int {
+	victim := -1
+	for i, it := range cands {
+		if it.MaskRatio <= incoming.MaskRatio {
+			continue
+		}
+		if victim < 0 || it.MaskRatio > cands[victim].MaskRatio ||
+			(it.MaskRatio == cands[victim].MaskRatio && it.ID > cands[victim].ID) {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		c.log.append(Decision{Kind: KindReject, Request: incoming.ID, Worker: worker})
+		return -1
+	}
+	c.log.append(Decision{Kind: KindShed, Request: cands[victim].ID, Worker: worker})
+	return victim
+}

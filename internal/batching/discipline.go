@@ -1,0 +1,69 @@
+package batching
+
+import "fmt"
+
+// Discipline identifies a worker's batching discipline (§4.3). The zero
+// value is FlashPS's disaggregated continuous batching, so zero-valued
+// serving configs get the paper's system.
+type Discipline int
+
+const (
+	// DisaggregatedCB is FlashPS's continuous batching with CPU stages
+	// offloaded to separate processes (Fig 10-Bottom): the engine loop only
+	// ever executes denoising steps and admits work at step boundaries.
+	DisaggregatedCB Discipline = iota
+	// StrawmanCB is step-level continuous batching whose CPU
+	// pre/postprocessing runs on the engine loop and interrupts the GPU
+	// stream (Fig 10-Top).
+	StrawmanCB
+	// Static keeps the running batch fixed until every request in it
+	// completes (the baselines' policy): joins happen only into an empty
+	// batch.
+	Static
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	switch d {
+	case DisaggregatedCB:
+		return "disaggregated-cb"
+	case StrawmanCB:
+		return "strawman-cb"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// ParseDiscipline maps a CLI/config spelling to a Discipline. It accepts
+// the short forms used by flashps-server's -batching flag (static |
+// strawman | disagg) and the full simulator spellings.
+func ParseDiscipline(name string) (Discipline, error) {
+	switch name {
+	case "disagg", "disaggregated", "disaggregated-cb":
+		return DisaggregatedCB, nil
+	case "strawman", "strawman-cb":
+		return StrawmanCB, nil
+	case "static":
+		return Static, nil
+	default:
+		return 0, fmt.Errorf("batching: unknown discipline %q (want static|strawman|disagg)", name)
+	}
+}
+
+// ParsePolicy maps a CLI/config spelling to a load-balancing Policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin, nil
+	case "least-requests":
+		return LeastRequests, nil
+	case "least-tokens":
+		return LeastTokens, nil
+	case "mask-aware":
+		return MaskAware, nil
+	default:
+		return 0, fmt.Errorf("batching: unknown policy %q", name)
+	}
+}

@@ -1,11 +1,11 @@
-package sched_test
+package batching_test
 
 import (
 	"fmt"
 	"log"
 
+	"flashps/internal/batching"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/tensor"
 )
 
@@ -16,13 +16,13 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := sched.New(sched.MaskAware, est, est.Profile.MaxBatch, 1)
-	workers := []sched.WorkerView{
+	s := batching.New(batching.MaskAware, est, est.Profile.MaxBatch, 1)
+	workers := []batching.WorkerView{
 		{Ratios: []float64{0.4, 0.4, 0.3}, RemSteps: []int{25, 20, 15}}, // heavy
 		{}, // idle
 		{Ratios: []float64{0.1}, RemSteps: []int{5}}, // nearly drained
 	}
-	picked := s.Pick(workers, sched.Item{MaskRatio: 0.2, Steps: 28})
+	picked := s.Pick(workers, batching.Item{MaskRatio: 0.2, Steps: 28})
 	fmt.Printf("routed away from the heavy worker: %v\n", picked != 0)
 	// Output:
 	// routed away from the heavy worker: true

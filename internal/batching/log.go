@@ -1,0 +1,138 @@
+package batching
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DecisionKind distinguishes the decision classes the core makes.
+type DecisionKind int
+
+const (
+	// KindPlace is a worker-placement decision (Algorithm 2 or a baseline
+	// policy routed a request to a replica).
+	KindPlace DecisionKind = iota
+	// KindAdmit is a batch-admission decision (a queued request joined a
+	// worker's running batch at a step boundary).
+	KindAdmit
+	// KindShed is an overload decision sacrificing an outstanding
+	// larger-mask request in favor of the incoming one.
+	KindShed
+	// KindReject is an overload decision turning the incoming request away
+	// because no outstanding work is larger.
+	KindReject
+)
+
+// String implements fmt.Stringer.
+func (k DecisionKind) String() string {
+	switch k {
+	case KindPlace:
+		return "place"
+	case KindAdmit:
+		return "admit"
+	case KindShed:
+		return "shed"
+	case KindReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("DecisionKind(%d)", int(k))
+	}
+}
+
+// Decision is one scheduling decision the core made. The sequence of
+// decisions is the core's externally observable behavior: the differential
+// replay test asserts that the simulator driver and the real-engine driver
+// produce identical sequences, and the serve overload tests assert shedding
+// through it instead of poking worker internals.
+type Decision struct {
+	// Seq is the decision's position in the log (0-based).
+	Seq int
+	// Kind classifies the decision.
+	Kind DecisionKind
+	// Request is the affected request's ID: the routed request for
+	// KindPlace/KindAdmit/KindReject, the sacrificed victim for KindShed.
+	Request uint64
+	// Worker is the replica the decision concerns (-1 when none applies).
+	Worker int
+	// Batch is the worker's running-batch size after a KindAdmit, and the
+	// candidate-worker count for a KindPlace.
+	Batch int
+}
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	return fmt.Sprintf("#%d %s req=%d worker=%d batch=%d",
+		d.Seq, d.Kind, d.Request, d.Worker, d.Batch)
+}
+
+// DecisionLog is an append-only, concurrency-safe record of the core's
+// decisions, in the order they were made.
+type DecisionLog struct {
+	mu  sync.Mutex
+	seq []Decision
+}
+
+// append records one decision, stamping its sequence number.
+func (l *DecisionLog) append(d Decision) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	d.Seq = len(l.seq)
+	l.seq = append(l.seq, d)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded decisions.
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.seq)
+}
+
+// Snapshot returns a copy of the decision sequence so far.
+func (l *DecisionLog) Snapshot() []Decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Decision, len(l.seq))
+	copy(out, l.seq)
+	return out
+}
+
+// Filter returns the recorded decisions of one kind, in order.
+func (l *DecisionLog) Filter(kind DecisionKind) []Decision {
+	var out []Decision
+	for _, d := range l.Snapshot() {
+		if d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DiffDecisions compares two decision sequences and returns a descriptive
+// error at the first divergence (or length mismatch). Sequence numbers are
+// compared implicitly through position.
+func DiffDecisions(a, b []Decision) error {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		da, db := a[i], b[i]
+		if da.Kind != db.Kind || da.Request != db.Request ||
+			da.Worker != db.Worker || da.Batch != db.Batch {
+			return fmt.Errorf("decision %d diverges: %v vs %v", i, da, db)
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("decision counts diverge: %d vs %d", len(a), len(b))
+	}
+	return nil
+}

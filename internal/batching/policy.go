@@ -1,6 +1,13 @@
-// Package sched implements FlashPS's mask-aware load-balancing policy
-// (paper Algorithm 2) together with the request-granularity and
-// token-granularity baselines it is evaluated against (§6.5).
+// Package batching is the execution-agnostic scheduling and batching core
+// shared by the discrete-event simulator (internal/cluster) and the live
+// serving plane (internal/serve). It implements FlashPS's mask-aware
+// load-balancing policy (paper Algorithm 2) together with the
+// request-granularity and token-granularity baselines it is evaluated
+// against (§6.5), the three batching disciplines of §4.3 (static,
+// strawman continuous, disaggregated continuous), and a clock-driven
+// request/worker state machine (Runner) parameterized by a Clock/Executor
+// interface pair so the identical policy code is driven either by virtual
+// time (internal/simclock) or by real engine replicas.
 //
 // The mask-aware policy scores each candidate worker by estimating the
 // serving latency its queue would have if the new request were assigned to
@@ -8,7 +15,7 @@
 // linear regressions (internal/perfmodel, Fig 11), combined by the
 // bubble-free pipeline DP (internal/pipeline, Algorithm 1) exactly as the
 // paper's dp(batch, Comp, Load) extension describes.
-package sched
+package batching
 
 import (
 	"math"
@@ -53,7 +60,10 @@ func (p Policy) String() string {
 }
 
 // WorkerView is the scheduler's snapshot of one worker replica's
-// outstanding work (running batch + queue).
+// outstanding work (running batch + queue). Callers must build Ratios and
+// RemSteps in a stable order (e.g. request admission order): the mask-aware
+// cost is a floating-point sum over them, so a randomized order would make
+// placement depend on map iteration.
 type WorkerView struct {
 	// Ratios holds the outstanding requests' mask ratios.
 	Ratios []float64
@@ -61,8 +71,11 @@ type WorkerView struct {
 	RemSteps []int
 }
 
-// Item describes the request being routed.
+// Item describes the request being routed, admitted, or shed.
 type Item struct {
+	// ID identifies the request in the decision log. Placement never reads
+	// it (see TestPlacementInvariantUnderRelabeling).
+	ID        uint64
 	MaskRatio float64
 	Steps     int
 }
@@ -94,7 +107,7 @@ func New(policy Policy, est *perfmodel.Estimator, maxBatch int, seed uint64) *Sc
 // worker list.
 func (s *Scheduler) Pick(workers []WorkerView, req Item) int {
 	if len(workers) == 0 {
-		panic("sched: Pick with no workers")
+		panic("batching: Pick with no workers")
 	}
 	switch s.policy {
 	case RoundRobin:

@@ -1,4 +1,4 @@
-package sched
+package batching
 
 import (
 	"math"

@@ -1,0 +1,405 @@
+package batching
+
+import (
+	"flashps/internal/perfmodel"
+	"flashps/internal/workload"
+)
+
+// StepView is the minimal request description an Executor needs to run (or
+// cost-model) one denoising step of a batch.
+type StepView struct {
+	// Req is the underlying workload request (ID, template, mask ratio).
+	Req workload.Request
+	// StepIndex is the request's current denoising step (for cache-load
+	// dedup in the cost models).
+	StepIndex int
+	// RemSteps is how many denoising steps remain.
+	RemSteps int
+}
+
+// Executor is the execution seam of the Runner: the simulator provides a
+// pure cost model (internal/cluster), while the differential-replay real
+// driver (internal/replay) steps actual diffusion.EditSession replicas and
+// reports the modeled durations so virtual time advances identically.
+type Executor interface {
+	// TotalSteps returns how many denoising steps req computes (systems
+	// like TeaCache skip steps).
+	TotalSteps(req workload.Request) int
+	// StageReadyAt returns when req's template cache is staged on worker;
+	// any value ≤ now means it is ready immediately. Implementations with
+	// a cold-cache tier schedule their own staging-completion events on
+	// the clock before returning.
+	StageReadyAt(worker int, req workload.Request, now float64) float64
+	// RunSteps executes aligned consecutive denoising steps for the batch
+	// on worker and returns their total duration. Continuous disciplines
+	// always pass aligned=1; the static discipline runs the whole batch's
+	// step count in one call so the modeled duration stays one
+	// multiplication (bit-stable against re-association).
+	RunSteps(worker int, batch []StepView, aligned int) float64
+	// Retire tells the executor req finished denoising on worker (real
+	// executors release the session).
+	Retire(worker int, req workload.Request)
+}
+
+// Observer receives the Runner's occupancy signals. All methods may be
+// called with a nil receiver guard by the Runner; a nil Observer is free.
+type Observer interface {
+	// QueueDepth reports a worker's ready-queue depth after it changed.
+	QueueDepth(worker, depth int)
+	// BatchStep reports the running-batch size of one executed step.
+	BatchStep(size int)
+}
+
+// RequestStat is the per-request outcome of a run. All times are in the
+// driving clock's seconds.
+type RequestStat struct {
+	ID            int
+	Template      uint64
+	MaskRatio     float64
+	Arrival       float64
+	Admit         float64
+	Finish        float64
+	Complete      float64
+	Interruptions int
+}
+
+// Latency returns the end-to-end request latency.
+func (s RequestStat) Latency() float64 { return s.Complete - s.Arrival }
+
+// QueueTime returns the time from arrival to joining a running batch.
+func (s RequestStat) QueueTime() float64 { return s.Admit - s.Arrival }
+
+// InferenceTime returns the time spent in denoising.
+func (s RequestStat) InferenceTime() float64 { return s.Finish - s.Admit }
+
+// RunnerConfig parameterizes a clock-driven run of the batching core.
+type RunnerConfig struct {
+	// Workers is the number of replicas.
+	Workers int
+	// CostSteps is the step count Place's Algorithm-2 cost uses for the
+	// incoming request (the profile's denoising step count).
+	CostSteps int
+	// Core makes every placement and admission decision.
+	Core *Core
+	// Clock drives time (virtual or wall).
+	Clock Clock
+	// Exec performs (or models) the scheduled work.
+	Exec Executor
+	// Obs optionally receives occupancy signals.
+	Obs Observer
+}
+
+// Runner is the request/worker state machine shared by every clock-driven
+// driver: requests arrive via Submit, are placed by the Core, staged by the
+// Executor, and served under the Core's batching discipline. The caller
+// owns the event loop (schedule Submit calls on the clock, then drain it).
+type Runner struct {
+	cfg     RunnerConfig
+	workers []*runnerWorker
+	stats   []RequestStat
+	pending int
+
+	batchSizeSum int
+	batchSteps   int
+}
+
+// runnerReq is a request's in-run state.
+type runnerReq struct {
+	workload.Request
+	remSteps      int
+	totalSteps    int
+	ready         float64 // preprocessing + cache staging complete
+	admit         float64 // joined a running batch
+	finish        float64 // denoising complete
+	complete      float64 // postprocessing complete (user receives image)
+	interruptions int
+	admitted      bool
+	done          bool
+}
+
+// runnerWorker is one replica's state machine.
+type runnerWorker struct {
+	id          int
+	r           *Runner
+	queue       []*runnerReq // ready, waiting to join a batch
+	running     []*runnerReq
+	busy        bool
+	outstanding []*runnerReq // assigned and not complete, in placement order
+	busyTime    float64      // accumulated GPU-occupied seconds
+}
+
+// NewRunner builds the state machine; Submit requests from clock events,
+// drain the clock, then read Stats/WorkerBusy.
+func NewRunner(cfg RunnerConfig) *Runner {
+	r := &Runner{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		r.workers = append(r.workers, &runnerWorker{id: i, r: r})
+	}
+	return r
+}
+
+// Pending returns the number of submitted requests not yet complete.
+func (r *Runner) Pending() int { return r.pending }
+
+// Stats returns the completed requests' outcomes, in completion order.
+func (r *Runner) Stats() []RequestStat { return r.stats }
+
+// WorkerBusy returns each worker's accumulated busy time.
+func (r *Runner) WorkerBusy() []float64 {
+	out := make([]float64, len(r.workers))
+	for i, w := range r.workers {
+		out[i] = w.busyTime
+	}
+	return out
+}
+
+// BatchOccupancy returns the running-batch occupancy sums across all
+// executed denoising steps (static batches count each aligned step).
+func (r *Runner) BatchOccupancy() (sizeSum, steps int) {
+	return r.batchSizeSum, r.batchSteps
+}
+
+// Submit routes a new request to a worker (paying the scheduler decision
+// overhead) and starts its preprocessing / cache staging. Call it from a
+// clock event at the request's arrival time.
+func (r *Runner) Submit(req workload.Request) {
+	r.pending++
+	views := make([]WorkerView, len(r.workers))
+	ids := make([]int, len(r.workers))
+	for i, w := range r.workers {
+		v := WorkerView{
+			Ratios:   make([]float64, 0, len(w.outstanding)),
+			RemSteps: make([]int, 0, len(w.outstanding)),
+		}
+		for _, o := range w.outstanding {
+			v.Ratios = append(v.Ratios, o.MaskRatio)
+			v.RemSteps = append(v.RemSteps, o.remSteps)
+		}
+		views[i] = v
+		ids[i] = w.id
+	}
+	wid := r.cfg.Core.Place(views, ids, Item{
+		ID: uint64(req.ID), MaskRatio: req.MaskRatio, Steps: r.cfg.CostSteps,
+	})
+	w := r.workers[wid]
+
+	steps := r.cfg.Exec.TotalSteps(req)
+	tr := &runnerReq{Request: req, remSteps: steps, totalSteps: steps}
+	w.outstanding = append(w.outstanding, tr)
+	now := r.cfg.Clock.Now()
+
+	ready := now + perfmodel.SchedulerDecisionOverhead
+	switch r.cfg.Core.Discipline() {
+	case DisaggregatedCB:
+		// Preprocessing runs on a separate CPU process, off the GPU path.
+		ready += perfmodel.PreprocessLatency
+	case Static, StrawmanCB:
+		// Preprocessing happens on the worker itself at admission time;
+		// the request is queueable immediately.
+	}
+	if stageDone := r.cfg.Exec.StageReadyAt(w.id, req, now); stageDone > ready {
+		ready = stageDone
+	}
+	r.cfg.Clock.At(ready, func() {
+		tr.ready = r.cfg.Clock.Now()
+		w.queue = append(w.queue, tr)
+		r.observeQueue(w)
+		w.kick()
+	})
+}
+
+func (r *Runner) observeQueue(w *runnerWorker) {
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.QueueDepth(w.id, len(w.queue))
+	}
+}
+
+func (r *Runner) observeBatch(n int) {
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.BatchStep(n)
+	}
+}
+
+// kick starts the worker if it is idle and has ready requests.
+func (w *runnerWorker) kick() {
+	if w.busy || len(w.queue) == 0 {
+		return
+	}
+	w.busy = true
+	if w.r.cfg.Core.Discipline() == Static {
+		w.runStaticBatch()
+	} else {
+		w.runContinuousStep()
+	}
+}
+
+// queueItems snapshots the ready queue for an admission decision.
+func (w *runnerWorker) queueItems() []Item {
+	items := make([]Item, len(w.queue))
+	for i, q := range w.queue {
+		items[i] = Item{ID: uint64(q.ID), MaskRatio: q.MaskRatio, Steps: q.remSteps}
+	}
+	return items
+}
+
+// runStaticBatch serves one full batch to completion: serial preprocessing,
+// aligned denoising steps, serial postprocessing (Fig 10 baseline
+// behavior).
+func (w *runnerWorker) runStaticBatch() {
+	r := w.r
+	n := r.cfg.Core.Admit(w.id, 0, w.queueItems())
+	batch := w.queue[:n]
+	w.queue = w.queue[n:]
+	r.observeQueue(w)
+	w.running = batch
+
+	clock := r.cfg.Clock
+	now := clock.Now()
+	pre := float64(n) * perfmodel.PreprocessLatency
+	for _, q := range batch {
+		q.admit = now + pre
+		q.admitted = true
+	}
+	steps := batch[0].remSteps
+	for _, q := range batch {
+		if q.remSteps > steps {
+			steps = q.remSteps
+		}
+	}
+	infer := r.cfg.Exec.RunSteps(w.id, stepViews(batch), steps)
+	post := float64(n) * perfmodel.PostprocessLatency
+	total := pre + infer + post
+	w.busyTime += total
+	r.batchSizeSum += n * steps
+	r.batchSteps += steps
+	for i := 0; i < steps; i++ {
+		r.observeBatch(n)
+	}
+	clock.After(total, func() {
+		end := clock.Now()
+		for _, q := range batch {
+			q.remSteps = 0
+			q.finish = end - post
+			q.complete = end
+			w.finishReq(q)
+		}
+		w.running = nil
+		w.busy = false
+		w.kick()
+	})
+}
+
+// runContinuousStep executes one denoising step of continuous batching:
+// retire finished requests, admit ready ones, run one batched step.
+func (w *runnerWorker) runContinuousStep() {
+	r := w.r
+	clock := r.cfg.Clock
+	disc := r.cfg.Core.Discipline()
+	now := clock.Now()
+	overhead := 0.0
+
+	// Retire completed requests.
+	var still []*runnerReq
+	for _, q := range w.running {
+		if q.remSteps > 0 {
+			still = append(still, q)
+			continue
+		}
+		q.finish = now
+		switch disc {
+		case StrawmanCB:
+			// Postprocessing blocks the GPU stream and interrupts every
+			// other in-flight request (Fig 10-Top).
+			overhead += perfmodel.PostprocessLatency
+			q.complete = now + overhead
+			for _, other := range w.running {
+				if other != q && other.remSteps > 0 {
+					other.interruptions++
+				}
+			}
+		case DisaggregatedCB:
+			// The GPU only serializes the latent and hands it to the
+			// postprocess worker; postprocessing overlaps (Fig 10-Bottom).
+			overhead += perfmodel.SerializeOverhead + perfmodel.IPCOverhead
+			q.complete = now + overhead + perfmodel.PostprocessLatency
+		}
+		// The user receives the image at q.complete; keep the virtual
+		// clock (and thus the makespan) alive until then even when it is
+		// the last event.
+		clock.At(q.complete, func() {})
+		w.finishReq(q)
+	}
+	w.running = still
+
+	// Admit ready requests up to the batch limit.
+	nAdmit := r.cfg.Core.Admit(w.id, len(w.running), w.queueItems())
+	for i := 0; i < nAdmit; i++ {
+		q := w.queue[0]
+		w.queue = w.queue[1:]
+		if disc == StrawmanCB {
+			// Preprocessing on the GPU process interrupts the batch.
+			overhead += perfmodel.PreprocessLatency
+			for _, other := range w.running {
+				other.interruptions++
+			}
+		}
+		q.admit = now + overhead
+		q.admitted = true
+		w.running = append(w.running, q)
+	}
+	if nAdmit > 0 {
+		r.observeQueue(w)
+	}
+
+	if len(w.running) == 0 {
+		w.busy = false
+		return
+	}
+
+	dur := overhead + r.cfg.Exec.RunSteps(w.id, stepViews(w.running), 1) +
+		perfmodel.BatchOrganizeOverhead
+	w.busyTime += dur
+	r.batchSizeSum += len(w.running)
+	r.batchSteps++
+	r.observeBatch(len(w.running))
+	clock.After(dur, func() {
+		for _, q := range w.running {
+			q.remSteps--
+		}
+		w.runContinuousStep()
+	})
+}
+
+// finishReq records a completed request and releases it from the
+// load-balancer's outstanding view.
+func (w *runnerWorker) finishReq(q *runnerReq) {
+	if q.done {
+		return
+	}
+	q.done = true
+	for i, o := range w.outstanding {
+		if o == q {
+			w.outstanding = append(w.outstanding[:i], w.outstanding[i+1:]...)
+			break
+		}
+	}
+	w.r.cfg.Exec.Retire(w.id, q.Request)
+	w.r.stats = append(w.r.stats, RequestStat{
+		ID: q.ID, Template: q.Template, MaskRatio: q.MaskRatio,
+		Arrival: q.Arrival, Admit: q.admit, Finish: q.finish,
+		Complete: q.complete, Interruptions: q.interruptions,
+	})
+	w.r.pending--
+}
+
+func stepViews(batch []*runnerReq) []StepView {
+	views := make([]StepView, len(batch))
+	for i, q := range batch {
+		views[i] = StepView{
+			Req:       q.Request,
+			StepIndex: q.totalSteps - q.remSteps,
+			RemSteps:  q.remSteps,
+		}
+	}
+	return views
+}

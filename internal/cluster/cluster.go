@@ -4,19 +4,20 @@
 // strategy comparisons (Fig 16-Left, Fig 4-Middle), and load-balancing
 // policy comparisons (Fig 16-Right, Fig 4-Right).
 //
-// A simulation wires together a request scheduler (internal/sched
-// policies, including the paper's Algorithm 2), a set of worker replicas
-// with a batching discipline (static, strawman continuous, or FlashPS's
-// disaggregated continuous batching, §4.3), a per-system inference engine
-// cost model (internal/perfmodel), the bubble-free pipeline DP
-// (internal/pipeline, Algorithm 1), and an optional cold-cache tier
-// (internal/cache, §4.2).
+// The scheduling and batching state machine itself lives in
+// internal/batching — the same Core/Runner code the live serving plane
+// dispatches through — and this package is the discrete-event harness
+// around it: it supplies the virtual clock (internal/simclock), a
+// per-system inference engine cost model as the batching.Executor
+// (internal/perfmodel + the bubble-free pipeline DP of internal/pipeline,
+// Algorithm 1), and an optional cold-cache tier (internal/cache, §4.2).
 package cluster
 
 import (
 	"fmt"
 	"math"
 
+	"flashps/internal/batching"
 	"flashps/internal/cache"
 	"flashps/internal/metrics"
 	"flashps/internal/obs"
@@ -62,7 +63,10 @@ func (s System) String() string {
 	}
 }
 
-// Batching identifies a worker's batching discipline (§4.3).
+// Batching identifies a worker's batching discipline (§4.3). It is the
+// simulator-config spelling of batching.Discipline, kept as its own type so
+// the zero value stays BatchingStatic (the baselines' policy) in existing
+// experiment configs.
 type Batching int
 
 const (
@@ -91,11 +95,23 @@ func (b Batching) String() string {
 	}
 }
 
+// Discipline maps the simulator spelling onto the shared core's enum.
+func (b Batching) Discipline() batching.Discipline {
+	switch b {
+	case BatchingStrawman:
+		return batching.StrawmanCB
+	case BatchingDisaggregated:
+		return batching.DisaggregatedCB
+	default:
+		return batching.Static
+	}
+}
+
 // Config parameterizes one simulation run.
 type Config struct {
 	System   System
 	Batching Batching
-	// Policy is the request-routing policy; see internal/sched. The
+	// Policy is the request-routing policy; see internal/batching. The
 	// zero value routes round-robin.
 	Policy Policy
 	// Workers is the number of worker replicas (one GPU each).
@@ -116,6 +132,9 @@ type Config struct {
 	// under the flashps_sim_ prefix, mirroring the live serving plane's
 	// metric shapes.
 	Registry *obs.Registry
+	// Decisions, when non-nil, receives the run's placement and admission
+	// decision sequence from the shared core (differential replay).
+	Decisions *batching.DecisionLog
 }
 
 // Validate checks the configuration.
@@ -148,40 +167,9 @@ func (c Config) maxBatch() int {
 	return b
 }
 
-// simReq is a request's simulation state.
-type simReq struct {
-	workload.Request
-	remSteps      int
-	totalSteps    int
-	ready         float64 // preprocessing + cache staging complete
-	admit         float64 // joined a running batch
-	finish        float64 // denoising complete
-	complete      float64 // postprocessing complete (user receives image)
-	interruptions int
-	admitted      bool
-	done          bool
-}
-
-// RequestStat is the per-request outcome of a run.
-type RequestStat struct {
-	ID            int
-	Template      uint64
-	MaskRatio     float64
-	Arrival       float64
-	Admit         float64
-	Finish        float64
-	Complete      float64
-	Interruptions int
-}
-
-// Latency returns the end-to-end request latency.
-func (s RequestStat) Latency() float64 { return s.Complete - s.Arrival }
-
-// QueueTime returns the time from arrival to joining a running batch.
-func (s RequestStat) QueueTime() float64 { return s.Admit - s.Arrival }
-
-// InferenceTime returns the time spent in denoising.
-func (s RequestStat) InferenceTime() float64 { return s.Finish - s.Admit }
+// RequestStat is the per-request outcome of a run (shared with every other
+// driver of the batching core).
+type RequestStat = batching.RequestStat
 
 // Result aggregates a simulation run.
 type Result struct {
@@ -258,34 +246,6 @@ func (r *Result) Throughput() float64 {
 	return metrics.Throughput(len(r.Stats), r.Makespan)
 }
 
-// worker is one replica's simulation state machine.
-type worker struct {
-	id          int
-	cfg         *Config
-	clock       *simclock.Clock
-	queue       []*simReq // ready, waiting to join a batch
-	running     []*simReq
-	busy        bool
-	tier        *cache.Tier
-	outstanding map[*simReq]struct{} // assigned and not complete (LB view)
-	sim         *simulation
-	busyTime    float64 // accumulated GPU-occupied seconds
-}
-
-type simulation struct {
-	cfg     Config
-	clock   simclock.Clock
-	workers []*worker
-	sched   *scheduler
-	stats   []RequestStat
-	pending int
-	rng     *tensor.RNG
-	obs     *simObs
-
-	batchSizeSum int
-	batchSteps   int
-}
-
 // Run simulates serving the given trace and returns per-request stats.
 func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -294,88 +254,71 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	if len(reqs) == 0 {
 		return &Result{}, nil
 	}
-	sim := &simulation{cfg: cfg, rng: tensor.NewRNG(cfg.Seed ^ 0xC1A57E), obs: newSimObs(cfg.Registry)}
-	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{id: i, cfg: &cfg, clock: &sim.clock, sim: sim,
-			outstanding: make(map[*simReq]struct{})}
-		if cfg.ColdCacheTemplates > 0 && cfg.System == SystemFlashPS {
-			tplBytes := int64(cfg.Profile.TemplateCacheBytes())
+	var clock simclock.Clock
+	exec := &simExecutor{cfg: &cfg, clock: &clock}
+	if cfg.ColdCacheTemplates > 0 && cfg.System == SystemFlashPS {
+		tplBytes := int64(cfg.Profile.TemplateCacheBytes())
+		for i := 0; i < cfg.Workers; i++ {
 			tier, err := cache.NewTier(int64(cfg.ColdCacheTemplates)*tplBytes, tplBytes, cfg.Profile.DiskLoadLatency())
 			if err != nil {
 				return nil, err
 			}
-			w.tier = tier
+			exec.tiers = append(exec.tiers, tier)
 		}
-		sim.workers = append(sim.workers, w)
 	}
 	est, err := perfmodel.Calibrate(cfg.Profile, tensor.NewRNG(cfg.Seed^0xE57), 0.02)
 	if err != nil {
 		return nil, err
 	}
-	sim.sched = newScheduler(cfg.Policy, est, cfg.maxBatch(), cfg.Seed)
+	simObs := newSimObs(cfg.Registry)
+	runner := batching.NewRunner(batching.RunnerConfig{
+		Workers:   cfg.Workers,
+		CostSteps: cfg.Profile.Steps,
+		Core: batching.NewCore(batching.CoreConfig{
+			Policy:     cfg.Policy,
+			Discipline: cfg.Batching.Discipline(),
+			Estimator:  est,
+			MaxBatch:   cfg.maxBatch(),
+			Seed:       cfg.Seed,
+			Log:        cfg.Decisions,
+		}),
+		Clock: &clock,
+		Exec:  exec,
+		Obs:   simObs.observer(),
+	})
 
-	sim.pending = len(reqs)
 	for _, r := range reqs {
 		r := r
-		sim.clock.At(r.Arrival, func() { sim.arrive(r) })
+		clock.At(r.Arrival, func() { runner.Submit(r) })
 	}
 	// Generous runaway guard: steps×requests×constant events.
 	maxEvents := len(reqs)*(cfg.Profile.Steps+16)*8 + 4096
-	sim.clock.Drain(maxEvents)
-	if sim.pending > 0 {
-		return nil, fmt.Errorf("cluster: simulation stalled with %d requests pending", sim.pending)
+	clock.Drain(maxEvents)
+	if runner.Pending() > 0 {
+		return nil, fmt.Errorf("cluster: simulation stalled with %d requests pending", runner.Pending())
 	}
 	res := &Result{
-		Stats: sim.stats, Makespan: sim.clock.Now(),
-		BatchSizeSum: sim.batchSizeSum, BatchSteps: sim.batchSteps,
+		Stats: runner.Stats(), Makespan: clock.Now(),
+		WorkerBusy: runner.WorkerBusy(),
 	}
-	for _, w := range sim.workers {
-		res.WorkerBusy = append(res.WorkerBusy, w.busyTime)
-	}
-	sim.obs.finish(sim, res)
+	res.BatchSizeSum, res.BatchSteps = runner.BatchOccupancy()
+	simObs.finish(exec.tiers, res)
 	return res, nil
 }
 
-// arrive routes a new request to a worker (paying the scheduler decision
-// overhead) and starts its preprocessing / cache staging.
-func (s *simulation) arrive(r workload.Request) {
-	w := s.sched.pick(s.workers, r, &s.cfg)
-	req := &simReq{Request: r, remSteps: s.effectiveSteps(), totalSteps: s.effectiveSteps()}
-	w.outstanding[req] = struct{}{}
-	now := s.clock.Now()
-
-	ready := now + perfmodel.SchedulerDecisionOverhead
-	switch s.cfg.Batching {
-	case BatchingDisaggregated:
-		// Preprocessing runs on a separate CPU process, off the GPU path.
-		ready += perfmodel.PreprocessLatency
-	case BatchingStatic, BatchingStrawman:
-		// Preprocessing happens on the worker itself at admission time;
-		// the request is queueable immediately.
-	}
-	if w.tier != nil {
-		stageDone := w.tier.ReadyAt(req.Template, now)
-		if stageDone > now {
-			tpl := req.Template
-			s.clock.At(stageDone, func() { w.tier.Complete(tpl, stageDone) })
-		}
-		if stageDone > ready {
-			ready = stageDone
-		}
-	}
-	s.clock.At(ready, func() {
-		req.ready = s.clock.Now()
-		w.queue = append(w.queue, req)
-		s.obs.setQueue(w.id, len(w.queue))
-		w.kick()
-	})
+// simExecutor is the cost-model batching.Executor: work takes the time the
+// per-system engine models predict, and nothing real executes.
+type simExecutor struct {
+	cfg   *Config
+	clock *simclock.Clock
+	tiers []*cache.Tier // per worker; empty when all caches are warm
 }
 
-// effectiveSteps returns how many denoising steps a request computes under
+// TotalSteps returns how many denoising steps a request computes under
 // the configured system (TeaCache skips steps).
-func (s *simulation) effectiveSteps() int {
-	steps := s.cfg.Profile.Steps
-	if s.cfg.System == SystemTeaCache {
+func (e *simExecutor) TotalSteps(workload.Request) int {
+	steps := e.cfg.Profile.Steps
+	if e.cfg.System == SystemTeaCache {
 		steps = int(math.Ceil(float64(steps) * perfmodel.TeaCacheStepFraction))
 	}
 	if steps < 1 {
@@ -384,167 +327,41 @@ func (s *simulation) effectiveSteps() int {
 	return steps
 }
 
-// kick starts the worker if it is idle and has ready requests.
-func (w *worker) kick() {
-	if w.busy || len(w.queue) == 0 {
-		return
+// StageReadyAt consults the worker's cold-cache tier (§4.2), scheduling the
+// staging-completion event when the template must be fetched from disk.
+func (e *simExecutor) StageReadyAt(worker int, req workload.Request, now float64) float64 {
+	if len(e.tiers) == 0 {
+		return now
 	}
-	w.busy = true
-	switch w.cfg.Batching {
-	case BatchingStatic:
-		w.runStaticBatch()
-	default:
-		w.runContinuousStep()
+	tier := e.tiers[worker]
+	stageDone := tier.ReadyAt(req.Template, now)
+	if stageDone > now {
+		tpl := req.Template
+		e.clock.At(stageDone, func() { tier.Complete(tpl, stageDone) })
 	}
+	return stageDone
 }
 
-// runStaticBatch serves one full batch to completion: serial preprocessing,
-// effSteps aligned denoising steps, serial postprocessing (Fig 10 baseline
-// behavior).
-func (w *worker) runStaticBatch() {
-	n := w.cfg.maxBatch()
-	if n > len(w.queue) {
-		n = len(w.queue)
-	}
-	batch := w.queue[:n]
-	w.queue = w.queue[n:]
-	w.sim.obs.setQueue(w.id, len(w.queue))
-	w.running = batch
-
-	now := w.clock.Now()
-	pre := float64(n) * perfmodel.PreprocessLatency
-	for _, r := range batch {
-		r.admit = now + pre
-		r.admitted = true
-	}
-	steps := batch[0].remSteps
-	for _, r := range batch {
-		if r.remSteps > steps {
-			steps = r.remSteps
+// RunSteps models aligned denoising steps of the batch as a single
+// duration: per-step engine latency times the aligned step count.
+func (e *simExecutor) RunSteps(_ int, batch []batching.StepView, aligned int) float64 {
+	views := make([]ReqView, len(batch))
+	for i, s := range batch {
+		views[i] = ReqView{
+			Template:  s.Req.Template,
+			MaskRatio: s.Req.MaskRatio,
+			StepIndex: s.StepIndex,
 		}
 	}
-	infer := float64(steps) * w.stepLatency(batch)
-	post := float64(n) * perfmodel.PostprocessLatency
-	total := pre + infer + post
-	w.busyTime += total
-	w.sim.batchSizeSum += n * steps
-	w.sim.batchSteps += steps
-	for i := 0; i < steps; i++ {
-		w.sim.obs.observeBatch(n)
+	lat := StepLatency(e.cfg.System, e.cfg.Profile, views)
+	if aligned == 1 {
+		return lat
 	}
-	w.clock.After(total, func() {
-		end := w.clock.Now()
-		for _, r := range batch {
-			r.remSteps = 0
-			r.finish = end - post
-			r.complete = end
-			w.finishReq(r)
-		}
-		w.running = nil
-		w.busy = false
-		w.kick()
-	})
+	return float64(aligned) * lat
 }
 
-// runContinuousStep executes one denoising step of continuous batching:
-// retire finished requests, admit ready ones, run one batched step.
-func (w *worker) runContinuousStep() {
-	now := w.clock.Now()
-	overhead := 0.0
-
-	// Retire completed requests.
-	var still []*simReq
-	for _, r := range w.running {
-		if r.remSteps > 0 {
-			still = append(still, r)
-			continue
-		}
-		r.finish = now
-		switch w.cfg.Batching {
-		case BatchingStrawman:
-			// Postprocessing blocks the GPU stream and interrupts every
-			// other in-flight request (Fig 10-Top).
-			overhead += perfmodel.PostprocessLatency
-			r.complete = now + overhead
-			for _, other := range w.running {
-				if other != r && other.remSteps > 0 {
-					other.interruptions++
-				}
-			}
-		case BatchingDisaggregated:
-			// The GPU only serializes the latent and hands it to the
-			// postprocess worker; postprocessing overlaps (Fig 10-Bottom).
-			overhead += perfmodel.SerializeOverhead + perfmodel.IPCOverhead
-			r.complete = now + overhead + perfmodel.PostprocessLatency
-		}
-		// The user receives the image at r.complete; keep the virtual
-		// clock (and thus the makespan) alive until then even when it is
-		// the last event.
-		w.clock.At(r.complete, func() {})
-		w.finishReq(r)
-	}
-	w.running = still
-
-	// Admit ready requests up to the batch limit.
-	maxB := w.cfg.maxBatch()
-	admitted := false
-	for len(w.running) < maxB && len(w.queue) > 0 {
-		r := w.queue[0]
-		w.queue = w.queue[1:]
-		admitted = true
-		if w.cfg.Batching == BatchingStrawman {
-			// Preprocessing on the GPU process interrupts the batch.
-			overhead += perfmodel.PreprocessLatency
-			for _, other := range w.running {
-				other.interruptions++
-			}
-		}
-		r.admit = now + overhead
-		r.admitted = true
-		w.running = append(w.running, r)
-	}
-	if admitted {
-		w.sim.obs.setQueue(w.id, len(w.queue))
-	}
-
-	if len(w.running) == 0 {
-		w.busy = false
-		return
-	}
-
-	dur := overhead + w.stepLatency(w.running) + perfmodel.BatchOrganizeOverhead
-	w.busyTime += dur
-	w.sim.batchSizeSum += len(w.running)
-	w.sim.batchSteps++
-	w.sim.obs.observeBatch(len(w.running))
-	w.clock.After(dur, func() {
-		for _, r := range w.running {
-			r.remSteps--
-		}
-		w.runContinuousStep()
-	})
-}
-
-// finishReq records a completed request.
-func (w *worker) finishReq(r *simReq) {
-	if r.done {
-		return
-	}
-	r.done = true
-	delete(w.outstanding, r)
-	w.sim.stats = append(w.sim.stats, RequestStat{
-		ID: r.ID, Template: r.Template, MaskRatio: r.MaskRatio,
-		Arrival: r.Arrival, Admit: r.admit, Finish: r.finish,
-		Complete: r.complete, Interruptions: r.interruptions,
-	})
-	w.sim.pending--
-}
-
-// stepLatency returns the duration of one denoising step for the batch
-// under the configured system's engine.
-func (w *worker) stepLatency(batch []*simReq) float64 {
-	return StepLatency(w.cfg.System, w.cfg.Profile, batchViews(batch))
-}
+// Retire is a no-op: the cost model holds no per-request state.
+func (e *simExecutor) Retire(int, workload.Request) {}
 
 // ReqView is the minimal request description the engine cost models need.
 type ReqView struct {
@@ -553,21 +370,10 @@ type ReqView struct {
 	StepIndex int // current denoising step (for cache-load dedup)
 }
 
-func batchViews(batch []*simReq) []ReqView {
-	views := make([]ReqView, len(batch))
-	for i, r := range batch {
-		views[i] = ReqView{
-			Template:  r.Template,
-			MaskRatio: r.MaskRatio,
-			StepIndex: r.totalSteps - r.remSteps,
-		}
-	}
-	return views
-}
-
 // StepLatency computes one denoising step's duration for a batch under the
-// given system's engine model. Exported so benchmarks and the scheduler can
-// reuse the exact engine cost model.
+// given system's engine model. Exported so benchmarks, the scheduler, and
+// the differential-replay real driver can reuse the exact engine cost
+// model.
 func StepLatency(sys System, p perfmodel.ModelProfile, batch []ReqView) float64 {
 	if len(batch) == 0 {
 		return 0

@@ -3,6 +3,8 @@ package cluster
 import (
 	"strconv"
 
+	"flashps/internal/batching"
+	"flashps/internal/cache"
 	"flashps/internal/obs"
 )
 
@@ -47,6 +49,21 @@ func newSimObs(reg *obs.Registry) *simObs {
 	}
 }
 
+// observer adapts simObs to the runner's batching.Observer seam; a nil
+// simObs (no Registry configured) yields a nil Observer, which is free.
+func (o *simObs) observer() batching.Observer {
+	if o == nil {
+		return nil
+	}
+	return o
+}
+
+// QueueDepth implements batching.Observer.
+func (o *simObs) QueueDepth(worker, depth int) { o.setQueue(worker, depth) }
+
+// BatchStep implements batching.Observer.
+func (o *simObs) BatchStep(size int) { o.observeBatch(size) }
+
 // setQueue publishes a worker's current ready-queue depth, tracking the
 // peak as it goes.
 func (o *simObs) setQueue(worker, depth int) {
@@ -70,18 +87,18 @@ func (o *simObs) observeBatch(n int) {
 
 // finish publishes end-of-run aggregates: cache counters per worker and
 // the run's mean batch size and throughput.
-func (o *simObs) finish(sim *simulation, res *Result) {
+func (o *simObs) finish(tiers []*cache.Tier, res *Result) {
 	if o == nil {
 		return
 	}
-	for _, w := range sim.workers {
-		if w.tier == nil {
+	for id, tier := range tiers {
+		if tier == nil {
 			continue
 		}
-		l := strconv.Itoa(w.id)
-		o.cacheHits.With(l).Set(float64(w.tier.Hits))
-		o.cacheMiss.With(l).Set(float64(w.tier.Misses))
-		o.cacheEvict.With(l).Set(float64(w.tier.Evictions))
+		l := strconv.Itoa(id)
+		o.cacheHits.With(l).Set(float64(tier.Hits))
+		o.cacheMiss.With(l).Set(float64(tier.Misses))
+		o.cacheEvict.With(l).Set(float64(tier.Evictions))
 	}
 	o.meanBatch.Set(res.MeanBatchSize())
 	o.throughput.Set(res.Throughput())

@@ -1,46 +1,15 @@
 package cluster
 
-import (
-	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
-	"flashps/internal/workload"
-)
+import "flashps/internal/batching"
 
-// Policy re-exports the routing policies of internal/sched for simulation
-// configs.
-type Policy = sched.Policy
+// Policy re-exports the routing policies of internal/batching for
+// simulation configs.
+type Policy = batching.Policy
 
 // Routing policy aliases.
 const (
-	PolicyRoundRobin    = sched.RoundRobin
-	PolicyLeastRequests = sched.LeastRequests
-	PolicyLeastTokens   = sched.LeastTokens
-	PolicyMaskAware     = sched.MaskAware
+	PolicyRoundRobin    = batching.RoundRobin
+	PolicyLeastRequests = batching.LeastRequests
+	PolicyLeastTokens   = batching.LeastTokens
+	PolicyMaskAware     = batching.MaskAware
 )
-
-// scheduler adapts internal/sched to the simulator's worker state.
-type scheduler struct {
-	inner *sched.Scheduler
-}
-
-func newScheduler(policy Policy, est *perfmodel.Estimator, maxBatch int, seed uint64) *scheduler {
-	return &scheduler{inner: sched.New(policy, est, maxBatch, seed)}
-}
-
-// pick snapshots worker states and delegates to the policy.
-func (s *scheduler) pick(workers []*worker, r workload.Request, cfg *Config) *worker {
-	views := make([]sched.WorkerView, len(workers))
-	for i, w := range workers {
-		v := sched.WorkerView{
-			Ratios:   make([]float64, 0, len(w.outstanding)),
-			RemSteps: make([]int, 0, len(w.outstanding)),
-		}
-		for req := range w.outstanding {
-			v.Ratios = append(v.Ratios, req.MaskRatio)
-			v.RemSteps = append(v.RemSteps, req.remSteps)
-		}
-		views[i] = v
-	}
-	idx := s.inner.Pick(views, sched.Item{MaskRatio: r.MaskRatio, Steps: cfg.Profile.Steps})
-	return workers[idx]
-}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the experiment golden files")
+
+// TestFig16Golden pins the serving experiments' full table output against
+// checked-in golden files. The scheduling/batching refactor that moved the
+// policy code under internal/batching must be behavior-preserving: a
+// single changed digit here means the shared core no longer makes the
+// decisions the original simulator did. Regenerate (deliberately!) with
+// `go test ./internal/experiments/ -run TestFig16Golden -update`.
+func TestFig16Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig16 workloads in -short mode")
+	}
+	for _, name := range []string{"fig16left", "fig16right"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tables, err := Run(name, Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("run %s: %v", name, err)
+			}
+			var b strings.Builder
+			for _, tb := range tables {
+				b.WriteString(tb.Format())
+				b.WriteString("\n")
+			}
+			got := b.String()
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s output drifted from golden file %s\n--- got ---\n%s--- want ---\n%s",
+					name, path, got, want)
+			}
+		})
+	}
+}

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 
+	"flashps/internal/batching"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/serve"
 	"flashps/internal/workload"
 )
@@ -28,7 +28,7 @@ func liveServing(opts Options) ([]*Table, error) {
 		},
 		Profile: perfmodel.SD21Paper,
 		Workers: 2, MaxBatch: 4,
-		Policy: sched.MaskAware,
+		Policy: batching.MaskAware,
 		Seed:   opts.Seed ^ 0x11FE,
 	})
 	if err != nil {

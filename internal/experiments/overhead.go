@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 
+	"flashps/internal/batching"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/serve"
 )
 
@@ -26,7 +26,7 @@ func overhead(opts Options) ([]*Table, error) {
 			NumBlocks: 3, FFNMult: 4, Steps: 6, LatentChannels: 4,
 		},
 		Profile: perfmodel.SD21Paper,
-		Workers: 2, MaxBatch: 4, Policy: sched.MaskAware,
+		Workers: 2, MaxBatch: 4, Policy: batching.MaskAware,
 		Seed: opts.Seed ^ 0x0E4,
 	})
 	if err != nil {

@@ -1,0 +1,310 @@
+// Package replay is the differential-replay harness proving that the
+// simulator and the real serving engine share one scheduling/batching
+// brain: it runs a recorded workload trace through the batching core twice
+// — once under the discrete-event cost-model harness (internal/cluster)
+// and once under a real-engine driver that steps actual
+// diffusion.EditSession replicas on the same virtual clock — and exposes
+// both decision sequences for comparison. Because both drivers execute the
+// identical batching.Core/Runner code with identical modeled durations,
+// the placement and admission decision sequences must match byte for byte;
+// any divergence means policy code has forked between sim and production.
+//
+// The real driver is faults-stubbed: it carries the serving plane's
+// fault-injection seam (step-stage delays perturb virtual time) but the
+// differential test runs it with no injector armed.
+package replay
+
+import (
+	"fmt"
+
+	"flashps/internal/batching"
+	"flashps/internal/cluster"
+	"flashps/internal/diffusion"
+	"flashps/internal/faults"
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	mdl "flashps/internal/model"
+	"flashps/internal/perfmodel"
+	"flashps/internal/simclock"
+	"flashps/internal/tensor"
+	"flashps/internal/workload"
+)
+
+// Config parameterizes one sim-vs-real replay pair.
+type Config struct {
+	// Model is the numeric engine the real driver steps.
+	Model mdl.Config
+	// Profile is the cost-model profile both drivers use; its Steps field
+	// is forced to Model.Steps so the modeled step counts match the real
+	// sessions'.
+	Profile perfmodel.ModelProfile
+	// Workers is the number of replicas.
+	Workers int
+	// MaxBatch overrides the profile's engine batch limit when > 0.
+	MaxBatch int
+	// Policy is the load-balancing policy.
+	Policy batching.Policy
+	// Batching is the batching discipline (simulator spelling).
+	Batching cluster.Batching
+	// Seed drives engine weights, calibration, and policy tie-breaking.
+	Seed uint64
+	// Faults optionally injects step-stage delays into the real driver's
+	// virtual time; nil (the differential test) injects nothing.
+	Faults *faults.Injector
+}
+
+// profile returns the cost profile with its step count aligned to the real
+// engine's.
+func (c Config) profile() perfmodel.ModelProfile {
+	p := c.Profile
+	p.Steps = c.Model.Steps
+	return p
+}
+
+func (c Config) maxBatch() int {
+	b := c.MaxBatch
+	if b <= 0 {
+		b = c.Profile.MaxBatch
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Sim replays the trace through the discrete-event cost-model harness and
+// returns its result plus the decision sequence the shared core made.
+func Sim(cfg Config, reqs []workload.Request) (*cluster.Result, []batching.Decision, error) {
+	log := &batching.DecisionLog{}
+	res, err := cluster.Run(cluster.Config{
+		System:    cluster.SystemFlashPS,
+		Batching:  cfg.Batching,
+		Policy:    cfg.Policy,
+		Workers:   cfg.Workers,
+		Profile:   cfg.profile(),
+		MaxBatch:  cfg.MaxBatch,
+		Seed:      cfg.Seed,
+		Decisions: log,
+	}, reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, log.Snapshot(), nil
+}
+
+// RealResult aggregates the real driver's run.
+type RealResult struct {
+	// Stats are the per-request outcomes in the virtual clock's seconds,
+	// comparable one-to-one with the simulator's.
+	Stats []batching.RequestStat
+	// Makespan is the virtual end time.
+	Makespan float64
+	// StepsComputed counts real denoising steps executed across sessions.
+	StepsComputed int
+	// Decoded counts finished sessions whose latents were decoded into
+	// images (every request, on success).
+	Decoded int
+}
+
+// Real replays the trace through the real-engine driver: the identical
+// batching Core/Runner code placed on a virtual clock, with an Executor
+// that steps real diffusion.EditSession replicas and reports the cost
+// model's durations so virtual time advances exactly as in the simulator.
+func Real(cfg Config, reqs []workload.Request) (*RealResult, []batching.Decision, error) {
+	if cfg.Workers <= 0 {
+		return nil, nil, fmt.Errorf("replay: invalid worker count %d", cfg.Workers)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(reqs) == 0 {
+		return &RealResult{}, nil, nil
+	}
+	profile := cfg.profile()
+
+	var clock simclock.Clock
+	exec := &realExecutor{cfg: &cfg, profile: profile, faults: cfg.Faults,
+		sessions: make(map[int]*diffusion.EditSession)}
+	for i := 0; i < cfg.Workers; i++ {
+		eng, err := diffusion.NewEngine(cfg.Model, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		exec.engines = append(exec.engines, eng)
+	}
+	if err := exec.prepareTemplates(reqs); err != nil {
+		return nil, nil, err
+	}
+
+	est, err := perfmodel.Calibrate(profile, tensor.NewRNG(cfg.Seed^0xE57), 0.02)
+	if err != nil {
+		return nil, nil, err
+	}
+	log := &batching.DecisionLog{}
+	runner := batching.NewRunner(batching.RunnerConfig{
+		Workers:   cfg.Workers,
+		CostSteps: profile.Steps,
+		Core: batching.NewCore(batching.CoreConfig{
+			Policy:     cfg.Policy,
+			Discipline: cfg.Batching.Discipline(),
+			Estimator:  est,
+			MaxBatch:   cfg.maxBatch(),
+			Seed:       cfg.Seed,
+			Log:        log,
+		}),
+		Clock: &clock,
+		Exec:  exec,
+	})
+	for _, r := range reqs {
+		r := r
+		clock.At(r.Arrival, func() { runner.Submit(r) })
+	}
+	maxEvents := len(reqs)*(profile.Steps+16)*8 + 4096
+	clock.Drain(maxEvents)
+	if exec.err != nil {
+		return nil, nil, exec.err
+	}
+	if runner.Pending() > 0 {
+		return nil, nil, fmt.Errorf("replay: real driver stalled with %d requests pending", runner.Pending())
+	}
+	return &RealResult{
+		Stats:         runner.Stats(),
+		Makespan:      clock.Now(),
+		StepsComputed: exec.steps,
+		Decoded:       exec.decoded,
+	}, log.Snapshot(), nil
+}
+
+// Diff compares the two decision sequences, returning nil when identical.
+func Diff(sim, real []batching.Decision) error {
+	return batching.DiffDecisions(sim, real)
+}
+
+// realExecutor is the real-engine batching.Executor: scheduled work steps
+// actual edit sessions while virtual time advances by the cost model's
+// durations (plus any injected step-stage delay).
+type realExecutor struct {
+	cfg       *Config
+	profile   perfmodel.ModelProfile
+	engines   []*diffusion.Engine
+	templates map[uint64]*diffusion.TemplateCache
+	sessions  map[int]*diffusion.EditSession // by request ID
+	faults    *faults.Injector
+
+	steps   int
+	decoded int
+	err     error
+}
+
+// prepareTemplates runs the cache-population pass once per distinct
+// template in the trace. All replicas share weights (same seed), so one
+// prepared cache is valid on every engine — exactly the live plane's
+// template store contract.
+func (e *realExecutor) prepareTemplates(reqs []workload.Request) error {
+	e.templates = make(map[uint64]*diffusion.TemplateCache)
+	eng := e.engines[0]
+	cfg := e.cfg.Model
+	h, w := eng.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	for _, r := range reqs {
+		if _, ok := e.templates[r.Template]; ok {
+			continue
+		}
+		im := img.SynthTemplate(r.Template, h, w)
+		tc, _, err := eng.PrepareTemplate(r.Template, im, fmt.Sprintf("template %d", r.Template), false)
+		if err != nil {
+			return err
+		}
+		e.templates[r.Template] = tc
+	}
+	return nil
+}
+
+// session returns (opening on first use) the request's edit session on the
+// given worker's engine.
+func (e *realExecutor) session(worker int, req workload.Request) (*diffusion.EditSession, error) {
+	if s, ok := e.sessions[req.ID]; ok {
+		return s, nil
+	}
+	cfg := e.cfg.Model
+	m := mask.WithRatio(tensor.NewRNG(uint64(req.ID)^0x3A5C), cfg.LatentH, cfg.LatentW, req.MaskRatio)
+	s, err := e.engines[worker].BeginEdit(diffusion.EditRequest{
+		Template: e.templates[req.Template],
+		Mask:     m,
+		Prompt:   fmt.Sprintf("edit %d", req.ID),
+		Seed:     uint64(req.ID),
+		Mode:     diffusion.EditCachedY,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.sessions[req.ID] = s
+	return s, nil
+}
+
+// TotalSteps: the real sessions compute every denoising step.
+func (e *realExecutor) TotalSteps(workload.Request) int { return e.cfg.Model.Steps }
+
+// StageReadyAt: template caches are warm in host memory.
+func (e *realExecutor) StageReadyAt(_ int, _ workload.Request, now float64) float64 { return now }
+
+// RunSteps steps every session in the batch aligned times for real, then
+// returns the cost model's duration for those steps (so virtual time in
+// the real driver advances exactly as in the simulator).
+func (e *realExecutor) RunSteps(worker int, batch []batching.StepView, aligned int) float64 {
+	views := make([]cluster.ReqView, len(batch))
+	for i, v := range batch {
+		views[i] = cluster.ReqView{
+			Template:  v.Req.Template,
+			MaskRatio: v.Req.MaskRatio,
+			StepIndex: v.StepIndex,
+		}
+		s, err := e.session(worker, v.Req)
+		if err != nil {
+			e.fail(err)
+			continue
+		}
+		for k := 0; k < aligned && !s.Done(); k++ {
+			if _, err := s.Step(); err != nil {
+				e.fail(err)
+				break
+			}
+			e.steps++
+		}
+	}
+	lat := cluster.StepLatency(cluster.SystemFlashPS, e.profile, views)
+	if aligned != 1 {
+		lat = float64(aligned) * lat
+	}
+	// The serving plane's fault seam, in virtual time. Nil injector
+	// (differential test): stubbed, zero delay.
+	if d := e.faults.Delay(faults.StepStage); d > 0 {
+		lat += d.Seconds()
+	}
+	return lat
+}
+
+// Retire verifies the session really finished, decodes its image, and
+// releases it.
+func (e *realExecutor) Retire(_ int, req workload.Request) {
+	s, ok := e.sessions[req.ID]
+	if !ok {
+		return
+	}
+	delete(e.sessions, req.ID)
+	if !s.Done() {
+		e.fail(fmt.Errorf("replay: request %d retired with %d steps remaining",
+			req.ID, s.RemainingSteps()))
+		return
+	}
+	if _, err := s.Result(); err != nil {
+		e.fail(err)
+		return
+	}
+	e.decoded++
+}
+
+func (e *realExecutor) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}

@@ -1,0 +1,133 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"flashps/internal/batching"
+	"flashps/internal/cluster"
+	"flashps/internal/model"
+	"flashps/internal/perfmodel"
+	"flashps/internal/workload"
+)
+
+// replayModel is a tiny but real diffusion config so the differential test
+// steps actual denoising math without dominating the suite's runtime.
+var replayModel = model.Config{
+	Name:           "replay-test",
+	LatentH:        6,
+	LatentW:        6,
+	Hidden:         32,
+	NumBlocks:      3,
+	FFNMult:        4,
+	Steps:          5,
+	LatentChannels: 4,
+}
+
+func replayTrace(t *testing.T, n int) []workload.Request {
+	t.Helper()
+	reqs, err := workload.Generate(workload.TraceConfig{
+		N:         n,
+		RPS:       6,
+		Dist:      workload.ProductionTrace,
+		Templates: 8,
+		ZipfS:     1.05,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("generate trace: %v", err)
+	}
+	return reqs
+}
+
+// TestDifferentialReplay is the tentpole acceptance test: a 200-request
+// trace replayed through the discrete-event simulator and through the
+// real-engine driver must produce the identical sequence of placement and
+// admission decisions under every batching discipline, because both
+// drivers run the same batching.Core/Runner code.
+func TestDifferentialReplay(t *testing.T) {
+	reqs := replayTrace(t, 200)
+	for _, disc := range []cluster.Batching{
+		cluster.BatchingStatic,
+		cluster.BatchingStrawman,
+		cluster.BatchingDisaggregated,
+	} {
+		disc := disc
+		t.Run(disc.String(), func(t *testing.T) {
+			cfg := Config{
+				Model:    replayModel,
+				Profile:  perfmodel.SD21Paper,
+				Workers:  3,
+				MaxBatch: 4,
+				Policy:   batching.MaskAware,
+				Batching: disc,
+				Seed:     11,
+			}
+			simRes, simDec, err := Sim(cfg, reqs)
+			if err != nil {
+				t.Fatalf("sim driver: %v", err)
+			}
+			realRes, realDec, err := Real(cfg, reqs)
+			if err != nil {
+				t.Fatalf("real driver: %v", err)
+			}
+			if err := Diff(simDec, realDec); err != nil {
+				t.Fatalf("decision sequences diverge: %v", err)
+			}
+			if len(simDec) == 0 {
+				t.Fatal("no decisions recorded")
+			}
+			if got := realRes.Decoded; got != len(reqs) {
+				t.Fatalf("real driver decoded %d images, want %d", got, len(reqs))
+			}
+			if want := len(reqs) * replayModel.Steps; realRes.StepsComputed != want {
+				t.Fatalf("real driver computed %d denoising steps, want %d",
+					realRes.StepsComputed, want)
+			}
+			// Decisions matching is the contract; per-request timings must
+			// then agree too, since both clocks advance by the same costs.
+			if len(simRes.Stats) != len(realRes.Stats) {
+				t.Fatalf("stat count: sim %d, real %d", len(simRes.Stats), len(realRes.Stats))
+			}
+			for i := range simRes.Stats {
+				s, r := simRes.Stats[i], realRes.Stats[i]
+				if s.ID != r.ID || !approxEq(s.Admit, r.Admit) || !approxEq(s.Complete, r.Complete) {
+					t.Fatalf("stat %d: sim %+v, real %+v", i, s, r)
+				}
+			}
+			if !approxEq(simRes.Makespan, realRes.Makespan) {
+				t.Fatalf("makespan: sim %g, real %g", simRes.Makespan, realRes.Makespan)
+			}
+		})
+	}
+}
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(a)) }
+
+// TestReplayEmptyTrace covers the trivial path.
+func TestReplayEmptyTrace(t *testing.T) {
+	res, dec, err := Real(Config{
+		Model:   replayModel,
+		Profile: perfmodel.SD21Paper,
+		Workers: 1,
+	}, nil)
+	if err != nil {
+		t.Fatalf("empty trace: %v", err)
+	}
+	if len(dec) != 0 || len(res.Stats) != 0 {
+		t.Fatalf("empty trace produced decisions %d stats %d", len(dec), len(res.Stats))
+	}
+}
+
+// TestReplayRejectsBadConfig exercises the validation paths.
+func TestReplayRejectsBadConfig(t *testing.T) {
+	reqs := replayTrace(t, 2)
+	if _, _, err := Real(Config{Model: replayModel, Profile: perfmodel.SD21Paper}, reqs); err == nil {
+		t.Fatal("want error for zero workers")
+	}
+	bad := replayModel
+	bad.Hidden = 0
+	if _, _, err := Real(Config{Model: bad, Profile: perfmodel.SD21Paper, Workers: 1}, reqs); err == nil {
+		t.Fatal("want error for invalid model")
+	}
+}

@@ -11,9 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"flashps/internal/batching"
 	"flashps/internal/faults"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 )
 
 // decodeEnvelope asserts the response body is a structured error envelope
@@ -119,7 +119,7 @@ func TestOverloadedEnvelope(t *testing.T) {
 	s, err := New(Config{
 		Model: slow, Profile: perfmodel.SD21Paper,
 		Workers: 1, MaxBatch: 1, MaxQueue: 1,
-		Policy: sched.MaskAware, Seed: 42, Faults: inj,
+		Policy: batching.MaskAware, Seed: 42, Faults: inj,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -184,7 +184,7 @@ func TestTemplateLifecycle(t *testing.T) {
 	s, err := New(Config{
 		Model: testModel, Profile: perfmodel.SD21Paper,
 		Workers: 1, MaxBatch: 2,
-		Policy: sched.MaskAware, Seed: 42,
+		Policy: batching.MaskAware, Seed: 42,
 		CacheDir: t.TempDir(),
 	})
 	if err != nil {

@@ -14,9 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"flashps/internal/batching"
 	"flashps/internal/faults"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 )
 
 // faultServer builds a started server around the toy model with the given
@@ -27,7 +27,7 @@ func faultServer(t testing.TB, cfg Config) *Server {
 		cfg.Model = testModel
 	}
 	cfg.Profile = perfmodel.SD21Paper
-	cfg.Policy = sched.MaskAware
+	cfg.Policy = batching.MaskAware
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
 	}
@@ -40,12 +40,12 @@ func faultServer(t testing.TB, cfg Config) *Server {
 	return s
 }
 
-// metricValue scrapes the server's registry and returns the value of a
-// plain (unlabeled) counter/gauge sample, or -1 when absent.
+// metricValue scrapes the server's public registry and returns the value
+// of a plain (unlabeled) counter/gauge sample, or -1 when absent.
 func metricValue(t testing.TB, s *Server, name string) float64 {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := s.obs.reg.WritePrometheus(&buf); err != nil {
+	if err := s.Registry().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
 	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.eE+-]+)$`)
@@ -338,7 +338,7 @@ func TestCancelConcurrentEditsNoLeak(t *testing.T) {
 	s, err := New(Config{
 		Model: testModel, Profile: perfmodel.SD21Paper,
 		Workers: 2, MaxBatch: 4, PreWorkers: 2, PostWorkers: 2,
-		Policy: sched.MaskAware, Seed: 42,
+		Policy: batching.MaskAware, Seed: 42,
 		Faults: inj,
 	})
 	if err != nil {
@@ -447,8 +447,34 @@ func TestShedLargestMaskFirst(t *testing.T) {
 	if v := metricValue(t, s, `flashps_requests_total{outcome="shed"}`); v < 1 {
 		// The shed outcome is labeled; scrape it with its label set.
 		var buf bytes.Buffer
-		_ = s.obs.reg.WritePrometheus(&buf)
+		_ = s.Registry().WritePrometheus(&buf)
 		t.Fatalf("shed outcome not counted:\n%s", buf.String())
+	}
+
+	// The core's exported decision log is the contract for overload
+	// behavior — assert through it rather than poking worker internals.
+	// Submission order (big, mid, huge, small) fixes the KindPlace order,
+	// so the log tells us which request ID each role got.
+	var places, sheds, rejects []batching.Decision
+	for _, d := range s.Decisions() {
+		switch d.Kind {
+		case batching.KindPlace:
+			places = append(places, d)
+		case batching.KindShed:
+			sheds = append(sheds, d)
+		case batching.KindReject:
+			rejects = append(rejects, d)
+		}
+	}
+	if len(places) != 4 {
+		t.Fatalf("placed %d requests, want 4: %v", len(places), places)
+	}
+	bigID, hugeID := places[0].Request, places[2].Request
+	if len(rejects) != 1 || rejects[0].Request != hugeID {
+		t.Fatalf("reject log %v, want exactly one reject of request %d", rejects, hugeID)
+	}
+	if len(sheds) != 1 || sheds[0].Request != bigID {
+		t.Fatalf("shed log %v, want exactly one shed of request %d", sheds, bigID)
 	}
 }
 

@@ -10,8 +10,8 @@ import (
 	"strings"
 	"testing"
 
+	"flashps/internal/batching"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/workload"
 )
 
@@ -164,7 +164,7 @@ func TestHealthzReadiness(t *testing.T) {
 	// Not started yet → 503 "starting".
 	s, err := New(Config{
 		Model: testModel, Profile: perfmodel.SD21Paper,
-		Workers: 1, MaxBatch: 1, MaxQueue: 2, Policy: sched.MaskAware, Seed: 1,
+		Workers: 1, MaxBatch: 1, MaxQueue: 2, Policy: batching.MaskAware, Seed: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

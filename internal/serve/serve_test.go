@@ -13,11 +13,11 @@ import (
 	"testing"
 	"time"
 
+	"flashps/internal/batching"
 	"flashps/internal/faults"
 	"flashps/internal/img"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/tensor"
 )
 
@@ -33,7 +33,7 @@ func newTestServer(t testing.TB, workers int) *Server {
 		Profile:  perfmodel.SD21Paper,
 		Workers:  workers,
 		MaxBatch: 4, PreWorkers: 2, PostWorkers: 2,
-		Policy: sched.MaskAware,
+		Policy: batching.MaskAware,
 		Seed:   42,
 	})
 	if err != nil {
@@ -382,7 +382,7 @@ func TestTieredCacheDirSurvivesEviction(t *testing.T) {
 		Model:   testModel,
 		Profile: perfmodel.SD21Paper,
 		Workers: 1, MaxBatch: 2,
-		Policy:   sched.MaskAware,
+		Policy:   batching.MaskAware,
 		Seed:     42,
 		CacheDir: t.TempDir(),
 		// Budget fits roughly one template, forcing eviction.
@@ -418,15 +418,16 @@ func TestTieredCacheDirSurvivesEviction(t *testing.T) {
 }
 
 func TestAdmissionControlRejectsWhenFull(t *testing.T) {
-	// A slower model so the burst actually accumulates behind MaxBatch=1.
-	slow := testModel
-	slow.Name = "slow"
-	slow.Steps = 40
+	// Slow the denoise steps down (kernel-speed-independent) so the burst
+	// actually accumulates behind MaxBatch=1 instead of racing completions.
+	inj := faults.New(7)
+	inj.SetDelay(faults.StepStage, 10*time.Millisecond, 0)
 	s, err := New(Config{
-		Model:   slow,
+		Model:   testModel,
 		Profile: perfmodel.SD21Paper,
 		Workers: 1, MaxBatch: 1, MaxQueue: 1,
-		Policy: sched.MaskAware, Seed: 42,
+		Policy: batching.MaskAware, Seed: 42,
+		Faults: inj,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -533,7 +534,7 @@ func TestHTTPOverloadedReturns429(t *testing.T) {
 	s, err := New(Config{
 		Model: slow, Profile: perfmodel.SD21Paper,
 		Workers: 1, MaxBatch: 1, MaxQueue: 1,
-		Policy: sched.MaskAware, Seed: 42, Faults: inj,
+		Policy: batching.MaskAware, Seed: 42, Faults: inj,
 	})
 	if err != nil {
 		t.Fatal(err)

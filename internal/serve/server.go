@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flashps/internal/batching"
 	"flashps/internal/cache"
 	"flashps/internal/diffusion"
 	"flashps/internal/faults"
@@ -15,7 +16,6 @@ import (
 	"flashps/internal/model"
 	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
-	"flashps/internal/sched"
 	"flashps/internal/tensor"
 )
 
@@ -38,7 +38,13 @@ type Config struct {
 	// are written through to disk and staged back after host LRU eviction.
 	CacheDir string
 	// Policy routes requests across workers.
-	Policy sched.Policy
+	Policy batching.Policy
+	// Discipline selects the batching discipline the engine loops run
+	// under; the zero value is the paper's disaggregated continuous
+	// batching. Static admits only into an empty batch; strawman-cb runs
+	// postprocessing inline on the engine loop (the Fig 10-Top defect),
+	// for apples-to-apples comparison against the simulator.
+	Discipline batching.Discipline
 	// MaxQueue, when > 0, bounds each worker's outstanding requests;
 	// submissions beyond it first try to shed a larger-mask outstanding
 	// job and otherwise are rejected immediately (admission control /
@@ -185,8 +191,10 @@ type Server struct {
 	faults  *faults.Injector
 	workers []*worker
 
-	schedMu   sync.Mutex
-	scheduler *sched.Scheduler
+	// core makes every placement, admission, and shedding decision and
+	// records them in its decision log (see Decisions). It is the same
+	// code the simulator drives.
+	core *batching.Core
 
 	preCh  chan *job
 	postCh chan *job
@@ -239,15 +247,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		store:     store,
-		faults:    cfg.Faults,
-		scheduler: sched.New(cfg.Policy, est, cfg.MaxBatch, cfg.Seed),
-		preCh:     make(chan *job, 1024),
-		postCh:    make(chan *job, 1024),
-		obs:       newServeObs(cfg.TraceRing),
-		ctx:       ctx,
-		cancel:    cancel,
+		cfg:    cfg,
+		store:  store,
+		faults: cfg.Faults,
+		core: batching.NewCore(batching.CoreConfig{
+			Policy:     cfg.Policy,
+			Discipline: cfg.Discipline,
+			Estimator:  est,
+			MaxBatch:   cfg.MaxBatch,
+			Seed:       cfg.Seed,
+		}),
+		preCh:  make(chan *job, 1024),
+		postCh: make(chan *job, 1024),
+		obs:    newServeObs(cfg.TraceRing),
+		ctx:    ctx,
+		cancel: cancel,
 	}
 	s.obs.bindStore(store)
 	for i := 0; i < cfg.Workers; i++ {
@@ -285,6 +299,11 @@ func (s *Server) Registry() *obs.Registry { return s.obs.reg }
 
 // Tracer exposes the span tracer backing /debug/traces.
 func (s *Server) Tracer() *obs.Tracer { return s.obs.tracer }
+
+// Decisions returns the batching core's decision sequence so far: every
+// placement, admission, shed, and rejection, in order. Tests and operators
+// observe scheduling behavior through this log instead of worker internals.
+func (s *Server) Decisions() []batching.Decision { return s.core.Decisions() }
 
 // Close stops all goroutines and waits for them.
 func (s *Server) Close() {
@@ -392,18 +411,23 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 		map[string]float64{"mask_ratio_hint": j.ratioHint})
 
 	j.worker = s.workers[idx]
-	if s.cfg.MaxQueue > 0 && j.worker.outstandingCount() >= s.cfg.MaxQueue {
-		// Overload: shed the largest-mask outstanding job on this replica
-		// if it is strictly larger than the newcomer; otherwise reject the
-		// newcomer (blind rejection only as the last resort).
-		if victim := j.worker.shedVictim(j.ratioHint); victim != nil {
-			s.shed(victim)
-		} else {
+	if !j.worker.tryAddOutstanding(j, s.cfg.MaxQueue) {
+		// Overload (the atomic check-and-enqueue refused): shed the
+		// largest-mask outstanding job on this replica if it is strictly
+		// larger than the newcomer; otherwise reject the newcomer (blind
+		// rejection only as the last resort). The core picks the victim
+		// and logs the decision. After a shed the newcomer joins over the
+		// limit; the victim releases its slot at the next step boundary.
+		cands, jobs := j.worker.shedCandidates()
+		v := s.core.ShedVictim(j.worker.id, cands,
+			batching.Item{ID: j.id, MaskRatio: j.ratioHint})
+		if v < 0 {
 			s.obs.requests.With(outcomeRejected).Inc()
 			return EditResponse{}, ErrOverloaded
 		}
+		s.shed(jobs[v])
+		j.worker.addOutstanding(j)
 	}
-	j.worker.addOutstanding(j)
 	s.decision.Add(decision.Seconds())
 
 	select {
@@ -454,13 +478,12 @@ func (s *Server) ctxError(j *job) error {
 	return apiErrorf(CodeCanceled, false, "request canceled by client")
 }
 
-// route picks a live replica for the job under schedMu. It returns an
-// overloaded (retryable) error when every worker loop is down.
+// route picks a live replica for the job through the shared core
+// (Algorithm 2 or a baseline policy). It returns an overloaded (retryable)
+// error when every worker loop is down.
 func (s *Server) route(j *job) (int, error) {
-	s.schedMu.Lock()
-	defer s.schedMu.Unlock()
 	idxs := make([]int, 0, len(s.workers))
-	views := make([]sched.WorkerView, 0, len(s.workers))
+	views := make([]batching.WorkerView, 0, len(s.workers))
 	for i, w := range s.workers {
 		if !w.alive.Load() {
 			continue
@@ -471,8 +494,9 @@ func (s *Server) route(j *job) (int, error) {
 	if len(idxs) == 0 {
 		return 0, apiErrorf(CodeOverloaded, true, "no live worker replicas")
 	}
-	pick := s.scheduler.Pick(views, sched.Item{MaskRatio: j.ratioHint, Steps: s.cfg.Model.Steps})
-	return idxs[pick], nil
+	return s.core.Place(views, idxs, batching.Item{
+		ID: j.id, MaskRatio: j.ratioHint, Steps: s.cfg.Model.Steps,
+	}), nil
 }
 
 // shed evicts an outstanding job in favor of smaller work under overload:
@@ -711,8 +735,9 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	}
 }
 
-// postLoop is the postprocessing CPU pool: decode the final latent into an
-// image (and PNG when requested) and complete the response.
+// postLoop is the postprocessing CPU pool (the disaggregated discipline's
+// separate process, Fig 10-Bottom): decode the final latent into an image
+// (and PNG when requested) and complete the response.
 func (s *Server) postLoop() {
 	defer s.wg.Done()
 	for {
@@ -720,59 +745,66 @@ func (s *Server) postLoop() {
 		case <-s.ctx.Done():
 			return
 		case j := <-s.postCh:
-			if j.aborted() {
-				// The waiter is gone (deadline/cancel after denoising);
-				// skip the decode entirely.
-				continue
-			}
-			if d := s.faults.Delay(faults.PostStage); d > 0 {
-				sleepCtx(j.ctx, d)
-			}
-			post := time.Now()
-			handoff := post.Sub(j.handoff)
-			s.obs.span(j.id, stageHandoff, j.worker.id, j.handoff, handoff, nil)
-			res, err := j.session.Result()
-			var png []byte
-			if err == nil && j.api.ReturnImage {
-				png, err = img.EncodePNG(res.Image)
-			}
-			complete := time.Now()
-			s.obs.span(j.id, stagePostprocess, j.worker.id, post, complete.Sub(post), nil)
-			if err != nil {
-				if j.deliver(jobResult{err: asAPIError(err)}) {
-					s.obs.requests.With(outcomeError).Inc()
-				}
-				continue
-			}
-			resp := EditResponse{
-				RequestID:      j.id,
-				Worker:         j.worker.id,
-				MaskRatio:      j.ratio,
-				QueueMS:        msBetween(j.arrival, j.admit),
-				InferenceMS:    msBetween(j.admit, j.finish),
-				TotalMS:        msBetween(j.arrival, complete),
-				StepsComputed:  res.StepsComputed,
-				ImagePNG:       png,
-				Degraded:       j.degraded,
-				DegradedReason: j.degradedReason,
-				Retries:        int(j.attempts.Load()),
-				DeadlineMS:     j.deadlineMS,
-			}
-			s.completed.Add(1)
-			s.total.Add(resp.TotalMS)
-			s.queue.Add(resp.QueueMS)
-			s.inference.Add(resp.InferenceMS)
-			s.handoff.Add(handoff.Seconds())
-			s.obs.span(j.id, stageRequest, j.worker.id, j.arrival, complete.Sub(j.arrival),
-				map[string]float64{
-					"mask_ratio": j.ratio,
-					"steps":      float64(res.StepsComputed),
-					"worker":     float64(j.worker.id),
-				})
-			if j.deliver(jobResult{resp: resp}) {
-				s.obs.requests.With(outcomeOK).Inc()
-			}
+			s.postprocess(j)
 		}
+	}
+}
+
+// postprocess decodes a finished job's latent and completes its response.
+// The postLoop pool calls it under the disaggregated discipline; the
+// strawman discipline calls it inline from the engine loop.
+func (s *Server) postprocess(j *job) {
+	if j.aborted() {
+		// The waiter is gone (deadline/cancel after denoising);
+		// skip the decode entirely.
+		return
+	}
+	if d := s.faults.Delay(faults.PostStage); d > 0 {
+		sleepCtx(j.ctx, d)
+	}
+	post := time.Now()
+	handoff := post.Sub(j.handoff)
+	s.obs.span(j.id, stageHandoff, j.worker.id, j.handoff, handoff, nil)
+	res, err := j.session.Result()
+	var png []byte
+	if err == nil && j.api.ReturnImage {
+		png, err = img.EncodePNG(res.Image)
+	}
+	complete := time.Now()
+	s.obs.span(j.id, stagePostprocess, j.worker.id, post, complete.Sub(post), nil)
+	if err != nil {
+		if j.deliver(jobResult{err: asAPIError(err)}) {
+			s.obs.requests.With(outcomeError).Inc()
+		}
+		return
+	}
+	resp := EditResponse{
+		RequestID:      j.id,
+		Worker:         j.worker.id,
+		MaskRatio:      j.ratio,
+		QueueMS:        msBetween(j.arrival, j.admit),
+		InferenceMS:    msBetween(j.admit, j.finish),
+		TotalMS:        msBetween(j.arrival, complete),
+		StepsComputed:  res.StepsComputed,
+		ImagePNG:       png,
+		Degraded:       j.degraded,
+		DegradedReason: j.degradedReason,
+		Retries:        int(j.attempts.Load()),
+		DeadlineMS:     j.deadlineMS,
+	}
+	s.completed.Add(1)
+	s.total.Add(resp.TotalMS)
+	s.queue.Add(resp.QueueMS)
+	s.inference.Add(resp.InferenceMS)
+	s.handoff.Add(handoff.Seconds())
+	s.obs.span(j.id, stageRequest, j.worker.id, j.arrival, complete.Sub(j.arrival),
+		map[string]float64{
+			"mask_ratio": j.ratio,
+			"steps":      float64(res.StepsComputed),
+			"worker":     float64(j.worker.id),
+		})
+	if j.deliver(jobResult{resp: resp}) {
+		s.obs.requests.With(outcomeOK).Inc()
 	}
 }
 

@@ -6,16 +6,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flashps/internal/batching"
 	"flashps/internal/diffusion"
 	"flashps/internal/faults"
-	"flashps/internal/sched"
 	"flashps/internal/tensor"
 )
 
-// worker is one engine replica running the disaggregated continuous-
-// batching loop (Fig 10-Bottom): the loop only ever executes denoising
-// steps, admits preprocessed jobs at step boundaries, and serializes
-// finished latents before handing them to the postprocessing pool.
+// worker is one engine replica running a continuous-batching loop under
+// the shared core's discipline (batching.Core decides every admission).
+// Under the default disaggregated discipline (Fig 10-Bottom) the loop only
+// ever executes denoising steps, admits preprocessed jobs at step
+// boundaries, and serializes finished latents before handing them to the
+// postprocessing pool. Under strawman-cb the decode runs inline on the
+// engine loop (the Fig 10-Top defect), and under static joins happen only
+// into an empty batch.
 //
 // The loop is supervised: a crash (panic or injected fault) marks the
 // replica dead, re-routes its running batch to live replicas, and
@@ -36,17 +40,19 @@ type worker struct {
 	// rescue it without locks.
 	running []*job
 
-	mu          sync.Mutex
-	outstanding map[*job]struct{}
+	mu sync.Mutex
+	// outstanding holds assigned-and-incomplete jobs in placement order;
+	// a stable order keeps the scheduler view (a floating-point cost sum)
+	// deterministic, unlike the map it replaced.
+	outstanding []*job
 }
 
 func newWorker(id int, eng *diffusion.Engine, srv *Server) *worker {
 	w := &worker{
-		id:          id,
-		eng:         eng,
-		srv:         srv,
-		readyCh:     make(chan *job, 256),
-		outstanding: make(map[*job]struct{}),
+		id:      id,
+		eng:     eng,
+		srv:     srv,
+		readyCh: make(chan *job, 256),
 	}
 	w.alive.Store(true)
 	return w
@@ -54,15 +60,37 @@ func newWorker(id int, eng *diffusion.Engine, srv *Server) *worker {
 
 func (w *worker) addOutstanding(j *job) {
 	w.mu.Lock()
-	w.outstanding[j] = struct{}{}
+	w.outstanding = append(w.outstanding, j)
 	depth := len(w.outstanding)
 	w.mu.Unlock()
 	w.srv.obs.setOutstanding(w.id, depth)
 }
 
+// tryAddOutstanding atomically checks the admission limit and enqueues:
+// it refuses when maxQueue > 0 and the worker already has maxQueue
+// outstanding jobs. The check and the append share one critical section
+// so a concurrent burst cannot slip past the limit between them.
+func (w *worker) tryAddOutstanding(j *job, maxQueue int) bool {
+	w.mu.Lock()
+	if maxQueue > 0 && len(w.outstanding) >= maxQueue {
+		w.mu.Unlock()
+		return false
+	}
+	w.outstanding = append(w.outstanding, j)
+	depth := len(w.outstanding)
+	w.mu.Unlock()
+	w.srv.obs.setOutstanding(w.id, depth)
+	return true
+}
+
 func (w *worker) removeOutstanding(j *job) {
 	w.mu.Lock()
-	delete(w.outstanding, j)
+	for i, o := range w.outstanding {
+		if o == j {
+			w.outstanding = append(w.outstanding[:i], w.outstanding[i+1:]...)
+			break
+		}
+	}
 	depth := len(w.outstanding)
 	w.mu.Unlock()
 	w.srv.obs.setOutstanding(w.id, depth)
@@ -74,35 +102,32 @@ func (w *worker) outstandingCount() int {
 	return len(w.outstanding)
 }
 
-// shedVictim picks the outstanding job with the largest mask-ratio hint
-// strictly above the incoming hint — the work the mask-aware shedding
-// policy sacrifices first under overload. Returns nil when every
-// outstanding job is at most as large as the newcomer.
-func (w *worker) shedVictim(incomingHint float64) *job {
+// shedCandidates snapshots the live outstanding jobs as core items (with
+// the matching jobs in a parallel slice) for the overload policy.
+func (w *worker) shedCandidates() ([]batching.Item, []*job) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	var victim *job
-	for j := range w.outstanding {
-		if j.aborted() || j.ratioHint <= incomingHint {
+	items := make([]batching.Item, 0, len(w.outstanding))
+	jobs := make([]*job, 0, len(w.outstanding))
+	for _, j := range w.outstanding {
+		if j.aborted() {
 			continue
 		}
-		if victim == nil || j.ratioHint > victim.ratioHint ||
-			(j.ratioHint == victim.ratioHint && j.id > victim.id) {
-			victim = j
-		}
+		items = append(items, batching.Item{ID: j.id, MaskRatio: j.ratioHint})
+		jobs = append(jobs, j)
 	}
-	return victim
+	return items, jobs
 }
 
-// view snapshots the worker's load for the scheduler.
-func (w *worker) view() sched.WorkerView {
+// view snapshots the worker's load for the scheduler, in placement order.
+func (w *worker) view() batching.WorkerView {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	v := sched.WorkerView{
+	v := batching.WorkerView{
 		Ratios:   make([]float64, 0, len(w.outstanding)),
 		RemSteps: make([]int, 0, len(w.outstanding)),
 	}
-	for j := range w.outstanding {
+	for _, j := range w.outstanding {
 		v.Ratios = append(v.Ratios, j.ratioHint)
 		v.RemSteps = append(v.RemSteps, int(j.remaining.Load()))
 	}
@@ -145,8 +170,17 @@ func (w *worker) runOnce() (crashed bool) {
 			crashed = true
 		}
 	}()
+	core := w.srv.core
 	for {
+		// The discipline's admission budget for this iteration: static
+		// admits only into an empty batch (where it forms the whole batch
+		// at once), the continuous disciplines top up to MaxBatch. Computed
+		// before any admission so the blocking pull below counts against
+		// it. Jobs beyond the budget stay queued in readyCh.
+		budget := core.AdmitBudget(w.id, len(w.running))
 		// Block for work when idle; otherwise admit without blocking.
+		// An admitted job joins w.running immediately: a crash at any
+		// point after the pull must leave it visible to rescueBatch.
 		if len(w.running) == 0 {
 			select {
 			case <-w.srv.ctx.Done():
@@ -156,29 +190,38 @@ func (w *worker) runOnce() (crashed bool) {
 					w.srv.evict(j, stageQueue)
 					continue
 				}
+				core.Admit(w.id, len(w.running),
+					[]batching.Item{{ID: j.id, MaskRatio: j.ratioHint}})
 				w.admitJob(j)
 				w.running = append(w.running, j)
+				budget--
 			}
 		}
 		if w.srv.faults.Fire(faults.WorkerCrash(w.id)) {
 			panic("faults: injected worker crash")
 		}
 		t0 := time.Now()
-		for len(w.running) < w.srv.cfg.MaxBatch {
+		for budget > 0 {
 			select {
 			case j := <-w.readyCh:
 				if j.aborted() {
 					w.srv.evict(j, stageQueue)
 					continue
 				}
+				core.Admit(w.id, len(w.running),
+					[]batching.Item{{ID: j.id, MaskRatio: j.ratioHint}})
 				w.admitJob(j)
 				w.running = append(w.running, j)
+				budget--
 				continue
 			default:
 			}
 			break
 		}
 		organize := time.Since(t0)
+		if len(w.running) == 0 {
+			continue
+		}
 
 		// One denoising step for every running session; abandoned jobs
 		// (expired deadline, canceled client, shed) leave at this step
@@ -226,6 +269,12 @@ func (w *worker) runOnce() (crashed bool) {
 
 			w.srv.serialize.Add(serialize.Seconds())
 
+			if core.Discipline() == batching.StrawmanCB {
+				// Fig 10-Top: postprocessing runs on the engine loop,
+				// blocking the stream and every other in-flight request.
+				w.srv.postprocess(j)
+				continue
+			}
 			select {
 			case w.srv.postCh <- j:
 			case <-w.srv.ctx.Done():
