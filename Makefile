@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all check build test vet race faults replay-diff bench bench-smoke bench-kernels experiments fuzz clean
+.PHONY: all check build test vet race faults replay-diff obs-lint bench bench-smoke bench-kernels bench-serve experiments fuzz clean
 
 all: check
 
 # The default gate: build, vet, full test suite, the race detector over
 # the concurrent packages, the fault-injection suite, the sim-vs-real
-# differential replay, and a one-iteration benchmark smoke pass so the
-# benchmarks themselves can't rot.
-check: build vet test race faults replay-diff bench-smoke
+# differential replay (decisions, timings, AND byte-identical telemetry),
+# the observability lint/golden gate, and a one-iteration benchmark smoke
+# pass so the benchmarks themselves can't rot.
+check: build vet test race faults replay-diff obs-lint bench-smoke
 
 build:
 	$(GO) build ./...
@@ -29,9 +30,18 @@ faults:
 
 # The unification proof under the race detector: the discrete-event
 # simulator and the real-engine driver must emit identical decision
-# sequences from the shared batching core for the same trace.
+# sequences AND byte-identical telemetry (Prometheus exposition, SLO
+# attainment, dashboard) from the shared batching core for the same trace.
+# The prefix also matches TestDifferentialReplayColdCache.
 replay-diff:
 	$(GO) test -race -count=1 ./internal/replay/ -run TestDifferentialReplay
+
+# Observability hygiene under the race detector: every registered metric
+# matches the naming rule and is documented, the Prometheus exposition
+# matches its golden file, and the Chrome trace export passes its schema
+# checks.
+obs-lint:
+	$(GO) test -race -count=1 ./internal/obs/ -run 'TestMetricNamingLint|TestPlaneExpositionGolden|TestChromeTraceSchema|TestPlaneDashboardDeterministic'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -45,6 +55,12 @@ bench-smoke:
 # GFLOP/s and allocs/op, written as machine-readable JSON.
 bench-kernels:
 	$(GO) run ./cmd/flashps-kernels -o BENCH_kernels.json
+
+# Serving-plane benchmark: drive a fixed open-loop workload through the
+# in-process server (real engines on a reduced model) and write latency
+# percentiles, goodput, steps/s, and SLO attainment as JSON.
+bench-serve:
+	$(GO) run ./cmd/flashps-servebench -o BENCH_serve.json
 
 # Regenerate every paper table/figure (writes Fig 13 PNGs to artifacts/).
 experiments:

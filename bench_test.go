@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"flashps/internal/batching"
 	"flashps/internal/cluster"
 	"flashps/internal/core"
 	"flashps/internal/diffusion"
@@ -13,7 +14,6 @@ import (
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
 	"flashps/internal/pipeline"
-	"flashps/internal/batching"
 	"flashps/internal/serve"
 	"flashps/internal/tensor"
 	"flashps/internal/workload"

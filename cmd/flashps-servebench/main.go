@@ -1,0 +1,159 @@
+// Command flashps-servebench benchmarks the live serving plane: it drives
+// a fixed open-loop load-generator workload through an in-process server
+// (real engines, real denoising math on a reduced model) and writes a
+// machine-readable summary — end-to-end latency percentiles, throughput,
+// goodput, steps/s, SLO attainment — sourced from the same telemetry
+// plane that backs /metrics and /debug/dash.
+//
+// Usage:
+//
+//	flashps-servebench -o BENCH_serve.json
+//	flashps-servebench -n 80 -rps 40 -workers 4 -obs-out obs/
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"flashps/internal/batching"
+	"flashps/internal/model"
+	"flashps/internal/perfmodel"
+	"flashps/internal/serve"
+	"flashps/internal/tensor"
+	"flashps/internal/workload"
+)
+
+// benchModel keeps the engine math real but small enough that the run
+// finishes in seconds; the shape mirrors the serving-plane test model.
+var benchModel = model.Config{
+	Name: "servebench", LatentH: 6, LatentW: 6, Hidden: 32,
+	NumBlocks: 3, FFNMult: 4, Steps: 5, LatentChannels: 4,
+}
+
+// result is the BENCH_serve.json schema.
+type result struct {
+	Requests      int     `json:"requests"`
+	Workers       int     `json:"workers"`
+	Errors        int     `json:"errors"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MeanMS        float64 `json:"mean_ms"`
+	QueueP99MS    float64 `json:"queue_p99_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	SLOAttainment float64 `json:"slo_attainment"`
+	StepsTotal    float64 `json:"steps_total"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+}
+
+func main() {
+	var (
+		n         = flag.Int("n", 60, "requests to fire")
+		rps       = flag.Float64("rps", 30, "open-loop arrival rate (requests/s of wall time)")
+		workers   = flag.Int("workers", 2, "engine replicas")
+		maxBatch  = flag.Int("maxbatch", 4, "running-batch cap per worker")
+		templates = flag.Int("templates", 4, "prepared templates to draw from")
+		seed      = flag.Uint64("seed", 42, "engine weights and trace seed")
+		out       = flag.String("o", "BENCH_serve.json", "output JSON file (- for stdout)")
+		obsOut    = flag.String("obs-out", "", "also write metrics.prom, trace.json, dash.html here")
+		par       = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
+	)
+	flag.Parse()
+	tensor.SetParallelism(*par)
+
+	res, err := run(*n, *rps, *workers, *maxBatch, *templates, *seed, *obsOut)
+	if err != nil {
+		fatal(err)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: P50 %.1fms  P99 %.1fms  goodput %.2f rps  slo %.3f  %.0f steps/s\n",
+			*out, res.P50MS, res.P99MS, res.GoodputRPS, res.SLOAttainment, res.StepsPerSec)
+	}
+}
+
+func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsOut string) (*result, error) {
+	srv, err := serve.New(serve.Config{
+		Model:    benchModel,
+		Profile:  perfmodel.SD21Paper,
+		Workers:  workers,
+		MaxBatch: maxBatch, PreWorkers: 2, PostWorkers: 2,
+		Policy: batching.MaskAware,
+		Seed:   seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	defer srv.Close()
+
+	ids := make([]uint64, templates)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+		if _, err := srv.Prepare(serve.PrepareRequest{
+			TemplateID: ids[i], ImageSeed: ids[i], Prompt: "bench",
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	load, err := serve.RunLoad(context.Background(), srv, serve.LoadGenConfig{
+		RPS: rps, N: n, Dist: workload.ProductionTrace,
+		Templates: ids, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	plane := srv.Obs()
+	attained, _ := plane.SLO.Counts()
+	elapsed := load.Elapsed.Seconds()
+	completed := load.Total.Count()
+	res := &result{
+		Requests:      n,
+		Workers:       workers,
+		Errors:        load.Errors,
+		ElapsedS:      elapsed,
+		P50MS:         load.Total.Quantile(0.50),
+		P95MS:         load.Total.Quantile(0.95),
+		P99MS:         load.Total.Quantile(0.99),
+		MeanMS:        load.Total.Mean(),
+		QueueP99MS:    load.Queue.Quantile(0.99),
+		ThroughputRPS: float64(completed) / elapsed,
+		GoodputRPS:    float64(attained) / elapsed,
+		SLOAttainment: plane.SLO.Attainment(),
+		StepsTotal:    plane.StepsTotal(),
+		StepsPerSec:   plane.StepsTotal() / elapsed,
+		MeanBatchSize: plane.MeanBatchSize(),
+	}
+	if obsOut != "" {
+		if err := os.MkdirAll(obsOut, 0o755); err != nil {
+			return nil, err
+		}
+		if err := plane.WriteArtifacts(obsOut); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flashps-servebench: %v\n", err)
+	os.Exit(1)
+}

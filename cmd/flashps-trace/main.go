@@ -1,12 +1,20 @@
-// Command flashps-trace inspects and synthesizes image-editing workload
-// traces: the mask-ratio distributions of Fig 3 and Poisson request traces
-// for the serving experiments.
+// Command flashps-trace inspects, synthesizes, and simulates image-editing
+// workload traces: the mask-ratio distributions of Fig 3, Poisson request
+// traces for the serving experiments, and instrumented discrete-event
+// simulations of a cluster serving those traces.
 //
 // Usage:
 //
 //	flashps-trace -stats                          # Fig 3 distribution stats
 //	flashps-trace -gen -n 1000 -rps 2 -dist public -o trace.json
 //	flashps-trace -inspect trace.json             # summarize a trace file
+//	flashps-trace -sim -n 200 -rps 6 -workers 3 -obs-out obs/
+//
+// -sim replays the generated trace through the discrete-event simulator
+// with a full telemetry plane bound to the virtual clock; -obs-out writes
+// the plane's three artifacts (metrics.prom, trace.json, dash.html) with
+// virtual timestamps — the same files the live serving plane exposes over
+// HTTP, produced from pure simulation.
 package main
 
 import (
@@ -15,24 +23,36 @@ import (
 	"os"
 	"runtime"
 
+	"flashps/internal/batching"
+	"flashps/internal/cluster"
 	"flashps/internal/experiments"
 	"flashps/internal/metrics"
+	"flashps/internal/obs"
+	"flashps/internal/perfmodel"
 	"flashps/internal/tensor"
 	"flashps/internal/workload"
 )
 
 func main() {
 	var (
-		stats   = flag.Bool("stats", false, "print Fig 3 mask-ratio distribution statistics")
-		gen     = flag.Bool("gen", false, "generate a synthetic trace")
-		inspect = flag.String("inspect", "", "summarize a trace JSON file")
-		n       = flag.Int("n", 1000, "requests to generate")
-		rps     = flag.Float64("rps", 1, "Poisson arrival rate")
-		dist    = flag.String("dist", "production", "mask distribution: production|public|viton")
-		tpls    = flag.Int("templates", 16, "distinct templates")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (default stdout)")
-		par     = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
+		stats    = flag.Bool("stats", false, "print Fig 3 mask-ratio distribution statistics")
+		gen      = flag.Bool("gen", false, "generate a synthetic trace")
+		inspect  = flag.String("inspect", "", "summarize a trace JSON file")
+		sim      = flag.Bool("sim", false, "simulate a cluster serving the generated trace")
+		n        = flag.Int("n", 1000, "requests to generate")
+		rps      = flag.Float64("rps", 1, "Poisson arrival rate")
+		dist     = flag.String("dist", "production", "mask distribution: production|public|viton")
+		tpls     = flag.Int("templates", 16, "distinct templates")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		par      = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
+		workers  = flag.Int("workers", 3, "sim: worker replicas")
+		maxBatch = flag.Int("maxbatch", 0, "sim: batch-size cap (0 = profile default)")
+		disc     = flag.String("batching", "disaggregated-cb", "sim: static|strawman-cb|disaggregated-cb")
+		policy   = flag.String("policy", "mask-aware", "sim: round-robin|least-requests|least-tokens|mask-aware")
+		profile  = flag.String("profile", "sd21", "sim: model/GPU profile name")
+		cold     = flag.Int("cold", 0, "sim: per-worker host cache capacity in templates (0 = all warm)")
+		obsOut   = flag.String("obs-out", "", "sim: directory for metrics.prom, trace.json, dash.html")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -79,10 +99,91 @@ func main() {
 		fmt.Printf("mask ratio: %s\n", ratios.Summary())
 		fmt.Printf("templates: %d distinct; hottest %d serves %.0f%% of requests\n",
 			s.Templates, s.TopTemplate, s.TopShare*100)
+	case *sim:
+		if err := runSim(simFlags{
+			n: *n, rps: *rps, dist: *dist, templates: *tpls, seed: *seed,
+			workers: *workers, maxBatch: *maxBatch, batching: *disc,
+			policy: *policy, profile: *profile, cold: *cold, obsOut: *obsOut,
+		}); err != nil {
+			fatal(err)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+type simFlags struct {
+	n                 int
+	rps               float64
+	dist              string
+	templates         int
+	seed              uint64
+	workers, maxBatch int
+	batching          string
+	policy            string
+	profile           string
+	cold              int
+	obsOut            string
+}
+
+// runSim drives the discrete-event simulator with a telemetry plane bound
+// to the virtual clock and prints the run's headline numbers.
+func runSim(f simFlags) error {
+	d, err := distByName(f.dist)
+	if err != nil {
+		return err
+	}
+	prof, err := perfmodel.ProfileByName(f.profile)
+	if err != nil {
+		return err
+	}
+	disc, err := batchingByName(f.batching)
+	if err != nil {
+		return err
+	}
+	pol, err := policyByName(f.policy)
+	if err != nil {
+		return err
+	}
+	reqs, err := workload.Generate(workload.TraceConfig{
+		N: f.n, RPS: f.rps, Dist: d, Templates: f.templates, ZipfS: 1.1, Seed: f.seed,
+	})
+	if err != nil {
+		return err
+	}
+	plane := obs.NewPlane(obs.PlaneConfig{})
+	res, err := cluster.Run(cluster.Config{
+		Batching:           disc,
+		Policy:             pol,
+		Workers:            f.workers,
+		Profile:            prof,
+		MaxBatch:           f.maxBatch,
+		ColdCacheTemplates: f.cold,
+		Seed:               f.seed,
+		Obs:                plane,
+	}, reqs)
+	if err != nil {
+		return err
+	}
+	attained, total := plane.SLO.Counts()
+	fmt.Printf("simulated %d requests over %d workers (%s, %s, %s)\n",
+		len(reqs), f.workers, prof.Name, disc, pol)
+	fmt.Printf("makespan: %.2fs virtual  mean batch: %.2f\n",
+		res.Makespan, res.MeanBatchSize())
+	fmt.Printf("slo attainment: %.3f (%d/%d)  goodput: %.2f rps  steps: %.0f\n",
+		plane.SLO.Attainment(), attained, total,
+		float64(attained)/res.Makespan, plane.StepsTotal())
+	if f.obsOut != "" {
+		if err := os.MkdirAll(f.obsOut, 0o755); err != nil {
+			return err
+		}
+		if err := plane.WriteArtifacts(f.obsOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics.prom, trace.json, dash.html to %s\n", f.obsOut)
+	}
+	return nil
 }
 
 func distByName(name string) (workload.MaskDist, error) {
@@ -92,6 +193,28 @@ func distByName(name string) (workload.MaskDist, error) {
 		}
 	}
 	return workload.MaskDist{}, fmt.Errorf("unknown distribution %q", name)
+}
+
+func batchingByName(name string) (cluster.Batching, error) {
+	for _, b := range []cluster.Batching{
+		cluster.BatchingStatic, cluster.BatchingStrawman, cluster.BatchingDisaggregated,
+	} {
+		if b.String() == name {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown batching discipline %q", name)
+}
+
+func policyByName(name string) (batching.Policy, error) {
+	for _, p := range []batching.Policy{
+		batching.RoundRobin, batching.LeastRequests, batching.LeastTokens, batching.MaskAware,
+	} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q", name)
 }
 
 func fatal(err error) {

@@ -68,8 +68,22 @@ func (d Decision) String() string {
 // DecisionLog is an append-only, concurrency-safe record of the core's
 // decisions, in the order they were made.
 type DecisionLog struct {
-	mu  sync.Mutex
-	seq []Decision
+	mu   sync.Mutex
+	seq  []Decision
+	sink func(Decision)
+}
+
+// SetSink installs a hook invoked after every appended decision (used to
+// mirror the decision stream into the telemetry plane's counters). Install
+// it before the run starts; the hook runs outside the log's lock and must
+// be safe for concurrent calls.
+func (l *DecisionLog) SetSink(fn func(Decision)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = fn
+	l.mu.Unlock()
 }
 
 // append records one decision, stamping its sequence number.
@@ -80,7 +94,11 @@ func (l *DecisionLog) append(d Decision) {
 	l.mu.Lock()
 	d.Seq = len(l.seq)
 	l.seq = append(l.seq, d)
+	sink := l.sink
 	l.mu.Unlock()
+	if sink != nil {
+		sink(d)
+	}
 }
 
 // Len returns the number of recorded decisions.

@@ -41,13 +41,17 @@ type Executor interface {
 	Retire(worker int, req workload.Request)
 }
 
-// Observer receives the Runner's occupancy signals. All methods may be
-// called with a nil receiver guard by the Runner; a nil Observer is free.
+// Observer receives the Runner's occupancy and completion signals. All
+// methods may be called with a nil receiver guard by the Runner; a nil
+// Observer is free.
 type Observer interface {
 	// QueueDepth reports a worker's ready-queue depth after it changed.
 	QueueDepth(worker, depth int)
 	// BatchStep reports the running-batch size of one executed step.
 	BatchStep(size int)
+	// RequestDone reports a request's completion with its full timing
+	// breakdown (virtual or wall clock seconds).
+	RequestDone(stat RequestStat)
 }
 
 // RequestStat is the per-request outcome of a run. All times are in the
@@ -56,6 +60,7 @@ type RequestStat struct {
 	ID            int
 	Template      uint64
 	MaskRatio     float64
+	Worker        int
 	Arrival       float64
 	Admit         float64
 	Finish        float64
@@ -384,11 +389,15 @@ func (w *runnerWorker) finishReq(q *runnerReq) {
 		}
 	}
 	w.r.cfg.Exec.Retire(w.id, q.Request)
-	w.r.stats = append(w.r.stats, RequestStat{
-		ID: q.ID, Template: q.Template, MaskRatio: q.MaskRatio,
+	stat := RequestStat{
+		ID: q.ID, Template: q.Template, MaskRatio: q.MaskRatio, Worker: w.id,
 		Arrival: q.Arrival, Admit: q.admit, Finish: q.finish,
 		Complete: q.complete, Interruptions: q.interruptions,
-	})
+	}
+	w.r.stats = append(w.r.stats, stat)
+	if w.r.cfg.Obs != nil {
+		w.r.cfg.Obs.RequestDone(stat)
+	}
 	w.r.pending--
 }
 

@@ -1,0 +1,88 @@
+package batching
+
+import "flashps/internal/obs"
+
+// Stage names the clock-driven Runner emits for every completed request,
+// shared by the simulator and the differential-replay real driver so both
+// populate identical histogram/quantile families. The live serving plane
+// reuses "queue", "postprocess", and "request" with wall timings and adds
+// its finer-grained engine stages (see internal/serve and
+// docs/OBSERVABILITY.md for the sim-vs-real semantics).
+const (
+	// StageQueue is arrival → batch admission (includes modeled
+	// preprocessing and cache staging in the clock-driven drivers).
+	StageQueue = "queue"
+	// StageInference is batch admission → last denoising step.
+	StageInference = "inference"
+	// StagePostprocess is denoising done → image delivered.
+	StagePostprocess = "postprocess"
+	// StageRequest is the end-to-end parent span.
+	StageRequest = "request"
+)
+
+// TraceCat is the span category the clock-driven Runner telemetry uses.
+// Both replay drivers share it so their Chrome traces compare equal.
+const TraceCat = "core"
+
+// Telemetry bridges the Runner's Observer seam and the Core's decision
+// stream into an obs.Plane: queue depths and batch occupancy flow through
+// as they change, and every completed request emits its virtual-time span
+// breakdown plus an SLO observation. Because the bridge is driven only by
+// Runner/Core events — which the differential-replay test proves identical
+// between the simulator and the real-engine driver — two drivers of the
+// same trace fill their planes identically, byte for byte.
+//
+// A nil *Telemetry is a valid no-op observer seam (NewTelemetry(nil)
+// returns nil and Observer() then yields a nil Observer).
+type Telemetry struct {
+	plane *obs.Plane
+}
+
+// NewTelemetry wraps a plane (nil plane → nil bridge, which is free).
+func NewTelemetry(p *obs.Plane) *Telemetry {
+	if p == nil {
+		return nil
+	}
+	return &Telemetry{plane: p}
+}
+
+// Observer adapts the bridge to the RunnerConfig.Obs seam; nil-safe.
+func (t *Telemetry) Observer() Observer {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+// DecisionSink returns the hook to install via DecisionLog.SetSink, or nil
+// for a nil bridge.
+func (t *Telemetry) DecisionSink() func(Decision) {
+	if t == nil {
+		return nil
+	}
+	return func(d Decision) { t.plane.Decision(d.Kind.String()) }
+}
+
+// QueueDepth implements Observer.
+func (t *Telemetry) QueueDepth(worker, depth int) { t.plane.SetQueueDepth(worker, depth) }
+
+// BatchStep implements Observer. A batch of n requests advancing one step
+// executes n request-steps, matching the live plane's per-request counting.
+func (t *Telemetry) BatchStep(size int) {
+	t.plane.ObserveBatch(size)
+	t.plane.AddSteps(size)
+}
+
+// RequestDone implements Observer: it emits the request's span breakdown
+// in clock seconds and the SLO observation.
+func (t *Telemetry) RequestDone(s RequestStat) {
+	req := uint64(s.ID)
+	args := map[string]float64{"mask_ratio": s.MaskRatio}
+	t.plane.Span(req, StageQueue, TraceCat, s.Worker, s.Arrival, s.QueueTime(), nil)
+	t.plane.Span(req, StageInference, TraceCat, s.Worker, s.Admit, s.InferenceTime(),
+		map[string]float64{"interruptions": float64(s.Interruptions)})
+	t.plane.Span(req, StagePostprocess, TraceCat, s.Worker, s.Finish, s.Complete-s.Finish, nil)
+	t.plane.Span(req, StageRequest, TraceCat, s.Worker, s.Arrival, s.Latency(), args)
+	t.plane.RequestOutcome("ok")
+	t.plane.ObserveSLO(s.MaskRatio, s.Latency())
+}

@@ -127,11 +127,13 @@ type Config struct {
 	ColdCacheTemplates int
 	// Seed feeds the policies' tiebreaking randomness.
 	Seed uint64
-	// Registry, when non-nil, receives the run's observability gauges
-	// (per-worker queue depth, batch occupancy, cache hit/miss/eviction)
-	// under the flashps_sim_ prefix, mirroring the live serving plane's
-	// metric shapes.
-	Registry *obs.Registry
+	// Obs, when non-nil, receives the run's full telemetry — per-stage
+	// histograms/quantiles, SLO attainment and goodput, per-worker queue
+	// depth, batch occupancy, scheduling decisions, cache-tier counters,
+	// and virtual-time spans — through the same plane the live serving
+	// plane populates. The run binds the plane to its virtual clock, so
+	// every timestamp is in simulated seconds.
+	Obs *obs.Plane
 	// Decisions, when non-nil, receives the run's placement and admission
 	// decision sequence from the shared core (differential replay).
 	Decisions *batching.DecisionLog
@@ -255,22 +257,27 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 		return &Result{}, nil
 	}
 	var clock simclock.Clock
+	if cfg.Obs != nil {
+		cfg.Obs.BindClock(&clock)
+	}
 	exec := &simExecutor{cfg: &cfg, clock: &clock}
-	if cfg.ColdCacheTemplates > 0 && cfg.System == SystemFlashPS {
-		tplBytes := int64(cfg.Profile.TemplateCacheBytes())
-		for i := 0; i < cfg.Workers; i++ {
-			tier, err := cache.NewTier(int64(cfg.ColdCacheTemplates)*tplBytes, tplBytes, cfg.Profile.DiskLoadLatency())
-			if err != nil {
-				return nil, err
-			}
-			exec.tiers = append(exec.tiers, tier)
+	if cfg.System == SystemFlashPS {
+		tiers, err := NewTierSet(cfg.Profile, cfg.Workers, cfg.ColdCacheTemplates)
+		if err != nil {
+			return nil, err
 		}
+		exec.tiers = tiers
 	}
 	est, err := perfmodel.Calibrate(cfg.Profile, tensor.NewRNG(cfg.Seed^0xE57), 0.02)
 	if err != nil {
 		return nil, err
 	}
-	simObs := newSimObs(cfg.Registry)
+	telemetry := batching.NewTelemetry(cfg.Obs)
+	log := cfg.Decisions
+	if log == nil && cfg.Obs != nil {
+		log = new(batching.DecisionLog)
+	}
+	log.SetSink(telemetry.DecisionSink())
 	runner := batching.NewRunner(batching.RunnerConfig{
 		Workers:   cfg.Workers,
 		CostSteps: cfg.Profile.Steps,
@@ -280,11 +287,11 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 			Estimator:  est,
 			MaxBatch:   cfg.maxBatch(),
 			Seed:       cfg.Seed,
-			Log:        cfg.Decisions,
+			Log:        log,
 		}),
 		Clock: &clock,
 		Exec:  exec,
-		Obs:   simObs.observer(),
+		Obs:   telemetry.Observer(),
 	})
 
 	for _, r := range reqs {
@@ -302,7 +309,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 		WorkerBusy: runner.WorkerBusy(),
 	}
 	res.BatchSizeSum, res.BatchSteps = runner.BatchOccupancy()
-	simObs.finish(exec.tiers, res)
+	PublishTierStats(cfg.Obs, exec.tiers)
 	return res, nil
 }
 

@@ -1,105 +1,49 @@
 package cluster
 
 import (
-	"strconv"
-
-	"flashps/internal/batching"
 	"flashps/internal/cache"
 	"flashps/internal/obs"
+	"flashps/internal/perfmodel"
 )
 
-// simObs publishes a simulation run's serving-plane signals into an
-// obs.Registry so simulated and live deployments expose the same shapes:
-// per-worker queue depth (live + peak), running-batch occupancy per
-// executed step, and per-worker cache hit/miss/eviction gauges. All
-// methods are nil-safe; a nil simObs (no Registry configured) is free.
-type simObs struct {
-	queueDepth *obs.GaugeVec
-	peakQueue  *obs.GaugeVec
-	batchOcc   *obs.Histogram
-	cacheHits  *obs.GaugeVec
-	cacheMiss  *obs.GaugeVec
-	cacheEvict *obs.GaugeVec
-	meanBatch  *obs.Gauge
-	throughput *obs.Gauge
+// NewTierSet builds one cold-cache tier per worker (§4.2): hosting
+// coldTemplates templates each, with LRU eviction and the profile's disk
+// staging latency. Returns nil when coldTemplates <= 0 (all caches warm).
+// Exported so the differential-replay real driver arms the exact same
+// staging behavior as the simulator.
+func NewTierSet(profile perfmodel.ModelProfile, workers, coldTemplates int) ([]*cache.Tier, error) {
+	if coldTemplates <= 0 {
+		return nil, nil
+	}
+	tplBytes := int64(profile.TemplateCacheBytes())
+	tiers := make([]*cache.Tier, 0, workers)
+	for i := 0; i < workers; i++ {
+		tier, err := cache.NewTier(int64(coldTemplates)*tplBytes, tplBytes, profile.DiskLoadLatency())
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, tier)
+	}
+	return tiers, nil
 }
 
-func newSimObs(reg *obs.Registry) *simObs {
-	if reg == nil {
-		return nil
-	}
-	return &simObs{
-		queueDepth: reg.GaugeVec("flashps_sim_worker_queue_depth",
-			"Ready requests queued at each simulated worker", "worker"),
-		peakQueue: reg.GaugeVec("flashps_sim_worker_peak_queue",
-			"Peak ready-queue depth per simulated worker", "worker"),
-		batchOcc: reg.Histogram("flashps_sim_batch_occupancy",
-			"Running-batch size at each executed simulated step",
-			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
-		cacheHits: reg.GaugeVec("flashps_sim_cache_hits",
-			"Cache-tier hits per simulated worker (§4.2)", "worker"),
-		cacheMiss: reg.GaugeVec("flashps_sim_cache_misses",
-			"Cache-tier misses per simulated worker (§4.2)", "worker"),
-		cacheEvict: reg.GaugeVec("flashps_sim_cache_evictions",
-			"Cache-tier evictions per simulated worker (§4.2)", "worker"),
-		meanBatch: reg.Gauge("flashps_sim_mean_batch_size",
-			"Mean running-batch size over the run (§4.3)"),
-		throughput: reg.Gauge("flashps_sim_throughput_rps",
-			"Completed requests per simulated second"),
-	}
-}
-
-// observer adapts simObs to the runner's batching.Observer seam; a nil
-// simObs (no Registry configured) yields a nil Observer, which is free.
-func (o *simObs) observer() batching.Observer {
-	if o == nil {
-		return nil
-	}
-	return o
-}
-
-// QueueDepth implements batching.Observer.
-func (o *simObs) QueueDepth(worker, depth int) { o.setQueue(worker, depth) }
-
-// BatchStep implements batching.Observer.
-func (o *simObs) BatchStep(size int) { o.observeBatch(size) }
-
-// setQueue publishes a worker's current ready-queue depth, tracking the
-// peak as it goes.
-func (o *simObs) setQueue(worker, depth int) {
-	if o == nil {
+// PublishTierStats folds the tiers' end-of-run counters into the plane's
+// per-tier cache accounting: host-tier hits and evictions, and disk-tier
+// loads (every host miss stages one template from disk). Byte totals are
+// ops × the tier's template footprint. Both replay drivers call this after
+// drain, so identical tier behavior yields identical counters. Nil-safe in
+// both arguments.
+func PublishTierStats(p *obs.Plane, tiers []*cache.Tier) {
+	if p == nil {
 		return
 	}
-	l := strconv.Itoa(worker)
-	o.queueDepth.With(l).Set(float64(depth))
-	if peak := o.peakQueue.With(l); float64(depth) > peak.Value() {
-		peak.Set(float64(depth))
-	}
-}
-
-// observeBatch records one executed step's running-batch size.
-func (o *simObs) observeBatch(n int) {
-	if o == nil {
-		return
-	}
-	o.batchOcc.Observe(float64(n))
-}
-
-// finish publishes end-of-run aggregates: cache counters per worker and
-// the run's mean batch size and throughput.
-func (o *simObs) finish(tiers []*cache.Tier, res *Result) {
-	if o == nil {
-		return
-	}
-	for id, tier := range tiers {
+	for _, tier := range tiers {
 		if tier == nil {
 			continue
 		}
-		l := strconv.Itoa(id)
-		o.cacheHits.With(l).Set(float64(tier.Hits))
-		o.cacheMiss.With(l).Set(float64(tier.Misses))
-		o.cacheEvict.With(l).Set(float64(tier.Evictions))
+		b := float64(tier.TemplateBytes)
+		p.CacheTier("host", "hit", uint64(tier.Hits), float64(tier.Hits)*b)
+		p.CacheTier("host", "evict", uint64(tier.Evictions), float64(tier.Evictions)*b)
+		p.CacheTier("disk", "load", uint64(tier.Misses), float64(tier.Misses)*b)
 	}
-	o.meanBatch.Set(res.MeanBatchSize())
-	o.throughput.Set(res.Throughput())
 }

@@ -9,33 +9,37 @@ import (
 	"flashps/internal/workload"
 )
 
-func TestSimRegistryGauges(t *testing.T) {
-	reg := obs.NewRegistry()
+func TestSimPlaneTelemetry(t *testing.T) {
+	plane := obs.NewPlane(obs.PlaneConfig{})
 	reqs := trace(t, 40, 8, workload.ProductionTrace, 6, 11)
 	res := mustRun(t, Config{
 		System: SystemFlashPS, Batching: BatchingDisaggregated,
 		Workers: 2, Profile: perfmodel.SD21Paper,
-		ColdCacheTemplates: 2, Seed: 11, Registry: reg,
+		ColdCacheTemplates: 2, Seed: 11, Obs: plane,
 	}, reqs)
 
-	text := reg.String()
+	text := plane.Reg.String()
 	for _, want := range []string{
-		"# TYPE flashps_sim_worker_queue_depth gauge",
-		`flashps_sim_worker_peak_queue{worker="0"}`,
-		"flashps_sim_batch_occupancy_count",
-		`flashps_sim_cache_hits{worker="0"}`,
-		`flashps_sim_cache_misses{worker="1"}`,
-		"flashps_sim_mean_batch_size",
-		"flashps_sim_throughput_rps",
+		"# TYPE flashps_worker_queue_depth gauge",
+		`flashps_worker_peak_queue{worker="0"}`,
+		"flashps_batch_occupancy_count",
+		`flashps_request_stage_seconds_count{stage="request"} 40`,
+		`flashps_requests_total{outcome="ok"} 40`,
+		`flashps_sched_decisions_total{kind="place"} 40`,
+		`flashps_cache_tier_ops_total{tier="host",op="hit"}`,
+		`flashps_cache_tier_ops_total{tier="disk",op="load"}`,
+		`flashps_cache_tier_bytes_total{tier="disk",op="load"}`,
+		"flashps_slo_attainment",
+		"flashps_goodput_rps",
+		"flashps_mean_batch_size",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("sim exposition missing %q in:\n%s", want, text)
 		}
 	}
-	// Queue depths drain to zero by the end of the run; occupancy counts
-	// every executed step; the mean-batch gauge matches the Result.
+	// Queue depths drain to zero by the end of the run.
 	for _, line := range strings.Split(text, "\n") {
-		if strings.HasPrefix(line, "flashps_sim_worker_queue_depth{") &&
+		if strings.HasPrefix(line, "flashps_worker_queue_depth{") &&
 			!strings.HasSuffix(line, " 0") {
 			t.Fatalf("queue not drained at end of run: %s", line)
 		}
@@ -43,10 +47,30 @@ func TestSimRegistryGauges(t *testing.T) {
 	if res.BatchSteps <= 0 {
 		t.Fatal("no batch steps executed")
 	}
+	// The plane rode the virtual clock: its notion of "now" is the
+	// makespan, not wall time, and the SLO tracker saw every request.
+	if got := plane.Now(); got != res.Makespan {
+		t.Fatalf("plane clock at %g, makespan %g", got, res.Makespan)
+	}
+	if _, total := plane.SLO.Counts(); total != 40 {
+		t.Fatalf("SLO tracker observed %d requests, want 40", total)
+	}
+	if plane.Tracer.Total() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	// Mean batch size agrees between Result aggregation and the plane.
+	if a, b := res.MeanBatchSize(), plane.MeanBatchSize(); !approx(a, b) {
+		t.Fatalf("mean batch size: result %g vs plane %g", a, b)
+	}
 }
 
-func TestSimRegistryOptional(t *testing.T) {
-	// No registry configured: the nil simObs must be a no-op.
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestSimPlaneOptional(t *testing.T) {
+	// No plane configured: the nil telemetry bridge must be a no-op.
 	reqs := trace(t, 10, 8, workload.ProductionTrace, 3, 5)
 	mustRun(t, Config{
 		System: SystemFlashPS, Batching: BatchingDisaggregated,

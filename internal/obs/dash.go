@@ -1,0 +1,406 @@
+package obs
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDashboard renders the plane as a self-contained HTML dashboard
+// (inline CSS + SVG, no external assets, light/dark via
+// prefers-color-scheme): stat tiles for the headline figures, the
+// per-stage latency breakdown with windowed quantiles, SLO attainment per
+// deadline class, queue-depth time series, the batch-occupancy histogram,
+// and cache-tier accounting. Output is deterministic for a given plane
+// state — the differential-replay test compares sim and real dashboards
+// byte for byte.
+func (p *Plane) WriteDashboard(w io.Writer) error {
+	now := p.Now()
+	var b strings.Builder
+	b.WriteString(dashHead)
+
+	// Header with the clock's frame of reference.
+	elapsed := now - p.Epoch()
+	fmt.Fprintf(&b, "<header><h1>FlashPS telemetry</h1>"+
+		"<p class=sub>clock %s since epoch · window %s</p></header>\n",
+		fmtSeconds(elapsed), fmtSeconds(DefaultSampleWindow))
+
+	p.dashTiles(&b)
+	p.dashStages(&b, now)
+	p.dashSLO(&b)
+	p.dashQueues(&b)
+	p.dashOccupancy(&b)
+	p.dashTables(&b)
+
+	b.WriteString("</main></body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// dashTiles renders the headline stat tiles.
+func (p *Plane) dashTiles(b *strings.Builder) {
+	attained, total := p.SLO.Counts()
+	tiles := []struct{ label, value string }{
+		{"requests completed", strconv.FormatUint(total, 10)},
+		{"throughput", fmtRate(p.rate(float64(total)))},
+		{"goodput", fmtRate(p.rate(float64(attained)))},
+		{"SLO attainment", fmtPercent(p.SLO.Attainment())},
+		{"mean batch size", strconv.FormatFloat(p.MeanBatchSize(), 'f', 2, 64)},
+		{"denoise steps", strconv.FormatFloat(p.steps.Value(), 'f', 0, 64)},
+	}
+	b.WriteString("<section class=tiles>")
+	for _, t := range tiles {
+		fmt.Fprintf(b, "<div class=tile><div class=v>%s</div><div class=l>%s</div></div>",
+			html.EscapeString(t.value), html.EscapeString(t.label))
+	}
+	b.WriteString("</section>\n")
+}
+
+// dashStages renders the per-stage latency table with windowed quantiles
+// and a single-hue magnitude bar (sequential: one hue, scaled to max P99).
+func (p *Plane) dashStages(b *strings.Builder, now float64) {
+	stages := p.stageQ.Keys()
+	type row struct {
+		stage         string
+		count         uint64
+		p50, p95, p99 float64
+	}
+	var rows []row
+	maxP99 := 0.0
+	for _, st := range stages {
+		q := p.stageQ.With(st)
+		vals := q.Values(now)
+		if len(vals) == 0 {
+			continue
+		}
+		count, _ := q.Total()
+		r := row{stage: st, count: count,
+			p50: quantileOf(vals, 0.5), p95: quantileOf(vals, 0.95), p99: quantileOf(vals, 0.99)}
+		if r.p99 > maxP99 {
+			maxP99 = r.p99
+		}
+		rows = append(rows, r)
+	}
+	b.WriteString("<section><h2>Stage latency</h2>")
+	if len(rows) == 0 {
+		b.WriteString("<p class=sub>no spans recorded</p></section>\n")
+		return
+	}
+	b.WriteString("<table><thead><tr><th>stage</th><th class=n>count</th>" +
+		"<th class=n>P50</th><th class=n>P95</th><th class=n>P99</th><th class=bar></th></tr></thead><tbody>")
+	for _, r := range rows {
+		frac := 0.0
+		if maxP99 > 0 {
+			frac = r.p99 / maxP99
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=n>%d</td><td class=n>%s</td>"+
+			"<td class=n>%s</td><td class=n>%s</td>"+
+			"<td class=bar><div class=hbar style=\"width:%s%%\" title=\"P99 %s\"></div></td></tr>",
+			html.EscapeString(r.stage), r.count,
+			fmtSeconds(r.p50), fmtSeconds(r.p95), fmtSeconds(r.p99),
+			strconv.FormatFloat(100*frac, 'f', 1, 64), fmtSeconds(r.p99))
+	}
+	b.WriteString("</tbody></table></section>\n")
+}
+
+// dashSLO renders per-class attainment.
+func (p *Plane) dashSLO(b *strings.Builder) {
+	b.WriteString("<section><h2>SLO attainment</h2>" +
+		"<table><thead><tr><th>class</th><th class=n>deadline</th><th class=n>attained</th>" +
+		"<th class=n>missed</th><th class=n>attainment</th><th class=bar></th></tr></thead><tbody>")
+	for _, s := range p.SLO.Snapshot() {
+		att := s.Attainment()
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=n>%s</td><td class=n>%d</td>"+
+			"<td class=n>%d</td><td class=n>%s</td>"+
+			"<td class=bar><div class=hbar style=\"width:%s%%\" title=\"%s\"></div></td></tr>",
+			html.EscapeString(s.Class.Name), fmtSeconds(s.Class.Deadline),
+			s.Attained, s.Missed, fmtPercent(att),
+			strconv.FormatFloat(100*att, 'f', 1, 64), fmtPercent(att))
+	}
+	b.WriteString("</tbody></table></section>\n")
+}
+
+// Categorical series slots in fixed order (assigned by worker index,
+// never cycled; beyond the 8th the series folds into the note below the
+// chart). Light/dark pairs follow the validated reference palette.
+var dashSeriesLight = []string{
+	"#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+}
+var dashSeriesDark = []string{
+	"#3987e5", "#d95926", "#199e70", "#eda100", "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+}
+
+// dashQueues renders the queue-depth time series as an SVG step chart,
+// one categorical series per worker, with a legend (identity is never
+// color-alone: the legend names each worker).
+func (p *Plane) dashQueues(b *strings.Builder) {
+	var series []SeriesSnapshot
+	for _, s := range p.Samples.Snapshot() {
+		if strings.HasPrefix(s.Name, "queue_depth_w") && len(s.Points) > 0 {
+			series = append(series, s)
+		}
+	}
+	b.WriteString("<section><h2>Queue depth</h2>")
+	if len(series) == 0 {
+		b.WriteString("<p class=sub>no samples</p></section>\n")
+		return
+	}
+	folded := 0
+	if len(series) > len(dashSeriesLight) {
+		folded = len(series) - len(dashSeriesLight)
+		series = series[:len(dashSeriesLight)]
+	}
+	minT, maxT := series[0].Points[0].T, series[0].Points[0].T
+	maxV := 1.0
+	for _, s := range series {
+		for _, pt := range s.Points {
+			if pt.T < minT {
+				minT = pt.T
+			}
+			if pt.T > maxT {
+				maxT = pt.T
+			}
+			if pt.V > maxV {
+				maxV = pt.V
+			}
+		}
+	}
+	const W, H, pad = 640.0, 160.0, 8.0
+	sx := func(t float64) float64 {
+		if maxT == minT {
+			return pad
+		}
+		return pad + (W-2*pad)*(t-minT)/(maxT-minT)
+	}
+	sy := func(v float64) float64 { return H - pad - (H-2*pad)*v/maxV }
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %.0f %.0f\" role=img aria-label=\"queue depth over time\">", W, H)
+	// One y-axis reference line at the peak (recessive grid).
+	fmt.Fprintf(b, "<line class=grid x1=%.1f y1=%.1f x2=%.1f y2=%.1f/>"+
+		"<text class=axis x=%.1f y=%.1f>%s</text>",
+		pad, sy(maxV), W-pad, sy(maxV), pad, sy(maxV)-2, strconv.FormatFloat(maxV, 'f', 0, 64))
+	fmt.Fprintf(b, "<line class=grid x1=%.1f y1=%.1f x2=%.1f y2=%.1f/>",
+		pad, sy(0), W-pad, sy(0))
+	for i, s := range series {
+		var pts strings.Builder
+		prevY := 0.0
+		for j, pt := range s.Points {
+			x, y := sx(pt.T), sy(pt.V)
+			if j > 0 { // step line: hold the previous value until this sample
+				fmt.Fprintf(&pts, "%.1f,%.1f ", x, prevY)
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f ", x, y)
+			prevY = y
+		}
+		fmt.Fprintf(b, "<polyline class=\"s s%d\" points=\"%s\"><title>worker %s</title></polyline>",
+			i, strings.TrimSpace(pts.String()),
+			html.EscapeString(strings.TrimPrefix(s.Name, "queue_depth_w")))
+	}
+	b.WriteString("</svg>")
+	// Legend (≥2 series ⇒ always present; harmless for one).
+	b.WriteString("<div class=legend>")
+	for i, s := range series {
+		fmt.Fprintf(b, "<span><i class=\"sw s%d\"></i>worker %s</span>", i,
+			html.EscapeString(strings.TrimPrefix(s.Name, "queue_depth_w")))
+	}
+	if folded > 0 {
+		fmt.Fprintf(b, "<span class=sub>+%d more workers not drawn</span>", folded)
+	}
+	b.WriteString("</div></section>\n")
+}
+
+// dashOccupancy renders the batch-occupancy histogram as single-hue
+// vertical bars (magnitude ⇒ sequential, one hue).
+func (p *Plane) dashOccupancy(b *strings.Builder) {
+	upper, cum, total, _ := p.batchOcc.Buckets()
+	b.WriteString("<section><h2>Batch occupancy</h2>")
+	if total == 0 {
+		b.WriteString("<p class=sub>no steps executed</p></section>\n")
+		return
+	}
+	// De-accumulate into per-bin counts (last bin: > last bound).
+	bins := make([]uint64, len(upper)+1)
+	prev := uint64(0)
+	for i, c := range cum {
+		bins[i] = c - prev
+		prev = c
+	}
+	bins[len(upper)] = total - prev
+	maxBin := uint64(1)
+	for _, c := range bins {
+		if c > maxBin {
+			maxBin = c
+		}
+	}
+	b.WriteString("<div class=cols>")
+	for i, c := range bins {
+		label := "∞"
+		if i < len(upper) {
+			label = strconv.FormatFloat(upper[i], 'f', -1, 64)
+		}
+		hpct := 100 * float64(c) / float64(maxBin)
+		fmt.Fprintf(b, "<div class=col title=\"≤%s: %d steps\">"+
+			"<div class=vbar style=\"height:%s%%\"></div><div class=cl>%s</div></div>",
+			html.EscapeString(label), c, strconv.FormatFloat(hpct, 'f', 1, 64),
+			html.EscapeString(label))
+	}
+	b.WriteString("</div></section>\n")
+}
+
+// dashTables renders the enumerable counters: outcomes, decisions, cache
+// tiers.
+func (p *Plane) dashTables(b *strings.Builder) {
+	section := func(title string, head []string, rows [][]string) {
+		fmt.Fprintf(b, "<section><h2>%s</h2>", html.EscapeString(title))
+		if len(rows) == 0 {
+			b.WriteString("<p class=sub>none</p></section>\n")
+			return
+		}
+		b.WriteString("<table><thead><tr>")
+		for i, h := range head {
+			cls := ""
+			if i > 0 {
+				cls = " class=n"
+			}
+			fmt.Fprintf(b, "<th%s>%s</th>", cls, html.EscapeString(h))
+		}
+		b.WriteString("</tr></thead><tbody>")
+		for _, r := range rows {
+			b.WriteString("<tr>")
+			for i, c := range r {
+				cls := ""
+				if i > 0 {
+					cls = " class=n"
+				}
+				fmt.Fprintf(b, "<td%s>%s</td>", cls, html.EscapeString(c))
+			}
+			b.WriteString("</tr>")
+		}
+		b.WriteString("</tbody></table></section>\n")
+	}
+	var rows [][]string
+	for _, lv := range p.requests.Snapshot() {
+		rows = append(rows, []string{lv.Values[0], strconv.FormatFloat(lv.V, 'f', 0, 64)})
+	}
+	section("Request outcomes", []string{"outcome", "count"}, rows)
+
+	rows = nil
+	for _, lv := range p.decisions.Snapshot() {
+		rows = append(rows, []string{lv.Values[0], strconv.FormatFloat(lv.V, 'f', 0, 64)})
+	}
+	section("Scheduling decisions", []string{"kind", "count"}, rows)
+
+	rows = nil
+	bytesByKey := map[string]float64{}
+	for _, lv := range p.tierBytes.Snapshot() {
+		bytesByKey[lv.Values[0]+"\xff"+lv.Values[1]] = lv.V
+	}
+	for _, lv := range p.tierOps.Snapshot() {
+		rows = append(rows, []string{lv.Values[0], lv.Values[1],
+			strconv.FormatFloat(lv.V, 'f', 0, 64),
+			fmtBytes(bytesByKey[lv.Values[0]+"\xff"+lv.Values[1]])})
+	}
+	section("Cache tiers", []string{"tier", "op", "ops", "bytes"}, rows)
+}
+
+// fmtSeconds renders a duration in seconds with an adaptive unit.
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 0:
+		return "-" + fmtSeconds(-s)
+	case s == 0:
+		return "0s"
+	case s < 1e-3:
+		return strconv.FormatFloat(s*1e6, 'f', 1, 64) + "µs"
+	case s < 1:
+		return strconv.FormatFloat(s*1e3, 'f', 2, 64) + "ms"
+	case s < 120:
+		return strconv.FormatFloat(s, 'f', 2, 64) + "s"
+	default:
+		return strconv.FormatFloat(s/60, 'f', 1, 64) + "min"
+	}
+}
+
+func fmtRate(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) + "/s" }
+
+func fmtPercent(v float64) string { return strconv.FormatFloat(100*v, 'f', 1, 64) + "%" }
+
+func fmtBytes(v float64) string {
+	switch {
+	case v <= 0:
+		return "0"
+	case v < 1<<10:
+		return strconv.FormatFloat(v, 'f', 0, 64) + " B"
+	case v < 1<<20:
+		return strconv.FormatFloat(v/(1<<10), 'f', 1, 64) + " KiB"
+	case v < 1<<30:
+		return strconv.FormatFloat(v/(1<<20), 'f', 1, 64) + " MiB"
+	default:
+		return strconv.FormatFloat(v/(1<<30), 'f', 2, 64) + " GiB"
+	}
+}
+
+// dashHead is the document head: tokens from the validated reference
+// palette (light + dark via prefers-color-scheme and data-theme), text in
+// ink tokens (never series colors), thin recessive grid, single-hue bars.
+const dashHead = `<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width,initial-scale=1">
+<title>FlashPS telemetry</title>
+<style>
+:root{
+  --surface:#fcfcfb; --ink:#0b0b0b; --ink-2:#52514e; --border:#e5e4e0;
+  --accent:#2a78d6;
+  --s0:#2a78d6; --s1:#eb6834; --s2:#1baf7a; --s3:#eda100;
+  --s4:#e87ba4; --s5:#008300; --s6:#4a3aa7; --s7:#e34948;
+}
+@media (prefers-color-scheme: dark){:root{
+  --surface:#1a1a19; --ink:#ffffff; --ink-2:#c3c2b7; --border:#3a3936;
+  --accent:#3987e5;
+  --s0:#3987e5; --s1:#d95926; --s2:#199e70; --s3:#eda100;
+  --s4:#e87ba4; --s5:#008300; --s6:#4a3aa7; --s7:#e34948;
+}}
+:root[data-theme="dark"]{
+  --surface:#1a1a19; --ink:#ffffff; --ink-2:#c3c2b7; --border:#3a3936;
+  --accent:#3987e5;
+  --s0:#3987e5; --s1:#d95926; --s2:#199e70; --s3:#eda100;
+  --s4:#e87ba4; --s5:#008300; --s6:#4a3aa7; --s7:#e34948;
+}
+body{background:var(--surface);color:var(--ink);margin:0;
+  font:14px/1.5 system-ui,-apple-system,"Segoe UI",sans-serif}
+main,header{max-width:880px;margin:0 auto;padding:0 16px}
+header{padding-top:20px}
+h1{font-size:20px;margin:0}
+h2{font-size:15px;margin:20px 0 8px}
+.sub{color:var(--ink-2);font-size:12px;margin:2px 0}
+.tiles{display:flex;flex-wrap:wrap;gap:8px;margin-top:12px}
+.tile{border:1px solid var(--border);border-radius:6px;padding:10px 14px;min-width:110px}
+.tile .v{font-size:20px;font-variant-numeric:tabular-nums}
+.tile .l{color:var(--ink-2);font-size:11px}
+table{border-collapse:collapse;width:100%;font-variant-numeric:tabular-nums}
+th,td{text-align:left;padding:4px 10px 4px 0;border-bottom:1px solid var(--border);
+  font-weight:normal;font-size:13px}
+th{color:var(--ink-2);font-size:11px;text-transform:uppercase;letter-spacing:.04em}
+th.n,td.n{text-align:right}
+td.bar,th.bar{width:30%;padding-right:0}
+.hbar{background:var(--accent);height:8px;border-radius:0 4px 4px 0;min-width:1px}
+svg{width:100%;height:auto;display:block;margin-top:4px}
+svg .s{fill:none;stroke-width:2;stroke-linejoin:round}
+svg .grid{stroke:var(--border);stroke-width:1}
+svg .axis{fill:var(--ink-2);font-size:9px}
+.s0{stroke:var(--s0)}.s1{stroke:var(--s1)}.s2{stroke:var(--s2)}.s3{stroke:var(--s3)}
+.s4{stroke:var(--s4)}.s5{stroke:var(--s5)}.s6{stroke:var(--s6)}.s7{stroke:var(--s7)}
+.sw{display:inline-block;width:10px;height:10px;border-radius:2px;margin-right:5px}
+.sw.s0{background:var(--s0)}.sw.s1{background:var(--s1)}.sw.s2{background:var(--s2)}
+.sw.s3{background:var(--s3)}.sw.s4{background:var(--s4)}.sw.s5{background:var(--s5)}
+.sw.s6{background:var(--s6)}.sw.s7{background:var(--s7)}
+.legend{display:flex;gap:14px;flex-wrap:wrap;color:var(--ink-2);font-size:12px;margin-top:6px}
+.legend span{display:inline-flex;align-items:center}
+.cols{display:flex;align-items:flex-end;gap:2px;height:120px;margin-top:8px}
+.col{flex:1;display:flex;flex-direction:column;justify-content:flex-end;height:100%}
+.vbar{background:var(--accent);border-radius:4px 4px 0 0;min-height:1px}
+.cl{color:var(--ink-2);font-size:10px;text-align:center;margin-top:3px}
+main{padding-bottom:32px}
+</style></head><body><main>
+`

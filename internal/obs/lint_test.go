@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// registrarMethods are the Registry methods whose first argument is a
+// metric name.
+var registrarMethods = map[string]bool{
+	"Counter": true, "CounterVec": true,
+	"Gauge": true, "GaugeVec": true,
+	"Histogram": true, "HistogramVec": true,
+	"GaugeFunc": true, "GaugeVecFunc": true,
+}
+
+var metricNameRe = regexp.MustCompile(`^flashps_[a-z0-9_]+$`)
+
+// TestMetricNamingLint walks every non-test Go file in the repository,
+// collects each instrument registered with a string-literal name, and
+// fails unless the name (a) matches ^flashps_[a-z0-9_]+$ and (b) appears
+// backticked in docs/OBSERVABILITY.md. The failure lists every
+// undocumented metric, so adding an instrument without documenting it
+// breaks `make check`.
+func TestMetricNamingLint(t *testing.T) {
+	root := repoRoot(t)
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	docText := string(doc)
+
+	type site struct {
+		pos  string
+		name string
+	}
+	var sites []site
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registrarMethods[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			sites = append(sites, site{pos: fset.Position(lit.Pos()).String(), name: name})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) < 20 {
+		t.Fatalf("lint found only %d instrument registrations — scanner broken?", len(sites))
+	}
+
+	var bad, undocumented []string
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if !metricNameRe.MatchString(s.name) {
+			bad = append(bad, s.pos+": "+s.name)
+			continue
+		}
+		if seen[s.name] {
+			continue
+		}
+		seen[s.name] = true
+		if !strings.Contains(docText, "`"+s.name+"`") {
+			undocumented = append(undocumented, s.pos+": "+s.name)
+		}
+	}
+	if len(bad) > 0 {
+		t.Errorf("metric names not matching %s:\n  %s",
+			metricNameRe, strings.Join(bad, "\n  "))
+	}
+	if len(undocumented) > 0 {
+		t.Errorf("metrics missing from docs/OBSERVABILITY.md (add a backticked row for each):\n  %s",
+			strings.Join(undocumented, "\n  "))
+	}
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

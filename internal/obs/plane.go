@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Plane is the full telemetry plane shared by every driver of the batching
+// core: the live serving plane (internal/serve), the discrete-event
+// simulator (internal/cluster), and the differential-replay real driver
+// (internal/replay) all emit through one Plane, so a replayed trace and a
+// live run produce the same Prometheus exposition shapes, Chrome traces,
+// and dashboard — differing only in whether timestamps are virtual or
+// wall seconds.
+//
+// The Plane bundles the registry and tracer (PR 1) with the instruments
+// the paper's distributional claims need: windowed per-stage quantiles
+// (P50/P95/P99), an SLO tracker with attainment and goodput, per-cache-
+// tier hit/miss/byte accounting, and queue-depth / batch-occupancy time
+// series. All hot-path methods are concurrency-safe.
+type Plane struct {
+	Reg     *Registry
+	Tracer  *Tracer
+	SLO     *SLOTracker
+	Samples *Sampler
+
+	mu    sync.Mutex
+	clock Clock
+	epoch float64
+
+	requests   *CounterVec
+	steps      *Counter
+	stage      *HistogramVec
+	stageQ     *QuantileVec
+	batchOcc   *Histogram
+	queueDepth *GaugeVec
+	peakQueue  *GaugeVec
+	decisions  *CounterVec
+	sloVec     *CounterVec
+	tierOps    *CounterVec
+	tierBytes  *CounterVec
+
+	batchSizeSum atomic.Uint64
+	batchSteps   atomic.Uint64
+}
+
+// PlaneConfig parameterizes a Plane. The zero value is a working live
+// configuration (wall clock, default windows and ring sizes).
+type PlaneConfig struct {
+	// Clock stamps spans, samples, and rate denominators; nil uses a fresh
+	// WallClock. Simulation drivers that build their clock inside Run
+	// rebind later via BindClock.
+	Clock Clock
+	// TraceRing sizes the span ring (0: DefaultTraceRing).
+	TraceRing int
+	// SLOClasses are the deadline classes (nil: DefaultSLOClasses).
+	SLOClasses []SLOClass
+	// SampleWindow/SampleCap size the time-series sampler (0: defaults).
+	SampleWindow float64
+	SampleCap    int
+	// QuantileWindow/QuantileCap size the per-stage windowed quantile
+	// estimators (0: DefaultSampleWindow / DefaultQuantileCap).
+	QuantileWindow float64
+	QuantileCap    int
+}
+
+// Quantiles the plane exposes per stage, ascending.
+var planeQuantiles = []float64{0.5, 0.95, 0.99}
+
+// NewPlane builds a Plane and registers the shared instrument families.
+func NewPlane(cfg PlaneConfig) *Plane {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = &WallClock{}
+	}
+	qw := cfg.QuantileWindow
+	if qw <= 0 {
+		qw = DefaultSampleWindow
+	}
+	reg := NewRegistry()
+	p := &Plane{
+		Reg:     reg,
+		Tracer:  NewTracer(cfg.TraceRing),
+		SLO:     NewSLOTracker(cfg.SLOClasses),
+		Samples: NewSampler(clock, cfg.SampleWindow, cfg.SampleCap),
+		clock:   clock,
+		epoch:   clock.Now(),
+		stageQ:  NewQuantileVec(qw, cfg.QuantileCap),
+	}
+	p.requests = reg.CounterVec("flashps_requests_total",
+		"Edit requests by terminal outcome", "outcome")
+	p.steps = reg.Counter("flashps_denoise_steps_total",
+		"Denoising steps executed across all workers")
+	p.stage = reg.HistogramVec("flashps_request_stage_seconds",
+		"Per-stage request latency (Fig 10 pipeline breakdown)",
+		LatencyBuckets, "stage")
+	p.batchOcc = reg.Histogram("flashps_batch_occupancy",
+		"Running-batch size at each executed denoising step",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32})
+	p.queueDepth = reg.GaugeVec("flashps_worker_queue_depth",
+		"Ready requests queued at each worker", "worker")
+	p.peakQueue = reg.GaugeVec("flashps_worker_peak_queue",
+		"Peak ready-queue depth per worker", "worker")
+	p.decisions = reg.CounterVec("flashps_sched_decisions_total",
+		"Scheduling decisions by kind (place/admit/shed/reject)", "kind")
+	p.sloVec = reg.CounterVec("flashps_slo_requests_total",
+		"Completed requests by deadline class and attainment result", "class", "result")
+	p.tierOps = reg.CounterVec("flashps_cache_tier_ops_total",
+		"Cache-tier operations by tier and op (§4.2)", "tier", "op")
+	p.tierBytes = reg.CounterVec("flashps_cache_tier_bytes_total",
+		"Cache-tier bytes moved by tier and op (§4.2)", "tier", "op")
+
+	reg.GaugeFunc("flashps_slo_attainment",
+		"Fraction of completed requests that met their class deadline",
+		p.SLO.Attainment)
+	reg.GaugeFunc("flashps_goodput_rps",
+		"SLO-attained completed requests per clock second since epoch",
+		func() float64 { a, _ := p.SLO.Counts(); return p.rate(float64(a)) })
+	reg.GaugeFunc("flashps_throughput_rps",
+		"Completed requests per clock second since epoch",
+		func() float64 { _, t := p.SLO.Counts(); return p.rate(float64(t)) })
+	reg.GaugeFunc("flashps_mean_batch_size",
+		"Mean running-batch size over executed denoising steps (§4.3)",
+		p.MeanBatchSize)
+	reg.GaugeFunc("flashps_trace_spans_total",
+		"Spans recorded into the trace ring (including dropped)",
+		func() float64 { return float64(p.Tracer.Total()) })
+	reg.GaugeFunc("flashps_trace_spans_dropped",
+		"Spans evicted from the trace ring",
+		func() float64 { return float64(p.Tracer.Dropped()) })
+	reg.GaugeVecFunc("flashps_request_stage_quantile_seconds",
+		"Windowed per-stage latency quantiles (P50/P95/P99)",
+		p.stageQuantiles, "stage", "quantile")
+
+	p.Samples.Source("goodput_rps",
+		func() float64 { a, _ := p.SLO.Counts(); return p.rate(float64(a)) })
+	p.Samples.Source("throughput_rps",
+		func() float64 { _, t := p.SLO.Counts(); return p.rate(float64(t)) })
+	return p
+}
+
+// BindClock rebinds the plane (and its sampler) to a driver-owned clock
+// and resets the rate epoch to the clock's current time. The simulation
+// harnesses call it right after constructing their virtual clock.
+func (p *Plane) BindClock(c Clock) {
+	p.mu.Lock()
+	p.clock = c
+	p.epoch = c.Now()
+	p.mu.Unlock()
+	p.Samples.setClock(c)
+}
+
+// Now returns the bound clock's current time.
+func (p *Plane) Now() float64 {
+	p.mu.Lock()
+	c := p.clock
+	p.mu.Unlock()
+	return c.Now()
+}
+
+// Epoch returns the rate epoch (clock seconds).
+func (p *Plane) Epoch() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// rate divides a count by the elapsed clock time since epoch (0 before any
+// time has passed).
+func (p *Plane) rate(count float64) float64 {
+	elapsed := p.Now() - p.Epoch()
+	if elapsed <= 0 {
+		return 0
+	}
+	return count / elapsed
+}
+
+// stageQuantiles renders the windowed per-stage quantiles for the
+// GaugeVecFunc, stages alphabetical and quantiles ascending.
+func (p *Plane) stageQuantiles() []LabeledValue {
+	now := p.Now()
+	var out []LabeledValue
+	for _, stage := range p.stageQ.Keys() {
+		vals := p.stageQ.With(stage).Values(now)
+		if len(vals) == 0 {
+			continue
+		}
+		for _, q := range planeQuantiles {
+			out = append(out, LabeledValue{
+				Values: []string{stage, strconv.FormatFloat(q, 'g', -1, 64)},
+				V:      quantileOf(vals, q),
+			})
+		}
+	}
+	return out
+}
+
+// Span records one stage span (clock seconds) into the tracer, the stage
+// histogram, and the stage quantile window, so the trace, the histogram,
+// and the quantiles never disagree.
+func (p *Plane) Span(req uint64, stage, cat string, tid int, start, dur float64, args map[string]float64) {
+	if dur < 0 {
+		dur = 0
+	}
+	p.Tracer.Span(req, stage, cat, tid, start, dur, args)
+	p.stage.With(stage).Observe(dur)
+	p.stageQ.With(stage).Observe(start+dur, dur)
+}
+
+// RequestOutcome counts one terminal request outcome ("ok", "error",
+// "rejected", "deadline", "canceled", "shed").
+func (p *Plane) RequestOutcome(outcome string) { p.requests.With(outcome).Inc() }
+
+// IncSteps counts one executed per-request denoising step.
+func (p *Plane) IncSteps() { p.steps.Inc() }
+
+// AddSteps counts n per-request denoising steps at once (a batch of n
+// requests advancing one step executes n request-steps).
+func (p *Plane) AddSteps(n int) { p.steps.Add(float64(n)) }
+
+// ObserveBatch records the running-batch size of one executed step into
+// the occupancy histogram, the mean-batch accumulators, and the
+// batch_occupancy time series.
+func (p *Plane) ObserveBatch(size int) {
+	p.batchOcc.Observe(float64(size))
+	p.batchSizeSum.Add(uint64(size))
+	p.batchSteps.Add(1)
+	p.Samples.Record("batch_occupancy", float64(size))
+}
+
+// StepsTotal returns the denoise-step counter's current value (per-request
+// steps, so a batch of n advancing one step counted n).
+func (p *Plane) StepsTotal() float64 { return p.steps.Value() }
+
+// MeanBatchSize returns the mean running-batch size over executed steps.
+func (p *Plane) MeanBatchSize() float64 {
+	steps := p.batchSteps.Load()
+	if steps == 0 {
+		return 0
+	}
+	return float64(p.batchSizeSum.Load()) / float64(steps)
+}
+
+// SetQueueDepth publishes one worker's ready-queue depth, tracking its
+// peak and sampling the queue_depth time series.
+func (p *Plane) SetQueueDepth(worker, depth int) {
+	l := strconv.Itoa(worker)
+	d := float64(depth)
+	p.queueDepth.With(l).Set(d)
+	if peak := p.peakQueue.With(l); d > peak.Value() {
+		peak.Set(d)
+	}
+	p.Samples.Record("queue_depth_w"+l, d)
+}
+
+// Decision counts one scheduling decision by kind.
+func (p *Plane) Decision(kind string) { p.decisions.With(kind).Inc() }
+
+// ObserveSLO classifies one completed request (by mask ratio) against its
+// deadline class and records attainment; it also ticks the sampler's
+// sources so goodput/throughput series advance at completion events —
+// which keeps sampling deterministic (and the virtual event queue finite)
+// under the simulation drivers.
+func (p *Plane) ObserveSLO(ratio, latency float64) (SLOClass, bool) {
+	c, ok := p.SLO.Observe(ratio, latency)
+	result := "attained"
+	if !ok {
+		result = "missed"
+	}
+	p.sloVec.With(c.Name, result).Inc()
+	p.Samples.Tick()
+	return c, ok
+}
+
+// CacheTier accumulates tier accounting: ops operations of kind op on the
+// named tier ("host", "disk"), moving bytes bytes.
+func (p *Plane) CacheTier(tier, op string, ops uint64, bytes float64) {
+	p.tierOps.With(tier, op).Add(float64(ops))
+	if bytes > 0 {
+		p.tierBytes.With(tier, op).Add(bytes)
+	}
+}
+
+// Tick samples the registered time-series sources at the current clock
+// time; the live serving plane drives it from a wall ticker.
+func (p *Plane) Tick() { p.Samples.Tick() }
+
+// Artifact filenames WriteArtifacts produces.
+const (
+	ArtifactMetrics   = "metrics.prom"
+	ArtifactTrace     = "trace.json"
+	ArtifactDashboard = "dash.html"
+)
+
+// WriteArtifacts dumps the plane's full output — Prometheus exposition,
+// Chrome trace JSON, and the self-contained HTML dashboard — into dir
+// (created if missing), returning the first error.
+func (p *Plane) WriteArtifacts(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(*strings.Builder) error) error {
+		var b strings.Builder
+		if err := fn(&b); err != nil {
+			return fmt.Errorf("obs: render %s: %w", name, err)
+		}
+		return os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644)
+	}
+	if err := write(ArtifactMetrics, func(b *strings.Builder) error {
+		return p.Reg.WritePrometheus(b)
+	}); err != nil {
+		return err
+	}
+	if err := write(ArtifactTrace, func(b *strings.Builder) error {
+		return p.Tracer.WriteChromeJSON(b)
+	}); err != nil {
+		return err
+	}
+	return write(ArtifactDashboard, func(b *strings.Builder) error {
+		return p.WriteDashboard(b)
+	})
+}

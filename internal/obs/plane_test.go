@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestWindowQuantileNearestRank(t *testing.T) {
+	q := NewWindowQuantile(10, 0)
+	for i := 1; i <= 100; i++ {
+		q.Observe(1.0, float64(i))
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100},
+	} {
+		if got := q.Quantile(1.0, tc.p); got != tc.want {
+			t.Fatalf("P%g = %g, want %g", tc.p*100, got, tc.want)
+		}
+	}
+	if got := q.Count(1.0); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	// The window slides: observations at t=1 vanish by t=12.
+	q.Observe(12.0, 7)
+	if got := q.Count(12.0); got != 1 {
+		t.Fatalf("count after slide = %d", got)
+	}
+	if got := q.Quantile(12.0, 0.5); got != 7 {
+		t.Fatalf("P50 after slide = %g", got)
+	}
+	// Lifetime totals survive the slide.
+	if n, sum := q.Total(); n != 101 || sum != 5050+7 {
+		t.Fatalf("total = %d/%g", n, sum)
+	}
+}
+
+func TestWindowQuantileEmptyAndCap(t *testing.T) {
+	q := NewWindowQuantile(10, 4)
+	if !math.IsNaN(q.Quantile(0, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	for i := 0; i < 10; i++ {
+		q.Observe(1.0, float64(i))
+	}
+	if got := q.Count(1.0); got != 4 {
+		t.Fatalf("capped count = %d, want 4", got)
+	}
+	// Oldest dropped first: survivors are 6..9.
+	if got := q.Quantile(1.0, 0.0); got != 6 {
+		t.Fatalf("min after cap = %g, want 6", got)
+	}
+}
+
+func TestQuantileVecKeysSorted(t *testing.T) {
+	v := NewQuantileVec(10, 0)
+	v.With("queue").Observe(0, 1)
+	v.With("denoise").Observe(0, 2)
+	v.With("admit").Observe(0, 3)
+	keys := v.Keys()
+	want := []string{"admit", "denoise", "queue"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	if v.With("queue") != v.With("queue") {
+		t.Fatal("With not idempotent")
+	}
+}
+
+func TestSLOTrackerClassesAndAttainment(t *testing.T) {
+	tr := NewSLOTracker(nil)
+	// interactive (<0.15): deadline 2.5s.
+	if c, ok := tr.Observe(0.10, 1.0); c.Name != "interactive" || !ok {
+		t.Fatalf("interactive hit: %v %v", c, ok)
+	}
+	if c, ok := tr.Observe(0.10, 3.0); c.Name != "interactive" || ok {
+		t.Fatalf("interactive miss: %v %v", c, ok)
+	}
+	// standard (<0.40): deadline 6s.
+	if c, ok := tr.Observe(0.30, 5.9); c.Name != "standard" || !ok {
+		t.Fatalf("standard hit: %v %v", c, ok)
+	}
+	// relaxed: deadline 15s; ratio 1.0 still classifies.
+	if c, ok := tr.Observe(1.0, 20.0); c.Name != "relaxed" || ok {
+		t.Fatalf("relaxed miss: %v %v", c, ok)
+	}
+	a, total := tr.Counts()
+	if a != 2 || total != 4 {
+		t.Fatalf("counts = %d/%d", a, total)
+	}
+	if got := tr.Attainment(); got != 0.5 {
+		t.Fatalf("attainment = %g", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot classes = %d", len(snap))
+	}
+	if snap[0].Class.Name != "interactive" || snap[0].Attained != 1 || snap[0].Missed != 1 {
+		t.Fatalf("interactive stat = %+v", snap[0])
+	}
+	if snap[0].Attainment() != 0.5 {
+		t.Fatalf("interactive attainment = %g", snap[0].Attainment())
+	}
+	// Empty tracker: attainment vacuously 1 (no broken SLOs).
+	if got := NewSLOTracker(nil).Attainment(); got != 1 {
+		t.Fatalf("empty attainment = %g", got)
+	}
+}
+
+func TestSamplerWindowAndSources(t *testing.T) {
+	now := 0.0
+	s := NewSampler(ClockFunc(func() float64 { return now }), 10, 0)
+	v := 1.0
+	s.Source("rate", func() float64 { return v })
+	for ; now < 5; now++ {
+		s.Record("depth", now*2)
+		s.Tick()
+		v++
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("series = %d", len(snap))
+	}
+	// Series appear in first-recorded order: depth (explicit Record) lands
+	// before rate (sampled by the following Tick).
+	if snap[0].Name != "depth" || snap[1].Name != "rate" {
+		t.Fatalf("order = %s, %s", snap[0].Name, snap[1].Name)
+	}
+	if len(snap[0].Points) != 5 || snap[0].Points[4].T != 4 || snap[0].Points[4].V != 8 {
+		t.Fatalf("depth points = %+v", snap[0].Points)
+	}
+	if snap[1].Points[0].V != 1 || snap[1].Points[4].V != 5 {
+		t.Fatalf("rate points = %+v", snap[1].Points)
+	}
+	// Points age out of the window.
+	now = 20
+	s.Record("depth", 99)
+	snap = s.Snapshot()
+	if got := len(snap[0].Points); got != 1 {
+		t.Fatalf("pruned depth points = %d", got)
+	}
+}
+
+// scriptPlane drives a plane through a fixed, deterministic event script
+// on a manual clock; used by the golden and determinism tests.
+func scriptPlane() *Plane {
+	now := 0.0
+	p := NewPlane(PlaneConfig{Clock: ClockFunc(func() float64 { return now })})
+	for i := 0; i < 8; i++ {
+		arrival := float64(i) * 0.25
+		now = arrival
+		p.Decision("place")
+		p.SetQueueDepth(i%2, 1)
+		p.Span(uint64(i+1), "queue", "core", i%2, arrival, 0.05, nil)
+		p.ObserveBatch(1 + i%3)
+		p.AddSteps(1 + i%3)
+		now = arrival + 0.05 + 0.80
+		p.Span(uint64(i+1), "inference", "core", i%2, arrival+0.05, 0.80,
+			map[string]float64{"interruptions": 0})
+		now = arrival + 1.0
+		p.Span(uint64(i+1), "postprocess", "core", i%2, arrival+0.85, 0.15, nil)
+		p.Span(uint64(i+1), "request", "core", i%2, arrival, 1.0,
+			map[string]float64{"mask_ratio": 0.05 * float64(i+1)})
+		p.SetQueueDepth(i%2, 0)
+		p.RequestOutcome("ok")
+		p.ObserveSLO(0.05*float64(i+1), 1.0)
+	}
+	p.CacheTier("host", "hit", 6, 6*1024)
+	p.CacheTier("disk", "load", 2, 2*1024)
+	now = 10.0
+	return p
+}
+
+// TestPlaneExpositionGolden pins the full Prometheus exposition of a
+// scripted plane. Regenerate with: go test ./internal/obs -run Golden -update
+func TestPlaneExpositionGolden(t *testing.T) {
+	got := scriptPlane().Reg.String()
+	path := filepath.Join("testdata", "plane_golden.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden %s (re-run with -update if intended):\n%s", path, got)
+	}
+}
+
+// TestPlaneDashboardDeterministic: identical event scripts must render
+// byte-identical dashboards — the property the differential replay test
+// leans on.
+func TestPlaneDashboardDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := scriptPlane().WriteDashboard(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := scriptPlane().WriteDashboard(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("dashboards differ across identical scripts")
+	}
+	for _, want := range []string{
+		"<!doctype html>", "<title>FlashPS telemetry</title>",
+		"SLO attainment", "Stage latency", "Queue depth", "Batch occupancy",
+		"prefers-color-scheme: dark",
+	} {
+		if !bytes.Contains(a.Bytes(), []byte(want)) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+}
+
+// TestChromeTraceSchema sanity-checks the trace export against the
+// trace_event JSON shape Perfetto/chrome://tracing require: a traceEvents
+// array of complete ("X") events with name/cat/ph/ts/dur/pid/tid, and
+// microsecond timestamps derived from the clock seconds.
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := scriptPlane().Tracer.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string             `json:"name"`
+			Cat  string             `json:"cat"`
+			Ph   string             `json:"ph"`
+			TS   *int64             `json:"ts"`
+			Dur  *int64             `json:"dur"`
+			PID  int                `json:"pid"`
+			TID  int                `json:"tid"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	if len(out.TraceEvents) != 8*4 {
+		t.Fatalf("events = %d, want 32", len(out.TraceEvents))
+	}
+	for _, e := range out.TraceEvents {
+		if e.Name == "" || e.Cat == "" || e.Ph != "X" || e.TS == nil || e.Dur == nil {
+			t.Fatalf("malformed event %+v", e)
+		}
+		if e.PID != 1 || e.TID < 0 {
+			t.Fatalf("bad pid/tid in %+v", e)
+		}
+		if e.Args["request"] < 1 {
+			t.Fatalf("missing request arg in %+v", e)
+		}
+	}
+	// Spot-check microsecond conversion: request 1's queue span at 0s+50ms.
+	e := out.TraceEvents[0]
+	if *e.TS != 0 || *e.Dur != 50000 {
+		t.Fatalf("first span [%d,+%d]µs, want [0,+50000]", *e.TS, *e.Dur)
+	}
+}
+
+func TestPlaneArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	p := scriptPlane()
+	if err := p.WriteArtifacts(dir); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(filepath.Join(dir, ArtifactMetrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prom) != p.Reg.String() {
+		t.Fatal("metrics artifact differs from live exposition")
+	}
+	trace, err := os.ReadFile(filepath.Join(dir, ArtifactTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(trace) {
+		t.Fatal("trace artifact is not valid JSON")
+	}
+	dash, err := os.ReadFile(filepath.Join(dir, ArtifactDashboard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(dash, []byte("<title>FlashPS telemetry</title>")) {
+		t.Fatal("dashboard artifact missing title")
+	}
+}
+
+func TestWallClockSeconds(t *testing.T) {
+	w := &WallClock{}
+	a := w.Now()
+	if a < 0 {
+		t.Fatalf("wall now = %g", a)
+	}
+	// Seconds places wall timestamps onto the same axis as Now.
+	b := w.Seconds(time.Now())
+	if math.Abs(b-w.Now()) > 1.0 {
+		t.Fatalf("Seconds diverges from Now: %g vs %g", b, w.Now())
+	}
+}

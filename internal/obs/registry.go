@@ -118,6 +118,15 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Buckets returns the bucket upper bounds (excluding the implicit +Inf),
+// the cumulative counts aligned with them, the total observation count,
+// and the observation sum — the same snapshot the exposition renders,
+// exported for the dashboard and report writers.
+func (h *Histogram) Buckets() (upper []float64, cum []uint64, total uint64, sum float64) {
+	cum, total, sum = h.snapshot()
+	return append([]float64(nil), h.upper...), cum, total, sum
+}
+
 // snapshot returns cumulative bucket counts aligned with upper, the +Inf
 // total, and the sum. The +Inf total equals the sum of every per-bin count
 // read in this snapshot, so exposition invariants hold by construction.
@@ -159,6 +168,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindGaugeFunc
+	kindGaugeVecFunc
 )
 
 func (k kind) String() string {
@@ -172,6 +182,13 @@ func (k kind) String() string {
 	}
 }
 
+// LabeledValue is one labeled sample of a GaugeVecFunc (or a vec snapshot):
+// the label values in family label order and the current value.
+type LabeledValue struct {
+	Values []string
+	V      float64
+}
+
 // family is one named metric with zero or more labeled children.
 type family struct {
 	name    string
@@ -181,9 +198,10 @@ type family struct {
 	buckets []float64
 
 	mu       sync.Mutex
-	children map[string]*child // label-values key → child
-	order    []string          // insertion order of keys
-	fn       func() float64    // kindGaugeFunc only
+	children map[string]*child     // label-values key → child
+	order    []string              // insertion order of keys
+	fn       func() float64        // kindGaugeFunc only
+	vfn      func() []LabeledValue // kindGaugeVecFunc only
 }
 
 type child struct {
@@ -218,6 +236,25 @@ func (f *family) child(values ...string) *child {
 	return c
 }
 
+// vecSnapshot reads every child's scalar value in creation order.
+func (f *family) vecSnapshot() []LabeledValue {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]LabeledValue, 0, len(f.order))
+	for _, key := range f.order {
+		c := f.children[key]
+		var v float64
+		switch f.kind {
+		case kindCounter:
+			v = c.ctr.Value()
+		case kindGauge:
+			v = c.gauge.Value()
+		}
+		out = append(out, LabeledValue{Values: c.values, V: v})
+	}
+	return out
+}
+
 // CounterVec is a family of counters keyed by label values.
 type CounterVec struct{ f *family }
 
@@ -225,11 +262,19 @@ type CounterVec struct{ f *family }
 // first use.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values...).ctr }
 
+// Snapshot returns every child's label values and current count, in
+// creation order (used by the dashboard renderer).
+func (v *CounterVec) Snapshot() []LabeledValue { return v.f.vecSnapshot() }
+
 // GaugeVec is a family of gauges keyed by label values.
 type GaugeVec struct{ f *family }
 
 // With returns the gauge for the given label values.
 func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values...).gauge }
+
+// Snapshot returns every child's label values and current value, in
+// creation order.
+func (v *GaugeVec) Snapshot() []LabeledValue { return v.f.vecSnapshot() }
 
 // HistogramVec is a family of histograms keyed by label values.
 type HistogramVec struct{ f *family }
@@ -305,6 +350,15 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.fn = fn
 }
 
+// GaugeVecFunc registers a labeled gauge family whose samples are computed
+// by fn at scrape time — used for derived per-label values (e.g. windowed
+// stage quantiles) without double bookkeeping. fn must return label value
+// tuples matching the declared labels, in a deterministic order.
+func (r *Registry) GaugeVecFunc(name, help string, fn func() []LabeledValue, labels ...string) {
+	f := r.add(name, help, kindGaugeVecFunc, labels, nil)
+	f.vfn = fn
+}
+
 // Histogram registers and returns an unlabeled histogram with the given
 // bucket upper bounds (the +Inf bucket is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
@@ -363,6 +417,11 @@ func labelString(names, values []string, extra ...string) string {
 	return b.String()
 }
 
+// PrometheusContentType is the Content-Type HTTP scrape endpoints must
+// send with WritePrometheus output: text exposition format 0.0.4,
+// including the version parameter Prometheus content negotiation expects.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // WritePrometheus renders every registered family in the text exposition
 // format (version 0.0.4), families sorted by name for deterministic
 // output.
@@ -387,6 +446,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if f.kind == kindGaugeFunc {
 			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn())); err != nil {
 				return err
+			}
+			continue
+		}
+		if f.kind == kindGaugeVecFunc {
+			for _, lv := range f.vfn() {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name,
+					labelString(f.labels, lv.Values), formatFloat(lv.V)); err != nil {
+					return err
+				}
 			}
 			continue
 		}

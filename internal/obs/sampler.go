@@ -1,0 +1,153 @@
+package obs
+
+import "sync"
+
+// SamplePoint is one timestamped sample of a series (clock seconds).
+type SamplePoint struct {
+	T float64
+	V float64
+}
+
+// SeriesSnapshot is one named time series' retained points.
+type SeriesSnapshot struct {
+	Name   string
+	Points []SamplePoint
+}
+
+// Sampler collects named time series of operational signals (queue depth,
+// batch occupancy, goodput) over a sliding time window, stamped by the
+// plane's Clock. Series fill two ways:
+//
+//   - Record pushes an event-driven sample (the simulators sample at
+//     scheduling events, keeping the virtual event queue finite — a
+//     self-rescheduling periodic sampler would make simclock.Drain spin
+//     forever);
+//   - Source registers a scrape function that Tick evaluates, which the
+//     live serving plane drives from a wall-time ticker.
+//
+// Both paths are deterministic given the same event sequence, so the
+// differential-replay drivers produce identical series.
+type Sampler struct {
+	clock  Clock
+	window float64
+	cap    int
+
+	mu      sync.Mutex
+	order   []string
+	series  map[string][]SamplePoint
+	srcName []string
+	sources map[string]func() float64
+}
+
+// Default sampler sizing: ten minutes of signal, bounded per series.
+const (
+	DefaultSampleWindow = 600.0
+	DefaultSampleCap    = 2048
+)
+
+// NewSampler builds a sampler stamping points with clock, keeping window
+// seconds (<=0: DefaultSampleWindow) and at most cap points per series
+// (<=0: DefaultSampleCap).
+func NewSampler(clock Clock, window float64, cap int) *Sampler {
+	if window <= 0 {
+		window = DefaultSampleWindow
+	}
+	if cap <= 0 {
+		cap = DefaultSampleCap
+	}
+	return &Sampler{clock: clock, window: window, cap: cap,
+		series: make(map[string][]SamplePoint), sources: make(map[string]func() float64)}
+}
+
+// setClock rebinds the stamping clock (plane construction happens before
+// the simulation clock exists).
+func (s *Sampler) setClock(c Clock) {
+	s.mu.Lock()
+	s.clock = c
+	s.mu.Unlock()
+}
+
+// Record appends one sample to the named series at the current clock time,
+// pruning points older than the window.
+func (s *Sampler) Record(name string, v float64) {
+	s.mu.Lock()
+	now := s.clock.Now()
+	s.record(name, now, v)
+	s.mu.Unlock()
+}
+
+// record appends under s.mu.
+func (s *Sampler) record(name string, now, v float64) {
+	pts, ok := s.series[name]
+	if !ok {
+		s.order = append(s.order, name)
+	}
+	cut := now - s.window
+	i := 0
+	for i < len(pts) && pts[i].T < cut {
+		i++
+	}
+	if i > 0 {
+		pts = append(pts[:0], pts[i:]...)
+	}
+	if len(pts) == s.cap {
+		pts = pts[1:]
+	}
+	s.series[name] = append(pts, SamplePoint{T: now, V: v})
+}
+
+// Source registers a scrape function evaluated at every Tick. Registering
+// the same name again replaces the function.
+func (s *Sampler) Source(name string, fn func() float64) {
+	s.mu.Lock()
+	if _, ok := s.sources[name]; !ok {
+		s.srcName = append(s.srcName, name)
+	}
+	s.sources[name] = fn
+	s.mu.Unlock()
+}
+
+// Tick samples every registered source at the current clock time. Source
+// functions are called outside the sampler's lock (they may read other
+// locked state).
+func (s *Sampler) Tick() {
+	s.mu.Lock()
+	names := append([]string(nil), s.srcName...)
+	fns := make([]func() float64, len(names))
+	for i, n := range names {
+		fns[i] = s.sources[n]
+	}
+	clock := s.clock
+	s.mu.Unlock()
+
+	now := clock.Now()
+	vals := make([]float64, len(fns))
+	for i, fn := range fns {
+		vals[i] = fn()
+	}
+	s.mu.Lock()
+	for i, n := range names {
+		s.record(n, now, vals[i])
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns every series (insertion order) with its retained
+// points, pruned to the window at the current clock time.
+func (s *Sampler) Snapshot() []SeriesSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	cut := now - s.window
+	out := make([]SeriesSnapshot, 0, len(s.order))
+	for _, name := range s.order {
+		pts := s.series[name]
+		i := 0
+		for i < len(pts) && pts[i].T < cut {
+			i++
+		}
+		cp := append([]SamplePoint(nil), pts[i:]...)
+		out = append(out, SeriesSnapshot{Name: name, Points: cp})
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package obs
+
+import "sync"
+
+// SLOClass is one deadline class: requests whose mask ratio is below
+// MaxRatio (and not claimed by an earlier class) must complete within
+// Deadline seconds to count as attained. Classing by mask ratio follows
+// the paper's observation that editing cost — and therefore the latency a
+// user will tolerate — scales with the edited region (Fig 3, §6.1): small
+// interactive touch-ups expect fast turnaround, large regenerations are
+// batch-like.
+type SLOClass struct {
+	Name     string
+	MaxRatio float64 // exclusive upper bound on mask ratio
+	Deadline float64 // seconds
+}
+
+// DefaultSLOClasses maps the Fig 3 mask-ratio regimes onto three deadline
+// classes. The bounds straddle the production-trace mean (0.11) and the
+// VITON mean (0.35), so mixed traces populate all three.
+var DefaultSLOClasses = []SLOClass{
+	{Name: "interactive", MaxRatio: 0.15, Deadline: 2.5},
+	{Name: "standard", MaxRatio: 0.40, Deadline: 6},
+	{Name: "relaxed", MaxRatio: 1.01, Deadline: 15},
+}
+
+// ClassFor returns the first class whose MaxRatio exceeds ratio, falling
+// back to the last class. Deterministic in ratio, so the sim and real
+// drivers class identically.
+func ClassFor(classes []SLOClass, ratio float64) SLOClass {
+	for _, c := range classes {
+		if ratio < c.MaxRatio {
+			return c
+		}
+	}
+	return classes[len(classes)-1]
+}
+
+// SLOClassStat is one class's attainment counts.
+type SLOClassStat struct {
+	Class    SLOClass
+	Attained uint64
+	Missed   uint64
+}
+
+// Attainment returns the class's attained fraction (1 when empty).
+func (s SLOClassStat) Attainment() float64 {
+	total := s.Attained + s.Missed
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Attained) / float64(total)
+}
+
+// SLOTracker classifies completed requests into deadline classes and
+// tracks per-class and overall attainment. Goodput — attained requests per
+// second — is derived by the Plane from Counts and its clock; the tracker
+// itself is clock-free and therefore identical between sim and real runs.
+type SLOTracker struct {
+	mu       sync.Mutex
+	stats    []SLOClassStat
+	attained uint64
+	total    uint64
+}
+
+// NewSLOTracker builds a tracker over the given classes (nil uses
+// DefaultSLOClasses).
+func NewSLOTracker(classes []SLOClass) *SLOTracker {
+	if len(classes) == 0 {
+		classes = DefaultSLOClasses
+	}
+	t := &SLOTracker{stats: make([]SLOClassStat, len(classes))}
+	for i, c := range classes {
+		t.stats[i].Class = c
+	}
+	return t
+}
+
+// Observe classifies one completed request by mask ratio and records
+// whether its end-to-end latency met the class deadline, returning the
+// class and the attainment verdict.
+func (t *SLOTracker) Observe(ratio, latency float64) (SLOClass, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := len(t.stats) - 1
+	for i := range t.stats {
+		if ratio < t.stats[i].Class.MaxRatio {
+			idx = i
+			break
+		}
+	}
+	c := t.stats[idx].Class
+	ok := latency <= c.Deadline
+	if ok {
+		t.stats[idx].Attained++
+		t.attained++
+	} else {
+		t.stats[idx].Missed++
+	}
+	t.total++
+	return c, ok
+}
+
+// Counts returns the overall attained and total request counts.
+func (t *SLOTracker) Counts() (attained, total uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attained, t.total
+}
+
+// Attainment returns the overall attained fraction (1 when no requests
+// have completed).
+func (t *SLOTracker) Attainment() float64 {
+	attained, total := t.Counts()
+	if total == 0 {
+		return 1
+	}
+	return float64(attained) / float64(total)
+}
+
+// Snapshot returns the per-class counts in class order.
+func (t *SLOTracker) Snapshot() []SLOClassStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SLOClassStat(nil), t.stats...)
+}

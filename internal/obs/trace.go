@@ -3,25 +3,33 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sync"
-	"time"
 )
 
 // Span is one timed stage of a request's life. Request ties spans of the
 // same request together; TID identifies the executing resource (worker id
 // for engine stages, pool ids for CPU stages) and becomes the Chrome trace
 // thread id, so each worker renders as its own track.
+//
+// Start and Dur are clock seconds (see Clock): virtual seconds under the
+// simulation drivers, wall seconds since process start under serve. Spans
+// deliberately do not carry time.Time — a raw wall timestamp would
+// collapse every virtual-time span onto the epoch.
 type Span struct {
 	Request uint64
 	Name    string
 	Cat     string
 	TID     int
-	Start   time.Time
-	Dur     time.Duration
+	Start   float64 // clock seconds
+	Dur     float64 // seconds
 	// Args carries small numeric annotations (step index, batch size,
 	// mask ratio) into the trace viewer.
 	Args map[string]float64
 }
+
+// End returns the span's completion time in clock seconds.
+func (s Span) End() float64 { return s.Start + s.Dur }
 
 // Tracer records spans into a bounded ring buffer. Record is cheap — one
 // short critical section copying a struct — so it can sit on the serving
@@ -58,9 +66,9 @@ func (t *Tracer) Record(s Span) {
 	t.mu.Unlock()
 }
 
-// Span is a convenience helper: it builds and records a span from a start
-// time measured by the caller.
-func (t *Tracer) Span(req uint64, name, cat string, tid int, start time.Time, dur time.Duration, args map[string]float64) {
+// Span is a convenience helper: it builds and records a span from a
+// clock-sourced start time and duration, both in seconds.
+func (t *Tracer) Span(req uint64, name, cat string, tid int, start, dur float64, args map[string]float64) {
 	t.Record(Span{Request: req, Name: name, Cat: cat, TID: tid, Start: start, Dur: dur, Args: args})
 }
 
@@ -110,9 +118,11 @@ type chromeTrace struct {
 
 // WriteChromeJSON exports the retained spans as Chrome trace_event JSON
 // (the "JSON Object Format" with a traceEvents array), loadable in
-// chrome://tracing and Perfetto. Timestamps are absolute Unix
-// microseconds; each span carries its request id in args so a request's
-// stages can be grouped in the viewer.
+// chrome://tracing and Perfetto. Timestamps are the spans' clock seconds
+// converted to microseconds — virtual microseconds from the simulation
+// drivers, wall microseconds since process start from serve; each span
+// carries its request id in args so a request's stages can be grouped in
+// the viewer.
 func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 	spans := t.Snapshot()
 	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
@@ -124,8 +134,8 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 		args["request"] = float64(s.Request)
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",
-			TS:  s.Start.UnixMicro(),
-			Dur: s.Dur.Microseconds(),
+			TS:  int64(math.Round(s.Start * 1e6)),
+			Dur: int64(math.Round(s.Dur * 1e6)),
 			PID: 1, TID: s.TID,
 			Args: args,
 		})

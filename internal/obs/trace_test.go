@@ -6,14 +6,12 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-	"time"
 )
 
 func TestTracerRingWrap(t *testing.T) {
 	tr := NewTracer(4)
-	base := time.Unix(1700000000, 0)
 	for i := 0; i < 10; i++ {
-		tr.Record(Span{Request: uint64(i), Name: "s", Start: base.Add(time.Duration(i) * time.Millisecond)})
+		tr.Record(Span{Request: uint64(i), Name: "s", Start: float64(i) * 1e-3})
 	}
 	if tr.Total() != 10 {
 		t.Fatalf("total = %d", tr.Total())
@@ -35,13 +33,16 @@ func TestTracerRingWrap(t *testing.T) {
 
 func TestChromeJSONExport(t *testing.T) {
 	tr := NewTracer(64)
-	base := time.Unix(1700000000, 0)
-	// A parent request span enclosing three stage spans.
-	tr.Span(1, "request", "serve", 0, base, 100*time.Millisecond, nil)
-	tr.Span(1, "queue", "serve", 0, base.Add(time.Millisecond), 10*time.Millisecond, nil)
-	tr.Span(1, "denoise_step", "engine", 2, base.Add(20*time.Millisecond), 5*time.Millisecond,
+	// Virtual-time spans anchored near the epoch: a parent request span
+	// enclosing three stage spans. Under the old time.Time API these all
+	// collapsed onto Unix microsecond 0; the clock-seconds API must keep
+	// their relative placement.
+	base := 1.25 // clock seconds
+	tr.Span(1, "request", "serve", 0, base, 0.100, nil)
+	tr.Span(1, "queue", "serve", 0, base+0.001, 0.010, nil)
+	tr.Span(1, "denoise_step", "engine", 2, base+0.020, 0.005,
 		map[string]float64{"step": 0, "batch": 3})
-	tr.Span(1, "postprocess", "cpu", 1, base.Add(80*time.Millisecond), 15*time.Millisecond, nil)
+	tr.Span(1, "postprocess", "cpu", 1, base+0.080, 0.015, nil)
 
 	var buf bytes.Buffer
 	if err := tr.WriteChromeJSON(&buf); err != nil {
@@ -76,6 +77,9 @@ func TestChromeJSONExport(t *testing.T) {
 			reqTS, reqEnd = e.TS, e.TS+e.Dur
 		}
 	}
+	if reqTS != 1250000 || reqEnd != 1350000 {
+		t.Fatalf("request span at [%d,%d] µs, want [1250000,1350000]", reqTS, reqEnd)
+	}
 	// Stage spans nest within the parent request span.
 	for _, e := range out.TraceEvents {
 		if e.Name == "request" {
@@ -108,7 +112,7 @@ func TestTracerConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				tr.Span(uint64(g), fmt.Sprintf("s%d", i%4), "t", g, time.Unix(1700000000, int64(i)), time.Microsecond, nil)
+				tr.Span(uint64(g), fmt.Sprintf("s%d", i%4), "t", g, float64(i)*1e-6, 1e-6, nil)
 			}
 		}()
 	}

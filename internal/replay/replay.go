@@ -18,12 +18,14 @@ import (
 	"fmt"
 
 	"flashps/internal/batching"
+	"flashps/internal/cache"
 	"flashps/internal/cluster"
 	"flashps/internal/diffusion"
 	"flashps/internal/faults"
 	"flashps/internal/img"
 	"flashps/internal/mask"
 	mdl "flashps/internal/model"
+	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
 	"flashps/internal/simclock"
 	"flashps/internal/tensor"
@@ -48,9 +50,18 @@ type Config struct {
 	Batching cluster.Batching
 	// Seed drives engine weights, calibration, and policy tie-breaking.
 	Seed uint64
+	// ColdCacheTemplates, when > 0, arms a per-worker cold-cache tier in
+	// both drivers (§4.2): templates not resident in host memory stage
+	// from disk in virtual time before admission.
+	ColdCacheTemplates int
 	// Faults optionally injects step-stage delays into the real driver's
 	// virtual time; nil (the differential test) injects nothing.
 	Faults *faults.Injector
+	// Obs, when non-nil, receives the driver's full telemetry on the
+	// virtual clock. Give Sim and Real each their own plane and compare
+	// the expositions: identical decision streams imply byte-identical
+	// telemetry.
+	Obs *obs.Plane
 }
 
 // profile returns the cost profile with its step count aligned to the real
@@ -77,14 +88,16 @@ func (c Config) maxBatch() int {
 func Sim(cfg Config, reqs []workload.Request) (*cluster.Result, []batching.Decision, error) {
 	log := &batching.DecisionLog{}
 	res, err := cluster.Run(cluster.Config{
-		System:    cluster.SystemFlashPS,
-		Batching:  cfg.Batching,
-		Policy:    cfg.Policy,
-		Workers:   cfg.Workers,
-		Profile:   cfg.profile(),
-		MaxBatch:  cfg.MaxBatch,
-		Seed:      cfg.Seed,
-		Decisions: log,
+		System:             cluster.SystemFlashPS,
+		Batching:           cfg.Batching,
+		Policy:             cfg.Policy,
+		Workers:            cfg.Workers,
+		Profile:            cfg.profile(),
+		MaxBatch:           cfg.MaxBatch,
+		ColdCacheTemplates: cfg.ColdCacheTemplates,
+		Seed:               cfg.Seed,
+		Decisions:          log,
+		Obs:                cfg.Obs,
 	}, reqs)
 	if err != nil {
 		return nil, nil, err
@@ -123,8 +136,16 @@ func Real(cfg Config, reqs []workload.Request) (*RealResult, []batching.Decision
 	profile := cfg.profile()
 
 	var clock simclock.Clock
+	if cfg.Obs != nil {
+		cfg.Obs.BindClock(&clock)
+	}
 	exec := &realExecutor{cfg: &cfg, profile: profile, faults: cfg.Faults,
-		sessions: make(map[int]*diffusion.EditSession)}
+		clock: &clock, sessions: make(map[int]*diffusion.EditSession)}
+	tiers, err := cluster.NewTierSet(profile, cfg.Workers, cfg.ColdCacheTemplates)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec.tiers = tiers
 	for i := 0; i < cfg.Workers; i++ {
 		eng, err := diffusion.NewEngine(cfg.Model, cfg.Seed)
 		if err != nil {
@@ -141,6 +162,8 @@ func Real(cfg Config, reqs []workload.Request) (*RealResult, []batching.Decision
 		return nil, nil, err
 	}
 	log := &batching.DecisionLog{}
+	telemetry := batching.NewTelemetry(cfg.Obs)
+	log.SetSink(telemetry.DecisionSink())
 	runner := batching.NewRunner(batching.RunnerConfig{
 		Workers:   cfg.Workers,
 		CostSteps: profile.Steps,
@@ -154,6 +177,7 @@ func Real(cfg Config, reqs []workload.Request) (*RealResult, []batching.Decision
 		}),
 		Clock: &clock,
 		Exec:  exec,
+		Obs:   telemetry.Observer(),
 	})
 	for _, r := range reqs {
 		r := r
@@ -167,6 +191,7 @@ func Real(cfg Config, reqs []workload.Request) (*RealResult, []batching.Decision
 	if runner.Pending() > 0 {
 		return nil, nil, fmt.Errorf("replay: real driver stalled with %d requests pending", runner.Pending())
 	}
+	cluster.PublishTierStats(cfg.Obs, exec.tiers)
 	return &RealResult{
 		Stats:         runner.Stats(),
 		Makespan:      clock.Now(),
@@ -186,9 +211,11 @@ func Diff(sim, real []batching.Decision) error {
 type realExecutor struct {
 	cfg       *Config
 	profile   perfmodel.ModelProfile
+	clock     *simclock.Clock
 	engines   []*diffusion.Engine
 	templates map[uint64]*diffusion.TemplateCache
 	sessions  map[int]*diffusion.EditSession // by request ID
+	tiers     []*cache.Tier                  // per worker; empty when all caches are warm
 	faults    *faults.Injector
 
 	steps   int
@@ -244,8 +271,23 @@ func (e *realExecutor) session(worker int, req workload.Request) (*diffusion.Edi
 // TotalSteps: the real sessions compute every denoising step.
 func (e *realExecutor) TotalSteps(workload.Request) int { return e.cfg.Model.Steps }
 
-// StageReadyAt: template caches are warm in host memory.
-func (e *realExecutor) StageReadyAt(_ int, _ workload.Request, now float64) float64 { return now }
+// StageReadyAt consults the worker's cold-cache tier exactly as the
+// simulator's executor does (§4.2): the numeric template cache itself is
+// prepared up front, but virtual time still pays the modeled disk staging
+// latency when the tier says the template is cold. Warm configuration
+// (no tiers): the template is ready now.
+func (e *realExecutor) StageReadyAt(worker int, req workload.Request, now float64) float64 {
+	if len(e.tiers) == 0 {
+		return now
+	}
+	tier := e.tiers[worker]
+	stageDone := tier.ReadyAt(req.Template, now)
+	if stageDone > now {
+		tpl := req.Template
+		e.clock.At(stageDone, func() { tier.Complete(tpl, stageDone) })
+	}
+	return stageDone
+}
 
 // RunSteps steps every session in the batch aligned times for real, then
 // returns the cost model's duration for those steps (so virtual time in

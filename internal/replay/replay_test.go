@@ -1,12 +1,15 @@
 package replay
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"flashps/internal/batching"
 	"flashps/internal/cluster"
 	"flashps/internal/model"
+	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
 	"flashps/internal/workload"
 )
@@ -63,14 +66,19 @@ func TestDifferentialReplay(t *testing.T) {
 				Batching: disc,
 				Seed:     11,
 			}
+			simPlane := obs.NewPlane(obs.PlaneConfig{})
+			cfg.Obs = simPlane
 			simRes, simDec, err := Sim(cfg, reqs)
 			if err != nil {
 				t.Fatalf("sim driver: %v", err)
 			}
+			realPlane := obs.NewPlane(obs.PlaneConfig{})
+			cfg.Obs = realPlane
 			realRes, realDec, err := Real(cfg, reqs)
 			if err != nil {
 				t.Fatalf("real driver: %v", err)
 			}
+			assertPlanesIdentical(t, simPlane, realPlane, len(reqs))
 			if err := Diff(simDec, realDec); err != nil {
 				t.Fatalf("decision sequences diverge: %v", err)
 			}
@@ -103,6 +111,111 @@ func TestDifferentialReplay(t *testing.T) {
 }
 
 func approxEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(a)) }
+
+// assertPlanesIdentical is the observability half of the differential
+// contract: the same trace driven through the simulator and the real
+// engine must fill the telemetry plane identically — byte-for-byte equal
+// Prometheus expositions (virtual-time histogram snapshots, cache-tier
+// counters, SLO attainment, goodput) and byte-for-byte equal dashboards.
+func assertPlanesIdentical(t *testing.T, sim, real *obs.Plane, n int) {
+	t.Helper()
+	simText, realText := sim.Reg.String(), real.Reg.String()
+	if simText != realText {
+		t.Fatalf("expositions diverge:\n--- sim ---\n%s\n--- real ---\n%s",
+			firstDiffContext(simText, realText), firstDiffContext(realText, simText))
+	}
+	// Sanity: the shared exposition actually carries the run's telemetry,
+	// not two identically empty planes.
+	for _, want := range []string{
+		`flashps_requests_total{outcome="ok"}`,
+		`flashps_request_stage_seconds_count{stage="request"}`,
+		`flashps_sched_decisions_total{kind="place"}`,
+		"flashps_slo_attainment",
+		"flashps_goodput_rps",
+	} {
+		if !strings.Contains(simText, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, simText)
+		}
+	}
+	if _, total := sim.SLO.Counts(); int(total) != n {
+		t.Fatalf("SLO tracker observed %d requests, want %d", total, n)
+	}
+	if a, b := sim.SLO.Attainment(), real.SLO.Attainment(); a != b {
+		t.Fatalf("SLO attainment diverges: sim %g, real %g", a, b)
+	}
+	var simDash, realDash bytes.Buffer
+	if err := sim.WriteDashboard(&simDash); err != nil {
+		t.Fatal(err)
+	}
+	if err := real.WriteDashboard(&realDash); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(simDash.Bytes(), realDash.Bytes()) {
+		t.Fatal("dashboards diverge between sim and real drivers")
+	}
+}
+
+// firstDiffContext trims a long exposition to the neighborhood of its
+// first divergence from other, keeping failures readable.
+func firstDiffContext(s, other string) string {
+	i := 0
+	for i < len(s) && i < len(other) && s[i] == other[i] {
+		i++
+	}
+	lo := i - 200
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 200
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}
+
+// TestDifferentialReplayColdCache runs the differential pair with the
+// per-worker cold-cache tier armed (§4.2): disk staging perturbs admission
+// times identically in both drivers, and the per-tier cache counters must
+// come out nonzero and byte-identical.
+func TestDifferentialReplayColdCache(t *testing.T) {
+	reqs := replayTrace(t, 120)
+	cfg := Config{
+		Model:              replayModel,
+		Profile:            perfmodel.SD21Paper,
+		Workers:            2,
+		MaxBatch:           4,
+		Policy:             batching.MaskAware,
+		Batching:           cluster.BatchingDisaggregated,
+		ColdCacheTemplates: 3,
+		Seed:               11,
+	}
+	simPlane := obs.NewPlane(obs.PlaneConfig{})
+	cfg.Obs = simPlane
+	_, simDec, err := Sim(cfg, reqs)
+	if err != nil {
+		t.Fatalf("sim driver: %v", err)
+	}
+	realPlane := obs.NewPlane(obs.PlaneConfig{})
+	cfg.Obs = realPlane
+	_, realDec, err := Real(cfg, reqs)
+	if err != nil {
+		t.Fatalf("real driver: %v", err)
+	}
+	if err := Diff(simDec, realDec); err != nil {
+		t.Fatalf("decision sequences diverge: %v", err)
+	}
+	assertPlanesIdentical(t, simPlane, realPlane, len(reqs))
+	text := simPlane.Reg.String()
+	for _, want := range []string{
+		`flashps_cache_tier_ops_total{tier="host",op="hit"}`,
+		`flashps_cache_tier_ops_total{tier="disk",op="load"}`,
+		`flashps_cache_tier_bytes_total{tier="disk",op="load"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("cold-cache exposition missing %q", want)
+		}
+	}
+}
 
 // TestReplayEmptyTrace covers the trivial path.
 func TestReplayEmptyTrace(t *testing.T) {

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"flashps/internal/obs"
 )
 
 func mathFloat32bits(v float32) uint32     { return math.Float32bits(v) }
@@ -22,6 +24,7 @@ func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
 //	GET    /healthz           — readiness (Health JSON; 503 when not "ok")
 //	GET    /metrics           — Prometheus text exposition from the registry
 //	GET    /debug/traces      — span ring buffer as Chrome trace_event JSON
+//	GET    /debug/dash        — self-contained live HTML dashboard
 //
 // Every error on a /v1/* route (including 405s) is a structured JSON
 // envelope: {"error": {"code", "message", "retryable"}}.
@@ -96,7 +99,7 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc("/metrics", methods(map[string]http.HandlerFunc{
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			w.Header().Set("Content-Type", obs.PrometheusContentType)
 			if err := s.obs.reg.WritePrometheus(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
@@ -106,6 +109,14 @@ func (s *Server) Handler() http.Handler {
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			if err := s.obs.tracer.WriteChromeJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		},
+	}))
+	mux.HandleFunc("/debug/dash", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			if err := s.obs.plane.WriteDashboard(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		},

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"fmt"
 	"time"
 
 	"flashps/internal/cache"
@@ -10,7 +9,10 @@ import (
 
 // Span taxonomy: every request emits one span per pipeline stage it
 // crosses (Fig 10-Bottom), all tied together by the request id and placed
-// on the serving worker's trace track.
+// on the serving worker's trace track. The clock-driven replay drivers
+// emit the coarse subset (request/queue/postprocess plus a single
+// "inference" span) through the same plane; docs/OBSERVABILITY.md maps the
+// two taxonomies onto each other.
 const (
 	// stageRequest is the parent span, arrival → response complete.
 	stageRequest = "request"
@@ -47,26 +49,23 @@ const (
 	outcomeShed     = "shed"
 )
 
-// serveObs bundles the serving plane's registry-backed instruments and the
-// span tracer. Hot-path updates are lock-free (atomics) or one short
-// critical section (tracer ring).
+// traceCat is the span category the live serving plane records under.
+const traceCat = "serve"
+
+// serveObs wraps the shared telemetry plane (internal/obs.Plane) with the
+// live plane's wall-clock seam and its serve-only fault-tolerance
+// counters. All core instruments — outcome/step counters, per-stage
+// histograms and quantiles, batch occupancy, worker queue depths, SLO
+// attainment, goodput — live on the plane, so a live run and a replayed
+// trace expose identical metric shapes. Hot-path updates are lock-free
+// (atomics) or one short critical section (tracer ring).
 type serveObs struct {
+	plane *obs.Plane
+	wall  *obs.WallClock
+
+	// reg/tracer alias the plane's registry and tracer for the HTTP layer.
 	reg    *obs.Registry
 	tracer *obs.Tracer
-
-	// requests counts terminal outcomes; steps counts executed denoising
-	// steps across all workers.
-	requests *obs.CounterVec
-	steps    *obs.Counter
-	// stage is the per-stage latency histogram (seconds) keyed by the
-	// span taxonomy above — the live Fig 10/11 breakdown.
-	stage *obs.HistogramVec
-	// batchOccupancy observes the running-batch size at every executed
-	// engine step (the §4.3 batching benefit).
-	batchOccupancy *obs.Histogram
-	// workerOutstanding tracks each worker's assigned-and-unfinished
-	// requests (queue depth as the scheduler sees it).
-	workerOutstanding *obs.GaugeVec
 
 	// Fault-tolerance counters: retried jobs after a worker crash,
 	// requests degraded from cached to full compute, worker engine-loop
@@ -78,22 +77,14 @@ type serveObs struct {
 }
 
 func newServeObs(traceRing int) *serveObs {
-	reg := obs.NewRegistry()
-	o := &serveObs{
+	wall := &obs.WallClock{}
+	plane := obs.NewPlane(obs.PlaneConfig{Clock: wall, TraceRing: traceRing})
+	reg := plane.Reg
+	return &serveObs{
+		plane:  plane,
+		wall:   wall,
 		reg:    reg,
-		tracer: obs.NewTracer(traceRing),
-		requests: reg.CounterVec("flashps_requests_total",
-			"Edit requests by terminal outcome", "outcome"),
-		steps: reg.Counter("flashps_denoise_steps_total",
-			"Denoising steps executed across all workers"),
-		stage: reg.HistogramVec("flashps_request_stage_seconds",
-			"Per-stage request latency (Fig 10 pipeline breakdown)",
-			obs.LatencyBuckets, "stage"),
-		batchOccupancy: reg.Histogram("flashps_batch_occupancy",
-			"Running-batch size at each executed denoising step",
-			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
-		workerOutstanding: reg.GaugeVec("flashps_worker_outstanding",
-			"Outstanding requests per worker", "worker"),
+		tracer: plane.Tracer,
 		retries: reg.Counter("flashps_retries_total",
 			"Jobs retried on an alternate replica after a worker crash"),
 		degraded: reg.Counter("flashps_degraded_total",
@@ -103,13 +94,6 @@ func newServeObs(traceRing int) *serveObs {
 		deadlineExceeded: reg.Counter("flashps_deadline_exceeded_total",
 			"Requests whose deadline expired before completion"),
 	}
-	reg.GaugeFunc("flashps_trace_spans_total",
-		"Spans recorded into the trace ring (including dropped)",
-		func() float64 { return float64(o.tracer.Total()) })
-	reg.GaugeFunc("flashps_trace_spans_dropped",
-		"Spans evicted from the trace ring",
-		func() float64 { return float64(o.tracer.Dropped()) })
-	return o
 }
 
 // bindStore registers scrape-time gauges over the template store's live
@@ -136,22 +120,28 @@ func (o *serveObs) bindStore(store templateStore) {
 		func() float64 { _, _, e := stats(); return float64(e) })
 }
 
-// observeStage records a completed stage into the latency histogram.
-func (o *serveObs) observeStage(stage string, d time.Duration) {
-	o.stage.With(stage).Observe(d.Seconds())
+// span records one trace span, placing the wall timestamp on the plane's
+// clock axis, and mirrors it into the stage histogram and quantile window,
+// so the breakdown metrics and the trace never disagree.
+func (o *serveObs) span(req uint64, stage string, worker int, start time.Time, dur time.Duration, args map[string]float64) {
+	o.plane.Span(req, stage, traceCat, worker, o.wall.Seconds(start), dur.Seconds(), args)
 }
 
-// span records one trace span and mirrors it into the stage histogram, so
-// the breakdown metrics and the trace never disagree.
-func (o *serveObs) span(req uint64, stage string, worker int, start time.Time, dur time.Duration, args map[string]float64) {
-	if dur < 0 {
-		dur = 0
-	}
-	o.tracer.Span(req, stage, "serve", worker, start, dur, args)
-	o.observeStage(stage, dur)
+// outcome counts one terminal request outcome.
+func (o *serveObs) outcome(outcome string) { o.plane.RequestOutcome(outcome) }
+
+// observeSLO classifies a completed request against its deadline class.
+func (o *serveObs) observeSLO(ratio float64, latency time.Duration) {
+	o.plane.ObserveSLO(ratio, latency.Seconds())
 }
+
+// incStep counts one executed per-request denoising step.
+func (o *serveObs) incStep() { o.plane.IncSteps() }
+
+// observeBatch records the running-batch size at one executed engine step.
+func (o *serveObs) observeBatch(size int) { o.plane.ObserveBatch(size) }
 
 // setOutstanding publishes a worker's queue depth.
 func (o *serveObs) setOutstanding(worker, depth int) {
-	o.workerOutstanding.With(fmt.Sprintf("%d", worker)).Set(float64(depth))
+	o.plane.SetQueueDepth(worker, depth)
 }

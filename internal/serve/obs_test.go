@@ -63,15 +63,42 @@ func TestLoadGenObservability(t *testing.T) {
 		"flashps_cache_hits 1", // prefix: ≥10 hits
 		"flashps_cache_misses",
 		"flashps_batch_occupancy_sum",
-		`flashps_worker_outstanding{worker="0"} 0`,
-		`flashps_worker_outstanding{worker="1"} 0`,
+		`flashps_worker_queue_depth{worker="0"} 0`,
+		`flashps_worker_queue_depth{worker="1"} 0`,
+		`flashps_sched_decisions_total{kind="place"} 10`,
+		`flashps_slo_requests_total`,
+		"flashps_slo_attainment",
+		"flashps_goodput_rps",
+		`flashps_request_stage_quantile_seconds{stage="request",quantile="0.99"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics scrape missing %q in:\n%s", want, text)
 		}
 	}
+	if got := resp.Header.Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", got)
+	}
 
-	// (b) The trace export.
+	// (b) The live dashboard.
+	resp, err = http.Get(ts.URL + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "text/html; charset=utf-8" {
+		t.Fatalf("/debug/dash Content-Type = %q", got)
+	}
+	for _, want := range []string{"<title>FlashPS telemetry</title>", "SLO attainment", "Stage latency"} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+
+	// (c) The trace export.
 	resp, err = http.Get(ts.URL + "/debug/traces")
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +172,7 @@ func TestGETOnlyEndpointsReject405(t *testing.T) {
 	s := newTestServer(t, 1)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	for _, path := range []string{"/v1/stats", "/metrics", "/debug/traces", "/healthz"} {
+	for _, path := range []string{"/v1/stats", "/metrics", "/debug/traces", "/debug/dash", "/healthz"} {
 		res, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(nil))
 		if err != nil {
 			t.Fatal(err)

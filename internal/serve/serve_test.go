@@ -511,7 +511,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		`flashps_requests_total{outcome="ok"} 1`,
 		`flashps_request_stage_seconds_bucket{stage="request",le="+Inf"} 1`,
-		`flashps_worker_outstanding{worker="0"}`,
+		`flashps_worker_queue_depth{worker="0"}`,
 		"flashps_denoise_steps_total 5",
 		"# TYPE flashps_cache_hits gauge",
 		"# TYPE flashps_request_stage_seconds histogram",

@@ -246,6 +246,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	sObs := newServeObs(cfg.TraceRing)
+	// Mirror the core's decision stream into the telemetry plane's
+	// per-kind counters as decisions are made.
+	dlog := new(batching.DecisionLog)
+	dlog.SetSink(func(d batching.Decision) { sObs.plane.Decision(d.Kind.String()) })
 	s := &Server{
 		cfg:    cfg,
 		store:  store,
@@ -256,10 +261,11 @@ func New(cfg Config) (*Server, error) {
 			Estimator:  est,
 			MaxBatch:   cfg.MaxBatch,
 			Seed:       cfg.Seed,
+			Log:        dlog,
 		}),
 		preCh:  make(chan *job, 1024),
 		postCh: make(chan *job, 1024),
-		obs:    newServeObs(cfg.TraceRing),
+		obs:    sObs,
 		ctx:    ctx,
 		cancel: cancel,
 	}
@@ -290,6 +296,23 @@ func (s *Server) Start() {
 		s.wg.Add(1)
 		go w.run()
 	}
+	// Periodic sampler tick: the live plane advances its time series on
+	// wall time (the replay drivers instead tick at completion events so
+	// their virtual event queues stay finite).
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-t.C:
+				s.obs.plane.Tick()
+			}
+		}
+	}()
 	s.started.Store(true)
 }
 
@@ -299,6 +322,10 @@ func (s *Server) Registry() *obs.Registry { return s.obs.reg }
 
 // Tracer exposes the span tracer backing /debug/traces.
 func (s *Server) Tracer() *obs.Tracer { return s.obs.tracer }
+
+// Obs exposes the full telemetry plane (SLO tracker, windowed quantiles,
+// time-series sampler, artifact dumps) backing /metrics and /debug/dash.
+func (s *Server) Obs() *obs.Plane { return s.obs.plane }
 
 // Decisions returns the batching core's decision sequence so far: every
 // placement, admission, shed, and rejection, in order. Tests and operators
@@ -404,7 +431,7 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 	idx, rerr := s.route(j)
 	decision := time.Since(t0)
 	if rerr != nil {
-		s.obs.requests.With(outcomeRejected).Inc()
+		s.obs.outcome(outcomeRejected)
 		return EditResponse{}, rerr
 	}
 	s.obs.span(j.id, stageSchedule, idx, t0, decision,
@@ -422,7 +449,7 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 		v := s.core.ShedVictim(j.worker.id, cands,
 			batching.Item{ID: j.id, MaskRatio: j.ratioHint})
 		if v < 0 {
-			s.obs.requests.With(outcomeRejected).Inc()
+			s.obs.outcome(outcomeRejected)
 			return EditResponse{}, ErrOverloaded
 		}
 		s.shed(jobs[v])
@@ -470,11 +497,11 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 func (s *Server) ctxError(j *job) error {
 	if j.ctx.Err() == context.DeadlineExceeded {
 		s.obs.deadlineExceeded.Inc()
-		s.obs.requests.With(outcomeDeadline).Inc()
+		s.obs.outcome(outcomeDeadline)
 		return apiErrorf(CodeDeadlineExceeded, true,
 			"deadline of %d ms exceeded", j.deadlineMS)
 	}
-	s.obs.requests.With(outcomeCanceled).Inc()
+	s.obs.outcome(outcomeCanceled)
 	return apiErrorf(CodeCanceled, false, "request canceled by client")
 }
 
@@ -505,7 +532,7 @@ func (s *Server) route(j *job) (int, error) {
 func (s *Server) shed(victim *job) {
 	if victim.deliver(jobResult{err: apiErrorf(CodeOverloaded, true,
 		"shed under overload for smaller-mask work (mask ratio %.2f)", victim.ratioHint)}) {
-		s.obs.requests.With(outcomeShed).Inc()
+		s.obs.outcome(outcomeShed)
 		s.obs.span(victim.id, stageEvict, victim.worker.id, time.Now(), 0,
 			map[string]float64{"shed": 1, "mask_ratio_hint": victim.ratioHint})
 	}
@@ -529,7 +556,7 @@ func (s *Server) rescueBatch(w *worker) {
 		if attempt > s.cfg.MaxRetries {
 			if j.deliver(jobResult{err: apiErrorf(CodeInternal, true,
 				"worker %d crashed; retry budget (%d) exhausted", w.id, s.cfg.MaxRetries)}) {
-				s.obs.requests.With(outcomeError).Inc()
+				s.obs.outcome(outcomeError)
 			}
 			continue
 		}
@@ -560,7 +587,7 @@ func (s *Server) resubmit(j *job) {
 	idx, err := s.route(j)
 	if err != nil {
 		if j.deliver(jobResult{err: err}) {
-			s.obs.requests.With(outcomeError).Inc()
+			s.obs.outcome(outcomeError)
 		}
 		return
 	}
@@ -642,7 +669,7 @@ func (s *Server) preLoop() {
 			if err != nil {
 				j.worker.removeOutstanding(j)
 				if j.deliver(jobResult{err: err}) {
-					s.obs.requests.With(outcomeError).Inc()
+					s.obs.outcome(outcomeError)
 				}
 				continue
 			}
@@ -774,7 +801,7 @@ func (s *Server) postprocess(j *job) {
 	s.obs.span(j.id, stagePostprocess, j.worker.id, post, complete.Sub(post), nil)
 	if err != nil {
 		if j.deliver(jobResult{err: asAPIError(err)}) {
-			s.obs.requests.With(outcomeError).Inc()
+			s.obs.outcome(outcomeError)
 		}
 		return
 	}
@@ -804,7 +831,8 @@ func (s *Server) postprocess(j *job) {
 			"worker":     float64(j.worker.id),
 		})
 	if j.deliver(jobResult{resp: resp}) {
-		s.obs.requests.With(outcomeOK).Inc()
+		s.obs.outcome(outcomeOK)
+		s.obs.observeSLO(j.ratio, complete.Sub(j.arrival))
 	}
 }
 

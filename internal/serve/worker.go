@@ -227,7 +227,7 @@ func (w *worker) runOnce() (crashed bool) {
 		// (expired deadline, canceled client, shed) leave at this step
 		// boundary instead of burning denoise steps.
 		batch := float64(len(w.running))
-		w.srv.obs.batchOccupancy.Observe(batch)
+		w.srv.obs.observeBatch(len(w.running))
 		// Fresh slice (not an in-place filter): a panic mid-loop must
 		// leave w.running intact for rescueBatch, with no duplicates.
 		still := make([]*job, 0, len(w.running))
@@ -242,13 +242,13 @@ func (w *worker) runOnce() (crashed bool) {
 			stepIdx := j.session.StepsComputed()
 			ts := time.Now()
 			done, err := j.session.Step()
-			w.srv.obs.steps.Inc()
+			w.srv.obs.incStep()
 			w.srv.obs.span(j.id, stageDenoiseStep, w.id, ts, time.Since(ts),
 				map[string]float64{"step": float64(stepIdx), "batch": batch})
 			if err != nil {
 				w.removeOutstanding(j)
 				if j.deliver(jobResult{err: asAPIError(err)}) {
-					w.srv.obs.requests.With(outcomeError).Inc()
+					w.srv.obs.outcome(outcomeError)
 				}
 				continue
 			}
