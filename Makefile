@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: all check build test vet race faults replay-diff obs-lint bench bench-smoke bench-kernels bench-serve experiments fuzz clean
+.PHONY: all check build test vet race faults replay-diff obs-lint calib-gate bench bench-smoke bench-kernels bench-serve whatif experiments fuzz clean
 
 all: check
 
 # The default gate: build, vet, full test suite, the race detector over
 # the concurrent packages, the fault-injection suite, the sim-vs-real
 # differential replay (decisions, timings, AND byte-identical telemetry),
-# the observability lint/golden gate, and a one-iteration benchmark smoke
-# pass so the benchmarks themselves can't rot.
-check: build vet test race faults replay-diff obs-lint bench-smoke
+# the observability lint/golden gate, the calibration accuracy gate, and a
+# one-iteration benchmark smoke pass so the benchmarks themselves can't rot.
+check: build vet test race faults replay-diff obs-lint calib-gate bench-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ replay-diff:
 obs-lint:
 	$(GO) test -race -count=1 ./internal/obs/ -run 'TestMetricNamingLint|TestPlaneExpositionGolden|TestChromeTraceSchema|TestPlaneDashboardDeterministic'
 
+# Sim-vs-real accuracy gate: capture a live serving run, fit perfmodel
+# coefficients from its telemetry, replay the same trace through the
+# calibrated simulator, and assert the end-to-end latency prediction error
+# stays inside the documented budget (docs/CALIBRATION.md).
+calib-gate:
+	$(GO) test -count=1 ./internal/replay/ -run 'TestCalibrationGate|TestCoefficientsRoundTrip'
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -58,9 +65,14 @@ bench-kernels:
 
 # Serving-plane benchmark: drive a fixed open-loop workload through the
 # in-process server (real engines on a reduced model) and write latency
-# percentiles, goodput, steps/s, and SLO attainment as JSON.
+# percentiles, goodput, steps/s, and SLO attainment as JSON, plus the
+# coefficient set fitted from the run's telemetry.
 bench-serve:
-	$(GO) run ./cmd/flashps-servebench -o BENCH_serve.json
+	$(GO) run ./cmd/flashps-servebench -o BENCH_serve.json -calib BENCH_calib.json
+
+# Capacity prediction from the fitted coefficients — no server involved.
+whatif:
+	$(GO) run ./cmd/flashps-whatif -coeffs BENCH_calib.json -o -
 
 # Regenerate every paper table/figure (writes Fig 13 PNGs to artifacts/).
 experiments:

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"testing"
 
+	"flashps/internal/benchfmt"
 	"flashps/internal/model"
 	"flashps/internal/tensor"
 )
@@ -43,9 +44,9 @@ type Entry struct {
 
 // Report is the top-level BENCH_kernels.json document.
 type Report struct {
-	Parallelism int     `json:"parallelism"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	Entries     []Entry `json:"entries"`
+	Meta        benchfmt.Meta `json:"meta"`
+	Parallelism int           `json:"parallelism"`
+	Entries     []Entry       `json:"entries"`
 }
 
 func measure(flop int64, fn func()) Side {
@@ -80,7 +81,7 @@ func main() {
 	tensor.SetParallelism(*par)
 
 	rng := tensor.NewRNG(1)
-	rep := Report{Parallelism: tensor.Parallelism(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := Report{Meta: benchfmt.CollectMeta(), Parallelism: tensor.Parallelism()}
 
 	// GEMM at the flat SD21Sim backbone's attention-projection and FFN
 	// shapes (L=64, H=64, 4H=256) and a larger square for headroom.

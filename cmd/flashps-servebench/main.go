@@ -5,10 +5,17 @@
 // goodput, steps/s, SLO attainment — sourced from the same telemetry
 // plane that backs /metrics and /debug/dash.
 //
+// The defaults drive enough concurrent load that continuous batching
+// actually engages (mean_batch_size > 1); use -rate/-requests (aliases
+// -rps/-n) to shape the offered load. With -calib the run also fits a
+// perfmodel coefficient set from its recorded cost samples — the input to
+// flashps-whatif and the calibrated simulator (docs/CALIBRATION.md).
+//
 // Usage:
 //
 //	flashps-servebench -o BENCH_serve.json
-//	flashps-servebench -n 80 -rps 40 -workers 4 -obs-out obs/
+//	flashps-servebench -requests 400 -rate 800 -workers 4 -obs-out obs/
+//	flashps-servebench -calib BENCH_calib.json
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"runtime"
 
 	"flashps/internal/batching"
+	"flashps/internal/benchfmt"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
 	"flashps/internal/serve"
@@ -34,41 +42,25 @@ var benchModel = model.Config{
 	NumBlocks: 3, FFNMult: 4, Steps: 5, LatentChannels: 4,
 }
 
-// result is the BENCH_serve.json schema.
-type result struct {
-	Requests      int     `json:"requests"`
-	Workers       int     `json:"workers"`
-	Errors        int     `json:"errors"`
-	ElapsedS      float64 `json:"elapsed_s"`
-	P50MS         float64 `json:"p50_ms"`
-	P95MS         float64 `json:"p95_ms"`
-	P99MS         float64 `json:"p99_ms"`
-	MeanMS        float64 `json:"mean_ms"`
-	QueueP99MS    float64 `json:"queue_p99_ms"`
-	ThroughputRPS float64 `json:"throughput_rps"`
-	GoodputRPS    float64 `json:"goodput_rps"`
-	SLOAttainment float64 `json:"slo_attainment"`
-	StepsTotal    float64 `json:"steps_total"`
-	StepsPerSec   float64 `json:"steps_per_sec"`
-	MeanBatchSize float64 `json:"mean_batch_size"`
-}
-
 func main() {
 	var (
-		n         = flag.Int("n", 60, "requests to fire")
-		rps       = flag.Float64("rps", 30, "open-loop arrival rate (requests/s of wall time)")
+		n         = flag.Int("n", 500, "requests to fire")
+		rps       = flag.Float64("rps", 1400, "open-loop arrival rate (requests/s of wall time)")
 		workers   = flag.Int("workers", 2, "engine replicas")
 		maxBatch  = flag.Int("maxbatch", 4, "running-batch cap per worker")
 		templates = flag.Int("templates", 4, "prepared templates to draw from")
 		seed      = flag.Uint64("seed", 42, "engine weights and trace seed")
 		out       = flag.String("o", "BENCH_serve.json", "output JSON file (- for stdout)")
-		obsOut    = flag.String("obs-out", "", "also write metrics.prom, trace.json, dash.html here")
+		calib     = flag.String("calib", "", "also fit a coefficient set from the run's cost samples and write it here")
+		obsOut    = flag.String("obs-out", "", "also write metrics.prom, trace.json, dash.html, profile.jsonl here")
 		par       = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
 	)
+	flag.IntVar(n, "requests", 500, "alias for -n")
+	flag.Float64Var(rps, "rate", 1400, "alias for -rps")
 	flag.Parse()
 	tensor.SetParallelism(*par)
 
-	res, err := run(*n, *rps, *workers, *maxBatch, *templates, *seed, *obsOut)
+	res, err := run(*n, *rps, *workers, *maxBatch, *templates, *seed, *obsOut, *calib)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,12 +75,13 @@ func main() {
 		if err := os.WriteFile(*out, buf, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s: P50 %.1fms  P99 %.1fms  goodput %.2f rps  slo %.3f  %.0f steps/s\n",
-			*out, res.P50MS, res.P99MS, res.GoodputRPS, res.SLOAttainment, res.StepsPerSec)
+		fmt.Printf("wrote %s: P50 %.1fms  P99 %.1fms  goodput %.2f rps  slo %.3f  batch %.2f  %.0f steps/s\n",
+			*out, res.P50MS, res.P99MS, res.GoodputRPS, res.SLOAttainment,
+			res.MeanBatchSize, res.StepsPerSec)
 	}
 }
 
-func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsOut string) (*result, error) {
+func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsOut, calib string) (*benchfmt.ServeResult, error) {
 	srv, err := serve.New(serve.Config{
 		Model:    benchModel,
 		Profile:  perfmodel.SD21Paper,
@@ -125,10 +118,13 @@ func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsO
 	attained, _ := plane.SLO.Counts()
 	elapsed := load.Elapsed.Seconds()
 	completed := load.Total.Count()
-	res := &result{
+	res := &benchfmt.ServeResult{
+		Meta:          benchfmt.CollectMeta(),
+		Model:         benchModel.Name,
 		Requests:      n,
 		Workers:       workers,
 		Errors:        load.Errors,
+		OfferedRPS:    load.OfferedRPS,
 		ElapsedS:      elapsed,
 		P50MS:         load.Total.Quantile(0.50),
 		P95MS:         load.Total.Quantile(0.95),
@@ -141,6 +137,23 @@ func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsO
 		StepsTotal:    plane.StepsTotal(),
 		StepsPerSec:   plane.StepsTotal() / elapsed,
 		MeanBatchSize: plane.MeanBatchSize(),
+	}
+	if calib != "" {
+		coeffs, err := perfmodel.FitFromTelemetry(perfmodel.FitConfig{
+			Profile:  srv.EngineProfile(),
+			Scoring:  perfmodel.SD21Paper.Name,
+			Seed:     seed,
+			FittedAt: elapsed,
+		}, plane.Profile.Snapshot())
+		if err != nil {
+			return nil, fmt.Errorf("calibration fit: %w", err)
+		}
+		if err := perfmodel.SaveCoefficients(calib, coeffs); err != nil {
+			return nil, err
+		}
+		fit := coeffs.Fits["denoise_step"]
+		fmt.Printf("wrote %s: %d step samples, R² %.3f, residual %.3f\n",
+			calib, fit.Samples, fit.R2, fit.Residual)
 	}
 	if obsOut != "" {
 		if err := os.MkdirAll(obsOut, 0o755); err != nil {

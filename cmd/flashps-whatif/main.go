@@ -1,0 +1,161 @@
+// Command flashps-whatif answers capacity questions from a calibrated cost
+// model in seconds, no server required: it loads a telemetry-fitted
+// coefficient set (flashps-servebench -calib, docs/CALIBRATION.md),
+// generates the hypothetical workload, and replays it through the
+// calibrated discrete-event simulator — the same batching core and the
+// same Algorithm-2 scoring estimator the live server runs, with every
+// duration supplied by the fitted step law and overheads.
+//
+// The output is the BENCH_serve.json schema with "predicted": true, so a
+// what-if answer diffs directly against a measured baseline:
+//
+//	flashps-servebench -calib BENCH_calib.json -o BENCH_serve.json
+//	flashps-whatif -coeffs BENCH_calib.json -rate 1400 -requests 500 -o -
+//	flashps-whatif -coeffs BENCH_calib.json -workers 8 -rate 4000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"flashps/internal/batching"
+	"flashps/internal/benchfmt"
+	"flashps/internal/cluster"
+	"flashps/internal/obs"
+	"flashps/internal/perfmodel"
+	"flashps/internal/workload"
+)
+
+func main() {
+	var (
+		coeffsPath = flag.String("coeffs", "BENCH_calib.json", "fitted coefficient set (perfmodel.Coefficients JSON)")
+		n          = flag.Int("n", 500, "requests to simulate")
+		rps        = flag.Float64("rps", 1400, "hypothetical offered arrival rate (requests/s)")
+		workers    = flag.Int("workers", 2, "hypothetical engine replicas")
+		maxBatch   = flag.Int("maxbatch", 4, "running-batch cap per worker")
+		templates  = flag.Int("templates", 4, "distinct templates in the workload")
+		seed       = flag.Uint64("seed", 42, "trace seed")
+		discipline = flag.String("discipline", "disagg", "batching discipline: static|strawman|disagg")
+		policy     = flag.String("policy", "mask-aware", "routing policy: round-robin|least-requests|least-tokens|mask-aware")
+		out        = flag.String("o", "-", "output JSON file (- for stdout)")
+	)
+	flag.IntVar(n, "requests", 500, "alias for -n")
+	flag.Float64Var(rps, "rate", 1400, "alias for -rps")
+	flag.Parse()
+
+	res, err := run(*coeffsPath, *n, *rps, *workers, *maxBatch, *templates, *seed, *discipline, *policy)
+	if err != nil {
+		fatal(err)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: predicted P50 %.1fms  P99 %.1fms  goodput %.2f rps  slo %.3f  batch %.2f\n",
+			*out, res.P50MS, res.P99MS, res.GoodputRPS, res.SLOAttainment, res.MeanBatchSize)
+	}
+}
+
+func run(coeffsPath string, n int, rps float64, workers, maxBatch, templates int,
+	seed uint64, disciplineName, policyName string) (*benchfmt.ServeResult, error) {
+	coeffs, err := perfmodel.LoadCoefficients(coeffsPath)
+	if err != nil {
+		return nil, err
+	}
+	disc, err := batching.ParseDiscipline(disciplineName)
+	if err != nil {
+		return nil, err
+	}
+	var b cluster.Batching
+	switch disc {
+	case batching.Static:
+		b = cluster.BatchingStatic
+	case batching.StrawmanCB:
+		b = cluster.BatchingStrawman
+	default:
+		b = cluster.BatchingDisaggregated
+	}
+	pol, err := batching.ParsePolicy(policyName)
+	if err != nil {
+		return nil, err
+	}
+
+	reqs, err := workload.Generate(workload.TraceConfig{
+		N: n, RPS: rps, Dist: workload.ProductionTrace,
+		Templates: templates, ZipfS: 1.1, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	plane := obs.NewPlane(obs.PlaneConfig{})
+	cfg := cluster.Config{
+		System:   cluster.SystemFlashPS,
+		Batching: b,
+		Policy:   pol,
+		Workers:  workers,
+		Profile:  coeffs.Profile,
+		MaxBatch: maxBatch,
+		Seed:     seed,
+		Costs:    coeffs,
+		Obs:      plane,
+	}
+	if coeffs.Scoring != "" {
+		scoring, err := perfmodel.ProfileByName(coeffs.Scoring)
+		if err != nil {
+			return nil, err
+		}
+		est, err := perfmodel.ServingEstimator(scoring, coeffs.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Estimator = est
+	}
+	res, err := cluster.Run(cfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	lat := res.Latencies()
+	queue := res.QueueTimes()
+	attained, _ := plane.SLO.Counts()
+	elapsed := res.Makespan
+	offered := rps
+	if last := reqs[len(reqs)-1].Arrival; last > 0 {
+		offered = float64(len(reqs)) / last
+	}
+	return &benchfmt.ServeResult{
+		Meta:          benchfmt.CollectMeta(),
+		Predicted:     true,
+		Model:         coeffs.Profile.Name,
+		Requests:      n,
+		Workers:       workers,
+		OfferedRPS:    offered,
+		ElapsedS:      elapsed,
+		P50MS:         lat.Quantile(0.50) * 1e3,
+		P95MS:         lat.Quantile(0.95) * 1e3,
+		P99MS:         lat.Quantile(0.99) * 1e3,
+		MeanMS:        lat.Mean() * 1e3,
+		QueueP99MS:    queue.Quantile(0.99) * 1e3,
+		ThroughputRPS: float64(len(res.Stats)) / elapsed,
+		GoodputRPS:    float64(attained) / elapsed,
+		SLOAttainment: plane.SLO.Attainment(),
+		StepsTotal:    plane.StepsTotal(),
+		StepsPerSec:   plane.StepsTotal() / elapsed,
+		MeanBatchSize: res.MeanBatchSize(),
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flashps-whatif: %v\n", err)
+	os.Exit(1)
+}

@@ -92,6 +92,10 @@ type RunnerConfig struct {
 	Exec Executor
 	// Obs optionally receives occupancy signals.
 	Obs Observer
+	// Overheads are the CPU-stage and system-overhead costs the runner
+	// charges. Nil uses the paper's §6.6 constants; the digital twin
+	// passes a telemetry-fitted set (perfmodel.FitFromTelemetry).
+	Overheads *perfmodel.Overheads
 }
 
 // Runner is the request/worker state machine shared by every clock-driven
@@ -100,6 +104,7 @@ type RunnerConfig struct {
 // owns the event loop (schedule Submit calls on the clock, then drain it).
 type Runner struct {
 	cfg     RunnerConfig
+	ov      perfmodel.Overheads
 	workers []*runnerWorker
 	stats   []RequestStat
 	pending int
@@ -136,7 +141,10 @@ type runnerWorker struct {
 // NewRunner builds the state machine; Submit requests from clock events,
 // drain the clock, then read Stats/WorkerBusy.
 func NewRunner(cfg RunnerConfig) *Runner {
-	r := &Runner{cfg: cfg}
+	r := &Runner{cfg: cfg, ov: perfmodel.PaperOverheads()}
+	if cfg.Overheads != nil {
+		r.ov = *cfg.Overheads
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		r.workers = append(r.workers, &runnerWorker{id: i, r: r})
 	}
@@ -193,11 +201,11 @@ func (r *Runner) Submit(req workload.Request) {
 	w.outstanding = append(w.outstanding, tr)
 	now := r.cfg.Clock.Now()
 
-	ready := now + perfmodel.SchedulerDecisionOverhead
+	ready := now + r.ov.SchedulerDecision
 	switch r.cfg.Core.Discipline() {
 	case DisaggregatedCB:
 		// Preprocessing runs on a separate CPU process, off the GPU path.
-		ready += perfmodel.PreprocessLatency
+		ready += r.ov.Preprocess
 	case Static, StrawmanCB:
 		// Preprocessing happens on the worker itself at admission time;
 		// the request is queueable immediately.
@@ -260,7 +268,7 @@ func (w *runnerWorker) runStaticBatch() {
 
 	clock := r.cfg.Clock
 	now := clock.Now()
-	pre := float64(n) * perfmodel.PreprocessLatency
+	pre := float64(n) * r.ov.Preprocess
 	for _, q := range batch {
 		q.admit = now + pre
 		q.admitted = true
@@ -272,7 +280,7 @@ func (w *runnerWorker) runStaticBatch() {
 		}
 	}
 	infer := r.cfg.Exec.RunSteps(w.id, stepViews(batch), steps)
-	post := float64(n) * perfmodel.PostprocessLatency
+	post := float64(n) * r.ov.Postprocess
 	total := pre + infer + post
 	w.busyTime += total
 	r.batchSizeSum += n * steps
@@ -315,7 +323,7 @@ func (w *runnerWorker) runContinuousStep() {
 		case StrawmanCB:
 			// Postprocessing blocks the GPU stream and interrupts every
 			// other in-flight request (Fig 10-Top).
-			overhead += perfmodel.PostprocessLatency
+			overhead += r.ov.Postprocess
 			q.complete = now + overhead
 			for _, other := range w.running {
 				if other != q && other.remSteps > 0 {
@@ -325,8 +333,8 @@ func (w *runnerWorker) runContinuousStep() {
 		case DisaggregatedCB:
 			// The GPU only serializes the latent and hands it to the
 			// postprocess worker; postprocessing overlaps (Fig 10-Bottom).
-			overhead += perfmodel.SerializeOverhead + perfmodel.IPCOverhead
-			q.complete = now + overhead + perfmodel.PostprocessLatency
+			overhead += r.ov.Serialize + r.ov.IPC
+			q.complete = now + overhead + r.ov.Postprocess
 		}
 		// The user receives the image at q.complete; keep the virtual
 		// clock (and thus the makespan) alive until then even when it is
@@ -343,7 +351,7 @@ func (w *runnerWorker) runContinuousStep() {
 		w.queue = w.queue[1:]
 		if disc == StrawmanCB {
 			// Preprocessing on the GPU process interrupts the batch.
-			overhead += perfmodel.PreprocessLatency
+			overhead += r.ov.Preprocess
 			for _, other := range w.running {
 				other.interruptions++
 			}
@@ -362,7 +370,7 @@ func (w *runnerWorker) runContinuousStep() {
 	}
 
 	dur := overhead + r.cfg.Exec.RunSteps(w.id, stepViews(w.running), 1) +
-		perfmodel.BatchOrganizeOverhead
+		r.ov.BatchOrganize
 	w.busyTime += dur
 	r.batchSizeSum += len(w.running)
 	r.batchSteps++

@@ -1,0 +1,104 @@
+// Package benchfmt defines the shared machine-readable schemas the
+// FlashPS benchmark CLIs emit (BENCH_serve.json, BENCH_kernels.json, and
+// flashps-whatif's predictions), plus the run metadata block that makes a
+// number comparable across machines and commits: git revision, Go
+// runtime shape, CPU model, and whether the AVX2 kernels were active.
+package benchfmt
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"flashps/internal/tensor"
+)
+
+// Meta identifies the environment a benchmark ran in.
+type Meta struct {
+	GitRevision string `json:"git_revision,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	CPUModel    string `json:"cpu_model,omitempty"`
+	AVX2        bool   `json:"avx2"`
+}
+
+// CollectMeta gathers the run metadata. Fields that cannot be determined
+// (no git binary, no /proc/cpuinfo) are left empty rather than failing:
+// metadata must never break a benchmark run.
+func CollectMeta() Meta {
+	return Meta{
+		GitRevision: gitRevision(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		CPUModel:    cpuModel(),
+		AVX2:        tensor.HasAVX2(),
+	}
+}
+
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if dirty, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(strings.TrimSpace(string(dirty))) > 0 {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo (Linux); other
+// platforms report empty.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// ServeResult is the BENCH_serve.json schema, shared between
+// flashps-servebench (measured) and flashps-whatif (predicted) so capacity
+// answers are diffable against measured baselines.
+type ServeResult struct {
+	Meta Meta `json:"meta"`
+	// Predicted marks results computed by the calibrated simulator rather
+	// than measured on a live server.
+	Predicted bool `json:"predicted,omitempty"`
+	// Model names the cost model behind a predicted result (the fitted
+	// coefficients' engine profile), or the live engine config.
+	Model string `json:"model,omitempty"`
+
+	Requests   int     `json:"requests"`
+	Workers    int     `json:"workers"`
+	Errors     int     `json:"errors"`
+	OfferedRPS float64 `json:"offered_rps"`
+	ElapsedS   float64 `json:"elapsed_s"`
+
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MeanMS        float64 `json:"mean_ms"`
+	QueueP99MS    float64 `json:"queue_p99_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	SLOAttainment float64 `json:"slo_attainment"`
+	StepsTotal    float64 `json:"steps_total"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+}

@@ -127,6 +127,18 @@ type Config struct {
 	ColdCacheTemplates int
 	// Seed feeds the policies' tiebreaking randomness.
 	Seed uint64
+	// Estimator, when non-nil, overrides the core's Algorithm-2 scoring
+	// estimator (default: a synthetic offline sweep seeded from Seed). The
+	// digital twin passes perfmodel.ServingEstimator so the simulated
+	// scheduler scores batches bit-for-bit like the live server's.
+	Estimator *perfmodel.Estimator
+	// Costs, when non-nil, replaces the analytic engine cost model and the
+	// paper overhead constants with a telemetry-fitted coefficient set
+	// (perfmodel.FitFromTelemetry): denoising steps cost
+	// Costs.StepSeconds and the runner charges Costs.Overheads. This is
+	// digital-twin mode — the simulator predicts the measured machine
+	// instead of the paper's GPUs.
+	Costs *perfmodel.Coefficients
 	// Obs, when non-nil, receives the run's full telemetry — per-stage
 	// histograms/quantiles, SLO attainment and goodput, per-worker queue
 	// depth, batch occupancy, scheduling decisions, cache-tier counters,
@@ -268,9 +280,24 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 		}
 		exec.tiers = tiers
 	}
-	est, err := perfmodel.Calibrate(cfg.Profile, tensor.NewRNG(cfg.Seed^0xE57), 0.02)
-	if err != nil {
-		return nil, err
+	est := cfg.Estimator
+	if est == nil {
+		var err error
+		est, err = perfmodel.Calibrate(cfg.Profile, tensor.NewRNG(cfg.Seed^0xE57), 0.02)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var overheads *perfmodel.Overheads
+	if cfg.Costs != nil {
+		if err := cfg.Costs.Validate(); err != nil {
+			return nil, err
+		}
+		ov := cfg.Costs.Overheads
+		overheads = &ov
+		if cfg.Obs != nil {
+			cfg.Obs.SetCalibration(cfg.Costs.Info())
+		}
 	}
 	telemetry := batching.NewTelemetry(cfg.Obs)
 	log := cfg.Decisions
@@ -289,9 +316,10 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 			Seed:       cfg.Seed,
 			Log:        log,
 		}),
-		Clock: &clock,
-		Exec:  exec,
-		Obs:   telemetry.Observer(),
+		Clock:     &clock,
+		Exec:      exec,
+		Obs:       telemetry.Observer(),
+		Overheads: overheads,
 	})
 
 	for _, r := range reqs {
@@ -345,26 +373,36 @@ func (e *simExecutor) StageReadyAt(worker int, req workload.Request, now float64
 	if stageDone > now {
 		tpl := req.Template
 		e.clock.At(stageDone, func() { tier.Complete(tpl, stageDone) })
+		RecordStageCost(e.cfg.Obs, e.cfg.Profile, stageDone-now)
 	}
 	return stageDone
 }
 
 // RunSteps models aligned denoising steps of the batch as a single
-// duration: per-step engine latency times the aligned step count.
+// duration: per-step engine latency times the aligned step count. In
+// digital-twin mode (Config.Costs) the per-step latency comes from the
+// telemetry-fitted step law instead of the analytic device model.
 func (e *simExecutor) RunSteps(_ int, batch []batching.StepView, aligned int) float64 {
-	views := make([]ReqView, len(batch))
-	for i, s := range batch {
-		views[i] = ReqView{
-			Template:  s.Req.Template,
-			MaskRatio: s.Req.MaskRatio,
-			StepIndex: s.StepIndex,
+	var lat float64
+	if e.cfg.Costs != nil {
+		flops, _ := BatchStepFLOPs(e.cfg.System, e.cfg.Profile, batch)
+		lat = e.cfg.Costs.StepSeconds(flops, len(batch))
+	} else {
+		views := make([]ReqView, len(batch))
+		for i, s := range batch {
+			views[i] = ReqView{
+				Template:  s.Req.Template,
+				MaskRatio: s.Req.MaskRatio,
+				StepIndex: s.StepIndex,
+			}
 		}
+		lat = StepLatency(e.cfg.System, e.cfg.Profile, views)
 	}
-	lat := StepLatency(e.cfg.System, e.cfg.Profile, views)
-	if aligned == 1 {
-		return lat
+	if aligned != 1 {
+		lat = float64(aligned) * lat
 	}
-	return float64(aligned) * lat
+	RecordStepCost(e.cfg.Obs, e.cfg.System, e.cfg.Profile, batch, aligned, lat)
+	return lat
 }
 
 // Retire is a no-op: the cost model holds no per-request state.
@@ -375,6 +413,60 @@ type ReqView struct {
 	Template  uint64
 	MaskRatio float64
 	StepIndex int // current denoising step (for cache-load dedup)
+}
+
+// BatchStepFLOPs returns the mask-aware FLOPs (all blocks) and mask-ratio
+// sum of one denoising step of the batch under the given system's compute
+// pattern — the linear features the telemetry-fitted step law consumes.
+func BatchStepFLOPs(sys System, p perfmodel.ModelProfile, batch []batching.StepView) (flops, maskSum float64) {
+	for _, s := range batch {
+		maskSum += s.Req.MaskRatio
+		switch sys {
+		case SystemDiffusers, SystemTeaCache:
+			flops += p.BlockFLOPsFull()
+		case SystemFISEdit:
+			flops += p.BlockFLOPsMaskedKV(s.Req.MaskRatio)
+		default: // SystemFlashPS
+			flops += p.BlockFLOPsMasked(s.Req.MaskRatio)
+		}
+	}
+	return flops * float64(p.Blocks), maskSum
+}
+
+// RecordStepCost records one executed (or modeled) batch step as a
+// calibration cost sample. The sim and replay-real executors call it with
+// identical arguments, so the differential-replay byte-identity covers the
+// profile stream too. Exported for the replay driver.
+func RecordStepCost(plane *obs.Plane, sys System, p perfmodel.ModelProfile,
+	batch []batching.StepView, aligned int, seconds float64) {
+	if plane == nil || len(batch) == 0 {
+		return
+	}
+	flops, maskSum := BatchStepFLOPs(sys, p, batch)
+	plane.RecordCost(obs.CostSample{
+		Stage:   obs.CostStageDenoiseStep,
+		Units:   len(batch) * aligned,
+		Batch:   len(batch),
+		MaskSum: maskSum,
+		FLOPs:   flops * float64(aligned),
+		Seconds: seconds,
+	})
+}
+
+// RecordStageCost records one cold-cache disk staging as a calibration
+// cost sample. Exported for the replay driver (same identity requirement
+// as RecordStepCost).
+func RecordStageCost(plane *obs.Plane, p perfmodel.ModelProfile, seconds float64) {
+	if plane == nil || seconds <= 0 {
+		return
+	}
+	plane.RecordCost(obs.CostSample{
+		Stage:   obs.CostStageCacheStage,
+		Units:   1,
+		Bytes:   p.TemplateCacheBytes(),
+		Tier:    "disk",
+		Seconds: seconds,
+	})
 }
 
 // StepLatency computes one denoising step's duration for a batch under the

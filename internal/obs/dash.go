@@ -32,6 +32,7 @@ func (p *Plane) WriteDashboard(w io.Writer) error {
 	p.dashSLO(&b)
 	p.dashQueues(&b)
 	p.dashOccupancy(&b)
+	p.dashCalibration(&b, now)
 	p.dashTables(&b)
 
 	b.WriteString("</main></body></html>\n")
@@ -246,6 +247,50 @@ func (p *Plane) dashOccupancy(b *strings.Builder) {
 			html.EscapeString(label))
 	}
 	b.WriteString("</div></section>\n")
+}
+
+// dashCalibration renders the observe-predict-calibrate state: recorded
+// cost samples per stage and, when a fitted model is active, its identity,
+// age, and per-stage fit quality.
+func (p *Plane) dashCalibration(b *strings.Builder, now float64) {
+	b.WriteString("<section><h2>Calibration</h2>")
+	info, ok := p.Calibration()
+	if ok {
+		age := now - info.FittedAt
+		if age < 0 {
+			age = 0
+		}
+		fmt.Fprintf(b, "<p class=sub>model %s v%d · fitted %s ago</p>",
+			html.EscapeString(info.Model), info.Version, fmtSeconds(age))
+	} else {
+		b.WriteString("<p class=sub>no fitted model loaded (paper anchors)</p>")
+	}
+	counts := p.calibSamp.Snapshot()
+	if len(counts) == 0 && len(info.Fits) == 0 {
+		b.WriteString("<p class=sub>no cost samples recorded</p></section>\n")
+		return
+	}
+	residuals := map[string]StageFitInfo{}
+	for _, f := range info.Fits {
+		residuals[f.Stage] = f
+	}
+	b.WriteString("<table><thead><tr><th>stage</th><th class=n>samples</th>" +
+		"<th class=n>fit R²</th><th class=n>residual</th></tr></thead><tbody>")
+	for _, lv := range counts {
+		r2, resid := "—", "—"
+		if f, ok := residuals[lv.Values[0]]; ok {
+			r2 = strconv.FormatFloat(f.R2, 'f', 3, 64)
+			resid = fmtPercent(f.Residual)
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=n>%s</td><td class=n>%s</td><td class=n>%s</td></tr>",
+			html.EscapeString(lv.Values[0]), strconv.FormatFloat(lv.V, 'f', 0, 64),
+			html.EscapeString(r2), html.EscapeString(resid))
+	}
+	b.WriteString("</tbody></table>")
+	if d := p.Profile.Dropped(); d > 0 {
+		fmt.Fprintf(b, "<p class=sub>%d samples evicted by the recorder's capacity bound</p>", d)
+	}
+	b.WriteString("</section>\n")
 }
 
 // dashTables renders the enumerable counters: outcomes, decisions, cache

@@ -28,10 +28,12 @@ type Plane struct {
 	Tracer  *Tracer
 	SLO     *SLOTracker
 	Samples *Sampler
+	Profile *ProfileRecorder
 
 	mu    sync.Mutex
 	clock Clock
 	epoch float64
+	calib CalibrationInfo
 
 	requests   *CounterVec
 	steps      *Counter
@@ -44,6 +46,8 @@ type Plane struct {
 	sloVec     *CounterVec
 	tierOps    *CounterVec
 	tierBytes  *CounterVec
+	calibSamp  *CounterVec
+	calibResid *GaugeVec
 
 	batchSizeSum atomic.Uint64
 	batchSteps   atomic.Uint64
@@ -67,6 +71,9 @@ type PlaneConfig struct {
 	// estimators (0: DefaultSampleWindow / DefaultQuantileCap).
 	QuantileWindow float64
 	QuantileCap    int
+	// ProfileCap bounds the retained calibration cost samples
+	// (0: DefaultProfileCap).
+	ProfileCap int
 }
 
 // Quantiles the plane exposes per stage, ascending.
@@ -88,6 +95,7 @@ func NewPlane(cfg PlaneConfig) *Plane {
 		Tracer:  NewTracer(cfg.TraceRing),
 		SLO:     NewSLOTracker(cfg.SLOClasses),
 		Samples: NewSampler(clock, cfg.SampleWindow, cfg.SampleCap),
+		Profile: NewProfileRecorder(cfg.ProfileCap),
 		clock:   clock,
 		epoch:   clock.Now(),
 		stageQ:  NewQuantileVec(qw, cfg.QuantileCap),
@@ -114,6 +122,10 @@ func NewPlane(cfg PlaneConfig) *Plane {
 		"Cache-tier operations by tier and op (§4.2)", "tier", "op")
 	p.tierBytes = reg.CounterVec("flashps_cache_tier_bytes_total",
 		"Cache-tier bytes moved by tier and op (§4.2)", "tier", "op")
+	p.calibSamp = reg.CounterVec("flashps_calibration_samples_total",
+		"Calibration cost samples recorded, by pipeline stage", "stage")
+	p.calibResid = reg.GaugeVec("flashps_calibration_fit_residual",
+		"Median absolute relative residual of the fitted cost model, by stage", "stage")
 
 	reg.GaugeFunc("flashps_slo_attainment",
 		"Fraction of completed requests that met their class deadline",
@@ -136,6 +148,24 @@ func NewPlane(cfg PlaneConfig) *Plane {
 	reg.GaugeVecFunc("flashps_request_stage_quantile_seconds",
 		"Windowed per-stage latency quantiles (P50/P95/P99)",
 		p.stageQuantiles, "stage", "quantile")
+	reg.GaugeFunc("flashps_calibration_model_age_seconds",
+		"Clock seconds since the active cost model was fitted (-1: never fitted)",
+		func() float64 {
+			p.mu.Lock()
+			set, at := p.calib.set, p.calib.FittedAt
+			p.mu.Unlock()
+			if !set {
+				return -1
+			}
+			age := p.Now() - at
+			if age < 0 {
+				age = 0
+			}
+			return age
+		})
+	reg.GaugeFunc("flashps_calibration_profile_dropped",
+		"Calibration cost samples evicted by the recorder's capacity bound",
+		func() float64 { return float64(p.Profile.Dropped()) })
 
 	p.Samples.Source("goodput_rps",
 		func() float64 { a, _ := p.SLO.Counts(); return p.rate(float64(a)) })
@@ -290,11 +320,63 @@ func (p *Plane) CacheTier(tier, op string, ops uint64, bytes float64) {
 // time; the live serving plane drives it from a wall ticker.
 func (p *Plane) Tick() { p.Samples.Tick() }
 
+// RecordCost stamps a calibration cost sample with the plane clock and
+// records it into the profile recorder and the calibration sample counter.
+// Every driver (live server, simulator, replay) feeds the same path, so
+// perfmodel.FitFromTelemetry ingests any driver's profile.jsonl.
+func (p *Plane) RecordCost(s CostSample) {
+	s.T = p.Now()
+	p.Profile.Record(s)
+	p.calibSamp.With(s.Stage).Inc()
+}
+
+// StageFitInfo summarizes one stage's fit quality for the calibration
+// panel and the flashps_calibration_fit_residual gauges.
+type StageFitInfo struct {
+	Stage    string
+	Samples  int
+	R2       float64
+	Residual float64 // median absolute relative residual
+}
+
+// CalibrationInfo describes the cost model currently loaded into the
+// driver behind this plane.
+type CalibrationInfo struct {
+	Model    string // fitted model-profile name
+	Version  int
+	FittedAt float64 // plane-clock seconds at fit time
+	Fits     []StageFitInfo
+
+	set bool
+}
+
+// SetCalibration publishes the active fitted cost model: the staleness
+// gauge starts aging from info.FittedAt and the per-stage residual gauges
+// take the fit's values.
+func (p *Plane) SetCalibration(info CalibrationInfo) {
+	info.set = true
+	p.mu.Lock()
+	p.calib = info
+	p.mu.Unlock()
+	for _, f := range info.Fits {
+		p.calibResid.With(f.Stage).Set(f.Residual)
+	}
+}
+
+// Calibration returns the active fitted-model description and whether one
+// has been published.
+func (p *Plane) Calibration() (CalibrationInfo, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calib, p.calib.set
+}
+
 // Artifact filenames WriteArtifacts produces.
 const (
 	ArtifactMetrics   = "metrics.prom"
 	ArtifactTrace     = "trace.json"
 	ArtifactDashboard = "dash.html"
+	ArtifactProfile   = "profile.jsonl"
 )
 
 // WriteArtifacts dumps the plane's full output — Prometheus exposition,
@@ -318,6 +400,11 @@ func (p *Plane) WriteArtifacts(dir string) error {
 	}
 	if err := write(ArtifactTrace, func(b *strings.Builder) error {
 		return p.Tracer.WriteChromeJSON(b)
+	}); err != nil {
+		return err
+	}
+	if err := write(ArtifactProfile, func(b *strings.Builder) error {
+		return p.Profile.WriteJSONL(b)
 	}); err != nil {
 		return err
 	}

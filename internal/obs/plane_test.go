@@ -166,6 +166,9 @@ func scriptPlane() *Plane {
 		p.Span(uint64(i+1), "queue", "core", i%2, arrival, 0.05, nil)
 		p.ObserveBatch(1 + i%3)
 		p.AddSteps(1 + i%3)
+		p.RecordCost(CostSample{Stage: CostStageDenoiseStep, Units: 1 + i%3,
+			Batch: 1 + i%3, MaskSum: 0.05 * float64(i+1),
+			FLOPs: 1e9 * float64(i+1), Seconds: 0.02})
 		now = arrival + 0.05 + 0.80
 		p.Span(uint64(i+1), "inference", "core", i%2, arrival+0.05, 0.80,
 			map[string]float64{"interruptions": 0})
@@ -179,6 +182,10 @@ func scriptPlane() *Plane {
 	}
 	p.CacheTier("host", "hit", 6, 6*1024)
 	p.CacheTier("disk", "load", 2, 2*1024)
+	p.SetCalibration(CalibrationInfo{
+		Model: "bench", Version: 1, FittedAt: 2.0,
+		Fits: []StageFitInfo{{Stage: CostStageDenoiseStep, Samples: 8, R2: 0.99, Residual: 0.03}},
+	})
 	now = 10.0
 	return p
 }
@@ -305,6 +312,21 @@ func TestPlaneArtifacts(t *testing.T) {
 	}
 	if !bytes.Contains(dash, []byte("<title>FlashPS telemetry</title>")) {
 		t.Fatal("dashboard artifact missing title")
+	}
+	prof, err := os.Open(filepath.Join(dir, ArtifactProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prof.Close()
+	samples, err := ReadCostJSONL(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != p.Profile.Len() {
+		t.Fatalf("profile artifact has %d samples, recorder %d", len(samples), p.Profile.Len())
+	}
+	if samples[0].Stage != CostStageDenoiseStep || samples[0].FLOPs != 1e9 {
+		t.Fatalf("first profile sample = %+v", samples[0])
 	}
 }
 

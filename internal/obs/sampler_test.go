@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The window prune keeps points at exactly the cutoff: the condition is
+// T < now-window, so a sample stamped precisely window seconds ago is
+// still part of the window.
+func TestSamplerPruneKeepsCutoffPoint(t *testing.T) {
+	now := 0.0
+	s := NewSampler(ClockFunc(func() float64 { return now }), 10, 0)
+	s.Record("depth", 1) // T=0
+	now = 5
+	s.Record("depth", 2) // T=5
+	now = 10             // cutoff = 0: the T=0 point sits exactly on it
+	s.Record("depth", 3)
+	snap := s.Snapshot()
+	if got := len(snap[0].Points); got != 3 {
+		t.Fatalf("points at exact cutoff = %d, want 3 (T=0 must survive cut=0)", got)
+	}
+	now = 10.5 // cutoff = 0.5: now the T=0 point is strictly older
+	snap = s.Snapshot()
+	if got := len(snap[0].Points); got != 2 {
+		t.Fatalf("points past cutoff = %d, want 2", got)
+	}
+	if snap[0].Points[0].T != 5 {
+		t.Fatalf("oldest surviving point T = %g, want 5", snap[0].Points[0].T)
+	}
+}
+
+// At capacity the sampler evicts the oldest point per insertion, keeping
+// the series bounded even when nothing ages out of the window.
+func TestSamplerCapacityEviction(t *testing.T) {
+	now := 0.0
+	s := NewSampler(ClockFunc(func() float64 { return now }), 1000, 4)
+	for i := 0; i < 10; i++ {
+		now = float64(i)
+		s.Record("depth", float64(i))
+	}
+	snap := s.Snapshot()
+	pts := snap[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("retained = %d, want cap 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.V != want {
+			t.Fatalf("point %d = %g, want %g (newest four)", i, p.V, want)
+		}
+	}
+}
+
+// Zero or negative window/cap fall back to the defaults rather than
+// building a sampler that retains nothing.
+func TestSamplerDefaultWindow(t *testing.T) {
+	now := 0.0
+	for _, window := range []float64{0, -5} {
+		s := NewSampler(ClockFunc(func() float64 { return now }), window, -1)
+		if s.window != DefaultSampleWindow {
+			t.Fatalf("window %g => %g, want DefaultSampleWindow %g",
+				window, s.window, DefaultSampleWindow)
+		}
+		if s.cap != DefaultSampleCap {
+			t.Fatalf("cap = %d, want DefaultSampleCap %d", s.cap, DefaultSampleCap)
+		}
+		// A point recorded just inside the default window survives; one
+		// recorded before it is pruned.
+		s.Record("x", 1) // T=0
+		now = DefaultSampleWindow + 1
+		s.Record("x", 2)
+		snap := s.Snapshot()
+		if got := len(snap[0].Points); got != 1 {
+			t.Fatalf("window %g: points = %d, want 1", window, got)
+		}
+		now = 0
+	}
+}
+
+// Re-registering a source replaces the function without duplicating the
+// series, and Tick keeps evaluating the latest registration.
+func TestSamplerSourceReplace(t *testing.T) {
+	now := 0.0
+	s := NewSampler(ClockFunc(func() float64 { return now }), 10, 0)
+	s.Source("rate", func() float64 { return 1 })
+	s.Source("rate", func() float64 { return 2 })
+	s.Tick()
+	snap := s.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("series = %d, want 1 (replace, not duplicate)", len(snap))
+	}
+	if snap[0].Points[0].V != 2 {
+		t.Fatalf("ticked value = %g, want replacement's 2", snap[0].Points[0].V)
+	}
+}
+
+func TestProfileRecorderEviction(t *testing.T) {
+	r := NewProfileRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(CostSample{Stage: CostStageDenoiseStep, T: float64(i), Units: 1})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want cap 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+	snap := r.Snapshot()
+	for i, s := range snap {
+		if want := float64(2 + i); s.T != want {
+			t.Fatalf("snapshot[%d].T = %g, want %g (oldest-first, newest retained)", i, s.T, want)
+		}
+	}
+}
+
+func TestProfileRecorderDefaultCap(t *testing.T) {
+	r := NewProfileRecorder(0)
+	if r.cap != DefaultProfileCap {
+		t.Fatalf("cap = %d, want DefaultProfileCap %d", r.cap, DefaultProfileCap)
+	}
+}
+
+func TestCostJSONLRoundTrip(t *testing.T) {
+	in := []CostSample{
+		{Stage: CostStageDenoiseStep, T: 0.5, Units: 2, Batch: 2, MaskSum: 0.3, FLOPs: 1e6, Seconds: 0.001},
+		{Stage: CostStageCacheLoad, T: 0.6, Units: 1, Bytes: 4096, Tier: "host", Seconds: 0.0002},
+	}
+	var sb strings.Builder
+	if err := WriteCostJSONL(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCostJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip = %d samples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadCostJSONLRejects(t *testing.T) {
+	if _, err := ReadCostJSONL(strings.NewReader(`{"t":1,"units":1,"seconds":0.1}`)); err == nil {
+		t.Fatal("missing stage accepted")
+	}
+	if _, err := ReadCostJSONL(strings.NewReader(`{"stage":"denoise_step","units":1,"seconds":-0.1}`)); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if _, err := ReadCostJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}

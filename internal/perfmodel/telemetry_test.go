@@ -1,0 +1,238 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"flashps/internal/obs"
+)
+
+func TestFitRobust2Exact(t *testing.T) {
+	// y = 2·x1 + 3·x2, noise-free: the fit must recover both slopes.
+	x1 := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	x2 := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	y := make([]float64, len(x1))
+	for i := range y {
+		y[i] = 2*x1[i] + 3*x2[i]
+	}
+	a, b, r2, resid, err := fitRobust2(x1, x2, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2) > 1e-9 || math.Abs(b-3) > 1e-9 {
+		t.Fatalf("fit = (%g, %g), want (2, 3)", a, b)
+	}
+	if r2 < 0.999999 || resid > 1e-9 {
+		t.Fatalf("r2 = %g, resid = %g on exact data", r2, resid)
+	}
+}
+
+func TestFitRobust2IgnoresOutlier(t *testing.T) {
+	// One wild straggler (a 50× stall) must not drag the slope: the Huber
+	// reweighting is the whole point of the robust fit.
+	x1 := make([]float64, 40)
+	x2 := make([]float64, 40)
+	y := make([]float64, 40)
+	for i := range x1 {
+		x1[i] = float64(1 + i%5)
+		x2[i] = 1
+		y[i] = 0.001*x1[i] + 0.0005
+	}
+	y[7] *= 50
+	a, b, _, _, err := fitRobust2(x1, x2, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.001) > 2e-4 || math.Abs(b-0.0005) > 2e-4 {
+		t.Fatalf("outlier dragged fit to (%g, %g), want ≈(0.001, 0.0005)", a, b)
+	}
+}
+
+func TestFitRobust2CollinearFallback(t *testing.T) {
+	// Constant FLOPs-per-unit workload: x1 ∝ x2, the 2×2 system is
+	// singular, and the fit must fall back to the single identifiable
+	// slope on x1 rather than dividing by a ~zero determinant.
+	x1 := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	x2 := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := make([]float64, len(x1))
+	for i := range y {
+		y[i] = 0.5 * x1[i]
+	}
+	a, b, _, _, err := fitRobust2(x1, x2, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.5) > 1e-9 || b != 0 {
+		t.Fatalf("collinear fit = (%g, %g), want (0.5, 0)", a, b)
+	}
+}
+
+func TestFitRobust2Errors(t *testing.T) {
+	if _, _, _, _, err := fitRobust2([]float64{1}, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, _, _, err := fitRobust2([]float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, _, _, err := fitRobust2([]float64{0, 0}, []float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("all-zero predictors accepted")
+	}
+}
+
+// The regression that motivated fitNonNegative2: when the unconstrained
+// fit finds a negative per-unit cost (steep slope pulled through the
+// large-FLOP samples), clamping b to zero while keeping the inflated
+// slope systematically overpredicts. The correct NNLS answer pins b and
+// refits a alone.
+func TestFitNonNegative2RefitsAfterPin(t *testing.T) {
+	// True law: y = 0.001·x1 (b = 0), with structured noise that tilts the
+	// unconstrained plane: small-x1 samples run slightly fast, large ones
+	// slightly slow — the unconstrained fit compensates with b < 0.
+	x1 := []float64{10, 10, 20, 20, 30, 30, 40, 40}
+	x2 := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	y := make([]float64, len(x1))
+	for i := range y {
+		y[i] = 0.001 * x1[i]
+		if x1[i] <= 20 {
+			y[i] *= 0.95
+		} else {
+			y[i] *= 1.05
+		}
+	}
+	ua, ub, _, _, err := fitRobust2(x1, x2, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub >= 0 {
+		t.Fatalf("test premise broken: unconstrained b = %g, want < 0", ub)
+	}
+	a, b, _, _, err := fitNonNegative2(x1, x2, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 {
+		t.Fatalf("b = %g, want pinned to 0", b)
+	}
+	if a >= ua {
+		t.Fatalf("refit slope %g not reduced from inflated unconstrained %g", a, ua)
+	}
+	if math.Abs(a-0.001) > 1e-4 {
+		t.Fatalf("refit slope = %g, want ≈0.001", a)
+	}
+}
+
+func TestFitNonNegative2PassthroughWhenPositive(t *testing.T) {
+	x1 := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	x2 := []float64{1, 1, 1, 1, 2, 2, 2, 2}
+	y := make([]float64, len(x1))
+	for i := range y {
+		y[i] = 0.002*x1[i] + 0.0007*x2[i]
+	}
+	a, b, _, _, err := fitNonNegative2(x1, x2, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.002) > 1e-9 || math.Abs(b-0.0007) > 1e-9 {
+		t.Fatalf("fit = (%g, %g), want (0.002, 0.0007)", a, b)
+	}
+}
+
+func stepSample(flops, seconds float64) obs.CostSample {
+	return obs.CostSample{Stage: obs.CostStageDenoiseStep, Units: 1,
+		FLOPs: flops, Seconds: seconds}
+}
+
+func TestFitFromTelemetryMinSamples(t *testing.T) {
+	samples := make([]obs.CostSample, MinStepSamples-1)
+	for i := range samples {
+		samples[i] = stepSample(1e6, 0.001)
+	}
+	if _, err := FitFromTelemetry(FitConfig{Profile: SD21Paper}, samples); err == nil {
+		t.Fatal("fit accepted with fewer than MinStepSamples step samples")
+	}
+}
+
+func TestFitFromTelemetryRecoversLaws(t *testing.T) {
+	const (
+		perFLOP = 2e-9
+		perUnit = 3e-4
+		perByte = 1e-8
+		loadFix = 2e-4
+	)
+	var samples []obs.CostSample
+	for i := 0; i < 20; i++ {
+		f := float64(1+i%4) * 1e5
+		samples = append(samples, stepSample(f, perFLOP*f+perUnit))
+	}
+	for i := 0; i < 6; i++ {
+		b := float64(1+i) * 4096
+		samples = append(samples, obs.CostSample{Stage: obs.CostStageCacheLoad,
+			Units: 1, Bytes: b, Tier: "host", Seconds: perByte*b + loadFix})
+	}
+	// CPU stages: medians must be robust to one straggler.
+	for i := 0; i < 5; i++ {
+		samples = append(samples, obs.CostSample{Stage: obs.CostStagePreprocess,
+			Units: 1, Seconds: 0.004})
+	}
+	samples = append(samples, obs.CostSample{Stage: obs.CostStagePreprocess,
+		Units: 1, Seconds: 0.4})
+
+	c, err := FitFromTelemetry(FitConfig{
+		Profile: SD21Paper, Scoring: SD21Paper.Name, Seed: 9, FittedAt: 1.5,
+	}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.StepPerFLOP-perFLOP) > perFLOP*1e-6 ||
+		math.Abs(c.StepPerUnit-perUnit) > perUnit*1e-6 {
+		t.Fatalf("step law = (%g, %g), want (%g, %g)",
+			c.StepPerFLOP, c.StepPerUnit, perFLOP, perUnit)
+	}
+	if math.Abs(c.LoadPerByte-perByte) > perByte*1e-6 ||
+		math.Abs(c.LoadBase-loadFix) > loadFix*1e-6 {
+		t.Fatalf("load law = (%g, %g), want (%g, %g)",
+			c.LoadPerByte, c.LoadBase, perByte, loadFix)
+	}
+	if c.Overheads.Preprocess != 0.004 {
+		t.Fatalf("preprocess median = %g, want straggler-robust 0.004", c.Overheads.Preprocess)
+	}
+	if c.Scoring != SD21Paper.Name || c.Seed != 9 {
+		t.Fatalf("scoring identity = (%q, %d)", c.Scoring, c.Seed)
+	}
+	// A batch step prediction composes linearly: n units at the batch's
+	// summed FLOPs.
+	want := perFLOP*3e5 + perUnit*2
+	if got := c.StepSeconds(3e5, 2); math.Abs(got-want) > want*1e-6 {
+		t.Fatalf("StepSeconds(3e5, 2) = %g, want %g", got, want)
+	}
+	fit := c.Fits[obs.CostStageDenoiseStep]
+	if fit.Samples != 20 || fit.R2 < 0.999 {
+		t.Fatalf("step fit quality = %+v", fit)
+	}
+}
+
+func TestCoefficientsValidate(t *testing.T) {
+	good := Coefficients{Version: CoefficientsVersion, Profile: SD21Paper,
+		StepPerFLOP: 1e-9, StepPerUnit: 1e-4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Version = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	bad = good
+	bad.Profile = ModelProfile{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("degenerate profile accepted")
+	}
+	bad = good
+	bad.StepPerFLOP = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative step law accepted")
+	}
+}

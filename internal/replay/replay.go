@@ -285,6 +285,7 @@ func (e *realExecutor) StageReadyAt(worker int, req workload.Request, now float6
 	if stageDone > now {
 		tpl := req.Template
 		e.clock.At(stageDone, func() { tier.Complete(tpl, stageDone) })
+		cluster.RecordStageCost(e.cfg.Obs, e.profile, stageDone-now)
 	}
 	return stageDone
 }
@@ -322,6 +323,9 @@ func (e *realExecutor) RunSteps(worker int, batch []batching.StepView, aligned i
 	if d := e.faults.Delay(faults.StepStage); d > 0 {
 		lat += d.Seconds()
 	}
+	// Same call, same arguments as the simulator's executor: the
+	// differential byte-identity extends to the profile stream.
+	cluster.RecordStepCost(e.cfg.Obs, cluster.SystemFlashPS, e.profile, batch, aligned, lat)
 	return lat
 }
 

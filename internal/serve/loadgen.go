@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +35,20 @@ type LoadGenConfig struct {
 	DeadlineMS int64
 }
 
+// RequestOutcome is one request's measured result in an open-loop run,
+// matched to its trace entry by ID so a captured run can be replayed
+// through the simulator and compared request-for-request.
+type RequestOutcome struct {
+	ID        int
+	Arrival   float64 // trace arrival, virtual seconds
+	MaskRatio float64
+	Worker    int
+	TotalMS   float64
+	QueueMS   float64
+	InferMS   float64
+	Error     bool
+}
+
 // LoadGenResult aggregates an open-loop run. The recorders are
 // SyncRecorders because in-flight request goroutines record concurrently;
 // Errors is only written under the run's internal lock and is safe to read
@@ -48,6 +63,15 @@ type LoadGenResult struct {
 	Degraded int
 	Retried  int
 	Elapsed  time.Duration
+	// Trace is the generated workload trace the run fired, in virtual
+	// (unscaled) trace time — the input a simulator replay needs.
+	Trace []workload.Request
+	// Requests are the per-request outcomes, sorted by trace ID.
+	Requests []RequestOutcome
+	// OfferedRPS is the realized offered rate: requests per second of
+	// scaled trace span (what the server actually saw, as opposed to the
+	// configured Poisson rate).
+	OfferedRPS float64
 }
 
 // RunLoad fires the configured open-loop workload at the server and waits
@@ -66,7 +90,7 @@ func RunLoad(ctx context.Context, srv *Server, cfg LoadGenConfig) (*LoadGenResul
 	if err != nil {
 		return nil, err
 	}
-	res := &LoadGenResult{}
+	res := &LoadGenResult{Trace: reqs}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -97,19 +121,26 @@ func RunLoad(ctx context.Context, srv *Server, cfg LoadGenConfig) (*LoadGenResul
 			if err != nil {
 				mu.Lock()
 				res.Errors++
+				res.Requests = append(res.Requests, RequestOutcome{
+					ID: r.ID, Arrival: r.Arrival, MaskRatio: r.MaskRatio,
+					Error: true,
+				})
 				mu.Unlock()
 				return
 			}
-			if resp.Degraded || resp.Retries > 0 {
-				mu.Lock()
-				if resp.Degraded {
-					res.Degraded++
-				}
-				if resp.Retries > 0 {
-					res.Retried++
-				}
-				mu.Unlock()
+			mu.Lock()
+			if resp.Degraded {
+				res.Degraded++
 			}
+			if resp.Retries > 0 {
+				res.Retried++
+			}
+			res.Requests = append(res.Requests, RequestOutcome{
+				ID: r.ID, Arrival: r.Arrival, MaskRatio: r.MaskRatio,
+				Worker: resp.Worker, TotalMS: resp.TotalMS,
+				QueueMS: resp.QueueMS, InferMS: resp.InferenceMS,
+			})
+			mu.Unlock()
 			res.Total.Add(resp.TotalMS)
 			res.Queue.Add(resp.QueueMS)
 			res.Inference.Add(resp.InferenceMS)
@@ -117,5 +148,9 @@ func RunLoad(ctx context.Context, srv *Server, cfg LoadGenConfig) (*LoadGenResul
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	sort.Slice(res.Requests, func(i, j int) bool { return res.Requests[i].ID < res.Requests[j].ID })
+	if span := reqs[len(reqs)-1].Arrival * cfg.TimeScale; span > 0 {
+		res.OfferedRPS = float64(len(reqs)) / span
+	}
 	return res, nil
 }

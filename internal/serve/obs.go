@@ -138,6 +138,10 @@ func (o *serveObs) observeSLO(ratio float64, latency time.Duration) {
 // incStep counts one executed per-request denoising step.
 func (o *serveObs) incStep() { o.plane.IncSteps() }
 
+// cost records one structured cost sample into the plane's profile
+// recorder (wall-clock measured durations; the calibration input).
+func (o *serveObs) cost(s obs.CostSample) { o.plane.RecordCost(s) }
+
 // observeBatch records the running-batch size at one executed engine step.
 func (o *serveObs) observeBatch(size int) { o.plane.ObserveBatch(size) }
 

@@ -16,7 +16,6 @@ import (
 	"flashps/internal/model"
 	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
-	"flashps/internal/tensor"
 )
 
 // Config parameterizes the serving plane.
@@ -191,6 +190,12 @@ type Server struct {
 	faults  *faults.Injector
 	workers []*worker
 
+	// engProfile describes the numeric engine actually executing (not the
+	// paper-scale scoring profile): its dimensions feed the mask-aware
+	// FLOP features on recorded cost samples, so a telemetry fit predicts
+	// this engine.
+	engProfile perfmodel.ModelProfile
+
 	// core makes every placement, admission, and shedding decision and
 	// records them in its decision log (see Decisions). It is the same
 	// code the simulator drives.
@@ -241,7 +246,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		store = host
 	}
-	est, err := perfmodel.Calibrate(cfg.Profile, tensor.NewRNG(cfg.Seed^0xCA11B), 0.02)
+	est, err := perfmodel.ServingEstimator(cfg.Profile, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +260,9 @@ func New(cfg Config) (*Server, error) {
 		cfg:    cfg,
 		store:  store,
 		faults: cfg.Faults,
+		engProfile: perfmodel.EngineProfile(cfg.Model.Name, cfg.Model.NumBlocks,
+			cfg.Model.Tokens(), cfg.Model.Hidden, cfg.Model.FFNMult,
+			cfg.Model.Steps, cfg.MaxBatch),
 		core: batching.NewCore(batching.CoreConfig{
 			Policy:     cfg.Policy,
 			Discipline: cfg.Discipline,
@@ -326,6 +334,36 @@ func (s *Server) Tracer() *obs.Tracer { return s.obs.tracer }
 // Obs exposes the full telemetry plane (SLO tracker, windowed quantiles,
 // time-series sampler, artifact dumps) backing /metrics and /debug/dash.
 func (s *Server) Obs() *obs.Plane { return s.obs.plane }
+
+// EngineProfile returns the ModelProfile describing the numeric engine this
+// server executes — the profile whose dimensions feed the FLOP features on
+// recorded cost samples. Calibration (perfmodel.FitFromTelemetry) must fit
+// against this same profile for the features to line up.
+func (s *Server) EngineProfile() perfmodel.ModelProfile { return s.engProfile }
+
+// stepFLOPs is the mask-aware FLOP feature for one denoising step of one
+// session, from the engine profile: cached modes compute masked rows, full
+// and teacache compute every row, and classifier-free guidance doubles the
+// work. Recorded on denoise_step cost samples; the digital twin computes
+// the identical feature at prediction time.
+func (s *Server) stepFLOPs(j *job) float64 {
+	mode := j.mode
+	if j.degraded {
+		mode = diffusion.EditFull
+	}
+	var f float64
+	switch mode {
+	case diffusion.EditCachedY, diffusion.EditCachedKV, diffusion.EditNaiveSkip:
+		f = s.engProfile.BlockFLOPsMasked(j.ratio)
+	default: // EditFull, EditTeaCache
+		f = s.engProfile.BlockFLOPsFull()
+	}
+	f *= float64(s.engProfile.Blocks)
+	if s.cfg.Model.GuidanceScale > 0 {
+		f *= 2
+	}
+	return f
+}
 
 // Decisions returns the batching core's decision sequence so far: every
 // placement, admission, shed, and rejection, in order. Tests and operators
@@ -436,6 +474,8 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 	}
 	s.obs.span(j.id, stageSchedule, idx, t0, decision,
 		map[string]float64{"mask_ratio_hint": j.ratioHint})
+	s.obs.cost(obs.CostSample{Stage: obs.CostStageSchedule, Units: 1,
+		Seconds: decision.Seconds()})
 
 	j.worker = s.workers[idx]
 	if !j.worker.tryAddOutstanding(j, s.cfg.MaxQueue) {
@@ -664,7 +704,8 @@ func (s *Server) preLoop() {
 			}
 			t0 := time.Now()
 			err := s.preprocess(j)
-			s.obs.span(j.id, stagePreprocess, j.worker.id, t0, time.Since(t0),
+			pre := time.Since(t0)
+			s.obs.span(j.id, stagePreprocess, j.worker.id, t0, pre,
 				map[string]float64{"mask_ratio": j.ratio})
 			if err != nil {
 				j.worker.removeOutstanding(j)
@@ -673,6 +714,8 @@ func (s *Server) preLoop() {
 				}
 				continue
 			}
+			s.obs.cost(obs.CostSample{Stage: obs.CostStagePreprocess, Units: 1,
+				MaskSum: j.ratio, Seconds: pre.Seconds()})
 			j.ready = time.Now()
 			select {
 			case j.worker.readyCh <- j:
@@ -710,6 +753,10 @@ func (s *Server) preprocess(j *job) error {
 	}
 	s.obs.span(j.id, stageCacheLoad, j.worker.id, t0, elapsed,
 		map[string]float64{"template": float64(j.api.TemplateID), "hit": hit})
+	if tc != nil {
+		s.obs.cost(obs.CostSample{Stage: obs.CostStageCacheLoad, Units: 1,
+			Bytes: float64(tc.SizeBytes()), Tier: "host", Seconds: elapsed.Seconds()})
+	}
 	if tc == nil {
 		return apiErrorf(CodeTemplateNotFound, false,
 			"template %d not prepared", j.api.TemplateID)
@@ -792,6 +839,8 @@ func (s *Server) postprocess(j *job) {
 	post := time.Now()
 	handoff := post.Sub(j.handoff)
 	s.obs.span(j.id, stageHandoff, j.worker.id, j.handoff, handoff, nil)
+	s.obs.cost(obs.CostSample{Stage: obs.CostStageHandoff, Units: 1,
+		Seconds: handoff.Seconds()})
 	res, err := j.session.Result()
 	var png []byte
 	if err == nil && j.api.ReturnImage {
@@ -799,6 +848,8 @@ func (s *Server) postprocess(j *job) {
 	}
 	complete := time.Now()
 	s.obs.span(j.id, stagePostprocess, j.worker.id, post, complete.Sub(post), nil)
+	s.obs.cost(obs.CostSample{Stage: obs.CostStagePostprocess, Units: 1,
+		Seconds: complete.Sub(post).Seconds()})
 	if err != nil {
 		if j.deliver(jobResult{err: asAPIError(err)}) {
 			s.obs.outcome(outcomeError)

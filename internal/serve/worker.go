@@ -9,6 +9,7 @@ import (
 	"flashps/internal/batching"
 	"flashps/internal/diffusion"
 	"flashps/internal/faults"
+	"flashps/internal/obs"
 	"flashps/internal/tensor"
 )
 
@@ -222,6 +223,8 @@ func (w *worker) runOnce() (crashed bool) {
 		if len(w.running) == 0 {
 			continue
 		}
+		w.srv.obs.cost(obs.CostSample{Stage: obs.CostStageOrganize, Units: 1,
+			Batch: len(w.running), Seconds: organize.Seconds()})
 
 		// One denoising step for every running session; abandoned jobs
 		// (expired deadline, canceled client, shed) leave at this step
@@ -242,9 +245,15 @@ func (w *worker) runOnce() (crashed bool) {
 			stepIdx := j.session.StepsComputed()
 			ts := time.Now()
 			done, err := j.session.Step()
+			stepDur := time.Since(ts)
 			w.srv.obs.incStep()
-			w.srv.obs.span(j.id, stageDenoiseStep, w.id, ts, time.Since(ts),
+			w.srv.obs.span(j.id, stageDenoiseStep, w.id, ts, stepDur,
 				map[string]float64{"step": float64(stepIdx), "batch": batch})
+			if err == nil {
+				w.srv.obs.cost(obs.CostSample{Stage: obs.CostStageDenoiseStep,
+					Units: 1, Batch: len(w.running), MaskSum: j.ratio,
+					FLOPs: w.srv.stepFLOPs(j), Seconds: stepDur.Seconds()})
+			}
 			if err != nil {
 				w.removeOutstanding(j)
 				if j.deliver(jobResult{err: asAPIError(err)}) {
@@ -264,6 +273,9 @@ func (w *worker) runOnce() (crashed bool) {
 			j.latentBytes = serializeLatent(j.session.Latent())
 			serialize := time.Since(ts)
 			w.srv.obs.span(j.id, stageSerialize, w.id, ts, serialize, nil)
+			w.srv.obs.cost(obs.CostSample{Stage: obs.CostStageSerialize,
+				Units: 1, Bytes: float64(len(j.latentBytes)),
+				Seconds: serialize.Seconds()})
 			w.removeOutstanding(j)
 			j.handoff = time.Now()
 

@@ -1,0 +1,6 @@
+package tensor
+
+// HasAVX2 reports whether the AVX2+FMA assembly kernels are active on this
+// process (CPU support present and not disabled via FLASHPS_NO_AVX2).
+// Benchmarks record it in their run metadata so results are comparable.
+func HasAVX2() bool { return useAVX2 }
