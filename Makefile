@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: all check build test vet race faults replay-diff obs-lint calib-gate bench bench-smoke bench-kernels bench-serve whatif experiments fuzz clean
+.PHONY: all check build test vet race faults cache-stress replay-diff obs-lint calib-gate bench bench-smoke bench-kernels bench-serve whatif experiments fuzz clean
 
 all: check
 
 # The default gate: build, vet, full test suite, the race detector over
-# the concurrent packages, the fault-injection suite, the sim-vs-real
-# differential replay (decisions, timings, AND byte-identical telemetry),
-# the observability lint/golden gate, the calibration accuracy gate, and a
-# one-iteration benchmark smoke pass so the benchmarks themselves can't rot.
-check: build vet test race faults replay-diff obs-lint calib-gate bench-smoke
+# the concurrent packages, the fault-injection suite, the tiered-store
+# stress drill, the sim-vs-real differential replay (decisions, timings,
+# AND byte-identical telemetry), the observability lint/golden gate, the
+# calibration accuracy gate, and a one-iteration benchmark smoke pass so
+# the benchmarks themselves can't rot.
+check: build vet test race faults cache-stress replay-diff obs-lint calib-gate bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +28,12 @@ race:
 # degradation, deadline eviction, cancellation storms, load shedding.
 faults:
 	$(GO) test -race -count=1 ./internal/faults/... ./internal/serve/ -run 'TestWorkerCrash|TestHealthDegraded|TestCacheLoad|TestDeadlineExceeded|TestCancelConcurrent|TestShedLargest|TestFaultCounters|Test.*Injector|TestFail|TestAfter|TestProb|TestDelay|TestParse'
+
+# Tiered template-store stress drill: concurrent put/get/observe/pin/
+# delete/evict/spill traffic under the race detector, asserting the RAM
+# budget invariant throughout.
+cache-stress:
+	$(GO) test -race -count=1 ./internal/cache/ -run TestCacheStress
 
 # The unification proof under the race detector: the discrete-event
 # simulator and the real-engine driver must emit identical decision

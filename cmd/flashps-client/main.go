@@ -11,6 +11,9 @@
 //	flashps-client -addr http://localhost:8005 -edit -template 1 -deadline-ms 500
 //	flashps-client -addr http://localhost:8005 -list
 //	flashps-client -addr http://localhost:8005 -delete -template 1
+//	flashps-client -addr http://localhost:8005 -pin -template 1
+//	flashps-client -addr http://localhost:8005 -unpin -template 1
+//	flashps-client -addr http://localhost:8005 -cache-stats
 //	flashps-client -addr http://localhost:8005 -load -n 50 -rps 4 -templates 1,2
 //	flashps-client -addr http://localhost:8005 -stats
 //
@@ -46,8 +49,11 @@ func main() {
 		edit     = flag.Bool("edit", false, "submit one edit")
 		list     = flag.Bool("list", false, "list cached templates")
 		del      = flag.Bool("delete", false, "delete a template's cache entries")
-		load     = flag.Bool("load", false, "run an open-loop Poisson workload")
-		stats    = flag.Bool("stats", false, "fetch server statistics")
+		pin        = flag.Bool("pin", false, "pin a template against eviction")
+		unpin      = flag.Bool("unpin", false, "clear a template's pin")
+		cacheStats = flag.Bool("cache-stats", false, "fetch per-tier cache statistics")
+		load       = flag.Bool("load", false, "run an open-loop Poisson workload")
+		stats      = flag.Bool("stats", false, "fetch server statistics")
 		template = flag.Uint64("template", 1, "template id")
 		tplList  = flag.String("templates", "1", "comma-separated template ids for -load")
 		imgSeed  = flag.Uint64("image-seed", 7, "synthetic template image seed (prepare)")
@@ -109,8 +115,42 @@ func main() {
 			fmt.Println("no templates cached")
 		}
 		for _, tpl := range resp.Templates {
-			fmt.Printf("template %d: %.1f MiB (%s)\n",
-				tpl.TemplateID, float64(tpl.Bytes)/(1<<20), tpl.Tier)
+			pinned := ""
+			if tpl.Pinned {
+				pinned = " pinned"
+			}
+			fmt.Printf("template %d: %.1f MiB (%s)%s, %d hits\n",
+				tpl.TemplateID, float64(tpl.Bytes)/(1<<20), tpl.Tier, pinned, tpl.Hits)
+		}
+	case *pin:
+		var resp serve.PinResponse
+		if err := c.post(fmt.Sprintf("/v1/templates/%d/pin", *template), nil, &resp); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("template %d pinned\n", resp.TemplateID)
+	case *unpin:
+		var resp serve.PinResponse
+		if err := c.del(fmt.Sprintf("/v1/templates/%d/pin", *template), &resp); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("template %d unpinned\n", resp.TemplateID)
+	case *cacheStats:
+		var resp serve.CacheStatsResponse
+		if err := c.get("/v1/cache/stats", &resp); err != nil {
+			fatal(err)
+		}
+		for _, tier := range resp.Tiers {
+			capacity := "unbounded"
+			if tier.CapacityBytes > 0 {
+				capacity = fmt.Sprintf("%.1f MiB", float64(tier.CapacityBytes)/(1<<20))
+			}
+			fmt.Printf("%s: %d templates (%d pinned), %.1f MiB used of %s, hit rate %.0f%%, %d evictions\n",
+				tier.Tier, tier.Entries, tier.Pinned, float64(tier.UsedBytes)/(1<<20),
+				capacity, 100*tier.HitRate, tier.Evictions)
+			if tier.DedupRatio > 0 {
+				fmt.Printf("%s: dedup %.2f× (%d blocks, %d shared)\n",
+					tier.Tier, tier.DedupRatio, tier.Blocks, tier.SharedBlocks)
+			}
 		}
 	case *del:
 		var resp serve.DeleteTemplateResponse

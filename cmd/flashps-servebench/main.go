@@ -54,6 +54,7 @@ func main() {
 		calib     = flag.String("calib", "", "also fit a coefficient set from the run's cost samples and write it here")
 		obsOut    = flag.String("obs-out", "", "also write metrics.prom, trace.json, dash.html, profile.jsonl here")
 		par       = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
+		coldTpls  = flag.Int("cold-templates", 0, "also run a cold-cache pass with this many templates resident only on the disk tier, reported side by side (0 = skip)")
 	)
 	flag.IntVar(n, "requests", 500, "alias for -n")
 	flag.Float64Var(rps, "rate", 1400, "alias for -rps")
@@ -63,6 +64,16 @@ func main() {
 	res, err := run(*n, *rps, *workers, *maxBatch, *templates, *seed, *obsOut, *calib)
 	if err != nil {
 		fatal(err)
+	}
+	if *coldTpls > 0 {
+		cold, err := runCold(*n, *rps, *workers, *maxBatch, *coldTpls, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("cold pass: %w", err))
+		}
+		res.ColdTemplates = *coldTpls
+		res.Cold = cold
+		fmt.Printf("cold pass: P50 %.1fms  P99 %.1fms (warm P50 %.1fms  P99 %.1fms)\n",
+			cold.P50MS, cold.P99MS, res.P50MS, res.P99MS)
 	}
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -114,31 +125,10 @@ func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsO
 		return nil, err
 	}
 
-	plane := srv.Obs()
-	attained, _ := plane.SLO.Counts()
-	elapsed := load.Elapsed.Seconds()
-	completed := load.Total.Count()
-	res := &benchfmt.ServeResult{
-		Meta:          benchfmt.CollectMeta(),
-		Model:         benchModel.Name,
-		Requests:      n,
-		Workers:       workers,
-		Errors:        load.Errors,
-		OfferedRPS:    load.OfferedRPS,
-		ElapsedS:      elapsed,
-		P50MS:         load.Total.Quantile(0.50),
-		P95MS:         load.Total.Quantile(0.95),
-		P99MS:         load.Total.Quantile(0.99),
-		MeanMS:        load.Total.Mean(),
-		QueueP99MS:    load.Queue.Quantile(0.99),
-		ThroughputRPS: float64(completed) / elapsed,
-		GoodputRPS:    float64(attained) / elapsed,
-		SLOAttainment: plane.SLO.Attainment(),
-		StepsTotal:    plane.StepsTotal(),
-		StepsPerSec:   plane.StepsTotal() / elapsed,
-		MeanBatchSize: plane.MeanBatchSize(),
-	}
+	res := collect(srv, load, n, workers)
 	if calib != "" {
+		plane := srv.Obs()
+		elapsed := load.Elapsed.Seconds()
 		coeffs, err := perfmodel.FitFromTelemetry(perfmodel.FitConfig{
 			Profile:  srv.EngineProfile(),
 			Scoring:  perfmodel.SD21Paper.Name,
@@ -159,11 +149,105 @@ func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsO
 		if err := os.MkdirAll(obsOut, 0o755); err != nil {
 			return nil, err
 		}
-		if err := plane.WriteArtifacts(obsOut); err != nil {
+		if err := srv.Obs().WriteArtifacts(obsOut); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
+}
+
+// runCold replays the benchmark workload against a server whose templates
+// live only on the disk tier: a first server prepares them into a spill
+// dir and shuts down, then a second server with a deliberately tiny RAM
+// budget serves the load, staging every cache fetch from disk. The delta
+// against the warm result isolates the spill tier's cost.
+func runCold(n int, rps float64, workers, maxBatch, templates int, seed uint64) (*benchfmt.ServeResult, error) {
+	dir, err := os.MkdirTemp("", "servebench-cold-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	warmup, err := serve.New(serve.Config{
+		Model:    benchModel,
+		Profile:  perfmodel.SD21Paper,
+		Workers:  workers,
+		MaxBatch: maxBatch, PreWorkers: 2, PostWorkers: 2,
+		Policy:   batching.MaskAware,
+		Seed:     seed,
+		CacheDir: dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	warmup.Start()
+	ids := make([]uint64, templates)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+		if _, err := warmup.Prepare(serve.PrepareRequest{
+			TemplateID: ids[i], ImageSeed: ids[i], Prompt: "bench",
+		}); err != nil {
+			warmup.Close()
+			return nil, err
+		}
+	}
+	// Close drains the write-back queue, leaving the templates on disk.
+	warmup.Close()
+
+	srv, err := serve.New(serve.Config{
+		Model:    benchModel,
+		Profile:  perfmodel.SD21Paper,
+		Workers:  workers,
+		MaxBatch: maxBatch, PreWorkers: 2, PostWorkers: 2,
+		Policy:   batching.MaskAware,
+		Seed:     seed,
+		CacheDir: dir,
+		// Too small for any template: nothing promotes into RAM, so every
+		// fetch is a disk staging.
+		CacheBudgetBytes: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	defer srv.Close()
+
+	load, err := serve.RunLoad(context.Background(), srv, serve.LoadGenConfig{
+		RPS: rps, N: n, Dist: workload.ProductionTrace,
+		Templates: ids, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return collect(srv, load, n, workers), nil
+}
+
+// collect builds the ServeResult for one completed load run.
+func collect(srv *serve.Server, load *serve.LoadGenResult, n, workers int) *benchfmt.ServeResult {
+	plane := srv.Obs()
+	attained, _ := plane.SLO.Counts()
+	elapsed := load.Elapsed.Seconds()
+	completed := load.Total.Count()
+	return &benchfmt.ServeResult{
+		Meta:          benchfmt.CollectMeta(),
+		Model:         benchModel.Name,
+		Requests:      n,
+		Workers:       workers,
+		Errors:        load.Errors,
+		OfferedRPS:    load.OfferedRPS,
+		ElapsedS:      elapsed,
+		P50MS:         load.Total.Quantile(0.50),
+		P95MS:         load.Total.Quantile(0.95),
+		P99MS:         load.Total.Quantile(0.99),
+		MeanMS:        load.Total.Mean(),
+		QueueP99MS:    load.Queue.Quantile(0.99),
+		ThroughputRPS: float64(completed) / elapsed,
+		GoodputRPS:    float64(attained) / elapsed,
+		SLOAttainment: plane.SLO.Attainment(),
+		StepsTotal:    plane.StepsTotal(),
+		StepsPerSec:   plane.StepsTotal() / elapsed,
+		MeanBatchSize: plane.MeanBatchSize(),
+	}
 }
 
 func fatal(err error) {

@@ -101,4 +101,12 @@ type ServeResult struct {
 	StepsTotal    float64 `json:"steps_total"`
 	StepsPerSec   float64 `json:"steps_per_sec"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
+
+	// ColdTemplates and Cold report flashps-servebench's optional second
+	// pass (-cold-templates): the same workload served with every template
+	// resident only on the disk tier, so each cache fetch pays a disk
+	// staging. Comparing Cold against the parent (warm) result isolates
+	// the spill tier's cost.
+	ColdTemplates int          `json:"cold_templates,omitempty"`
+	Cold          *ServeResult `json:"cold,omitempty"`
 }

@@ -1,0 +1,304 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"flashps/internal/diffusion"
+)
+
+// DefaultBlockBytes is the content-addressed chunk size of the spill
+// tier. Template caches for the same model config are mostly identical
+// byte runs when prepared from related images, and the FPTC layout keeps
+// tensor payloads position-stable, so fixed-size chunking dedups well.
+const DefaultBlockBytes = 256 << 10
+
+// blockManifest maps one spilled template onto content-addressed blocks.
+type blockManifest struct {
+	ID         uint64   `json:"id"`
+	BlockBytes int      `json:"block_bytes"`
+	Bytes      int64    `json:"bytes"`
+	Blocks     []string `json:"blocks"`
+}
+
+// DedupStats summarizes the spill tier's content-addressed storage.
+type DedupStats struct {
+	Templates     int   // spilled templates (manifests)
+	Blocks        int   // distinct live blocks
+	SharedBlocks  int   // blocks referenced by more than one template
+	LogicalBytes  int64 // sum of template sizes as stored by callers
+	PhysicalBytes int64 // bytes actually held on disk
+}
+
+// Ratio is logical/physical bytes: 1.0 means no sharing, >1 means dedup
+// is saving space.
+func (s DedupStats) Ratio() float64 {
+	if s.PhysicalBytes <= 0 {
+		return 1
+	}
+	return float64(s.LogicalBytes) / float64(s.PhysicalBytes)
+}
+
+// BlockStore is the disk spill tier: serialized template caches are
+// split into fixed-size blocks, each stored once under its SHA-256 and
+// refcounted across templates, with a small JSON manifest per template.
+// Identical templates (and identical prefixes of near-identical ones)
+// share physical blocks; deleting one template only deletes blocks no
+// other manifest references.
+type BlockStore struct {
+	mu         sync.Mutex
+	dir        string
+	blockBytes int
+	manifests  map[uint64]*blockManifest
+	refs       map[string]int // block hash → referencing manifests
+}
+
+// NewBlockStore opens (or creates) a spill directory, rebuilding block
+// refcounts from the manifests found there so a restarted server resumes
+// with its spilled templates intact.
+func NewBlockStore(dir string, blockBytes int) (*BlockStore, error) {
+	if blockBytes <= 0 {
+		blockBytes = DefaultBlockBytes
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "blocks"), 0o755); err != nil {
+		return nil, fmt.Errorf("cache: create spill dir: %w", err)
+	}
+	s := &BlockStore{
+		dir:        dir,
+		blockBytes: blockBytes,
+		manifests:  make(map[uint64]*blockManifest),
+		refs:       make(map[string]int),
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "manifest-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		var m blockManifest
+		if json.Unmarshal(raw, &m) != nil || len(m.Blocks) == 0 {
+			continue
+		}
+		s.manifests[m.ID] = &m
+		for _, h := range m.Blocks {
+			s.refs[h]++
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the spill directory.
+func (s *BlockStore) Dir() string { return s.dir }
+
+func (s *BlockStore) manifestPath(id uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("manifest-%d.json", id))
+}
+
+func (s *BlockStore) blockPath(hash string) string {
+	return filepath.Join(s.dir, "blocks", hash+".blk")
+}
+
+// Save serializes the template cache into content-addressed blocks and
+// writes its manifest atomically. Re-saving an existing id releases the
+// old manifest's blocks after the new one lands.
+func (s *BlockStore) Save(id uint64, tc *diffusion.TemplateCache) error {
+	var buf bytes.Buffer
+	if err := tc.Serialize(&buf); err != nil {
+		return fmt.Errorf("cache: serialize template %d: %w", id, err)
+	}
+	raw := buf.Bytes()
+	hashes := make([]string, 0, (len(raw)+s.blockBytes-1)/s.blockBytes)
+	for off := 0; off < len(raw); off += s.blockBytes {
+		end := off + s.blockBytes
+		if end > len(raw) {
+			end = len(raw)
+		}
+		sum := sha256.Sum256(raw[off:end])
+		hashes = append(hashes, hex.EncodeToString(sum[:]))
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Write blocks that aren't already live (atomic temp+rename so a
+	// crash never leaves a truncated block under a valid hash).
+	for i, h := range hashes {
+		if s.refs[h] > 0 {
+			continue
+		}
+		if _, err := os.Stat(s.blockPath(h)); err == nil {
+			continue // orphan from an earlier crash; content-addressed, so reusable
+		}
+		off := i * s.blockBytes
+		end := off + s.blockBytes
+		if end > len(raw) {
+			end = len(raw)
+		}
+		if err := atomicWrite(s.blockPath(h), raw[off:end]); err != nil {
+			return fmt.Errorf("cache: write block: %w", err)
+		}
+	}
+
+	m := &blockManifest{ID: id, BlockBytes: s.blockBytes, Bytes: int64(len(raw)), Blocks: hashes}
+	enc, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(s.manifestPath(id), enc); err != nil {
+		return fmt.Errorf("cache: write manifest %d: %w", id, err)
+	}
+
+	old := s.manifests[id]
+	s.manifests[id] = m
+	for _, h := range hashes {
+		s.refs[h]++
+	}
+	if old != nil {
+		s.releaseLocked(old)
+	}
+	return nil
+}
+
+// Load reads a spilled template back, verifying block lengths against the
+// manifest.
+func (s *BlockStore) Load(id uint64) (*diffusion.TemplateCache, error) {
+	s.mu.Lock()
+	m, ok := s.manifests[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cache: template %d: %w", id, ErrNotFound)
+	}
+	raw := make([]byte, 0, m.Bytes)
+	for i, h := range m.Blocks {
+		blk, err := os.ReadFile(s.blockPath(h))
+		if err != nil {
+			return nil, fmt.Errorf("cache: read block %d of template %d: %w", i, id, err)
+		}
+		raw = append(raw, blk...)
+	}
+	if int64(len(raw)) != m.Bytes {
+		return nil, fmt.Errorf("cache: template %d reassembled to %d bytes, manifest says %d", id, len(raw), m.Bytes)
+	}
+	return diffusion.ReadTemplateCache(bytes.NewReader(raw))
+}
+
+// Has reports whether a spilled copy of the template exists.
+func (s *BlockStore) Has(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.manifests[id]
+	return ok
+}
+
+// Bytes returns the logical size of a spilled template, or 0 if absent.
+func (s *BlockStore) Bytes(id uint64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.manifests[id]; ok {
+		return m.Bytes
+	}
+	return 0
+}
+
+// Delete removes a template's manifest and any blocks no other template
+// still references. Deleting an absent id is a no-op returning false.
+func (s *BlockStore) Delete(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[id]
+	if !ok {
+		return false
+	}
+	delete(s.manifests, id)
+	_ = os.Remove(s.manifestPath(id))
+	s.releaseLocked(m)
+	return true
+}
+
+// releaseLocked drops one reference per block of m, removing block files
+// that reach zero references.
+func (s *BlockStore) releaseLocked(m *blockManifest) {
+	for _, h := range m.Blocks {
+		s.refs[h]--
+		if s.refs[h] <= 0 {
+			delete(s.refs, h)
+			_ = os.Remove(s.blockPath(h))
+		}
+	}
+}
+
+// IDs returns the spilled template ids in ascending order.
+func (s *BlockStore) IDs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]uint64, 0, len(s.manifests))
+	for id := range s.manifests {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Dedup returns the spill tier's storage accounting.
+func (s *BlockStore) Dedup() DedupStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := DedupStats{Templates: len(s.manifests)}
+	sizes := make(map[string]int64, len(s.refs))
+	for _, m := range s.manifests {
+		st.LogicalBytes += m.Bytes
+		rem := m.Bytes
+		for _, h := range m.Blocks {
+			bb := int64(m.BlockBytes)
+			if rem < bb {
+				bb = rem
+			}
+			rem -= bb
+			sizes[h] = bb
+		}
+	}
+	for h, n := range s.refs {
+		st.Blocks++
+		st.PhysicalBytes += sizes[h]
+		if n > 1 {
+			st.SharedBlocks++
+		}
+	}
+	return st
+}
+
+// atomicWrite writes data to path via a temp file + rename in the same
+// directory.
+func atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+strings.TrimSuffix(base, filepath.Ext(base))+"-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

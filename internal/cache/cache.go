@@ -1,22 +1,48 @@
 // Package cache implements FlashPS's hierarchical activation storage
-// (§4.2): template activation caches live in host memory with LRU
-// eviction to disk/remote storage, and cold templates are staged back into
-// host memory while their requests queue, overlapping the slow disk read
-// with queueing delay.
+// (§4.2): template activation caches live in host memory over a disk
+// spill tier, and cold templates are staged back into host memory while
+// their requests queue, overlapping the slow disk read with queueing
+// delay.
 //
-// Two variants live here: Tier, the byte-accounting simulation used by the
-// cluster simulator, and Store, an in-memory LRU for the numeric engine's
-// real TemplateCache objects used by the serving plane.
+// Two variants live here, both built on the same eviction-policy core
+// (policy.go): Tier, the byte-accounting virtual-time simulation the
+// cluster/replay drivers stage against, and TieredStore (tiered.go), the
+// production capacity-bounded RAM tier over a content-addressed disk
+// spill tier (blocks.go) that the serving plane stores real
+// diffusion.TemplateCache objects in.
 package cache
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
+
+// TierCounters is a point-in-time snapshot of a staging tier's counters,
+// the surface the sim/replay telemetry publishers consume.
+type TierCounters struct {
+	Hits, Misses, Evictions int
+	TemplateBytes           int64
+}
+
+// StagingTier is the virtual-time staging surface the simulation and
+// differential-replay executors drive. Tier is the canonical
+// implementation; the interface exists so both drivers stay byte-identical
+// against any future tier model.
+type StagingTier interface {
+	// ReadyAt returns the earliest time ≥ now the template is available
+	// in host memory, starting a disk staging transfer if needed.
+	ReadyAt(template uint64, now float64) float64
+	// Complete lands a finished staging transfer at its completion time.
+	Complete(template uint64, now float64)
+	// Preload marks a template resident immediately (warm start).
+	Preload(template uint64)
+	// Resident reports whether the template is in host memory.
+	Resident(template uint64) bool
+	// Snapshot returns the tier's counters.
+	Snapshot() TierCounters
+}
 
 // Tier models one worker's host-memory cache tier over templates.
 // Templates not resident in host memory must be staged from disk at
 // DiskLatency seconds per template, serialized on a single disk channel.
+// Residency follows the LRU policy from the shared policy core.
 type Tier struct {
 	// HostCapacity is the host-memory budget in bytes.
 	HostCapacity int64
@@ -25,10 +51,10 @@ type Tier struct {
 	// DiskLatency is the seconds to stage one template from disk.
 	DiskLatency float64
 
-	order    *list.List               // LRU: front = most recent
-	resident map[uint64]*list.Element // template → order element
-	staging  map[uint64]float64       // template → time staging completes
-	diskFree float64                  // time the disk channel frees up
+	seq      uint64                // policy clock; stamps each use
+	resident map[uint64]*entryMeta // template → policy metadata
+	staging  map[uint64]float64    // template → time staging completes
+	diskFree float64               // time the disk channel frees up
 
 	// Stats.
 	Hits, Misses, Evictions int
@@ -50,8 +76,7 @@ func NewTier(hostCapacity, templateBytes int64, diskLatency float64) (*Tier, err
 		HostCapacity:  hostCapacity,
 		TemplateBytes: templateBytes,
 		DiskLatency:   diskLatency,
-		order:         list.New(),
-		resident:      make(map[uint64]*list.Element),
+		resident:      make(map[uint64]*entryMeta),
 		staging:       make(map[uint64]float64),
 	}, nil
 }
@@ -73,8 +98,9 @@ func (t *Tier) Resident(template uint64) bool {
 // concurrent cold templates queue behind each other (the paper overlaps
 // this with request queueing).
 func (t *Tier) ReadyAt(template uint64, now float64) float64 {
-	if el, ok := t.resident[template]; ok {
-		t.order.MoveToFront(el)
+	if e, ok := t.resident[template]; ok {
+		t.seq++
+		e.seq = t.seq
 		t.Hits++
 		return now
 	}
@@ -106,17 +132,7 @@ func (t *Tier) Complete(template uint64, now float64) {
 	if _, already := t.resident[template]; already {
 		return
 	}
-	t.resident[template] = t.order.PushFront(template)
-	for int64(t.order.Len())*t.TemplateBytes > t.HostCapacity {
-		back := t.order.Back()
-		if back == nil {
-			break
-		}
-		victim := back.Value.(uint64)
-		t.order.Remove(back)
-		delete(t.resident, victim)
-		t.Evictions++
-	}
+	t.insert(template)
 }
 
 // Preload marks a template as resident immediately (warm start).
@@ -124,15 +140,35 @@ func (t *Tier) Preload(template uint64) {
 	if _, ok := t.resident[template]; ok {
 		return
 	}
-	t.resident[template] = t.order.PushFront(template)
-	for int64(t.order.Len())*t.TemplateBytes > t.HostCapacity {
-		back := t.order.Back()
-		victim := back.Value.(uint64)
-		t.order.Remove(back)
-		delete(t.resident, victim)
+	t.insert(template)
+}
+
+func (t *Tier) insert(template uint64) {
+	t.seq++
+	t.resident[template] = &entryMeta{id: template, bytes: t.TemplateBytes, seq: t.seq}
+	for int64(len(t.resident))*t.TemplateBytes > t.HostCapacity {
+		cands := make([]*entryMeta, 0, len(t.resident))
+		for _, e := range t.resident {
+			cands = append(cands, e)
+		}
+		v := PolicyLRU.victim(cands, t.seq)
+		if v < 0 {
+			break
+		}
+		delete(t.resident, cands[v].id)
 		t.Evictions++
 	}
 }
 
 // ResidentCount returns the number of templates in host memory.
-func (t *Tier) ResidentCount() int { return t.order.Len() }
+func (t *Tier) ResidentCount() int { return len(t.resident) }
+
+// Snapshot returns the tier's counters for telemetry publication.
+func (t *Tier) Snapshot() TierCounters {
+	return TierCounters{
+		Hits:          t.Hits,
+		Misses:        t.Misses,
+		Evictions:     t.Evictions,
+		TemplateBytes: t.TemplateBytes,
+	}
+}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"testing"
 
 	"flashps/internal/diffusion"
@@ -39,6 +40,9 @@ func TestTierHitAfterPreload(t *testing.T) {
 	}
 	if tier.Hits != 1 || tier.Misses != 0 {
 		t.Fatalf("stats = %d hits %d misses", tier.Hits, tier.Misses)
+	}
+	if snap := tier.Snapshot(); snap.Hits != 1 || snap.TemplateBytes != 10 {
+		t.Fatalf("Snapshot = %+v", snap)
 	}
 }
 
@@ -149,16 +153,19 @@ func newTemplateCache(t *testing.T, seed uint64) *diffusion.TemplateCache {
 	return tc
 }
 
-func TestStoreBasicAndEviction(t *testing.T) {
+// The no-spill TieredStore under PolicyLRU must behave exactly like the
+// old flat byte-budget LRU store.
+func TestTieredStoreBasicAndEviction(t *testing.T) {
 	tc1 := newTemplateCache(t, 1)
 	tc2 := newTemplateCache(t, 2)
 	tc3 := newTemplateCache(t, 3)
 	size := tc1.SizeBytes()
 
-	s, err := NewStore(2 * size)
+	s, err := NewTieredStore(TieredConfig{RAMBudget: 2 * size, Policy: PolicyLRU})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	if err := s.Put(1, tc1); err != nil {
 		t.Fatal(err)
 	}
@@ -181,26 +188,35 @@ func TestStoreBasicAndEviction(t *testing.T) {
 	if s.Get(1) == nil || s.Get(3) == nil {
 		t.Fatal("wrong store eviction")
 	}
-	hits, misses, evictions := s.Stats()
-	if hits < 3 || misses != 1 || evictions != 1 {
-		t.Fatalf("stats = %d/%d/%d", hits, misses, evictions)
+	host := s.Stats()[0]
+	if host.Hits < 3 || host.Misses != 1 || host.Evictions != 1 {
+		t.Fatalf("stats = %+v", host)
+	}
+	if host.CapacityBytes != 2*size || host.UsedBytes != 2*size || host.Entries != 2 {
+		t.Fatalf("occupancy = %+v", host)
 	}
 }
 
-func TestStoreRejectsOversizeAndBadBudget(t *testing.T) {
-	if _, err := NewStore(0); err == nil {
+func TestTieredStoreRejectsOversizeAndBadBudget(t *testing.T) {
+	if _, err := NewTieredStore(TieredConfig{RAMBudget: 0}); err == nil {
 		t.Fatal("zero budget accepted")
 	}
 	tc := newTemplateCache(t, 4)
-	s, _ := NewStore(tc.SizeBytes() - 1)
-	if err := s.Put(1, tc); err == nil {
-		t.Fatal("oversize entry accepted")
+	s, _ := NewTieredStore(TieredConfig{RAMBudget: tc.SizeBytes() - 1})
+	defer s.Close()
+	err := s.Put(1, tc)
+	if err == nil {
+		t.Fatal("oversize entry accepted with no spill tier")
+	}
+	if !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("oversize error = %v, want ErrCacheFull", err)
 	}
 }
 
-func TestStorePutRefreshes(t *testing.T) {
+func TestTieredStorePutRefreshes(t *testing.T) {
 	tc := newTemplateCache(t, 5)
-	s, _ := NewStore(10 * tc.SizeBytes())
+	s, _ := NewTieredStore(TieredConfig{RAMBudget: 10 * tc.SizeBytes()})
+	defer s.Close()
 	if err := s.Put(1, tc); err != nil {
 		t.Fatal(err)
 	}
@@ -209,5 +225,39 @@ func TestStorePutRefreshes(t *testing.T) {
 	}
 	if s.Len() != 1 || s.UsedBytes() != tc.SizeBytes() {
 		t.Fatalf("refresh double-counted: len=%d used=%d", s.Len(), s.UsedBytes())
+	}
+	infos := s.List()
+	if len(infos) != 1 || infos[0].ID != 1 || infos[0].Tier != "host" || infos[0].Pinned {
+		t.Fatalf("List = %+v", infos)
+	}
+}
+
+func TestTieredStoreDeleteSentinels(t *testing.T) {
+	tc := newTemplateCache(t, 6)
+	s, _ := NewTieredStore(TieredConfig{RAMBudget: 4 * tc.SizeBytes()})
+	defer s.Close()
+	if err := s.Delete(9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete unknown = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(9, tc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(9); !errors.Is(err, ErrPinned) {
+		t.Fatalf("delete pinned = %v, want ErrPinned", err)
+	}
+	if err := s.Unpin(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(9); err != nil {
+		t.Fatalf("delete unpinned = %v", err)
+	}
+	if s.Get(9) != nil {
+		t.Fatal("deleted template still served")
+	}
+	if err := s.Pin(404); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("pin unknown = %v, want ErrNotFound", err)
 	}
 }

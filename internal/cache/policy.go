@@ -1,0 +1,85 @@
+package cache
+
+// Policy selects how the RAM tier picks eviction victims.
+type Policy int
+
+const (
+	// PolicyCostAware evicts the entry with the lowest keep score,
+	//
+	//	score = recompute-cost × mask-ratio × recency
+	//
+	// where recency = 1/(1+age) in policy-clock ticks. A template that
+	// was expensive to prepare, is edited with large masks (so a miss
+	// forfeits a large cached prefix), and was used recently is the last
+	// to go — the Cache-Me-if-You-Can observation that recompute cost
+	// dominates plain recency. Unknown cost or ratio default to 1, which
+	// degrades gracefully to pure LRU.
+	PolicyCostAware Policy = iota
+	// PolicyLRU evicts the least recently used entry. This is the policy
+	// the virtual-time staging Tier models, and the baseline the
+	// cost-aware property test must beat.
+	PolicyLRU
+)
+
+func (p Policy) String() string {
+	if p == PolicyLRU {
+		return "lru"
+	}
+	return "cost_aware"
+}
+
+// entryMeta is the per-template bookkeeping both policies score over.
+// seq is a logical use clock: every hit or insert stamps the entry with
+// the next tick, so recency comparisons never read wall time and victim
+// selection is deterministic under any map iteration order.
+type entryMeta struct {
+	id     uint64
+	bytes  int64
+	pinned bool
+	hits   int64
+	cost   float64 // measured recompute seconds; 0 = unknown
+	ratio  float64 // EWMA of observed mask ratios; 0 = unknown
+	seq    uint64  // policy clock at last use
+}
+
+// keepScore is the cost-aware retention score; higher keeps longer.
+func (m *entryMeta) keepScore(nowSeq uint64) float64 {
+	cost := m.cost
+	if cost <= 0 {
+		cost = 1
+	}
+	ratio := m.ratio
+	if ratio <= 0 {
+		ratio = 1
+	}
+	age := float64(nowSeq - m.seq)
+	return cost * ratio / (1 + age)
+}
+
+// victim returns the index of the candidate to evict, or -1 when every
+// candidate is pinned. Ties break toward the older seq, then the smaller
+// id; seqs are unique per store so the result is deterministic.
+func (p Policy) victim(cands []*entryMeta, nowSeq uint64) int {
+	best := -1
+	for i, e := range cands {
+		if e.pinned {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := cands[best]
+		if p == PolicyLRU {
+			if e.seq < b.seq || (e.seq == b.seq && e.id < b.id) {
+				best = i
+			}
+			continue
+		}
+		es, bs := e.keepScore(nowSeq), b.keepScore(nowSeq)
+		if es < bs || (es == bs && (e.seq < b.seq || (e.seq == b.seq && e.id < b.id))) {
+			best = i
+		}
+	}
+	return best
+}

@@ -346,7 +346,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 type simExecutor struct {
 	cfg   *Config
 	clock *simclock.Clock
-	tiers []*cache.Tier // per worker; empty when all caches are warm
+	tiers []cache.StagingTier // per worker; empty when all caches are warm
 }
 
 // TotalSteps returns how many denoising steps a request computes under

@@ -6,17 +6,17 @@ import (
 	"flashps/internal/perfmodel"
 )
 
-// NewTierSet builds one cold-cache tier per worker (§4.2): hosting
-// coldTemplates templates each, with LRU eviction and the profile's disk
-// staging latency. Returns nil when coldTemplates <= 0 (all caches warm).
-// Exported so the differential-replay real driver arms the exact same
-// staging behavior as the simulator.
-func NewTierSet(profile perfmodel.ModelProfile, workers, coldTemplates int) ([]*cache.Tier, error) {
+// NewTierSet builds one cold-cache staging tier per worker (§4.2):
+// hosting coldTemplates templates each, with LRU eviction and the
+// profile's disk staging latency. Returns nil when coldTemplates <= 0
+// (all caches warm). Exported so the differential-replay real driver arms
+// the exact same staging behavior as the simulator.
+func NewTierSet(profile perfmodel.ModelProfile, workers, coldTemplates int) ([]cache.StagingTier, error) {
 	if coldTemplates <= 0 {
 		return nil, nil
 	}
 	tplBytes := int64(profile.TemplateCacheBytes())
-	tiers := make([]*cache.Tier, 0, workers)
+	tiers := make([]cache.StagingTier, 0, workers)
 	for i := 0; i < workers; i++ {
 		tier, err := cache.NewTier(int64(coldTemplates)*tplBytes, tplBytes, profile.DiskLoadLatency())
 		if err != nil {
@@ -33,7 +33,7 @@ func NewTierSet(profile perfmodel.ModelProfile, workers, coldTemplates int) ([]*
 // ops × the tier's template footprint. Both replay drivers call this after
 // drain, so identical tier behavior yields identical counters. Nil-safe in
 // both arguments.
-func PublishTierStats(p *obs.Plane, tiers []*cache.Tier) {
+func PublishTierStats(p *obs.Plane, tiers []cache.StagingTier) {
 	if p == nil {
 		return
 	}
@@ -41,9 +41,10 @@ func PublishTierStats(p *obs.Plane, tiers []*cache.Tier) {
 		if tier == nil {
 			continue
 		}
-		b := float64(tier.TemplateBytes)
-		p.CacheTier("host", "hit", uint64(tier.Hits), float64(tier.Hits)*b)
-		p.CacheTier("host", "evict", uint64(tier.Evictions), float64(tier.Evictions)*b)
-		p.CacheTier("disk", "load", uint64(tier.Misses), float64(tier.Misses)*b)
+		c := tier.Snapshot()
+		b := float64(c.TemplateBytes)
+		p.CacheTier("host", "hit", uint64(c.Hits), float64(c.Hits)*b)
+		p.CacheTier("host", "evict", uint64(c.Evictions), float64(c.Evictions)*b)
+		p.CacheTier("disk", "load", uint64(c.Misses), float64(c.Misses)*b)
 	}
 }

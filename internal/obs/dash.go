@@ -347,6 +347,31 @@ func (p *Plane) dashTables(b *strings.Builder) {
 			fmtBytes(bytesByKey[lv.Values[0]+"\xff"+lv.Values[1]])})
 	}
 	section("Cache tiers", []string{"tier", "op", "ops", "bytes"}, rows)
+
+	// Live store occupancy, present only when a template store registered
+	// a source (the serving plane); sim/replay dashboards omit it.
+	if occ := p.cacheOccupancy(); len(occ) > 0 {
+		rows = nil
+		for _, o := range occ {
+			capacity := "∞"
+			if o.CapacityBytes > 0 {
+				capacity = fmtBytes(float64(o.CapacityBytes))
+			}
+			hitRate := "—"
+			if o.Hits+o.Misses > 0 {
+				hitRate = fmtPercent(float64(o.Hits) / float64(o.Hits+o.Misses))
+			}
+			dedup := "—"
+			if o.DedupRatio > 0 {
+				dedup = strconv.FormatFloat(o.DedupRatio, 'f', 2, 64) + "×"
+			}
+			rows = append(rows, []string{o.Tier,
+				fmtBytes(float64(o.UsedBytes)), capacity,
+				strconv.Itoa(o.Entries), strconv.Itoa(o.Pinned),
+				hitRate, strconv.FormatInt(o.Evictions, 10), dedup})
+		}
+		section("Template store", []string{"tier", "used", "capacity", "templates", "pinned", "hit rate", "evictions", "dedup"}, rows)
+	}
 }
 
 // fmtSeconds renders a duration in seconds with an adaptive unit.

@@ -114,6 +114,26 @@ func TestMetricNamingLint(t *testing.T) {
 		t.Errorf("metrics missing from docs/OBSERVABILITY.md (add a backticked row for each):\n  %s",
 			strings.Join(undocumented, "\n  "))
 	}
+
+	// Families the wire contract promises (docs/API.md v1.1 cache
+	// lifecycle): the lint must keep seeing them registered, so a refactor
+	// that silently drops one fails here rather than in production scrapes.
+	required := []string{
+		"flashps_cache_hits",
+		"flashps_cache_misses",
+		"flashps_cache_evictions",
+		"flashps_cache_disk_hits",
+		"flashps_cache_pinned_templates",
+		"flashps_cache_occupancy_bytes",
+		"flashps_cache_capacity_bytes",
+		"flashps_cache_entries",
+		"flashps_cache_dedup_ratio",
+	}
+	for _, name := range required {
+		if !seen[name] {
+			t.Errorf("required metric %s is no longer registered anywhere", name)
+		}
+	}
 }
 
 // repoRoot walks up from the working directory to the go.mod.

@@ -30,10 +30,11 @@ type Plane struct {
 	Samples *Sampler
 	Profile *ProfileRecorder
 
-	mu    sync.Mutex
-	clock Clock
-	epoch float64
-	calib CalibrationInfo
+	mu       sync.Mutex
+	clock    Clock
+	epoch    float64
+	calib    CalibrationInfo
+	cacheOcc func() []CacheTierOccupancy
 
 	requests   *CounterVec
 	steps      *Counter
@@ -369,6 +370,42 @@ func (p *Plane) Calibration() (CalibrationInfo, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.calib, p.calib.set
+}
+
+// CacheTierOccupancy is one tier's live occupancy row for the dashboard's
+// cache panel, pulled from the serving plane's template store at render
+// time.
+type CacheTierOccupancy struct {
+	Tier          string
+	CapacityBytes int64
+	UsedBytes     int64
+	Entries       int
+	Pinned        int
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	DedupRatio    float64
+}
+
+// SetCacheOccupancySource registers a snapshot function the dashboard
+// polls when rendered. Planes without a template store (the sim and
+// replay drivers) never set one and omit the panel, so their rendered
+// dashboards are unchanged byte for byte.
+func (p *Plane) SetCacheOccupancySource(fn func() []CacheTierOccupancy) {
+	p.mu.Lock()
+	p.cacheOcc = fn
+	p.mu.Unlock()
+}
+
+// cacheOccupancy snapshots the registered occupancy source, nil when none.
+func (p *Plane) cacheOccupancy() []CacheTierOccupancy {
+	p.mu.Lock()
+	fn := p.cacheOcc
+	p.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
 }
 
 // Artifact filenames WriteArtifacts produces.

@@ -56,6 +56,7 @@ const (
 	CostStageOrganize    = "batch_organize"
 	CostStageCacheLoad   = "cache_load"
 	CostStageCacheStage  = "cache_stage"
+	CostStageCacheSpill  = "cache_spill"
 )
 
 // DefaultProfileCap bounds the profile recorder's retained samples.

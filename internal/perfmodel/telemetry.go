@@ -113,8 +113,17 @@ type Coefficients struct {
 	StepPerUnit float64 `json:"step_per_unit"`
 	// LoadPerByte/LoadBase define the cache-load law (seconds per loaded
 	// byte plus a fixed cost); zero when the capture had no load samples.
+	// Fitted from host-tier loads only — disk-tier serves fold staging
+	// latency in and belong to the spill law below.
 	LoadPerByte float64 `json:"load_per_byte"`
 	LoadBase    float64 `json:"load_base"`
+	// SpillPerByte/SpillBase define the spill-tier staging law (seconds to
+	// promote a template's bytes from the disk tier back into RAM), fitted
+	// from cache_stage samples — the sim's modeled stagings and the live
+	// store's measured disk promotions record the same shape. Zero when the
+	// capture never touched the spill tier.
+	SpillPerByte float64 `json:"spill_per_byte,omitempty"`
+	SpillBase    float64 `json:"spill_base,omitempty"`
 	// Overheads are the fitted CPU-stage costs.
 	Overheads Overheads `json:"overheads"`
 	// Fits records per-stage fit quality, keyed by cost-sample stage.
@@ -134,6 +143,15 @@ func (c *Coefficients) StepSeconds(flops float64, units int) float64 {
 // LoadSeconds predicts a cache load of the given bytes.
 func (c *Coefficients) LoadSeconds(bytes float64) float64 {
 	s := c.LoadPerByte*bytes + c.LoadBase
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// SpillSeconds predicts a disk→RAM staging of the given bytes.
+func (c *Coefficients) SpillSeconds(bytes float64) float64 {
+	s := c.SpillPerByte*bytes + c.SpillBase
 	if s < 0 {
 		return 0
 	}
@@ -263,20 +281,34 @@ func FitFromTelemetry(cfg FitConfig, samples []obs.CostSample) (*Coefficients, e
 	c.StepPerFLOP, c.StepPerUnit = a, b
 	c.Fits[obs.CostStageDenoiseStep] = StageFit{Samples: len(steps), R2: r2, Residual: resid}
 
-	if loads := byStage[obs.CostStageCacheLoad]; len(loads) >= 4 {
-		lx := make([]float64, len(loads))
-		ones := make([]float64, len(loads))
-		ly := make([]float64, len(loads))
-		for i, s := range loads {
+	// Byte-linear laws: seconds = perByte·Bytes + base, ≥4 samples each.
+	fitBytesLaw := func(stage string, samples []obs.CostSample, perByte, base *float64) {
+		if len(samples) < 4 {
+			return
+		}
+		lx := make([]float64, len(samples))
+		ones := make([]float64, len(samples))
+		ly := make([]float64, len(samples))
+		for i, s := range samples {
 			lx[i] = s.Bytes
 			ones[i] = 1
 			ly[i] = s.Seconds
 		}
 		if a, b, r2, resid, err := fitNonNegative2(lx, ones, ly); err == nil {
-			c.LoadPerByte, c.LoadBase = a, b
-			c.Fits[obs.CostStageCacheLoad] = StageFit{Samples: len(loads), R2: r2, Residual: resid}
+			*perByte, *base = a, b
+			c.Fits[stage] = StageFit{Samples: len(samples), R2: r2, Residual: resid}
 		}
 	}
+	// Disk-tier serves fold staging latency into the load span; keep the
+	// host-load law clean and let cache_stage carry the disk cost.
+	var hostLoads []obs.CostSample
+	for _, s := range byStage[obs.CostStageCacheLoad] {
+		if s.Tier != "disk" {
+			hostLoads = append(hostLoads, s)
+		}
+	}
+	fitBytesLaw(obs.CostStageCacheLoad, hostLoads, &c.LoadPerByte, &c.LoadBase)
+	fitBytesLaw(obs.CostStageCacheStage, byStage[obs.CostStageCacheStage], &c.SpillPerByte, &c.SpillBase)
 
 	fitQuantile := func(stage string, dst *float64, q float64) {
 		ss := byStage[stage]

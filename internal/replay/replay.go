@@ -215,7 +215,7 @@ type realExecutor struct {
 	engines   []*diffusion.Engine
 	templates map[uint64]*diffusion.TemplateCache
 	sessions  map[int]*diffusion.EditSession // by request ID
-	tiers     []*cache.Tier                  // per worker; empty when all caches are warm
+	tiers     []cache.StagingTier             // per worker; empty when all caches are warm
 	faults    *faults.Injector
 
 	steps   int

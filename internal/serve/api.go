@@ -137,11 +137,59 @@ type TemplateInfo struct {
 	Bytes      int64  `json:"bytes"`
 	// Tier is "host", "disk", or "host+disk".
 	Tier string `json:"tier"`
+	// Pinned marks templates excluded from eviction (v1.1).
+	Pinned bool `json:"pinned,omitempty"`
+	// Hits counts cache fetches served for this template (v1.1).
+	Hits int64 `json:"hits,omitempty"`
+	// LastUsedMS is the template's last fetch time as Unix milliseconds,
+	// 0 if never fetched (v1.1).
+	LastUsedMS int64 `json:"last_used_ms,omitempty"`
 }
 
-// TemplateListResponse is the GET /v1/templates body.
+// TemplateListResponse is the GET /v1/templates body. Total counts all
+// registered templates; Limit/Offset echo the pagination window applied
+// (Limit 0 = no limit).
 type TemplateListResponse struct {
 	Templates []TemplateInfo `json:"templates"`
+	Total     int            `json:"total"`
+	Limit     int            `json:"limit,omitempty"`
+	Offset    int            `json:"offset,omitempty"`
+}
+
+// PinResponse is the body of POST/DELETE /v1/templates/{id}/pin.
+type PinResponse struct {
+	TemplateID uint64 `json:"template_id"`
+	Pinned     bool   `json:"pinned"`
+}
+
+// CacheTierStats is one tier's row in GET /v1/cache/stats.
+type CacheTierStats struct {
+	// Tier is "host" or "disk".
+	Tier string `json:"tier"`
+	// CapacityBytes is the tier's byte budget (0 = unbounded).
+	CapacityBytes int64 `json:"capacity_bytes"`
+	// UsedBytes is the tier's occupancy; for the disk tier this is
+	// physical bytes after block dedup.
+	UsedBytes int64 `json:"used_bytes"`
+	// LogicalBytes is the pre-dedup sum of template sizes (disk tier).
+	LogicalBytes int64 `json:"logical_bytes,omitempty"`
+	Entries      int   `json:"entries"`
+	Pinned       int   `json:"pinned,omitempty"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses,omitempty"`
+	Evictions    int64 `json:"evictions,omitempty"`
+	// HitRate is Hits/(Hits+Misses), 0 when no lookups yet.
+	HitRate float64 `json:"hit_rate"`
+	// Blocks/SharedBlocks/DedupRatio describe content-addressed block
+	// dedup on the disk tier.
+	Blocks       int     `json:"blocks,omitempty"`
+	SharedBlocks int     `json:"shared_blocks,omitempty"`
+	DedupRatio   float64 `json:"dedup_ratio,omitempty"`
+}
+
+// CacheStatsResponse is the GET /v1/cache/stats body.
+type CacheStatsResponse struct {
+	Tiers []CacheTierStats `json:"tiers"`
 }
 
 // DeleteTemplateResponse is the DELETE /v1/templates/{id} body.

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"flashps/internal/cache"
 )
 
 // ErrorCode is a stable, machine-readable error class carried in every
@@ -28,6 +30,14 @@ const (
 	// CodeCanceled means the client abandoned the request (connection
 	// closed / context canceled) before completion.
 	CodeCanceled ErrorCode = "canceled"
+	// CodeTemplatePinned means a DELETE hit a pinned template; unpin it
+	// first. Not retryable. (v1.1)
+	CodeTemplatePinned ErrorCode = "template_pinned"
+	// CodeCacheFull means the template store could not admit the entry:
+	// every resident template is pinned (or the template exceeds the RAM
+	// budget) and no spill tier is configured. Retryable after unpinning
+	// or deleting templates. (v1.1)
+	CodeCacheFull ErrorCode = "cache_full"
 	// CodeInternal is any server-side failure not covered above.
 	CodeInternal ErrorCode = "internal"
 )
@@ -64,6 +74,10 @@ func (e *APIError) HTTPStatus() int {
 		return http.StatusGatewayTimeout
 	case CodeCanceled:
 		return 499 // client closed request (nginx convention)
+	case CodeTemplatePinned:
+		return http.StatusConflict
+	case CodeCacheFull:
+		return http.StatusInsufficientStorage
 	default:
 		return http.StatusInternalServerError
 	}
@@ -101,6 +115,12 @@ func asAPIError(err error) *APIError {
 		return apiErrorf(CodeDeadlineExceeded, true, "%v", err)
 	case errors.Is(err, context.Canceled):
 		return apiErrorf(CodeCanceled, false, "%v", err)
+	case errors.Is(err, cache.ErrNotFound):
+		return apiErrorf(CodeTemplateNotFound, false, "%v", err)
+	case errors.Is(err, cache.ErrPinned):
+		return apiErrorf(CodeTemplatePinned, false, "%v", err)
+	case errors.Is(err, cache.ErrCacheFull):
+		return apiErrorf(CodeCacheFull, true, "%v", err)
 	}
 	return apiErrorf(CodeInternal, false, "%v", err)
 }

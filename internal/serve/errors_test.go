@@ -88,6 +88,13 @@ func TestErrorEnvelopeTable(t *testing.T) {
 		{"delete unknown id", "DELETE", "/v1/templates/999", "", http.StatusNotFound, CodeTemplateNotFound, false},
 		{"delete wrong method", "GET", "/v1/templates/1", "", http.StatusMethodNotAllowed, CodeInvalidRequest, false},
 		{"stats wrong method", "POST", "/v1/stats", "", http.StatusMethodNotAllowed, CodeInvalidRequest, false},
+		{"list bad limit", "GET", "/v1/templates?limit=-1", "", http.StatusBadRequest, CodeInvalidRequest, false},
+		{"list bad offset", "GET", "/v1/templates?offset=x", "", http.StatusBadRequest, CodeInvalidRequest, false},
+		{"pin bad id", "POST", "/v1/templates/abc/pin", "", http.StatusBadRequest, CodeInvalidRequest, false},
+		{"pin unknown id", "POST", "/v1/templates/999/pin", "", http.StatusNotFound, CodeTemplateNotFound, false},
+		{"unpin unknown id", "DELETE", "/v1/templates/999/pin", "", http.StatusNotFound, CodeTemplateNotFound, false},
+		{"pin wrong method", "GET", "/v1/templates/1/pin", "", http.StatusMethodNotAllowed, CodeInvalidRequest, false},
+		{"cache stats wrong method", "POST", "/v1/cache/stats", "", http.StatusMethodNotAllowed, CodeInvalidRequest, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -291,6 +298,195 @@ func TestTemplateLifecycle(t *testing.T) {
 		t.Fatalf("double delete = %d", res.StatusCode)
 	}
 	res.Body.Close()
+}
+
+// TestPinLifecycleAndCacheStats exercises the v1.1 surface: pin/unpin
+// endpoints, the pinned/hits list fields, the template_pinned delete
+// conflict, and GET /v1/cache/stats.
+func TestPinLifecycleAndCacheStats(t *testing.T) {
+	s, err := New(Config{
+		Model: testModel, Profile: perfmodel.SD21Paper,
+		Workers: 1, MaxBatch: 2,
+		Policy: batching.MaskAware, Seed: 42,
+		CacheDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Close)
+	prepareTemplate(t, s, 1)
+	prepareTemplate(t, s, 2)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	do := func(method, path string, wantStatus int) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StatusCode != wantStatus {
+			t.Fatalf("%s %s = %d, want %d", method, path, res.StatusCode, wantStatus)
+		}
+		return res
+	}
+
+	// Pin template 1 and observe it in the list.
+	res := do(http.MethodPost, "/v1/templates/1/pin", http.StatusOK)
+	var pin PinResponse
+	if err := json.NewDecoder(res.Body).Decode(&pin); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if pin.TemplateID != 1 || !pin.Pinned {
+		t.Fatalf("pin response: %+v", pin)
+	}
+	res = do(http.MethodGet, "/v1/templates", http.StatusOK)
+	var listed TemplateListResponse
+	if err := json.NewDecoder(res.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if listed.Total != 2 || len(listed.Templates) != 2 {
+		t.Fatalf("list: %+v", listed)
+	}
+	if !listed.Templates[0].Pinned || listed.Templates[1].Pinned {
+		t.Fatalf("pinned flags: %+v", listed.Templates)
+	}
+
+	// Deleting a pinned template is a 409 conflict, not a delete.
+	res = do(http.MethodDelete, "/v1/templates/1", http.StatusConflict)
+	if ae := decodeEnvelope(t, res); ae.Code != CodeTemplatePinned {
+		t.Fatalf("delete pinned code = %q, want %q", ae.Code, CodeTemplatePinned)
+	}
+
+	// Unpin, then the delete goes through.
+	do(http.MethodDelete, "/v1/templates/1/pin", http.StatusOK).Body.Close()
+	do(http.MethodDelete, "/v1/templates/1", http.StatusOK).Body.Close()
+
+	// Cache stats reports both tiers with sane host-tier numbers.
+	res = do(http.MethodGet, "/v1/cache/stats", http.StatusOK)
+	var cs CacheStatsResponse
+	if err := json.NewDecoder(res.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(cs.Tiers) != 2 || cs.Tiers[0].Tier != "host" || cs.Tiers[1].Tier != "disk" {
+		t.Fatalf("cache stats tiers: %+v", cs.Tiers)
+	}
+	host := cs.Tiers[0]
+	if host.CapacityBytes <= 0 || host.Entries != 1 || host.UsedBytes <= 0 {
+		t.Fatalf("host tier stats: %+v", host)
+	}
+}
+
+// TestTemplateListPagination asserts the ?limit/offset window and the
+// Total count of GET /v1/templates.
+func TestTemplateListPagination(t *testing.T) {
+	s := newTestServer(t, 1)
+	for id := uint64(1); id <= 3; id++ {
+		prepareTemplate(t, s, id)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) TemplateListResponse {
+		t.Helper()
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, res.StatusCode)
+		}
+		var out TemplateListResponse
+		if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	full := get("/v1/templates")
+	if full.Total != 3 || len(full.Templates) != 3 {
+		t.Fatalf("unpaginated list: %+v", full)
+	}
+	page := get("/v1/templates?limit=2")
+	if page.Total != 3 || len(page.Templates) != 2 || page.Templates[0].TemplateID != 1 {
+		t.Fatalf("limit=2: %+v", page)
+	}
+	page = get("/v1/templates?limit=2&offset=2")
+	if page.Total != 3 || len(page.Templates) != 1 || page.Templates[0].TemplateID != 3 {
+		t.Fatalf("limit=2&offset=2: %+v", page)
+	}
+	if page.Limit != 2 || page.Offset != 2 {
+		t.Fatalf("echoed window: %+v", page)
+	}
+	page = get("/v1/templates?offset=9")
+	if page.Total != 3 || len(page.Templates) != 0 {
+		t.Fatalf("offset past end: %+v", page)
+	}
+}
+
+// TestCacheFullEnvelope pins the 507 cache_full contract: with no spill
+// tier and every resident template pinned, preparing another template has
+// nowhere to land.
+func TestCacheFullEnvelope(t *testing.T) {
+	// Phase 1: learn the template-cache footprint for the test model.
+	probe := newTestServer(t, 1)
+	probed, err := probe.Prepare(PrepareRequest{TemplateID: 1, ImageSeed: 1, Prompt: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := probed.CacheBytes
+
+	// Phase 2: a RAM budget that fits exactly one template, no spill dir.
+	var s *Server
+	s, err = New(Config{
+		Model: testModel, Profile: perfmodel.SD21Paper,
+		Workers: 1, MaxBatch: 2,
+		Policy: batching.MaskAware, Seed: 42,
+		CacheBudgetBytes: size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Close)
+	prepareTemplate(t, s, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/templates/1/pin", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("pin = %d", res.StatusCode)
+	}
+
+	body, _ := json.Marshal(PrepareRequest{TemplateID: 2, ImageSeed: 2, Prompt: "p"})
+	res, err = http.Post(ts.URL+"/v1/templates", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("prepare over pinned-full cache = %d, want 507", res.StatusCode)
+	}
+	ae := decodeEnvelope(t, res)
+	if ae.Code != CodeCacheFull || !ae.Retryable {
+		t.Fatalf("envelope = %+v, want retryable cache_full", ae)
+	}
 }
 
 // TestAPIErrorIsMatchesByCode pins the errors.Is contract used by clients

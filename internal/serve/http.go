@@ -16,15 +16,18 @@ func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
 
 // Handler returns the HTTP API (full wire schema in docs/API.md):
 //
-//	POST   /v1/templates      — prepare a template (idempotent on template_id)
-//	GET    /v1/templates      — list cached templates (id, bytes, tier)
-//	DELETE /v1/templates/{id} — invalidate host+disk cache entries
-//	POST   /v1/edits          — serve an edit (EditRequestAPI → EditResponse)
-//	GET    /v1/stats          — live statistics (Stats)
-//	GET    /healthz           — readiness (Health JSON; 503 when not "ok")
-//	GET    /metrics           — Prometheus text exposition from the registry
-//	GET    /debug/traces      — span ring buffer as Chrome trace_event JSON
-//	GET    /debug/dash        — self-contained live HTML dashboard
+//	POST   /v1/templates          — prepare a template (idempotent on template_id)
+//	GET    /v1/templates          — list cached templates; ?limit=&offset= paginate
+//	DELETE /v1/templates/{id}     — invalidate host+disk cache entries (409 if pinned)
+//	POST   /v1/templates/{id}/pin — pin a template against eviction (v1.1)
+//	DELETE /v1/templates/{id}/pin — clear a pin (v1.1)
+//	GET    /v1/cache/stats        — per-tier cache statistics (v1.1)
+//	POST   /v1/edits              — serve an edit (EditRequestAPI → EditResponse)
+//	GET    /v1/stats              — live statistics (Stats)
+//	GET    /healthz               — readiness (Health JSON; 503 when not "ok")
+//	GET    /metrics               — Prometheus text exposition from the registry
+//	GET    /debug/traces          — span ring buffer as Chrome trace_event JSON
+//	GET    /debug/dash            — self-contained live HTML dashboard
 //
 // Every error on a /v1/* route (including 405s) is a structured JSON
 // envelope: {"error": {"code", "message", "retryable"}}.
@@ -55,26 +58,74 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, resp)
 		},
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			limit, err := queryInt(r, "limit")
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			offset, err := queryInt(r, "offset")
+			if err != nil {
+				writeError(w, err)
+				return
+			}
 			list := s.ListTemplates()
+			total := len(list)
+			if offset >= len(list) {
+				list = nil
+			} else {
+				list = list[offset:]
+			}
+			if limit > 0 && limit < len(list) {
+				list = list[:limit]
+			}
 			if list == nil {
 				list = []TemplateInfo{}
 			}
-			writeJSON(w, TemplateListResponse{Templates: list})
+			writeJSON(w, TemplateListResponse{
+				Templates: list, Total: total, Limit: limit, Offset: offset,
+			})
 		},
 	}))
-	mux.HandleFunc("/v1/templates/", methods(map[string]http.HandlerFunc{
-		http.MethodDelete: func(w http.ResponseWriter, r *http.Request) {
-			raw := strings.TrimPrefix(r.URL.Path, "/v1/templates/")
-			id, err := strconv.ParseUint(raw, 10, 64)
-			if err != nil {
-				writeError(w, apiErrorf(CodeInvalidRequest, false, "bad template id %q", raw))
-				return
-			}
-			if !s.DeleteTemplate(id) {
-				writeError(w, apiErrorf(CodeTemplateNotFound, false, "template %d not found", id))
-				return
-			}
-			writeJSON(w, DeleteTemplateResponse{TemplateID: id, Deleted: true})
+	mux.HandleFunc("/v1/templates/", func(w http.ResponseWriter, r *http.Request) {
+		raw := strings.TrimPrefix(r.URL.Path, "/v1/templates/")
+		raw, isPin := strings.CutSuffix(raw, "/pin")
+		id, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, apiErrorf(CodeInvalidRequest, false, "bad template id %q", raw))
+			return
+		}
+		if isPin {
+			methods(map[string]http.HandlerFunc{
+				http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+					if err := s.PinTemplate(id); err != nil {
+						writeError(w, err)
+						return
+					}
+					writeJSON(w, PinResponse{TemplateID: id, Pinned: true})
+				},
+				http.MethodDelete: func(w http.ResponseWriter, r *http.Request) {
+					if err := s.UnpinTemplate(id); err != nil {
+						writeError(w, err)
+						return
+					}
+					writeJSON(w, PinResponse{TemplateID: id, Pinned: false})
+				},
+			})(w, r)
+			return
+		}
+		methods(map[string]http.HandlerFunc{
+			http.MethodDelete: func(w http.ResponseWriter, r *http.Request) {
+				if err := s.DeleteTemplate(id); err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, DeleteTemplateResponse{TemplateID: id, Deleted: true})
+			},
+		})(w, r)
+	})
+	mux.HandleFunc("/v1/cache/stats", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, s.CacheStats())
 		},
 	}))
 	mux.HandleFunc("/v1/edits", methods(map[string]http.HandlerFunc{
@@ -155,6 +206,19 @@ func writeErrorStatus(w http.ResponseWriter, status int, ae *APIError) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: ae})
+}
+
+// queryInt parses a non-negative integer query parameter (absent = 0).
+func queryInt(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, apiErrorf(CodeInvalidRequest, false, "bad %s %q: want a non-negative integer", key, raw)
+	}
+	return v, nil
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -96,28 +96,74 @@ func newServeObs(traceRing int) *serveObs {
 	}
 }
 
-// bindStore registers scrape-time gauges over the template store's live
-// counters, covering both the host-only and tiered configurations.
-func (o *serveObs) bindStore(store templateStore) {
-	stats := func() (hits, misses, evictions int) { return 0, 0, 0 }
-	switch st := store.(type) {
-	case *cache.Store:
-		stats = st.Stats
-	case *cache.Tiered:
-		stats = st.Host.Stats
-		o.reg.GaugeFunc("flashps_cache_disk_hits",
-			"Template fetches staged back from the disk tier (§4.2)",
-			func() float64 { return float64(st.DiskHits()) })
-	}
+// bindStore registers scrape-time gauges over the tiered template
+// store's live statistics, and feeds the dashboard's cache panel. The
+// host tier is always present; disk-tier gauges appear only when a spill
+// dir is configured.
+func (o *serveObs) bindStore(store *cache.TieredStore) {
+	host := func() cache.TierStats { return store.Stats()[0] }
 	o.reg.GaugeFunc("flashps_cache_hits",
 		"Host activation-cache hits",
-		func() float64 { h, _, _ := stats(); return float64(h) })
+		func() float64 { return float64(host().Hits) })
 	o.reg.GaugeFunc("flashps_cache_misses",
 		"Host activation-cache misses",
-		func() float64 { _, m, _ := stats(); return float64(m) })
+		func() float64 { return float64(host().Misses) })
 	o.reg.GaugeFunc("flashps_cache_evictions",
-		"Host activation-cache evictions",
-		func() float64 { _, _, e := stats(); return float64(e) })
+		"Host activation-cache evictions (demotions to the spill tier)",
+		func() float64 { return float64(host().Evictions) })
+	o.reg.GaugeFunc("flashps_cache_pinned_templates",
+		"Templates pinned against eviction in the RAM tier",
+		func() float64 { return float64(host().Pinned) })
+	o.reg.GaugeVecFunc("flashps_cache_occupancy_bytes",
+		"Per-tier cache occupancy in bytes (disk: physical bytes after dedup)",
+		func() []obs.LabeledValue { return tierValues(store, func(t cache.TierStats) float64 { return float64(t.UsedBytes) }) },
+		"tier")
+	o.reg.GaugeVecFunc("flashps_cache_capacity_bytes",
+		"Per-tier cache capacity in bytes (0 = unbounded)",
+		func() []obs.LabeledValue { return tierValues(store, func(t cache.TierStats) float64 { return float64(t.CapacityBytes) }) },
+		"tier")
+	o.reg.GaugeVecFunc("flashps_cache_entries",
+		"Templates stored per cache tier",
+		func() []obs.LabeledValue { return tierValues(store, func(t cache.TierStats) float64 { return float64(t.Entries) }) },
+		"tier")
+	if store.HasSpill() {
+		o.reg.GaugeFunc("flashps_cache_disk_hits",
+			"Template fetches staged back from the disk tier (§4.2)",
+			func() float64 { return float64(store.DiskHits()) })
+		o.reg.GaugeFunc("flashps_cache_dedup_ratio",
+			"Spill-tier dedup ratio: logical bytes / physical bytes",
+			func() float64 {
+				for _, t := range store.Stats() {
+					if t.Tier == "disk" {
+						return t.DedupRatio
+					}
+				}
+				return 1
+			})
+	}
+	o.plane.SetCacheOccupancySource(func() []obs.CacheTierOccupancy {
+		stats := store.Stats()
+		out := make([]obs.CacheTierOccupancy, len(stats))
+		for i, t := range stats {
+			out[i] = obs.CacheTierOccupancy{
+				Tier: t.Tier, CapacityBytes: t.CapacityBytes,
+				UsedBytes: t.UsedBytes, Entries: t.Entries, Pinned: t.Pinned,
+				Hits: t.Hits, Misses: t.Misses, Evictions: t.Evictions,
+				DedupRatio: t.DedupRatio,
+			}
+		}
+		return out
+	})
+}
+
+// tierValues snapshots one per-tier statistic as labeled gauge samples.
+func tierValues(store *cache.TieredStore, f func(cache.TierStats) float64) []obs.LabeledValue {
+	stats := store.Stats()
+	out := make([]obs.LabeledValue, len(stats))
+	for i, t := range stats {
+		out[i] = obs.LabeledValue{Values: []string{t.Tier}, V: f(t)}
+	}
+	return out
 }
 
 // span records one trace span, placing the wall timestamp on the plane's

@@ -174,19 +174,10 @@ func (j *job) aborted() bool {
 	return j.ctx != nil && j.ctx.Err() != nil
 }
 
-// templateStore abstracts over the host-only and tiered (host+disk)
-// activation stores.
-type templateStore interface {
-	Put(id uint64, tc *diffusion.TemplateCache) error
-	Get(id uint64) *diffusion.TemplateCache
-	List() []cache.Info
-	Delete(id uint64) bool
-}
-
 // Server is the multi-worker serving plane.
 type Server struct {
 	cfg     Config
-	store   templateStore
+	store   *cache.TieredStore
 	faults  *faults.Injector
 	workers []*worker
 
@@ -232,26 +223,32 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
 	}
-	var store templateStore
-	if cfg.CacheDir != "" {
-		tiered, err := cache.NewTiered(cfg.CacheBudgetBytes, cfg.CacheDir)
-		if err != nil {
-			return nil, err
-		}
-		store = tiered
-	} else {
-		host, err := cache.NewStore(cfg.CacheBudgetBytes)
-		if err != nil {
-			return nil, err
-		}
-		store = host
-	}
 	est, err := perfmodel.ServingEstimator(cfg.Profile, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
 	sObs := newServeObs(cfg.TraceRing)
+	// The tiered store reports into the plane as it operates: per-tier
+	// op/byte counters, and timed spill transfers as calibration cost
+	// samples (loads fit the disk staging law, stores the spill law).
+	store, err := cache.NewTieredStore(cache.TieredConfig{
+		RAMBudget: cfg.CacheBudgetBytes,
+		SpillDir:  cfg.CacheDir,
+		Policy:    cache.PolicyCostAware,
+		Observer:  sObs.plane.CacheTier,
+		Transfer: func(op string, bytes int64, seconds float64) {
+			stage := obs.CostStageCacheStage
+			if op == "store" {
+				stage = obs.CostStageCacheSpill
+			}
+			sObs.cost(obs.CostSample{Stage: stage, Units: 1,
+				Bytes: float64(bytes), Tier: "disk", Seconds: seconds})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	// Mirror the core's decision stream into the telemetry plane's
 	// per-kind counters as decisions are made.
 	dlog := new(batching.DecisionLog)
@@ -278,6 +275,9 @@ func New(cfg Config) (*Server, error) {
 		cancel: cancel,
 	}
 	s.obs.bindStore(store)
+	// Warm-start prefetch: promote templates spilled by a previous process
+	// into RAM while the server boots.
+	store.Prefetch(store.SpilledIDs()...)
 	for i := 0; i < cfg.Workers; i++ {
 		eng, err := diffusion.NewEngine(cfg.Model, cfg.Seed)
 		if err != nil {
@@ -370,10 +370,13 @@ func (s *Server) stepFLOPs(j *job) float64 {
 // observe scheduling behavior through this log instead of worker internals.
 func (s *Server) Decisions() []batching.Decision { return s.core.Decisions() }
 
-// Close stops all goroutines and waits for them.
+// Close stops all goroutines, waits for them, and drains the template
+// store's write-back queue so every prepared template is durable on the
+// spill tier.
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+	s.store.Close()
 }
 
 // Prepare registers a template: renders the synthetic template image, runs
@@ -385,7 +388,10 @@ func (s *Server) Prepare(req PrepareRequest) (PrepareResponse, error) {
 	if len(s.workers) == 0 {
 		return PrepareResponse{}, apiErrorf(CodeInternal, false, "serve: no workers")
 	}
-	if tc := s.store.Get(req.TemplateID); tc != nil {
+	// Idempotency check doubles as prefetch-on-prepare: a template that
+	// only lives on the spill tier is promoted into RAM here, ahead of
+	// the edits the prepare call foreshadows.
+	if tc, _ := s.store.GetTracked(req.TemplateID); tc != nil {
 		return PrepareResponse{
 			TemplateID: req.TemplateID,
 			CacheBytes: tc.SizeBytes(),
@@ -410,29 +416,87 @@ func (s *Server) Prepare(req PrepareRequest) (PrepareResponse, error) {
 	if err != nil {
 		return PrepareResponse{}, asAPIError(err)
 	}
-	if err := s.store.Put(req.TemplateID, tc); err != nil {
+	elapsed := time.Since(start)
+	// The measured prepare time is the recompute-cost term of the store's
+	// cost-aware eviction score: losing this template costs this long.
+	if err := s.store.PutCost(req.TemplateID, tc, elapsed.Seconds()); err != nil {
 		return PrepareResponse{}, asAPIError(err)
 	}
 	return PrepareResponse{
 		TemplateID: req.TemplateID,
 		CacheBytes: tc.SizeBytes(),
-		PrepareMS:  float64(time.Since(start).Microseconds()) / 1000,
+		PrepareMS:  float64(elapsed.Microseconds()) / 1000,
 	}, nil
 }
 
-// ListTemplates returns the cached templates across tiers.
+// ListTemplates returns the cached templates across tiers, ascending by id.
 func (s *Server) ListTemplates() []TemplateInfo {
 	infos := s.store.List()
 	out := make([]TemplateInfo, len(infos))
 	for i, e := range infos {
-		out[i] = TemplateInfo{TemplateID: e.ID, Bytes: e.Bytes, Tier: e.Tier}
+		out[i] = TemplateInfo{
+			TemplateID: e.ID, Bytes: e.Bytes, Tier: e.Tier,
+			Pinned: e.Pinned, Hits: e.Hits,
+			LastUsedMS: lastUsedMS(e.LastUsed),
+		}
 	}
 	return out
 }
 
-// DeleteTemplate invalidates a template's host and disk cache entries,
-// reporting whether anything was deleted.
-func (s *Server) DeleteTemplate(id uint64) bool { return s.store.Delete(id) }
+func lastUsedMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+// DeleteTemplate invalidates a template's host and disk cache entries.
+// Pinned templates refuse with a template_pinned APIError; unknown ids
+// return template_not_found.
+func (s *Server) DeleteTemplate(id uint64) error {
+	if err := s.store.Delete(id); err != nil {
+		return asAPIError(err)
+	}
+	return nil
+}
+
+// PinTemplate makes a template eviction-proof, promoting it into RAM if
+// it only lives on the spill tier.
+func (s *Server) PinTemplate(id uint64) error {
+	if err := s.store.Pin(id); err != nil {
+		return asAPIError(err)
+	}
+	return nil
+}
+
+// UnpinTemplate clears a pin.
+func (s *Server) UnpinTemplate(id uint64) error {
+	if err := s.store.Unpin(id); err != nil {
+		return asAPIError(err)
+	}
+	return nil
+}
+
+// CacheStats returns the per-tier cache statistics for /v1/cache/stats.
+func (s *Server) CacheStats() CacheStatsResponse {
+	tiers := s.store.Stats()
+	out := CacheStatsResponse{Tiers: make([]CacheTierStats, len(tiers))}
+	for i, ts := range tiers {
+		hitRate := 0.0
+		if ts.Hits+ts.Misses > 0 {
+			hitRate = float64(ts.Hits) / float64(ts.Hits+ts.Misses)
+		}
+		out.Tiers[i] = CacheTierStats{
+			Tier: ts.Tier, CapacityBytes: ts.CapacityBytes,
+			UsedBytes: ts.UsedBytes, LogicalBytes: ts.LogicalBytes,
+			Entries: ts.Entries, Pinned: ts.Pinned,
+			Hits: ts.Hits, Misses: ts.Misses, Evictions: ts.Evictions,
+			HitRate: hitRate, Blocks: ts.Blocks, SharedBlocks: ts.SharedBlocks,
+			DedupRatio: ts.DedupRatio,
+		}
+	}
+	return out
+}
 
 // SubmitEdit serves one edit request synchronously: route → preprocess →
 // continuous-batched denoising → postprocess. The caller's ctx plus the
@@ -744,7 +808,7 @@ func (s *Server) preprocess(j *job) error {
 	if d := s.faults.Delay(faults.CacheLoad); d > 0 {
 		sleepCtx(j.ctx, d)
 	}
-	tc := s.store.Get(j.api.TemplateID)
+	tc, loaded := s.store.GetTracked(j.api.TemplateID)
 	loadFailed := s.faults.Fire(faults.CacheLoad)
 	elapsed := time.Since(t0)
 	hit := 1.0
@@ -754,8 +818,12 @@ func (s *Server) preprocess(j *job) error {
 	s.obs.span(j.id, stageCacheLoad, j.worker.id, t0, elapsed,
 		map[string]float64{"template": float64(j.api.TemplateID), "hit": hit})
 	if tc != nil {
+		// Feed the serving mask ratio into the store's cost-aware score,
+		// and record the load with the tier that actually served it so
+		// the fit can separate host hits from disk promotions.
+		s.store.Observe(j.api.TemplateID, j.ratio)
 		s.obs.cost(obs.CostSample{Stage: obs.CostStageCacheLoad, Units: 1,
-			Bytes: float64(tc.SizeBytes()), Tier: "host", Seconds: elapsed.Seconds()})
+			Bytes: float64(tc.SizeBytes()), Tier: loaded.Tier, Seconds: elapsed.Seconds()})
 	}
 	if tc == nil {
 		return apiErrorf(CodeTemplateNotFound, false,
@@ -893,13 +961,8 @@ func msBetween(a, b time.Time) float64 {
 
 // Snapshot returns the live statistics.
 func (s *Server) Snapshot() Stats {
-	var hits, misses, evicted int
-	switch st := s.store.(type) {
-	case *cache.Store:
-		hits, misses, evicted = st.Stats()
-	case *cache.Tiered:
-		hits, misses, evicted = st.Host.Stats()
-	}
+	host := s.store.Stats()[0]
+	hits, misses, evicted := int(host.Hits), int(host.Misses), int(host.Evictions)
 	st := Stats{
 		Completed:          int(s.completed.Load()),
 		MeanTotalMS:        s.total.Mean(),
