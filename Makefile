@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race faults cache-stress replay-diff obs-lint calib-gate bench bench-smoke bench-kernels bench-serve whatif experiments fuzz clean
+.PHONY: all check build test vet race faults cache-stress replay-diff obs-lint calib-gate bench bench-smoke bench-diffusion bench-diffusion-smoke bench-kernels bench-serve whatif experiments fuzz clean
 
 all: check
 
@@ -10,7 +10,7 @@ all: check
 # AND byte-identical telemetry), the observability lint/golden gate, the
 # calibration accuracy gate, and a one-iteration benchmark smoke pass so
 # the benchmarks themselves can't rot.
-check: build vet test race faults cache-stress replay-diff obs-lint calib-gate bench-smoke
+check: build vet test race faults cache-stress replay-diff obs-lint calib-gate bench-smoke bench-diffusion-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,18 @@ bench:
 # benchmarks that panic or race without paying for real measurement.
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./...
+
+# Adaptive step-caching policy sweep (DESIGN.md §11): the Fig 1 edit under
+# off / block / layer / timestep / combined, with per-policy speedup over
+# the uncached mask-aware path, SSIM vs the uncached output, and the
+# reused-block ratio, written as machine-readable JSON.
+bench-diffusion:
+	$(GO) run ./cmd/flashps-diffbench -o BENCH_diffusion.json
+
+# Fast variant for make check: reduced model, one iteration, output
+# discarded — proves the sweep itself can't rot.
+bench-diffusion-smoke:
+	$(GO) run ./cmd/flashps-diffbench -smoke -o /dev/null
 
 # Kernel before/after evidence: naive vs blocked/fused kernels, with
 # GFLOP/s and allocs/op, written as machine-readable JSON.

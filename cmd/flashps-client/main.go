@@ -44,28 +44,29 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8005", "server base URL")
-		prepare  = flag.Bool("prepare", false, "prepare a template")
-		edit     = flag.Bool("edit", false, "submit one edit")
-		list     = flag.Bool("list", false, "list cached templates")
-		del      = flag.Bool("delete", false, "delete a template's cache entries")
+		addr       = flag.String("addr", "http://localhost:8005", "server base URL")
+		prepare    = flag.Bool("prepare", false, "prepare a template")
+		edit       = flag.Bool("edit", false, "submit one edit")
+		list       = flag.Bool("list", false, "list cached templates")
+		del        = flag.Bool("delete", false, "delete a template's cache entries")
 		pin        = flag.Bool("pin", false, "pin a template against eviction")
 		unpin      = flag.Bool("unpin", false, "clear a template's pin")
 		cacheStats = flag.Bool("cache-stats", false, "fetch per-tier cache statistics")
 		load       = flag.Bool("load", false, "run an open-loop Poisson workload")
 		stats      = flag.Bool("stats", false, "fetch server statistics")
-		template = flag.Uint64("template", 1, "template id")
-		tplList  = flag.String("templates", "1", "comma-separated template ids for -load")
-		imgSeed  = flag.Uint64("image-seed", 7, "synthetic template image seed (prepare)")
-		prompt   = flag.String("prompt", "an edit", "prompt")
-		ratio    = flag.Float64("ratio", 0.2, "mask ratio")
-		seed     = flag.Uint64("seed", 1, "request seed")
-		n        = flag.Int("n", 50, "requests for -load")
-		rps      = flag.Float64("rps", 2, "Poisson rate for -load")
-		dist     = flag.String("dist", "production", "mask distribution for -load")
-		out      = flag.String("o", "", "save the edited image PNG to this path (edit)")
-		deadline = flag.Int64("deadline-ms", 0, "server-side deadline in ms (0 = none)")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+		template   = flag.Uint64("template", 1, "template id")
+		tplList    = flag.String("templates", "1", "comma-separated template ids for -load")
+		imgSeed    = flag.Uint64("image-seed", 7, "synthetic template image seed (prepare)")
+		prompt     = flag.String("prompt", "an edit", "prompt")
+		ratio      = flag.Float64("ratio", 0.2, "mask ratio")
+		seed       = flag.Uint64("seed", 1, "request seed")
+		n          = flag.Int("n", 50, "requests for -load")
+		rps        = flag.Float64("rps", 2, "Poisson rate for -load")
+		dist       = flag.String("dist", "production", "mask distribution for -load")
+		out        = flag.String("o", "", "save the edited image PNG to this path (edit)")
+		deadline   = flag.Int64("deadline-ms", 0, "server-side deadline in ms (0 = none)")
+		policy     = flag.String("policy", "", "step-caching policy: off|block|layer|timestep|combined (empty = server default)")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "per-request timeout")
 	)
 	flag.Parse()
 
@@ -88,12 +89,17 @@ func main() {
 			Mask:        serve.MaskSpec{Type: "ratio", Ratio: *ratio, Seed: *seed},
 			ReturnImage: *out != "",
 			DeadlineMS:  *deadline,
+			Policy:      *policy,
 		}, &resp)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("edit served by worker %d: mask %.2f, queue %.1f ms, infer %.1f ms, total %.1f ms\n",
 			resp.Worker, resp.MaskRatio, resp.QueueMS, resp.InferenceMS, resp.TotalMS)
+		if resp.Policy != "" && resp.Policy != "off" {
+			fmt.Printf("step policy %s: %.0f%% of block executions reused\n",
+				resp.Policy, resp.ReusedBlockRatio*100)
+		}
 		if resp.Degraded {
 			fmt.Printf("degraded: %s\n", resp.DegradedReason)
 		}
@@ -167,7 +173,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := c.runLoad(templates, d, *n, *rps, *seed, *deadline); err != nil {
+		if err := c.runLoad(templates, d, *n, *rps, *seed, *deadline, *policy); err != nil {
 			fatal(err)
 		}
 	case *stats:
@@ -242,7 +248,7 @@ func (c *client) decode(path string, r *http.Response, resp interface{}) error {
 
 // runLoad fires an open-loop Poisson workload at the server and prints
 // latency statistics.
-func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps float64, seed uint64, deadlineMS int64) error {
+func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps float64, seed uint64, deadlineMS int64, policy string) error {
 	reqs, err := workload.Generate(workload.TraceConfig{
 		N: n, RPS: rps, Dist: dist, Templates: len(templates), ZipfS: 1.1, Seed: seed,
 	})
@@ -250,11 +256,12 @@ func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps 
 		return err
 	}
 	var (
-		mu     sync.Mutex
-		total  metrics.Recorder
-		queue  metrics.Recorder
-		errors int
-		wg     sync.WaitGroup
+		mu        sync.Mutex
+		total     metrics.Recorder
+		queue     metrics.Recorder
+		reusedSum float64
+		errors    int
+		wg        sync.WaitGroup
 	)
 	rng := tensor.NewRNG(seed ^ 0xC11E47)
 	ctx := context.Background()
@@ -280,6 +287,7 @@ func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps 
 				Seed:       uint64(r.ID),
 				Mask:       serve.MaskSpec{Type: "ratio", Ratio: r.MaskRatio, Seed: maskSeed},
 				DeadlineMS: deadlineMS,
+				Policy:     policy,
 			}, &resp)
 			mu.Lock()
 			defer mu.Unlock()
@@ -289,6 +297,7 @@ func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps 
 			}
 			total.Add(resp.TotalMS)
 			queue.Add(resp.QueueMS)
+			reusedSum += resp.ReusedBlockRatio
 		}()
 	}
 	wg.Wait()
@@ -297,6 +306,10 @@ func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps 
 		rps, elapsed.Seconds(), total.Count(), errors)
 	fmt.Printf("latency ms: %s\n", total.Summary())
 	fmt.Printf("queue ms:   %s\n", queue.Summary())
+	if policy != "" && policy != "off" && total.Count() > 0 {
+		fmt.Printf("step policy %s: mean %.0f%% of block executions reused\n",
+			policy, reusedSum/float64(total.Count())*100)
+	}
 	return nil
 }
 

@@ -1,0 +1,170 @@
+// Command flashps-diffbench sweeps the adaptive step-caching policies
+// (DESIGN.md §11) over the Fig 1 headline edit and writes a
+// machine-readable summary: per-policy wall-clock latency, speedup over
+// the uncached mask-aware path (the PR3 baseline), SSIM against the
+// uncached output, and the reused-block ratio. The sweep order is
+// off / block / layer / timestep / combined.
+//
+// Usage:
+//
+//	flashps-diffbench -o BENCH_diffusion.json
+//	flashps-diffbench -iters 20 -ratio 0.2
+//	flashps-diffbench -smoke -o -        # fast CI smoke (small model, 1 iter)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"flashps/internal/benchfmt"
+	"flashps/internal/diffusion"
+	"flashps/internal/img"
+	"flashps/internal/mask"
+	"flashps/internal/model"
+	"flashps/internal/quality"
+	"flashps/internal/tensor"
+)
+
+// smokeModel is a reduced configuration for the make-check smoke pass:
+// real guidance and enough steps that every policy's schedule engages,
+// but small enough to finish in well under a second.
+var smokeModel = model.Config{
+	Name: "diffbench-smoke", LatentH: 6, LatentW: 6, Hidden: 32, Heads: 4,
+	GuidanceScale: 1.5, NumBlocks: 4, FFNMult: 4, Steps: 8, LatentChannels: 4,
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_diffusion.json", "output JSON file (- for stdout)")
+		iters = flag.Int("iters", 10, "timed edits per policy (after one warmup)")
+		ratio = flag.Float64("ratio", 0.2, "edit-mask ratio (Fig 1 uses 0.2)")
+		seed  = flag.Uint64("seed", 42, "engine weights, template, and mask seed")
+		par   = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
+		smoke = flag.Bool("smoke", false, "fast CI pass: reduced model, 1 iteration")
+	)
+	flag.Parse()
+	tensor.SetParallelism(*par)
+
+	cfg := model.SDXLSim
+	if *smoke {
+		cfg = smokeModel
+		*iters = 1
+	}
+	res, err := run(cfg, *ratio, *iters, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		for _, p := range res.Policies {
+			fmt.Printf("%-9s %7.2fms  %.2fx  ssim %.4f  reused %4.1f%%\n",
+				p.Policy, p.MeanMS, p.Speedup, p.SSIM, p.ReusedBlockRatio*100)
+		}
+		fmt.Printf("wrote %s (full-compute reference %.2fms)\n", *out, res.FullMS)
+	}
+}
+
+func run(cfg model.Config, ratio float64, iters int, seed uint64) (*benchfmt.DiffusionResult, error) {
+	eng, err := diffusion.NewEngine(cfg, seed^0xF16)
+	if err != nil {
+		return nil, err
+	}
+	h, w := eng.Codec.ImageSize(cfg.LatentH, cfg.LatentW)
+	tc, _, err := eng.PrepareTemplate(1, img.SynthTemplate(seed, h, w), "model photo", false)
+	if err != nil {
+		return nil, err
+	}
+	m := mask.WithRatio(tensor.NewRNG(seed), cfg.LatentH, cfg.LatentW, ratio)
+	req := diffusion.EditRequest{
+		Template: tc, Mask: m, Prompt: "a floral summer dress", Seed: 7,
+		Mode: diffusion.EditCachedY,
+	}
+
+	res := &benchfmt.DiffusionResult{
+		Meta:      benchfmt.CollectMeta(),
+		Model:     cfg.Name,
+		MaskRatio: m.Ratio(),
+		Iters:     iters,
+	}
+
+	fullReq := req
+	fullReq.Mode = diffusion.EditFull
+	_, fullMS, err := timeEdit(eng, fullReq, iters)
+	if err != nil {
+		return nil, err
+	}
+	res.FullMS = fullMS
+
+	var baseline *benchfmt.DiffusionPolicyResult
+	var baselineImg *img.Image
+	for _, name := range diffusion.PolicyNames() {
+		r := req
+		r.Policy = name
+		er, meanMS, err := timeEdit(eng, r, iters)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", name, err)
+		}
+		row := benchfmt.DiffusionPolicyResult{Policy: name, MeanMS: meanMS}
+		total := er.BlocksComputed + er.BlocksReused
+		if total > 0 {
+			row.ReusedBlockRatio = float64(er.BlocksReused) / float64(total)
+		}
+		if name == "off" {
+			row.Speedup, row.SSIM = 1, 1
+			baselineImg = er.Image
+		} else {
+			preset, err := diffusion.PresetByName(name)
+			if err != nil {
+				return nil, err
+			}
+			row.SSIMBudget = preset.SSIMBudget
+			row.Speedup = baseline.MeanMS / meanMS
+			row.SSIM = quality.SSIM(er.Image, baselineImg)
+		}
+		res.Policies = append(res.Policies, row)
+		if name == "off" {
+			baseline = &res.Policies[len(res.Policies)-1]
+		}
+	}
+	return res, nil
+}
+
+// timeEdit runs one warmup edit then iters timed edits of the same
+// request, returning the last result and the mean wall-clock per edit.
+// Each iteration is a fresh session (BeginEdit → steps → decode), so the
+// time is the end-to-end edit, not a warm-cache step loop.
+func timeEdit(eng *diffusion.Engine, req diffusion.EditRequest, iters int) (*diffusion.EditResult, float64, error) {
+	if _, err := eng.Edit(req); err != nil {
+		return nil, 0, err
+	}
+	var res *diffusion.EditResult
+	var total time.Duration
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		r, err := eng.Edit(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		total += time.Since(start)
+		res = r
+	}
+	return res, total.Seconds() * 1e3 / float64(iters), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flashps-diffbench:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strings"
 
 	"flashps/internal/batching"
 	"flashps/internal/faults"
@@ -56,6 +57,11 @@ func main() {
 		faultSpec  = flag.String("faults", os.Getenv("FLASHPS_FAULTS"),
 			`fault-injection spec, e.g. "worker.0.crash:after=20,fail=1;cache.load:prob=0.01" (default $FLASHPS_FAULTS)`)
 		faultSeed = flag.Uint64("fault-seed", 1, "rng seed for probabilistic fault rules")
+
+		stepPolicy = flag.String("step-policy", "",
+			"default adaptive step-caching policy: off|block|layer|timestep|combined")
+		stepPolicyByClass = flag.String("step-policy-by-class", "",
+			`per-SLO-class step policies, e.g. "interactive=off,standard=layer,relaxed=combined"`)
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -89,10 +95,16 @@ func main() {
 		fmt.Printf("WARN: fault injection armed: %s\n", *faultSpec)
 	}
 
+	classPolicies, err := parseClassPolicies(*stepPolicyByClass)
+	if err != nil {
+		fatal(err)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Model: cfg, Profile: profile,
 		Workers: *workers, MaxBatch: *maxBatch,
 		Policy: pol, Discipline: disc, Seed: *seed,
+		StepPolicy: *stepPolicy, StepPolicyByClass: classPolicies,
 		CacheDir: *cacheDir, MaxQueue: *maxQueue,
 		TraceRing:  *traceRing,
 		MaxRetries: *maxRetries, RetryBackoff: *retryBO,
@@ -139,4 +151,21 @@ func modelByName(name string) (model.Config, error) {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "flashps-server: %v\n", err)
 	os.Exit(1)
+}
+
+// parseClassPolicies parses "class=policy,class=policy" into the serve
+// config's per-SLO-class step-policy map.
+func parseClassPolicies(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(spec, ",") {
+		class, policy, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || class == "" {
+			return nil, fmt.Errorf("bad step-policy-by-class entry %q (want class=policy)", pair)
+		}
+		out[class] = policy
+	}
+	return out, nil
 }

@@ -110,3 +110,41 @@ type ServeResult struct {
 	ColdTemplates int          `json:"cold_templates,omitempty"`
 	Cold          *ServeResult `json:"cold,omitempty"`
 }
+
+// DiffusionResult is the BENCH_diffusion.json schema, written by
+// flashps-diffbench: the Fig 1 edit swept across the adaptive step-caching
+// policy presets (DESIGN.md §11). Every policy row times the same
+// mask-aware cached edit; Speedup is relative to the "off" row (the PR3
+// baseline path), and SSIM compares the policy's output against that
+// uncached output.
+type DiffusionResult struct {
+	Meta Meta `json:"meta"`
+	// Model names the engine configuration the sweep ran on.
+	Model string `json:"model"`
+	// MaskRatio is the rasterized edit-mask ratio (Fig 1 uses ≈0.2).
+	MaskRatio float64 `json:"mask_ratio"`
+	// Iters is the number of timed edits each row averages over.
+	Iters int `json:"iters"`
+	// FullMS is the uncached full-compute (EditFull) reference latency.
+	FullMS float64 `json:"full_ms"`
+	// Policies holds one row per swept policy, "off" first.
+	Policies []DiffusionPolicyResult `json:"policies"`
+}
+
+// DiffusionPolicyResult is one row of the policy sweep.
+type DiffusionPolicyResult struct {
+	Policy string  `json:"policy"`
+	MeanMS float64 `json:"mean_ms"`
+	// Speedup is the "off" row's MeanMS divided by this row's (1.0 for
+	// the off row itself).
+	Speedup float64 `json:"speedup"`
+	// SSIM compares this row's output image against the uncached ("off")
+	// edit of the same request; 1.0 for the off row.
+	SSIM float64 `json:"ssim"`
+	// SSIMBudget is the preset's declared quality floor (0 for off);
+	// SSIM ≥ SSIMBudget is the gate TestPolicyPresetQualityGate enforces.
+	SSIMBudget float64 `json:"ssim_budget,omitempty"`
+	// ReusedBlockRatio is the fraction of block executions served from
+	// cached residuals.
+	ReusedBlockRatio float64 `json:"reused_block_ratio,omitempty"`
+}

@@ -19,6 +19,7 @@ import (
 
 	"flashps/internal/batching"
 	"flashps/internal/cache"
+	"flashps/internal/diffusion"
 	"flashps/internal/metrics"
 	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
@@ -125,6 +126,14 @@ type Config struct {
 	// staging for cold templates (§4.2). 0 means all caches are warm in
 	// host memory.
 	ColdCacheTemplates int
+	// StepPolicy names an adaptive step-caching policy
+	// (diffusion.PolicyPresets: "block", "layer", "timestep", "combined";
+	// "" or "off" disables). The simulator prices it from the
+	// decision-visible planned reuse schedule — each batch step's latency
+	// scales by the policy's planned compute fraction at the items' step
+	// indices — so a replayed real driver running the same policy stays
+	// byte-identical. Composes with SystemFlashPS and SystemDiffusers only.
+	StepPolicy string
 	// Seed feeds the policies' tiebreaking randomness.
 	Seed uint64
 	// Estimator, when non-nil, overrides the core's Algorithm-2 scoring
@@ -161,6 +170,15 @@ func (c Config) Validate() error {
 	}
 	if c.System == SystemFISEdit && c.Profile.Name != "sd21" {
 		return fmt.Errorf("cluster: FISEdit only supports sd21 (got %q)", c.Profile.Name)
+	}
+	if c.StepPolicy != "" && c.StepPolicy != "off" {
+		if _, err := diffusion.PolicyByName(c.StepPolicy); err != nil {
+			return fmt.Errorf("cluster: step policy: %v", err)
+		}
+		if c.System == SystemTeaCache || c.System == SystemFISEdit {
+			return fmt.Errorf("cluster: step policy %q does not compose with system %v",
+				c.StepPolicy, c.System)
+		}
 	}
 	return nil
 }
@@ -383,25 +401,30 @@ func (e *simExecutor) StageReadyAt(worker int, req workload.Request, now float64
 // digital-twin mode (Config.Costs) the per-step latency comes from the
 // telemetry-fitted step law instead of the analytic device model.
 func (e *simExecutor) RunSteps(_ int, batch []batching.StepView, aligned int) float64 {
+	views := make([]ReqView, len(batch))
+	for i, s := range batch {
+		views[i] = ReqView{
+			Template:  s.Req.Template,
+			MaskRatio: s.Req.MaskRatio,
+			StepIndex: s.StepIndex,
+		}
+	}
+	scale := PolicyComputeScale(e.cfg.StepPolicy, e.cfg.Profile, views)
 	var lat float64
 	if e.cfg.Costs != nil {
+		// The fitted step law is linear in computed FLOPs plus a per-unit
+		// fixed cost; a step policy removes block compute, not the fixed
+		// cost, so the scale applies to the FLOP feature.
 		flops, _ := BatchStepFLOPs(e.cfg.System, e.cfg.Profile, batch)
-		lat = e.cfg.Costs.StepSeconds(flops, len(batch))
+		lat = e.cfg.Costs.StepSeconds(flops*scale, len(batch))
 	} else {
-		views := make([]ReqView, len(batch))
-		for i, s := range batch {
-			views[i] = ReqView{
-				Template:  s.Req.Template,
-				MaskRatio: s.Req.MaskRatio,
-				StepIndex: s.StepIndex,
-			}
-		}
 		lat = StepLatency(e.cfg.System, e.cfg.Profile, views)
+		lat *= scale
 	}
 	if aligned != 1 {
 		lat = float64(aligned) * lat
 	}
-	RecordStepCost(e.cfg.Obs, e.cfg.System, e.cfg.Profile, batch, aligned, lat)
+	RecordStepCost(e.cfg.Obs, e.cfg.System, e.cfg.Profile, batch, aligned, lat, scale)
 	return lat
 }
 
@@ -433,23 +456,47 @@ func BatchStepFLOPs(sys System, p perfmodel.ModelProfile, batch []batching.StepV
 	return flops * float64(p.Blocks), maskSum
 }
 
+// PolicyComputeScale returns the fraction of a batch step's block work an
+// adaptive step policy plans to compute, averaged over the batch items'
+// current step indices — the decision-visible pricing the sim and
+// replay-real executors share (diffusion.PlannedReuseFraction; nothing
+// data-dependent, so both drivers derive the identical number). 1 when the
+// policy is off.
+func PolicyComputeScale(policy string, p perfmodel.ModelProfile, views []ReqView) float64 {
+	if policy == "" || policy == "off" || len(views) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, v := range views {
+		sum += 1 - diffusion.PlannedReuseFraction(policy, v.StepIndex, p.Steps, p.Blocks)
+	}
+	return sum / float64(len(views))
+}
+
 // RecordStepCost records one executed (or modeled) batch step as a
 // calibration cost sample. The sim and replay-real executors call it with
 // identical arguments, so the differential-replay byte-identity covers the
-// profile stream too. Exported for the replay driver.
+// profile stream too. computeScale is the step's planned compute fraction
+// (PolicyComputeScale): it discounts the FLOP feature and splits the block
+// count into computed vs. policy-reused, so telemetry fitters can exclude
+// priced-down samples. Exported for the replay driver.
 func RecordStepCost(plane *obs.Plane, sys System, p perfmodel.ModelProfile,
-	batch []batching.StepView, aligned int, seconds float64) {
+	batch []batching.StepView, aligned int, seconds, computeScale float64) {
 	if plane == nil || len(batch) == 0 {
 		return
 	}
 	flops, maskSum := BatchStepFLOPs(sys, p, batch)
+	totalBlocks := len(batch) * aligned * p.Blocks
+	computed := int(math.Round(float64(totalBlocks) * computeScale))
 	plane.RecordCost(obs.CostSample{
-		Stage:   obs.CostStageDenoiseStep,
-		Units:   len(batch) * aligned,
-		Batch:   len(batch),
-		MaskSum: maskSum,
-		FLOPs:   flops * float64(aligned),
-		Seconds: seconds,
+		Stage:          obs.CostStageDenoiseStep,
+		Units:          len(batch) * aligned,
+		Batch:          len(batch),
+		MaskSum:        maskSum,
+		FLOPs:          flops * float64(aligned) * computeScale,
+		BlocksComputed: computed,
+		BlocksReused:   totalBlocks - computed,
+		Seconds:        seconds,
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"flashps/internal/img"
+	"flashps/internal/mask"
 	"flashps/internal/model"
 	"flashps/internal/tensor"
 )
@@ -35,7 +36,7 @@ func steadyStateStep(t *testing.T, cfg model.Config, mode EditMode, maskedIdx []
 	step := e.Sched.Steps - 1
 	return func() {
 		ws.Reset()
-		eps, err := e.stepEps(ws, x, step, cond, maskedIdx, modes, tpl, mode)
+		eps, err := e.stepEps(ws, x, step, cond, maskedIdx, modes, tpl, mode, nil, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,5 +85,48 @@ func TestSteadyStateMaskedStepZeroAllocs(t *testing.T) {
 	step()
 	if n := testing.AllocsPerRun(10, step); n != 0 {
 		t.Fatalf("steady-state cached-Y denoise step: %v allocs/op, want 0", n)
+	}
+}
+
+// TestSteadyStatePolicyStepZeroAllocs pins the adaptive step-policy path:
+// a full session step — plan, denoise with residual reuse and updates,
+// observe, DDIM update — stays allocation-free once the arena is warm and
+// the per-session residual caches exist. Exercised on the masked cached-Y
+// mode with every preset, warmed far enough that reuse actually happens.
+func TestSteadyStatePolicyStepZeroAllocs(t *testing.T) {
+	for _, preset := range PolicyPresets() {
+		t.Run(preset.Name, func(t *testing.T) {
+			e := newTestEngine(t)
+			tpl, _ := testTemplate(t, e, false)
+			m := mask.Rect(testCfg.LatentH, testCfg.LatentW, 1, 1, 4, 4)
+			s, err := e.BeginEdit(EditRequest{
+				Template: tpl, Mask: m, Prompt: "edit prompt", Seed: 5,
+				Mode: EditCachedY, Policy: preset.Name,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up: two steps grow the arena and populate the residuals.
+			for i := 0; i < 2 && !s.Done(); i++ {
+				if _, err := s.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stepErr error
+			n := testing.AllocsPerRun(1, func() {
+				if s.Done() {
+					return
+				}
+				if _, err := s.Step(); err != nil {
+					stepErr = err
+				}
+			})
+			if stepErr != nil {
+				t.Fatal(stepErr)
+			}
+			if n != 0 {
+				t.Fatalf("steady-state %s policy step: %v allocs/op, want 0", preset.Name, n)
+			}
+		})
 	}
 }

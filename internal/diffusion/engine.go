@@ -177,6 +177,17 @@ type EditRequest struct {
 	// TeaCacheThreshold is the accumulated embedding-drift threshold above
 	// which EditTeaCache recomputes; 0 selects a default.
 	TeaCacheThreshold float64
+	// Policy names an adaptive step-caching preset ("block", "layer",
+	// "timestep", "combined"; see PolicyPresets) that lets individual
+	// blocks reuse stale per-session residuals across steps. "" and "off"
+	// disable it. Composes with EditFull/EditCachedY/EditCachedKV;
+	// EditTeaCache and EditNaiveSkip reject it (they are alternative
+	// approximation baselines, not compositions).
+	Policy string
+	// PolicyOverride supplies a StepPolicy instance directly, overriding
+	// Policy — for tests and offline sweeps that need non-preset
+	// parameters.
+	PolicyOverride StepPolicy
 }
 
 // EditResult is the outcome of an edit.
@@ -185,6 +196,11 @@ type EditResult struct {
 	// StepsComputed counts denoising steps that ran the model forward
 	// (differs from Steps only for EditTeaCache).
 	StepsComputed int
+	// BlocksComputed and BlocksReused count block executions across the
+	// run, both guidance passes included. BlocksReused is nonzero only
+	// when an adaptive step policy was active.
+	BlocksComputed int
+	BlocksReused   int
 	// FinalLatent is the denoised latent (useful in tests).
 	FinalLatent *tensor.Matrix
 }
@@ -262,118 +278,36 @@ func (e *Engine) PrepareTemplate(templateID uint64, im *img.Image, prompt string
 	return tc, out, nil
 }
 
-// Edit runs one edit request and returns the output image.
+// Edit runs one edit request to completion and returns the output image.
+// It is BeginEdit + Step-to-done + Result, so batch (Edit) and continuous-
+// batching (EditSession) callers share one code path — including the
+// adaptive step-policy machinery.
 func (e *Engine) Edit(req EditRequest) (*EditResult, error) {
-	if req.Template == nil {
-		return nil, fmt.Errorf("diffusion: edit requires a template cache")
-	}
-	cfg := e.Model.Config()
-	var maskedIdx []int
-	if req.Mask != nil {
-		if req.Mask.H != cfg.LatentH || req.Mask.W != cfg.LatentW {
-			return nil, fmt.Errorf("diffusion: mask grid %d×%d does not match latent grid %d×%d",
-				req.Mask.H, req.Mask.W, cfg.LatentH, cfg.LatentW)
-		}
-		maskedIdx = req.Mask.MaskedIndices()
-	}
-	switch req.Mode {
-	case EditCachedY, EditCachedKV, EditNaiveSkip:
-		if len(maskedIdx) == 0 {
-			return nil, fmt.Errorf("diffusion: mode %v requires a non-empty mask", req.Mode)
-		}
-	}
-	if req.Mode == EditCachedY || req.Mode == EditCachedKV {
-		if len(req.Template.Steps) != e.Sched.Steps {
-			return nil, fmt.Errorf("diffusion: template cache has %d steps, engine has %d",
-				len(req.Template.Steps), e.Sched.Steps)
-		}
-		if cfg.GuidanceScale > 0 && len(req.Template.UncondSteps) != e.Sched.Steps {
-			return nil, fmt.Errorf("diffusion: guidance requires an unconditional cache (%d steps, want %d)",
-				len(req.Template.UncondSteps), e.Sched.Steps)
-		}
-	}
-
-	cond := model.EmbedPrompt(req.Prompt, cfg.Hidden)
-	// Fresh noise for the masked region only; unmasked rows keep the
-	// template's noise so the preserved trajectory matches the cache.
-	reqRNG := tensor.NewRNG(req.Seed ^ 0x5EED)
-	freshNoise := tensor.Randn(reqRNG, req.Template.Z0.R, req.Template.Z0.C, 1)
-	x := e.noisyInit(req.Template.Z0, req.Template.Noise, freshNoise, maskedIdx)
-	// The latent ping-pongs between two persistent buffers across steps
-	// (they must outlive the per-step workspace reset); every kernel
-	// intermediate inside a step comes from the arena.
-	xNext := x.Clone()
-
-	ws := e.acquireWS()
-	defer e.releaseWS(ws)
-	modes := e.blockModes(req)
-	stepsComputed := 0
-
-	switch req.Mode {
-	case EditFull, EditNaiveSkip, EditCachedY, EditCachedKV:
-		for t := e.Sched.Steps - 1; t >= 0; t-- {
-			ws.Reset()
-			eps, err := e.stepEps(ws, x, t, cond, maskedIdx, modes, req.Template, req.Mode)
-			if err != nil {
-				return nil, err
-			}
-			stepsComputed++
-			e.updateInto(xNext, x, eps, t, req.Mode, maskedIdx)
-			x, xNext = xNext, x
-		}
-	case EditTeaCache:
-		threshold := req.TeaCacheThreshold
-		if threshold <= 0 {
-			// Default to TeaCache's minimum-latency configuration (§6.1):
-			// the smallest threshold whose realized skip pattern computes
-			// no more than teaCacheComputeFraction of the steps.
-			threshold = e.teaCacheThresholdFor(teaCacheComputeFraction)
-		}
-		// lastEps persists across steps, so it lives outside the arena.
-		var lastEps *tensor.Matrix
-		lastComputedT := -1
-		accum := 0.0
-		for t := e.Sched.Steps - 1; t >= 0; t-- {
-			recompute := lastEps == nil
-			if !recompute {
-				accum += embeddingDrift(lastComputedT, t, cfg.Hidden)
-				recompute = accum >= threshold
-			}
-			if recompute {
-				ws.Reset()
-				eps, err := e.stepEps(ws, x, t, cond, nil, nil, req.Template, EditTeaCache)
-				if err != nil {
-					return nil, err
-				}
-				if lastEps == nil {
-					lastEps = eps.Clone()
-				} else {
-					copy(lastEps.Data, eps.Data)
-				}
-				lastComputedT, accum = t, 0
-				stepsComputed++
-			}
-			e.updateInto(xNext, x, lastEps, t, req.Mode, maskedIdx)
-			x, xNext = xNext, x
-		}
-	default:
-		return nil, fmt.Errorf("diffusion: unknown edit mode %v", req.Mode)
-	}
-
-	out, err := e.Codec.Decode(x, cfg.LatentH, cfg.LatentW)
+	s, err := e.BeginEdit(req)
 	if err != nil {
 		return nil, err
 	}
-	return &EditResult{Image: out, StepsComputed: stepsComputed, FinalLatent: x}, nil
+	for {
+		done, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return s.Result()
+		}
+	}
 }
 
 // stepEps evaluates the denoiser for one step under the request's mode,
 // running the classifier-free-guidance dual pass when the model config
 // enables it. For cached modes each pass uses its own activation cache, so
 // unmasked rows reproduce the template trajectory exactly under guidance
-// too.
-func (e *Engine) stepEps(ws *tensor.Arena, x *tensor.Matrix, t int, cond []float32, maskedIdx []int, modes []model.ExecMode, tpl *TemplateCache, mode EditMode) (*tensor.Matrix, error) {
-	optsC := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes, WS: ws}
+// too. reuse/rcC/rcU thread the adaptive step policy's per-block reuse
+// plan and the per-pass residual caches (all nil when no policy is
+// active); each guidance pass keeps its own residuals because the two
+// trajectories drift differently.
+func (e *Engine) stepEps(ws *tensor.Arena, x *tensor.Matrix, t int, cond []float32, maskedIdx []int, modes []model.ExecMode, tpl *TemplateCache, mode EditMode, reuse []bool, rcC, rcU *model.ReuseCache) (*tensor.Matrix, error) {
+	optsC := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes, WS: ws, Reuse: reuse, ReuseCache: rcC}
 	cached := mode == EditCachedY || mode == EditCachedKV
 	if cached {
 		optsC.Cached = tpl.Steps[t]
@@ -386,7 +320,7 @@ func (e *Engine) stepEps(ws *tensor.Arena, x *tensor.Matrix, t int, cond []float
 	if guidance <= 0 {
 		return eps, nil
 	}
-	optsU := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes, WS: ws}
+	optsU := model.StepOptions{MaskedIdx: maskedIdx, Modes: modes, WS: ws, Reuse: reuse, ReuseCache: rcU}
 	if cached {
 		optsU.Cached = tpl.UncondSteps[t]
 	}

@@ -1,0 +1,233 @@
+package diffusion
+
+import (
+	"testing"
+
+	"flashps/internal/mask"
+	"flashps/internal/quality"
+)
+
+// degeneratePolicies are every policy at its no-reuse setting: ε=0 for the
+// change detector, k=1 / interval=1 for the schedules. Each must be
+// bit-identical to the uncached engine.
+func degeneratePolicies() []StepPolicy {
+	return []StepPolicy{
+		BlockPolicy{Epsilon: 0},
+		LayerPolicy{K: 1, MidLo: 0, MidHi: 1},
+		TimestepPolicy{EdgeFrac: 0.15, Interval: 1},
+		CombinedPolicy{
+			Block:    BlockPolicy{Epsilon: 0},
+			Layer:    LayerPolicy{K: 1, MidLo: 0, MidHi: 1},
+			Timestep: TimestepPolicy{EdgeFrac: 0.15, Interval: 1},
+		},
+	}
+}
+
+// TestPolicyDegenerateBitIdentity is the satellite property test: every
+// policy at ε=0 (or k=1) plans zero reuse, so the final latent must be
+// byte-identical to the same edit with the policy off — on the full mode,
+// the masked cached-Y mode, and under classifier-free guidance.
+func TestPolicyDegenerateBitIdentity(t *testing.T) {
+	type scenario struct {
+		name   string
+		guided bool
+		mode   EditMode
+	}
+	scenarios := []scenario{
+		{"full", false, EditFull},
+		{"cached-y", false, EditCachedY},
+		{"guided-cached-y", true, EditCachedY},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var (
+				e   *Engine
+				tpl *TemplateCache
+			)
+			cfg := testCfg
+			if sc.guided {
+				cfg = cfgGuided
+				e, tpl, _ = newGuidedEngine(t)
+			} else {
+				e = newTestEngine(t)
+				tpl, _ = testTemplate(t, e, false)
+			}
+			m := mask.Rect(cfg.LatentH, cfg.LatentW, 1, 1, 4, 4)
+			base := EditRequest{Template: tpl, Mask: m, Prompt: "a red dress", Seed: 11, Mode: sc.mode}
+			ref, err := e.Edit(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range degeneratePolicies() {
+				req := base
+				req.PolicyOverride = p
+				res, err := e.Edit(req)
+				if err != nil {
+					t.Fatalf("%s: %v", p.Name(), err)
+				}
+				if res.BlocksReused != 0 {
+					t.Errorf("%s: degenerate policy reused %d blocks, want 0", p.Name(), res.BlocksReused)
+				}
+				if !latentsEqual(ref.FinalLatent.Data, res.FinalLatent.Data) {
+					t.Errorf("%s: degenerate policy latent differs from uncached engine", p.Name())
+				}
+			}
+		})
+	}
+}
+
+func latentsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPolicyPresetQualityGate is the quality-gate regression: each shipped
+// preset must stay within its declared SSIM budget against the same edit
+// with the policy off, on the seed images — and must actually reuse
+// blocks, so the gate is exercising a real approximation rather than a
+// no-op.
+func TestPolicyPresetQualityGate(t *testing.T) {
+	e, tpl, _ := newGuidedEngine(t)
+	m := mask.Rect(cfgGuided.LatentH, cfgGuided.LatentW, 1, 1, 4, 4)
+	for _, seed := range []uint64{3, 11} {
+		base := EditRequest{Template: tpl, Mask: m, Prompt: "a red dress", Seed: seed, Mode: EditCachedY}
+		ref, err := e.Edit(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, preset := range PolicyPresets() {
+			req := base
+			req.Policy = preset.Name
+			res, err := e.Edit(req)
+			if err != nil {
+				t.Fatalf("%s: %v", preset.Name, err)
+			}
+			if res.BlocksReused == 0 {
+				t.Errorf("seed %d: preset %s reused no blocks — gate is vacuous", seed, preset.Name)
+			}
+			if ssim := quality.SSIM(ref.Image, res.Image); ssim < preset.SSIMBudget {
+				t.Errorf("seed %d: preset %s SSIM %.4f below budget %.2f",
+					seed, preset.Name, ssim, preset.SSIMBudget)
+			}
+		}
+	}
+}
+
+// TestPolicyPreservesUnmaskedExactly: block reuse must not break the
+// paper's exact-preservation guarantee — unmasked pixels stay identical to
+// the template render even while masked rows ride on stale residuals.
+func TestPolicyPreservesUnmaskedExactly(t *testing.T) {
+	e, tpl, tplOut := newGuidedEngine(t)
+	m := mask.Rect(cfgGuided.LatentH, cfgGuided.LatentW, 1, 1, 4, 4)
+	for _, preset := range PolicyPresets() {
+		res, err := e.Edit(EditRequest{
+			Template: tpl, Mask: m, Prompt: "a red dress", Seed: 9,
+			Mode: EditCachedY, Policy: preset.Name,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", preset.Name, err)
+		}
+		patch := e.Codec.Patch
+		for ly := 0; ly < cfgGuided.LatentH; ly++ {
+			for lx := 0; lx < cfgGuided.LatentW; lx++ {
+				if m.At(ly, lx) {
+					continue
+				}
+				r0, g0, b0 := tplOut.At(ly*patch, lx*patch)
+				r1, g1, b1 := res.Image.At(ly*patch, lx*patch)
+				if r0 != r1 || g0 != g1 || b0 != b1 {
+					t.Fatalf("%s: unmasked pixel (%d,%d) changed", preset.Name, ly, lx)
+				}
+			}
+		}
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"", "off"} {
+		p, err := PolicyByName(name)
+		if err != nil || p != nil {
+			t.Fatalf("PolicyByName(%q) = %v, %v; want nil, nil", name, p, err)
+		}
+	}
+	for _, preset := range PolicyPresets() {
+		p, err := PolicyByName(preset.Name)
+		if err != nil || p == nil || p.Name() != preset.Name {
+			t.Fatalf("PolicyByName(%q) = %v, %v", preset.Name, p, err)
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Fatal("PolicyByName(bogus) succeeded")
+	}
+}
+
+func TestPolicyRejectsNonComposableModes(t *testing.T) {
+	e := newTestEngine(t)
+	tpl, _ := testTemplate(t, e, false)
+	m := mask.Rect(testCfg.LatentH, testCfg.LatentW, 1, 1, 4, 4)
+	for _, mode := range []EditMode{EditTeaCache, EditNaiveSkip} {
+		_, err := e.BeginEdit(EditRequest{
+			Template: tpl, Mask: m, Prompt: "p", Seed: 1, Mode: mode, Policy: "block",
+		})
+		if err == nil {
+			t.Fatalf("mode %v accepted a step policy", mode)
+		}
+	}
+	if _, err := e.BeginEdit(EditRequest{
+		Template: tpl, Mask: m, Prompt: "p", Seed: 1, Mode: EditCachedY, Policy: "bogus",
+	}); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+}
+
+// TestPlannedReuseFraction pins the decision-visible pricing function the
+// simulator and the real replay driver share: bounded to [0,1], zero for
+// off and for the first step of every policy, and exact for the
+// schedule-driven policies.
+func TestPlannedReuseFraction(t *testing.T) {
+	const steps, blocks = 20, 8
+	for _, name := range PolicyNames() {
+		for s := 0; s < steps; s++ {
+			f := PlannedReuseFraction(name, s, steps, blocks)
+			if f < 0 || f > 1 {
+				t.Fatalf("%s step %d: fraction %v out of [0,1]", name, s, f)
+			}
+			if name == "off" && f != 0 {
+				t.Fatalf("off step %d: fraction %v, want 0", s, f)
+			}
+			if s == 0 && f != 0 {
+				t.Fatalf("%s step 0: fraction %v, want 0 (cold cache)", name, f)
+			}
+		}
+	}
+	// The layer preset: mid-band half the stack, refresh every 3rd step.
+	preset, _ := PresetByName("layer")
+	lp := preset.Policy.(LayerPolicy)
+	st := lp.NewState(steps, blocks).(*layerState)
+	for s := 1; s < steps; s++ {
+		want := 0.0
+		if s%st.k != 0 {
+			want = float64(st.hi-st.lo) / float64(blocks)
+		}
+		if got := PlannedReuseFraction("layer", s, steps, blocks); got != want {
+			t.Fatalf("layer step %d: fraction %v, want %v", s, got, want)
+		}
+	}
+	// A sanity anchor for capacity math: every preset must plan to save
+	// something over a long schedule.
+	for _, preset := range PolicyPresets() {
+		if f := PlannedComputeFraction(preset.Name, steps, blocks); f >= 1 || f <= 0 {
+			t.Fatalf("%s: planned compute fraction %v, want in (0,1)", preset.Name, f)
+		}
+	}
+	if f := PlannedComputeFraction("off", steps, blocks); f != 1 {
+		t.Fatalf("off: planned compute fraction %v, want 1", f)
+	}
+}

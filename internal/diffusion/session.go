@@ -30,7 +30,23 @@ type EditSession struct {
 	teaLastT     int
 	teaAccum     float64
 
+	// Adaptive step-policy state (nil/empty when the policy is off). The
+	// residual caches are per-guidance-pass: under classifier-free
+	// guidance the conditional and unconditional trajectories drift
+	// differently, so each keeps its own per-block residuals.
+	policyName string
+	policy     PolicyState
+	reusePlan  []bool
+	rcCond     *model.ReuseCache
+	rcUncond   *model.ReuseCache
+
 	stepsComputed int
+	passes        int // model forward passes per computed step (1, or 2 under guidance)
+
+	lastBlocksComputed  int
+	lastBlocksReused    int
+	totalBlocksComputed int
+	totalBlocksReused   int
 }
 
 // BeginEdit validates the request and returns a session positioned before
@@ -67,6 +83,17 @@ func (e *Engine) BeginEdit(req EditRequest) (*EditSession, error) {
 				len(req.Template.UncondSteps), e.Sched.Steps)
 		}
 	}
+	policy := req.PolicyOverride
+	if policy == nil {
+		p, err := PolicyByName(req.Policy)
+		if err != nil {
+			return nil, err
+		}
+		policy = p
+	}
+	if policy != nil && (req.Mode == EditTeaCache || req.Mode == EditNaiveSkip) {
+		return nil, fmt.Errorf("diffusion: step policy %q does not compose with mode %v", policy.Name(), req.Mode)
+	}
 
 	cond := model.EmbedPrompt(req.Prompt, cfg.Hidden)
 	reqRNG := tensor.NewRNG(req.Seed ^ 0x5EED)
@@ -81,12 +108,29 @@ func (e *Engine) BeginEdit(req EditRequest) (*EditSession, error) {
 		maskedIdx: maskedIdx,
 		modes:     e.blockModes(req),
 		teaLastT:  -1,
+		passes:    1,
+	}
+	if cfg.GuidanceScale > 0 {
+		s.passes = 2
 	}
 	s.xNext = s.x.Clone()
 	if req.Mode == EditTeaCache {
 		s.teaThreshold = req.TeaCacheThreshold
 		if s.teaThreshold <= 0 {
 			s.teaThreshold = e.teaCacheThresholdFor(teaCacheComputeFraction)
+		}
+	}
+	if policy != nil {
+		// One-time per-session allocations; the steady-state step itself
+		// stays zero-alloc (plan/observe write into these buffers, the
+		// residual caches are preallocated, applied outputs come from the
+		// arena).
+		s.policyName = policy.Name()
+		s.policy = policy.NewState(e.Sched.Steps, cfg.NumBlocks)
+		s.reusePlan = make([]bool, cfg.NumBlocks)
+		s.rcCond = model.NewReuseCache(cfg.NumBlocks, cfg.Tokens(), cfg.Hidden)
+		if cfg.GuidanceScale > 0 {
+			s.rcUncond = model.NewReuseCache(cfg.NumBlocks, cfg.Tokens(), cfg.Hidden)
 		}
 	}
 	return s, nil
@@ -102,6 +146,44 @@ func (s *EditSession) Done() bool { return s.t < 0 }
 // (differs from total steps only under TeaCache).
 func (s *EditSession) StepsComputed() int { return s.stepsComputed }
 
+// Policy returns the effective step-policy name ("off" when none).
+func (s *EditSession) Policy() string {
+	if s.policyName == "" {
+		return "off"
+	}
+	return s.policyName
+}
+
+// LastStepBlocks returns how many block executions the most recent Step
+// computed and how many it reused (both guidance passes counted). A
+// TeaCache-skipped step reports 0/0.
+func (s *EditSession) LastStepBlocks() (computed, reused int) {
+	return s.lastBlocksComputed, s.lastBlocksReused
+}
+
+// TotalBlocks returns the session-lifetime computed/reused block counts.
+func (s *EditSession) TotalBlocks() (computed, reused int) {
+	return s.totalBlocksComputed, s.totalBlocksReused
+}
+
+// ReusedBlockRatio returns the fraction of block executions served from
+// stale residuals so far (0 when the policy is off or nothing ran).
+func (s *EditSession) ReusedBlockRatio() float64 {
+	total := s.totalBlocksComputed + s.totalBlocksReused
+	if total == 0 {
+		return 0
+	}
+	return float64(s.totalBlocksReused) / float64(total)
+}
+
+// close releases the session's workspace back to the engine pool.
+func (s *EditSession) close() {
+	if s.ws != nil {
+		s.engine.releaseWS(s.ws)
+		s.ws = nil
+	}
+}
+
 // Step executes one denoising step and reports whether the session is done.
 // Calling Step on a finished session is an error.
 func (s *EditSession) Step() (done bool, err error) {
@@ -110,6 +192,7 @@ func (s *EditSession) Step() (done bool, err error) {
 	}
 	e := s.engine
 	t := s.t
+	blocksPerStep := e.Model.Config().NumBlocks * s.passes
 	switch s.req.Mode {
 	case EditTeaCache:
 		recompute := s.teaLastEps == nil
@@ -117,10 +200,12 @@ func (s *EditSession) Step() (done bool, err error) {
 			s.teaAccum += embeddingDrift(s.teaLastT, t, e.Model.Config().Hidden)
 			recompute = s.teaAccum >= s.teaThreshold
 		}
+		s.lastBlocksComputed, s.lastBlocksReused = 0, 0
 		if recompute {
 			s.ws.Reset()
-			eps, err := e.stepEps(s.ws, s.x, t, s.cond, nil, nil, s.req.Template, EditTeaCache)
+			eps, err := e.stepEps(s.ws, s.x, t, s.cond, nil, nil, s.req.Template, EditTeaCache, nil, nil, nil)
 			if err != nil {
+				s.close()
 				return false, err
 			}
 			// eps is arena-backed; copy it to persistent storage since it
@@ -132,25 +217,52 @@ func (s *EditSession) Step() (done bool, err error) {
 			}
 			s.teaLastT, s.teaAccum = t, 0
 			s.stepsComputed++
+			s.lastBlocksComputed = blocksPerStep
+			s.totalBlocksComputed += blocksPerStep
 		}
 		e.updateInto(s.xNext, s.x, s.teaLastEps, t, s.req.Mode, s.maskedIdx)
 		s.x, s.xNext = s.xNext, s.x
 	default:
+		var reuse []bool
+		if s.policy != nil {
+			// stepIdx is the 0-based execution index (step 0 denoises from
+			// pure noise); policies reason in execution order, not timestep.
+			s.policy.PlanStep(s.reusePlan, e.Sched.Steps-1-t)
+			reuse = s.reusePlan
+			s.rcCond.BeginStep()
+			if s.rcUncond != nil {
+				s.rcUncond.BeginStep()
+			}
+		}
 		s.ws.Reset()
-		eps, err := e.stepEps(s.ws, s.x, t, s.cond, s.maskedIdx, s.modes, s.req.Template, s.req.Mode)
+		eps, err := e.stepEps(s.ws, s.x, t, s.cond, s.maskedIdx, s.modes, s.req.Template, s.req.Mode, reuse, s.rcCond, s.rcUncond)
 		if err != nil {
+			s.close()
 			return false, err
 		}
 		s.stepsComputed++
+		reused := 0
+		if s.policy != nil {
+			reused = s.rcCond.StepReusedCount()
+			if s.rcUncond != nil {
+				reused += s.rcUncond.StepReusedCount()
+			}
+			// The conditional pass drives the drift feedback: it is the
+			// pass whose output dominates the guided prediction.
+			s.policy.Observe(s.rcCond.Rates(), s.rcCond.StepReused())
+		}
+		s.lastBlocksComputed = blocksPerStep - reused
+		s.lastBlocksReused = reused
+		s.totalBlocksComputed += blocksPerStep - reused
+		s.totalBlocksReused += reused
 		e.updateInto(s.xNext, s.x, eps, t, s.req.Mode, s.maskedIdx)
 		s.x, s.xNext = s.xNext, s.x
 	}
 	s.t--
-	if s.Done() && s.ws != nil {
+	if s.Done() {
 		// The latent lives in its own buffers, so the workspace can go back
 		// to the pool the moment the last step completes.
-		e.releaseWS(s.ws)
-		s.ws = nil
+		s.close()
 	}
 	return s.Done(), nil
 }
@@ -176,5 +288,11 @@ func (s *EditSession) Result() (*EditResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EditResult{Image: im, StepsComputed: s.stepsComputed, FinalLatent: s.x}, nil
+	return &EditResult{
+		Image:          im,
+		StepsComputed:  s.stepsComputed,
+		BlocksComputed: s.totalBlocksComputed,
+		BlocksReused:   s.totalBlocksReused,
+		FinalLatent:    s.x,
+	}, nil
 }

@@ -133,6 +133,17 @@ type StepOptions struct {
 	// consumed. A steady-state step with a warm arena performs zero heap
 	// allocations (see tensor.Arena).
 	WS *tensor.Arena
+	// Reuse, when non-nil together with ReuseCache, asks per block for the
+	// output to be reproduced from the cache's stale residual instead of
+	// computing the block (internal/diffusion's adaptive step policies).
+	// A reuse request is honored only for blocks with a stored residual,
+	// so the first step of a session always computes; backbones without
+	// residual support (the UNet) ignore these fields entirely, which
+	// degrades gracefully to full compute with zero reported reuse.
+	Reuse []bool
+	// ReuseCache holds the per-session residuals serving Reuse, and is
+	// updated with fresh residuals for every block that computes.
+	ReuseCache *ReuseCache
 }
 
 // UniformModes returns a Modes slice with every one of n blocks set to mode.
@@ -187,7 +198,17 @@ func (m *Model) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts S
 	if opts.Record != nil {
 		opts.Record.Blocks = make([]BlockActivations, len(m.Blocks))
 	}
+	rc := opts.ReuseCache
 	for i, blk := range m.Blocks {
+		if rc != nil && i < len(opts.Reuse) && opts.Reuse[i] && rc.Has(i) &&
+			modes[i] != ExecNaiveSkip {
+			x = rc.Apply(ws, i, x, modes[i], opts.Cached, opts.MaskedIdx)
+			if opts.Record != nil {
+				opts.Record.Blocks[i] = BlockActivations{Y: x.Clone()}
+			}
+			continue
+		}
+		xin := x
 		switch modes[i] {
 		case ExecFull:
 			var rec *BlockActivations
@@ -214,6 +235,16 @@ func (m *Model) ForwardStep(latent *tensor.Matrix, t int, cond []float32, opts S
 			}
 		default:
 			return nil, fmt.Errorf("model: block %d: unknown exec mode %v", i, modes[i])
+		}
+		if rc != nil {
+			// The residual rows that matter are the ones Apply would touch:
+			// all rows under full execution, masked rows under the cached
+			// modes (unmasked rows replenish from the template either way).
+			rows := opts.MaskedIdx
+			if modes[i] == ExecFull {
+				rows = nil
+			}
+			rc.Update(i, xin, x, rows, t)
 		}
 	}
 	out := ws.Get(x.R, m.Cfg.LatentChannels)

@@ -32,6 +32,7 @@ func (p *Plane) WriteDashboard(w io.Writer) error {
 	p.dashSLO(&b)
 	p.dashQueues(&b)
 	p.dashOccupancy(&b)
+	p.dashBlocks(&b)
 	p.dashCalibration(&b, now)
 	p.dashTables(&b)
 
@@ -247,6 +248,28 @@ func (p *Plane) dashOccupancy(b *strings.Builder) {
 			html.EscapeString(label))
 	}
 	b.WriteString("</div></section>\n")
+}
+
+// dashBlocks renders the step-caching panel: transformer-block executions
+// computed vs. served from cached residuals by an adaptive step policy
+// (flashps_diffusion_blocks_{computed,reused}_total), with the reuse ratio
+// as a single-hue horizontal bar.
+func (p *Plane) dashBlocks(b *strings.Builder) {
+	computed, reused := p.BlockCounts()
+	total := computed + reused
+	b.WriteString("<section><h2>Step caching</h2>")
+	if total == 0 {
+		b.WriteString("<p class=sub>no block executions recorded</p></section>\n")
+		return
+	}
+	ratio := reused / total
+	fmt.Fprintf(b, "<p class=sub>%s blocks computed · %s reused (%s)</p>",
+		html.EscapeString(strconv.FormatFloat(computed, 'f', 0, 64)),
+		html.EscapeString(strconv.FormatFloat(reused, 'f', 0, 64)),
+		html.EscapeString(fmtPercent(ratio)))
+	fmt.Fprintf(b, "<div class=track><div class=bar style=\"width:%s%%\"></div></div>",
+		strconv.FormatFloat(100*ratio, 'f', 1, 64))
+	b.WriteString("</section>\n")
 }
 
 // dashCalibration renders the observe-predict-calibrate state: recorded

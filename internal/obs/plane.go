@@ -38,6 +38,8 @@ type Plane struct {
 
 	requests   *CounterVec
 	steps      *Counter
+	blocksComp *Counter
+	blocksRe   *Counter
 	stage      *HistogramVec
 	stageQ     *QuantileVec
 	batchOcc   *Histogram
@@ -105,6 +107,10 @@ func NewPlane(cfg PlaneConfig) *Plane {
 		"Edit requests by terminal outcome", "outcome")
 	p.steps = reg.Counter("flashps_denoise_steps_total",
 		"Denoising steps executed across all workers")
+	p.blocksComp = reg.Counter("flashps_diffusion_blocks_computed_total",
+		"Transformer-block forward passes executed across all denoising steps")
+	p.blocksRe = reg.Counter("flashps_diffusion_blocks_reused_total",
+		"Transformer-block executions served from cached residuals by an adaptive step policy")
 	p.stage = reg.HistogramVec("flashps_request_stage_seconds",
 		"Per-stage request latency (Fig 10 pipeline breakdown)",
 		LatencyBuckets, "stage")
@@ -329,6 +335,19 @@ func (p *Plane) RecordCost(s CostSample) {
 	s.T = p.Now()
 	p.Profile.Record(s)
 	p.calibSamp.With(s.Stage).Inc()
+	// Denoise-step samples carry the computed/reused block split; mirroring
+	// it into the counters here keeps every driver (live serve, simulator,
+	// replay) exposing the same block-reuse metrics from one code path.
+	if s.BlocksComputed > 0 || s.BlocksReused > 0 {
+		p.blocksComp.Add(float64(s.BlocksComputed))
+		p.blocksRe.Add(float64(s.BlocksReused))
+	}
+}
+
+// BlockCounts returns the lifetime computed/reused transformer-block
+// execution counts (the dashboard's step-caching panel).
+func (p *Plane) BlockCounts() (computed, reused float64) {
+	return p.blocksComp.Value(), p.blocksRe.Value()
 }
 
 // StageFitInfo summarizes one stage's fit quality for the calibration

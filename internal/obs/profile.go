@@ -36,6 +36,13 @@ type CostSample struct {
 	FLOPs float64 `json:"flops,omitempty"`
 	// Bytes is the data moved (cache loads, serialized latents; 0 if n/a).
 	Bytes float64 `json:"bytes,omitempty"`
+	// BlocksComputed/BlocksReused split a denoise step's transformer-block
+	// executions between real forward passes and step-policy residual
+	// reuse. FLOPs covers only the computed blocks; fitters exclude or
+	// featureize samples with BlocksReused > 0 so the step law stays an
+	// honest full-compute model.
+	BlocksComputed int `json:"blocks_computed,omitempty"`
+	BlocksReused   int `json:"blocks_reused,omitempty"`
 	// Tier is the cache tier involved ("host", "disk"), when relevant.
 	Tier string `json:"tier,omitempty"`
 	// Seconds is the measured (or modeled) duration.

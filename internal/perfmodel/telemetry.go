@@ -252,10 +252,25 @@ func FitFromTelemetry(cfg FitConfig, samples []obs.CostSample) (*Coefficients, e
 		byStage[s.Stage] = append(byStage[s.Stage], s)
 	}
 
-	steps := byStage[obs.CostStageDenoiseStep]
+	// The step law models a full-compute forward pass. Steps that an
+	// adaptive step policy partially served from cached residuals
+	// (BlocksReused > 0) spend real seconds on un-modeled reuse overhead,
+	// and TeaCache-skipped steps (BlocksComputed == 0 with a block split
+	// recorded) spend almost none — both would bias the regression, so the
+	// fit keeps only honest full-compute samples. Legacy samples without
+	// the block split (both fields zero) pass through unchanged.
+	steps := byStage[obs.CostStageDenoiseStep][:0:0]
+	excluded := 0
+	for _, s := range byStage[obs.CostStageDenoiseStep] {
+		if s.BlocksReused > 0 || (s.BlocksComputed == 0 && s.FLOPs == 0) {
+			excluded++
+			continue
+		}
+		steps = append(steps, s)
+	}
 	if len(steps) < MinStepSamples {
-		return nil, fmt.Errorf("perfmodel: %d denoise_step samples, need ≥%d",
-			len(steps), MinStepSamples)
+		return nil, fmt.Errorf("perfmodel: %d full-compute denoise_step samples (%d reused-block samples excluded), need ≥%d",
+			len(steps), excluded, MinStepSamples)
 	}
 	c := &Coefficients{
 		Version:  CoefficientsVersion,

@@ -54,6 +54,12 @@ type Config struct {
 	// both drivers (§4.2): templates not resident in host memory stage
 	// from disk in virtual time before admission.
 	ColdCacheTemplates int
+	// StepPolicy names an adaptive step-caching policy both drivers run:
+	// the real driver's sessions actually reuse block residuals, while
+	// virtual time in both drivers advances by the shared decision-visible
+	// planned pricing (cluster.PolicyComputeScale), keeping the
+	// differential byte-identity. "" or "off" disables.
+	StepPolicy string
 	// Faults optionally injects step-stage delays into the real driver's
 	// virtual time; nil (the differential test) injects nothing.
 	Faults *faults.Injector
@@ -95,6 +101,7 @@ func Sim(cfg Config, reqs []workload.Request) (*cluster.Result, []batching.Decis
 		Profile:            cfg.profile(),
 		MaxBatch:           cfg.MaxBatch,
 		ColdCacheTemplates: cfg.ColdCacheTemplates,
+		StepPolicy:         cfg.StepPolicy,
 		Seed:               cfg.Seed,
 		Decisions:          log,
 		Obs:                cfg.Obs,
@@ -215,7 +222,7 @@ type realExecutor struct {
 	engines   []*diffusion.Engine
 	templates map[uint64]*diffusion.TemplateCache
 	sessions  map[int]*diffusion.EditSession // by request ID
-	tiers     []cache.StagingTier             // per worker; empty when all caches are warm
+	tiers     []cache.StagingTier            // per worker; empty when all caches are warm
 	faults    *faults.Injector
 
 	steps   int
@@ -260,6 +267,7 @@ func (e *realExecutor) session(worker int, req workload.Request) (*diffusion.Edi
 		Prompt:   fmt.Sprintf("edit %d", req.ID),
 		Seed:     uint64(req.ID),
 		Mode:     diffusion.EditCachedY,
+		Policy:   e.cfg.StepPolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -314,7 +322,13 @@ func (e *realExecutor) RunSteps(worker int, batch []batching.StepView, aligned i
 			e.steps++
 		}
 	}
+	// Virtual time advances by the decision-visible pricing, never by the
+	// sessions' measured reuse: the planned scale is the same number the
+	// simulator derives, so the drivers stay byte-identical even though
+	// the real sessions' dynamic block reuse differs step to step.
+	scale := cluster.PolicyComputeScale(e.cfg.StepPolicy, e.profile, views)
 	lat := cluster.StepLatency(cluster.SystemFlashPS, e.profile, views)
+	lat *= scale
 	if aligned != 1 {
 		lat = float64(aligned) * lat
 	}
@@ -325,7 +339,7 @@ func (e *realExecutor) RunSteps(worker int, batch []batching.StepView, aligned i
 	}
 	// Same call, same arguments as the simulator's executor: the
 	// differential byte-identity extends to the profile stream.
-	cluster.RecordStepCost(e.cfg.Obs, cluster.SystemFlashPS, e.profile, batch, aligned, lat)
+	cluster.RecordStepCost(e.cfg.Obs, cluster.SystemFlashPS, e.profile, batch, aligned, lat, scale)
 	return lat
 }
 

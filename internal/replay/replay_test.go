@@ -244,3 +244,64 @@ func TestReplayRejectsBadConfig(t *testing.T) {
 		t.Fatal("want error for invalid model")
 	}
 }
+
+// TestDifferentialReplayPolicy extends the byte-identity contract to the
+// adaptive step-caching policies: the real driver's sessions genuinely
+// reuse block residuals, yet both drivers advance virtual time by the
+// shared decision-visible planned pricing, so decisions, telemetry, and
+// per-request timings must still match exactly — and block reuse must not
+// skip denoising steps (every session computes all of them).
+func TestDifferentialReplayPolicy(t *testing.T) {
+	reqs := replayTrace(t, 120)
+	for _, policy := range []string{"block", "layer", "timestep", "combined"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			cfg := Config{
+				Model:      replayModel,
+				Profile:    perfmodel.SD21Paper,
+				Workers:    2,
+				MaxBatch:   4,
+				Policy:     batching.MaskAware,
+				Batching:   cluster.BatchingDisaggregated,
+				StepPolicy: policy,
+				Seed:       11,
+			}
+			simPlane := obs.NewPlane(obs.PlaneConfig{})
+			cfg.Obs = simPlane
+			simRes, simDec, err := Sim(cfg, reqs)
+			if err != nil {
+				t.Fatalf("sim driver: %v", err)
+			}
+			realPlane := obs.NewPlane(obs.PlaneConfig{})
+			cfg.Obs = realPlane
+			realRes, realDec, err := Real(cfg, reqs)
+			if err != nil {
+				t.Fatalf("real driver: %v", err)
+			}
+			if err := Diff(simDec, realDec); err != nil {
+				t.Fatalf("decision sequences diverge: %v", err)
+			}
+			assertPlanesIdentical(t, simPlane, realPlane, len(reqs))
+			if want := len(reqs) * replayModel.Steps; realRes.StepsComputed != want {
+				t.Fatalf("real driver computed %d denoising steps, want %d (block reuse must not skip steps)",
+					realRes.StepsComputed, want)
+			}
+			if !approxEq(simRes.Makespan, realRes.Makespan) {
+				t.Fatalf("makespan: sim %g, real %g", simRes.Makespan, realRes.Makespan)
+			}
+			// The policy must make the run cheaper than the same run priced
+			// at full compute, or the pricing is vacuous.
+			base := cfg
+			base.StepPolicy = ""
+			base.Obs = nil
+			baseRes, _, err := Sim(base, reqs)
+			if err != nil {
+				t.Fatalf("baseline sim: %v", err)
+			}
+			if simRes.Makespan >= baseRes.Makespan {
+				t.Fatalf("policy %s makespan %g not below baseline %g",
+					policy, simRes.Makespan, baseRes.Makespan)
+			}
+		})
+	}
+}

@@ -207,6 +207,11 @@ type EditRequestAPI struct {
 	// Mode selects the inference strategy: "" or "flashps" (mask-aware
 	// cached), "full", "naive", "teacache".
 	Mode string `json:"mode,omitempty"`
+	// Policy selects an adaptive step-caching policy ("block", "layer",
+	// "timestep", "combined", or "off"). Empty defers to the server's
+	// SLO-class mapping, then its default. Composes with "" / "flashps" /
+	// "full" modes only.
+	Policy string `json:"policy,omitempty"`
 	// ReturnImage includes the PNG (base64) in the response.
 	ReturnImage bool `json:"return_image,omitempty"`
 	// DeadlineMS, when > 0, bounds the request's end-to-end time: once
@@ -235,6 +240,11 @@ type EditResponse struct {
 	Retries int `json:"retries,omitempty"`
 	// DeadlineMS echoes the request's deadline_ms.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Policy echoes the effective step-caching policy ("off" when none),
+	// and ReusedBlockRatio reports the fraction of transformer-block
+	// executions served from stale residuals under that policy.
+	Policy           string  `json:"policy,omitempty"`
+	ReusedBlockRatio float64 `json:"reused_block_ratio,omitempty"`
 }
 
 // Health is the /healthz readiness report. Status is "ok", "starting"

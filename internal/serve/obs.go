@@ -116,15 +116,21 @@ func (o *serveObs) bindStore(store *cache.TieredStore) {
 		func() float64 { return float64(host().Pinned) })
 	o.reg.GaugeVecFunc("flashps_cache_occupancy_bytes",
 		"Per-tier cache occupancy in bytes (disk: physical bytes after dedup)",
-		func() []obs.LabeledValue { return tierValues(store, func(t cache.TierStats) float64 { return float64(t.UsedBytes) }) },
+		func() []obs.LabeledValue {
+			return tierValues(store, func(t cache.TierStats) float64 { return float64(t.UsedBytes) })
+		},
 		"tier")
 	o.reg.GaugeVecFunc("flashps_cache_capacity_bytes",
 		"Per-tier cache capacity in bytes (0 = unbounded)",
-		func() []obs.LabeledValue { return tierValues(store, func(t cache.TierStats) float64 { return float64(t.CapacityBytes) }) },
+		func() []obs.LabeledValue {
+			return tierValues(store, func(t cache.TierStats) float64 { return float64(t.CapacityBytes) })
+		},
 		"tier")
 	o.reg.GaugeVecFunc("flashps_cache_entries",
 		"Templates stored per cache tier",
-		func() []obs.LabeledValue { return tierValues(store, func(t cache.TierStats) float64 { return float64(t.Entries) }) },
+		func() []obs.LabeledValue {
+			return tierValues(store, func(t cache.TierStats) float64 { return float64(t.Entries) })
+		},
 		"tier")
 	if store.HasSpill() {
 		o.reg.GaugeFunc("flashps_cache_disk_hits",

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flashps/internal/batching"
+	"flashps/internal/perfmodel"
+)
+
+// newPolicyServer builds a server with the given step-policy defaults on
+// the standard test model.
+func newPolicyServer(t testing.TB, cfg func(*Config)) *Server {
+	t.Helper()
+	c := Config{
+		Model:    testModel,
+		Profile:  perfmodel.SD21Paper,
+		Workers:  1,
+		MaxBatch: 4, PreWorkers: 2, PostWorkers: 2,
+		Policy: batching.MaskAware,
+		Seed:   42,
+	}
+	if cfg != nil {
+		cfg(&c)
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestEditPolicyEcho(t *testing.T) {
+	s := newTestServer(t, 1)
+	prepareTemplate(t, s, 1)
+	resp, err := s.SubmitEdit(context.Background(), EditRequestAPI{
+		TemplateID: 1, Prompt: "edit", Seed: 3, Policy: "block",
+		Mask: MaskSpec{Type: "ratio", Ratio: 0.3, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Policy != "block" {
+		t.Fatalf("Policy = %q, want block", resp.Policy)
+	}
+	if resp.ReusedBlockRatio <= 0 || resp.ReusedBlockRatio >= 1 {
+		t.Fatalf("ReusedBlockRatio = %v, want in (0,1)", resp.ReusedBlockRatio)
+	}
+	if resp.StepsComputed != testModel.Steps {
+		t.Fatalf("block reuse must not skip steps: %d", resp.StepsComputed)
+	}
+
+	// No policy anywhere → the response says so and reports no reuse.
+	resp, err = s.SubmitEdit(context.Background(), EditRequestAPI{
+		TemplateID: 1, Prompt: "edit", Seed: 3,
+		Mask: MaskSpec{Type: "ratio", Ratio: 0.3, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Policy != "off" || resp.ReusedBlockRatio != 0 {
+		t.Fatalf("uncached edit: policy=%q reused=%v", resp.Policy, resp.ReusedBlockRatio)
+	}
+}
+
+func TestEditPolicyDefaultsAndClassMapping(t *testing.T) {
+	s := newPolicyServer(t, func(c *Config) {
+		c.StepPolicy = "timestep"
+		c.StepPolicyByClass = map[string]string{"interactive": "layer"}
+	})
+	prepareTemplate(t, s, 1)
+	submit := func(ratio float64, policy string) EditResponse {
+		t.Helper()
+		resp, err := s.SubmitEdit(context.Background(), EditRequestAPI{
+			TemplateID: 1, Prompt: "edit", Seed: 3, Policy: policy,
+			Mask: MaskSpec{Type: "ratio", Ratio: ratio, Seed: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	// Small mask → interactive class → the class mapping wins.
+	if resp := submit(0.1, ""); resp.Policy != "layer" {
+		t.Fatalf("interactive request: policy = %q, want layer", resp.Policy)
+	}
+	// Larger mask → standard class, no mapping entry → server default.
+	if resp := submit(0.3, ""); resp.Policy != "timestep" {
+		t.Fatalf("standard request: policy = %q, want timestep", resp.Policy)
+	}
+	// Explicit request knob beats both server defaults.
+	if resp := submit(0.1, "combined"); resp.Policy != "combined" {
+		t.Fatalf("override request: policy = %q, want combined", resp.Policy)
+	}
+	if resp := submit(0.1, "off"); resp.Policy != "off" || resp.ReusedBlockRatio != 0 {
+		t.Fatalf("off override: policy=%q reused=%v", resp.Policy, resp.ReusedBlockRatio)
+	}
+}
+
+func TestEditPolicySkippedForApproximationModes(t *testing.T) {
+	// A server-wide default must not leak into TeaCache/naive requests
+	// (those modes don't compose with step policies), but an explicit
+	// per-request combination is the client's error.
+	s := newPolicyServer(t, func(c *Config) { c.StepPolicy = "block" })
+	prepareTemplate(t, s, 1)
+	resp, err := s.SubmitEdit(context.Background(), EditRequestAPI{
+		TemplateID: 1, Prompt: "edit", Seed: 3, Mode: "teacache",
+		Mask: MaskSpec{Type: "ratio", Ratio: 0.3, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Policy != "off" {
+		t.Fatalf("teacache + server default: policy = %q, want off", resp.Policy)
+	}
+	_, err = s.SubmitEdit(context.Background(), EditRequestAPI{
+		TemplateID: 1, Prompt: "edit", Seed: 3, Mode: "teacache", Policy: "block",
+		Mask: MaskSpec{Type: "ratio", Ratio: 0.3, Seed: 2},
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("teacache + explicit policy: err = %v", err)
+	}
+}
+
+func TestEditPolicyInvalid(t *testing.T) {
+	s := newTestServer(t, 1)
+	prepareTemplate(t, s, 1)
+	_, err := s.SubmitEdit(context.Background(), EditRequestAPI{
+		TemplateID: 1, Prompt: "edit", Seed: 3, Policy: "wat",
+		Mask: MaskSpec{Type: "full"},
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeInvalidRequest {
+		t.Fatalf("unknown policy: err = %v", err)
+	}
+}
+
+func TestConfigPolicyValidation(t *testing.T) {
+	base := Config{
+		Model: testModel, Profile: perfmodel.SD21Paper,
+		Workers: 1, MaxBatch: 4, PreWorkers: 1, PostWorkers: 1,
+		Policy: batching.MaskAware, Seed: 42,
+	}
+	bad := base
+	bad.StepPolicy = "wat"
+	if _, err := New(bad); err == nil {
+		t.Fatal("unknown default step policy accepted")
+	}
+	bad = base
+	bad.StepPolicyByClass = map[string]string{"interactive": "wat"}
+	if _, err := New(bad); err == nil {
+		t.Fatal("unknown per-class step policy accepted")
+	}
+}

@@ -44,6 +44,17 @@ type Config struct {
 	// postprocessing inline on the engine loop (the Fig 10-Top defect),
 	// for apples-to-apples comparison against the simulator.
 	Discipline batching.Discipline
+	// StepPolicy is the default adaptive step-caching policy applied to
+	// requests that do not name one ("block", "layer", "timestep",
+	// "combined"; "" or "off" disables). It composes with the flashps/full
+	// modes; TeaCache and naive-skip requests ignore the default.
+	StepPolicy string
+	// StepPolicyByClass maps SLO-class names (obs.DefaultSLOClasses:
+	// "interactive", "standard", "relaxed") to step-policy names, letting
+	// tight-deadline small-mask classes run leaner policies than relaxed
+	// full-image edits. It is consulted after the request's own policy
+	// field and before StepPolicy.
+	StepPolicyByClass map[string]string
 	// MaxQueue, when > 0, bounds each worker's outstanding requests;
 	// submissions beyond it first try to shed a larger-mask outstanding
 	// job and otherwise are rejected immediately (admission control /
@@ -223,6 +234,14 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
 	}
+	if _, err := diffusion.PolicyByName(cfg.StepPolicy); err != nil {
+		return nil, fmt.Errorf("serve: step policy: %v", err)
+	}
+	for class, name := range cfg.StepPolicyByClass {
+		if _, err := diffusion.PolicyByName(name); err != nil {
+			return nil, fmt.Errorf("serve: step policy for class %q: %v", class, err)
+		}
+	}
 	est, err := perfmodel.ServingEstimator(cfg.Profile, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -341,28 +360,45 @@ func (s *Server) Obs() *obs.Plane { return s.obs.plane }
 // against this same profile for the features to line up.
 func (s *Server) EngineProfile() perfmodel.ModelProfile { return s.engProfile }
 
-// stepFLOPs is the mask-aware FLOP feature for one denoising step of one
-// session, from the engine profile: cached modes compute masked rows, full
-// and teacache compute every row, and classifier-free guidance doubles the
-// work. Recorded on denoise_step cost samples; the digital twin computes
-// the identical feature at prediction time.
-func (s *Server) stepFLOPs(j *job) float64 {
+// blockFLOPs is the mask-aware FLOP feature for one transformer-block
+// forward pass of one session, from the engine profile: cached modes
+// compute masked rows, full and teacache compute every row. Multiplied by
+// the session's computed-block count it yields the step's actual FLOPs —
+// reused blocks and TeaCache-skipped steps contribute zero, so the cost
+// samples stay honest for calibration. The digital twin computes the
+// identical per-block feature at prediction time.
+func (s *Server) blockFLOPs(j *job) float64 {
 	mode := j.mode
 	if j.degraded {
 		mode = diffusion.EditFull
 	}
-	var f float64
 	switch mode {
 	case diffusion.EditCachedY, diffusion.EditCachedKV, diffusion.EditNaiveSkip:
-		f = s.engProfile.BlockFLOPsMasked(j.ratio)
+		return s.engProfile.BlockFLOPsMasked(j.ratio)
 	default: // EditFull, EditTeaCache
-		f = s.engProfile.BlockFLOPsFull()
+		return s.engProfile.BlockFLOPsFull()
 	}
-	f *= float64(s.engProfile.Blocks)
-	if s.cfg.Model.GuidanceScale > 0 {
-		f *= 2
+}
+
+// stepPolicyFor resolves the effective step-caching policy for a job:
+// the request's own policy field, then the SLO-class mapping keyed by the
+// rasterized mask ratio, then the server default. Server-side defaults are
+// skipped for modes a policy cannot compose with, so a plain teacache
+// request never trips the engine's composability check.
+func (s *Server) stepPolicyFor(j *job) string {
+	if p := j.api.Policy; p != "" {
+		return p
 	}
-	return f
+	if j.mode == diffusion.EditTeaCache || j.mode == diffusion.EditNaiveSkip {
+		return ""
+	}
+	if len(s.cfg.StepPolicyByClass) > 0 {
+		class := obs.ClassFor(obs.DefaultSLOClasses, j.ratio)
+		if p, ok := s.cfg.StepPolicyByClass[class.Name]; ok {
+			return p
+		}
+	}
+	return s.cfg.StepPolicy
 }
 
 // Decisions returns the batching core's decision sequence so far: every
@@ -506,6 +542,9 @@ func (s *Server) CacheStats() CacheStatsResponse {
 func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditResponse, error) {
 	mode, err := parseMode(api.Mode)
 	if err != nil {
+		return EditResponse{}, apiErrorf(CodeInvalidRequest, false, "%v", err)
+	}
+	if _, err := diffusion.PolicyByName(api.Policy); err != nil {
 		return EditResponse{}, apiErrorf(CodeInvalidRequest, false, "%v", err)
 	}
 	j := &job{
@@ -851,6 +890,7 @@ func (s *Server) preprocess(j *job) error {
 		Prompt:   j.api.Prompt,
 		Seed:     j.api.Seed,
 		Mode:     mode,
+		Policy:   s.stepPolicyFor(j),
 	})
 	if err != nil {
 		return apiErrorf(CodeInvalidRequest, false, "%v", err)
@@ -937,6 +977,10 @@ func (s *Server) postprocess(j *job) {
 		DegradedReason: j.degradedReason,
 		Retries:        int(j.attempts.Load()),
 		DeadlineMS:     j.deadlineMS,
+		Policy:         j.session.Policy(),
+	}
+	if r := j.session.ReusedBlockRatio(); r > 0 {
+		resp.ReusedBlockRatio = r
 	}
 	s.completed.Add(1)
 	s.total.Add(resp.TotalMS)

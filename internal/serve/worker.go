@@ -250,9 +250,17 @@ func (w *worker) runOnce() (crashed bool) {
 			w.srv.obs.span(j.id, stageDenoiseStep, w.id, ts, stepDur,
 				map[string]float64{"step": float64(stepIdx), "batch": batch})
 			if err == nil {
+				// The session reports what the step actually executed:
+				// computed blocks carry real FLOPs, policy-reused blocks
+				// and TeaCache-skipped steps carry none. The split rides
+				// on the sample so calibration can exclude (or featureize)
+				// approximated steps instead of fitting an inflated law.
+				computed, reused := j.session.LastStepBlocks()
 				w.srv.obs.cost(obs.CostSample{Stage: obs.CostStageDenoiseStep,
 					Units: 1, Batch: len(w.running), MaskSum: j.ratio,
-					FLOPs: w.srv.stepFLOPs(j), Seconds: stepDur.Seconds()})
+					FLOPs:          w.srv.blockFLOPs(j) * float64(computed),
+					BlocksComputed: computed, BlocksReused: reused,
+					Seconds: stepDur.Seconds()})
 			}
 			if err != nil {
 				w.removeOutstanding(j)
