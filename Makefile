@@ -1,16 +1,17 @@
 GO ?= go
 
-.PHONY: all check build test vet race faults cache-stress replay-diff obs-lint calib-gate bench bench-smoke bench-diffusion bench-diffusion-smoke bench-kernels bench-serve whatif experiments fuzz clean
+.PHONY: all check build test vet race faults cache-stress replay-diff fleet-diff obs-lint calib-gate bench bench-smoke bench-diffusion bench-diffusion-smoke bench-kernels bench-serve bench-serve-fleet-smoke whatif experiments fuzz clean
 
 all: check
 
 # The default gate: build, vet, full test suite, the race detector over
 # the concurrent packages, the fault-injection suite, the tiered-store
 # stress drill, the sim-vs-real differential replay (decisions, timings,
-# AND byte-identical telemetry), the observability lint/golden gate, the
-# calibration accuracy gate, and a one-iteration benchmark smoke pass so
-# the benchmarks themselves can't rot.
-check: build vet test race faults cache-stress replay-diff obs-lint calib-gate bench-smoke bench-diffusion-smoke
+# AND byte-identical telemetry), the fleet differential replay, the
+# observability lint/golden gate, the calibration accuracy gate, and
+# one-iteration benchmark smoke passes (including a fleet router sweep)
+# so the benchmarks themselves can't rot.
+check: build vet test race faults cache-stress replay-diff fleet-diff obs-lint calib-gate bench-smoke bench-diffusion-smoke bench-serve-fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +43,12 @@ cache-stress:
 # The prefix also matches TestDifferentialReplayColdCache.
 replay-diff:
 	$(GO) test -race -count=1 ./internal/replay/ -run TestDifferentialReplay
+
+# The fleet half of the unification proof: admission decisions, routing
+# choices, scale events, and telemetry must be byte-identical between the
+# virtual-time fleet driver and the real-engine fleet driver.
+fleet-diff:
+	$(GO) test -race -count=1 ./internal/replay/ -run TestDifferentialReplayFleet
 
 # Observability hygiene under the race detector: every registered metric
 # matches the naming rule and is documented, the Prometheus exposition
@@ -85,9 +92,15 @@ bench-kernels:
 # Serving-plane benchmark: drive a fixed open-loop workload through the
 # in-process server (real engines on a reduced model) and write latency
 # percentiles, goodput, steps/s, and SLO attainment as JSON, plus the
-# coefficient set fitted from the run's telemetry.
+# coefficient set fitted from the run's telemetry. The 4-replica router
+# sweep reports least-loaded vs template-affinity side by side.
 bench-serve:
-	$(GO) run ./cmd/flashps-servebench -o BENCH_serve.json -calib BENCH_calib.json
+	$(GO) run ./cmd/flashps-servebench -o BENCH_serve.json -calib BENCH_calib.json -replicas 4 -router-sweep
+
+# Fast fleet variant for make check: a small router sweep that proves the
+# fleet serving path (admission, routing, staging, /v1/fleet) can't rot.
+bench-serve-fleet-smoke:
+	$(GO) run ./cmd/flashps-servebench -smoke -replicas 3 -router-sweep -o /dev/null
 
 # Capacity prediction from the fitted coefficients — no server involved.
 whatif:

@@ -15,6 +15,7 @@
 //	flashps-client -addr http://localhost:8005 -unpin -template 1
 //	flashps-client -addr http://localhost:8005 -cache-stats
 //	flashps-client -addr http://localhost:8005 -load -n 50 -rps 4 -templates 1,2
+//	flashps-client -addr http://localhost:8005 -fleet
 //	flashps-client -addr http://localhost:8005 -stats
 //
 // Server errors arrive as the structured JSON envelope documented in
@@ -53,6 +54,7 @@ func main() {
 		unpin      = flag.Bool("unpin", false, "clear a template's pin")
 		cacheStats = flag.Bool("cache-stats", false, "fetch per-tier cache statistics")
 		load       = flag.Bool("load", false, "run an open-loop Poisson workload")
+		fleetSnap  = flag.Bool("fleet", false, "fetch the fleet control-plane snapshot (per-replica table)")
 		stats      = flag.Bool("stats", false, "fetch server statistics")
 		template   = flag.Uint64("template", 1, "template id")
 		tplList    = flag.String("templates", "1", "comma-separated template ids for -load")
@@ -175,6 +177,24 @@ func main() {
 		}
 		if err := c.runLoad(templates, d, *n, *rps, *seed, *deadline, *policy); err != nil {
 			fatal(err)
+		}
+	case *fleetSnap:
+		var fl serve.FleetResponse
+		if err := c.get("/v1/fleet", &fl); err != nil {
+			fatal(err)
+		}
+		autoscaleState := "off"
+		if fl.Autoscale {
+			autoscaleState = "on"
+		}
+		fmt.Printf("fleet: router %s, autoscale %s, %d replicas\n",
+			fl.Router, autoscaleState, len(fl.Replicas))
+		fmt.Printf("%-4s %-9s %-6s %-6s %-20s %s\n",
+			"id", "state", "alive", "queue", "templates", "staged")
+		for _, r := range fl.Replicas {
+			fmt.Printf("%-4d %-9s %-6v %-6d %-20s %s\n",
+				r.ID, r.State, r.Alive, r.QueueDepth,
+				formatIDs(r.Templates), formatIDs(r.StagedTemplates))
 		}
 	case *stats:
 		var st serve.Stats
@@ -311,6 +331,18 @@ func (c *client) runLoad(templates []uint64, dist workload.MaskDist, n int, rps 
 			policy, reusedSum/float64(total.Count())*100)
 	}
 	return nil
+}
+
+// formatIDs renders a replica's template-id list compactly ("-" when empty).
+func formatIDs(ids []uint64) string {
+	if len(ids) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.FormatUint(id, 10)
+	}
+	return strings.Join(parts, ",")
 }
 
 func parseIDs(s string) ([]uint64, error) {

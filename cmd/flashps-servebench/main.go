@@ -16,6 +16,14 @@
 //	flashps-servebench -o BENCH_serve.json
 //	flashps-servebench -requests 400 -rate 800 -workers 4 -obs-out obs/
 //	flashps-servebench -calib BENCH_calib.json
+//
+// Fleet mode: -replicas (alias of -workers) sizes the fleet, -router picks
+// the fleet routing policy, and -router-sweep re-serves the same workload
+// under the alternate routers so BENCH_serve.json carries a side-by-side
+// least-loaded vs template-affinity comparison (-smoke shrinks the run for
+// CI):
+//
+//	flashps-servebench -replicas 4 -router-sweep -o BENCH_serve.json
 package main
 
 import (
@@ -55,15 +63,57 @@ func main() {
 		obsOut    = flag.String("obs-out", "", "also write metrics.prom, trace.json, dash.html, profile.jsonl here")
 		par       = flag.Int("par", runtime.GOMAXPROCS(0), "kernel worker parallelism (1 = serial)")
 		coldTpls  = flag.Int("cold-templates", 0, "also run a cold-cache pass with this many templates resident only on the disk tier, reported side by side (0 = skip)")
+
+		router      = flag.String("router", "", "fleet request router: core|least-loaded|affinity")
+		routerSweep = flag.Bool("router-sweep", false,
+			"re-serve the workload under the alternate fleet routers and report the rows side by side")
+		stagedTpls = flag.Int("staged-templates", 0,
+			"per-replica staged-template LRU capacity (0 = -templates when the affinity router runs, else off)")
+		smoke = flag.Bool("smoke", false, "CI smoke sizing: -n 60 -rate 600 unless overridden")
 	)
 	flag.IntVar(n, "requests", 500, "alias for -n")
+	flag.IntVar(workers, "replicas", 2, "alias for -workers (fleet size)")
 	flag.Float64Var(rps, "rate", 1400, "alias for -rps")
 	flag.Parse()
 	tensor.SetParallelism(*par)
+	if *smoke {
+		if *n == 500 {
+			*n = 60
+		}
+		if *rps == 1400 {
+			*rps = 600
+		}
+	}
 
-	res, err := run(*n, *rps, *workers, *maxBatch, *templates, *seed, *obsOut, *calib)
+	cfg := benchConfig{
+		n: *n, rps: *rps, workers: *workers, maxBatch: *maxBatch,
+		templates: *templates, seed: *seed,
+		router: *router, stagedTemplates: *stagedTpls,
+		obsOut: *obsOut, calib: *calib,
+	}
+	if cfg.router == "" && *routerSweep {
+		cfg.router = "least-loaded"
+	}
+	res, err := run(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *routerSweep {
+		for _, alt := range []string{"least-loaded", "affinity"} {
+			if alt == cfg.router {
+				continue
+			}
+			altCfg := cfg
+			altCfg.router, altCfg.obsOut, altCfg.calib = alt, "", ""
+			row, err := run(altCfg)
+			if err != nil {
+				fatal(fmt.Errorf("router sweep %s: %w", alt, err))
+			}
+			res.RouterSweep = append(res.RouterSweep, row)
+			fmt.Printf("router sweep: %-12s P99 %.1fms  goodput %.2f rps  slo %.3f  (vs %s P99 %.1fms  goodput %.2f rps  slo %.3f)\n",
+				alt, row.P99MS, row.GoodputRPS, row.SLOAttainment,
+				cfg.router, res.P99MS, res.GoodputRPS, res.SLOAttainment)
+		}
 	}
 	if *coldTpls > 0 {
 		cold, err := runCold(*n, *rps, *workers, *maxBatch, *coldTpls, *seed)
@@ -92,14 +142,34 @@ func main() {
 	}
 }
 
-func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsOut, calib string) (*benchfmt.ServeResult, error) {
+// benchConfig shapes one measured pass: workload sizing plus the fleet
+// knobs the sweep varies between rows.
+type benchConfig struct {
+	n               int
+	rps             float64
+	workers         int
+	maxBatch        int
+	templates       int
+	seed            uint64
+	router          string
+	stagedTemplates int
+	obsOut, calib   string
+}
+
+func run(cfg benchConfig) (*benchfmt.ServeResult, error) {
+	staged := cfg.stagedTemplates
+	if staged == 0 && cfg.router == "affinity" {
+		staged = cfg.templates
+	}
 	srv, err := serve.New(serve.Config{
 		Model:    benchModel,
 		Profile:  perfmodel.SD21Paper,
-		Workers:  workers,
-		MaxBatch: maxBatch, PreWorkers: 2, PostWorkers: 2,
-		Policy: batching.MaskAware,
-		Seed:   seed,
+		Workers:  cfg.workers,
+		MaxBatch: cfg.maxBatch, PreWorkers: 2, PostWorkers: 2,
+		Policy:          batching.MaskAware,
+		Seed:            cfg.seed,
+		Router:          cfg.router,
+		StagedTemplates: staged,
 	})
 	if err != nil {
 		return nil, err
@@ -107,7 +177,7 @@ func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsO
 	srv.Start()
 	defer srv.Close()
 
-	ids := make([]uint64, templates)
+	ids := make([]uint64, cfg.templates)
 	for i := range ids {
 		ids[i] = uint64(i + 1)
 		if _, err := srv.Prepare(serve.PrepareRequest{
@@ -118,38 +188,38 @@ func run(n int, rps float64, workers, maxBatch, templates int, seed uint64, obsO
 	}
 
 	load, err := serve.RunLoad(context.Background(), srv, serve.LoadGenConfig{
-		RPS: rps, N: n, Dist: workload.ProductionTrace,
-		Templates: ids, Seed: seed,
+		RPS: cfg.rps, N: cfg.n, Dist: workload.ProductionTrace,
+		Templates: ids, Seed: cfg.seed,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	res := collect(srv, load, n, workers)
-	if calib != "" {
+	res := collect(srv, load, cfg.n, cfg.workers, cfg.router)
+	if cfg.calib != "" {
 		plane := srv.Obs()
 		elapsed := load.Elapsed.Seconds()
 		coeffs, err := perfmodel.FitFromTelemetry(perfmodel.FitConfig{
 			Profile:  srv.EngineProfile(),
 			Scoring:  perfmodel.SD21Paper.Name,
-			Seed:     seed,
+			Seed:     cfg.seed,
 			FittedAt: elapsed,
 		}, plane.Profile.Snapshot())
 		if err != nil {
 			return nil, fmt.Errorf("calibration fit: %w", err)
 		}
-		if err := perfmodel.SaveCoefficients(calib, coeffs); err != nil {
+		if err := perfmodel.SaveCoefficients(cfg.calib, coeffs); err != nil {
 			return nil, err
 		}
 		fit := coeffs.Fits["denoise_step"]
 		fmt.Printf("wrote %s: %d step samples, R² %.3f, residual %.3f\n",
-			calib, fit.Samples, fit.R2, fit.Residual)
+			cfg.calib, fit.Samples, fit.R2, fit.Residual)
 	}
-	if obsOut != "" {
-		if err := os.MkdirAll(obsOut, 0o755); err != nil {
+	if cfg.obsOut != "" {
+		if err := os.MkdirAll(cfg.obsOut, 0o755); err != nil {
 			return nil, err
 		}
-		if err := srv.Obs().WriteArtifacts(obsOut); err != nil {
+		if err := srv.Obs().WriteArtifacts(cfg.obsOut); err != nil {
 			return nil, err
 		}
 	}
@@ -219,18 +289,21 @@ func runCold(n int, rps float64, workers, maxBatch, templates int, seed uint64) 
 	if err != nil {
 		return nil, err
 	}
-	return collect(srv, load, n, workers), nil
+	return collect(srv, load, n, workers, ""), nil
 }
 
 // collect builds the ServeResult for one completed load run.
-func collect(srv *serve.Server, load *serve.LoadGenResult, n, workers int) *benchfmt.ServeResult {
+func collect(srv *serve.Server, load *serve.LoadGenResult, n, workers int, router string) *benchfmt.ServeResult {
 	plane := srv.Obs()
 	attained, _ := plane.SLO.Counts()
 	elapsed := load.Elapsed.Seconds()
 	completed := load.Total.Count()
+	meta := benchfmt.CollectMeta()
+	meta.Replicas = workers
 	return &benchfmt.ServeResult{
-		Meta:          benchfmt.CollectMeta(),
+		Meta:          meta,
 		Model:         benchModel.Name,
+		Router:        router,
 		Requests:      n,
 		Workers:       workers,
 		Errors:        load.Errors,

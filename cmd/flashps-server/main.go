@@ -29,6 +29,7 @@ import (
 
 	"flashps/internal/batching"
 	"flashps/internal/faults"
+	"flashps/internal/fleet"
 	"flashps/internal/model"
 	"flashps/internal/perfmodel"
 	"flashps/internal/serve"
@@ -62,6 +63,23 @@ func main() {
 			"default adaptive step-caching policy: off|block|layer|timestep|combined")
 		stepPolicyByClass = flag.String("step-policy-by-class", "",
 			`per-SLO-class step policies, e.g. "interactive=off,standard=layer,relaxed=combined"`)
+
+		router = flag.String("router", "",
+			"fleet request router: core|least-loaded|affinity (default: scheduler core places directly)")
+		maxReplicas = flag.Int("max-replicas", 0,
+			"replica pool ceiling for the autoscaler (0 = fixed fleet of -workers)")
+		autoscale = flag.Bool("autoscale", false,
+			"arm the SLO-driven autoscaler between -workers and -max-replicas")
+		autoscaleInterval = flag.Float64("autoscale-interval", 0,
+			"autoscaler tick period in seconds (0 = default 1s)")
+		admitRate = flag.Float64("admit-rate", 0,
+			"admission token-bucket refill rate in requests/s (0 = no rate limit)")
+		admitBurst = flag.Float64("admit-burst", 0,
+			"admission token-bucket burst (0 = same as -admit-rate)")
+		admitMinServiceMS = flag.Float64("admit-min-service-ms", 0,
+			"reject deadlines below this service floor at admission (0 = off)")
+		stagedTemplates = flag.Int("staged-templates", 0,
+			"per-replica staged-template LRU capacity (0 = staging off)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -110,6 +128,14 @@ func main() {
 		MaxRetries: *maxRetries, RetryBackoff: *retryBO,
 		WorkerRestartDelay: *restartDly, CacheLoadTimeout: *cacheTO,
 		Faults: inj,
+		Router: *router, MaxReplicas: *maxReplicas,
+		AdmitRate: *admitRate, AdmitBurst: *admitBurst,
+		AdmitMinServiceMS: *admitMinServiceMS,
+		StagedTemplates:   *stagedTemplates,
+		Autoscale: fleet.AutoscaleConfig{
+			Enabled:  *autoscale,
+			Interval: *autoscaleInterval,
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -129,6 +155,14 @@ func main() {
 
 	fmt.Printf("INFO: FlashPS serving %s with %d workers (policy %s, batching %s) on %s\n",
 		cfg.Name, *workers, pol, disc, *addr)
+	if *router != "" || *autoscale || *admitRate > 0 || *admitMinServiceMS > 0 {
+		pool := *workers
+		if *maxReplicas > pool {
+			pool = *maxReplicas
+		}
+		fmt.Printf("INFO: fleet plane armed: router %q, pool %d, autoscale %v (GET /v1/fleet)\n",
+			routerOrCore(*router), pool, *autoscale)
+	}
 	endpoints := "/metrics /healthz /debug/traces"
 	if !*noPprof {
 		endpoints += " /debug/pprof/"
@@ -137,6 +171,13 @@ func main() {
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}
+}
+
+func routerOrCore(name string) string {
+	if name == "" {
+		return "core"
+	}
+	return name
 }
 
 func modelByName(name string) (model.Config, error) {

@@ -26,6 +26,7 @@ import (
 	"flashps/internal/batching"
 	"flashps/internal/cluster"
 	"flashps/internal/experiments"
+	"flashps/internal/fleet"
 	"flashps/internal/metrics"
 	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
@@ -53,6 +54,11 @@ func main() {
 		profile  = flag.String("profile", "sd21", "sim: model/GPU profile name")
 		cold     = flag.Int("cold", 0, "sim: per-worker host cache capacity in templates (0 = all warm)")
 		obsOut   = flag.String("obs-out", "", "sim: directory for metrics.prom, trace.json, dash.html")
+
+		router      = flag.String("router", "", "sim: fleet router (least-loaded|affinity) — arms the fleet pipeline")
+		replicas    = flag.Int("replicas", 0, "sim: initially active fleet replicas (0 = -workers)")
+		maxReplicas = flag.Int("max-replicas", 0, "sim: fleet replica pool ceiling (0 = -replicas)")
+		autoscale   = flag.Bool("autoscale", false, "sim: arm the SLO-driven autoscaler")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -104,6 +110,8 @@ func main() {
 			n: *n, rps: *rps, dist: *dist, templates: *tpls, seed: *seed,
 			workers: *workers, maxBatch: *maxBatch, batching: *disc,
 			policy: *policy, profile: *profile, cold: *cold, obsOut: *obsOut,
+			router: *router, replicas: *replicas, maxReplicas: *maxReplicas,
+			autoscale: *autoscale,
 		}); err != nil {
 			fatal(err)
 		}
@@ -125,6 +133,10 @@ type simFlags struct {
 	profile           string
 	cold              int
 	obsOut            string
+
+	router                string
+	replicas, maxReplicas int
+	autoscale             bool
 }
 
 // runSim drives the discrete-event simulator with a telemetry plane bound
@@ -153,7 +165,7 @@ func runSim(f simFlags) error {
 		return err
 	}
 	plane := obs.NewPlane(obs.PlaneConfig{})
-	res, err := cluster.Run(cluster.Config{
+	cfg := cluster.Config{
 		Batching:           disc,
 		Policy:             pol,
 		Workers:            f.workers,
@@ -162,9 +174,40 @@ func runSim(f simFlags) error {
 		ColdCacheTemplates: f.cold,
 		Seed:               f.seed,
 		Obs:                plane,
-	}, reqs)
-	if err != nil {
-		return err
+	}
+	var res *cluster.Result
+	if f.router != "" {
+		rk, err := fleet.ParseRouter(f.router)
+		if err != nil {
+			return err
+		}
+		fres, err := cluster.RunFleet(cfg, fleet.Config{
+			Router:      rk,
+			Replicas:    f.replicas,
+			MaxReplicas: f.maxReplicas,
+			Autoscale:   fleet.AutoscaleConfig{Enabled: f.autoscale},
+		}, reqs)
+		if err != nil {
+			return err
+		}
+		res = &fres.Result
+		var ups, downs int
+		for _, e := range fres.Events {
+			switch e.Kind {
+			case fleet.EventScaleUp:
+				ups++
+			case fleet.EventScaleDown:
+				downs++
+			}
+		}
+		fmt.Printf("fleet: router %s, %d rejected, %d scale-ups, %d scale-downs\n",
+			f.router, fres.Rejected, ups, downs)
+	} else {
+		r, err := cluster.Run(cfg, reqs)
+		if err != nil {
+			return err
+		}
+		res = r
 	}
 	attained, total := plane.SLO.Counts()
 	fmt.Printf("simulated %d requests over %d workers (%s, %s, %s)\n",

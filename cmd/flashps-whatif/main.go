@@ -12,6 +12,13 @@
 //	flashps-servebench -calib BENCH_calib.json -o BENCH_serve.json
 //	flashps-whatif -coeffs BENCH_calib.json -rate 1400 -requests 500 -o -
 //	flashps-whatif -coeffs BENCH_calib.json -workers 8 -rate 4000
+//
+// With -drift-base it instead acts as the recalibration gate: compare the
+// -coeffs set against a baseline fit and exit non-zero when any coefficient's
+// symmetric relative delta exceeds -drift-threshold (or the engine profiles
+// are not comparable at all):
+//
+//	flashps-whatif -coeffs BENCH_calib.json -drift-base BENCH_calib_golden.json -drift-threshold 0.15
 package main
 
 import (
@@ -40,10 +47,22 @@ func main() {
 		discipline = flag.String("discipline", "disagg", "batching discipline: static|strawman|disagg")
 		policy     = flag.String("policy", "mask-aware", "routing policy: round-robin|least-requests|least-tokens|mask-aware")
 		out        = flag.String("o", "-", "output JSON file (- for stdout)")
+
+		driftBase = flag.String("drift-base", "",
+			"baseline coefficient set: compare -coeffs against it and exit 1 on drift instead of simulating")
+		driftThreshold = flag.Float64("drift-threshold", 0.15,
+			"max tolerated symmetric relative delta per coefficient in -drift-base mode")
 	)
 	flag.IntVar(n, "requests", 500, "alias for -n")
 	flag.Float64Var(rps, "rate", 1400, "alias for -rps")
 	flag.Parse()
+
+	if *driftBase != "" {
+		if err := runDrift(*driftBase, *coeffsPath, *driftThreshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	res, err := run(*coeffsPath, *n, *rps, *workers, *maxBatch, *templates, *seed, *discipline, *policy)
 	if err != nil {
@@ -153,6 +172,41 @@ func run(coeffsPath string, n int, rps float64, workers, maxBatch, templates int
 		StepsPerSec:   plane.StepsTotal() / elapsed,
 		MeanBatchSize: res.MeanBatchSize(),
 	}, nil
+}
+
+// runDrift is the recalibration gate (docs/CALIBRATION.md): it compares
+// the fitted set at otherPath against the baseline at basePath and exits
+// non-zero when the drift report trips the threshold. The full report goes
+// to stdout either way, worst coefficient first in the summary line.
+func runDrift(basePath, otherPath string, threshold float64) error {
+	base, err := perfmodel.LoadCoefficients(basePath)
+	if err != nil {
+		return err
+	}
+	other, err := perfmodel.LoadCoefficients(otherPath)
+	if err != nil {
+		return err
+	}
+	report := perfmodel.Drift(base, other)
+	if report.ProfileMismatch {
+		fmt.Printf("DRIFT: engine profiles differ (%s vs %s) — coefficient sets are not comparable\n",
+			base.Profile.Name, other.Profile.Name)
+	}
+	for _, e := range report.Entries {
+		marker := "  "
+		if e.RelDelta > threshold {
+			marker = "!!"
+		}
+		fmt.Printf("%s %-30s base %-12.6g other %-12.6g delta %.3f\n",
+			marker, e.Name, e.Base, e.Other, e.RelDelta)
+	}
+	if report.Exceeds(threshold) {
+		fmt.Printf("DRIFT: max delta %.3f at %s exceeds threshold %.3f — refit the baseline (docs/CALIBRATION.md)\n",
+			report.Max, report.MaxName, threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: max delta %.3f at %s within threshold %.3f\n", report.Max, report.MaxName, threshold)
+	return nil
 }
 
 func fatal(err error) {

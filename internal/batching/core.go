@@ -128,6 +128,15 @@ func (c *Core) Place(views []WorkerView, ids []int, item Item) int {
 	return id
 }
 
+// PlaceFixed records an externally routed placement (the fleet router
+// picked the worker before the core saw the request) as a KindPlace
+// decision with the same shape Place emits: Batch carries the candidate
+// count so differential replay can pin the router's view size. The core
+// stays the single writer of the decision log either way.
+func (c *Core) PlaceFixed(item Item, worker, candidates int) {
+	c.log.append(Decision{Kind: KindPlace, Request: item.ID, Worker: worker, Batch: candidates})
+}
+
 // AdmitBudget returns how many more requests the discipline lets worker's
 // running batch accept right now: Static admits only into an empty batch;
 // the continuous disciplines admit up to MaxBatch at every step boundary.

@@ -194,8 +194,35 @@ func (r *Runner) Submit(req workload.Request) {
 	wid := r.cfg.Core.Place(views, ids, Item{
 		ID: uint64(req.ID), MaskRatio: req.MaskRatio, Steps: r.cfg.CostSteps,
 	})
-	w := r.workers[wid]
+	r.start(req, r.workers[wid])
+}
 
+// SubmitTo routes a new request to an externally chosen worker (the fleet
+// router's pick), recording the placement through the core so the decision
+// log stays the single sequence both drivers compare. candidates is the
+// router's eligible-replica count at decision time.
+func (r *Runner) SubmitTo(req workload.Request, worker, candidates int) {
+	r.pending++
+	r.cfg.Core.PlaceFixed(Item{
+		ID: uint64(req.ID), MaskRatio: req.MaskRatio, Steps: r.cfg.CostSteps,
+	}, worker, candidates)
+	r.start(req, r.workers[worker])
+}
+
+// OutstandingCounts snapshots every worker's assigned-and-incomplete
+// request count (the fleet router's queue-depth view).
+func (r *Runner) OutstandingCounts() []int {
+	out := make([]int, len(r.workers))
+	for i, w := range r.workers {
+		out[i] = len(w.outstanding)
+	}
+	return out
+}
+
+// start runs the post-placement tail shared by Submit and SubmitTo:
+// register the request with its worker, pay the scheduler/preprocess
+// overheads, wait for cache staging, and enqueue at ready time.
+func (r *Runner) start(req workload.Request, w *runnerWorker) {
 	steps := r.cfg.Exec.TotalSteps(req)
 	tr := &runnerReq{Request: req, remSteps: steps, totalSteps: steps}
 	w.outstanding = append(w.outstanding, tr)

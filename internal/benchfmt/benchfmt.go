@@ -24,6 +24,10 @@ type Meta struct {
 	NumCPU      int    `json:"num_cpu"`
 	CPUModel    string `json:"cpu_model,omitempty"`
 	AVX2        bool   `json:"avx2"`
+	// Replicas records the fleet size a serving benchmark ran with (0 for
+	// single-replica runs predating the fleet plane) — a 4-replica P99 is
+	// not comparable to a 1-replica P99.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // CollectMeta gathers the run metadata. Fields that cannot be determined
@@ -83,6 +87,9 @@ type ServeResult struct {
 	// Model names the cost model behind a predicted result (the fitted
 	// coefficients' engine profile), or the live engine config.
 	Model string `json:"model,omitempty"`
+	// Router names the fleet routing policy the run used ("core",
+	// "least-loaded", "affinity"); empty for pre-fleet results.
+	Router string `json:"router,omitempty"`
 
 	Requests   int     `json:"requests"`
 	Workers    int     `json:"workers"`
@@ -109,6 +116,13 @@ type ServeResult struct {
 	// the spill tier's cost.
 	ColdTemplates int          `json:"cold_templates,omitempty"`
 	Cold          *ServeResult `json:"cold,omitempty"`
+
+	// RouterSweep holds flashps-servebench's optional router comparison
+	// (-router-sweep): the same fleet workload re-served under each
+	// alternate routing policy, one row per router, to compare against this
+	// (top-level) run. The rows isolate template-affinity's effect on tail
+	// latency and SLO goodput at a fixed replica count.
+	RouterSweep []*ServeResult `json:"router_sweep,omitempty"`
 }
 
 // DiffusionResult is the BENCH_diffusion.json schema, written by

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"testing"
+
+	"flashps/internal/fleet"
+	"flashps/internal/perfmodel"
+	"flashps/internal/workload"
+)
+
+// burstTrace builds a deterministic open-loop burst: n requests at the
+// given rate, all in the "standard" SLO class (6 s deadline).
+func burstTrace(n int, rps float64) []workload.Request {
+	reqs := make([]workload.Request, n)
+	for i := range reqs {
+		reqs[i] = workload.Request{
+			ID:        i + 1,
+			Arrival:   float64(i) / rps,
+			Template:  uint64(i%4 + 1),
+			MaskRatio: 0.3,
+		}
+	}
+	return reqs
+}
+
+// TestFleetAutoscalerScaleUpAndDrain is the acceptance demo for the
+// SLO-driven autoscaler, entirely in virtual time: a burst that swamps a
+// single replica drops windowed attainment, which scales the fleet up;
+// once the tail drains and traffic stops, idle ticks drain the fleet back
+// to the floor.
+func TestFleetAutoscalerScaleUpAndDrain(t *testing.T) {
+	cfg := Config{
+		System:   SystemFlashPS,
+		Batching: BatchingDisaggregated,
+		Policy:   PolicyMaskAware,
+		Workers:  1,
+		Profile:  perfmodel.SD21Paper,
+		MaxBatch: 2,
+		Seed:     11,
+	}
+	fc := fleet.Config{
+		Replicas:    1,
+		MaxReplicas: 3,
+		Router:      fleet.RouterLeastLoaded,
+		Autoscale: fleet.AutoscaleConfig{
+			Enabled: true, Interval: 2,
+			AttainBelow: 0.9, UpTicks: 2, IdleTicks: 2, Cooldown: 1, Min: 1,
+		},
+	}
+	reqs := burstTrace(60, 4)
+	res, err := RunFleet(cfg, fc, reqs)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if len(res.Stats)+res.Rejected != len(reqs) {
+		t.Fatalf("completed %d + rejected %d != %d submitted",
+			len(res.Stats), res.Rejected, len(reqs))
+	}
+	var ups, downs int
+	for _, e := range res.Events {
+		switch e.Kind {
+		case fleet.EventScaleUp:
+			ups++
+		case fleet.EventScaleDown:
+			downs++
+		}
+	}
+	if ups == 0 {
+		t.Fatalf("burst past a single replica's capacity produced no scale-up; events: %d", len(res.Events))
+	}
+	if downs == 0 {
+		t.Fatal("idle tail produced no drain")
+	}
+	active := 0
+	for _, s := range res.States {
+		if s == fleet.Active {
+			active++
+		} else if s == fleet.Draining {
+			t.Fatalf("fleet ended with a replica still draining: %v", res.States)
+		}
+	}
+	if active != 1 {
+		t.Fatalf("fleet should settle at the Min=1 floor, got %d active (%v)", active, res.States)
+	}
+
+	// The whole run is deterministic: a second run must replay the exact
+	// event sequence.
+	res2, err := RunFleet(cfg, fc, reqs)
+	if err != nil {
+		t.Fatalf("RunFleet (repeat): %v", err)
+	}
+	if err := fleet.DiffEvents(res.Events, res2.Events); err != nil {
+		t.Fatalf("fleet events not deterministic: %v", err)
+	}
+}
+
+// TestFleetAffinityRoutesToHolders pins the end-to-end affinity benefit
+// in the simulator: with per-replica cold-cache tiers, template-affinity
+// routing pays the disk staging once per (replica, template) and then
+// keeps hitting, so it must stage strictly fewer cold loads than
+// least-loaded routing over a template-skewed trace.
+func TestFleetAffinityRoutesToHolders(t *testing.T) {
+	reqs := make([]workload.Request, 120)
+	for i := range reqs {
+		reqs[i] = workload.Request{
+			ID:        i + 1,
+			Arrival:   float64(i) * 0.2,
+			Template:  uint64(i%6 + 1),
+			MaskRatio: 0.25,
+		}
+	}
+	cfg := Config{
+		System:             SystemFlashPS,
+		Batching:           BatchingDisaggregated,
+		Policy:             PolicyMaskAware,
+		Workers:            3,
+		Profile:            perfmodel.SD21Paper,
+		MaxBatch:           4,
+		ColdCacheTemplates: 2,
+		Seed:               11,
+	}
+	affinityHits := func(router fleet.RouterKind) (hits, total int) {
+		res, err := RunFleet(cfg, fleet.Config{Router: router}, reqs)
+		if err != nil {
+			t.Fatalf("RunFleet(%v): %v", router, err)
+		}
+		for _, e := range res.Events {
+			if e.Kind == fleet.EventRoute {
+				total++
+				if e.Affinity {
+					hits++
+				}
+			}
+		}
+		return hits, total
+	}
+	llHits, llTotal := affinityHits(fleet.RouterLeastLoaded)
+	afHits, afTotal := affinityHits(fleet.RouterAffinity)
+	if llTotal != len(reqs) || afTotal != len(reqs) {
+		t.Fatalf("route counts: least-loaded %d, affinity %d, want %d", llTotal, afTotal, len(reqs))
+	}
+	if afHits <= llHits {
+		t.Fatalf("affinity router hit %d/%d, not above least-loaded's %d/%d",
+			afHits, afTotal, llHits, llTotal)
+	}
+}
+
+// TestFleetAdmissionRejects pins the admission stage inside the full
+// pipeline: an aggressive token bucket rejects part of an over-rate
+// burst, and rejected requests never reach a replica.
+func TestFleetAdmissionRejects(t *testing.T) {
+	cfg := Config{
+		System:   SystemFlashPS,
+		Batching: BatchingDisaggregated,
+		Policy:   PolicyMaskAware,
+		Workers:  2,
+		Profile:  perfmodel.SD21Paper,
+		MaxBatch: 4,
+		Seed:     11,
+	}
+	fc := fleet.Config{
+		Router:     fleet.RouterLeastLoaded,
+		TokenRate:  2,
+		TokenBurst: 2,
+	}
+	reqs := burstTrace(40, 20)
+	res, err := RunFleet(cfg, fc, reqs)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("20 rps against a 2 rps bucket rejected nothing")
+	}
+	if len(res.Stats)+res.Rejected != len(reqs) {
+		t.Fatalf("completed %d + rejected %d != %d", len(res.Stats), res.Rejected, len(reqs))
+	}
+	var routes int
+	for _, e := range res.Events {
+		if e.Kind == fleet.EventRoute {
+			routes++
+		}
+	}
+	if routes != len(res.Stats) {
+		t.Fatalf("%d route events for %d completions", routes, len(res.Stats))
+	}
+}

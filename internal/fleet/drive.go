@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"flashps/internal/batching"
+	"flashps/internal/workload"
+)
+
+// Drive wires a trace through the full fleet pipeline on a clock-driven
+// Runner: each arrival passes admission, is routed against the runner's
+// live queue depths, and enters its replica's queue via SubmitTo; when
+// autoscaling is enabled a tick chain advances the controller every
+// interval until the fleet settles. Both virtual-time drivers
+// (internal/cluster, internal/replay) call Drive with identical arguments,
+// which is what makes routing choices and scale events replay
+// byte-identically.
+func Drive(ctrl *Controller, runner *batching.Runner, clock batching.Clock, reqs []workload.Request) {
+	lastArrival := 0.0
+	for _, r := range reqs {
+		if r.Arrival > lastArrival {
+			lastArrival = r.Arrival
+		}
+		req := r
+		clock.At(req.Arrival, func() {
+			now := clock.Now()
+			fr := Request{ID: uint64(req.ID), Template: req.Template, MaskRatio: req.MaskRatio}
+			if ok, _ := ctrl.Admit(fr, now); !ok {
+				return
+			}
+			dest, _, err := ctrl.Route(fr, runner.OutstandingCounts(), nil)
+			if err != nil {
+				return
+			}
+			runner.SubmitTo(req, dest, ctrl.ActiveCount())
+		})
+	}
+	if !ctrl.AutoscaleEnabled() {
+		return
+	}
+	interval := ctrl.TickInterval()
+	var tick func()
+	tick = func() {
+		now := clock.Now()
+		ctrl.Tick(now, runner.OutstandingCounts())
+		// Keep ticking until all arrivals have fired, every request has
+		// drained, and the autoscaler has settled; then let the clock run
+		// dry so Drain terminates.
+		if now >= lastArrival && runner.Pending() == 0 && ctrl.Settled() {
+			return
+		}
+		clock.After(interval, tick)
+	}
+	clock.After(interval, tick)
+}
+
+// WrapObserver interposes the controller's SLO window on a runner
+// observer chain: completions feed ObserveCompletion (the autoscaler's
+// attainment signal) and then the wrapped observer, so telemetry is
+// untouched.
+func WrapObserver(ctrl *Controller, inner batching.Observer) batching.Observer {
+	return &fleetObserver{ctrl: ctrl, inner: inner}
+}
+
+type fleetObserver struct {
+	ctrl  *Controller
+	inner batching.Observer
+}
+
+func (o *fleetObserver) QueueDepth(worker, depth int) {
+	if o.inner != nil {
+		o.inner.QueueDepth(worker, depth)
+	}
+}
+
+func (o *fleetObserver) BatchStep(size int) {
+	if o.inner != nil {
+		o.inner.BatchStep(size)
+	}
+}
+
+func (o *fleetObserver) RequestDone(stat batching.RequestStat) {
+	o.ctrl.ObserveCompletion(stat.MaskRatio, stat.Latency())
+	if o.inner != nil {
+		o.inner.RequestDone(stat)
+	}
+}

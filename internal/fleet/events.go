@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EventKind classifies one fleet control-plane event.
+type EventKind int
+
+const (
+	// EventRoute is a routing decision: Request was sent to Replica.
+	EventRoute EventKind = iota
+	// EventReject is an admission reject (Reason: "rate_limited" or
+	// "deadline_infeasible").
+	EventReject
+	// EventScaleUp is an autoscaler activation of Replica.
+	EventScaleUp
+	// EventScaleDown is an autoscaler drain of Replica.
+	EventScaleDown
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventRoute:
+		return "route"
+	case EventReject:
+		return "reject"
+	case EventScaleUp:
+		return "scale_up"
+	case EventScaleDown:
+		return "scale_down"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one fleet control-plane decision: a routing choice, an
+// admission reject, or an autoscaler action. The sequence of events is
+// the fleet half of the differential-replay contract — both drivers must
+// emit the identical ordered list.
+type Event struct {
+	// Seq is the event's position in the log, stamped on append.
+	Seq int
+	// Kind classifies the event.
+	Kind EventKind
+	// Request is the subject request's ID (0 for scale events).
+	Request uint64
+	// Replica is the chosen/affected replica (-1 for rejects).
+	Replica int
+	// Affinity marks a routing decision that landed on a replica already
+	// holding the request's template.
+	Affinity bool
+	// Reason carries the reject reason or scale trigger.
+	Reason string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s req=%d replica=%d affinity=%v reason=%q",
+		e.Seq, e.Kind, e.Request, e.Replica, e.Affinity, e.Reason)
+}
+
+// EventLog is an append-only, concurrency-safe fleet event sequence,
+// mirroring batching.DecisionLog.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *EventLog) append(e Event) {
+	l.mu.Lock()
+	e.Seq = len(l.events)
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Snapshot returns a copy of the event sequence so far.
+func (l *EventLog) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of events recorded.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// DiffEvents compares two fleet event sequences and returns a descriptive
+// error at the first divergence (nil when identical).
+func DiffEvents(a, b []Event) error {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Errorf("event %d diverges: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("event count diverges: %d vs %d", len(a), len(b))
+	}
+	return nil
+}

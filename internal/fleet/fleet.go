@@ -1,0 +1,673 @@
+// Package fleet is the multi-replica control plane over the shared
+// batching core: an admission stage (token bucket + deadline-feasibility
+// reject), a pluggable router (least-loaded baseline and template-affinity
+// scoring against the fitted cache-load/spill law), and an SLO-driven
+// autoscaler with hysteresis. The Controller is clock-agnostic — every
+// decision is a pure function of the request sequence and explicit `now`
+// values — so the virtual-time drivers (internal/cluster,
+// internal/replay) and the wall-clock server (internal/serve) produce
+// identical routing choices and scale events for the same trace, which
+// TestDifferentialReplayFleet pins byte-identical.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flashps/internal/obs"
+)
+
+// State is a replica's lifecycle state as the router sees it.
+type State int
+
+const (
+	// Active replicas receive traffic.
+	Active State = iota
+	// Draining replicas finish their queue but receive no new requests;
+	// they transition to Down when empty.
+	Draining
+	// Down replicas are invisible to the router until the autoscaler
+	// re-activates them.
+	Down
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// RouterKind selects the routing policy.
+type RouterKind int
+
+const (
+	// RouterCore delegates placement to the batching core's policy
+	// (Algorithm 2 et al.); the fleet only tracks affinity and health.
+	RouterCore RouterKind = iota
+	// RouterLeastLoaded picks the active replica with the fewest
+	// outstanding requests (ties to the lowest ID).
+	RouterLeastLoaded
+	// RouterAffinity prefers a replica already holding the request's
+	// template, falling back by the miss-penalty-weighted score.
+	RouterAffinity
+)
+
+func (k RouterKind) String() string {
+	switch k {
+	case RouterCore:
+		return "core"
+	case RouterLeastLoaded:
+		return "least-loaded"
+	case RouterAffinity:
+		return "affinity"
+	}
+	return fmt.Sprintf("RouterKind(%d)", int(k))
+}
+
+// ParseRouter parses a router name ("" and "core" both mean RouterCore).
+func ParseRouter(s string) (RouterKind, error) {
+	switch s {
+	case "", "core":
+		return RouterCore, nil
+	case "least-loaded":
+		return RouterLeastLoaded, nil
+	case "affinity":
+		return RouterAffinity, nil
+	}
+	return 0, fmt.Errorf("unknown router %q (want core|least-loaded|affinity)", s)
+}
+
+// Request is the admission/routing view of one edit request.
+type Request struct {
+	ID        uint64
+	Template  uint64
+	MaskRatio float64
+	// DeadlineSeconds, when positive, overrides the SLO class deadline in
+	// the feasibility check.
+	DeadlineSeconds float64
+}
+
+// AutoscaleConfig parameterizes the SLO-driven autoscaler.
+type AutoscaleConfig struct {
+	// Enabled arms the autoscaler; when false Tick only finishes drains.
+	Enabled bool
+	// Interval is the tick period in clock seconds (0: 1s).
+	Interval float64
+	// AttainBelow is the windowed-attainment threshold that counts a tick
+	// as an SLO breach (0: 0.9).
+	AttainBelow float64
+	// UpTicks is how many consecutive breach ticks trigger a scale-up
+	// (0: 2) — the hysteresis against transient dips.
+	UpTicks int
+	// IdleTicks is how many consecutive idle ticks trigger a drain (0: 3).
+	IdleTicks int
+	// Cooldown is how many ticks to hold off after any scale action
+	// (0: 2).
+	Cooldown int
+	// Min is the floor of active replicas the drainer respects (0: 1).
+	Min int
+}
+
+func (a AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if a.Interval <= 0 {
+		a.Interval = 1
+	}
+	if a.AttainBelow <= 0 {
+		a.AttainBelow = 0.9
+	}
+	if a.UpTicks <= 0 {
+		a.UpTicks = 2
+	}
+	if a.IdleTicks <= 0 {
+		a.IdleTicks = 3
+	}
+	if a.Cooldown <= 0 {
+		a.Cooldown = 2
+	}
+	if a.Min <= 0 {
+		a.Min = 1
+	}
+	return a
+}
+
+// Config parameterizes a fleet Controller.
+type Config struct {
+	// Replicas is the initially active replica count (required ≥ 1).
+	Replicas int
+	// MaxReplicas bounds the pool the autoscaler can grow into
+	// (0: Replicas). Replicas beyond the initial count start Down.
+	MaxReplicas int
+	// Router selects the routing policy.
+	Router RouterKind
+
+	// TokenRate/TokenBurst parameterize the admission token bucket in
+	// requests per clock second (Rate ≤ 0 disables rate limiting;
+	// Burst ≤ 0 defaults to Rate).
+	TokenRate  float64
+	TokenBurst float64
+	// MinServiceSeconds arms the deadline-feasibility check: a request
+	// whose effective deadline is below this floor cannot finish and is
+	// rejected up front (≤ 0 disables).
+	MinServiceSeconds float64
+	// SLOClasses derive per-request deadlines for feasibility and feed
+	// the autoscaler's attainment window (nil: obs.DefaultSLOClasses).
+	SLOClasses []obs.SLOClass
+
+	// AffinityCapacity bounds each replica's tracked template set
+	// (0: 8). The router keeps its own deterministic LRU rather than
+	// querying the store so decisions replay identically.
+	AffinityCapacity int
+	// QueueHeadroom is the queue depth below which a template holder is
+	// taken unconditionally (0: 4).
+	QueueHeadroom int
+	// MissPenaltySeconds is the cost of routing to a non-holder — the
+	// fitted cache-load/spill law's staging cost for one template.
+	MissPenaltySeconds float64
+	// ServiceSeconds converts queue depth into waiting cost for the
+	// affinity score (seconds per outstanding request).
+	ServiceSeconds float64
+
+	// Autoscale parameterizes the SLO-driven autoscaler.
+	Autoscale AutoscaleConfig
+
+	// Log, when non-nil, receives the fleet event sequence; nil allocates
+	// a private log (still readable via Events).
+	Log *EventLog
+	// Metrics, when non-nil, receives fleet gauge/counter updates.
+	Metrics *obs.FleetMetrics
+}
+
+// replica is the controller's per-replica bookkeeping: lifecycle state
+// plus the deterministic affinity LRU (template IDs, least-recent first).
+type replica struct {
+	id       int
+	state    State
+	affinity []uint64
+}
+
+func (r *replica) holds(tpl uint64) bool {
+	for _, t := range r.affinity {
+		if t == tpl {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *replica) touch(tpl uint64, capacity int) {
+	for i, t := range r.affinity {
+		if t == tpl {
+			copy(r.affinity[i:], r.affinity[i+1:])
+			r.affinity[len(r.affinity)-1] = tpl
+			return
+		}
+	}
+	r.affinity = append(r.affinity, tpl)
+	if len(r.affinity) > capacity {
+		copy(r.affinity, r.affinity[1:])
+		r.affinity = r.affinity[:len(r.affinity)-1]
+	}
+}
+
+// Controller is the fleet's admission/routing/autoscale brain. It is
+// concurrency-safe and clock-agnostic: callers pass explicit `now`
+// values, and no decision consults wall time, request IDs, or randomness
+// — routing is a pure function of the request sequence, which makes it
+// invariant under request-ID relabeling and byte-identical across the
+// virtual-time and wall-clock drivers.
+type Controller struct {
+	mu       sync.Mutex
+	cfg      Config
+	replicas []*replica
+	classes  []obs.SLOClass
+
+	// Token bucket state (explicit-now refill).
+	tokens     float64
+	lastRefill float64
+	haveRefill bool
+
+	// Autoscaler state.
+	slo          *obs.SLOTracker
+	badTicks     int
+	idleTicks    int
+	cooldown     int
+	lastAttained uint64
+	lastTotal    uint64
+
+	log     *EventLog
+	metrics *obs.FleetMetrics
+}
+
+// NewController builds a Controller; cfg.Replicas must be ≥ 1.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("fleet: Replicas must be ≥ 1, got %d", cfg.Replicas)
+	}
+	if cfg.MaxReplicas < cfg.Replicas {
+		cfg.MaxReplicas = cfg.Replicas
+	}
+	if cfg.AffinityCapacity <= 0 {
+		cfg.AffinityCapacity = 8
+	}
+	if cfg.QueueHeadroom <= 0 {
+		cfg.QueueHeadroom = 4
+	}
+	if cfg.TokenBurst <= 0 {
+		cfg.TokenBurst = cfg.TokenRate
+	}
+	cfg.Autoscale = cfg.Autoscale.withDefaults()
+	classes := cfg.SLOClasses
+	if len(classes) == 0 {
+		classes = obs.DefaultSLOClasses
+	}
+	log := cfg.Log
+	if log == nil {
+		log = &EventLog{}
+	}
+	c := &Controller{
+		cfg:     cfg,
+		classes: classes,
+		tokens:  cfg.TokenBurst,
+		slo:     obs.NewSLOTracker(classes),
+		log:     log,
+		metrics: cfg.Metrics,
+	}
+	for i := 0; i < cfg.MaxReplicas; i++ {
+		r := &replica{id: i, state: Down}
+		if i < cfg.Replicas {
+			r.state = Active
+		}
+		c.replicas = append(c.replicas, r)
+	}
+	c.publishStates()
+	return c, nil
+}
+
+// Pool returns the total replica pool size (active + draining + down).
+func (c *Controller) Pool() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.replicas)
+}
+
+// Router returns the configured routing policy.
+func (c *Controller) Router() RouterKind { return c.cfg.Router }
+
+// AutoscaleEnabled reports whether the autoscaler is armed.
+func (c *Controller) AutoscaleEnabled() bool { return c.cfg.Autoscale.Enabled }
+
+// TickInterval returns the autoscaler tick period in clock seconds.
+func (c *Controller) TickInterval() float64 { return c.cfg.Autoscale.Interval }
+
+// Events returns a snapshot of the fleet event sequence.
+func (c *Controller) Events() []Event { return c.log.Snapshot() }
+
+// Deadline returns the effective deadline for a request: its explicit
+// deadline when set, else its SLO class's.
+func (c *Controller) Deadline(req Request) float64 {
+	if req.DeadlineSeconds > 0 {
+		return req.DeadlineSeconds
+	}
+	return obs.ClassFor(c.classes, req.MaskRatio).Deadline
+}
+
+// Admit runs the admission stage at clock time now: the
+// deadline-feasibility check first (an infeasible request must not burn a
+// token), then the token bucket. A false return carries the reject
+// reason ("deadline_infeasible" or "rate_limited") and logs an
+// EventReject.
+func (c *Controller) Admit(req Request, now float64) (bool, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.MinServiceSeconds > 0 && c.Deadline(req) < c.cfg.MinServiceSeconds {
+		c.rejectLocked(req, "deadline_infeasible")
+		return false, "deadline_infeasible"
+	}
+	if c.cfg.TokenRate > 0 {
+		if !c.haveRefill {
+			c.haveRefill = true
+			c.lastRefill = now
+		}
+		if dt := now - c.lastRefill; dt > 0 {
+			c.tokens += dt * c.cfg.TokenRate
+			if c.tokens > c.cfg.TokenBurst {
+				c.tokens = c.cfg.TokenBurst
+			}
+			c.lastRefill = now
+		}
+		if c.tokens < 1 {
+			c.rejectLocked(req, "rate_limited")
+			return false, "rate_limited"
+		}
+		c.tokens--
+	}
+	return true, ""
+}
+
+func (c *Controller) rejectLocked(req Request, reason string) {
+	c.log.append(Event{Kind: EventReject, Request: req.ID, Replica: -1, Reason: reason})
+	c.metrics.Reject(reason)
+}
+
+// Route picks a replica for req given every replica's queue depth (depths
+// is indexed by replica ID; len must cover the pool) and an optional
+// per-replica liveness vector (nil: all live). Only Active live replicas
+// are eligible. The choice never consults req.ID or randomness, so
+// routing is invariant under request-ID relabeling. The chosen replica's
+// affinity set is touched with the request's template.
+func (c *Controller) Route(req Request, depths []int, alive []bool) (int, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Router == RouterCore {
+		return 0, false, fmt.Errorf("fleet: RouterCore placement belongs to the batching core")
+	}
+	var eligible []*replica
+	for _, r := range c.replicas {
+		if r.state != Active {
+			continue
+		}
+		if alive != nil && r.id < len(alive) && !alive[r.id] {
+			continue
+		}
+		eligible = append(eligible, r)
+	}
+	if len(eligible) == 0 {
+		return 0, false, fmt.Errorf("fleet: no active live replicas")
+	}
+
+	var pick *replica
+	switch c.cfg.Router {
+	case RouterLeastLoaded:
+		pick = eligible[0]
+		for _, r := range eligible[1:] {
+			if depths[r.id] < depths[pick.id] {
+				pick = r
+			}
+		}
+	case RouterAffinity:
+		// Holders with queue headroom win outright: never route away from
+		// a replica that already staged the template unless it is
+		// saturated.
+		for _, r := range eligible {
+			if r.holds(req.Template) && depths[r.id] < c.cfg.QueueHeadroom {
+				if pick == nil || depths[r.id] < depths[pick.id] {
+					pick = r
+				}
+			}
+		}
+		if pick == nil {
+			// Fall back to the cost score: queued work priced at the
+			// per-request service time, plus the fitted staging penalty
+			// when the replica would have to load the template.
+			best := 0.0
+			for i, r := range eligible {
+				score := float64(depths[r.id]) * c.cfg.ServiceSeconds
+				if !r.holds(req.Template) {
+					score += c.cfg.MissPenaltySeconds
+				}
+				if i == 0 || score < best {
+					best = score
+					pick = r
+				}
+			}
+		}
+	default:
+		return 0, false, fmt.Errorf("fleet: unknown router %v", c.cfg.Router)
+	}
+
+	hit := pick.holds(req.Template)
+	pick.touch(req.Template, c.cfg.AffinityCapacity)
+	c.log.append(Event{Kind: EventRoute, Request: req.ID, Replica: pick.id, Affinity: hit})
+	c.metrics.Route(hit)
+	return pick.id, hit, nil
+}
+
+// NoteRoute records an externally decided placement (the batching core's
+// policy under RouterCore) in the affinity tracker and metrics, without a
+// fleet event: the core's own decision log already pins the choice.
+func (c *Controller) NoteRoute(worker int, template uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if worker < 0 || worker >= len(c.replicas) {
+		return
+	}
+	r := c.replicas[worker]
+	hit := r.holds(template)
+	r.touch(template, c.cfg.AffinityCapacity)
+	c.metrics.Route(hit)
+}
+
+// Routable reports whether replica id may receive new traffic.
+func (c *Controller) Routable(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return id >= 0 && id < len(c.replicas) && c.replicas[id].state == Active
+}
+
+// ObserveCompletion feeds one completed request into the autoscaler's
+// attainment window.
+func (c *Controller) ObserveCompletion(maskRatio, latency float64) {
+	c.slo.Observe(maskRatio, latency)
+}
+
+// Tick advances the autoscaler one interval at clock time now, with every
+// replica's current queue depth. It finishes drains (Draining + empty →
+// Down), then — when autoscaling is enabled and outside the cooldown —
+// evaluates the windowed SLO attainment since the previous tick: breaches
+// accumulate toward a scale-up, idle windows toward a drain, with
+// hysteresis on both sides. Returns the scale events this tick emitted.
+func (c *Controller) Tick(now float64, depths []int) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = now
+
+	var actions []Event
+	for _, r := range c.replicas {
+		if r.state == Draining && (r.id >= len(depths) || depths[r.id] == 0) {
+			r.state = Down
+			r.affinity = nil
+		}
+	}
+	defer c.publishStates()
+
+	if !c.cfg.Autoscale.Enabled {
+		return actions
+	}
+	// The attainment window always advances — a cooldown suppresses
+	// actions, not observation — so stale pre-cooldown completions cannot
+	// retrigger a breach the moment the cooldown ends.
+	attained, total := c.slo.Counts()
+	dAtt := attained - c.lastAttained
+	dTot := total - c.lastTotal
+	c.lastAttained, c.lastTotal = attained, total
+	if c.cooldown > 0 {
+		c.cooldown--
+		return actions
+	}
+
+	active := 0
+	busy := 0
+	for _, r := range c.replicas {
+		if r.state == Active {
+			active++
+			if r.id < len(depths) {
+				busy += depths[r.id]
+			}
+		}
+	}
+
+	breach := false
+	if dTot > 0 {
+		if float64(dAtt)/float64(dTot) < c.cfg.Autoscale.AttainBelow {
+			breach = true
+		}
+	} else if busy > active*2 {
+		// Nothing completed this window but queues are piling up: the
+		// fleet is saturated before the first completions land.
+		breach = true
+	}
+	idle := dTot == 0 && busy == 0
+
+	switch {
+	case breach:
+		c.badTicks++
+		c.idleTicks = 0
+		if c.badTicks >= c.cfg.Autoscale.UpTicks && active < len(c.replicas) {
+			if ev, ok := c.scaleUpLocked(); ok {
+				actions = append(actions, ev)
+				c.badTicks = 0
+				c.cooldown = c.cfg.Autoscale.Cooldown
+			}
+		}
+	case idle:
+		c.idleTicks++
+		c.badTicks = 0
+		if c.idleTicks >= c.cfg.Autoscale.IdleTicks && active > c.cfg.Autoscale.Min {
+			if ev, ok := c.scaleDownLocked(); ok {
+				actions = append(actions, ev)
+				c.idleTicks = 0
+				c.cooldown = c.cfg.Autoscale.Cooldown
+			}
+		}
+	default:
+		c.badTicks = 0
+		c.idleTicks = 0
+	}
+	return actions
+}
+
+// scaleUpLocked activates a replica: a Draining one is re-activated first
+// (its affinity set is still warm), else the lowest-ID Down replica.
+func (c *Controller) scaleUpLocked() (Event, bool) {
+	var pick *replica
+	for _, r := range c.replicas {
+		if r.state == Draining {
+			pick = r
+			break
+		}
+	}
+	if pick == nil {
+		for _, r := range c.replicas {
+			if r.state == Down {
+				pick = r
+				break
+			}
+		}
+	}
+	if pick == nil {
+		return Event{}, false
+	}
+	pick.state = Active
+	ev := Event{Kind: EventScaleUp, Replica: pick.id, Reason: "slo_breach"}
+	c.log.append(ev)
+	c.metrics.Scale("up")
+	return ev, true
+}
+
+// scaleDownLocked drains the highest-ID active replica.
+func (c *Controller) scaleDownLocked() (Event, bool) {
+	var pick *replica
+	for _, r := range c.replicas {
+		if r.state == Active {
+			pick = r
+		}
+	}
+	if pick == nil {
+		return Event{}, false
+	}
+	pick.state = Draining
+	ev := Event{Kind: EventScaleDown, Replica: pick.id, Reason: "idle"}
+	c.log.append(ev)
+	c.metrics.Scale("down")
+	return ev, true
+}
+
+func (c *Controller) publishStates() {
+	if c.metrics == nil {
+		return
+	}
+	var active, draining, down int
+	for _, r := range c.replicas {
+		switch r.state {
+		case Active:
+			active++
+		case Draining:
+			draining++
+		case Down:
+			down++
+		}
+	}
+	c.metrics.SetReplicas(active, draining, down)
+}
+
+// ActiveCount returns the number of Active replicas.
+func (c *Controller) ActiveCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.replicas {
+		if r.state == Active {
+			n++
+		}
+	}
+	return n
+}
+
+// Settled reports whether the autoscaler has nothing left to do on an
+// idle fleet: no replica draining and the active count at the floor (or
+// autoscaling disabled). Drivers use it to terminate the tick chain.
+func (c *Controller) Settled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	active := 0
+	for _, r := range c.replicas {
+		if r.state == Draining {
+			return false
+		}
+		if r.state == Active {
+			active++
+		}
+	}
+	if !c.cfg.Autoscale.Enabled {
+		return true
+	}
+	return active <= c.cfg.Autoscale.Min
+}
+
+// States returns every replica's lifecycle state, indexed by ID.
+func (c *Controller) States() []State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]State, len(c.replicas))
+	for i, r := range c.replicas {
+		out[i] = r.state
+	}
+	return out
+}
+
+// ReplicaInfo is one replica's control-plane snapshot (for GET /v1/fleet).
+type ReplicaInfo struct {
+	ID        int
+	State     State
+	Templates []uint64 // affinity-tracked templates, sorted
+}
+
+// Replicas snapshots every replica's state and tracked template set.
+func (c *Controller) Replicas() []ReplicaInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ReplicaInfo, len(c.replicas))
+	for i, r := range c.replicas {
+		tpls := append([]uint64(nil), r.affinity...)
+		sort.Slice(tpls, func(a, b int) bool { return tpls[a] < tpls[b] })
+		out[i] = ReplicaInfo{ID: r.id, State: r.state, Templates: tpls}
+	}
+	return out
+}

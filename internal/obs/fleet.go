@@ -1,0 +1,73 @@
+package obs
+
+// FleetMetrics is the fleet control plane's instrument set: replica
+// counts by lifecycle state, routing decisions split by template-affinity
+// hit/miss, admission rejects by reason, and autoscaler actions. The
+// families are registered lazily — only a plane that actually drives a
+// fleet (Plane.Fleet) grows them — so single-replica expositions and the
+// golden exposition test stay byte-identical to the pre-fleet plane.
+type FleetMetrics struct {
+	replicas *GaugeVec
+	routes   *CounterVec
+	rejects  *CounterVec
+	scale    *CounterVec
+}
+
+// Fleet returns the plane's fleet instrument set, registering its metric
+// families on first use.
+func (p *Plane) Fleet() *FleetMetrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fleet == nil {
+		p.fleet = &FleetMetrics{
+			replicas: p.Reg.GaugeVec("flashps_fleet_replicas",
+				"Fleet replicas by lifecycle state (active/draining/down)", "state"),
+			routes: p.Reg.CounterVec("flashps_fleet_routes_total",
+				"Fleet routing decisions by template-affinity result", "affinity"),
+			rejects: p.Reg.CounterVec("flashps_fleet_rejects_total",
+				"Admission-stage rejects by reason", "reason"),
+			scale: p.Reg.CounterVec("flashps_fleet_scale_events_total",
+				"Autoscaler actions by direction (up/down)", "direction"),
+		}
+	}
+	return p.fleet
+}
+
+// SetReplicas publishes the replica count per lifecycle state.
+func (m *FleetMetrics) SetReplicas(active, draining, down int) {
+	if m == nil {
+		return
+	}
+	m.replicas.With("active").Set(float64(active))
+	m.replicas.With("draining").Set(float64(draining))
+	m.replicas.With("down").Set(float64(down))
+}
+
+// Route records one routing decision; hit marks a template-affinity hit
+// (the chosen replica already held the request's template).
+func (m *FleetMetrics) Route(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.routes.With("hit").Inc()
+	} else {
+		m.routes.With("miss").Inc()
+	}
+}
+
+// Reject records one admission reject with its reason.
+func (m *FleetMetrics) Reject(reason string) {
+	if m == nil {
+		return
+	}
+	m.rejects.With(reason).Inc()
+}
+
+// Scale records one autoscaler action ("up" or "down").
+func (m *FleetMetrics) Scale(direction string) {
+	if m == nil {
+		return
+	}
+	m.scale.With(direction).Inc()
+}

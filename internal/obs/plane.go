@@ -51,6 +51,7 @@ type Plane struct {
 	tierBytes  *CounterVec
 	calibSamp  *CounterVec
 	calibResid *GaugeVec
+	fleet      *FleetMetrics
 
 	batchSizeSum atomic.Uint64
 	batchSteps   atomic.Uint64

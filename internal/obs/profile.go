@@ -64,6 +64,11 @@ const (
 	CostStageCacheLoad   = "cache_load"
 	CostStageCacheStage  = "cache_stage"
 	CostStageCacheSpill  = "cache_spill"
+	// CostStageReplicaStage records the live fleet's per-replica template
+	// staging copy (deep copy + checksum into the worker-local slot). It is
+	// deliberately distinct from cache_stage so FitFromTelemetry's
+	// spill-law fit never ingests replica-staging samples.
+	CostStageReplicaStage = "replica_stage"
 )
 
 // DefaultProfileCap bounds the profile recorder's retained samples.

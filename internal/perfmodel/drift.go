@@ -1,0 +1,88 @@
+package perfmodel
+
+import "math"
+
+// DriftEntry is one coefficient's base-vs-other comparison.
+type DriftEntry struct {
+	// Name identifies the coefficient ("step_per_flop", "overheads.ipc", …),
+	// matching the Coefficients JSON field paths.
+	Name string `json:"name"`
+	// Base and Other are the two fitted values.
+	Base  float64 `json:"base"`
+	Other float64 `json:"other"`
+	// RelDelta is |base−other| / max(|base|, |other|) — symmetric, in
+	// [0, 1], and 0 when both are 0.
+	RelDelta float64 `json:"rel_delta"`
+}
+
+// DriftReport compares two fitted coefficient sets, coefficient by
+// coefficient. It is the recalibration gate's input: a machine whose
+// refitted laws drift past a threshold from the coefficient set the
+// simulator is predicting with needs its twin refreshed
+// (docs/CALIBRATION.md; `flashps-whatif -drift-base`).
+type DriftReport struct {
+	Entries []DriftEntry `json:"entries"`
+	// Max is the largest relative delta across entries, and MaxName the
+	// coefficient that produced it.
+	Max     float64 `json:"max"`
+	MaxName string  `json:"max_name"`
+	// ProfileMismatch marks sets fitted against different engine profiles
+	// (dimensions or name differ) — their coefficients are not comparable
+	// and any gate should fail regardless of the numeric deltas.
+	ProfileMismatch bool `json:"profile_mismatch"`
+}
+
+// Exceeds reports whether the drift trips a relative-delta threshold:
+// true when any coefficient moved more than threshold, or when the
+// profiles are not comparable at all.
+func (r *DriftReport) Exceeds(threshold float64) bool {
+	return r.ProfileMismatch || r.Max > threshold
+}
+
+// relDelta is the symmetric relative difference |a−b|/max(|a|,|b|).
+func relDelta(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// Drift compares two coefficient sets and returns the per-coefficient
+// relative deltas. Fit-quality metadata (Fits, FittedAt, Seed) is not
+// compared — drift is about the laws the simulator consumes.
+func Drift(base, other *Coefficients) *DriftReport {
+	r := &DriftReport{}
+	if base.Profile.Name != other.Profile.Name ||
+		base.Profile.Blocks != other.Profile.Blocks ||
+		base.Profile.Tokens != other.Profile.Tokens ||
+		base.Profile.Hidden != other.Profile.Hidden ||
+		base.Profile.FFNMult != other.Profile.FFNMult ||
+		base.Profile.Steps != other.Profile.Steps {
+		r.ProfileMismatch = true
+	}
+	add := func(name string, a, b float64) {
+		d := relDelta(a, b)
+		r.Entries = append(r.Entries, DriftEntry{Name: name, Base: a, Other: b, RelDelta: d})
+		if d > r.Max {
+			r.Max = d
+			r.MaxName = name
+		}
+	}
+	add("step_per_flop", base.StepPerFLOP, other.StepPerFLOP)
+	add("step_per_unit", base.StepPerUnit, other.StepPerUnit)
+	add("load_per_byte", base.LoadPerByte, other.LoadPerByte)
+	add("load_base", base.LoadBase, other.LoadBase)
+	add("spill_per_byte", base.SpillPerByte, other.SpillPerByte)
+	add("spill_base", base.SpillBase, other.SpillBase)
+	add("overheads.preprocess", base.Overheads.Preprocess, other.Overheads.Preprocess)
+	add("overheads.postprocess", base.Overheads.Postprocess, other.Overheads.Postprocess)
+	add("overheads.scheduler_decision", base.Overheads.SchedulerDecision, other.Overheads.SchedulerDecision)
+	add("overheads.batch_organize", base.Overheads.BatchOrganize, other.Overheads.BatchOrganize)
+	add("overheads.serialize", base.Overheads.Serialize, other.Overheads.Serialize)
+	add("overheads.ipc", base.Overheads.IPC, other.Overheads.IPC)
+	return r
+}

@@ -1,0 +1,74 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func driftBase() *Coefficients {
+	return &Coefficients{
+		Version:     CoefficientsVersion,
+		Profile:     EngineProfile("drift-test", 3, 36, 32, 4, 5, 4),
+		StepPerFLOP: 2e-9,
+		StepPerUnit: 1e-4,
+		LoadPerByte: 5e-10,
+		LoadBase:    2e-5,
+		Overheads: Overheads{
+			Preprocess: 3e-3, Postprocess: 4e-3, SchedulerDecision: 2e-6,
+			BatchOrganize: 1e-6, Serialize: 5e-5, IPC: 1e-5,
+		},
+	}
+}
+
+func TestDriftIdenticalSetsAreClean(t *testing.T) {
+	a, b := driftBase(), driftBase()
+	r := Drift(a, b)
+	if r.Max != 0 || r.ProfileMismatch {
+		t.Fatalf("identical sets drift: max=%g mismatch=%v", r.Max, r.ProfileMismatch)
+	}
+	if r.Exceeds(0) {
+		t.Fatal("identical sets exceed a zero threshold")
+	}
+	if len(r.Entries) != 12 {
+		t.Fatalf("drift compares %d coefficients, want 12", len(r.Entries))
+	}
+}
+
+func TestDriftDetectsCoefficientShift(t *testing.T) {
+	a, b := driftBase(), driftBase()
+	b.StepPerFLOP *= 1.25 // symmetric delta 0.2
+	r := Drift(a, b)
+	if r.MaxName != "step_per_flop" {
+		t.Fatalf("max drift at %q, want step_per_flop", r.MaxName)
+	}
+	if math.Abs(r.Max-0.2) > 1e-12 {
+		t.Fatalf("rel delta = %g, want 0.2 (|a−b|/max)", r.Max)
+	}
+	if !r.Exceeds(0.1) {
+		t.Fatal("20%% shift does not exceed a 10%% threshold")
+	}
+	if r.Exceeds(0.25) {
+		t.Fatal("20%% shift exceeds a 25%% threshold")
+	}
+}
+
+func TestDriftZeroToNonzeroIsFullDelta(t *testing.T) {
+	a, b := driftBase(), driftBase()
+	a.SpillPerByte, b.SpillPerByte = 0, 3e-10
+	r := Drift(a, b)
+	if math.Abs(r.Max-1) > 1e-12 || r.MaxName != "spill_per_byte" {
+		t.Fatalf("zero→nonzero drift = %g at %q, want 1 at spill_per_byte", r.Max, r.MaxName)
+	}
+}
+
+func TestDriftProfileMismatchAlwaysExceeds(t *testing.T) {
+	a, b := driftBase(), driftBase()
+	b.Profile.Hidden *= 2
+	r := Drift(a, b)
+	if !r.ProfileMismatch {
+		t.Fatal("different engine dimensions not flagged as a profile mismatch")
+	}
+	if !r.Exceeds(math.Inf(1)) {
+		t.Fatal("profile mismatch must exceed any threshold")
+	}
+}

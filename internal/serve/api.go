@@ -248,9 +248,10 @@ type EditResponse struct {
 }
 
 // Health is the /healthz readiness report. Status is "ok", "starting"
-// (worker loops not launched yet), "degraded" (at least one worker loop
-// is down and awaiting restart), or "overloaded" (every worker's queue
-// is at the admission limit); everything but "ok" is served with
+// (worker loops not launched yet), "degraded" (no routable replica has a
+// live engine loop — a partial outage in a larger fleet stays "ok" with
+// the detail in Replicas), or "overloaded" (every routable replica's
+// queue is at the admission limit); everything but "ok" is served with
 // HTTP 503.
 type Health struct {
 	Status      string `json:"status"`
@@ -260,8 +261,45 @@ type Health struct {
 	// WorkerAlive reports per-replica engine-loop liveness; a false entry
 	// is a crashed loop that has not restarted yet.
 	WorkerAlive []bool `json:"worker_alive"`
-	MaxQueue    int    `json:"max_queue,omitempty"`
-	Completed   int64  `json:"completed"`
+	// Replicas is the per-replica health detail: lifecycle state as the
+	// fleet router sees it plus engine-loop liveness and queue depth.
+	Replicas  []ReplicaHealth `json:"replicas"`
+	MaxQueue  int             `json:"max_queue,omitempty"`
+	Completed int64           `json:"completed"`
+}
+
+// ReplicaHealth is one replica's entry in the /healthz report.
+type ReplicaHealth struct {
+	ID int `json:"id"`
+	// State is the fleet lifecycle state: "active", "draining", or "down".
+	State string `json:"state"`
+	// Alive is the engine-loop liveness (false between crash and restart).
+	Alive      bool `json:"alive"`
+	QueueDepth int  `json:"queue_depth"`
+}
+
+// FleetResponse is the GET /v1/fleet snapshot of the fleet control plane.
+type FleetResponse struct {
+	// Router is the routing policy in effect: "core", "least-loaded", or
+	// "affinity".
+	Router string `json:"router"`
+	// Autoscale reports whether the SLO-driven autoscaler is armed.
+	Autoscale bool           `json:"autoscale"`
+	Replicas  []FleetReplica `json:"replicas"`
+}
+
+// FleetReplica is one replica's row in the GET /v1/fleet table.
+type FleetReplica struct {
+	ID         int    `json:"id"`
+	State      string `json:"state"`
+	Alive      bool   `json:"alive"`
+	QueueDepth int    `json:"queue_depth"`
+	// Templates is the controller's affinity-tracked template set for this
+	// replica (what the affinity router scores against), sorted.
+	Templates []uint64 `json:"templates,omitempty"`
+	// StagedTemplates is the set actually staged replica-locally, sorted
+	// (Config.StagedTemplates > 0 only).
+	StagedTemplates []uint64 `json:"staged_templates,omitempty"`
 }
 
 // Stats is the serving plane's live statistics snapshot.

@@ -23,6 +23,7 @@ func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
 //	DELETE /v1/templates/{id}/pin — clear a pin (v1.1)
 //	GET    /v1/cache/stats        — per-tier cache statistics (v1.1)
 //	POST   /v1/edits              — serve an edit (EditRequestAPI → EditResponse)
+//	GET    /v1/fleet              — fleet control-plane snapshot (FleetResponse)
 //	GET    /v1/stats              — live statistics (Stats)
 //	GET    /healthz               — readiness (Health JSON; 503 when not "ok")
 //	GET    /metrics               — Prometheus text exposition from the registry
@@ -141,6 +142,11 @@ func (s *Server) Handler() http.Handler {
 				return
 			}
 			writeJSON(w, resp)
+		},
+	}))
+	mux.HandleFunc("/v1/fleet", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, s.Fleet())
 		},
 	}))
 	mux.HandleFunc("/v1/stats", methods(map[string]http.HandlerFunc{

@@ -37,6 +37,10 @@ const (
 	// stageEvict marks a job removed at a stage/step boundary because its
 	// deadline expired, its client canceled, or it was shed.
 	stageEvict = "evict"
+	// stageReplicaStage is the per-replica template staging copy inside
+	// preprocessing: the deep copy + checksum of the shared cache entry
+	// into the serving worker's local slot (fleet mode only, DESIGN.md §12).
+	stageReplicaStage = "replica_stage"
 )
 
 // Request outcome labels for flashps_requests_total.
@@ -74,6 +78,8 @@ type serveObs struct {
 	degraded         *obs.Counter
 	workerRestarts   *obs.Counter
 	deadlineExceeded *obs.Counter
+	// stagings counts per-replica template staging copies (fleet mode).
+	stagings *obs.Counter
 }
 
 func newServeObs(traceRing int) *serveObs {
@@ -93,6 +99,8 @@ func newServeObs(traceRing int) *serveObs {
 			"Worker engine-loop crashes detected and restarted by the supervisor"),
 		deadlineExceeded: reg.Counter("flashps_deadline_exceeded_total",
 			"Requests whose deadline expired before completion"),
+		stagings: reg.Counter("flashps_replica_stagings_total",
+			"Per-replica template staging copies performed by the fleet's serving workers"),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"flashps/internal/cache"
 	"flashps/internal/diffusion"
 	"flashps/internal/faults"
+	"flashps/internal/fleet"
 	"flashps/internal/img"
 	"flashps/internal/metrics"
 	"flashps/internal/model"
@@ -77,7 +78,8 @@ type Config struct {
 	RetryBackoff time.Duration
 	// WorkerRestartDelay is how long a crashed worker loop waits before
 	// restarting (0 = default 50ms). While down, the scheduler does not
-	// route to the replica and /healthz reports "degraded".
+	// route to the replica; /healthz reports "degraded" when no routable
+	// replica is left alive.
 	WorkerRestartDelay time.Duration
 	// CacheLoadTimeout, when > 0, degrades a flashps-mode request to full
 	// compute when its template-cache load takes longer than this,
@@ -86,6 +88,33 @@ type Config struct {
 	// Faults optionally injects failures and delays into the request path
 	// (tests, load generator); nil injects nothing.
 	Faults *faults.Injector
+
+	// Router selects the fleet routing policy (DESIGN.md §12): "" or
+	// "core" delegates placement to the batching core's policy (the
+	// pre-fleet behavior), "least-loaded" and "affinity" route through the
+	// fleet controller.
+	Router string
+	// MaxReplicas bounds the worker pool the autoscaler can grow into
+	// (0 or < Workers: Workers). Replicas beyond Workers start Down —
+	// their engine loops run but the router sends them no traffic until a
+	// scale-up activates them.
+	MaxReplicas int
+	// AdmitRate/AdmitBurst parameterize the fleet admission token bucket
+	// in requests per second (Rate ≤ 0 disables rate limiting).
+	AdmitRate  float64
+	AdmitBurst float64
+	// AdmitMinServiceMS arms the deadline-feasibility reject: a request
+	// whose effective deadline is below this floor is rejected up front
+	// (≤ 0 disables).
+	AdmitMinServiceMS float64
+	// Autoscale arms the SLO-driven autoscaler over [Workers, pool].
+	Autoscale fleet.AutoscaleConfig
+	// StagedTemplates, when > 0, bounds each worker's replica-local staged
+	// template set: the first request for a template on a replica pays a
+	// staging pass over the whole cache entry (recorded as a
+	// "replica_stage" span and cost sample), making template-affinity
+	// routing's benefit measurable on the live plane. 0 disables staging.
+	StagedTemplates int
 }
 
 func (c *Config) fillDefaults() {
@@ -203,6 +232,15 @@ type Server struct {
 	// code the simulator drives.
 	core *batching.Core
 
+	// ctrl is the fleet control plane: admission, routing (when a fleet
+	// router is selected), replica lifecycle, and the SLO-driven
+	// autoscaler. It is always present — with the zero fleet config it
+	// admits everything and marks every worker Active — so the request
+	// path has no nil checks. It is the same code the virtual-time
+	// drivers run (DESIGN.md §12).
+	ctrl       *fleet.Controller
+	routerKind fleet.RouterKind
+
 	preCh  chan *job
 	postCh chan *job
 
@@ -242,6 +280,10 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: step policy for class %q: %v", class, err)
 		}
 	}
+	routerKind, err := fleet.ParseRouter(cfg.Router)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %v", err)
+	}
 	est, err := perfmodel.ServingEstimator(cfg.Profile, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -267,6 +309,40 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The replica pool: Workers start Active; any headroom up to
+	// MaxReplicas starts Down, invisible to routing until the autoscaler
+	// activates it.
+	pool := cfg.Workers
+	if cfg.MaxReplicas > pool {
+		pool = cfg.MaxReplicas
+	}
+	// Register the fleet metric families only when some fleet feature is
+	// actually in play, so a plain single-pool server keeps the pre-fleet
+	// exposition byte-identically.
+	var fleetMetrics *obs.FleetMetrics
+	if routerKind != fleet.RouterCore || pool > cfg.Workers ||
+		cfg.Autoscale.Enabled || cfg.AdmitRate > 0 || cfg.AdmitMinServiceMS > 0 {
+		fleetMetrics = sObs.plane.Fleet()
+	}
+	ctrl, err := fleet.NewController(fleet.Config{
+		Replicas:          cfg.Workers,
+		MaxReplicas:       pool,
+		Router:            routerKind,
+		TokenRate:         cfg.AdmitRate,
+		TokenBurst:        cfg.AdmitBurst,
+		MinServiceSeconds: cfg.AdmitMinServiceMS / 1000,
+		QueueHeadroom:     cfg.MaxBatch,
+		// The affinity score's terms come from the same paper-scale
+		// profile: a miss costs one disk staging, queued work is priced at
+		// the full per-request service time.
+		MissPenaltySeconds: cfg.Profile.DiskLoadLatency(),
+		ServiceSeconds:     cfg.Profile.StepLatencyFull(1) * float64(cfg.Profile.Steps),
+		Autoscale:          cfg.Autoscale,
+		Metrics:            fleetMetrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %v", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	// Mirror the core's decision stream into the telemetry plane's
 	// per-kind counters as decisions are made.
@@ -287,17 +363,19 @@ func New(cfg Config) (*Server, error) {
 			Seed:       cfg.Seed,
 			Log:        dlog,
 		}),
-		preCh:  make(chan *job, 1024),
-		postCh: make(chan *job, 1024),
-		obs:    sObs,
-		ctx:    ctx,
-		cancel: cancel,
+		preCh:      make(chan *job, 1024),
+		postCh:     make(chan *job, 1024),
+		obs:        sObs,
+		ctrl:       ctrl,
+		routerKind: routerKind,
+		ctx:        ctx,
+		cancel:     cancel,
 	}
 	s.obs.bindStore(store)
 	// Warm-start prefetch: promote templates spilled by a previous process
 	// into RAM while the server boots.
 	store.Prefetch(store.SpilledIDs()...)
-	for i := 0; i < cfg.Workers; i++ {
+	for i := 0; i < pool; i++ {
 		eng, err := diffusion.NewEngine(cfg.Model, cfg.Seed)
 		if err != nil {
 			cancel()
@@ -340,6 +418,29 @@ func (s *Server) Start() {
 			}
 		}
 	}()
+	// Autoscaler ticker: the same Controller.Tick the virtual-time drivers
+	// chain on their simclock, here driven by wall time mapped onto the
+	// plane's clock axis.
+	if s.ctrl.AutoscaleEnabled() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(time.Duration(s.ctrl.TickInterval() * float64(time.Second)))
+			defer t.Stop()
+			for {
+				select {
+				case <-s.ctx.Done():
+					return
+				case <-t.C:
+					depths := make([]int, len(s.workers))
+					for i, w := range s.workers {
+						depths[i] = w.outstandingCount()
+					}
+					s.ctrl.Tick(s.obs.wall.Seconds(time.Now()), depths)
+				}
+			}
+		}()
+	}
 	s.started.Store(true)
 }
 
@@ -566,6 +667,22 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 	// or abandoned either way, and cancel tells the pipeline to evict.
 	defer j.cancel()
 
+	// Fleet admission (DESIGN.md §12): the deadline-feasibility check and
+	// the token bucket run before any routing or queueing work. With the
+	// zero fleet config both are disabled and every request passes.
+	if ok, reason := s.ctrl.Admit(fleet.Request{
+		ID: j.id, Template: api.TemplateID, MaskRatio: j.ratioHint,
+		DeadlineSeconds: float64(api.DeadlineMS) / 1000,
+	}, s.obs.wall.Seconds(time.Now())); !ok {
+		s.obs.outcome(outcomeRejected)
+		if reason == "deadline_infeasible" {
+			return EditResponse{}, apiErrorf(CodeDeadlineExceeded, false,
+				"deadline of %d ms is below the admission service floor", api.DeadlineMS)
+		}
+		return EditResponse{}, apiErrorf(CodeOverloaded, true,
+			"admission rate limit exceeded")
+	}
+
 	// Route (Algorithm 2) across live replicas, measuring the paper's
 	// §6.6 decision overhead.
 	t0 := time.Now()
@@ -648,14 +765,36 @@ func (s *Server) ctxError(j *job) error {
 	return apiErrorf(CodeCanceled, false, "request canceled by client")
 }
 
-// route picks a live replica for the job through the shared core
-// (Algorithm 2 or a baseline policy). It returns an overloaded (retryable)
-// error when every worker loop is down.
+// route picks a live replica for the job. Under a fleet router
+// (least-loaded, affinity) the fleet controller chooses among Active live
+// replicas and the choice is recorded into the core's decision log as a
+// fixed placement; under the core router the batching core's policy
+// (Algorithm 2 or a baseline) places across live routable replicas as
+// before, with the controller informed for affinity tracking. Either path
+// returns an overloaded (retryable) error when no replica can take work.
 func (s *Server) route(j *job) (int, error) {
+	if s.routerKind != fleet.RouterCore {
+		depths := make([]int, len(s.workers))
+		alive := make([]bool, len(s.workers))
+		for i, w := range s.workers {
+			depths[i] = w.outstandingCount()
+			alive[i] = w.alive.Load()
+		}
+		idx, _, err := s.ctrl.Route(fleet.Request{
+			ID: j.id, Template: j.api.TemplateID, MaskRatio: j.ratioHint,
+		}, depths, alive)
+		if err != nil {
+			return 0, apiErrorf(CodeOverloaded, true, "no live worker replicas")
+		}
+		s.core.PlaceFixed(batching.Item{
+			ID: j.id, MaskRatio: j.ratioHint, Steps: s.cfg.Model.Steps,
+		}, idx, s.ctrl.ActiveCount())
+		return idx, nil
+	}
 	idxs := make([]int, 0, len(s.workers))
 	views := make([]batching.WorkerView, 0, len(s.workers))
 	for i, w := range s.workers {
-		if !w.alive.Load() {
+		if !w.alive.Load() || !s.ctrl.Routable(i) {
 			continue
 		}
 		idxs = append(idxs, i)
@@ -664,9 +803,11 @@ func (s *Server) route(j *job) (int, error) {
 	if len(idxs) == 0 {
 		return 0, apiErrorf(CodeOverloaded, true, "no live worker replicas")
 	}
-	return s.core.Place(views, idxs, batching.Item{
+	idx := s.core.Place(views, idxs, batching.Item{
 		ID: j.id, MaskRatio: j.ratioHint, Steps: s.cfg.Model.Steps,
-	}), nil
+	})
+	s.ctrl.NoteRoute(idx, j.api.TemplateID)
+	return idx, nil
 }
 
 // shed evicts an outstanding job in favor of smaller work under overload:
@@ -884,6 +1025,21 @@ func (s *Server) preprocess(j *job) error {
 			s.obs.degraded.Inc()
 		}
 	}
+	// Replica-local staging (fleet mode): the first request for this
+	// template on this replica pays a pass over the whole cache entry.
+	// Affinity routing exists to keep paying this at most once per
+	// (replica, template).
+	if s.cfg.StagedTemplates > 0 {
+		t1 := time.Now()
+		if stagedNow, bytes := j.worker.ensureStaged(tc, s.cfg.StagedTemplates); stagedNow {
+			d := time.Since(t1)
+			s.obs.stagings.Inc()
+			s.obs.span(j.id, stageReplicaStage, j.worker.id, t1, d,
+				map[string]float64{"template": float64(j.api.TemplateID), "bytes": float64(bytes)})
+			s.obs.cost(obs.CostSample{Stage: obs.CostStageReplicaStage, Units: 1,
+				Bytes: float64(bytes), Seconds: d.Seconds()})
+		}
+	}
 	session, err := j.worker.eng.BeginEdit(diffusion.EditRequest{
 		Template: tc,
 		Mask:     m,
@@ -996,6 +1152,9 @@ func (s *Server) postprocess(j *job) {
 	if j.deliver(jobResult{resp: resp}) {
 		s.obs.outcome(outcomeOK)
 		s.obs.observeSLO(j.ratio, complete.Sub(j.arrival))
+		// Feed the autoscaler's attainment window with the same
+		// (ratio, latency) observation the plane's SLO tracker sees.
+		s.ctrl.ObserveCompletion(j.ratio, complete.Sub(j.arrival).Seconds())
 	}
 }
 
@@ -1026,12 +1185,15 @@ func (s *Server) Snapshot() Stats {
 	return st
 }
 
-// Health reports readiness: whether the worker loops have started, whether
-// every replica's engine loop is alive, and whether admission control
-// still has headroom. Saturated means every worker's outstanding queue is
-// at the MaxQueue admission limit, i.e. the next submission would be
-// rejected with ErrOverloaded. A dead (crashed, not yet restarted) worker
-// loop reports status "degraded" and HTTP 503.
+// Health reports readiness with per-replica detail: whether the worker
+// loops have started, each replica's lifecycle state / engine-loop
+// liveness / queue depth, and whether admission control still has
+// headroom. Status is "degraded" (HTTP 503) only when NO routable (Active)
+// replica has a live engine loop — a single crashed replica in a larger
+// fleet keeps serving on the survivors and stays "ok", with the outage
+// visible in the per-replica entries. Saturated means every routable
+// replica's outstanding queue is at the MaxQueue admission limit, i.e. the
+// next submission would be rejected with ErrOverloaded.
 func (s *Server) Health() Health {
 	h := Health{
 		Started:   s.started.Load(),
@@ -1039,24 +1201,39 @@ func (s *Server) Health() Health {
 		MaxQueue:  s.cfg.MaxQueue,
 		Completed: s.completed.Load(),
 	}
-	saturated := s.cfg.MaxQueue > 0 && len(s.workers) > 0
-	anyDead := false
-	for _, w := range s.workers {
+	states := s.ctrl.States()
+	saturated := s.cfg.MaxQueue > 0
+	routable, liveRoutable := 0, 0
+	for i, w := range s.workers {
 		d := w.outstandingCount()
-		h.QueueDepths = append(h.QueueDepths, d)
 		alive := w.alive.Load()
+		h.QueueDepths = append(h.QueueDepths, d)
 		h.WorkerAlive = append(h.WorkerAlive, alive)
-		if !alive {
-			anyDead = true
+		state := fleet.Active
+		if i < len(states) {
+			state = states[i]
+		}
+		h.Replicas = append(h.Replicas, ReplicaHealth{
+			ID: i, State: state.String(), Alive: alive, QueueDepth: d,
+		})
+		if state != fleet.Active {
+			continue
+		}
+		routable++
+		if alive {
+			liveRoutable++
 		}
 		if d < s.cfg.MaxQueue {
 			saturated = false
 		}
 	}
+	if routable == 0 {
+		saturated = false
+	}
 	switch {
 	case !h.Started:
 		h.Status = "starting"
-	case anyDead:
+	case liveRoutable == 0:
 		h.Status = "degraded"
 	case saturated:
 		h.Status = "overloaded"
@@ -1064,4 +1241,26 @@ func (s *Server) Health() Health {
 		h.Status = "ok"
 	}
 	return h
+}
+
+// Fleet snapshots the fleet control plane for GET /v1/fleet: the router in
+// effect and, per replica, its lifecycle state, engine-loop liveness,
+// queue depth, the controller's affinity-tracked template set, and the
+// templates actually staged replica-locally (when staging is enabled).
+func (s *Server) Fleet() FleetResponse {
+	resp := FleetResponse{
+		Router:    s.routerKind.String(),
+		Autoscale: s.ctrl.AutoscaleEnabled(),
+	}
+	for _, ri := range s.ctrl.Replicas() {
+		fr := FleetReplica{ID: ri.ID, State: ri.State.String(), Templates: ri.Templates}
+		if ri.ID < len(s.workers) {
+			w := s.workers[ri.ID]
+			fr.Alive = w.alive.Load()
+			fr.QueueDepth = w.outstandingCount()
+			fr.StagedTemplates = w.stagedTemplates()
+		}
+		resp.Replicas = append(resp.Replicas, fr)
+	}
+	return resp
 }

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"encoding/binary"
+	"hash/crc32"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"flashps/internal/batching"
 	"flashps/internal/diffusion"
 	"flashps/internal/faults"
+	"flashps/internal/model"
 	"flashps/internal/obs"
 	"flashps/internal/tensor"
 )
@@ -46,6 +49,13 @@ type worker struct {
 	// a stable order keeps the scheduler view (a floating-point cost sum)
 	// deterministic, unlike the map it replaced.
 	outstanding []*job
+
+	// Replica-local staged template set (fleet mode, Config.StagedTemplates
+	// > 0): an LRU of template IDs this replica has staged, least-recent
+	// first, plus the checksum recorded during each staging pass.
+	stageMu  sync.Mutex
+	staged   []uint64
+	stageSum map[uint64]uint32
 }
 
 func newWorker(id int, eng *diffusion.Engine, srv *Server) *worker {
@@ -101,6 +111,104 @@ func (w *worker) outstandingCount() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.outstanding)
+}
+
+// ensureStaged makes a template replica-local: a hit on this worker's
+// staged LRU just refreshes recency, while a miss pays the staging pass —
+// a full read of the cache entry's tensors with a CRC32 checksum, the cost
+// a real multi-process replica would pay copying the template into device
+// memory. The entry itself keeps serving from the shared store (this is a
+// one-process plane), so staging models the transfer without duplicating
+// the bytes. Returns whether a staging pass ran and the bytes it covered.
+// Evictions beyond capacity drop the least-recent template, so a template
+// bouncing between replicas re-pays the pass — exactly the cost
+// template-affinity routing avoids.
+func (w *worker) ensureStaged(tc *diffusion.TemplateCache, capacity int) (bool, int64) {
+	w.stageMu.Lock()
+	for i, id := range w.staged {
+		if id == tc.TemplateID {
+			copy(w.staged[i:], w.staged[i+1:])
+			w.staged[len(w.staged)-1] = id
+			w.stageMu.Unlock()
+			return false, 0
+		}
+	}
+	w.stageMu.Unlock()
+
+	// The pass runs outside the lock (it is the slow part and touches only
+	// the immutable cache entry); a concurrent duplicate for the same
+	// template is resolved on re-check below.
+	bytes, sum := stagePass(tc)
+
+	w.stageMu.Lock()
+	defer w.stageMu.Unlock()
+	for _, id := range w.staged {
+		if id == tc.TemplateID {
+			return false, 0 // raced with another staging of the same template
+		}
+	}
+	if w.stageSum == nil {
+		w.stageSum = make(map[uint64]uint32)
+	}
+	w.staged = append(w.staged, tc.TemplateID)
+	w.stageSum[tc.TemplateID] = sum
+	for len(w.staged) > capacity {
+		delete(w.stageSum, w.staged[0])
+		w.staged = w.staged[1:]
+	}
+	return true, bytes
+}
+
+// stagedTemplates returns the replica's staged template IDs, sorted.
+func (w *worker) stagedTemplates() []uint64 {
+	w.stageMu.Lock()
+	out := append([]uint64(nil), w.staged...)
+	w.stageMu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// stagePass reads every tensor of a template cache entry, returning the
+// byte count and a CRC32 (IEEE) checksum over the traversal.
+func stagePass(tc *diffusion.TemplateCache) (int64, uint32) {
+	crc := crc32.NewIEEE()
+	buf := make([]byte, 0, 1<<16)
+	var total int64
+	flush := func() {
+		crc.Write(buf)
+		buf = buf[:0]
+	}
+	addFloats := func(data []float32) {
+		for _, v := range data {
+			if len(buf)+4 > cap(buf) {
+				flush()
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, mathFloat32bits(v))
+		}
+		total += int64(4 * len(data))
+	}
+	addMatrix := func(m *tensor.Matrix) {
+		if m != nil {
+			addFloats(m.Data)
+		}
+	}
+	addMatrix(tc.Z0)
+	addMatrix(tc.Noise)
+	for _, steps := range [][]*model.StepActivations{tc.Steps, tc.UncondSteps} {
+		for _, st := range steps {
+			if st == nil {
+				continue
+			}
+			for _, b := range st.Blocks {
+				addMatrix(b.Y)
+				addMatrix(b.K)
+				addMatrix(b.V)
+			}
+		}
+	}
+	addFloats(tc.Cond)
+	flush()
+	return total, crc.Sum32()
 }
 
 // shedCandidates snapshots the live outstanding jobs as core items (with
