@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race faults cache-stress replay-diff fleet-diff obs-lint calib-gate bench bench-smoke bench-diffusion bench-diffusion-smoke bench-kernels bench-serve bench-serve-fleet-smoke whatif experiments fuzz clean
+.PHONY: all check build test vet race faults cache-stress replay-diff fleet-diff obs-lint alerts-smoke calib-gate bench bench-smoke bench-diffusion bench-diffusion-smoke bench-kernels bench-serve bench-serve-fleet-smoke whatif experiments fuzz clean
 
 all: check
 
@@ -8,10 +8,10 @@ all: check
 # the concurrent packages, the fault-injection suite, the tiered-store
 # stress drill, the sim-vs-real differential replay (decisions, timings,
 # AND byte-identical telemetry), the fleet differential replay, the
-# observability lint/golden gate, the calibration accuracy gate, and
-# one-iteration benchmark smoke passes (including a fleet router sweep)
-# so the benchmarks themselves can't rot.
-check: build vet test race faults cache-stress replay-diff fleet-diff obs-lint calib-gate bench-smoke bench-diffusion-smoke bench-serve-fleet-smoke
+# observability lint/golden gate, the alerting/flight-recorder drill, the
+# calibration accuracy gate, and one-iteration benchmark smoke passes
+# (including a fleet router sweep) so the benchmarks themselves can't rot.
+check: build vet test race faults cache-stress replay-diff fleet-diff obs-lint alerts-smoke calib-gate bench-smoke bench-diffusion-smoke bench-serve-fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,13 @@ fleet-diff:
 # checks.
 obs-lint:
 	$(GO) test -race -count=1 ./internal/obs/ -run 'TestMetricNamingLint|TestPlaneExpositionGolden|TestChromeTraceSchema|TestPlaneDashboardDeterministic'
+
+# End-to-end alerting drill under the race detector: an injected fault
+# pushes a burst of interactive requests past their deadline, the
+# burn-rate evaluator must page, and the paging transition must write a
+# flightrecorder.json whose span trees render with flashps-trace -explain.
+alerts-smoke:
+	$(GO) test -race -count=1 ./internal/serve/ -run TestAlertsSmoke
 
 # Sim-vs-real accuracy gate: capture a live serving run, fit perfmodel
 # coefficients from its telemetry, replay the same trace through the

@@ -16,6 +16,7 @@
 //	flashps-client -addr http://localhost:8005 -cache-stats
 //	flashps-client -addr http://localhost:8005 -load -n 50 -rps 4 -templates 1,2
 //	flashps-client -addr http://localhost:8005 -fleet
+//	flashps-client -addr http://localhost:8005 -alerts
 //	flashps-client -addr http://localhost:8005 -stats
 //
 // Server errors arrive as the structured JSON envelope documented in
@@ -55,6 +56,7 @@ func main() {
 		cacheStats = flag.Bool("cache-stats", false, "fetch per-tier cache statistics")
 		load       = flag.Bool("load", false, "run an open-loop Poisson workload")
 		fleetSnap  = flag.Bool("fleet", false, "fetch the fleet control-plane snapshot (per-replica table)")
+		alerts     = flag.Bool("alerts", false, "fetch the SLO burn-rate alert states (per-class table)")
 		stats      = flag.Bool("stats", false, "fetch server statistics")
 		template   = flag.Uint64("template", 1, "template id")
 		tplList    = flag.String("templates", "1", "comma-separated template ids for -load")
@@ -195,6 +197,19 @@ func main() {
 			fmt.Printf("%-4d %-9s %-6v %-6d %-20s %s\n",
 				r.ID, r.State, r.Alive, r.QueueDepth,
 				formatIDs(r.Templates), formatIDs(r.StagedTemplates))
+		}
+	case *alerts:
+		var al serve.AlertsResponse
+		if err := c.get("/v1/alerts", &al); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("alerts: worst %s, %d classes\n", al.Worst, len(al.Alerts))
+		fmt.Printf("%-12s %-8s %-10s %-10s %-14s %s\n",
+			"class", "state", "burn-fast", "burn-slow", "windows", "since")
+		for _, a := range al.Alerts {
+			fmt.Printf("%-12s %-8s %-10.2f %-10.2f %-14s %.1fs\n",
+				a.Class, a.State, a.BurnFast, a.BurnSlow,
+				fmt.Sprintf("%.0fs/%.0fs", a.FastWindow, a.SlowWindow), a.Since)
 		}
 	case *stats:
 		var st serve.Stats

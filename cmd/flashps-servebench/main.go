@@ -37,6 +37,7 @@ import (
 	"flashps/internal/batching"
 	"flashps/internal/benchfmt"
 	"flashps/internal/model"
+	"flashps/internal/obs"
 	"flashps/internal/perfmodel"
 	"flashps/internal/serve"
 	"flashps/internal/tensor"
@@ -69,7 +70,9 @@ func main() {
 			"re-serve the workload under the alternate fleet routers and report the rows side by side")
 		stagedTpls = flag.Int("staged-templates", 0,
 			"per-replica staged-template LRU capacity (0 = -templates when the affinity router runs, else off)")
-		smoke = flag.Bool("smoke", false, "CI smoke sizing: -n 60 -rate 600 unless overridden")
+		smoke     = flag.Bool("smoke", false, "CI smoke sizing: -n 60 -rate 600 unless overridden")
+		alertGate = flag.String("alert-gate", "",
+			"exit 3 when the run ends at or above this burn-rate alert state (warning|page)")
 	)
 	flag.IntVar(n, "requests", 500, "alias for -n")
 	flag.IntVar(workers, "replicas", 2, "alias for -workers (fleet size)")
@@ -139,6 +142,24 @@ func main() {
 		fmt.Printf("wrote %s: P50 %.1fms  P99 %.1fms  goodput %.2f rps  slo %.3f  batch %.2f  %.0f steps/s\n",
 			*out, res.P50MS, res.P99MS, res.GoodputRPS, res.SLOAttainment,
 			res.MeanBatchSize, res.StepsPerSec)
+	}
+	if *alertGate != "" {
+		gate, err := alertStateByName(*alertGate)
+		if err != nil {
+			fatal(err)
+		}
+		var worst obs.AlertState
+		if res.AlertWorst == "warning" {
+			worst = obs.AlertWarning
+		} else if res.AlertWorst == "page" {
+			worst = obs.AlertPage
+		}
+		if worst >= gate {
+			fmt.Fprintf(os.Stderr, "flashps-servebench: alert gate tripped: worst state %s >= %s\n",
+				res.AlertWorst, *alertGate)
+			os.Exit(3)
+		}
+		fmt.Printf("alert gate: worst state %s, below %s — ok\n", res.AlertWorst, *alertGate)
 	}
 }
 
@@ -320,7 +341,19 @@ func collect(srv *serve.Server, load *serve.LoadGenResult, n, workers int, route
 		StepsTotal:    plane.StepsTotal(),
 		StepsPerSec:   plane.StepsTotal() / elapsed,
 		MeanBatchSize: plane.MeanBatchSize(),
+		AlertWorst:    plane.AlertMax().String(),
 	}
+}
+
+// alertStateByName parses an -alert-gate threshold.
+func alertStateByName(name string) (obs.AlertState, error) {
+	switch name {
+	case "warning":
+		return obs.AlertWarning, nil
+	case "page":
+		return obs.AlertPage, nil
+	}
+	return 0, fmt.Errorf("bad -alert-gate %q: want warning|page", name)
 }
 
 func fatal(err error) {

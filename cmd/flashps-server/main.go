@@ -49,6 +49,8 @@ func main() {
 		maxQueue  = flag.Int("max-queue", 0, "per-worker admission limit (0 = unbounded)")
 		par       = flag.Int("parallelism", runtime.NumCPU(), "goroutines for numeric kernels")
 		traceRing = flag.Int("trace-ring", 0, "span trace ring capacity for /debug/traces (0 = default 65536)")
+		flightDir = flag.String("flight-dir", "",
+			"write flightrecorder.json here when an alert pages or a fault trips (empty = flight sink off)")
 		noPprof   = flag.Bool("no-pprof", false, "disable the /debug/pprof/ endpoints")
 
 		maxRetries = flag.Int("max-retries", 0, "crash-retry budget per request (0 = default 2, negative disables)")
@@ -125,6 +127,7 @@ func main() {
 		StepPolicy: *stepPolicy, StepPolicyByClass: classPolicies,
 		CacheDir: *cacheDir, MaxQueue: *maxQueue,
 		TraceRing:  *traceRing,
+		FlightDir:  *flightDir,
 		MaxRetries: *maxRetries, RetryBackoff: *retryBO,
 		WorkerRestartDelay: *restartDly, CacheLoadTimeout: *cacheTO,
 		Faults: inj,

@@ -9,6 +9,12 @@
 //	flashps-trace -gen -n 1000 -rps 2 -dist public -o trace.json
 //	flashps-trace -inspect trace.json             # summarize a trace file
 //	flashps-trace -sim -n 200 -rps 6 -workers 3 -obs-out obs/
+//	flashps-trace -explain 29b41705a29c -in obs/flightrecorder.json
+//
+// -explain renders one request's causal span tree from a telemetry
+// artifact: a flightrecorder.json snapshot or a Chrome trace.json export
+// (either the -obs-out files or the live server's /debug/* endpoints
+// saved to disk).
 //
 // -sim replays the generated trace through the discrete-event simulator
 // with a full telemetry plane bound to the virtual clock; -obs-out writes
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +66,9 @@ func main() {
 		replicas    = flag.Int("replicas", 0, "sim: initially active fleet replicas (0 = -workers)")
 		maxReplicas = flag.Int("max-replicas", 0, "sim: fleet replica pool ceiling (0 = -replicas)")
 		autoscale   = flag.Bool("autoscale", false, "sim: arm the SLO-driven autoscaler")
+
+		explain = flag.String("explain", "", "render the span tree of this trace id (12 hex digits) from -in")
+		in      = flag.String("in", "", "explain: artifact file — flightrecorder.json or Chrome trace.json")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -105,6 +115,10 @@ func main() {
 		fmt.Printf("mask ratio: %s\n", ratios.Summary())
 		fmt.Printf("templates: %d distinct; hottest %d serves %.0f%% of requests\n",
 			s.Templates, s.TopTemplate, s.TopShare*100)
+	case *explain != "":
+		if err := runExplain(*explain, *in); err != nil {
+			fatal(err)
+		}
 	case *sim:
 		if err := runSim(simFlags{
 			n: *n, rps: *rps, dist: *dist, templates: *tpls, seed: *seed,
@@ -227,6 +241,30 @@ func runSim(f simFlags) error {
 		fmt.Printf("wrote metrics.prom, trace.json, dash.html to %s\n", f.obsOut)
 	}
 	return nil
+}
+
+// runExplain renders one request's causal span tree from a telemetry
+// artifact: it first tries the file as a flight-recorder snapshot, then
+// as a Chrome trace_event export, and renders whichever parses.
+func runExplain(traceArg, path string) error {
+	trace, err := obs.ParseTraceID(traceArg)
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		return fmt.Errorf("-explain needs -in <flightrecorder.json|trace.json>")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spans []obs.Span
+	if snap, err := obs.ReadFlightSnapshot(bytes.NewReader(raw)); err == nil && len(snap.Spans) > 0 {
+		spans = snap.Spans
+	} else if spans, err = obs.SpansFromChromeJSON(bytes.NewReader(raw)); err != nil {
+		return fmt.Errorf("%s is neither a flight-recorder snapshot nor a Chrome trace: %v", path, err)
+	}
+	return obs.RenderSpanTree(os.Stdout, spans, trace)
 }
 
 func distByName(name string) (workload.MaskDist, error) {

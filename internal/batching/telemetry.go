@@ -74,15 +74,23 @@ func (t *Telemetry) BatchStep(size int) {
 }
 
 // RequestDone implements Observer: it emits the request's span breakdown
-// in clock seconds and the SLO observation.
+// in clock seconds — as a causal tree under the request's deterministic
+// trace id, so both replay drivers derive identical ids from identical
+// request ids — and the SLO observation.
 func (t *Telemetry) RequestDone(s RequestStat) {
 	req := uint64(s.ID)
+	trace := obs.TraceID(req)
+	root := obs.SpanID(trace, StageRequest, 0)
 	args := map[string]float64{"mask_ratio": s.MaskRatio}
-	t.plane.Span(req, StageQueue, TraceCat, s.Worker, s.Arrival, s.QueueTime(), nil)
-	t.plane.Span(req, StageInference, TraceCat, s.Worker, s.Admit, s.InferenceTime(),
+	t.plane.SpanCausal(req, StageQueue, TraceCat, s.Worker, s.Arrival, s.QueueTime(),
+		trace, obs.SpanID(trace, StageQueue, 0), root, nil)
+	t.plane.SpanCausal(req, StageInference, TraceCat, s.Worker, s.Admit, s.InferenceTime(),
+		trace, obs.SpanID(trace, StageInference, 0), root,
 		map[string]float64{"interruptions": float64(s.Interruptions)})
-	t.plane.Span(req, StagePostprocess, TraceCat, s.Worker, s.Finish, s.Complete-s.Finish, nil)
-	t.plane.Span(req, StageRequest, TraceCat, s.Worker, s.Arrival, s.Latency(), args)
+	t.plane.SpanCausal(req, StagePostprocess, TraceCat, s.Worker, s.Finish, s.Complete-s.Finish,
+		trace, obs.SpanID(trace, StagePostprocess, 0), root, nil)
+	t.plane.SpanCausal(req, StageRequest, TraceCat, s.Worker, s.Arrival, s.Latency(),
+		trace, root, 0, args)
 	t.plane.RequestOutcome("ok")
 	t.plane.ObserveSLO(s.MaskRatio, s.Latency())
 }

@@ -109,6 +109,11 @@ type ServeResult struct {
 	StepsPerSec   float64 `json:"steps_per_sec"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 
+	// AlertWorst is the most severe SLO burn-rate alert state at the end
+	// of the run ("ok", "warning", "page") — flashps-servebench's
+	// -alert-gate exits nonzero when it reaches the gated severity.
+	AlertWorst string `json:"alert_worst,omitempty"`
+
 	// ColdTemplates and Cold report flashps-servebench's optional second
 	// pass (-cold-templates): the same workload served with every template
 	// resident only on the disk tier, so each cache fetch pays a disk

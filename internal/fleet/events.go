@@ -45,6 +45,11 @@ type Event struct {
 	Kind EventKind
 	// Request is the subject request's ID (0 for scale events).
 	Request uint64
+	// Trace is the subject request's causal trace id (obs.TraceID of
+	// Request; 0 for scale events), linking the fleet log into the span
+	// tree. Derived deterministically from Request, so both replay
+	// drivers stamp identical ids.
+	Trace uint64
 	// Replica is the chosen/affected replica (-1 for rejects).
 	Replica int
 	// Affinity marks a routing decision that landed on a replica already
@@ -55,8 +60,8 @@ type Event struct {
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("#%d %s req=%d replica=%d affinity=%v reason=%q",
-		e.Seq, e.Kind, e.Request, e.Replica, e.Affinity, e.Reason)
+	return fmt.Sprintf("#%d %s req=%d trace=%012x replica=%d affinity=%v reason=%q",
+		e.Seq, e.Kind, e.Request, e.Trace, e.Replica, e.Affinity, e.Reason)
 }
 
 // EventLog is an append-only, concurrency-safe fleet event sequence,

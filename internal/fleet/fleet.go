@@ -352,8 +352,9 @@ func (c *Controller) Admit(req Request, now float64) (bool, string) {
 }
 
 func (c *Controller) rejectLocked(req Request, reason string) {
-	c.log.append(Event{Kind: EventReject, Request: req.ID, Replica: -1, Reason: reason})
-	c.metrics.Reject(reason)
+	c.log.append(Event{Kind: EventReject, Request: req.ID, Trace: obs.TraceID(req.ID),
+		Replica: -1, Reason: reason})
+	c.metrics.Reject(req.ID, reason)
 }
 
 // Route picks a replica for req given every replica's queue depth (depths
@@ -424,8 +425,9 @@ func (c *Controller) Route(req Request, depths []int, alive []bool) (int, bool, 
 
 	hit := pick.holds(req.Template)
 	pick.touch(req.Template, c.cfg.AffinityCapacity)
-	c.log.append(Event{Kind: EventRoute, Request: req.ID, Replica: pick.id, Affinity: hit})
-	c.metrics.Route(hit)
+	c.log.append(Event{Kind: EventRoute, Request: req.ID, Trace: obs.TraceID(req.ID),
+		Replica: pick.id, Affinity: hit})
+	c.metrics.Route(req.ID, pick.id, hit)
 	return pick.id, hit, nil
 }
 
@@ -441,7 +443,7 @@ func (c *Controller) NoteRoute(worker int, template uint64) {
 	r := c.replicas[worker]
 	hit := r.holds(template)
 	r.touch(template, c.cfg.AffinityCapacity)
-	c.metrics.Route(hit)
+	c.metrics.RouteHit(hit)
 }
 
 // Routable reports whether replica id may receive new traffic.
@@ -567,7 +569,7 @@ func (c *Controller) scaleUpLocked() (Event, bool) {
 	pick.state = Active
 	ev := Event{Kind: EventScaleUp, Replica: pick.id, Reason: "slo_breach"}
 	c.log.append(ev)
-	c.metrics.Scale("up")
+	c.metrics.Scale(pick.id, "up", ev.Reason)
 	return ev, true
 }
 
@@ -585,7 +587,7 @@ func (c *Controller) scaleDownLocked() (Event, bool) {
 	pick.state = Draining
 	ev := Event{Kind: EventScaleDown, Replica: pick.id, Reason: "idle"}
 	c.log.append(ev)
-	c.metrics.Scale("down")
+	c.metrics.Scale(pick.id, "down", ev.Reason)
 	return ev, true
 }
 

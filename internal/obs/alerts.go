@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// AlertState is one SLO class's alert severity, ordered by urgency.
+type AlertState int
+
+const (
+	// AlertOK: the class is inside its error budget on both windows.
+	AlertOK AlertState = iota
+	// AlertWarning: the budget is burning faster than the warning rate on
+	// both the fast and slow windows.
+	AlertWarning
+	// AlertPage: the budget is burning faster than the page rate on both
+	// windows — a human should look now.
+	AlertPage
+)
+
+func (s AlertState) String() string {
+	switch s {
+	case AlertOK:
+		return "ok"
+	case AlertWarning:
+		return "warning"
+	case AlertPage:
+		return "page"
+	}
+	return fmt.Sprintf("AlertState(%d)", int(s))
+}
+
+// MarshalJSON renders the state as its name, so API payloads read
+// "page", not 2.
+func (s AlertState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the name form MarshalJSON writes.
+func (s *AlertState) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "ok":
+		*s = AlertOK
+	case "warning":
+		*s = AlertWarning
+	case "page":
+		*s = AlertPage
+	default:
+		return fmt.Errorf("obs: unknown alert state %q", name)
+	}
+	return nil
+}
+
+// AlertConfig parameterizes the multi-window burn-rate evaluator. The
+// zero value is the working default: a 1-minute fast window and a
+// 30-minute slow window over a 99% attainment objective, warning at 2×
+// budget burn and paging at 10×. Windows are clock seconds, so under the
+// virtual-time drivers they are virtual minutes — which is what keeps the
+// evaluator byte-identical between sim and real replays.
+type AlertConfig struct {
+	FastWindow float64 // seconds (0: 60)
+	SlowWindow float64 // seconds (0: 1800)
+	Objective  float64 // target attainment fraction (0: 0.99)
+	WarnBurn   float64 // burn-rate multiple that raises warning (0: 2)
+	PageBurn   float64 // burn-rate multiple that raises page (0: 10)
+	// MinEvents is the completion count the fast window must hold before
+	// the state may escalate above ok (0: 5) — one early miss in an empty
+	// window is 100% miss rate, not an incident.
+	MinEvents int
+}
+
+func (c AlertConfig) withDefaults() AlertConfig {
+	if c.FastWindow <= 0 {
+		c.FastWindow = 60
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 1800
+	}
+	if c.Objective <= 0 || c.Objective >= 1 {
+		c.Objective = 0.99
+	}
+	if c.WarnBurn <= 0 {
+		c.WarnBurn = 2
+	}
+	if c.PageBurn <= 0 {
+		c.PageBurn = 10
+	}
+	if c.MinEvents <= 0 {
+		c.MinEvents = 5
+	}
+	return c
+}
+
+// AlertStatus is one class's evaluated alert state.
+type AlertStatus struct {
+	Class      string     `json:"class"`
+	State      AlertState `json:"state"`
+	BurnFast   float64    `json:"burn_fast"`
+	BurnSlow   float64    `json:"burn_slow"`
+	FastWindow float64    `json:"fast_window_seconds"`
+	SlowWindow float64    `json:"slow_window_seconds"`
+	// Since is the clock time of the last state transition (0 if never
+	// transitioned).
+	Since float64 `json:"since_seconds"`
+}
+
+// alertEvent is one completion in a class's sliding window.
+type alertEvent struct {
+	t  float64
+	ok bool
+}
+
+// alertClass is one SLO class's window and state.
+type alertClass struct {
+	name   string
+	events []alertEvent // pruned to the slow window, oldest first
+	state  AlertState
+	since  float64
+}
+
+// defaultAlertCap bounds each class's retained completion events.
+const defaultAlertCap = 8192
+
+// Alerts is the multi-window SLO burn-rate evaluator: each completed
+// request lands in its class's sliding window, and the class's burn rate
+// — windowed miss rate divided by the error budget (1 − objective) — is
+// evaluated over a fast and a slow window. A state escalates only when
+// BOTH windows burn above the threshold (the fast window makes paging
+// responsive, the slow window stops a brief blip from paging) and decays
+// as the windows drain. Purely clock-driven: identical event streams at
+// identical clock times produce identical states on every driver.
+type Alerts struct {
+	mu      sync.Mutex
+	cfg     AlertConfig
+	order   []string
+	byClass map[string]*alertClass
+}
+
+// NewAlerts builds an evaluator over the given SLO classes.
+func NewAlerts(cfg AlertConfig, classes []SLOClass) *Alerts {
+	if len(classes) == 0 {
+		classes = DefaultSLOClasses
+	}
+	a := &Alerts{cfg: cfg.withDefaults(), byClass: make(map[string]*alertClass, len(classes))}
+	for _, c := range classes {
+		a.order = append(a.order, c.Name)
+		a.byClass[c.Name] = &alertClass{name: c.Name}
+	}
+	return a
+}
+
+// Observe feeds one completed request into its class's window at clock
+// time now and re-evaluates the class. The bool reports whether the
+// class's state changed on this observation.
+func (a *Alerts) Observe(class string, ok bool, now float64) (AlertStatus, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.byClass[class]
+	if c == nil {
+		c = &alertClass{name: class}
+		a.order = append(a.order, class)
+		a.byClass[class] = c
+	}
+	c.events = append(c.events, alertEvent{t: now, ok: ok})
+	if len(c.events) > defaultAlertCap {
+		c.events = append(c.events[:0], c.events[len(c.events)-defaultAlertCap:]...)
+	}
+	return a.evalLocked(c, now)
+}
+
+// Evaluate re-evaluates every class at clock time now without adding
+// events — the live plane calls it from its ticker so states decay when
+// traffic stops; the sim drivers only evaluate at completion events,
+// which keeps replay deterministic.
+func (a *Alerts) Evaluate(now float64) []AlertStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]AlertStatus, 0, len(a.order))
+	for _, name := range a.order {
+		st, _ := a.evalLocked(a.byClass[name], now)
+		out = append(out, st)
+	}
+	return out
+}
+
+// Snapshot returns every class's current status without re-evaluating
+// windows (states are as of the last Observe/Evaluate; burns are
+// recomputed at now for display).
+func (a *Alerts) Snapshot(now float64) []AlertStatus {
+	return a.Evaluate(now)
+}
+
+func (a *Alerts) evalLocked(c *alertClass, now float64) (AlertStatus, bool) {
+	// Prune to the slow window. Events exactly at the boundary survive,
+	// matching WindowQuantile's prune semantics.
+	cut := now - a.cfg.SlowWindow
+	i := 0
+	for i < len(c.events) && c.events[i].t < cut {
+		i++
+	}
+	if i > 0 {
+		c.events = append(c.events[:0], c.events[i:]...)
+	}
+	var slowN, slowMiss, fastN, fastMiss int
+	fastCut := now - a.cfg.FastWindow
+	for _, e := range c.events {
+		slowN++
+		if !e.ok {
+			slowMiss++
+		}
+		if e.t >= fastCut {
+			fastN++
+			if !e.ok {
+				fastMiss++
+			}
+		}
+	}
+	// Round the budget to kill the runtime-subtraction float error
+	// (1 − 0.99 ≠ the double nearest 0.01), so a 100%-miss window burns
+	// at exactly 100× — the value the exposition golden pins.
+	budget := math.Round((1-a.cfg.Objective)*1e9) / 1e9
+	burn := func(miss, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return float64(miss) / float64(n) / budget
+	}
+	st := AlertStatus{
+		Class:      c.name,
+		BurnFast:   burn(fastMiss, fastN),
+		BurnSlow:   burn(slowMiss, slowN),
+		FastWindow: a.cfg.FastWindow,
+		SlowWindow: a.cfg.SlowWindow,
+	}
+	next := AlertOK
+	if fastN >= a.cfg.MinEvents {
+		if both := min2(st.BurnFast, st.BurnSlow); both >= a.cfg.PageBurn {
+			next = AlertPage
+		} else if both >= a.cfg.WarnBurn {
+			next = AlertWarning
+		}
+	}
+	transitioned := next != c.state
+	if transitioned {
+		c.state = next
+		c.since = now
+	}
+	st.State = c.state
+	st.Since = c.since
+	return st, transitioned
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

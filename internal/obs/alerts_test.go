@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAlertsEscalationAndDecay(t *testing.T) {
+	a := NewAlerts(AlertConfig{}, nil) // 60s/1800s, objective 0.99, page at 10×
+	// Four straight misses: below MinEvents, still ok.
+	for i := 0; i < 4; i++ {
+		st, trans := a.Observe("interactive", false, float64(i))
+		if st.State != AlertOK || trans {
+			t.Fatalf("obs %d: state %v transitioned=%v, want ok before MinEvents", i, st.State, trans)
+		}
+	}
+	// Fifth miss crosses MinEvents with a 100× burn on both windows.
+	st, trans := a.Observe("interactive", false, 4)
+	if st.State != AlertPage || !trans {
+		t.Fatalf("state %v transitioned=%v, want page transition", st.State, trans)
+	}
+	if st.BurnFast != 100 || st.BurnSlow != 100 {
+		t.Fatalf("burns = %g/%g, want 100/100", st.BurnFast, st.BurnSlow)
+	}
+	if st.Since != 4 {
+		t.Fatalf("since = %g, want 4", st.Since)
+	}
+	// The fast window drains 60s later: the page decays back to ok even
+	// though the misses still sit in the slow window.
+	for _, got := range a.Evaluate(65) {
+		if got.Class != "interactive" {
+			continue
+		}
+		if got.State != AlertOK {
+			t.Fatalf("state after fast drain = %v, want ok", got.State)
+		}
+		if got.BurnFast != 0 || got.BurnSlow != 100 {
+			t.Fatalf("burns after drain = %g/%g, want 0/100", got.BurnFast, got.BurnSlow)
+		}
+	}
+}
+
+func TestAlertsWarningBand(t *testing.T) {
+	a := NewAlerts(AlertConfig{}, nil)
+	// 1 miss in 20 completions: 5% misses over a 1% budget → 5× burn,
+	// inside the warning band [2, 10).
+	var st AlertStatus
+	for i := 0; i < 20; i++ {
+		st, _ = a.Observe("standard", i != 0, float64(i)*0.1)
+	}
+	if st.State != AlertWarning {
+		t.Fatalf("state = %v, want warning", st.State)
+	}
+	if st.BurnFast != 5 || st.BurnSlow != 5 {
+		t.Fatalf("burns = %g/%g, want 5/5", st.BurnFast, st.BurnSlow)
+	}
+}
+
+func TestAlertsSlowWindowDilutesBlip(t *testing.T) {
+	a := NewAlerts(AlertConfig{}, nil)
+	// A long healthy history dilutes the slow window, so a fresh burst of
+	// misses that saturates the fast window must NOT page: both windows
+	// have to burn.
+	for i := 0; i < 1000; i++ {
+		a.Observe("relaxed", true, 0)
+	}
+	var st AlertStatus
+	for i := 0; i < 5; i++ {
+		st, _ = a.Observe("relaxed", false, 1700+float64(i))
+	}
+	if st.BurnFast != 100 {
+		t.Fatalf("fast burn = %g, want 100", st.BurnFast)
+	}
+	if st.BurnSlow >= 2 {
+		t.Fatalf("slow burn = %g, want < 2 (diluted)", st.BurnSlow)
+	}
+	if st.State != AlertOK {
+		t.Fatalf("state = %v, want ok (slow window healthy)", st.State)
+	}
+}
+
+func TestAlertStateJSON(t *testing.T) {
+	for _, s := range []AlertState{AlertOK, AlertWarning, AlertPage} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got AlertState
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Fatalf("round trip %v → %s → %v", s, b, got)
+		}
+	}
+	var bad AlertState
+	if err := json.Unmarshal([]byte(`"meltdown"`), &bad); err == nil {
+		t.Fatal("unknown state should fail to parse")
+	}
+}
+
+// TestPlaneAlertIntegration drives a plane to a page-level alert and
+// checks the metric families, the flight-recorder feed, and the sink trip.
+func TestPlaneAlertIntegration(t *testing.T) {
+	now := 0.0
+	p := NewPlane(PlaneConfig{Clock: ClockFunc(func() float64 { return now })})
+	var tripped []FlightSnapshot
+	p.SetFlightSink(func(s FlightSnapshot) { tripped = append(tripped, s) })
+
+	// Five interactive completions blowing the 2.5s deadline: 100× burn.
+	for i := 0; i < 5; i++ {
+		now = float64(i)
+		p.ObserveSLO(0.10, 10.0)
+	}
+	if got := p.AlertMax(); got != AlertPage {
+		t.Fatalf("AlertMax = %v, want page", got)
+	}
+	exp := p.Reg.String()
+	for _, want := range []string{
+		`flashps_alert_state{class="interactive"} 2`,
+		`flashps_alert_burn_rate{class="interactive",window="fast"} 100`,
+		`flashps_alert_transitions_total{class="interactive",state="page"} 1`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+	if len(tripped) != 1 || tripped[0].Reason != "alert_page:interactive" {
+		t.Fatalf("flight trips = %+v, want one alert_page:interactive", tripped)
+	}
+	var sawAlert bool
+	for _, ev := range tripped[0].Events {
+		if ev.Kind == "alert" && ev.Detail == "interactive → page" {
+			sawAlert = true
+		}
+	}
+	if !sawAlert {
+		t.Fatalf("snapshot missing alert transition event: %+v", tripped[0].Events)
+	}
+	// States decay through the live ticker path once the window drains.
+	now = 120
+	p.Tick()
+	if got := p.AlertMax(); got != AlertOK {
+		t.Fatalf("AlertMax after drain = %v, want ok", got)
+	}
+	if !strings.Contains(p.Reg.String(), `flashps_alert_state{class="interactive"} 0`) {
+		t.Fatal("exposition did not decay interactive state to 0")
+	}
+}

@@ -30,6 +30,7 @@ func (p *Plane) WriteDashboard(w io.Writer) error {
 	p.dashTiles(&b)
 	p.dashStages(&b, now)
 	p.dashSLO(&b)
+	p.dashAlerts(&b)
 	p.dashQueues(&b)
 	p.dashOccupancy(&b)
 	p.dashBlocks(&b)
@@ -122,6 +123,30 @@ func (p *Plane) dashSLO(b *strings.Builder) {
 			strconv.FormatFloat(100*att, 'f', 1, 64), fmtPercent(att))
 	}
 	b.WriteString("</tbody></table></section>\n")
+}
+
+// dashAlerts renders the burn-rate alert panel: per-class state and
+// fast/slow-window burn, plus the flight-recorder and trace-ring health
+// lines (including the tracer's dropped-span count, which used to
+// accumulate silently).
+func (p *Plane) dashAlerts(b *strings.Builder) {
+	b.WriteString("<section><h2>Burn-rate alerts</h2>" +
+		"<table><thead><tr><th>class</th><th class=n>state</th><th class=n>burn (fast)</th>" +
+		"<th class=n>burn (slow)</th><th class=n>since</th></tr></thead><tbody>")
+	for _, st := range p.Alerts() {
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=n>%s</td><td class=n>%s×</td>"+
+			"<td class=n>%s×</td><td class=n>%s</td></tr>",
+			html.EscapeString(st.Class), html.EscapeString(st.State.String()),
+			strconv.FormatFloat(st.BurnFast, 'f', 1, 64),
+			strconv.FormatFloat(st.BurnSlow, 'f', 1, 64),
+			fmtSeconds(st.Since))
+	}
+	b.WriteString("</tbody></table>")
+	fmt.Fprintf(b, "<p class=sub>flight recorder: %d events retained (%d dropped) · "+
+		"trace ring: %d spans recorded, %d dropped</p>",
+		p.Flight.Total()-p.Flight.Dropped(), p.Flight.Dropped(),
+		p.Tracer.Total(), p.Tracer.Dropped())
+	b.WriteString("</section>\n")
 }
 
 // Categorical series slots in fixed order (assigned by worker index,

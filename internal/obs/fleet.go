@@ -6,7 +6,12 @@ package obs
 // families are registered lazily — only a plane that actually drives a
 // fleet (Plane.Fleet) grows them — so single-replica expositions and the
 // golden exposition test stay byte-identical to the pre-fleet plane.
+//
+// Beyond the counters, each per-request decision also lands in the
+// plane's flight recorder so a snapshot taken after an incident shows
+// the routing/reject/scale history that led up to it.
 type FleetMetrics struct {
+	plane    *Plane
 	replicas *GaugeVec
 	routes   *CounterVec
 	rejects  *CounterVec
@@ -20,6 +25,7 @@ func (p *Plane) Fleet() *FleetMetrics {
 	defer p.mu.Unlock()
 	if p.fleet == nil {
 		p.fleet = &FleetMetrics{
+			plane: p,
 			replicas: p.Reg.GaugeVec("flashps_fleet_replicas",
 				"Fleet replicas by lifecycle state (active/draining/down)", "state"),
 			routes: p.Reg.CounterVec("flashps_fleet_routes_total",
@@ -43,31 +49,54 @@ func (m *FleetMetrics) SetReplicas(active, draining, down int) {
 	m.replicas.With("down").Set(float64(down))
 }
 
-// Route records one routing decision; hit marks a template-affinity hit
-// (the chosen replica already held the request's template).
-func (m *FleetMetrics) Route(hit bool) {
+// Route records one routing decision for request req landing on replica;
+// hit marks a template-affinity hit (the chosen replica already held the
+// request's template). The decision is also flight-recorded.
+func (m *FleetMetrics) Route(req uint64, replica int, hit bool) {
 	if m == nil {
 		return
 	}
+	detail := "affinity_miss"
 	if hit {
-		m.routes.With("hit").Inc()
-	} else {
-		m.routes.With("miss").Inc()
+		detail = "affinity_hit"
 	}
+	m.routes.With(affinityLabel(hit)).Inc()
+	m.plane.RecordFlight("route", req, replica, detail)
 }
 
-// Reject records one admission reject with its reason.
-func (m *FleetMetrics) Reject(reason string) {
+// RouteHit records a routing affinity outcome without a flight event —
+// used for externally decided placements (RouterCore) whose choice is
+// already pinned by the core's own decision log.
+func (m *FleetMetrics) RouteHit(hit bool) {
+	if m == nil {
+		return
+	}
+	m.routes.With(affinityLabel(hit)).Inc()
+}
+
+func affinityLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// Reject records one admission reject with its reason, flight-recorded
+// so the black box names every turned-away request.
+func (m *FleetMetrics) Reject(req uint64, reason string) {
 	if m == nil {
 		return
 	}
 	m.rejects.With(reason).Inc()
+	m.plane.RecordFlight("admission_reject", req, -1, reason)
 }
 
-// Scale records one autoscaler action ("up" or "down").
-func (m *FleetMetrics) Scale(direction string) {
+// Scale records one autoscaler action ("up" or "down") on replica with
+// its trigger reason, flight-recorded.
+func (m *FleetMetrics) Scale(replica int, direction, reason string) {
 	if m == nil {
 		return
 	}
 	m.scale.With(direction).Inc()
+	m.plane.RecordFlight("scale_"+direction, 0, replica, reason)
 }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultFlightRing is the default flight-recorder capacity (events).
+const DefaultFlightRing = 512
+
+// FlightEvent is one structured control-plane decision or incident in the
+// flight recorder's ring: admission rejects, routing choices, scale
+// events, evictions, sheds, faults, deadline misses, alert transitions,
+// and core scheduling decisions. Replica is -1 when the event has no
+// replica. Trace is the request's hex trace id when a request is
+// involved, so a snapshot links straight into the span tree.
+type FlightEvent struct {
+	T       float64 `json:"t"`
+	Kind    string  `json:"kind"`
+	Request uint64  `json:"request,omitempty"`
+	Trace   string  `json:"trace,omitempty"`
+	Replica int     `json:"replica"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// FlightRecorder keeps the last capacity FlightEvents in a bounded ring —
+// the always-on black box the serving plane dumps when something goes
+// wrong. Record is one short critical section, cheap enough for every
+// scheduling decision.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []FlightEvent
+	next    uint64
+	dropped uint64
+}
+
+// NewFlightRecorder returns a recorder holding at most capacity events
+// (DefaultFlightRing when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightRing
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, 0, capacity)}
+}
+
+// Record appends an event, evicting the oldest when the ring is full.
+func (r *FlightRecorder) Record(ev FlightEvent) {
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.next%uint64(cap(r.ring))] = ev
+		r.dropped++
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (including dropped).
+func (r *FlightRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Dropped returns how many events the ring has evicted.
+func (r *FlightRecorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *FlightRecorder) Snapshot() []FlightEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightEvent, 0, len(r.ring))
+	if len(r.ring) < cap(r.ring) || r.next == 0 {
+		return append(out, r.ring...)
+	}
+	head := int(r.next % uint64(cap(r.ring)))
+	out = append(out, r.ring[head:]...)
+	return append(out, r.ring[:head]...)
+}
+
+// FlightSnapshot is one dump of the flight recorder: why it was taken,
+// when (clock seconds), every alert's state, the recent event ring, and
+// the tracer's retained spans — enough to reconstruct the span tree of
+// any request the events name (`flashps-trace -explain` renders it
+// straight from this artifact).
+type FlightSnapshot struct {
+	Reason       string        `json:"reason"`
+	ClockSeconds float64       `json:"clock_seconds"`
+	Alerts       []AlertStatus `json:"alerts"`
+	Events       []FlightEvent `json:"events"`
+	Spans        []Span        `json:"spans"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s FlightSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadFlightSnapshot parses a flightrecorder.json artifact.
+func ReadFlightSnapshot(r io.Reader) (FlightSnapshot, error) {
+	var s FlightSnapshot
+	err := json.NewDecoder(r).Decode(&s)
+	return s, err
+}

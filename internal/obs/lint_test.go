@@ -128,6 +128,10 @@ func TestMetricNamingLint(t *testing.T) {
 		"flashps_cache_capacity_bytes",
 		"flashps_cache_entries",
 		"flashps_cache_dedup_ratio",
+		"flashps_alert_state",
+		"flashps_alert_burn_rate",
+		"flashps_alert_transitions_total",
+		"flashps_trace_spans_dropped_total",
 	}
 	for _, name := range required {
 		if !seen[name] {

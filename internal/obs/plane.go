@@ -29,29 +29,36 @@ type Plane struct {
 	SLO     *SLOTracker
 	Samples *Sampler
 	Profile *ProfileRecorder
+	Flight  *FlightRecorder
 
-	mu       sync.Mutex
-	clock    Clock
-	epoch    float64
-	calib    CalibrationInfo
-	cacheOcc func() []CacheTierOccupancy
+	mu         sync.Mutex
+	clock      Clock
+	epoch      float64
+	calib      CalibrationInfo
+	cacheOcc   func() []CacheTierOccupancy
+	flightSink func(FlightSnapshot)
 
-	requests   *CounterVec
-	steps      *Counter
-	blocksComp *Counter
-	blocksRe   *Counter
-	stage      *HistogramVec
-	stageQ     *QuantileVec
-	batchOcc   *Histogram
-	queueDepth *GaugeVec
-	peakQueue  *GaugeVec
-	decisions  *CounterVec
-	sloVec     *CounterVec
-	tierOps    *CounterVec
-	tierBytes  *CounterVec
-	calibSamp  *CounterVec
-	calibResid *GaugeVec
-	fleet      *FleetMetrics
+	requests     *CounterVec
+	steps        *Counter
+	blocksComp   *Counter
+	blocksRe     *Counter
+	stage        *HistogramVec
+	stageQ       *QuantileVec
+	batchOcc     *Histogram
+	queueDepth   *GaugeVec
+	peakQueue    *GaugeVec
+	decisions    *CounterVec
+	sloVec       *CounterVec
+	tierOps      *CounterVec
+	tierBytes    *CounterVec
+	calibSamp    *CounterVec
+	calibResid   *GaugeVec
+	fleet        *FleetMetrics
+	alerts       *Alerts
+	alertState   *GaugeVec
+	alertBurn    *GaugeVec
+	alertTrans   *CounterVec
+	traceDropped *Counter
 
 	batchSizeSum atomic.Uint64
 	batchSteps   atomic.Uint64
@@ -78,6 +85,11 @@ type PlaneConfig struct {
 	// ProfileCap bounds the retained calibration cost samples
 	// (0: DefaultProfileCap).
 	ProfileCap int
+	// Alerts parameterizes the SLO burn-rate evaluator (zero value: the
+	// 60s/1800s windows over a 99% objective).
+	Alerts AlertConfig
+	// FlightRing sizes the flight recorder (0: DefaultFlightRing).
+	FlightRing int
 }
 
 // Quantiles the plane exposes per stage, ascending.
@@ -93,16 +105,22 @@ func NewPlane(cfg PlaneConfig) *Plane {
 	if qw <= 0 {
 		qw = DefaultSampleWindow
 	}
+	classes := cfg.SLOClasses
+	if len(classes) == 0 {
+		classes = DefaultSLOClasses
+	}
 	reg := NewRegistry()
 	p := &Plane{
 		Reg:     reg,
 		Tracer:  NewTracer(cfg.TraceRing),
-		SLO:     NewSLOTracker(cfg.SLOClasses),
+		SLO:     NewSLOTracker(classes),
 		Samples: NewSampler(clock, cfg.SampleWindow, cfg.SampleCap),
 		Profile: NewProfileRecorder(cfg.ProfileCap),
+		Flight:  NewFlightRecorder(cfg.FlightRing),
 		clock:   clock,
 		epoch:   clock.Now(),
 		stageQ:  NewQuantileVec(qw, cfg.QuantileCap),
+		alerts:  NewAlerts(cfg.Alerts, classes),
 	}
 	p.requests = reg.CounterVec("flashps_requests_total",
 		"Edit requests by terminal outcome", "outcome")
@@ -134,6 +152,23 @@ func NewPlane(cfg PlaneConfig) *Plane {
 		"Calibration cost samples recorded, by pipeline stage", "stage")
 	p.calibResid = reg.GaugeVec("flashps_calibration_fit_residual",
 		"Median absolute relative residual of the fitted cost model, by stage", "stage")
+	p.alertState = reg.GaugeVec("flashps_alert_state",
+		"SLO burn-rate alert state per deadline class (0 ok, 1 warning, 2 page)", "class")
+	p.alertBurn = reg.GaugeVec("flashps_alert_burn_rate",
+		"SLO error-budget burn rate per deadline class and window (fast/slow)", "class", "window")
+	p.alertTrans = reg.CounterVec("flashps_alert_transitions_total",
+		"Alert state transitions per deadline class and entered state", "class", "state")
+	p.traceDropped = reg.Counter("flashps_trace_spans_dropped_total",
+		"Spans evicted from the bounded trace ring since process start")
+	p.Tracer.OnDrop(p.traceDropped.Inc)
+	// Seed every class's state and burn gauges so the exposition carries
+	// the alert families from the first scrape — and deterministically, so
+	// the differential replay's byte comparison covers them.
+	for _, c := range classes {
+		p.alertState.With(c.Name).Set(0)
+		p.alertBurn.With(c.Name, "fast").Set(0)
+		p.alertBurn.With(c.Name, "slow").Set(0)
+	}
 
 	reg.GaugeFunc("flashps_slo_attainment",
 		"Fraction of completed requests that met their class deadline",
@@ -242,10 +277,18 @@ func (p *Plane) stageQuantiles() []LabeledValue {
 // histogram, and the stage quantile window, so the trace, the histogram,
 // and the quantiles never disagree.
 func (p *Plane) Span(req uint64, stage, cat string, tid int, start, dur float64, args map[string]float64) {
+	p.SpanCausal(req, stage, cat, tid, start, dur, 0, 0, 0, args)
+}
+
+// SpanCausal is Span with an explicit causal identity: the request's
+// trace id, this span's id within it, and the parent span it hangs under
+// (0 for the request root). All-zero ids record a legacy non-causal span.
+func (p *Plane) SpanCausal(req uint64, stage, cat string, tid int, start, dur float64, trace, id, parent uint64, args map[string]float64) {
 	if dur < 0 {
 		dur = 0
 	}
-	p.Tracer.Span(req, stage, cat, tid, start, dur, args)
+	p.Tracer.Record(Span{Request: req, Name: stage, Cat: cat, TID: tid,
+		Start: start, Dur: dur, Args: args, Trace: trace, ID: id, Parent: parent})
 	p.stage.With(stage).Observe(dur)
 	p.stageQ.With(stage).Observe(start+dur, dur)
 }
@@ -296,14 +339,20 @@ func (p *Plane) SetQueueDepth(worker, depth int) {
 	p.Samples.Record("queue_depth_w"+l, d)
 }
 
-// Decision counts one scheduling decision by kind.
-func (p *Plane) Decision(kind string) { p.decisions.With(kind).Inc() }
+// Decision counts one scheduling decision by kind and drops it into the
+// flight recorder, so a snapshot shows the recent decision stream beside
+// the incidents.
+func (p *Plane) Decision(kind string) {
+	p.decisions.With(kind).Inc()
+	p.Flight.Record(FlightEvent{T: p.Now(), Kind: "decision", Replica: -1, Detail: kind})
+}
 
 // ObserveSLO classifies one completed request (by mask ratio) against its
 // deadline class and records attainment; it also ticks the sampler's
 // sources so goodput/throughput series advance at completion events —
 // which keeps sampling deterministic (and the virtual event queue finite)
-// under the simulation drivers.
+// under the simulation drivers — and feeds the burn-rate alert evaluator
+// at the same completion events, for the same reason.
 func (p *Plane) ObserveSLO(ratio, latency float64) (SLOClass, bool) {
 	c, ok := p.SLO.Observe(ratio, latency)
 	result := "attained"
@@ -311,8 +360,89 @@ func (p *Plane) ObserveSLO(ratio, latency float64) (SLOClass, bool) {
 		result = "missed"
 	}
 	p.sloVec.With(c.Name, result).Inc()
+	now := p.Now()
+	st, transitioned := p.alerts.Observe(c.Name, ok, now)
+	p.publishAlert(st)
+	if transitioned {
+		p.alertTrans.With(c.Name, st.State.String()).Inc()
+		p.Flight.Record(FlightEvent{T: now, Kind: "alert", Replica: -1,
+			Detail: c.Name + " → " + st.State.String()})
+		if st.State == AlertPage {
+			p.TripFlight("alert_page:" + c.Name)
+		}
+	}
 	p.Samples.Tick()
 	return c, ok
+}
+
+// publishAlert mirrors one class's evaluated status into the alert gauges.
+func (p *Plane) publishAlert(st AlertStatus) {
+	p.alertState.With(st.Class).Set(float64(st.State))
+	p.alertBurn.With(st.Class, "fast").Set(st.BurnFast)
+	p.alertBurn.With(st.Class, "slow").Set(st.BurnSlow)
+}
+
+// Alerts returns every deadline class's current burn-rate alert status.
+func (p *Plane) Alerts() []AlertStatus {
+	return p.alerts.Snapshot(p.Now())
+}
+
+// AlertMax returns the most severe current alert state across classes.
+func (p *Plane) AlertMax() AlertState {
+	worst := AlertOK
+	for _, st := range p.Alerts() {
+		if st.State > worst {
+			worst = st.State
+		}
+	}
+	return worst
+}
+
+// RecordFlight drops one structured event into the flight recorder,
+// stamped with the plane clock. Pass replica -1 when no replica is
+// involved and request 0 when no request is; a nonzero request also
+// links the event to its trace id.
+func (p *Plane) RecordFlight(kind string, request uint64, replica int, detail string) {
+	ev := FlightEvent{T: p.Now(), Kind: kind, Request: request, Replica: replica, Detail: detail}
+	if request != 0 {
+		ev.Trace = FormatTraceID(TraceID(request))
+	}
+	p.Flight.Record(ev)
+}
+
+// FlightSnapshot assembles a flight-recorder dump: alert states, the
+// event ring, and the tracer's retained spans, stamped with the plane
+// clock and the given reason.
+func (p *Plane) FlightSnapshot(reason string) FlightSnapshot {
+	now := p.Now()
+	return FlightSnapshot{
+		Reason:       reason,
+		ClockSeconds: now,
+		Alerts:       p.alerts.Snapshot(now),
+		Events:       p.Flight.Snapshot(),
+		Spans:        p.Tracer.Snapshot(),
+	}
+}
+
+// SetFlightSink registers the callback that receives flight snapshots
+// when TripFlight fires (the live server writes flightrecorder.json from
+// it). The sim drivers never set one, so tripping is a no-op there and
+// replay stays deterministic.
+func (p *Plane) SetFlightSink(fn func(FlightSnapshot)) {
+	p.mu.Lock()
+	p.flightSink = fn
+	p.mu.Unlock()
+}
+
+// TripFlight pushes a snapshot with the given reason to the registered
+// sink — called when an alert pages or a fault rule trips.
+func (p *Plane) TripFlight(reason string) {
+	p.mu.Lock()
+	sink := p.flightSink
+	p.mu.Unlock()
+	if sink != nil {
+		sink(p.FlightSnapshot(reason))
+	}
 }
 
 // CacheTier accumulates tier accounting: ops operations of kind op on the
@@ -325,8 +455,16 @@ func (p *Plane) CacheTier(tier, op string, ops uint64, bytes float64) {
 }
 
 // Tick samples the registered time-series sources at the current clock
-// time; the live serving plane drives it from a wall ticker.
-func (p *Plane) Tick() { p.Samples.Tick() }
+// time and re-evaluates the alert windows so states decay when traffic
+// stops; the live serving plane drives it from a wall ticker. The sim
+// drivers never call it — they evaluate at completion events instead,
+// which keeps replay deterministic.
+func (p *Plane) Tick() {
+	p.Samples.Tick()
+	for _, st := range p.alerts.Evaluate(p.Now()) {
+		p.publishAlert(st)
+	}
+}
 
 // RecordCost stamps a calibration cost sample with the plane clock and
 // records it into the profile recorder and the calibration sample counter.
@@ -430,10 +568,11 @@ func (p *Plane) cacheOccupancy() []CacheTierOccupancy {
 
 // Artifact filenames WriteArtifacts produces.
 const (
-	ArtifactMetrics   = "metrics.prom"
-	ArtifactTrace     = "trace.json"
-	ArtifactDashboard = "dash.html"
-	ArtifactProfile   = "profile.jsonl"
+	ArtifactMetrics        = "metrics.prom"
+	ArtifactTrace          = "trace.json"
+	ArtifactDashboard      = "dash.html"
+	ArtifactProfile        = "profile.jsonl"
+	ArtifactFlightRecorder = "flightrecorder.json"
 )
 
 // WriteArtifacts dumps the plane's full output — Prometheus exposition,
@@ -462,6 +601,11 @@ func (p *Plane) WriteArtifacts(dir string) error {
 	}
 	if err := write(ArtifactProfile, func(b *strings.Builder) error {
 		return p.Profile.WriteJSONL(b)
+	}); err != nil {
+		return err
+	}
+	if err := write(ArtifactFlightRecorder, func(b *strings.Builder) error {
+		return p.FlightSnapshot("artifact").WriteJSON(b)
 	}); err != nil {
 		return err
 	}

@@ -159,22 +159,29 @@ func scriptPlane() *Plane {
 	now := 0.0
 	p := NewPlane(PlaneConfig{Clock: ClockFunc(func() float64 { return now })})
 	for i := 0; i < 8; i++ {
+		req := uint64(i + 1)
+		trace := TraceID(req)
+		root := SpanID(trace, "request", 0)
 		arrival := float64(i) * 0.25
 		now = arrival
 		p.Decision("place")
 		p.SetQueueDepth(i%2, 1)
-		p.Span(uint64(i+1), "queue", "core", i%2, arrival, 0.05, nil)
+		p.SpanCausal(req, "queue", "core", i%2, arrival, 0.05,
+			trace, SpanID(trace, "queue", 0), root, nil)
 		p.ObserveBatch(1 + i%3)
 		p.AddSteps(1 + i%3)
 		p.RecordCost(CostSample{Stage: CostStageDenoiseStep, Units: 1 + i%3,
 			Batch: 1 + i%3, MaskSum: 0.05 * float64(i+1),
 			FLOPs: 1e9 * float64(i+1), Seconds: 0.02})
 		now = arrival + 0.05 + 0.80
-		p.Span(uint64(i+1), "inference", "core", i%2, arrival+0.05, 0.80,
+		p.SpanCausal(req, "inference", "core", i%2, arrival+0.05, 0.80,
+			trace, SpanID(trace, "inference", 0), root,
 			map[string]float64{"interruptions": 0})
 		now = arrival + 1.0
-		p.Span(uint64(i+1), "postprocess", "core", i%2, arrival+0.85, 0.15, nil)
-		p.Span(uint64(i+1), "request", "core", i%2, arrival, 1.0,
+		p.SpanCausal(req, "postprocess", "core", i%2, arrival+0.85, 0.15,
+			trace, SpanID(trace, "postprocess", 0), root, nil)
+		p.SpanCausal(req, "request", "core", i%2, arrival, 1.0,
+			trace, root, 0,
 			map[string]float64{"mask_ratio": 0.05 * float64(i+1)})
 		p.SetQueueDepth(i%2, 0)
 		p.RequestOutcome("ok")
@@ -239,8 +246,10 @@ func TestPlaneDashboardDeterministic(t *testing.T) {
 
 // TestChromeTraceSchema sanity-checks the trace export against the
 // trace_event JSON shape Perfetto/chrome://tracing require: a traceEvents
-// array of complete ("X") events with name/cat/ph/ts/dur/pid/tid, and
-// microsecond timestamps derived from the clock seconds.
+// array of complete ("X") events with name/cat/ph/ts/dur/pid/tid and
+// microsecond timestamps derived from the clock seconds, plus flow
+// ("s"/"f") event pairs binding each child span to its parent so one
+// request renders as a causal tree.
 func TestChromeTraceSchema(t *testing.T) {
 	var buf bytes.Buffer
 	if err := scriptPlane().Tracer.WriteChromeJSON(&buf); err != nil {
@@ -255,6 +264,8 @@ func TestChromeTraceSchema(t *testing.T) {
 			Dur  *int64             `json:"dur"`
 			PID  int                `json:"pid"`
 			TID  int                `json:"tid"`
+			ID   string             `json:"id"`
+			BP   string             `json:"bp"`
 			Args map[string]float64 `json:"args"`
 		} `json:"traceEvents"`
 		DisplayTimeUnit string `json:"displayTimeUnit"`
@@ -265,19 +276,44 @@ func TestChromeTraceSchema(t *testing.T) {
 	if out.DisplayTimeUnit != "ms" {
 		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
 	}
-	if len(out.TraceEvents) != 8*4 {
-		t.Fatalf("events = %d, want 32", len(out.TraceEvents))
-	}
+	// 8 requests × 4 complete spans, plus an s/f flow pair per
+	// parent→child edge (3 children per request).
+	var xs, starts, finishes int
 	for _, e := range out.TraceEvents {
-		if e.Name == "" || e.Cat == "" || e.Ph != "X" || e.TS == nil || e.Dur == nil {
-			t.Fatalf("malformed event %+v", e)
+		switch e.Ph {
+		case "X":
+			xs++
+			if e.Name == "" || e.Cat == "" || e.TS == nil || e.Dur == nil {
+				t.Fatalf("malformed event %+v", e)
+			}
+			if e.PID != 1 || e.TID < 0 {
+				t.Fatalf("bad pid/tid in %+v", e)
+			}
+			if e.Args["request"] < 1 {
+				t.Fatalf("missing request arg in %+v", e)
+			}
+			if e.Args["trace_id"] == 0 || e.Args["span_id"] == 0 {
+				t.Fatalf("missing causal args in %+v", e)
+			}
+			if e.Name != "request" && e.Args["parent_id"] == 0 {
+				t.Fatalf("child span without parent_id: %+v", e)
+			}
+		case "s":
+			starts++
+			if e.ID == "" || e.TS == nil {
+				t.Fatalf("malformed flow start %+v", e)
+			}
+		case "f":
+			finishes++
+			if e.ID == "" || e.BP != "e" || e.TS == nil {
+				t.Fatalf("malformed flow finish %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q in %+v", e.Ph, e)
 		}
-		if e.PID != 1 || e.TID < 0 {
-			t.Fatalf("bad pid/tid in %+v", e)
-		}
-		if e.Args["request"] < 1 {
-			t.Fatalf("missing request arg in %+v", e)
-		}
+	}
+	if xs != 8*4 || starts != 8*3 || finishes != 8*3 {
+		t.Fatalf("events = %dX/%ds/%df, want 32/24/24", xs, starts, finishes)
 	}
 	// Spot-check microsecond conversion: request 1's queue span at 0s+50ms.
 	e := out.TraceEvents[0]

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage for the windowed estimators the alerting and
+// dashboard layers lean on: empty windows, single samples, exact
+// window-boundary expiry, and the nearest-rank monotonicity property.
+
+func TestWindowQuantileSingleSample(t *testing.T) {
+	q := NewWindowQuantile(10, 0)
+	q.Observe(1.0, 42.0)
+	for _, p := range []float64{0, 0.01, 0.5, 0.95, 0.99, 1} {
+		if got := q.Quantile(1.0, p); got != 42 {
+			t.Fatalf("P%g of single sample = %g, want 42", p*100, got)
+		}
+	}
+	if got := q.Count(1.0); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestWindowQuantileBoundaryExpiry(t *testing.T) {
+	q := NewWindowQuantile(10, 0)
+	q.Observe(5.0, 1.0)
+	// A sample exactly window seconds old sits ON the cut and survives
+	// (prune drops strictly-older samples), matching the alert evaluator's
+	// window semantics.
+	if got := q.Count(15.0); got != 1 {
+		t.Fatalf("count at exact boundary = %d, want 1", got)
+	}
+	if got := q.Quantile(15.0, 0.5); got != 1 {
+		t.Fatalf("P50 at exact boundary = %g, want 1", got)
+	}
+	// One instant past the boundary it is gone and the window reads empty.
+	if got := q.Count(15.5); got != 0 {
+		t.Fatalf("count past boundary = %d, want 0", got)
+	}
+	if got := q.Quantile(15.5, 0.5); !math.IsNaN(got) {
+		t.Fatalf("P50 past boundary = %g, want NaN", got)
+	}
+}
+
+func TestWindowQuantileMonotonicity(t *testing.T) {
+	// Property: for any sample set, the quantile function is monotone
+	// non-decreasing in p and bounded by [min, max]. Samples come from a
+	// fixed LCG so the test is deterministic.
+	q := NewWindowQuantile(0, 0)
+	seed := uint64(12345)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 500; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := float64(seed>>40) / float64(1<<24)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		q.Observe(1.0, v)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		got := q.Quantile(1.0, p)
+		if got < prev {
+			t.Fatalf("quantile not monotone: P%.0f=%g < P%.0f=%g", p*100, got, (p-0.01)*100, prev)
+		}
+		if got < lo || got > hi {
+			t.Fatalf("P%.0f=%g outside [%g,%g]", p*100, got, lo, hi)
+		}
+		prev = got
+	}
+	if q.Quantile(1.0, 0) != lo || q.Quantile(1.0, 1) != hi {
+		t.Fatalf("extremes: P0=%g P100=%g, want %g/%g", q.Quantile(1.0, 0), q.Quantile(1.0, 1), lo, hi)
+	}
+}
+
+func TestSamplerEdgeCases(t *testing.T) {
+	now := 0.0
+	s := NewSampler(ClockFunc(func() float64 { return now }), 10, 0)
+	// Empty sampler: no series at all.
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Fatalf("empty snapshot has %d series", len(snap))
+	}
+	// Single sample survives and round-trips.
+	now = 5
+	s.Record("depth", 3)
+	snap := s.Snapshot()
+	if len(snap) != 1 || len(snap[0].Points) != 1 ||
+		snap[0].Points[0] != (SamplePoint{T: 5, V: 3}) {
+		t.Fatalf("single-sample snapshot = %+v", snap)
+	}
+	// Exact boundary: a point exactly window seconds old is retained...
+	now = 15
+	if snap = s.Snapshot(); len(snap[0].Points) != 1 {
+		t.Fatalf("boundary point pruned: %+v", snap[0].Points)
+	}
+	// ...and pruned one instant later. The series itself stays listed so
+	// ordering is stable.
+	now = 15.5
+	if snap = s.Snapshot(); len(snap[0].Points) != 0 {
+		t.Fatalf("stale point retained: %+v", snap[0].Points)
+	}
+	if snap[0].Name != "depth" {
+		t.Fatalf("series vanished: %+v", snap)
+	}
+}
+
+func TestTracerDropHook(t *testing.T) {
+	tr := NewTracer(2)
+	var drops int
+	tr.OnDrop(func() { drops++ })
+	for i := 0; i < 5; i++ {
+		tr.Span(uint64(i), "s", "t", 0, float64(i), 0.1, nil)
+	}
+	if drops != 3 {
+		t.Fatalf("drop hook fired %d times, want 3", drops)
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+}

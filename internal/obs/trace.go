@@ -2,8 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -16,16 +19,84 @@ import (
 // simulation drivers, wall seconds since process start under serve. Spans
 // deliberately do not carry time.Time — a raw wall timestamp would
 // collapse every virtual-time span onto the epoch.
+//
+// Trace/ID/Parent are the span's causal identity: Trace groups every span
+// of one request under its deterministic trace id (TraceID), ID names this
+// span within the trace (SpanID), and Parent names the span it hangs
+// under (0 for the request root). All three are zero on legacy non-causal
+// spans, which export exactly as before.
 type Span struct {
-	Request uint64
-	Name    string
-	Cat     string
-	TID     int
-	Start   float64 // clock seconds
-	Dur     float64 // seconds
+	Request uint64  `json:"request"`
+	Name    string  `json:"name"`
+	Cat     string  `json:"cat"`
+	TID     int     `json:"tid"`
+	Start   float64 `json:"start"` // clock seconds
+	Dur     float64 `json:"dur"`   // seconds
 	// Args carries small numeric annotations (step index, batch size,
 	// mask ratio) into the trace viewer.
-	Args map[string]float64
+	Args map[string]float64 `json:"args,omitempty"`
+
+	Trace  uint64 `json:"trace,omitempty"`
+	ID     uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+}
+
+// causalMask keeps trace and span ids inside 48 bits so they survive a
+// round trip through Chrome-trace float64 args losslessly (float64 holds
+// 53 integer bits exactly).
+const causalMask = (1 << 48) - 1
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection
+// on uint64 — no RNG, no state, so both drivers derive identical ids.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// TraceID derives a request's deterministic trace id from its request id.
+// Both drivers of a differential replay assign the same ids because the
+// derivation consults nothing but the request id — no RNG, no wall time.
+// The result is 48-bit, never zero.
+func TraceID(req uint64) uint64 {
+	id := mix64(req+0x9E3779B97F4A7C15) & causalMask
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// SpanID derives a deterministic span id within a trace from the span's
+// stage name and an occurrence index (step index for repeated stages, 0
+// otherwise). 48-bit, never zero.
+func SpanID(trace uint64, name string, idx uint64) uint64 {
+	h := trace
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0x100000001B3
+	}
+	id := mix64(h^(idx*0x9E3779B97F4A7C15)) & causalMask
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// FormatTraceID renders a trace or span id the way the API echoes it:
+// 12 hex digits (48 bits).
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%012x", id) }
+
+// ParseTraceID parses the hex form FormatTraceID produces (an optional
+// 0x prefix is accepted).
+func ParseTraceID(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, fmt.Errorf("obs: bad trace id %q", s)
+	}
+	return id, nil
 }
 
 // End returns the span's completion time in clock seconds.
@@ -39,6 +110,7 @@ type Tracer struct {
 	ring    []Span
 	next    uint64 // total spans ever recorded
 	dropped uint64
+	onDrop  func()
 }
 
 // DefaultTraceRing is the default ring capacity (spans).
@@ -56,13 +128,26 @@ func NewTracer(size int) *Tracer {
 // Record appends a span, evicting the oldest when the ring is full.
 func (t *Tracer) Record(s Span) {
 	t.mu.Lock()
+	var dropped func()
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, s)
 	} else {
 		t.ring[t.next%uint64(cap(t.ring))] = s
 		t.dropped++
+		dropped = t.onDrop
 	}
 	t.next++
+	t.mu.Unlock()
+	if dropped != nil {
+		dropped()
+	}
+}
+
+// OnDrop registers a hook invoked once per evicted span (the plane uses
+// it to feed flashps_trace_spans_dropped_total).
+func (t *Tracer) OnDrop(fn func()) {
+	t.mu.Lock()
+	t.onDrop = fn
 	t.mu.Unlock()
 }
 
@@ -99,7 +184,8 @@ func (t *Tracer) Snapshot() []Span {
 	return append(out, t.ring[:head]...)
 }
 
-// chromeEvent is one Chrome trace_event "complete" (ph=X) entry.
+// chromeEvent is one Chrome trace_event entry: "complete" (ph=X) spans,
+// plus flow start/finish pairs (ph=s/f) binding causal parent→child edges.
 type chromeEvent struct {
 	Name string             `json:"name"`
 	Cat  string             `json:"cat"`
@@ -108,6 +194,8 @@ type chromeEvent struct {
 	Dur  int64              `json:"dur"` // microseconds
 	PID  int                `json:"pid"`
 	TID  int                `json:"tid"`
+	ID   string             `json:"id,omitempty"` // flow binding id (hex span id)
+	BP   string             `json:"bp,omitempty"` // "e" on flow finish: bind to enclosing slice
 	Args map[string]float64 `json:"args,omitempty"`
 }
 
@@ -124,14 +212,47 @@ type chromeTrace struct {
 // carries its request id in args so a request's stages can be grouped in
 // the viewer.
 func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	return t.WriteChromeJSONTrace(w, 0)
+}
+
+// WriteChromeJSONTrace exports the retained spans, filtered to one causal
+// trace when trace is nonzero (0 exports everything). Causal spans carry
+// trace_id/span_id/parent_id args, and every parent→child edge whose
+// parent span is still retained additionally emits a flow start/finish
+// pair (ph=s/f bound by the child's hex span id), so a single request
+// renders as a connected tree in Perfetto. Legacy spans without causal
+// ids export byte-identically to the pre-causal format.
+func (t *Tracer) WriteChromeJSONTrace(w io.Writer, trace uint64) error {
 	spans := t.Snapshot()
+	if trace != 0 {
+		kept := make([]Span, 0, 16)
+		for _, s := range spans {
+			if s.Trace == trace {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+	}
+	byID := make(map[uint64]Span)
+	for _, s := range spans {
+		if s.Trace != 0 && s.ID != 0 {
+			byID[s.ID] = s
+		}
+	}
 	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
 	for _, s := range spans {
-		args := make(map[string]float64, len(s.Args)+1)
+		args := make(map[string]float64, len(s.Args)+4)
 		for k, v := range s.Args {
 			args[k] = v
 		}
 		args["request"] = float64(s.Request)
+		if s.Trace != 0 {
+			args["trace_id"] = float64(s.Trace)
+			args["span_id"] = float64(s.ID)
+			if s.Parent != 0 {
+				args["parent_id"] = float64(s.Parent)
+			}
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",
 			TS:  int64(math.Round(s.Start * 1e6)),
@@ -140,6 +261,70 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 			Args: args,
 		})
 	}
+	// Flow pairs after the slices, in span order: deterministic output for
+	// the differential-replay byte comparison.
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		parent, ok := byID[s.Parent]
+		if !ok {
+			continue // parent evicted from the ring: no edge to draw
+		}
+		id := FormatTraceID(s.ID)
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "s",
+				TS:  int64(math.Round(parent.Start * 1e6)),
+				PID: 1, TID: parent.TID, ID: id,
+			},
+			chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "f", BP: "e",
+				TS:  int64(math.Round(s.Start * 1e6)),
+				PID: 1, TID: s.TID, ID: id,
+			})
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// SpansFromChromeJSON reconstructs causal spans from a Chrome trace
+// export (the inverse of WriteChromeJSONTrace for ph=X events): the
+// flashps-trace -explain renderer uses it to rebuild a span tree from a
+// trace.json artifact. Non-causal events come back with zero causal ids.
+func SpansFromChromeJSON(r io.Reader) ([]Span, error) {
+	var in chromeTrace
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("obs: parse chrome trace: %w", err)
+	}
+	var spans []Span
+	for _, e := range in.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		s := Span{
+			Name: e.Name, Cat: e.Cat, TID: e.TID,
+			Start: float64(e.TS) / 1e6, Dur: float64(e.Dur) / 1e6,
+		}
+		args := make(map[string]float64, len(e.Args))
+		for k, v := range e.Args {
+			switch k {
+			case "request":
+				s.Request = uint64(v)
+			case "trace_id":
+				s.Trace = uint64(v)
+			case "span_id":
+				s.ID = uint64(v)
+			case "parent_id":
+				s.Parent = uint64(v)
+			default:
+				args[k] = v
+			}
+		}
+		if len(args) > 0 {
+			s.Args = args
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
 }

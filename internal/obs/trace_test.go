@@ -102,6 +102,76 @@ func TestChromeJSONExport(t *testing.T) {
 	}
 }
 
+func TestCausalIDsDeterministicAndParseable(t *testing.T) {
+	if TraceID(1) != TraceID(1) || TraceID(1) == TraceID(2) {
+		t.Fatal("TraceID not a deterministic injection on small ids")
+	}
+	if TraceID(1) == 0 || TraceID(1) > causalMask {
+		t.Fatalf("TraceID out of 48-bit range: %x", TraceID(1))
+	}
+	tr := TraceID(7)
+	if SpanID(tr, "queue", 0) == SpanID(tr, "inference", 0) {
+		t.Fatal("SpanID collides across names")
+	}
+	if SpanID(tr, "denoise_step", 1) == SpanID(tr, "denoise_step", 2) {
+		t.Fatal("SpanID collides across indices")
+	}
+	s := FormatTraceID(tr)
+	if len(s) != 12 {
+		t.Fatalf("formatted id %q not 12 hex digits", s)
+	}
+	got, err := ParseTraceID(s)
+	if err != nil || got != tr {
+		t.Fatalf("parse(%q) = %x, %v", s, got, err)
+	}
+	if got, err := ParseTraceID("0x" + s); err != nil || got != tr {
+		t.Fatalf("parse with prefix = %x, %v", got, err)
+	}
+	for _, bad := range []string{"", "zz", "0"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Fatalf("ParseTraceID(%q) should fail", bad)
+		}
+	}
+}
+
+func TestChromeJSONTraceFilterRoundTrip(t *testing.T) {
+	tr := NewTracer(64)
+	for req := uint64(1); req <= 3; req++ {
+		trace := TraceID(req)
+		root := SpanID(trace, "request", 0)
+		tr.Record(Span{Request: req, Name: "request", Cat: "core", Start: float64(req), Dur: 1,
+			Trace: trace, ID: root})
+		tr.Record(Span{Request: req, Name: "queue", Cat: "core", Start: float64(req), Dur: 0.1,
+			Trace: trace, ID: SpanID(trace, "queue", 0), Parent: root,
+			Args: map[string]float64{"depth": 2}})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSONTrace(&buf, TraceID(2)); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := SpansFromChromeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filtered to request 2's two spans, causal identity intact.
+	if len(spans) != 2 {
+		t.Fatalf("filtered spans = %d, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Request != 2 || s.Trace != TraceID(2) || s.ID == 0 {
+			t.Fatalf("bad reconstructed span %+v", s)
+		}
+	}
+	if spans[1].Parent != spans[0].ID || spans[1].Args["depth"] != 2 {
+		t.Fatalf("edge or args lost: %+v", spans[1])
+	}
+	// The reconstructed spans render as a tree.
+	var tree bytes.Buffer
+	if err := RenderSpanTree(&tree, spans, TraceID(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTracerConcurrent(t *testing.T) {
 	// Concurrent writers + exporter; run under -race.
 	tr := NewTracer(128)

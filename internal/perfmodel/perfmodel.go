@@ -12,7 +12,10 @@
 // SDXL template cache from disk takes ≈6.4 s.
 package perfmodel
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // GPU describes a device profile. Efficiency follows a saturating curve in
 // the number of tokens in flight: small masked-token batches underutilize
@@ -276,9 +279,23 @@ func (p ModelProfile) BlockLoadBatch(items []LoadItem) float64 {
 			minRatio[k] = m
 		}
 	}
+	// Sum in sorted key order, not map order: float addition is not
+	// associative, and a map-ordered sum makes the batch load latency —
+	// and with it every downstream virtual event time — differ across
+	// runs in the last ulp, flaking the differential replay byte-compare.
+	keys := make([]key, 0, len(minRatio))
+	for k := range minRatio {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tpl != keys[j].tpl {
+			return keys[i].tpl < keys[j].tpl
+		}
+		return keys[i].step < keys[j].step
+	})
 	var bytes float64
-	for _, m := range minRatio {
-		bytes += p.BlockLoadBytes(m)
+	for _, k := range keys {
+		bytes += p.BlockLoadBytes(minRatio[k])
 	}
 	return bytes / p.GPU.PCIeBW
 }

@@ -103,6 +103,19 @@ func TestDifferentialReplayFleet(t *testing.T) {
 			if routes != len(reqs) {
 				t.Fatalf("%d route events for %d requests", routes, len(reqs))
 			}
+			// Per-request fleet events carry the request's causal trace id.
+			for _, e := range simRes.Events {
+				switch e.Kind {
+				case fleet.EventRoute, fleet.EventReject:
+					if e.Trace != obs.TraceID(e.Request) {
+						t.Fatalf("event %v trace id mismatch (want %012x)", e, obs.TraceID(e.Request))
+					}
+				default:
+					if e.Trace != 0 {
+						t.Fatalf("scale event %v carries a trace id", e)
+					}
+				}
+			}
 			if ups == 0 {
 				t.Fatal("overload trace produced no scale-up: the differential is not pinning scale events")
 			}

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -116,13 +117,43 @@ func approxEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, mat
 // contract: the same trace driven through the simulator and the real
 // engine must fill the telemetry plane identically — byte-for-byte equal
 // Prometheus expositions (virtual-time histogram snapshots, cache-tier
-// counters, SLO attainment, goodput) and byte-for-byte equal dashboards.
+// counters, SLO attainment, goodput, alert states), byte-for-byte equal
+// causal Chrome traces, byte-for-byte equal flight-recorder snapshots,
+// and byte-for-byte equal dashboards.
 func assertPlanesIdentical(t *testing.T, sim, real *obs.Plane, n int) {
 	t.Helper()
 	simText, realText := sim.Reg.String(), real.Reg.String()
 	if simText != realText {
 		t.Fatalf("expositions diverge:\n--- sim ---\n%s\n--- real ---\n%s",
 			firstDiffContext(simText, realText), firstDiffContext(realText, simText))
+	}
+	var simTrace, realTrace bytes.Buffer
+	if err := sim.Tracer.WriteChromeJSON(&simTrace); err != nil {
+		t.Fatal(err)
+	}
+	if err := real.Tracer.WriteChromeJSON(&realTrace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(simTrace.Bytes(), realTrace.Bytes()) {
+		t.Fatalf("causal Chrome traces diverge:\n--- sim ---\n%s\n--- real ---\n%s",
+			firstDiffContext(simTrace.String(), realTrace.String()),
+			firstDiffContext(realTrace.String(), simTrace.String()))
+	}
+	if !strings.Contains(simTrace.String(), `"trace_id"`) {
+		t.Fatal("trace export carries no causal ids")
+	}
+	simFlight, err := json.Marshal(sim.FlightSnapshot("diff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	realFlight, err := json.Marshal(real.FlightSnapshot("diff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(simFlight, realFlight) {
+		t.Fatalf("flight-recorder snapshots diverge:\n--- sim ---\n%s\n--- real ---\n%s",
+			firstDiffContext(string(simFlight), string(realFlight)),
+			firstDiffContext(string(realFlight), string(simFlight)))
 	}
 	// Sanity: the shared exposition actually carries the run's telemetry,
 	// not two identically empty planes.

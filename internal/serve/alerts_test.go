@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flashps/internal/faults"
+	"flashps/internal/obs"
+)
+
+// TestAlertsSmoke is the end-to-end alerting drill (`make alerts-smoke`):
+// an injected engine-step delay pushes a burst of interactive-class
+// requests past their deadline, the burn-rate evaluator pages, the paging
+// transition trips the flight recorder into FlightDir, and the written
+// flightrecorder.json carries the offending requests' span trees —
+// renderable with the same obs.RenderSpanTree that backs
+// `flashps-trace -explain`.
+func TestAlertsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(1)
+	// The delay applies per request per step, so the burst's 30 request-
+	// steps stretch over ≈ 3.6s of engine time: the later-finishing
+	// requests miss the interactive class's 2.5s deadline, and even a
+	// single miss among six fast-window events burns at 16× budget —
+	// past the 10× paging threshold.
+	inj.SetDelay(faults.StepStage, 120*time.Millisecond, 0)
+	s := faultServer(t, Config{
+		Workers: 1, MaxBatch: 8, PreWorkers: 2, PostWorkers: 2,
+		Faults: inj, FlightDir: dir,
+	})
+	prepareTemplate(t, s, 1)
+
+	// Six concurrent small-mask (interactive) edits join one running
+	// batch, so the injected per-step delay stalls them all together.
+	const burst = 6
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		resps   []EditResponse
+		lastErr error
+	)
+	for i := 0; i < burst; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := s.SubmitEdit(t.Context(), EditRequestAPI{
+				TemplateID: 1, Prompt: "smoke", Seed: uint64(i + 1),
+				Mask: MaskSpec{Type: "ratio", Ratio: 0.05, Seed: uint64(i + 1)},
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				lastErr = err
+				return
+			}
+			resps = append(resps, resp)
+		}()
+	}
+	wg.Wait()
+	if lastErr != nil {
+		t.Fatalf("burst edit failed: %v", lastErr)
+	}
+	if len(resps) != burst {
+		t.Fatalf("completed %d/%d requests", len(resps), burst)
+	}
+
+	// ≥ MinEvents deadline misses inside the fast window: the interactive
+	// class must be paging.
+	if got := s.Obs().AlertMax(); got != obs.AlertPage {
+		t.Fatalf("AlertMax = %v, want page (alerts: %+v)", got, s.Obs().Alerts())
+	}
+	var expo bytes.Buffer
+	if err := s.Registry().WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), `flashps_alert_state{class="interactive"} 2`) {
+		t.Fatalf("exposition missing paged alert gauge:\n%s", expo.String())
+	}
+
+	// GET /v1/alerts reports the same paging state.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var al AlertsResponse
+	if err := json.NewDecoder(res.Body).Decode(&al); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if al.Worst != "page" {
+		t.Fatalf("/v1/alerts worst = %q, want page (%+v)", al.Worst, al)
+	}
+
+	// The page transition tripped the flight sink: flightrecorder.json
+	// exists, names the paging class, and holds the alert event.
+	raw, err := os.ReadFile(filepath.Join(dir, obs.ArtifactFlightRecorder))
+	if err != nil {
+		t.Fatalf("flight recorder artifact not written: %v", err)
+	}
+	snap, err := obs.ReadFlightSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("flightrecorder.json does not parse: %v", err)
+	}
+	if snap.Reason != "alert_page:interactive" {
+		t.Fatalf("snapshot reason = %q", snap.Reason)
+	}
+	var sawAlert bool
+	for _, ev := range snap.Events {
+		if ev.Kind == "alert" && strings.Contains(ev.Detail, "page") {
+			sawAlert = true
+		}
+	}
+	if !sawAlert {
+		t.Fatalf("snapshot events carry no paging alert: %+v", snap.Events)
+	}
+	if len(snap.Spans) == 0 {
+		t.Fatal("snapshot carries no spans")
+	}
+
+	// The offending request's span tree renders straight from the
+	// artifact, keyed by the trace id the edit response echoed.
+	trace, err := obs.ParseTraceID(resps[0].TraceID)
+	if err != nil {
+		t.Fatalf("response trace id %q: %v", resps[0].TraceID, err)
+	}
+	var tree bytes.Buffer
+	if err := obs.RenderSpanTree(&tree, snap.Spans, trace); err != nil {
+		t.Fatalf("render span tree from snapshot: %v", err)
+	}
+	for _, want := range []string{"request", "denoise_step", "postprocess"} {
+		if !strings.Contains(tree.String(), want) {
+			t.Fatalf("span tree missing %q:\n%s", want, tree.String())
+		}
+	}
+
+	// /debug/flightrecorder serves the same snapshot shape on demand.
+	res, err = http.Get(ts.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := obs.ReadFlightSnapshot(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/flightrecorder does not parse: %v", err)
+	}
+	if live.Reason != "debug" || len(live.Spans) == 0 {
+		t.Fatalf("live snapshot = reason %q, %d spans", live.Reason, len(live.Spans))
+	}
+
+	// /debug/traces?trace_id= filters the Chrome export to that request.
+	res, err = http.Get(ts.URL + "/debug/traces?trace_id=" + resps[0].TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := obs.SpansFromChromeJSON(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("filtered trace export is empty")
+	}
+	for _, sp := range spans {
+		if sp.Trace != trace {
+			t.Fatalf("filtered export leaked span from trace %012x", sp.Trace)
+		}
+	}
+	// A bad filter value is a structured 400, not a 500.
+	res, err = http.Get(ts.URL + "/debug/traces?trace_id=zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad trace_id filter = %d, want 400", res.StatusCode)
+	}
+}

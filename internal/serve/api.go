@@ -18,6 +18,7 @@ import (
 
 	"flashps/internal/img"
 	"flashps/internal/mask"
+	"flashps/internal/obs"
 	"flashps/internal/tensor"
 )
 
@@ -245,6 +246,10 @@ type EditResponse struct {
 	// executions served from stale residuals under that policy.
 	Policy           string  `json:"policy,omitempty"`
 	ReusedBlockRatio float64 `json:"reused_block_ratio,omitempty"`
+	// TraceID is the request's causal trace id (12 hex digits, v1.3);
+	// pass it to /debug/traces?trace_id= or `flashps-trace -explain` to
+	// pull this request's span tree.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Health is the /healthz readiness report. Status is "ok", "starting"
@@ -300,6 +305,14 @@ type FleetReplica struct {
 	// StagedTemplates is the set actually staged replica-locally, sorted
 	// (Config.StagedTemplates > 0 only).
 	StagedTemplates []uint64 `json:"staged_templates,omitempty"`
+}
+
+// AlertsResponse is the GET /v1/alerts body: one burn-rate status row
+// per SLO class (v1.3). Worst is the most severe state across rows
+// ("ok", "warning", or "page").
+type AlertsResponse struct {
+	Worst  string            `json:"worst"`
+	Alerts []obs.AlertStatus `json:"alerts"`
 }
 
 // Stats is the serving plane's live statistics snapshot.

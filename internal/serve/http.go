@@ -24,10 +24,13 @@ func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
 //	GET    /v1/cache/stats        — per-tier cache statistics (v1.1)
 //	POST   /v1/edits              — serve an edit (EditRequestAPI → EditResponse)
 //	GET    /v1/fleet              — fleet control-plane snapshot (FleetResponse)
+//	GET    /v1/alerts             — SLO burn-rate alert states (AlertsResponse, v1.3)
 //	GET    /v1/stats              — live statistics (Stats)
 //	GET    /healthz               — readiness (Health JSON; 503 when not "ok")
 //	GET    /metrics               — Prometheus text exposition from the registry
-//	GET    /debug/traces          — span ring buffer as Chrome trace_event JSON
+//	GET    /debug/traces          — span ring buffer as Chrome trace_event JSON;
+//	                                ?trace_id= filters to one request's span tree (v1.3)
+//	GET    /debug/flightrecorder  — on-demand flight-recorder snapshot (v1.3)
 //	GET    /debug/dash            — self-contained live HTML dashboard
 //
 // Every error on a /v1/* route (including 405s) is a structured JSON
@@ -162,10 +165,34 @@ func (s *Server) Handler() http.Handler {
 			}
 		},
 	}))
+	mux.HandleFunc("/v1/alerts", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			alerts := s.obs.plane.Alerts()
+			writeJSON(w, AlertsResponse{
+				Worst: s.obs.plane.AlertMax().String(), Alerts: alerts,
+			})
+		},
+	}))
 	mux.HandleFunc("/debug/traces", methods(map[string]http.HandlerFunc{
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			var trace uint64
+			if raw := r.URL.Query().Get("trace_id"); raw != "" {
+				var err error
+				if trace, err = obs.ParseTraceID(raw); err != nil {
+					writeError(w, apiErrorf(CodeInvalidRequest, false, "%v", err))
+					return
+				}
+			}
 			w.Header().Set("Content-Type", "application/json")
-			if err := s.obs.tracer.WriteChromeJSON(w); err != nil {
+			if err := s.obs.tracer.WriteChromeJSONTrace(w, trace); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		},
+	}))
+	mux.HandleFunc("/debug/flightrecorder", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := s.obs.plane.FlightSnapshot("debug").WriteJSON(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		},

@@ -182,9 +182,28 @@ func tierValues(store *cache.TieredStore, f func(cache.TierStats) float64) []obs
 
 // span records one trace span, placing the wall timestamp on the plane's
 // clock axis, and mirrors it into the stage histogram and quantile window,
-// so the breakdown metrics and the trace never disagree.
+// so the breakdown metrics and the trace never disagree. Causal identity
+// is derived here — trace id from the request id, span id from the stage
+// name (plus the step index for repeated stages) — so every span of a
+// request hangs under its root and the ids match what the clock-driven
+// replay drivers would derive for the same request.
 func (o *serveObs) span(req uint64, stage string, worker int, start time.Time, dur time.Duration, args map[string]float64) {
-	o.plane.Span(req, stage, traceCat, worker, o.wall.Seconds(start), dur.Seconds(), args)
+	trace := obs.TraceID(req)
+	root := obs.SpanID(trace, stageRequest, 0)
+	var idx uint64
+	if step, ok := args["step"]; ok && step > 0 {
+		idx = uint64(step)
+	}
+	id, parent := obs.SpanID(trace, stage, idx), root
+	switch stage {
+	case stageRequest:
+		id, parent = root, 0
+	case stageCacheLoad, stageReplicaStage:
+		// Nested inside preprocessing: hang under that span, not the root.
+		parent = obs.SpanID(trace, stagePreprocess, 0)
+	}
+	o.plane.SpanCausal(req, stage, traceCat, worker,
+		o.wall.Seconds(start), dur.Seconds(), trace, id, parent, args)
 }
 
 // outcome counts one terminal request outcome.

@@ -122,9 +122,19 @@ func TestLoadGenObservability(t *testing.T) {
 	}
 	perReq := map[uint64]map[string][2]int64{} // request → span name → [ts, end]
 	reqWindow := map[uint64][2]int64{}
+	flows := 0
 	for _, e := range trace.TraceEvents {
-		if e.Ph != "X" {
-			t.Fatalf("span %q has ph=%q, want X", e.Name, e.Ph)
+		switch e.Ph {
+		case "s", "f":
+			// Causal flow events binding parent → child spans.
+			flows++
+			continue
+		case "X":
+		default:
+			t.Fatalf("span %q has ph=%q, want X/s/f", e.Name, e.Ph)
+		}
+		if e.Args["trace_id"] == 0 || e.Args["span_id"] == 0 {
+			t.Fatalf("span %q missing causal identity: %v", e.Name, e.Args)
 		}
 		id := uint64(e.Args["request"])
 		if perReq[id] == nil {
@@ -134,6 +144,9 @@ func TestLoadGenObservability(t *testing.T) {
 		if e.Name == "request" {
 			reqWindow[id] = [2]int64{e.TS, e.TS + e.Dur}
 		}
+	}
+	if flows == 0 {
+		t.Fatal("trace export has no causal flow events")
 	}
 	if len(reqWindow) != 10 {
 		t.Fatalf("parent request spans = %d, want 10", len(reqWindow))

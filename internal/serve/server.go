@@ -3,6 +3,9 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +67,12 @@ type Config struct {
 	// TraceRing sizes the span trace ring buffer (spans retained for
 	// /debug/traces); 0 uses obs.DefaultTraceRing.
 	TraceRing int
+	// FlightDir, when set, arms the flight-recorder sink: whenever an
+	// alert pages or a fault rule trips, the plane's flight snapshot is
+	// written to <FlightDir>/flightrecorder.json beside the other
+	// artifacts (the file is overwritten on each trip; the snapshot's
+	// reason field says why the latest dump was taken).
+	FlightDir string
 	// Seed fixes engine weights; all workers share it so template caches
 	// are valid on every replica.
 	Seed uint64
@@ -289,6 +298,20 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	sObs := newServeObs(cfg.TraceRing)
+	if cfg.FlightDir != "" {
+		dir := cfg.FlightDir
+		sObs.plane.SetFlightSink(func(snap obs.FlightSnapshot) {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return
+			}
+			var b strings.Builder
+			if err := snap.WriteJSON(&b); err != nil {
+				return
+			}
+			_ = os.WriteFile(filepath.Join(dir, obs.ArtifactFlightRecorder),
+				[]byte(b.String()), 0o644)
+		})
+	}
 	// The tiered store reports into the plane as it operates: per-tier
 	// op/byte counters, and timed spill transfers as calibration cost
 	// samples (loads fit the disk staging law, stores the spill law).
@@ -755,13 +778,20 @@ func (s *Server) SubmitEdit(ctx context.Context, api EditRequestAPI) (EditRespon
 // counting the outcome exactly once (callers only invoke it after winning
 // the responded CAS or before any pipeline handoff).
 func (s *Server) ctxError(j *job) error {
+	worker := -1
+	if j.worker != nil {
+		worker = j.worker.id
+	}
 	if j.ctx.Err() == context.DeadlineExceeded {
 		s.obs.deadlineExceeded.Inc()
 		s.obs.outcome(outcomeDeadline)
+		s.obs.plane.RecordFlight("deadline_miss", j.id, worker,
+			fmt.Sprintf("deadline_ms=%d", j.deadlineMS))
 		return apiErrorf(CodeDeadlineExceeded, true,
 			"deadline of %d ms exceeded", j.deadlineMS)
 	}
 	s.obs.outcome(outcomeCanceled)
+	s.obs.plane.RecordFlight("canceled", j.id, worker, "client canceled")
 	return apiErrorf(CodeCanceled, false, "request canceled by client")
 }
 
@@ -819,6 +849,8 @@ func (s *Server) shed(victim *job) {
 		s.obs.outcome(outcomeShed)
 		s.obs.span(victim.id, stageEvict, victim.worker.id, time.Now(), 0,
 			map[string]float64{"shed": 1, "mask_ratio_hint": victim.ratioHint})
+		s.obs.plane.RecordFlight("shed", victim.id, victim.worker.id,
+			fmt.Sprintf("mask_ratio=%.2f", victim.ratioHint))
 	}
 	victim.worker.removeOutstanding(victim)
 }
@@ -1023,6 +1055,12 @@ func (s *Server) preprocess(j *job) error {
 		}
 		if j.degraded {
 			s.obs.degraded.Inc()
+			s.obs.plane.RecordFlight("degraded", j.id, j.worker.id, j.degradedReason)
+			if loadFailed {
+				// A fault rule fired: dump the flight recorder so the
+				// artifact pins the request that hit it.
+				s.obs.plane.TripFlight("fault:" + j.degradedReason)
+			}
 		}
 	}
 	// Replica-local staging (fleet mode): the first request for this
@@ -1061,6 +1099,7 @@ func (s *Server) evict(j *job, at string) {
 	j.worker.removeOutstanding(j)
 	s.obs.span(j.id, stageEvict, j.worker.id, time.Now(), 0,
 		map[string]float64{"deadline_ms": float64(j.deadlineMS)})
+	s.obs.plane.RecordFlight("evict", j.id, j.worker.id, at)
 }
 
 // sleepCtx sleeps for d or until ctx is done.
@@ -1134,6 +1173,7 @@ func (s *Server) postprocess(j *job) {
 		Retries:        int(j.attempts.Load()),
 		DeadlineMS:     j.deadlineMS,
 		Policy:         j.session.Policy(),
+		TraceID:        obs.FormatTraceID(obs.TraceID(j.id)),
 	}
 	if r := j.session.ReusedBlockRatio(); r > 0 {
 		resp.ReusedBlockRatio = r

@@ -261,6 +261,7 @@ func (w *worker) run() {
 		}
 		w.alive.Store(false)
 		w.srv.obs.workerRestarts.Inc()
+		w.srv.obs.plane.RecordFlight("worker_crash", 0, w.id, "engine loop crashed; restarting")
 		w.srv.rescueBatch(w)
 		select {
 		case <-time.After(w.srv.cfg.WorkerRestartDelay):
